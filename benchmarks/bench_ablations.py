@@ -1,0 +1,74 @@
+"""Ablation benchmarks over Montsalvat's design choices (DESIGN.md §4)."""
+
+from conftest import run_once
+
+from repro.experiments.ablations import (
+    run_annotation_granularity_ablation,
+    run_gc_period_ablation,
+    run_hash_ablation,
+    run_mee_sensitivity,
+    run_switchless_ablation,
+)
+
+
+def test_ablation_switchless(benchmark, record_table):
+    table = run_once(
+        benchmark, run_switchless_ablation, invocation_counts=(1_000, 5_000, 10_000)
+    )
+    record_table("ablation_switchless", table.format(y_format="{:.4f}"))
+    # Transition-less calls pay off massively for chatty RMIs (§7).
+    gain = table.mean_ratio("hardware transitions", "switchless")
+    assert gain > 10.0
+
+
+def test_ablation_hash_strategy(benchmark, record_table):
+    table = run_once(benchmark, run_hash_ablation, n_objects=5_000)
+    record_table("ablation_hash", table.format(y_format="{:.4f}"))
+    identity = table.get("identity-hash").mean()
+    md5 = table.get("md5-hash").mean()
+    # MD5 costs more, but the transition dominates: < 2% overhead.
+    assert identity < md5 < identity * 1.02
+
+
+def test_ablation_mee_sensitivity(benchmark, record_table):
+    table = run_once(
+        benchmark, run_mee_sensitivity, multipliers=(2.0, 4.0, 8.5, 12.0), n_classes=30
+    )
+    record_table("ablation_mee", table.format(y_format="{:.2f}"))
+    slowdowns = table.get("enclave slowdown").ys()
+    # The Fig. 6 spread grows monotonically with the MEE penalty.
+    assert all(a < b for a, b in zip(slowdowns, slowdowns[1:]))
+    assert slowdowns[0] > 1.0
+
+
+def test_ablation_annotation_granularity(benchmark, record_table):
+    table = run_once(
+        benchmark,
+        run_annotation_granularity_ablation,
+        state_bytes_sweep=(64, 512, 4_096, 32_768, 131_072),
+        calls=1_000,
+    )
+    record_table("ablation_granularity", table.format(y_format="{:.4f}"))
+    class_level = table.get("class-level (Montsalvat)")
+    method_level = table.get("method-level (Uranus-style)")
+    # Method-level state shipping always costs more...
+    for (x, cl), (_, ml) in zip(class_level.points, method_level.points):
+        assert ml > cl, x
+    # ...and the gap grows with the object's state size (§5.1).
+    gaps = [
+        ml / cl for (_, cl), (_, ml) in zip(class_level.points, method_level.points)
+    ]
+    assert gaps == sorted(gaps)
+    assert gaps[-1] > 2.0
+
+
+def test_ablation_gc_period(benchmark, record_table):
+    table = run_once(
+        benchmark, run_gc_period_ablation, periods_s=(0.25, 0.5, 1.0, 2.0, 4.0)
+    )
+    record_table("ablation_gc_period", table.format(y_format="{:.0f}"))
+    retention = table.get("peak stale mirrors").ys()
+    scans = table.get("helper scans").ys()
+    # Longer periods retain more dead mirrors but scan less.
+    assert all(a <= b for a, b in zip(retention, retention[1:]))
+    assert all(a >= b for a, b in zip(scans, scans[1:]))

@@ -1,0 +1,20 @@
+"""Extra benchmark — the EPC paging cliff (§2.1)."""
+
+from conftest import run_once
+
+from repro.experiments.epc_paging import run_epc_paging
+
+WORKING_SETS_MB = (16, 32, 64, 80, 93, 110, 128, 192, 256)
+
+
+def test_epc_paging_cliff(benchmark, record_table):
+    table = run_once(benchmark, run_epc_paging, working_sets_mb=WORKING_SETS_MB)
+    record_table("epc_paging", table.format(y_format="{:.4f}"))
+
+    slowdown = table.get("enclave/host slowdown")
+    below = [slowdown.y_at(ws) for ws in (16, 32, 64, 80, 93)]
+    above = [slowdown.y_at(ws) for ws in (110, 128, 192, 256)]
+    # Flat MEE-only penalty below the usable EPC, then the cliff.
+    assert max(below) - min(below) < 0.01
+    assert min(above) > max(below) * 1.5
+    assert above == sorted(above)

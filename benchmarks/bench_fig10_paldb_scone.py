@@ -1,0 +1,27 @@
+"""Fig. 10 — PalDB native images vs PalDB on a JVM in SCONE."""
+
+from conftest import run_once
+
+from repro.experiments.fig7_paldb import run_fig10
+
+KEY_COUNTS = (20_000, 60_000, 100_000)
+
+
+def test_fig10_paldb_scone(benchmark, record_table):
+    table = run_once(benchmark, run_fig10, key_counts=KEY_COUNTS)
+    record_table("fig10_paldb_scone", table.format(y_format="{:.3f}"))
+
+    # Paper averages: RTWU 6.6x, RUWT 2.8x, NoPart 2.6x over SCONE+JVM.
+    # JVM boot amortises with scale, so assert at the largest count.
+    largest = KEY_COUNTS[-1]
+    scone = table.get("SCONE+JVM").y_at(largest)
+    assert 3.0 <= scone / table.get("Part(RTWU)").y_at(largest) <= 9.0
+    assert 1.5 <= scone / table.get("Part(RUWT)").y_at(largest) <= 4.0
+    assert 1.5 <= scone / table.get("NoPart").y_at(largest) <= 4.0
+    # Ordering: NoSGX < RTWU < RUWT ~ NoPart < SCONE.
+    assert (
+        table.get("NoSGX").y_at(largest)
+        < table.get("Part(RTWU)").y_at(largest)
+        < table.get("Part(RUWT)").y_at(largest)
+        < scone
+    )

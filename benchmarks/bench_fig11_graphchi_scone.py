@@ -1,0 +1,29 @@
+"""Fig. 11 — GraphChi native images vs GraphChi on a JVM in SCONE."""
+
+from conftest import run_once
+
+from repro.experiments.fig9_graphchi import run_fig11
+
+SHARDS = (1, 2, 3, 4, 5, 6)
+
+
+def test_fig11_graphchi_scone(benchmark, record_table):
+    table = run_once(
+        benchmark,
+        run_fig11,
+        n_vertices=25_000,
+        n_edges=100_000,
+        shard_counts=SHARDS,
+        iterations=5,
+    )
+    record_table("fig11_graphchi_scone", table.format(y_format="{:.3f}"))
+
+    # Paper: partitioned image ~2.2x faster than SCONE+JVM; the
+    # unpartitioned image ~1.7x.
+    part_gain = table.mean_ratio("SCONE+JVM", "Part-NI")
+    nopart_gain = table.mean_ratio("SCONE+JVM", "NoPart-NI")
+    assert 1.7 <= part_gain <= 3.0
+    assert 1.3 <= nopart_gain <= 2.3
+    assert part_gain > nopart_gain
+    # NoSGX+JVM sits between the native images and SCONE.
+    assert table.mean_ratio("SCONE+JVM", "NoSGX+JVM") > 1.0

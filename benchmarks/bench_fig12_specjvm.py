@@ -1,0 +1,23 @@
+"""Fig. 12 — SPECjvm2008 micro-benchmarks in four configurations."""
+
+from conftest import run_once
+
+from repro.apps.specjvm.kernels import KERNEL_ORDER
+from repro.experiments.fig12_specjvm import run_fig12
+
+
+def test_fig12_specjvm(benchmark, record_table):
+    table = run_once(benchmark, run_fig12, kernels=KERNEL_ORDER)
+    record_table("fig12_specjvm", table.format(y_format="{:.2f}"))
+
+    ni = table.get("NoSGX-NI")
+    sgx_ni = table.get("SGX-NI")
+    scone = table.get("SCONE+JVM")
+    for index, kernel in enumerate(KERNEL_ORDER):
+        # SGX always costs something over NoSGX for the same image.
+        assert sgx_ni.y_at(index) > ni.y_at(index)
+        if kernel == "monte_carlo":
+            # The one inversion: the JVM's GC wins in the enclave.
+            assert scone.y_at(index) < sgx_ni.y_at(index)
+        else:
+            assert scone.y_at(index) > sgx_ni.y_at(index)

@@ -1,0 +1,20 @@
+"""Fig. 3 — proxy vs concrete object creation latency."""
+
+from conftest import run_once
+
+from repro.experiments.common import orders_of_magnitude
+from repro.experiments.fig3_proxy_creation import run_fig3
+
+COUNTS = (10_000, 40_000, 70_000, 100_000)
+
+
+def test_fig3_proxy_creation(benchmark, record_table):
+    table = run_once(benchmark, run_fig3, counts=COUNTS)
+    record_table("fig3_proxy_creation", table.format())
+
+    # Shape: proxy creation is 3-4 orders of magnitude above concrete.
+    out_in = table.mean_ratio("proxy-out->in", "concrete-out")
+    in_out = table.mean_ratio("proxy-in->out", "concrete-in")
+    assert 3.0 <= orders_of_magnitude(out_in) <= 4.7
+    assert 3.0 <= orders_of_magnitude(in_out) <= 4.5
+    assert in_out < out_in  # the paper's 3-vs-4-orders asymmetry

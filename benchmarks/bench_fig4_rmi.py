@@ -1,0 +1,41 @@
+"""Fig. 4a — RMI latency; Fig. 4b — serialization impact."""
+
+from conftest import run_once
+
+from repro.experiments.common import orders_of_magnitude
+from repro.experiments.fig4_rmi import run_fig4a, run_fig4b
+
+COUNTS = (10_000, 50_000, 100_000)
+LIST_SIZES = tuple(range(10_000, 100_001, 10_000))
+
+
+def test_fig4a_method_invocations(benchmark, record_table):
+    table = run_once(benchmark, run_fig4a, counts=COUNTS)
+    record_table("fig4a_rmi", table.format())
+
+    out_in = table.mean_ratio("proxy-out->in", "concrete-out")
+    in_out = table.mean_ratio("proxy-in->out", "concrete-in")
+    assert 3.0 <= orders_of_magnitude(out_in) <= 4.7
+    assert 2.8 <= orders_of_magnitude(in_out) <= 4.2
+    # The serialized variants are strictly slower.
+    assert table.mean_ratio("proxy-out->in+s", "proxy-out->in") > 1.0
+    assert table.mean_ratio("proxy-in->out+s", "proxy-in->out") > 1.0
+
+
+def test_fig4b_serialization(benchmark, record_table):
+    table = run_once(
+        benchmark, run_fig4b, list_sizes=LIST_SIZES, invocations=10_000
+    )
+    record_table("fig4b_serialization", table.format())
+
+    # Paper: ~10x for in-enclave RMIs, ~3x for out-of-enclave RMIs.
+    mid = LIST_SIZES[len(LIST_SIZES) // 3]
+    in_ratio = table.get("proxy-in->out+s").y_at(mid) / table.get(
+        "proxy-in->out"
+    ).y_at(mid)
+    out_ratio = table.get("proxy-out->in+s").y_at(mid) / table.get(
+        "proxy-out->in"
+    ).y_at(mid)
+    assert 5.0 <= in_ratio <= 25.0
+    assert 1.8 <= out_ratio <= 8.0
+    assert in_ratio > out_ratio * 2  # serialization hurts the enclave more

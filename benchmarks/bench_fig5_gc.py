@@ -1,0 +1,33 @@
+"""Fig. 5a — GC time in/out of the enclave; Fig. 5b — GC consistency."""
+
+from conftest import run_once
+
+from repro.experiments.fig5_gc import run_fig5a, run_fig5b
+
+COUNTS = tuple(range(50_000, 500_001, 50_000))
+
+
+def test_fig5a_gc_performance(benchmark, record_table):
+    table = run_once(benchmark, run_fig5a, counts=COUNTS)
+    record_table("fig5a_gc_performance", table.format())
+
+    # Paper: the enclave adds about an order of magnitude of GC time.
+    ratio = table.mean_ratio("concrete-in: GC in", "concrete-out: GC out")
+    assert 7.0 <= ratio <= 13.0
+
+
+def test_fig5b_gc_consistency(benchmark, record_table):
+    table = run_once(
+        benchmark, run_fig5b, duration_s=60.0, batch=500, create_phase_s=30.0
+    )
+    record_table("fig5b_gc_consistency", table.format(y_format="{:.0f}"))
+
+    proxies = table.get("proxy-objs-out")
+    mirrors = table.get("mirror-objs-in")
+    # Mirrors track proxies at every sampled timestamp (consistency).
+    for (_, live_proxies), (_, live_mirrors) in zip(proxies.points, mirrors.points):
+        assert live_mirrors == live_proxies
+    # The timeline actually rose then fell.
+    peak = max(proxies.ys())
+    assert proxies.points[-1][1] < peak
+    assert peak > 0

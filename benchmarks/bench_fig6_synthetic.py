@@ -1,0 +1,24 @@
+"""Fig. 6 — synthetic application runtime vs %untrusted classes."""
+
+from conftest import run_once
+
+from repro.experiments.fig6_synthetic import run_fig6
+
+PERCENTAGES = tuple(range(0, 101, 10))
+
+
+def test_fig6_synthetic(benchmark, record_table):
+    table = run_once(
+        benchmark, run_fig6, percentages=PERCENTAGES, n_classes=100
+    )
+    record_table("fig6_synthetic", table.format(y_format="{:.4f}"))
+
+    for name in ("cpu intensive", "io intensive"):
+        series = table.get(name)
+        ys = series.ys()
+        # Monotone improvement as classes leave the enclave (small
+        # tolerance for RMI noise between adjacent points).
+        for earlier, later in zip(ys, ys[1:]):
+            assert later <= earlier * 1.05
+        # All-enclave vs none-in-enclave spread is substantial.
+        assert ys[0] / ys[-1] >= 3.0

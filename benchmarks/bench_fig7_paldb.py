@@ -1,0 +1,22 @@
+"""Fig. 7 — PalDB read/write times for partitioned native images."""
+
+from conftest import run_once
+
+from repro.experiments.fig7_paldb import run_fig7
+
+KEY_COUNTS = (10_000, 30_000, 50_000, 70_000, 90_000)
+
+
+def test_fig7_paldb(benchmark, record_table):
+    table = run_once(benchmark, run_fig7, key_counts=KEY_COUNTS)
+    record_table("fig7_paldb", table.format(y_format="{:.3f}"))
+
+    # Paper: RTWU ~2.5x and RUWT ~1.04x faster than the unpartitioned
+    # image; NoSGX is the (insecure) ceiling.
+    rtwu_gain = table.mean_ratio("NoPart", "Part(RTWU)")
+    ruwt_gain = table.mean_ratio("NoPart", "Part(RUWT)")
+    assert 1.8 <= rtwu_gain <= 3.5
+    assert 0.95 <= ruwt_gain <= 1.3
+    assert table.mean_ratio("NoPart", "NoSGX") > rtwu_gain
+    # The ocall asymmetry behind it (paper: ~23x more ocalls in RUWT).
+    assert "ocalls RUWT/RTWU" in table.notes

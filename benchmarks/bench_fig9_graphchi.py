@@ -1,0 +1,28 @@
+"""Fig. 9 — partitioned GraphChi PageRank across graph sizes/shards."""
+
+from conftest import run_once
+
+from repro.experiments.fig9_graphchi import run_fig9
+
+GRAPHS = ((6_250, 25_000), (12_500, 50_000), (25_000, 100_000))
+SHARDS = (1, 2, 3, 4, 5, 6)
+
+
+def test_fig9_graphchi(benchmark, record_table):
+    results = run_once(
+        benchmark, run_fig9, graphs=GRAPHS, shard_counts=SHARDS, iterations=5
+    )
+    text = "\n\n".join(
+        table.format(y_format="{:.3f}") for table in results.values()
+    )
+    record_table("fig9_graphchi", text)
+
+    for (n_vertices, n_edges), table in results.items():
+        gain = table.mean_ratio("NoPart-NI", "Part-NI")
+        # Paper: ~1.2x average gain from partitioning, all graph sizes.
+        assert 1.05 <= gain <= 1.6, (n_vertices, gain)
+        # Partitioned sharding returns to native-level cost.
+        shard_ratio = table.mean_ratio("Part-NI:sharding", "NoSGX-NI:sharding")
+        assert 0.9 <= shard_ratio <= 1.2
+        # The unpartitioned image pays enclave costs in the sharder.
+        assert table.mean_ratio("NoPart-NI:sharding", "NoSGX-NI:sharding") > 1.4

@@ -1,0 +1,32 @@
+"""Extra benchmark — VC3-style MapReduce across deployments ([44])."""
+
+from conftest import run_once
+
+from repro.experiments.mapreduce_exp import run_mapreduce
+
+LINE_COUNTS = (200, 600, 1_200)
+
+
+def test_mapreduce_deployments(benchmark, record_table):
+    table = run_once(benchmark, run_mapreduce, line_counts=LINE_COUNTS)
+    record_table("mapreduce", table.format(y_format="{:.4f}"))
+
+    part = table.get("Part (map/reduce in enclave)")
+    unpart = table.get("Unpart (all in enclave)")
+    nosgx = table.get("NoSGX")
+    scone = table.get("SCONE+JVM")
+
+    # Coarse-grained partitioning costs little: within a small factor of
+    # the insecure ceiling (contrast with the chatty SecureKeeper split,
+    # bench_securekeeper.py). Its real dividend is the TCB (bench_tcb).
+    assert table.mean_ratio("Part (map/reduce in enclave)", "NoSGX") < 3.0
+    # Both native-image deployments crush the SCONE-style whole stack.
+    assert table.mean_ratio("SCONE+JVM", "Part (map/reduce in enclave)") > 5.0
+    assert table.mean_ratio("SCONE+JVM", "Unpart (all in enclave)") > 5.0
+    # Partitioned and unpartitioned are in the same league here: the
+    # handful of coarse relays roughly offsets the enclave's framework
+    # overhead at this scale.
+    ratio = table.mean_ratio(
+        "Part (map/reduce in enclave)", "Unpart (all in enclave)"
+    )
+    assert 0.6 <= ratio <= 2.5

@@ -1,0 +1,57 @@
+"""Extra benchmark — the price of obliviousness (related work [60])."""
+
+from conftest import run_once
+
+import numpy as np
+
+from repro.apps.oblivious import OBLIVIOUS_CLASSES, ObliviousTable
+from repro.baselines import native_session
+from repro.core import Partitioner, PartitionOptions
+from repro.experiments.common import ExperimentTable
+
+SIZES = (512, 1_024, 2_048, 4_096)
+
+
+def run_oblivious_cost(sizes=SIZES) -> ExperimentTable:
+    table = ExperimentTable(
+        title="Oblivious operators — sort cost vs input size",
+        x_label="rows",
+        y_label="time (s)",
+        notes="bitonic network: O(n log^2 n); access trace leaks only n",
+    )
+    in_enclave = table.new_series("oblivious sort (enclave)")
+    outside = table.new_series("oblivious sort (host)")
+    for n in sizes:
+        values = list(np.random.RandomState(n).standard_normal(n))
+
+        app = Partitioner(PartitionOptions(name=f"obl_{n}")).partition(
+            list(OBLIVIOUS_CLASSES)
+        )
+        with app.start() as session:
+            oblivious = ObliviousTable(list(values))
+            span = session.platform.measure()
+            result = oblivious.sort()
+            in_enclave.add(n, span.elapsed_s())
+            assert result == sorted(values)
+
+        with native_session() as session:
+            plain = ObliviousTable(list(values))
+            span = session.platform.measure()
+            plain.sort()
+            outside.add(n, span.elapsed_s())
+    return table
+
+
+def test_oblivious_cost(benchmark, record_table):
+    table = run_once(benchmark, run_oblivious_cost, sizes=SIZES)
+    record_table("oblivious_cost", table.format(y_format="{:.6f}"))
+
+    enclave = table.get("oblivious sort (enclave)").ys()
+    host = table.get("oblivious sort (host)").ys()
+    # Superlinear growth (n log^2 n): 8x the rows, >8x the time on the
+    # host (the enclave's fixed RMI cost flattens its small end).
+    assert host[-1] > host[0] * 8
+    assert enclave[-1] > enclave[0] * 5
+    # The enclave pays MEE on the network's data movement.
+    for inside, out in zip(enclave, host):
+        assert inside > out

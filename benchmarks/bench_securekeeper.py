@@ -1,0 +1,22 @@
+"""Extra benchmark — SecureKeeper-style split and the chatty-RMI lesson."""
+
+from conftest import run_once
+
+from repro.experiments.securekeeper_exp import run_securekeeper
+
+ENTRY_COUNTS = (500, 1_000, 2_000)
+
+
+def test_securekeeper_partitioning(benchmark, record_table):
+    table = run_once(benchmark, run_securekeeper, entry_counts=ENTRY_COUNTS)
+    record_table("securekeeper", table.format(y_format="{:.4f}"))
+
+    # Per-operation RMIs are 10^2 us (§6.3): plain partitioning loses
+    # to running everything in the enclave on this chatty workload...
+    assert table.mean_ratio("Part", "Unpart (all in enclave)") > 3.0
+    # ...switchless calls (§7) recover it: cheaper than hardware
+    # transitions by ~an order and at least on par with whole-in-enclave.
+    assert table.mean_ratio("Part", "Part+switchless") > 5.0
+    assert table.mean_ratio("Unpart (all in enclave)", "Part+switchless") > 1.0
+    # The insecure ceiling stays fastest.
+    assert table.get("NoSGX").mean() < table.get("Part+switchless").mean()

@@ -1,0 +1,26 @@
+"""Extra benchmark — startup time/footprint and build-time init (§2.2)."""
+
+from conftest import run_once
+
+from repro.experiments.startup import run_build_time_init, run_startup
+
+
+def test_startup_native_image_vs_jvm(benchmark, record_table):
+    table = run_once(benchmark, run_startup)
+    record_table("startup", table.format(y_format="{:.4f}"))
+
+    # §2.2's claims: quicker startup, lower footprint.
+    assert table.get("Part-NI").y_at(0) < table.get("NoSGX+JVM").y_at(0) / 100
+    assert table.get("NoPart-NI").y_at(0) < table.get("SCONE+JVM").y_at(0) / 100
+    assert table.get("Part-NI").y_at(1) < table.get("NoSGX+JVM").y_at(1) / 10
+    # In-enclave JVM boots even slower than the host JVM.
+    assert table.get("SCONE+JVM").y_at(0) > table.get("NoSGX+JVM").y_at(0)
+
+
+def test_build_time_initialisation(benchmark, record_table):
+    table = run_once(benchmark, run_build_time_init)
+    record_table("build_time_init", table.format(y_format="{:.4f}"))
+
+    series = table.get("startup seconds")
+    # Initialise once at build: startup skips the parsing entirely.
+    assert series.y_at(0) < series.y_at(1) / 20

@@ -1,0 +1,31 @@
+"""Table 1 — SGX-NI latency gain over SCONE+JVM, per kernel."""
+
+from conftest import run_once
+
+from repro.apps.specjvm.kernels import KERNEL_ORDER
+from repro.experiments.fig12_specjvm import PAPER_TABLE1, run_table1
+
+#: Accepted band around each paper ratio (multiplicative).
+BAND = 1.45
+
+
+def test_table1_ratios(benchmark, record_table):
+    ratios = run_once(benchmark, run_table1, kernels=KERNEL_ORDER)
+
+    lines = ["Table 1 — latency gain of SGX-NI over SCONE+JVM",
+             f"{'kernel':<14}{'measured':>10}{'paper':>10}"]
+    for kernel in KERNEL_ORDER:
+        lines.append(
+            f"{kernel:<14}{ratios[kernel]:>9.2f}x{PAPER_TABLE1[kernel]:>9.2f}x"
+        )
+    record_table("table1_ratios", "\n".join(lines))
+
+    for kernel in KERNEL_ORDER:
+        paper = PAPER_TABLE1[kernel]
+        measured = ratios[kernel]
+        assert paper / BAND <= measured <= paper * BAND, (kernel, measured)
+    # The qualitative headline: Monte_Carlo is the only inversion.
+    assert ratios["monte_carlo"] < 1.0
+    for kernel in KERNEL_ORDER:
+        if kernel != "monte_carlo":
+            assert ratios[kernel] > 1.0

@@ -1,0 +1,47 @@
+"""TCB comparison — the paper's §1/§3 motivation, quantified.
+
+Not a numbered figure, but the argument the whole system rests on:
+partitioning with a shim keeps the trusted computing base orders of
+magnitude below LibOS/SCONE deployments.
+"""
+
+from conftest import run_once
+
+from repro.apps.bank import BANK_CLASSES
+from repro.core import Partitioner, PartitionOptions
+from repro.core.tcb import compare, partitioned_tcb, scone_tcb, unpartitioned_tcb
+from repro.graal.buildstats import partitioned_build_stats
+
+
+def _build_reports():
+    partitioner = Partitioner(PartitionOptions(name="tcb_bench"))
+    part_app = partitioner.partition(BANK_CLASSES, main="Main.main")
+    unpart_app = partitioner.unpartitioned(list(BANK_CLASSES))
+    reports = [
+        partitioned_tcb(part_app),
+        unpartitioned_tcb(unpart_app),
+        scone_tcb(app_code_bytes=unpart_app.image.code_size_bytes),
+    ]
+    return part_app, reports
+
+
+def test_tcb_comparison(benchmark, record_table):
+    part_app, reports = run_once(benchmark, _build_reports)
+
+    trusted_stats, untrusted_stats = partitioned_build_stats(part_app)
+    text = "\n\n".join(
+        [compare(reports)]
+        + [report.format() for report in reports]
+        + [trusted_stats.format(), untrusted_stats.format()]
+    )
+    record_table("tcb_comparison", text)
+
+    partitioned, unpartitioned, scone = reports
+    # For a tiny app the generated relays roughly offset the pruned
+    # untrusted classes; the TCB never grows meaningfully.
+    assert partitioned.total_bytes <= unpartitioned.total_bytes * 1.05
+    # The paper's headline: LibOS/JVM stacks are orders of magnitude
+    # larger than the partitioned TCB.
+    assert scone.total_bytes > partitioned.total_bytes * 30
+    # Reachability pruning removed the unreachable Person proxy.
+    assert "Person" in trusted_stats.pruned_proxy_classes

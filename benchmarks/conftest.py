@@ -1,0 +1,38 @@
+"""Benchmark harness support.
+
+Each ``bench_*``/``test_*`` function regenerates one of the paper's
+figures or tables at (scaled) paper size, prints it, and stores the
+text under ``benchmarks/results/`` so the artifacts survive the run.
+pytest-benchmark wraps the experiment for wall-clock reporting; every
+experiment runs a single round — the numbers that matter are the
+*virtual* times inside the tables.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture()
+def record_table():
+    """Print an ExperimentTable and persist it under benchmarks/results."""
+
+    def _record(name: str, text: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print()
+        print(text)
+
+    return _record
+
+
+def run_once(benchmark, func, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, kwargs=kwargs, rounds=1, iterations=1)

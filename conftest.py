@@ -1,0 +1,11 @@
+"""Ensure ``src`` is importable even without an installed package.
+
+The CI environment has no ``wheel`` package, so ``pip install -e .``
+may be unavailable; inserting ``src`` on ``sys.path`` keeps
+``pytest`` working either way (``python setup.py develop`` also works).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Blockchain smart contracts in enclaves (§6.7's second use case).
+
+The business logic of smart contracts (balances, transfers, a token
+ledger) is @trusted and executes inside the enclave; the networking /
+peer-gossip classes are @untrusted. Neutral transaction records cross
+the boundary serialized.
+
+Run:  python examples/blockchain_contracts.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from dataclasses import dataclass
+
+from repro.core import Partitioner, PartitionOptions
+from repro.core.annotations import trusted, untrusted
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """Neutral value object: serialized across the enclave boundary."""
+
+    sender: str
+    recipient: str
+    amount: int
+    nonce: int
+
+
+@trusted
+class TokenLedger:
+    """In-enclave contract state: balances never leave the enclave."""
+
+    def __init__(self, initial_supply: int, owner: str) -> None:
+        self.balances = {owner: initial_supply}
+        self.applied_nonces = set()
+
+    def apply_transaction(self, tx: Transaction) -> bool:
+        """Validate and execute one transfer; idempotent per nonce."""
+        if tx.nonce in self.applied_nonces:
+            return False  # replay
+        if self.balances.get(tx.sender, 0) < tx.amount or tx.amount <= 0:
+            return False
+        self.balances[tx.sender] -= tx.amount
+        self.balances[tx.recipient] = self.balances.get(tx.recipient, 0) + tx.amount
+        self.applied_nonces.add(tx.nonce)
+        return True
+
+    def balance_of(self, account: str) -> int:
+        return self.balances.get(account, 0)
+
+    def total_supply(self) -> int:
+        return sum(self.balances.values())
+
+
+@untrusted
+class GossipNode:
+    """Untrusted networking: receives transactions from peers and
+    relays them to the in-enclave ledger."""
+
+    def __init__(self, ledger: TokenLedger) -> None:
+        self.ledger = ledger
+        self.accepted = 0
+        self.rejected = 0
+
+    def receive(self, tx: Transaction) -> None:
+        if self.ledger.apply_transaction(tx):
+            self.accepted += 1
+        else:
+            self.rejected += 1
+
+    def stats(self) -> str:
+        return f"accepted={self.accepted} rejected={self.rejected}"
+
+
+def main() -> None:
+    app = Partitioner(PartitionOptions(name="contracts")).partition(
+        [TokenLedger, GossipNode]
+    )
+    with app.start() as session:
+        ledger = TokenLedger(initial_supply=1_000_000, owner="treasury")
+        node = GossipNode(ledger)
+
+        node.receive(Transaction("treasury", "alice", 500, nonce=1))
+        node.receive(Transaction("treasury", "bob", 300, nonce=2))
+        node.receive(Transaction("alice", "bob", 200, nonce=3))
+        node.receive(Transaction("alice", "bob", 200, nonce=3))  # replay
+        node.receive(Transaction("mallory", "mallory", 10_000, nonce=4))  # no funds
+
+        print("== contract state (read through the enclave boundary) ==")
+        for account in ("treasury", "alice", "bob", "mallory"):
+            print(f"  {account:<10} {ledger.balance_of(account):>9}")
+        supply = ledger.total_supply()
+        if supply != 1_000_000:
+            raise ReproError(f"conservation violated: supply={supply}")
+        print(f"  total supply conserved: {supply}")
+        print(f"\ngossip node: {node.stats()}")
+        print(session.runtime.describe())
+        print(f"virtual time: {session.platform.now_s * 1e3:.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Confidential graph analytics: partitioned GraphChi PageRank (§6.5).
+
+The GraphChiEngine (the computation over potentially sensitive graph
+data) runs inside the enclave; the I/O-heavy FastSharder stays outside.
+PageRank results are validated against an in-memory reference.
+
+Run:  python examples/pagerank_analytics.py
+"""
+
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro.apps.graphchi import (
+    GRAPHCHI_CLASSES,
+    FastSharder,
+    GraphChiEngine,
+    run_pagerank_in_memory,
+)
+from repro.apps.rmat import generate_rmat
+from repro.core import Partitioner, PartitionOptions
+
+N_VERTICES = 10_000
+N_EDGES = 40_000
+N_SHARDS = 4
+ITERATIONS = 8
+
+
+def main() -> None:
+    sources, destinations = generate_rmat(N_VERTICES, N_EDGES, seed=21)
+    print(f"RMAT graph: {N_VERTICES} vertices, {N_EDGES} edges, "
+          f"{N_SHARDS} shards\n")
+
+    app = Partitioner(PartitionOptions(name="pagerank")).partition(
+        list(GRAPHCHI_CLASSES)
+    )
+    with app.start() as session:
+        workdir = tempfile.mkdtemp(prefix="graphchi_")
+        t0 = session.platform.now_s
+        sharded = FastSharder(workdir).shard(
+            sources.tolist(), destinations.tolist(), N_VERTICES, N_SHARDS
+        )
+        t_shard = session.platform.now_s
+        ranks = GraphChiEngine().run_pagerank(sharded, iterations=ITERATIONS)
+        t_total = session.platform.now_s
+
+        reference = run_pagerank_in_memory(
+            sources, destinations, N_VERTICES, iterations=ITERATIONS
+        )
+        error = float(np.abs(np.array(ranks) - reference).max())
+        top = np.argsort(ranks)[::-1][:5]
+
+        print(f"sharding (untrusted): {t_shard - t0:.3f} s")
+        print(f"engine (in enclave):  {t_total - t_shard:.3f} s")
+        print(f"max deviation from in-memory reference: {error:.2e}")
+        print(f"top-5 vertices by PageRank: {[int(v) for v in top]}")
+        print(f"\n{session.runtime.describe()}")
+
+
+if __name__ == "__main__":
+    main()

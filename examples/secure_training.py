@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Secure ML training, Plinius-style (related work [59]).
+
+Model weights and the SGD step live inside the enclave; the data loader
+streams mini-batches from a real on-disk dataset outside. Training
+recovers the generating coefficients, and the final weights leave the
+enclave sealed.
+
+Run:  python examples/secure_training.py
+"""
+
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.apps.plinius import PLINIUS_CLASSES, train, write_dataset
+from repro.core import Partitioner, PartitionOptions
+from repro.sgx.sealing import SealingService
+
+TRUE_WEIGHTS = [0.8, -1.2, 2.0, 0.4]
+
+
+def main() -> None:
+    dataset = os.path.join(tempfile.mkdtemp(prefix="plinius_"), "train.bin")
+    write_dataset(dataset, TRUE_WEIGHTS, n_samples=960, noise=0.02)
+    print(f"dataset: 960 samples, 4 features -> {dataset}")
+
+    app = Partitioner(PartitionOptions(name="training")).partition(
+        list(PLINIUS_CLASSES)
+    )
+    with app.start() as session:
+        weights, mse = train(dataset, n_features=4, epochs=8, batch_size=32)
+        print(f"\ntrue weights:      {TRUE_WEIGHTS}")
+        print(f"recovered weights: {[round(w, 3) for w in weights]}")
+        print(f"final batch MSE:   {mse:.5f}")
+        print(f"enclave crossings: {session.transition_stats.ecalls} ecalls "
+              f"(one per mini-batch + model ops)")
+
+        # Checkpoint the model the Plinius way: sealed to the enclave.
+        sealing = SealingService(session.enclave)
+        checkpoint = sealing.seal({"weights": weights, "epoch": 8})
+        restored = sealing.unseal(checkpoint)
+        print(f"sealed checkpoint: {checkpoint.size} bytes; "
+              f"restores epoch {restored['epoch']} inside the enclave")
+        print(f"virtual time: {session.platform.now_s:.3f} s")
+
+
+if __name__ == "__main__":
+    main()

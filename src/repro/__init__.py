@@ -1,0 +1,50 @@
+"""Montsalvat (Middleware '21) reproduced in Python.
+
+Partition annotated classes into trusted (in-enclave) and untrusted
+components with an RMI-like proxy/mirror runtime, synchronized garbage
+collection and a shim libc — on top of simulated SGX and GraalVM
+native-image substrates with a calibrated virtual-time cost model.
+
+Quickstart::
+
+    from repro import Partitioner, trusted, untrusted
+
+    @trusted
+    class Account: ...
+
+    @untrusted
+    class Person: ...
+
+    app = Partitioner().partition([Account, Person])
+    with app.start() as session:
+        ...  # annotated classes now route through the enclave
+
+See README.md for the full tour, DESIGN.md for the system inventory and
+EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from repro.core import (
+    Partitioner,
+    PartitionOptions,
+    Side,
+    current_context,
+    neutral,
+    trusted,
+    untrusted,
+)
+from repro.costs import Platform, fresh_platform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Partitioner",
+    "PartitionOptions",
+    "Side",
+    "current_context",
+    "neutral",
+    "trusted",
+    "untrusted",
+    "Platform",
+    "fresh_platform",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Applications and workloads used by the paper's evaluation.
+
+- :mod:`repro.apps.bank` — the illustrative Account/Person example (§5);
+- :mod:`repro.apps.paldb` — the PalDB-like embeddable write-once
+  key-value store (§6.5);
+- :mod:`repro.apps.graphchi` — the GraphChi-like out-of-core graph
+  engine with PageRank (§6.5);
+- :mod:`repro.apps.rmat` — the RMAT synthetic graph generator;
+- :mod:`repro.apps.specjvm` — SPECjvm2008-like micro-benchmark kernels
+  (§6.6);
+- :mod:`repro.apps.generator` — the synthetic partitioned-program
+  generator behind Fig. 6.
+"""

@@ -1,0 +1,83 @@
+"""The paper's illustrative example (Listing 1): accounts and persons.
+
+``Account`` and ``AccountRegistry`` perform sensitive operations and
+are @trusted; ``Person`` is @untrusted. Under a partitioned runtime,
+``Person`` objects live on the untrusted heap holding *proxies* to
+in-enclave ``Account`` mirrors.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.annotations import trusted, untrusted
+
+
+@trusted
+class Account:
+    """A bank account; balance and owner never leave the enclave."""
+
+    def __init__(self, owner: str, balance: int) -> None:
+        self.owner = owner
+        self.balance = balance
+
+    def update_balance(self, amount: int) -> None:
+        """Apply a signed amount to the balance."""
+        self.balance += amount
+
+    def get_balance(self) -> int:
+        """Current balance (crosses the boundary as a primitive)."""
+        return self.balance
+
+
+@trusted
+class AccountRegistry:
+    """In-enclave registry of accounts."""
+
+    def __init__(self) -> None:
+        self.reg: List[Account] = []
+
+    def add_account(self, account: Account) -> None:
+        self.reg.append(account)
+
+    def count(self) -> int:
+        return len(self.reg)
+
+    def total_balance(self) -> int:
+        return sum(account.get_balance() for account in self.reg)
+
+
+@untrusted
+class Person:
+    """An untrusted person holding a (proxied) trusted account."""
+
+    def __init__(self, name: str, amount: int) -> None:
+        self.name = name
+        self.account = Account(name, amount)
+
+    def get_account(self) -> Account:
+        return self.account
+
+    def transfer(self, other: "Person", amount: int) -> None:
+        """Move ``amount`` from this person's account to ``other``'s."""
+        other.get_account().update_balance(amount)
+        self.account.update_balance(-amount)
+
+
+@untrusted
+class Main:
+    """The application's main entry point (untrusted image, §5.3)."""
+
+    @staticmethod
+    def main() -> AccountRegistry:
+        alice = Person("Alice", 100)
+        bob = Person("Bob", 25)
+        alice.transfer(bob, 25)
+        registry = AccountRegistry()
+        registry.add_account(alice.get_account())
+        registry.add_account(bob.get_account())
+        return registry
+
+
+#: Every class of the bank application, for the partitioner.
+BANK_CLASSES = (Account, AccountRegistry, Person, Main)

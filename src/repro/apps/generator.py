@@ -1,0 +1,115 @@
+"""Synthetic partitioned-program generator (§6.5, Fig. 6).
+
+The paper generates Java applications with 100 classes, each exposing
+an instance method that is either CPU-intensive (an FFT over a 1 MB
+double array) or I/O-intensive (writing 4 KB to a file), and varies the
+fraction of classes annotated @Untrusted. The main method instantiates
+every class and invokes its method once.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.core.annotations import ambient_context, trusted, untrusted
+from repro.core.shim import ShimLibc
+from repro.errors import ConfigurationError
+
+MB = 1024 * 1024
+
+#: FFT over a 1 MB double array (2^17 doubles): ~11 MFLOP, vectorised
+#: (~0.2 cycles/flop), but heavily memory-bound — log2(N) passes over
+#: the array put ~40 MB through the memory system, which is what the
+#: MEE amplifies inside the enclave.
+_FFT_CPU_CYCLES = 2.2e6
+_FFT_MEM_BYTES = 40 * MB
+_FFT_WS_BYTES = 2 * MB
+
+#: The I/O method writes 4 KB in small buffered chunks.
+_IO_TOTAL_BYTES = 4096
+_IO_CHUNK_BYTES = 256
+
+
+def _cpu_work_body(self) -> float:
+    ctx = ambient_context()
+    ctx.compute(_FFT_CPU_CYCLES, mem_bytes=_FFT_MEM_BYTES, ws_bytes=_FFT_WS_BYTES)
+    # Real (small) FFT so the method has a verifiable result.
+    signal = np.sin(np.linspace(0.0, 8.0 * np.pi, 512))
+    return float(np.abs(np.fft.rfft(signal)).max())
+
+
+def _io_work_body(self) -> float:
+    ctx = ambient_context()
+    libc = ShimLibc(ctx)
+    payload = b"\xa5" * _IO_CHUNK_BYTES
+    with libc.fopen(self.path, "wb") as handle:
+        for _ in range(_IO_TOTAL_BYTES // _IO_CHUNK_BYTES):
+            handle.write(payload)
+    return float(_IO_TOTAL_BYTES)
+
+
+def _make_init(workload: str):
+    def __init__(self, workdir: str) -> None:
+        self.path = os.path.join(workdir, f"{type(self).__name__}.dat")
+
+    __init__.__doc__ = f"Generated {workload} class constructor."
+    return __init__
+
+
+@dataclass(frozen=True)
+class GeneratedApp:
+    """A generated application plus its driver."""
+
+    classes: Tuple[type, ...]
+    workload: str
+    pct_untrusted: int
+
+    def drive(self, workdir: str) -> float:
+        """The generated main(): instantiate every class, call its
+        method once; returns the checksum sum."""
+        total = 0.0
+        for cls in self.classes:
+            instance = cls(workdir)
+            total += instance.work()
+        return total
+
+
+def generate_app(
+    n_classes: int = 100,
+    pct_untrusted: int = 50,
+    workload: str = "cpu",
+    tag: str = "",
+) -> GeneratedApp:
+    """Generate an application with ``pct_untrusted`` % @untrusted classes.
+
+    ``workload`` is ``"cpu"`` or ``"io"``. ``tag`` keeps class names
+    unique across repeated generations in one process.
+    """
+    if workload not in ("cpu", "io"):
+        raise ConfigurationError(f"workload must be 'cpu' or 'io', got {workload!r}")
+    if not 0 <= pct_untrusted <= 100:
+        raise ConfigurationError("pct_untrusted must be within [0, 100]")
+    if n_classes <= 0:
+        raise ConfigurationError("n_classes must be positive")
+
+    n_untrusted = round(n_classes * pct_untrusted / 100)
+    body: Callable = _cpu_work_body if workload == "cpu" else _io_work_body
+    classes: List[type] = []
+    for index in range(n_classes):
+        name = f"Gen{workload.capitalize()}{tag}{index}"
+        namespace = {
+            "__init__": _make_init(workload),
+            "work": body,
+            "__calls__": {"work": [], "__init__": []},
+            "__doc__": f"Generated {workload}-intensive class #{index}.",
+        }
+        cls = type(name, (), namespace)
+        annotate = untrusted if index < n_untrusted else trusted
+        classes.append(annotate(cls))
+    return GeneratedApp(
+        classes=tuple(classes), workload=workload, pct_untrusted=pct_untrusted
+    )

@@ -1,0 +1,32 @@
+"""GraphChi-like out-of-core graph engine (§6.5).
+
+Follows the paper's Fig. 8 workflow: a :class:`FastSharder` splits the
+input graph into per-interval shards on disk, and the
+:class:`GraphChiEngine` processes the shards to produce the result
+(PageRank values here). The paper partitions along exactly these two
+classes: the I/O-heavy sharder stays untrusted, the engine is trusted.
+"""
+
+from repro.apps.graphchi.engine import EngineLogic, GraphChiEngine
+from repro.apps.graphchi.pagerank import pagerank_reference, run_pagerank_in_memory
+from repro.apps.graphchi.sharder import (
+    FastSharder,
+    ShardedGraph,
+    SharderLogic,
+    ShardInfo,
+)
+
+#: Class set for the paper's partitioning scheme (engine in, sharder out).
+GRAPHCHI_CLASSES = (GraphChiEngine, FastSharder)
+
+__all__ = [
+    "EngineLogic",
+    "GraphChiEngine",
+    "pagerank_reference",
+    "run_pagerank_in_memory",
+    "FastSharder",
+    "ShardedGraph",
+    "SharderLogic",
+    "ShardInfo",
+    "GRAPHCHI_CLASSES",
+]

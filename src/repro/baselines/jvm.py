@@ -1,0 +1,64 @@
+"""HotSpot JVM cost model and the NoSGX+JVM baseline session.
+
+The paper attributes JVM slowness relative to native images to class
+loading, bytecode interpretation and dynamic compilation (§6.6); peak
+throughput is comparable, so the model charges a boot phase plus a
+warm-up multiplier on compute (applied by the JVM execution context).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.core.annotations import activate_runtime, deactivate_runtime
+from repro.core.app import SingleContextSession
+from repro.core.rmi import SingleContextRuntime
+from repro.core.shim import ShimLibc
+from repro.costs.machine import MB
+from repro.costs.platform import Platform, fresh_platform
+from repro.runtime.context import ExecutionContext, Location, RuntimeKind
+
+
+@dataclass(frozen=True)
+class JvmBootModel:
+    """Boot-phase footprint of a JVM run."""
+
+    app_classes: int = 50
+    #: Resident bytes the JVM itself adds (code cache, metaspace...).
+    runtime_footprint_bytes: int = 150 * MB
+
+    def charge_boot(self, ctx: ExecutionContext) -> float:
+        """Charge JVM startup + class loading to ``ctx``."""
+        jvm = ctx.platform.cost_model.jvm
+        ns = ctx.platform.charge_cycles("jvm.startup", jvm.startup_cycles)
+        total_classes = jvm.base_classes + self.app_classes
+        ns += ctx.platform.charge_cycles(
+            "jvm.class_loading", total_classes * jvm.class_load_cycles
+        )
+        # Loading classes touches metaspace: real memory traffic, which
+        # pays MEE + paging when the JVM boots inside an enclave.
+        ns += ctx.memory_traffic(
+            self.runtime_footprint_bytes / 6, ws_bytes=self.runtime_footprint_bytes
+        )
+        return ns
+
+
+@contextmanager
+def host_jvm_session(
+    platform: Optional[Platform] = None,
+    boot: JvmBootModel = JvmBootModel(),
+    name: str = "jvm",
+) -> Iterator[SingleContextSession]:
+    """Run a block on a JVM outside any enclave (NoSGX+JVM)."""
+    platform = platform or fresh_platform()
+    ctx = ExecutionContext(platform, Location.HOST, RuntimeKind.JVM, label=name)
+    boot.charge_boot(ctx)
+    runtime = SingleContextRuntime(ctx)
+    session = SingleContextSession(runtime, ShimLibc(ctx))
+    token = activate_runtime(runtime)
+    try:
+        yield session
+    finally:
+        deactivate_runtime(token)

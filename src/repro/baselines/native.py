@@ -1,0 +1,33 @@
+"""NoSGX baseline: the native image runs directly on the host.
+
+The paper plots this as the performance ceiling ("the most insecure
+configuration").
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.core.annotations import activate_runtime, deactivate_runtime
+from repro.core.app import SingleContextSession
+from repro.core.rmi import SingleContextRuntime
+from repro.core.shim import ShimLibc
+from repro.costs.platform import Platform, fresh_platform
+from repro.runtime.context import ExecutionContext, Location, RuntimeKind
+
+
+@contextmanager
+def native_session(
+    platform: Optional[Platform] = None, name: str = "native"
+) -> Iterator[SingleContextSession]:
+    """Run a block as a NoSGX native image."""
+    platform = platform or fresh_platform()
+    ctx = ExecutionContext(platform, Location.HOST, RuntimeKind.NATIVE_IMAGE, label=name)
+    runtime = SingleContextRuntime(ctx)
+    session = SingleContextSession(runtime, ShimLibc(ctx))
+    token = activate_runtime(runtime)
+    try:
+        yield session
+    finally:
+        deactivate_runtime(token)

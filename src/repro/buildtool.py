@@ -1,0 +1,173 @@
+"""Montsalvat build tool: the Fig. 1 workflow as a command.
+
+Points at a Python module containing annotated classes, runs the full
+partitioning pipeline, and writes the build artifacts to an output
+directory:
+
+- the generated EDL file and C transition routines;
+- the Edger8r bridge sources;
+- ``Enclave.config.xml`` (heap/stack/TCS launch parameters);
+- ``manifest.json`` — images, entry points, measurements, sizes;
+- ``tcb_report.txt`` — what ends up inside the enclave.
+
+Usage::
+
+    python -m repro.buildtool repro.apps.bank -o build/ --main Main.main
+    python -m repro.buildtool mymodule --classes Account,Person -o build/
+    python -m repro.buildtool mymodule -o build/ --validate-encapsulation
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.annotations import trust_of
+from repro.core.partitioner import Partitioner, PartitionOptions
+from repro.core.tcb import partitioned_tcb
+from repro.core.validation import EncapsulationValidator
+from repro.errors import PartitionError, ReproError
+from repro.graal.jtypes import TrustLevel
+from repro.sgx.config_xml import render_config_xml
+
+
+def collect_classes(module_name: str, class_names: Optional[Sequence[str]]) -> List[type]:
+    """Import a module and pick up its application classes.
+
+    Without an explicit list, every class defined in the module that
+    carries a trust annotation is selected, plus every unannotated
+    class defined there (neutral classes still matter to the build).
+    """
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise PartitionError(f"cannot import module {module_name!r}: {exc}") from exc
+    if class_names:
+        classes = []
+        for name in class_names:
+            cls = getattr(module, name, None)
+            if not isinstance(cls, type):
+                raise PartitionError(
+                    f"module {module_name!r} has no class {name!r}"
+                )
+            classes.append(cls)
+        return classes
+    classes = [
+        member
+        for member in vars(module).values()
+        if isinstance(member, type) and member.__module__ == module.__name__
+    ]
+    if not classes:
+        raise PartitionError(f"module {module_name!r} defines no classes")
+    return classes
+
+
+def build(
+    module_name: str,
+    output_dir: str,
+    class_names: Optional[Sequence[str]] = None,
+    main: Optional[str] = None,
+    app_name: Optional[str] = None,
+    validate_encapsulation: bool = False,
+) -> dict:
+    """Run the pipeline and write artifacts; returns the manifest."""
+    classes = collect_classes(module_name, class_names)
+    if validate_encapsulation:
+        violations = EncapsulationValidator().validate(classes)
+        for violation in violations:
+            print(f"warning: {violation.describe()}", file=sys.stderr)
+
+    options = PartitionOptions(name=app_name or module_name.rsplit(".", 1)[-1])
+    app = Partitioner(options).partition(classes, main=main)
+
+    os.makedirs(output_dir, exist_ok=True)
+    for filename in app.artifacts.names():
+        with open(os.path.join(output_dir, filename), "w") as handle:
+            handle.write(app.artifacts[filename])
+    with open(os.path.join(output_dir, "Enclave.config.xml"), "w") as handle:
+        handle.write(render_config_xml(options.enclave_config))
+    with open(os.path.join(output_dir, "tcb_report.txt"), "w") as handle:
+        handle.write(partitioned_tcb(app).format() + "\n")
+
+    manifest = {
+        "application": options.name,
+        "module": module_name,
+        "classes": {
+            cls.__name__: trust_of(cls).value for cls in classes
+        },
+        "images": {
+            "trusted": {
+                "artifact": app.images.trusted.artifact_name,
+                "code_bytes": app.images.trusted.code_size_bytes,
+                "measurement": app.images.trusted.measure(),
+                "entry_points": list(app.images.trusted.entry_points),
+                "reachable_methods": len(app.images.trusted.reachable.methods),
+            },
+            "untrusted": {
+                "artifact": app.images.untrusted.artifact_name,
+                "code_bytes": app.images.untrusted.code_size_bytes,
+                "measurement": app.images.untrusted.measure(),
+                "entry_points": list(app.images.untrusted.entry_points),
+                "reachable_methods": len(app.images.untrusted.reachable.methods),
+            },
+        },
+        "enclave_code_bytes": len(app.enclave_code),
+        "generated_files": list(app.artifacts.names())
+        + ["Enclave.config.xml", "tcb_report.txt", "manifest.json"],
+    }
+    with open(os.path.join(output_dir, "manifest.json"), "w") as handle:
+        json.dump(manifest, handle, indent=2)
+    return manifest
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.buildtool",
+        description="Partition an annotated module into SGX build artifacts",
+    )
+    parser.add_argument("module", help="importable module with annotated classes")
+    parser.add_argument("-o", "--output", required=True, help="output directory")
+    parser.add_argument(
+        "--classes", help="comma-separated class names (default: all in module)"
+    )
+    parser.add_argument("--main", help="untrusted 'Class.method' entry point")
+    parser.add_argument("--name", help="application name (default: module name)")
+    parser.add_argument(
+        "--validate-encapsulation",
+        action="store_true",
+        help="warn about foreign field accesses on annotated classes (§5.1)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    class_names = args.classes.split(",") if args.classes else None
+    try:
+        manifest = build(
+            args.module,
+            args.output,
+            class_names=class_names,
+            main=args.main,
+            app_name=args.name,
+            validate_encapsulation=args.validate_encapsulation,
+        )
+    except ReproError as exc:
+        print(f"build failed: {exc}", file=sys.stderr)
+        return 1
+    trusted_image = manifest["images"]["trusted"]
+    print(
+        f"built {manifest['application']}: "
+        f"{trusted_image['artifact']} ({trusted_image['code_bytes']} bytes, "
+        f"{trusted_image['reachable_methods']} methods) + "
+        f"{manifest['images']['untrusted']['artifact']} -> {args.output}/"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,186 @@
+"""Command-line interface: regenerate any paper figure/table.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig3 [--scale small|paper]
+    python -m repro table1
+    python -m repro ablations
+
+``--scale small`` (the default) runs a quick, scaled-down sweep;
+``--scale paper`` uses the paper's parameter ranges.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import fig3_proxy_creation, fig4_rmi, fig5_gc
+from repro.experiments import fig6_synthetic, fig7_paldb, fig9_graphchi
+from repro.experiments import ablations, fig12_specjvm
+from repro.experiments import epc_paging, mapreduce_exp, securekeeper_exp, startup
+
+
+def _fig3(scale: str) -> None:
+    counts = (2_000, 6_000, 10_000) if scale == "small" else fig3_proxy_creation.DEFAULT_COUNTS
+    print(fig3_proxy_creation.run_fig3(counts=counts).format())
+
+
+def _fig4a(scale: str) -> None:
+    counts = (2_000, 6_000) if scale == "small" else (10_000, 50_000, 100_000)
+    print(fig4_rmi.run_fig4a(counts=counts).format())
+
+
+def _fig4b(scale: str) -> None:
+    if scale == "small":
+        table = fig4_rmi.run_fig4b(list_sizes=(10_000, 50_000), invocations=1_000)
+    else:
+        table = fig4_rmi.run_fig4b()
+    print(table.format())
+
+
+def _fig5a(scale: str) -> None:
+    counts = (50_000, 150_000) if scale == "small" else fig5_gc.DEFAULT_COUNTS
+    print(fig5_gc.run_fig5a(counts=counts).format())
+
+
+def _fig5b(scale: str) -> None:
+    if scale == "small":
+        table = fig5_gc.run_fig5b(duration_s=16.0, create_phase_s=8.0, batch=300)
+    else:
+        table = fig5_gc.run_fig5b()
+    print(table.format(y_format="{:.0f}"))
+
+
+def _fig6(scale: str) -> None:
+    if scale == "small":
+        table = fig6_synthetic.run_fig6(percentages=(0, 25, 50, 75, 100), n_classes=30)
+    else:
+        table = fig6_synthetic.run_fig6()
+    print(table.format(y_format="{:.4f}"))
+
+
+def _fig7(scale: str) -> None:
+    counts = (5_000, 15_000) if scale == "small" else fig7_paldb.DEFAULT_KEY_COUNTS
+    print(fig7_paldb.run_fig7(key_counts=counts).format(y_format="{:.3f}"))
+
+
+def _fig9(scale: str) -> None:
+    graphs = (
+        ((2_000, 8_000),) if scale == "small" else fig9_graphchi.DEFAULT_GRAPHS
+    )
+    shards = (1, 3) if scale == "small" else fig9_graphchi.DEFAULT_SHARDS
+    for table in fig9_graphchi.run_fig9(graphs=graphs, shard_counts=shards).values():
+        print(table.format(y_format="{:.3f}"))
+        print()
+
+
+def _fig10(scale: str) -> None:
+    counts = (5_000, 15_000) if scale == "small" else (20_000, 60_000, 100_000)
+    print(fig7_paldb.run_fig10(key_counts=counts).format(y_format="{:.3f}"))
+
+
+def _fig11(scale: str) -> None:
+    if scale == "small":
+        table = fig9_graphchi.run_fig11(
+            n_vertices=5_000, n_edges=20_000, shard_counts=(1, 3)
+        )
+    else:
+        table = fig9_graphchi.run_fig11()
+    print(table.format(y_format="{:.3f}"))
+
+
+def _fig12(scale: str) -> None:
+    print(fig12_specjvm.run_fig12().format(y_format="{:.2f}"))
+
+
+def _table1(scale: str) -> None:
+    ratios = fig12_specjvm.run_table1()
+    print("Table 1 — latency gain of SGX-NI over SCONE+JVM")
+    for kernel, ratio in ratios.items():
+        paper = fig12_specjvm.PAPER_TABLE1[kernel]
+        print(f"  {kernel:<12} {ratio:5.2f}x   (paper: {paper:.2f}x)")
+
+
+def _ablations(scale: str) -> None:
+    ablations.main()
+
+
+def _epc(scale: str) -> None:
+    print(epc_paging.run_epc_paging().format(y_format="{:.4f}"))
+
+
+def _startup(scale: str) -> None:
+    startup.main()
+
+
+def _securekeeper(scale: str) -> None:
+    counts = (300, 600) if scale == "small" else securekeeper_exp.DEFAULT_ENTRY_COUNTS
+    print(securekeeper_exp.run_securekeeper(entry_counts=counts).format(y_format="{:.4f}"))
+
+
+def _mapreduce(scale: str) -> None:
+    counts = (200, 400) if scale == "small" else mapreduce_exp.DEFAULT_LINE_COUNTS
+    print(mapreduce_exp.run_mapreduce(line_counts=counts).format(y_format="{:.4f}"))
+
+
+COMMANDS: Dict[str, Callable[[str], None]] = {
+    "epc": _epc,
+    "startup": _startup,
+    "securekeeper": _securekeeper,
+    "mapreduce": _mapreduce,
+    "fig3": _fig3,
+    "fig4a": _fig4a,
+    "fig4b": _fig4b,
+    "fig5a": _fig5a,
+    "fig5b": _fig5b,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "table1": _table1,
+    "ablations": _ablations,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Montsalvat reproduction: regenerate paper figures/tables",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(COMMANDS) + ["list", "all"],
+        help="which figure/table to regenerate ('list' to enumerate)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("small", "paper"),
+        default="small",
+        help="parameter scale (default: small, quick sweep)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(COMMANDS):
+            print(name)
+        return 0
+    if args.experiment == "all":
+        for name in sorted(COMMANDS):
+            print(f"==== {name} ====")
+            COMMANDS[name](args.scale)
+            print()
+        return 0
+    COMMANDS[args.experiment](args.scale)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

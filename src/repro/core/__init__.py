@@ -1,0 +1,76 @@
+"""Montsalvat core: annotation-based partitioning for enclaves.
+
+The paper's contribution (§5): class-level trust annotations, a
+transformer that splits applications into trusted/untrusted images with
+proxy and relay classes, an RMI-like mechanism for cross-runtime object
+communication, synchronized garbage collection via a GC helper, a shim
+libc for in-enclave syscalls, and an SGX code generator emitting EDL
+and C transition routines.
+
+Public API highlights::
+
+    from repro.core import trusted, untrusted, neutral, Partitioner
+
+    @trusted
+    class Account: ...
+
+    @untrusted
+    class Person: ...
+
+    app = Partitioner().partition([Account, Person], name="bank")
+    with app.start():
+        person = Person("Alice", 100)   # concrete, untrusted heap
+        account = person.get_account()  # proxy to an in-enclave mirror
+"""
+
+from repro.core.annotations import (
+    Side,
+    current_context,
+    current_runtime,
+    neutral,
+    trust_of,
+    trusted,
+    untrusted,
+)
+from repro.core.app import PartitionedApplication, UnpartitionedApplication
+from repro.core.gc_helper import GcHelper
+from repro.core.hashing import IdentityHashStrategy, Md5HashStrategy
+from repro.core.partitioner import Partitioner, PartitionOptions
+from repro.core.registry import MirrorProxyRegistry
+from repro.core.rmi import RmiRuntime
+from repro.core.multi_isolate import MultiIsolateRuntime, upgrade_session
+from repro.core.serialization import SerializationCodec, WireSerializationCodec
+from repro.core.shim import ShimLibc
+from repro.core.tcb import partitioned_tcb, scone_tcb, unpartitioned_tcb
+from repro.core.transformer import BytecodeTransformer, TransformResult
+from repro.core.validation import EncapsulationValidator
+
+__all__ = [
+    "MultiIsolateRuntime",
+    "upgrade_session",
+    "WireSerializationCodec",
+    "partitioned_tcb",
+    "scone_tcb",
+    "unpartitioned_tcb",
+    "EncapsulationValidator",
+    "Side",
+    "current_context",
+    "current_runtime",
+    "neutral",
+    "trust_of",
+    "trusted",
+    "untrusted",
+    "PartitionedApplication",
+    "UnpartitionedApplication",
+    "GcHelper",
+    "IdentityHashStrategy",
+    "Md5HashStrategy",
+    "Partitioner",
+    "PartitionOptions",
+    "MirrorProxyRegistry",
+    "RmiRuntime",
+    "SerializationCodec",
+    "ShimLibc",
+    "BytecodeTransformer",
+    "TransformResult",
+]

@@ -1,0 +1,157 @@
+"""Partitioning language: @trusted, @untrusted, @neutral (§5.1).
+
+Classes are the partitioning boundary. A trusted class is always
+instantiated and manipulated inside the enclave; an untrusted class
+outside. Neutral (unannotated) classes can live on either side and may
+have independent copies in both runtimes.
+
+Where the paper rewrites bytecode, this reproduction rebuilds annotated
+classes with :class:`PartitionMeta`, whose ``__call__`` consults the
+active partitioned runtime: instantiation from the matching side is
+concrete; from the opposite side it creates a proxy and relays the
+construction across the enclave boundary. When no runtime is active the
+classes behave like plain Python classes — which is exactly §5.6's
+unpartitioned mode.
+"""
+
+from __future__ import annotations
+
+import enum
+from contextvars import ContextVar
+from typing import Any, Callable, Optional, TypeVar
+
+from repro.errors import AnnotationError
+from repro.graal.extraction import TRUST_ATTRIBUTE
+from repro.graal.jtypes import TrustLevel
+from repro.runtime.context import ExecutionContext
+
+C = TypeVar("C", bound=type)
+
+#: The runtime currently activated by a PartitionedApplication, if any.
+_active_runtime: "ContextVar[Optional[Any]]" = ContextVar(
+    "montsalvat_active_runtime", default=None
+)
+
+
+class Side(enum.Enum):
+    """The two runtimes of a partitioned application."""
+
+    UNTRUSTED = "untrusted"
+    TRUSTED = "trusted"
+
+    @property
+    def opposite(self) -> "Side":
+        if self is Side.UNTRUSTED:
+            return Side.TRUSTED
+        return Side.UNTRUSTED
+
+
+def side_for(trust: TrustLevel) -> Side:
+    """The side instances of a trust level live on."""
+    if trust is TrustLevel.TRUSTED:
+        return Side.TRUSTED
+    if trust is TrustLevel.UNTRUSTED:
+        return Side.UNTRUSTED
+    raise AnnotationError("neutral classes have no home side")
+
+
+def current_runtime() -> Optional[Any]:
+    """The active :class:`~repro.core.rmi.RmiRuntime`, or ``None``."""
+    return _active_runtime.get()
+
+
+def current_context() -> Optional[ExecutionContext]:
+    """Execution context of the side currently running, or ``None``.
+
+    Application code charges its work here, so the same method body is
+    priced as enclave work when it runs on a mirror inside the enclave
+    and as host work when it runs outside.
+    """
+    runtime = _active_runtime.get()
+    if runtime is None:
+        return None
+    return runtime.context_of(runtime.current_side)
+
+
+def ambient_context() -> ExecutionContext:
+    """Like :func:`current_context`, but an active session is required."""
+    ctx = current_context()
+    if ctx is None:
+        raise AnnotationError(
+            "no active application session; run inside app.start() "
+            "(partitioned, unpartitioned, or a baseline session)"
+        )
+    return ctx
+
+
+def activate_runtime(runtime: Any):
+    """Install ``runtime`` as the active one; returns the reset token."""
+    return _active_runtime.set(runtime)
+
+
+def deactivate_runtime(token) -> None:
+    _active_runtime.reset(token)
+
+
+class PartitionMeta(type):
+    """Metaclass routing instantiation through the active runtime."""
+
+    def __call__(cls, *args: Any, **kwargs: Any) -> Any:
+        runtime = _active_runtime.get()
+        trust = getattr(cls, TRUST_ATTRIBUTE, TrustLevel.NEUTRAL)
+        if runtime is None or trust is TrustLevel.NEUTRAL:
+            return super().__call__(*args, **kwargs)
+        if getattr(cls, "__is_montsalvat_proxy__", False):
+            raise AnnotationError(
+                f"{cls.__name__} is a proxy class; proxies are created by "
+                "the runtime, never instantiated directly"
+            )
+        return runtime.instantiate(cls, args, kwargs)
+
+
+def trust_of(cls: type) -> TrustLevel:
+    """Trust annotation of a class (NEUTRAL when unannotated)."""
+    return getattr(cls, TRUST_ATTRIBUTE, TrustLevel.NEUTRAL)
+
+
+def _annotate(cls: C, trust: TrustLevel) -> C:
+    if not isinstance(cls, type):
+        raise AnnotationError(
+            f"@{trust.value} applies to classes, got {type(cls).__name__}"
+        )
+    existing = getattr(cls, TRUST_ATTRIBUTE, None)
+    if existing is not None and existing is not trust:
+        raise AnnotationError(
+            f"class {cls.__name__} already annotated @{existing.value}; "
+            f"cannot also annotate @{trust.value}"
+        )
+    if trust is TrustLevel.NEUTRAL:
+        setattr(cls, TRUST_ATTRIBUTE, trust)
+        return cls
+    if isinstance(cls, PartitionMeta):
+        setattr(cls, TRUST_ATTRIBUTE, trust)
+        return cls
+    # Rebuild the class under PartitionMeta (the weaving step).
+    namespace = dict(cls.__dict__)
+    namespace.pop("__dict__", None)
+    namespace.pop("__weakref__", None)
+    namespace[TRUST_ATTRIBUTE] = trust
+    rebuilt = PartitionMeta(cls.__name__, cls.__bases__, namespace)
+    rebuilt.__module__ = cls.__module__
+    rebuilt.__qualname__ = getattr(cls, "__qualname__", cls.__name__)
+    return rebuilt  # type: ignore[return-value]
+
+
+def trusted(cls: C) -> C:
+    """Annotate a class @Trusted: instances live inside the enclave."""
+    return _annotate(cls, TrustLevel.TRUSTED)
+
+
+def untrusted(cls: C) -> C:
+    """Annotate a class @Untrusted: instances live outside the enclave."""
+    return _annotate(cls, TrustLevel.UNTRUSTED)
+
+
+def neutral(cls: C) -> C:
+    """Explicitly mark a class neutral (the default for unannotated)."""
+    return _annotate(cls, TrustLevel.NEUTRAL)

@@ -1,0 +1,274 @@
+"""Runnable application facades.
+
+- :class:`PartitionedApplication` — the full Montsalvat runtime: an
+  enclave holding the trusted image, an untrusted host runtime, the
+  RMI machinery, two GC helpers and per-side shim libc instances.
+- :class:`UnpartitionedApplication` — §5.6: one image, entirely inside
+  the enclave.
+- :class:`NativeApplication` — the NoSGX baseline: one image on the
+  host.
+
+All three expose ``start()`` as a context manager; inside the block the
+annotated classes route through the active runtime, so the same
+application code runs in every configuration.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.annotations import (
+    Side,
+    activate_runtime,
+    deactivate_runtime,
+)
+from repro.core.gc_helper import GcHelper
+from repro.core.rmi import RmiRuntime, SideState, SingleContextRuntime
+from repro.core.serialization import SerializationCodec, WireSerializationCodec
+from repro.core.shim import ShimLibc
+from repro.costs.platform import Platform
+from repro.errors import PartitionError
+from repro.graal.image import NativeImage
+from repro.graal.isolate import Isolate
+from repro.runtime.context import ExecutionContext, Location, RuntimeKind
+from repro.sgx.sdk import SgxSdk
+from repro.sgx.transitions import TransitionLayer, TransitionStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.codegen import SgxArtifacts
+    from repro.core.partitioner import PartitionedImages, PartitionOptions
+    from repro.core.transformer import TransformResult
+
+
+class MontsalvatSession:
+    """Live partitioned application (yielded by ``start()``)."""
+
+    def __init__(
+        self,
+        runtime: RmiRuntime,
+        transitions: TransitionLayer,
+        gc_helpers: Dict[Side, GcHelper],
+        libc: Dict[Side, ShimLibc],
+        enclave,
+        images: Optional["PartitionedImages"] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.transitions = transitions
+        self.gc_helpers = gc_helpers
+        self._libc = libc
+        self.enclave = enclave
+        self.images = images
+
+    def startup_heap(self, side: Side) -> Dict[str, Any]:
+        """Build-time-initialised objects of one side's image (§2.2)."""
+        if self.images is None:
+            return {}
+        image = (
+            self.images.trusted if side is Side.TRUSTED else self.images.untrusted
+        )
+        return image.startup_heap()
+
+    @property
+    def platform(self) -> Platform:
+        return self.runtime.platform
+
+    def libc(self, side: Side = Side.UNTRUSTED) -> ShimLibc:
+        return self._libc[side]
+
+    def tick_gc(self, force: bool = False) -> int:
+        """Run both GC helpers; returns mirrors released."""
+        released = 0
+        for helper in self.gc_helpers.values():
+            if force:
+                released += helper.scan_once(collect_python_garbage=True)
+            else:
+                released += helper.maybe_scan()
+        return released
+
+    @property
+    def transition_stats(self) -> TransitionStats:
+        return self.transitions.stats
+
+    def ocall_count(self) -> int:
+        """All ocalls so far: RMI relays + shim + GC releases."""
+        return self.transitions.stats.ocalls + int(
+            self.platform.ledger.count("transition.ocall.shim")
+        )
+
+    def on_side(self, side: Side):
+        return self.runtime.on_side(side)
+
+
+@dataclass
+class PartitionedApplication:
+    """A partitioned, signed, runnable SGX application."""
+
+    platform: Platform
+    name: str
+    classes: Tuple[type, ...]
+    transform: "TransformResult"
+    images: "PartitionedImages"
+    artifacts: "SgxArtifacts"
+    enclave_code: bytes
+    options: "PartitionOptions"
+
+    @contextmanager
+    def start(self) -> Iterator[MontsalvatSession]:
+        """Launch the SGX application and activate the runtime."""
+        sdk = SgxSdk(self.platform)
+        signed = sdk.sign(
+            f"{self.name}-enclave", self.enclave_code, config=self.options.enclave_config
+        )
+        enclave = sdk.create_enclave(signed)
+
+        untrusted_ctx = ExecutionContext(
+            self.platform, Location.HOST, RuntimeKind.NATIVE_IMAGE, label=self.name
+        )
+        trusted_ctx = enclave.ctx
+        untrusted_isolate = Isolate(
+            f"{self.name}-untrusted", untrusted_ctx, self.options.image_heap_max_bytes
+        )
+        trusted_isolate = Isolate(
+            f"{self.name}-trusted", trusted_ctx, self.options.image_heap_max_bytes
+        )
+        transitions = TransitionLayer(
+            self.platform, enclave, switchless=self.options.switchless
+        )
+        codec_cls = (
+            WireSerializationCodec if self.options.wire_format else SerializationCodec
+        )
+        runtime = RmiRuntime(
+            untrusted=SideState.create(Side.UNTRUSTED, untrusted_ctx, untrusted_isolate),
+            trusted=SideState.create(Side.TRUSTED, trusted_ctx, trusted_isolate),
+            transitions=transitions,
+            codec=codec_cls(self.platform, memoize=self.options.memoize_serialization),
+            hash_strategy=self.options.hash_strategy_factory(),
+        )
+        gc_helpers = {
+            side: GcHelper(runtime, side, period_s=self.options.gc_helper_period_s)
+            for side in (Side.UNTRUSTED, Side.TRUSTED)
+        }
+        libc = {
+            Side.UNTRUSTED: ShimLibc(untrusted_ctx),
+            Side.TRUSTED: ShimLibc(trusted_ctx),
+        }
+        # Startup maps each image heap into its application heap (§2.2):
+        # cheap and proportional to the snapshot, not to the init work.
+        for image in (self.images.trusted, self.images.untrusted):
+            if image.image_heap_bytes:
+                self.platform.charge_cycles(
+                    f"startup.image_heap.{image.name}",
+                    image.image_heap_bytes * 0.02,
+                )
+        session = MontsalvatSession(
+            runtime, transitions, gc_helpers, libc, enclave, images=self.images
+        )
+        token = activate_runtime(runtime)
+        try:
+            yield session
+        finally:
+            deactivate_runtime(token)
+            session.tick_gc(force=True)
+            sdk.destroy_enclave(enclave)
+
+    # -- introspection ---------------------------------------------------------
+
+    def trusted_image_contains(self, qualified_name: str) -> bool:
+        return self.images.trusted.contains_method(qualified_name)
+
+    def untrusted_image_contains(self, qualified_name: str) -> bool:
+        return self.images.untrusted.contains_method(qualified_name)
+
+
+class _SingleImageApplication:
+    """Shared machinery for unpartitioned and native runs."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        name: str,
+        classes: Tuple[type, ...],
+        image: Optional[NativeImage],
+        runtime_kind: RuntimeKind = RuntimeKind.NATIVE_IMAGE,
+    ) -> None:
+        self.platform = platform
+        self.name = name
+        self.classes = classes
+        self.image = image
+        self.runtime_kind = runtime_kind
+
+    def _session(self, ctx: ExecutionContext) -> "SingleContextSession":
+        runtime = SingleContextRuntime(ctx)
+        return SingleContextSession(runtime, ShimLibc(ctx))
+
+
+class SingleContextSession:
+    """Session for one-context runs (unpartitioned, NoSGX, JVM)."""
+
+    def __init__(self, runtime: SingleContextRuntime, libc: ShimLibc) -> None:
+        self.runtime = runtime
+        self._libc = libc
+
+    @property
+    def platform(self) -> Platform:
+        return self.runtime.platform
+
+    @property
+    def ctx(self) -> ExecutionContext:
+        return self.runtime.ctx
+
+    def libc(self, side: Side = Side.UNTRUSTED) -> ShimLibc:
+        return self._libc
+
+    def tick_gc(self, force: bool = False) -> int:
+        return 0  # single heap: nothing to synchronise
+
+
+class UnpartitionedApplication(_SingleImageApplication):
+    """§5.6: the original application, one image, whole-in-enclave."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        name: str,
+        classes: Tuple[type, ...],
+        image: NativeImage,
+        options: "PartitionOptions",
+    ) -> None:
+        super().__init__(platform, name, classes, image)
+        self.options = options
+
+    @contextmanager
+    def start(self) -> Iterator[SingleContextSession]:
+        sdk = SgxSdk(self.platform)
+        signed = sdk.sign(
+            f"{self.name}-single-enclave",
+            self.image.code_bytes,
+            config=self.options.enclave_config,
+        )
+        enclave = sdk.create_enclave(signed)
+        session = self._session(enclave.ctx)
+        token = activate_runtime(session.runtime)
+        try:
+            yield session
+        finally:
+            deactivate_runtime(token)
+            sdk.destroy_enclave(enclave)
+
+
+class NativeApplication(_SingleImageApplication):
+    """NoSGX baseline: the native image runs directly on the host."""
+
+    @contextmanager
+    def start(self) -> Iterator[SingleContextSession]:
+        ctx = ExecutionContext(
+            self.platform, Location.HOST, self.runtime_kind, label=self.name
+        )
+        session = self._session(ctx)
+        token = activate_runtime(session.runtime)
+        try:
+            yield session
+        finally:
+            deactivate_runtime(token)

@@ -1,0 +1,89 @@
+"""GC helper: synchronized garbage collection across the heaps (§5.5).
+
+Finalizers are deprecated and have broken semantics (a finalizer can
+resurrect a proxy after its mirror died), so Montsalvat instead keeps a
+weak reference per proxy and runs a helper per runtime that
+periodically scans for cleared referents. A cleared referent means the
+proxy was collected, so the corresponding mirror is released from the
+opposite runtime's mirror-proxy registry — making it eligible for GC
+there unless it is strongly referenced elsewhere.
+
+Two helpers exist per application: one scanning the enclave's proxy
+list, one scanning the untrusted list. ``scan_once`` is the explicit
+tick used by tests/experiments; ``maybe_scan`` implements the periodic
+(default one second of virtual time) schedule.
+"""
+
+from __future__ import annotations
+
+import gc as _python_gc
+from dataclasses import dataclass
+
+from repro.core.annotations import Side
+from repro.core.rmi import RmiRuntime
+
+#: Cycles per tracked entry inspected during a scan.
+_SCAN_ENTRY_CYCLES = 28.0
+
+
+@dataclass
+class GcHelperStats:
+    scans: int = 0
+    dead_found: int = 0
+    mirrors_released: int = 0
+
+
+class GcHelper:
+    """One runtime's GC helper thread (tick-driven in the simulation)."""
+
+    def __init__(
+        self,
+        runtime: RmiRuntime,
+        side: Side,
+        period_s: float = 1.0,
+    ) -> None:
+        self.runtime = runtime
+        self.side = side
+        self.period_s = period_s
+        self.stats = GcHelperStats()
+        self._last_scan_s = runtime.platform.now_s
+
+    def scan_once(self, collect_python_garbage: bool = False) -> int:
+        """Scan the weak-reference list; release mirrors for dead proxies.
+
+        Returns the number of mirrors released in the opposite runtime.
+        ``collect_python_garbage`` forces a host-interpreter collection
+        first so cycles are broken deterministically in tests.
+        """
+        if collect_python_garbage:
+            _python_gc.collect()
+        state = self.runtime.state_of(self.side)
+        entries = len(state.tracker)
+        if entries:
+            self.runtime.platform.charge_cycles(
+                f"gc_helper.scan.{self.side.value}", entries * _SCAN_ENTRY_CYCLES
+            )
+        dead = state.tracker.scan()
+        self.stats.scans += 1
+        self.stats.dead_found += len(dead)
+        if not dead:
+            return 0
+        released = self.runtime.release_remote(self.side, dead)
+        self.stats.mirrors_released += released
+        return released
+
+    def maybe_scan(self) -> int:
+        """Scan only if a full period of virtual time has elapsed."""
+        now = self.runtime.platform.now_s
+        # Small tolerance so scan work charged by a previous period does
+        # not push the next period over the boundary.
+        if now - self._last_scan_s < self.period_s * 0.99:
+            return 0
+        self._last_scan_s = now
+        return self.scan_once()
+
+    def __repr__(self) -> str:
+        return (
+            f"GcHelper(side={self.side.value}, scans={self.stats.scans}, "
+            f"released={self.stats.mirrors_released})"
+        )

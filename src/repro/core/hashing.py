@@ -1,0 +1,64 @@
+"""Proxy/mirror hash strategies (§5.2).
+
+Each proxy object stores a hash identifying its mirror in the opposite
+runtime. The prototype uses Java identity hash codes; the paper notes a
+cryptographic hash like MD5 should be used to minimise collisions. Both
+strategies are provided; the registry treats collisions as errors, and
+tests exercise the collision behaviour explicitly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+
+
+class HashStrategy:
+    """Produces the cross-runtime identity hash for a new proxy."""
+
+    #: Cycles one hash computation costs (charged per proxy creation).
+    cost_cycles: float = 450.0
+
+    def next_hash(self, class_name: str) -> int:
+        raise NotImplementedError
+
+
+class IdentityHashStrategy(HashStrategy):
+    """Java identity-hash analog.
+
+    Identity hashes are small, cheap and *can collide*; the optional
+    ``modulus`` shrinks the space to make collisions reproducible in
+    tests (the paper's motivation for recommending MD5).
+    """
+
+    def __init__(self, modulus: int = 2**31) -> None:
+        if modulus <= 0:
+            raise ConfigurationError("modulus must be positive")
+        self._modulus = modulus
+        self._counter: Iterator[int] = itertools.count(1)
+        # Knuth multiplicative scatter, like identity hashes look.
+        self._scatter = 2654435761
+
+    def next_hash(self, class_name: str) -> int:
+        raw = next(self._counter) * self._scatter
+        return (raw ^ hash(class_name)) % self._modulus
+
+
+class Md5HashStrategy(HashStrategy):
+    """MD5-based hashes over (class name, sequence number, salt)."""
+
+    #: A cryptographic digest costs noticeably more than an identity hash.
+    cost_cycles: float = 1_400.0
+
+    def __init__(self, salt: bytes = b"montsalvat") -> None:
+        self._salt = salt
+        self._counter: Iterator[int] = itertools.count(1)
+
+    def next_hash(self, class_name: str) -> int:
+        digest = hashlib.md5(
+            self._salt + class_name.encode("utf-8") + str(next(self._counter)).encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big")

@@ -1,0 +1,208 @@
+"""Multi-isolate proxy-mirror pairs (the paper's §7 future work).
+
+The base Montsalvat runtime creates one default isolate per side. This
+extension lets an application spawn additional isolates on either side
+and pin objects to them: "extend our proxy-mirror system to permit
+creation and interaction of proxy-mirror object pairs across multiple
+isolates in both the trusted and untrusted runtimes".
+
+Each isolate gets its own heap, mirror-proxy registry and proxy
+tracker, so garbage collection stays independent per isolate (§2.2).
+Hash routing is global per side: a relay can resolve a mirror no matter
+which isolate it was pinned to, and proxies to objects in different
+isolates coexist on the other side.
+
+Usage::
+
+    runtime = MultiIsolateRuntime(untrusted, trusted, transitions, codec)
+    runtime.spawn_isolate(Side.TRUSTED, "crypto")
+    with runtime.in_isolate(Side.TRUSTED, "crypto"):
+        key = SigningKey(...)       # mirror pinned to 'crypto'
+    key.sign(b"payload")            # routed to 'crypto' automatically
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.annotations import Side
+from repro.core.gc_helper import GcHelper
+from repro.core.hashing import HashStrategy
+from repro.core.rmi import RmiRuntime, SideState
+from repro.core.serialization import SerializationCodec
+from repro.errors import RmiError
+from repro.graal.isolate import Isolate
+from repro.sgx.transitions import TransitionLayer
+
+DEFAULT_ISOLATE = "default"
+
+
+class MultiIsolateRuntime(RmiRuntime):
+    """RmiRuntime with several isolates per side."""
+
+    def __init__(
+        self,
+        untrusted: SideState,
+        trusted: SideState,
+        transitions: Optional[TransitionLayer],
+        codec: SerializationCodec,
+        hash_strategy: Optional[HashStrategy] = None,
+    ) -> None:
+        super().__init__(untrusted, trusted, transitions, codec, hash_strategy)
+        self._isolates: Dict[Side, Dict[str, SideState]] = {
+            Side.UNTRUSTED: {DEFAULT_ISOLATE: untrusted},
+            Side.TRUSTED: {DEFAULT_ISOLATE: trusted},
+        }
+        self._active: Dict[Side, str] = {
+            Side.UNTRUSTED: DEFAULT_ISOLATE,
+            Side.TRUSTED: DEFAULT_ISOLATE,
+        }
+        #: Per side: hash -> isolate name, for relay routing.
+        self._hash_home: Dict[Side, Dict[int, str]] = {
+            Side.UNTRUSTED: {},
+            Side.TRUSTED: {},
+        }
+
+    # -- isolate management -----------------------------------------------------
+
+    def spawn_isolate(self, side: Side, name: str) -> SideState:
+        """Create a fresh isolate on ``side`` (own heap, registry, GC)."""
+        isolates = self._isolates[side]
+        if name in isolates:
+            raise RmiError(f"isolate {name!r} already exists on {side.value}")
+        default_state = isolates[DEFAULT_ISOLATE]
+        isolate = Isolate(
+            f"{side.value}-{name}",
+            default_state.ctx,
+            max_heap_bytes=default_state.isolate.heap.max_bytes,
+        )
+        state = SideState.create(side, default_state.ctx, isolate)
+        state.registry.name = f"registry.{side.value}.{name}"
+        state.tracker.name = f"tracker.{side.value}.{name}"
+        isolates[name] = state
+        return state
+
+    def isolate_names(self, side: Side) -> Tuple[str, ...]:
+        return tuple(sorted(self._isolates[side]))
+
+    def tear_down_isolate(self, side: Side, name: str) -> int:
+        """Destroy an isolate; releases every mirror it held.
+
+        Returns the number of mirrors dropped. The default isolate
+        cannot be torn down.
+        """
+        if name == DEFAULT_ISOLATE:
+            raise RmiError("the default isolate cannot be torn down")
+        try:
+            state = self._isolates[side].pop(name)
+        except KeyError:
+            raise RmiError(f"no isolate {name!r} on {side.value}") from None
+        dropped = state.registry.live_count()
+        state.registry.clear()
+        state.isolate.tear_down()
+        homes = self._hash_home[side]
+        for dead_hash in [h for h, home in homes.items() if home == name]:
+            del homes[dead_hash]
+        if self._active[side] == name:
+            self._active[side] = DEFAULT_ISOLATE
+        return dropped
+
+    @contextmanager
+    def in_isolate(self, side: Side, name: str) -> Iterator[SideState]:
+        """Pin this block's ``side`` activity to isolate ``name``."""
+        if name not in self._isolates[side]:
+            raise RmiError(f"no isolate {name!r} on {side.value}; spawn it first")
+        previous = self._active[side]
+        self._active[side] = name
+        try:
+            yield self._isolates[side][name]
+        finally:
+            self._active[side] = previous
+
+    # -- RmiRuntime hooks --------------------------------------------------------
+
+    def state_of(self, side: Side) -> SideState:
+        return self._isolates[side][self._active[side]]
+
+    def mirror_state(self, side: Side, remote_hash: int) -> SideState:
+        home = self._hash_home[side].get(remote_hash)
+        if home is None:
+            return self.state_of(side)
+        state = self._isolates[side].get(home)
+        if state is None:
+            raise RmiError(
+                f"mirror {remote_hash} was pinned to isolate {home!r}, "
+                "which has been torn down"
+            )
+        return state
+
+    def _register_local_mirror(self, side: Side, state: SideState, value) -> int:
+        local_hash = super()._register_local_mirror(side, state, value)
+        self._hash_home[side][local_hash] = self._active[side]
+        return local_hash
+
+    def _create_remote(self, cls, home, args, kwargs):
+        proxy = super()._create_remote(cls, home, args, kwargs)
+        # Record which isolate received the mirror (the one active on
+        # the home side during the relay).
+        self._hash_home[home][proxy._montsalvat_hash] = self._active[home]
+        return proxy
+
+    def release_remote(self, dead_side: Side, hashes) -> int:
+        released = super().release_remote(dead_side, hashes)
+        homes = self._hash_home[dead_side.opposite]
+        for dead_hash in hashes:
+            homes.pop(dead_hash, None)
+        return released
+
+    # -- GC helpers per isolate -----------------------------------------------------
+
+    def scan_isolate(self, side: Side, name: str) -> int:
+        """Run a GC-helper scan for one isolate's proxy list."""
+        with self.in_isolate(side, name):
+            helper = GcHelper(self, side)
+            return helper.scan_once()
+
+    def scan_all(self) -> int:
+        """Scan every isolate on both sides; returns mirrors released."""
+        released = 0
+        for side in (Side.UNTRUSTED, Side.TRUSTED):
+            for name in list(self._isolates[side]):
+                released += self.scan_isolate(side, name)
+        return released
+
+    def describe_isolates(self) -> str:
+        lines: List[str] = []
+        for side in (Side.UNTRUSTED, Side.TRUSTED):
+            for name, state in sorted(self._isolates[side].items()):
+                lines.append(
+                    f"{side.value}/{name}: mirrors={state.registry.live_count()} "
+                    f"proxies={state.tracker.live_count()}"
+                )
+        return "\n".join(lines)
+
+
+def upgrade_session(session) -> MultiIsolateRuntime:
+    """Swap a running session's two-sided runtime for a multi-isolate
+    one, preserving the default isolates' state objects.
+
+    The returned runtime is also installed as the session's active
+    runtime object for subsequent instantiations.
+    """
+    from repro.core.annotations import activate_runtime
+
+    base = session.runtime
+    runtime = MultiIsolateRuntime(
+        untrusted=base.state_of(Side.UNTRUSTED),
+        trusted=base.state_of(Side.TRUSTED),
+        transitions=base.transitions,
+        codec=base.codec,
+        hash_strategy=base.hash_strategy,
+    )
+    runtime.current_side = base.current_side
+    session.runtime = runtime
+    for helper in session.gc_helpers.values():
+        helper.runtime = runtime
+    activate_runtime(runtime)
+    return runtime

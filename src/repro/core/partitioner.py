@@ -1,0 +1,224 @@
+"""Partitioner: drives Montsalvat's four-phase workflow (Fig. 1).
+
+1. **Code annotation** — the developer's @trusted/@untrusted decorators
+   (already applied to the classes handed in);
+2. **Bytecode transformation** — proxy classes and relay methods
+   (:mod:`repro.core.transformer`);
+3. **Native image partitioning** — two relocatable images built from
+   (T ∪ N) and (U ∪ N) with reachability pruning
+   (:mod:`repro.graal.builder`);
+4. **SGX application creation** — generated EDL + C transition routines
+   linked with the trusted image, the shim library and the GraalVM
+   native libraries into the signed enclave object
+   (:mod:`repro.core.codegen`, :mod:`repro.sgx.sdk`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.core.annotations import trust_of
+from repro.core.app import PartitionedApplication, UnpartitionedApplication
+from repro.core.codegen import SgxArtifacts, SgxCodeGenerator
+from repro.core.hashing import HashStrategy, IdentityHashStrategy
+from repro.core.transformer import BytecodeTransformer, TransformResult
+from repro.costs.machine import GB
+from repro.costs.platform import Platform, fresh_platform
+from repro.errors import PartitionError
+from repro.graal.builder import BuildOptions, LinkMode, NativeImageBuilder
+from repro.graal.extraction import extract_classes
+from repro.graal.image import NativeImage
+from repro.graal.jtypes import TrustLevel
+from repro.sgx.enclave import EnclaveConfig
+
+
+@dataclass
+class PartitionOptions:
+    """Knobs for the partitioning pipeline."""
+
+    name: str = "montsalvat_app"
+    image_heap_max_bytes: int = 2 * GB  # §6.1: images built with 2 GB heaps
+    enclave_config: EnclaveConfig = field(default_factory=EnclaveConfig)
+    switchless: bool = False  # future-work extension (§7)
+    gc_helper_period_s: float = 1.0
+    hash_strategy_factory: type = IdentityHashStrategy
+    #: Cache repeated serializations by identity (micro-benchmarks only).
+    memoize_serialization: bool = False
+    #: Use the explicit wire format instead of pickle for neutral
+    #: arguments: the decoder executes no code at the enclave boundary,
+    #: but only plain data types are supported.
+    wire_format: bool = False
+
+
+@dataclass(frozen=True)
+class PartitionedImages:
+    """Output of phase 3: the two relocatable object files."""
+
+    trusted: NativeImage
+    untrusted: NativeImage
+
+    @property
+    def trusted_artifact(self) -> str:
+        return self.trusted.artifact_name  # "…-trusted.o"
+
+    @property
+    def untrusted_artifact(self) -> str:
+        return self.untrusted.artifact_name
+
+
+def collect_build_time_init(classes: Sequence[type]):
+    """Gather ``__build_init__`` hooks: §2.2's build-time initialisation.
+
+    A class may define ``__build_init__(image_heap)`` as a classmethod;
+    it runs during the image build and stores its results in the image
+    heap, which is memory-mapped back at startup — "initialize once,
+    start fast".
+    """
+    hooks = [
+        cls for cls in classes if callable(getattr(cls, "__build_init__", None))
+    ]
+    if not hooks:
+        return None
+
+    def run(image_heap) -> None:
+        for cls in hooks:
+            cls.__build_init__(image_heap)
+
+    return run
+
+
+class Partitioner:
+    """End-to-end pipeline from annotated classes to an SGX application."""
+
+    def __init__(self, options: Optional[PartitionOptions] = None) -> None:
+        self.options = options or PartitionOptions()
+        self.transformer = BytecodeTransformer()
+
+    def partition(
+        self,
+        classes: Sequence[type],
+        main: Optional[str] = None,
+        platform: Optional[Platform] = None,
+    ) -> PartitionedApplication:
+        """Partition annotated ``classes`` into a runnable SGX application.
+
+        ``main`` is the untrusted ``"Class.method"`` entry point; when
+        omitted, the untrusted image is entered through its relay
+        methods only.
+        """
+        platform = platform or fresh_platform()
+        ir = extract_classes(classes)
+        self._validate(classes)
+
+        result = self.transformer.transform(ir, main_entry=main)
+        images = self.build_images(result, classes)
+        artifacts = SgxCodeGenerator(self.options.name).generate(result)
+        enclave_code = self._link_enclave(images.trusted, artifacts)
+
+        return PartitionedApplication(
+            platform=platform,
+            name=self.options.name,
+            classes=tuple(classes),
+            transform=result,
+            images=images,
+            artifacts=artifacts,
+            enclave_code=enclave_code,
+            options=self.options,
+        )
+
+    def unpartitioned(
+        self,
+        classes: Sequence[type],
+        main: Optional[str] = None,
+        platform: Optional[Platform] = None,
+    ) -> UnpartitionedApplication:
+        """§5.6: run the whole application as one in-enclave image.
+
+        No annotations are required and no bytecode is modified; the
+        single image is linked entirely into the enclave object.
+        """
+        platform = platform or fresh_platform()
+        ir = extract_classes(classes)
+        universe_builder = NativeImageBuilder(
+            BuildOptions(
+                max_heap_bytes=self.options.image_heap_max_bytes,
+                link_mode=LinkMode.RELOCATABLE,
+            )
+        )
+        entry_points = [main] if main else self._all_public_entry_points(ir)
+        from repro.graal.jtypes import ClassUniverse
+
+        image = universe_builder.build(
+            f"{self.options.name}-single",
+            ClassUniverse(ir),
+            entry_points,
+            build_time_init=collect_build_time_init(classes),
+        )
+        return UnpartitionedApplication(
+            platform=platform,
+            name=self.options.name,
+            classes=tuple(classes),
+            image=image,
+            options=self.options,
+        )
+
+    # -- phase 3 ----------------------------------------------------------------
+
+    def build_images(
+        self, result: TransformResult, classes: Sequence[type] = ()
+    ) -> PartitionedImages:
+        builder = NativeImageBuilder(
+            BuildOptions(
+                max_heap_bytes=self.options.image_heap_max_bytes,
+                link_mode=LinkMode.RELOCATABLE,
+            )
+        )
+        trusted_inits = [c for c in classes if trust_of(c) is TrustLevel.TRUSTED]
+        untrusted_inits = [c for c in classes if trust_of(c) is not TrustLevel.TRUSTED]
+        trusted = builder.build(
+            f"{self.options.name}-trusted",
+            result.trusted_universe,
+            result.trusted_entry_points,
+            build_time_init=collect_build_time_init(trusted_inits),
+        )
+        untrusted = builder.build(
+            f"{self.options.name}-untrusted",
+            result.untrusted_universe,
+            result.untrusted_entry_points,
+            build_time_init=collect_build_time_init(untrusted_inits),
+        )
+        return PartitionedImages(trusted=trusted, untrusted=untrusted)
+
+    # -- phase 4 ----------------------------------------------------------------
+
+    def _link_enclave(self, trusted_image: NativeImage, artifacts: SgxArtifacts) -> bytes:
+        """Link trusted.o + generated ecalls + shim + GraalVM libs into
+        the enclave shared object (returned as measurable bytes)."""
+        shim_stub = b"montsalvat-shim-libc-v1"
+        generated = "".join(
+            artifacts[name] for name in artifacts.names()
+        ).encode("utf-8")
+        return trusted_image.code_bytes + generated + shim_stub
+
+    # -- validation ----------------------------------------------------------------
+
+    def _validate(self, classes: Sequence[type]) -> None:
+        names = [cls.__name__ for cls in classes]
+        if len(set(names)) != len(names):
+            raise PartitionError("duplicate class names in the application")
+        trusted = [c for c in classes if trust_of(c) is TrustLevel.TRUSTED]
+        if not trusted:
+            raise PartitionError(
+                "partitioning requires at least one @trusted class; use "
+                "Partitioner.unpartitioned() for enclave-only images (§5.6)"
+            )
+
+    def _all_public_entry_points(self, ir) -> list:
+        entries = []
+        for jclass in ir.values():
+            for method in jclass.public_methods():
+                entries.append(method.qualified_name)
+        if not entries:
+            raise PartitionError("no public methods to use as entry points")
+        return entries

@@ -1,0 +1,154 @@
+"""Proxy classes: stripped stand-ins for remote objects (§5.2).
+
+A proxy exposes the same public methods as the original class, but
+every method body is replaced by transition logic that relays the
+invocation to the mirror object in the opposite runtime. Fields are
+stripped; only the identifying hash remains. Proxies subclass the
+original class so ``isinstance`` keeps working across the partition.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Dict, Optional, Type
+
+from repro.errors import RmiError
+
+#: Proxy bookkeeping attribute names (slots on the generated classes).
+HASH_ATTR = "_montsalvat_hash"
+RUNTIME_ATTR = "_montsalvat_runtime"
+SIDE_ATTR = "_montsalvat_target_side"
+
+_proxy_class_cache: Dict[type, type] = {}
+
+
+def is_proxy(obj: Any) -> bool:
+    """Is ``obj`` a proxy instance?"""
+    return getattr(type(obj), "__is_montsalvat_proxy__", False)
+
+
+def proxy_hash(obj: Any) -> int:
+    """The cross-runtime hash a proxy carries."""
+    try:
+        return getattr(obj, HASH_ATTR)
+    except AttributeError:
+        raise RmiError(f"{type(obj).__name__} instance is not a proxy") from None
+
+
+def make_proxy_class(cls: type) -> type:
+    """Build (or fetch from cache) the proxy class for ``cls``.
+
+    Mirrors the bytecode transformer's output (Listings 2 and 3):
+    public methods forward through the runtime; private methods are
+    stripped and raise if touched; ``__init__`` is unusable because
+    proxies are only created by the runtime.
+    """
+    cached = _proxy_class_cache.get(cls)
+    if cached is not None:
+        return cached
+
+    namespace: Dict[str, Any] = {
+        "__is_montsalvat_proxy__": True,
+        "__module__": cls.__module__,
+        "__qualname__": f"{cls.__qualname__}Proxy",
+        "__doc__": f"Montsalvat proxy for {cls.__name__} (generated).",
+        "__init__": _unusable_init,
+        "__repr__": _proxy_repr,
+        "get_hash": _get_hash,
+    }
+    for name, member in _all_methods(cls).items():
+        if name == "__init__" or name in namespace:
+            continue
+        if name.startswith("__") and name.endswith("__"):
+            continue  # leave object protocol methods alone
+        if name.startswith("_"):
+            namespace[name] = _stripped_method(cls.__name__, name)
+        elif isinstance(member, staticmethod):
+            namespace[name] = staticmethod(_forwarding_static(cls, name))
+        else:
+            namespace[name] = _forwarding_method(name)
+
+    proxy_cls = type(cls)(f"{cls.__name__}Proxy", (cls,), namespace)
+    _proxy_class_cache[cls] = proxy_cls
+    return proxy_cls
+
+
+def construct_proxy(
+    cls: type, runtime: Any, target_side: Any, remote_hash: int
+) -> Any:
+    """Instantiate a proxy without running any constructor."""
+    proxy_cls = make_proxy_class(cls)
+    proxy = object.__new__(proxy_cls)
+    object.__setattr__(proxy, HASH_ATTR, remote_hash)
+    object.__setattr__(proxy, RUNTIME_ATTR, runtime)
+    object.__setattr__(proxy, SIDE_ATTR, target_side)
+    return proxy
+
+
+# -- generated members ------------------------------------------------------
+
+
+def _all_methods(cls: type) -> Dict[str, Any]:
+    """Methods across the MRO (most-derived wins), excluding object."""
+    methods: Dict[str, Any] = {}
+    for klass in reversed(cls.__mro__):
+        if klass is object:
+            continue
+        for name, member in vars(klass).items():
+            if callable(member) or isinstance(member, (staticmethod, classmethod)):
+                methods[name] = member
+    return methods
+
+
+def _forwarding_method(name: str):
+    def forward(self: Any, *args: Any, **kwargs: Any) -> Any:
+        runtime = getattr(self, RUNTIME_ATTR)
+        return runtime.invoke(self, name, args, kwargs)
+
+    forward.__name__ = name
+    forward.__qualname__ = f"proxy.{name}"
+    forward.__doc__ = f"Relay {name}() to the mirror in the opposite runtime."
+    return forward
+
+
+def _forwarding_static(cls: type, name: str):
+    @functools.wraps(getattr(cls, name))
+    def forward(*args: Any, **kwargs: Any) -> Any:
+        raise RmiError(
+            f"static method {cls.__name__}.{name} must be called on the "
+            "annotated class, not on a proxy"
+        )
+
+    return forward
+
+
+def _stripped_method(class_name: str, name: str):
+    def stripped(self: Any, *args: Any, **kwargs: Any) -> Any:
+        raise RmiError(
+            f"{class_name}.{name} is private and was stripped from the "
+            "proxy; private members never cross the enclave boundary"
+        )
+
+    stripped.__name__ = name
+    return stripped
+
+
+def _unusable_init(self: Any, *args: Any, **kwargs: Any) -> None:
+    raise RmiError(
+        "proxy classes are instantiated by the Montsalvat runtime, "
+        "never directly"
+    )
+
+
+def _proxy_repr(self: Any) -> str:
+    side = getattr(self, SIDE_ATTR, None)
+    side_name = getattr(side, "value", "?")
+    return (
+        f"<{type(self).__name__} hash={getattr(self, HASH_ATTR, '?')} "
+        f"mirror-side={side_name}>"
+    )
+
+
+def _get_hash(self: Any) -> int:
+    """The proxy's identifying hash (Listing 5's ``acc.getHash()``)."""
+    return getattr(self, HASH_ATTR)

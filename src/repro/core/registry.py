@@ -1,0 +1,91 @@
+"""Mirror-proxy registry (§5.2).
+
+Each runtime keeps a registry mapping proxy hashes to the strong
+references of their local mirror objects. Relay methods of constructors
+add entries; relay methods of instance methods look entries up; the GC
+helper removes entries when the opposite runtime's proxy dies, making
+the mirror eligible for collection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.errors import RegistryError
+
+
+class MirrorProxyRegistry:
+    """Hash -> mirror strong references for one runtime."""
+
+    def __init__(self, name: str = "registry") -> None:
+        self.name = name
+        self._mirrors: Dict[int, Any] = {}
+        self.adds = 0
+        self.removes = 0
+        self.lookups = 0
+
+    def add(self, proxy_hash: int, mirror: Any) -> None:
+        """Register a freshly created mirror under its proxy's hash."""
+        if proxy_hash in self._mirrors:
+            raise RegistryError(
+                f"hash collision in {self.name!r}: {proxy_hash} already maps "
+                f"to a {type(self._mirrors[proxy_hash]).__name__}"
+            )
+        self._mirrors[proxy_hash] = mirror
+        self.adds += 1
+
+    def get(self, proxy_hash: int) -> Any:
+        """Look up the mirror for an incoming relay invocation."""
+        self.lookups += 1
+        try:
+            return self._mirrors[proxy_hash]
+        except KeyError:
+            raise RegistryError(
+                f"no mirror registered in {self.name!r} for hash {proxy_hash} "
+                "(released by the GC helper, or never created)"
+            ) from None
+
+    def contains(self, proxy_hash: int) -> bool:
+        return proxy_hash in self._mirrors
+
+    def remove(self, proxy_hash: int) -> Any:
+        """Release a mirror (GC-helper path); returns the mirror."""
+        try:
+            mirror = self._mirrors.pop(proxy_hash)
+        except KeyError:
+            raise RegistryError(
+                f"cannot release unknown hash {proxy_hash} from {self.name!r}"
+            ) from None
+        self.removes += 1
+        return mirror
+
+    def discard(self, proxy_hash: int) -> bool:
+        """Remove if present; returns whether an entry was removed.
+
+        The GC helper uses this: a release can race with an explicit
+        shutdown that already cleared the registry.
+        """
+        if proxy_hash in self._mirrors:
+            self._mirrors.pop(proxy_hash)
+            self.removes += 1
+            return True
+        return False
+
+    def hash_of(self, mirror: Any) -> Tuple[bool, int]:
+        """Reverse lookup: (found, hash) for a mirror object."""
+        for proxy_hash, candidate in self._mirrors.items():
+            if candidate is mirror:
+                return True, proxy_hash
+        return False, 0
+
+    def live_count(self) -> int:
+        return len(self._mirrors)
+
+    def clear(self) -> None:
+        self._mirrors.clear()
+
+    def __len__(self) -> int:
+        return len(self._mirrors)
+
+    def __repr__(self) -> str:
+        return f"MirrorProxyRegistry({self.name!r}, mirrors={len(self._mirrors)})"

@@ -1,0 +1,479 @@
+"""RMI-like cross-runtime object communication (§5.2, §5.3).
+
+The :class:`RmiRuntime` is the live machinery behind the generated
+proxy and relay methods:
+
+- instantiating an annotated class from its home side constructs a
+  concrete object on that side's heap;
+- instantiating it from the opposite side creates a proxy, performs the
+  enclave transition, constructs the *mirror* in the opposite runtime,
+  and registers it in the mirror-proxy registry under the proxy's hash;
+- invoking a proxy method serializes neutral arguments, passes hashes
+  for annotated arguments, crosses the boundary, dispatches through the
+  relay to the mirror, and returns the encoded result.
+
+Argument/return encoding follows §5.2 exactly: primitives travel
+directly; proxy parameters travel as their hash and are resolved to the
+mirror; concrete annotated parameters are registered and travel as a
+hash the opposite side wraps in a proxy; everything else is treated as
+a neutral object and serialized.
+"""
+
+from __future__ import annotations
+
+import weakref
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.core.annotations import Side, side_for, trust_of
+from repro.core.hashing import HashStrategy, IdentityHashStrategy
+from repro.core.proxy import (
+    HASH_ATTR,
+    SIDE_ATTR,
+    construct_proxy,
+    is_proxy,
+    proxy_hash,
+)
+from repro.core.registry import MirrorProxyRegistry
+from repro.core.serialization import SerializationCodec
+from repro.errors import RmiError
+from repro.graal.isolate import Isolate
+from repro.graal.jtypes import TrustLevel
+from repro.runtime.context import ExecutionContext, Location
+from repro.runtime.tracker import ProxyTracker
+from repro.sgx.transitions import TransitionLayer
+
+#: Default simulated footprint of an annotated-class instance.
+DEFAULT_OBJECT_BYTES = 64
+
+#: Class attribute overriding the simulated instance footprint.
+SIZE_ATTRIBUTE = "__montsalvat_size__"
+
+_PRIMITIVES = (bool, int, float, type(None))
+
+
+@dataclass
+class SideState:
+    """Everything one runtime (one image) owns."""
+
+    side: Side
+    ctx: ExecutionContext
+    isolate: Isolate
+    registry: MirrorProxyRegistry
+    tracker: ProxyTracker
+    proxy_cache: Dict[int, "weakref.ReferenceType[Any]"] = field(default_factory=dict)
+    #: id(mirror) -> hash, for re-encoding local concretes as back-refs.
+    mirror_hashes: Dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def create(cls, side: Side, ctx: ExecutionContext, isolate: Isolate) -> "SideState":
+        return cls(
+            side=side,
+            ctx=ctx,
+            isolate=isolate,
+            registry=MirrorProxyRegistry(name=f"registry.{side.value}"),
+            tracker=ProxyTracker(name=f"tracker.{side.value}"),
+        )
+
+
+class RmiRuntime:
+    """Two-sided partitioned runtime."""
+
+    def __init__(
+        self,
+        untrusted: SideState,
+        trusted: SideState,
+        transitions: Optional[TransitionLayer],
+        codec: SerializationCodec,
+        hash_strategy: Optional[HashStrategy] = None,
+    ) -> None:
+        self._states = {Side.UNTRUSTED: untrusted, Side.TRUSTED: trusted}
+        self.transitions = transitions
+        self.codec = codec
+        self.hash_strategy = hash_strategy or IdentityHashStrategy()
+        self.current_side = Side.UNTRUSTED
+        self.platform = untrusted.ctx.platform
+
+    # -- wiring ---------------------------------------------------------------
+
+    def state_of(self, side: Side) -> SideState:
+        """The side's active state (hook for multi-isolate runtimes)."""
+        return self._states[side]
+
+    def mirror_state(self, side: Side, remote_hash: int) -> SideState:
+        """The state holding ``remote_hash``'s mirror on ``side``.
+
+        The default two-state runtime has one registry per side; the
+        multi-isolate extension overrides this to route by hash.
+        """
+        return self.state_of(side)
+
+    def context_of(self, side: Side) -> ExecutionContext:
+        return self.state_of(side).ctx
+
+    @contextmanager
+    def on_side(self, side: Side):
+        """Execute a block as if running on ``side``."""
+        previous = self.current_side
+        self.current_side = side
+        try:
+            yield self.state_of(side)
+        finally:
+            self.current_side = previous
+
+    # -- instantiation (PartitionMeta hook) -------------------------------------
+
+    def instantiate(self, cls: type, args: Tuple[Any, ...], kwargs: Dict[str, Any]) -> Any:
+        trust = trust_of(cls)
+        if trust is TrustLevel.NEUTRAL:
+            return self._construct_concrete(cls, args, kwargs)
+        home = side_for(trust)
+        if self.current_side is home:
+            return self._construct_concrete(cls, args, kwargs)
+        return self._create_remote(cls, home, args, kwargs)
+
+    def _construct_concrete(
+        self, cls: type, args: Tuple[Any, ...], kwargs: Dict[str, Any]
+    ) -> Any:
+        state = self.state_of(self.current_side)
+        size = getattr(cls, SIZE_ATTRIBUTE, DEFAULT_OBJECT_BYTES)
+        state.ctx.allocate(size, count=1)
+        obj = object.__new__(cls)
+        obj.__init__(*args, **kwargs)
+        return obj
+
+    def _create_remote(
+        self, cls: type, home: Side, args: Tuple[Any, ...], kwargs: Dict[str, Any]
+    ) -> Any:
+        caller = self.current_side
+        rmi_costs = self.platform.cost_model.rmi
+        self.platform.charge_cycles(
+            "rmi.hash", getattr(self.hash_strategy, "cost_cycles", rmi_costs.hash_cycles)
+        )
+        remote_hash = self.hash_strategy.next_hash(cls.__name__)
+
+        encoded_args, encoded_kwargs, payload = self._encode_call(args, kwargs, caller)
+
+        def relay_constructor() -> None:
+            with self.on_side(home) as target_state:
+                decoded_args, decoded_kwargs = self._decode_call(
+                    encoded_args, encoded_kwargs, home
+                )
+                mirror = self._construct_concrete(cls, decoded_args, decoded_kwargs)
+                self.platform.charge_cycles(
+                    "rmi.registry", rmi_costs.registry_op_cycles
+                )
+                target_state.registry.add(remote_hash, mirror)
+                target_state.mirror_hashes[id(mirror)] = remote_hash
+
+        self._cross(caller, home, f"relay_{cls.__name__}_init", relay_constructor, payload)
+
+        proxy = construct_proxy(cls, self, home, remote_hash)
+        self.platform.charge_cycles("rmi.weakref", rmi_costs.weakref_track_cycles)
+        caller_state = self.state_of(caller)
+        caller_state.tracker.track(proxy, remote_hash)
+        caller_state.proxy_cache[remote_hash] = weakref.ref(proxy)
+        return proxy
+
+    # -- invocation (proxy hook) -------------------------------------------------
+
+    def invoke(
+        self, proxy: Any, method_name: str, args: Tuple[Any, ...], kwargs: Dict[str, Any]
+    ) -> Any:
+        target: Side = getattr(proxy, SIDE_ATTR)
+        remote_hash: int = getattr(proxy, HASH_ATTR)
+        caller = self.current_side
+        rmi_costs = self.platform.cost_model.rmi
+
+        if caller is target:
+            # The proxy crossed back to its mirror's own side; dispatch
+            # locally without a transition.
+            mirror = self.mirror_state(target, remote_hash).registry.get(remote_hash)
+            return getattr(mirror, method_name)(*args, **kwargs)
+
+        encoded_args, encoded_kwargs, payload = self._encode_call(args, kwargs, caller)
+        class_name = type(proxy).__name__.replace("Proxy", "")
+
+        def relay_method() -> Any:
+            with self.on_side(target):
+                self.platform.charge_cycles(
+                    "rmi.registry", rmi_costs.registry_op_cycles
+                )
+                mirror = self.mirror_state(target, remote_hash).registry.get(
+                    remote_hash
+                )
+                decoded_args, decoded_kwargs = self._decode_call(
+                    encoded_args, encoded_kwargs, target
+                )
+                result = getattr(mirror, method_name)(*decoded_args, **decoded_kwargs)
+                return self._encode_value(result, target)
+
+        encoded_result = self._cross(
+            caller, target, f"relay_{class_name}_{method_name}", relay_method, payload
+        )
+        return self._decode_value(encoded_result, caller)
+
+    def invoke_static(
+        self, cls: type, method_name: str, args: Tuple[Any, ...], kwargs: Dict[str, Any]
+    ) -> Any:
+        """Relay a static method of an annotated class (all methods of a
+        trusted class execute inside the enclave, §5.1)."""
+        home = side_for(trust_of(cls))
+        caller = self.current_side
+        func = getattr(cls, method_name)
+        if caller is home:
+            return func(*args, **kwargs)
+        encoded_args, encoded_kwargs, payload = self._encode_call(args, kwargs, caller)
+
+        def relay_static() -> Any:
+            with self.on_side(home):
+                decoded_args, decoded_kwargs = self._decode_call(
+                    encoded_args, encoded_kwargs, home
+                )
+                result = func(*decoded_args, **decoded_kwargs)
+                return self._encode_value(result, home)
+
+        encoded_result = self._cross(
+            caller, home, f"relay_{cls.__name__}_{method_name}", relay_static, payload
+        )
+        return self._decode_value(encoded_result, caller)
+
+    # -- GC-helper support ----------------------------------------------------------
+
+    def release_remote(self, dead_side: Side, hashes: Iterable[int]) -> int:
+        """Release mirrors in the side opposite ``dead_side``.
+
+        Called by the GC helper after it found dead proxies on
+        ``dead_side``; performs one batched transition.
+        """
+        dead_list = list(hashes)
+        if not dead_list:
+            return 0
+        opposite = dead_side.opposite
+        rmi_costs = self.platform.cost_model.rmi
+
+        def release() -> int:
+            released = 0
+            with self.on_side(opposite) as state:
+                for dead_hash in dead_list:
+                    self.platform.charge_cycles(
+                        "rmi.registry", rmi_costs.registry_op_cycles
+                    )
+                    if self.mirror_state(opposite, dead_hash).registry.discard(
+                        dead_hash
+                    ):
+                        released += 1
+                    state.proxy_cache.pop(dead_hash, None)
+            return released
+
+        with self.on_side(dead_side):
+            return self._cross(
+                dead_side, opposite, "gc_release", release, payload=8 * len(dead_list)
+            )
+
+    # -- encoding -------------------------------------------------------------------
+
+    def _encode_call(
+        self, args: Tuple[Any, ...], kwargs: Dict[str, Any], side: Side
+    ) -> Tuple[Tuple[Any, ...], Dict[str, Any], int]:
+        encoded_args = tuple(self._encode_value(a, side) for a in args)
+        encoded_kwargs = {k: self._encode_value(v, side) for k, v in kwargs.items()}
+        payload = sum(e[2] for e in encoded_args) + sum(
+            e[2] for e in encoded_kwargs.values()
+        )
+        return encoded_args, encoded_kwargs, payload
+
+    def _decode_call(
+        self, encoded_args: Tuple[Any, ...], encoded_kwargs: Dict[str, Any], side: Side
+    ) -> Tuple[Tuple[Any, ...], Dict[str, Any]]:
+        args = tuple(self._decode_value(e, side) for e in encoded_args)
+        kwargs = {k: self._decode_value(v, side) for k, v in encoded_kwargs.items()}
+        return args, kwargs
+
+    def _encode_value(self, value: Any, side: Side) -> Tuple[str, Any, int]:
+        """Encode one value on ``side``; returns (tag, payload, bytes)."""
+        if isinstance(value, _PRIMITIVES):
+            return ("prim", value, 8)
+        if is_proxy(value):
+            target_side = getattr(value, SIDE_ATTR)
+            if target_side is side:
+                # The mirror lives on the *encoding* side (the proxy was
+                # carried across): the decoder needs a proxy back to it.
+                return (
+                    "proxy_ref",
+                    (proxy_hash(value), _concrete_class(type(value))),
+                    8,
+                )
+            # Normal case: the decoder side holds the mirror.
+            return ("mirror_ref", (proxy_hash(value)), 8)
+        if trust_of(type(value)) is not TrustLevel.NEUTRAL:
+            # Concrete annotated instance: register it locally so the
+            # opposite side can address it through a proxy.
+            state = self.state_of(side)
+            local_hash = state.mirror_hashes.get(id(value))
+            if local_hash is None:
+                local_hash = self._register_local_mirror(side, state, value)
+            return ("proxy_ref", (local_hash, _concrete_class(type(value))), 8)
+        buffer = self.codec.serialize(value, self._location(side))
+        return ("ser", buffer, len(buffer))
+
+    def _register_local_mirror(self, side: Side, state: SideState, value: Any) -> int:
+        """Register a local concrete as a mirror; returns its new hash.
+
+        Hook: the multi-isolate extension overrides this to remember
+        which isolate the mirror lives in.
+        """
+        local_hash = self.hash_strategy.next_hash(type(value).__name__)
+        self.platform.charge_cycles(
+            "rmi.registry", self.platform.cost_model.rmi.registry_op_cycles
+        )
+        state.registry.add(local_hash, value)
+        state.mirror_hashes[id(value)] = local_hash
+        return local_hash
+
+    def _decode_value(self, encoded: Tuple[str, Any, int], side: Side) -> Any:
+        tag, payload, _ = encoded
+        if tag == "prim":
+            return payload
+        if tag == "mirror_ref":
+            return self.mirror_state(side, payload).registry.get(payload)
+        if tag == "proxy_ref":
+            remote_hash, cls = payload
+            return self._proxy_for(side, cls, remote_hash)
+        if tag == "ser":
+            return self.codec.deserialize(payload, self._location(side))
+        raise RmiError(f"unknown encoding tag {tag!r}")
+
+    def _proxy_for(self, side: Side, cls: type, remote_hash: int) -> Any:
+        state = self.state_of(side)
+        cached = state.proxy_cache.get(remote_hash)
+        if cached is not None:
+            existing = cached()
+            if existing is not None:
+                return existing
+        proxy = construct_proxy(cls, self, side.opposite, remote_hash)
+        self.platform.charge_cycles(
+            "rmi.weakref", self.platform.cost_model.rmi.weakref_track_cycles
+        )
+        state.tracker.track(proxy, remote_hash)
+        state.proxy_cache[remote_hash] = weakref.ref(proxy)
+        return proxy
+
+    # -- transitions -------------------------------------------------------------------
+
+    def _cross(self, caller: Side, target: Side, name: str, body, payload: int) -> Any:
+        """Perform the boundary crossing and marshal outcomes.
+
+        Application exceptions raised on the target side cannot cross a
+        real enclave boundary as live objects: they are serialized as
+        (type name, args), and re-raised on the caller side — builtin
+        exception types are reconstructed, anything else surfaces as
+        :class:`RmiError`. Infrastructure errors (:class:`ReproError`)
+        propagate directly; they belong to the runtime, not the app.
+        """
+        from repro.errors import ReproError
+
+        def guarded() -> Tuple[str, Any]:
+            try:
+                return ("ok", body())
+            except ReproError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - marshalled below
+                try:
+                    blob = self.codec.serialize(
+                        (type(exc).__name__, exc.args), self._location(target)
+                    )
+                except Exception:
+                    blob = self.codec.serialize(
+                        (type(exc).__name__, (str(exc),)), self._location(target)
+                    )
+                return ("exc", blob)
+
+        if self.transitions is None:
+            outcome = guarded()
+        elif target is Side.TRUSTED:
+            outcome = self.transitions.ecall(name, guarded, payload_bytes=payload)
+        else:
+            outcome = self.transitions.ocall(name, guarded, payload_bytes=payload)
+
+        tag, value = outcome
+        if tag == "ok":
+            return value
+        type_name, args = self.codec.deserialize(value, self._location(caller))
+        raise _rebuild_exception(type_name, args)
+
+    def _location(self, side: Side) -> Location:
+        return self.state_of(side).ctx.location
+
+    # -- stats ------------------------------------------------------------------------
+
+    def describe(self) -> str:
+        untrusted = self.state_of(Side.UNTRUSTED)
+        trusted = self.state_of(Side.TRUSTED)
+        lines = [
+            f"untrusted: registry={untrusted.registry.live_count()} "
+            f"proxies={untrusted.tracker.live_count()}",
+            f"trusted:   registry={trusted.registry.live_count()} "
+            f"proxies={trusted.tracker.live_count()}",
+        ]
+        if self.transitions is not None:
+            stats = self.transitions.stats
+            lines.append(
+                f"transitions: ecalls={stats.ecalls} ocalls={stats.ocalls} "
+                f"switchless={stats.switchless_calls}"
+            )
+        return "\n".join(lines)
+
+
+def _rebuild_exception(type_name: str, args: Tuple[Any, ...]) -> BaseException:
+    """Reconstruct a marshalled exception on the caller side."""
+    import builtins
+
+    candidate = getattr(builtins, type_name, None)
+    if (
+        isinstance(candidate, type)
+        and issubclass(candidate, Exception)
+        and candidate is not type
+    ):
+        try:
+            return candidate(*args)
+        except Exception:  # noqa: BLE001 - odd constructor signatures
+            pass
+    detail = ", ".join(repr(a) for a in args)
+    return RmiError(f"remote {type_name}: {detail}")
+
+
+def _concrete_class(cls: type) -> type:
+    """Strip a generated proxy class back to the annotated class."""
+    if getattr(cls, "__is_montsalvat_proxy__", False):
+        return cls.__mro__[1]
+    return cls
+
+
+class SingleContextRuntime:
+    """Degenerate runtime for unpartitioned and baseline runs (§5.6).
+
+    Every class — trusted, untrusted, neutral — is concrete and all
+    work is charged to one context (the enclave context for
+    unpartitioned enclave images; a host context for NoSGX runs).
+    """
+
+    def __init__(self, ctx: ExecutionContext) -> None:
+        self.ctx = ctx
+        self.current_side = Side.UNTRUSTED
+        self.platform = ctx.platform
+
+    def context_of(self, side: Side) -> ExecutionContext:
+        return self.ctx
+
+    def instantiate(self, cls: type, args: Tuple[Any, ...], kwargs: Dict[str, Any]) -> Any:
+        size = getattr(cls, SIZE_ATTRIBUTE, DEFAULT_OBJECT_BYTES)
+        self.ctx.allocate(size, count=1)
+        obj = object.__new__(cls)
+        obj.__init__(*args, **kwargs)
+        return obj
+
+    @contextmanager
+    def on_side(self, side: Side):
+        yield self

@@ -1,0 +1,167 @@
+"""Shim libc: relaying unsupported calls out of the enclave (§5.4).
+
+Enclaves run in user mode and cannot issue syscalls. Rather than
+embedding a library OS, Montsalvat redefines unsupported libc routines
+as ocall wrappers — the *shim library* — and a *shim helper* outside
+the enclave invokes the real libc. This keeps the TCB small.
+
+Here the shim performs **real file I/O** (so applications produce real
+artifacts) while charging the execution context: when the bound context
+is an enclave context, every routine pays the ocall relay; on the host
+it pays only the syscall.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ShimError
+from repro.runtime.context import ExecutionContext
+
+#: Fresh mmap'd bytes (per enclave context) that trigger one page-in
+#: relay: enclaves cannot map untrusted files directly, so every fresh
+#: page of a mapped file faults through the untrusted runtime once.
+_MMAP_PAGE_IN_BYTES = 4 * 1024
+
+
+@dataclass
+class ShimStats:
+    """Calls relayed by this shim instance."""
+
+    opens: int = 0
+    reads: int = 0
+    writes: int = 0
+    seeks: int = 0
+    closes: int = 0
+    mmaps: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+
+class ShimFile:
+    """A libc FILE* analog backed by a real file descriptor."""
+
+    def __init__(self, libc: "ShimLibc", path: str, mode: str) -> None:
+        self._libc = libc
+        self.path = path
+        self._handle = open(path, mode)
+        self._closed = False
+
+    def write(self, data: bytes) -> int:
+        self._require_open()
+        self._libc.ctx.syscall(payload_bytes=len(data), name="write")
+        self._libc.stats.writes += 1
+        self._libc.stats.bytes_written += len(data)
+        return self._handle.write(data)
+
+    def read(self, nbytes: int = -1) -> bytes:
+        self._require_open()
+        data = self._handle.read(nbytes)
+        self._libc.ctx.syscall(payload_bytes=len(data), name="read")
+        self._libc.stats.reads += 1
+        self._libc.stats.bytes_read += len(data)
+        return data
+
+    def seek(self, offset: int) -> None:
+        self._require_open()
+        self._libc.ctx.syscall(name="lseek")
+        self._libc.stats.seeks += 1
+        self._handle.seek(offset)
+
+    def flush(self) -> None:
+        self._require_open()
+        self._libc.ctx.syscall(name="fsync")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._libc.ctx.syscall(name="close")
+        self._libc.stats.closes += 1
+        self._handle.close()
+        self._closed = True
+
+    def __enter__(self) -> "ShimFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ShimError(f"file {self.path!r} already closed")
+
+
+class MappedFile:
+    """An mmap'd read view of a file (PalDB's read path)."""
+
+    def __init__(self, libc: "ShimLibc", path: str) -> None:
+        self._libc = libc
+        self.path = path
+        libc.ctx.mmap()
+        libc.stats.mmaps += 1
+        with open(path, "rb") as handle:
+            self._data = handle.read()
+        self._fresh_bytes = 0
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        """Random-access read through the mapping.
+
+        Charges MEE-aware memory traffic at cache-line granularity
+        (256 B minimum inside the enclave, one 64 B line outside);
+        inside the enclave, fresh pages periodically fault through a
+        page-in relay.
+        """
+        if offset < 0 or nbytes < 0 or offset + nbytes > len(self._data):
+            raise ShimError(
+                f"mmap read out of bounds: [{offset}, {offset + nbytes}) "
+                f"of {len(self._data)}"
+            )
+        min_charge = 256 if self._libc.ctx.in_enclave else 64
+        self._libc.ctx.memory_traffic(max(nbytes, min_charge), ws_bytes=len(self._data))
+        if self._libc.ctx.in_enclave:
+            self._fresh_bytes += nbytes
+            while self._fresh_bytes >= _MMAP_PAGE_IN_BYTES:
+                self._fresh_bytes -= _MMAP_PAGE_IN_BYTES
+                self._libc.ctx.syscall(
+                    payload_bytes=self._libc.ctx.platform.spec.page_bytes,
+                    name="page_in",
+                )
+        return self._data[offset : offset + nbytes]
+
+    @property
+    def size(self) -> int:
+        return len(self._data)
+
+
+class ShimLibc:
+    """The libc surface the applications use.
+
+    Bind one instance per execution context: the enclave-side instance
+    *is* the shim library (every call relays out); the host-side
+    instance is the shim helper calling the real libc directly.
+    """
+
+    def __init__(self, ctx: ExecutionContext) -> None:
+        self.ctx = ctx
+        self.stats = ShimStats()
+
+    def fopen(self, path: str, mode: str = "rb") -> ShimFile:
+        self.ctx.file_open()
+        self.stats.opens += 1
+        return ShimFile(self, path, mode)
+
+    def mmap_file(self, path: str) -> MappedFile:
+        if not os.path.exists(path):
+            raise ShimError(f"cannot mmap missing file {path!r}")
+        return MappedFile(self, path)
+
+    def unlink(self, path: str) -> None:
+        self.ctx.syscall(name="unlink")
+        if os.path.exists(path):
+            os.unlink(path)
+
+    def __repr__(self) -> str:
+        return f"ShimLibc(ctx={self.ctx.location.value}, stats={self.stats})"

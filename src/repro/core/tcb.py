@@ -1,0 +1,101 @@
+"""Trusted-computing-base accounting.
+
+Montsalvat's central motivation (§1, §3): LibOS approaches put millions
+of lines into the enclave; partitioning with a thin shim keeps the TCB
+small. This module quantifies that for a built application — what is
+inside the enclave under each deployment — so the comparison the paper
+argues qualitatively becomes a measurable report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.costs.machine import KB, MB
+
+#: Component size estimates (bytes of code inside the enclave).
+#: LibOS figures follow the paper's discussion (§2.1, §3): Graphene/
+#: SGX-LKL-class library OSs reach millions of LOC.
+GRAAL_RUNTIME_BYTES = 900 * KB  # GC, threads, stack walking (§2.2)
+SHIM_LIBC_BYTES = 140 * KB  # Montsalvat's shim relays (§5.4)
+EDGE_ROUTINE_BYTES_PER_RELAY = 512
+LIBOS_BYTES = 28 * MB  # Graphene-class library OS
+MUSL_LIBC_BYTES = 1200 * KB  # SCONE's modified libc
+JVM_BYTES = 48 * MB  # OpenJDK8 inside the container
+
+
+@dataclass(frozen=True)
+class TcbComponent:
+    """One item inside the enclave."""
+
+    name: str
+    bytes_: int
+
+
+@dataclass(frozen=True)
+class TcbReport:
+    """Everything inside the enclave for one deployment."""
+
+    deployment: str
+    components: Tuple[TcbComponent, ...]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(component.bytes_ for component in self.components)
+
+    def format(self) -> str:
+        lines = [f"TCB — {self.deployment}", "-" * (7 + len(self.deployment))]
+        for component in self.components:
+            lines.append(f"  {component.name:<34} {component.bytes_ / KB:>12.1f} KB")
+        lines.append(f"  {'TOTAL':<34} {self.total_bytes / KB:>12.1f} KB")
+        return "\n".join(lines)
+
+
+def partitioned_tcb(app) -> TcbReport:
+    """TCB of a Montsalvat-partitioned application: trusted image +
+    relays + shim + embedded runtime. Untrusted classes are *out*."""
+    from repro.core.annotations import Side
+
+    relay_count = len(app.transform.relay_specs.get(Side.TRUSTED, ()))
+    components = (
+        TcbComponent("trusted image (reachable methods)", app.images.trusted.code_size_bytes),
+        TcbComponent("generated ecall bridges", relay_count * EDGE_ROUTINE_BYTES_PER_RELAY),
+        TcbComponent("shim libc (§5.4)", SHIM_LIBC_BYTES),
+        TcbComponent("GraalVM runtime components", GRAAL_RUNTIME_BYTES),
+    )
+    return TcbReport(deployment="Montsalvat partitioned", components=components)
+
+
+def unpartitioned_tcb(app) -> TcbReport:
+    """TCB when the whole image runs in the enclave (§5.6)."""
+    components = (
+        TcbComponent("full application image", app.image.code_size_bytes),
+        TcbComponent("shim libc (§5.4)", SHIM_LIBC_BYTES),
+        TcbComponent("GraalVM runtime components", GRAAL_RUNTIME_BYTES),
+    )
+    return TcbReport(deployment="Montsalvat unpartitioned", components=components)
+
+
+def scone_tcb(app_code_bytes: int) -> TcbReport:
+    """TCB of the SCONE+JVM deployment: the whole managed stack."""
+    components = (
+        TcbComponent("application bytecode + deps", app_code_bytes),
+        TcbComponent("OpenJDK8 JVM", JVM_BYTES),
+        TcbComponent("musl libc (SCONE)", MUSL_LIBC_BYTES),
+        TcbComponent("library OS / container runtime", LIBOS_BYTES),
+    )
+    return TcbReport(deployment="SCONE + JVM", components=components)
+
+
+def compare(reports: List[TcbReport]) -> str:
+    """Side-by-side totals, smallest first."""
+    ordered = sorted(reports, key=lambda r: r.total_bytes)
+    smallest = ordered[0].total_bytes or 1
+    lines = [f"{'deployment':<28} {'TCB':>12} {'vs smallest':>12}"]
+    for report in ordered:
+        lines.append(
+            f"{report.deployment:<28} {report.total_bytes / MB:>10.2f} MB "
+            f"{report.total_bytes / smallest:>10.1f}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,269 @@
+"""Bytecode transformer analog: proxies, relay methods, image specs (§5.2, §5.3).
+
+The transformer consumes the application's class IR and produces two
+class sets:
+
+- **T** — transformed trusted classes (original methods + generated
+  relay entry points) plus proxy classes for untrusted classes;
+- **U** — transformed untrusted classes plus proxy classes for trusted
+  classes;
+
+the unmodified neutral set **N** joins both. The native-image builder
+consumes (T ∪ N) and (U ∪ N); its points-to analysis prunes proxies
+that are not reachable — exactly the paper's division of labour, where
+the bytecode weaver generates all proxies and GraalVM drops the
+unreachable ones.
+
+Every relay method is validated against the @CEntryPoint restrictions
+(static; isolate first; primitive/word parameters only), and the EDL
+interface (one ecall/ocall per relay plus the shim and GC-helper
+routines) is assembled here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.annotations import Side
+from repro.errors import PartitionError
+from repro.graal.entrypoints import CEntryPointSpec, ParamKind, validate_entry_point
+from repro.graal.jtypes import (
+    CallSite,
+    ClassUniverse,
+    JClass,
+    JField,
+    JMethod,
+    TrustLevel,
+)
+
+#: Shim libc routines always present in the untrusted interface (§5.4).
+SHIM_OCALLS = (
+    "ocall_open",
+    "ocall_read",
+    "ocall_write",
+    "ocall_lseek",
+    "ocall_fsync",
+    "ocall_close",
+    "ocall_mmap",
+    "ocall_unlink",
+)
+
+#: GC-helper release routines, one direction each (§5.5).
+GC_ROUTINES = ("ecall_gc_release", "ocall_gc_release")
+
+
+@dataclass(frozen=True)
+class RelaySpec:
+    """One generated relay method (the @CEntryPoint wrapper, §5.2)."""
+
+    class_name: str
+    method_name: str
+    relay_name: str
+    kind: str  # "constructor" | "instance"
+    transition: str  # "ecall" when the concrete class is trusted
+    entry_point: CEntryPointSpec
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.class_name}.{self.relay_name}"
+
+
+@dataclass
+class TransformResult:
+    """Everything downstream stages need."""
+
+    trusted_universe: ClassUniverse
+    untrusted_universe: ClassUniverse
+    trusted_entry_points: Tuple[str, ...]
+    untrusted_entry_points: Tuple[str, ...]
+    relay_specs: Dict[Side, Tuple[RelaySpec, ...]] = field(default_factory=dict)
+    proxy_classes: Dict[str, JClass] = field(default_factory=dict)
+    main_entry: Optional[str] = None
+
+
+class BytecodeTransformer:
+    """Generates proxies and relays over the class IR."""
+
+    def transform(
+        self,
+        classes: Mapping[str, JClass],
+        main_entry: Optional[str] = None,
+    ) -> TransformResult:
+        """Split ``classes`` into the trusted/untrusted build inputs.
+
+        ``main_entry`` is the application's ``"Class.method"`` main; it
+        must belong to an untrusted or neutral class because all SGX
+        applications begin in the untrusted runtime (§5.3).
+        """
+        trusted = [c for c in classes.values() if c.trust is TrustLevel.TRUSTED]
+        untrusted = [c for c in classes.values() if c.trust is TrustLevel.UNTRUSTED]
+        neutral = [c for c in classes.values() if c.trust is TrustLevel.NEUTRAL]
+        if not trusted:
+            raise PartitionError(
+                "no @Trusted classes: build an unpartitioned image instead (§5.6)"
+            )
+        self._validate_main(classes, main_entry)
+
+        trusted_relays = [self._relays_for(c, "ecall") for c in trusted]
+        untrusted_relays = [self._relays_for(c, "ocall") for c in untrusted]
+
+        transformed_trusted = [
+            self._with_relays(c, specs) for c, specs in zip(trusted, trusted_relays)
+        ]
+        transformed_untrusted = [
+            self._with_relays(c, specs) for c, specs in zip(untrusted, untrusted_relays)
+        ]
+        proxies = {c.name: self._proxy_for(c) for c in trusted + untrusted}
+
+        trusted_universe = ClassUniverse.of(
+            *transformed_trusted,
+            *(proxies[c.name] for c in untrusted),
+            *neutral,
+        )
+        untrusted_universe = ClassUniverse.of(
+            *transformed_untrusted,
+            *(proxies[c.name] for c in trusted),
+            *neutral,
+        )
+
+        trusted_entry_points = tuple(
+            spec.qualified_name for specs in trusted_relays for spec in specs
+        )
+        untrusted_entry_points = tuple(
+            spec.qualified_name for specs in untrusted_relays for spec in specs
+        )
+        if main_entry is not None:
+            untrusted_entry_points = (main_entry,) + untrusted_entry_points
+        elif not untrusted_entry_points:
+            # No application main and no untrusted relays: the untrusted
+            # image is entered only by the C driver (SGX applications
+            # always begin in the untrusted runtime, §5.3). Synthesize it.
+            driver = JClass(
+                name="MontsalvatDriver",
+                methods=(JMethod("main", "MontsalvatDriver", is_static=True),),
+            )
+            untrusted_universe = ClassUniverse.of(
+                driver, *untrusted_universe.classes()
+            )
+            untrusted_entry_points = ("MontsalvatDriver.main",)
+
+        return TransformResult(
+            trusted_universe=trusted_universe,
+            untrusted_universe=untrusted_universe,
+            trusted_entry_points=trusted_entry_points,
+            untrusted_entry_points=untrusted_entry_points,
+            relay_specs={
+                Side.TRUSTED: tuple(s for specs in trusted_relays for s in specs),
+                Side.UNTRUSTED: tuple(s for specs in untrusted_relays for s in specs),
+            },
+            proxy_classes=proxies,
+            main_entry=main_entry,
+        )
+
+    # -- generation -----------------------------------------------------------
+
+    def _relays_for(self, jclass: JClass, transition: str) -> List[RelaySpec]:
+        specs: List[RelaySpec] = []
+        for method in jclass.public_methods():
+            if method.is_static and not method.is_constructor:
+                continue  # statics need no instance relay
+            base = "init" if method.is_constructor else method.name
+            relay_name = f"relay_{base}"
+            # relay(isolate, hash, serialized buffer, buffer length, ...)
+            params = (
+                ParamKind.ISOLATE,
+                ParamKind.PRIMITIVE,  # proxy hash
+                ParamKind.WORD,  # serialized argument buffer
+                ParamKind.PRIMITIVE,  # buffer length
+            )
+            entry = CEntryPointSpec(
+                name=relay_name,
+                declared_in=jclass.name,
+                is_static=True,
+                params=params,
+            )
+            validate_entry_point(entry)
+            specs.append(
+                RelaySpec(
+                    class_name=jclass.name,
+                    method_name=method.name,
+                    relay_name=relay_name,
+                    kind="constructor" if method.is_constructor else "instance",
+                    transition=transition,
+                    entry_point=entry,
+                )
+            )
+        return specs
+
+    def _with_relays(self, jclass: JClass, specs: List[RelaySpec]) -> JClass:
+        """Original class plus its generated relay methods (Listing 4)."""
+        relay_methods = tuple(
+            JMethod(
+                name=spec.relay_name,
+                declared_in=jclass.name,
+                is_static=True,
+                is_public=True,
+                param_count=3,
+                calls=frozenset(
+                    {
+                        CallSite(
+                            method_name=spec.method_name,
+                            receiver_class=jclass.name,
+                            is_instantiation=spec.kind == "constructor",
+                        ),
+                        CallSite(method_name="deserialize"),
+                        CallSite(method_name="registry_op"),
+                    }
+                ),
+            )
+            for spec in specs
+        )
+        return JClass(
+            name=jclass.name,
+            trust=jclass.trust,
+            methods=jclass.methods + relay_methods,
+            fields=jclass.fields,
+        )
+
+    def _proxy_for(self, jclass: JClass) -> JClass:
+        """Stripped proxy class (Listings 2 and 3): same public methods,
+        bodies replaced by native transitions; fields replaced by the
+        identifying hash."""
+        methods = tuple(
+            JMethod(
+                name=method.name,
+                declared_in=jclass.name,
+                is_static=method.is_static,
+                is_public=True,
+                is_constructor=method.is_constructor,
+                param_count=method.param_count,
+                calls=frozenset(),  # native transition, below the IR
+            )
+            for method in jclass.public_methods()
+        )
+        return JClass(
+            name=jclass.name,
+            trust=jclass.trust,
+            methods=methods,
+            fields=(JField(name="hash", declared_in=jclass.name),),
+        )
+
+    # -- validation -----------------------------------------------------------
+
+    def _validate_main(
+        self, classes: Mapping[str, JClass], main_entry: Optional[str]
+    ) -> None:
+        if main_entry is None:
+            return
+        class_name, _, method_name = main_entry.rpartition(".")
+        jclass = classes.get(class_name)
+        if jclass is None:
+            raise PartitionError(f"main entry class {class_name!r} unknown")
+        if jclass.method(method_name) is None:
+            raise PartitionError(f"main entry {main_entry!r} does not exist")
+        if jclass.trust is TrustLevel.TRUSTED:
+            raise PartitionError(
+                "the main entry point belongs in the untrusted image: all "
+                "SGX applications begin in the untrusted runtime (§5.3)"
+            )

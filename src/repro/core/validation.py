@@ -1,0 +1,156 @@
+"""Encapsulation validation for annotated classes (§5.1).
+
+Montsalvat assumes annotated classes are *properly encapsulated*: class
+fields are private and only reachable through public getters/setters.
+This keeps sensitive fields inside the enclave without data-flow
+analysis — a field that other classes read directly would silently
+bypass the proxy layer (proxies carry no fields).
+
+The validator AST-scans the application for foreign attribute accesses
+on instances of annotated classes and reports violations before the
+build, so the developer fixes the leak instead of shipping it.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.annotations import trust_of
+from repro.errors import PartitionError
+from repro.graal.jtypes import TrustLevel
+
+
+@dataclass(frozen=True)
+class EncapsulationViolation:
+    """One foreign field access on an annotated class."""
+
+    accessing_class: str
+    accessing_method: str
+    target_class: str
+    field: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.accessing_class}.{self.accessing_method} reaches into "
+            f"{self.target_class}.{self.field}; annotated classes must be "
+            "accessed through public methods (§5.1)"
+        )
+
+
+class EncapsulationValidator:
+    """Static encapsulation check over the application classes."""
+
+    def validate(
+        self, classes: Sequence[type], strict: bool = False
+    ) -> Tuple[EncapsulationViolation, ...]:
+        """Scan for foreign field accesses; returns violations found.
+
+        ``strict=True`` raises :class:`PartitionError` on the first
+        report instead of returning it.
+        """
+        annotated_fields = self._collect_annotated_fields(classes)
+        # Variable-name heuristics: parameters/locals whose inferred
+        # class is annotated. We track names assigned from annotated
+        # constructors plus parameters annotated by position in the
+        # method (typed via name match, e.g. "account" -> Account).
+        by_lower_name = {
+            cls.__name__.lower(): cls.__name__
+            for cls in classes
+            if trust_of(cls) is not TrustLevel.NEUTRAL
+        }
+        violations: List[EncapsulationViolation] = []
+        for cls in classes:
+            for method_name, func in self._methods(cls):
+                tree = self._parse(func)
+                if tree is None:
+                    continue
+                finder = _ForeignAccessFinder(
+                    owner=cls.__name__,
+                    annotated_fields=annotated_fields,
+                    name_hints=by_lower_name,
+                )
+                finder.visit(tree)
+                for target_class, field in finder.accesses:
+                    if target_class == cls.__name__:
+                        continue  # own fields are fine
+                    violation = EncapsulationViolation(
+                        accessing_class=cls.__name__,
+                        accessing_method=method_name,
+                        target_class=target_class,
+                        field=field,
+                    )
+                    if strict:
+                        raise PartitionError(violation.describe())
+                    violations.append(violation)
+        return tuple(violations)
+
+    # -- internals ------------------------------------------------------------
+
+    def _collect_annotated_fields(
+        self, classes: Sequence[type]
+    ) -> Dict[str, Set[str]]:
+        from repro.graal.extraction import extract_class
+
+        fields: Dict[str, Set[str]] = {}
+        for cls in classes:
+            if trust_of(cls) is TrustLevel.NEUTRAL:
+                continue
+            ir = extract_class(cls)
+            fields[cls.__name__] = {f.name for f in ir.fields}
+        return fields
+
+    def _methods(self, cls: type):
+        for name, member in vars(cls).items():
+            if isinstance(member, (staticmethod, classmethod)):
+                member = member.__func__
+            if inspect.isfunction(member):
+                yield name, member
+
+    def _parse(self, func):
+        try:
+            return ast.parse(textwrap.dedent(inspect.getsource(func)))
+        except (OSError, TypeError, SyntaxError, IndentationError):
+            return None
+
+
+class _ForeignAccessFinder(ast.NodeVisitor):
+    """Finds ``variable.field`` reads/writes where ``variable`` is
+    heuristically an annotated-class instance and ``field`` is one of
+    that class's fields (not a method call)."""
+
+    def __init__(
+        self,
+        owner: str,
+        annotated_fields: Dict[str, Set[str]],
+        name_hints: Dict[str, str],
+    ) -> None:
+        self.owner = owner
+        self.annotated_fields = annotated_fields
+        self.name_hints = dict(name_hints)
+        self.accesses: List[Tuple[str, str]] = []
+        self._inferred: Dict[str, str] = {}
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # var = AnnotatedClass(...) pins var's class.
+        if isinstance(node.value, ast.Call) and isinstance(node.value.func, ast.Name):
+            class_name = node.value.func.id
+            if class_name in self.annotated_fields:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self._inferred[target.id] = class_name
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.value, ast.Name) and node.value.id != "self":
+            variable = node.value.id
+            target_class = self._inferred.get(variable) or self.name_hints.get(
+                variable.lower()
+            )
+            if target_class and target_class in self.annotated_fields:
+                if node.attr in self.annotated_fields[target_class]:
+                    self.accesses.append((target_class, node.attr))
+        self.generic_visit(node)

@@ -1,0 +1,224 @@
+"""Wire format for neutral objects crossing the enclave boundary.
+
+Java serialization writes a self-describing stream (magic, type tags,
+length-prefixed payloads). This module implements the equivalent for
+the neutral types Montsalvat applications exchange — ``None``, bools,
+ints, floats, strings, bytes, lists, tuples, dicts, sets and nested
+combinations — with an explicit, versioned format:
+
+    stream  := MAGIC(2) VERSION(1) value
+    value   := tag(1) payload
+    ints    := zigzag varint
+    floats  := IEEE-754 big-endian 8 bytes
+    str/bytes := varint length + data
+    list/tuple/set := varint count + values
+    dict    := varint count + (key value)*
+
+Unlike pickle, the decoder executes no code whatsoever — a sanitisation
+property worth having at an enclave boundary. The default
+:class:`~repro.core.serialization.SerializationCodec` can be backed by
+this format via ``WireCodec``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, List, Tuple
+
+from repro.errors import SerializationError
+
+MAGIC = b"\xac\x3d"  # cf. Java's 0xACED stream magic
+VERSION = 1
+
+_TAG_NONE = 0x00
+_TAG_TRUE = 0x01
+_TAG_FALSE = 0x02
+_TAG_INT = 0x03
+_TAG_FLOAT = 0x04
+_TAG_STR = 0x05
+_TAG_BYTES = 0x06
+_TAG_LIST = 0x07
+_TAG_TUPLE = 0x08
+_TAG_DICT = 0x09
+_TAG_SET = 0x0A
+
+_MAX_DEPTH = 64
+
+
+def dumps(value: Any) -> bytes:
+    """Serialize a neutral value into the wire format."""
+    out: List[bytes] = [MAGIC, bytes([VERSION])]
+    _write(out, value, depth=0)
+    return b"".join(out)
+
+
+def loads(data: bytes) -> Any:
+    """Deserialize a wire-format buffer. Executes no code."""
+    if len(data) < 3:
+        raise SerializationError("wire buffer too short")
+    if data[:2] != MAGIC:
+        raise SerializationError("bad wire magic")
+    if data[2] != VERSION:
+        raise SerializationError(f"unsupported wire version {data[2]}")
+    value, offset = _read(data, 3, depth=0)
+    if offset != len(data):
+        raise SerializationError(
+            f"{len(data) - offset} trailing bytes after wire value"
+        )
+    return value
+
+
+# -- encoding ---------------------------------------------------------------
+
+
+def _write(out: List[bytes], value: Any, depth: int) -> None:
+    if depth > _MAX_DEPTH:
+        raise SerializationError("wire value nests too deeply")
+    if value is None:
+        out.append(bytes([_TAG_NONE]))
+    elif value is True:
+        out.append(bytes([_TAG_TRUE]))
+    elif value is False:
+        out.append(bytes([_TAG_FALSE]))
+    elif isinstance(value, int):
+        out.append(bytes([_TAG_INT]))
+        out.append(_encode_varint(_zigzag(value)))
+    elif isinstance(value, float):
+        out.append(bytes([_TAG_FLOAT]))
+        out.append(struct.pack(">d", value))
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        out.append(bytes([_TAG_STR]))
+        out.append(_encode_varint(len(encoded)))
+        out.append(encoded)
+    elif isinstance(value, bytes):
+        out.append(bytes([_TAG_BYTES]))
+        out.append(_encode_varint(len(value)))
+        out.append(value)
+    elif isinstance(value, list):
+        _write_sequence(out, _TAG_LIST, value, depth)
+    elif isinstance(value, tuple):
+        _write_sequence(out, _TAG_TUPLE, value, depth)
+    elif isinstance(value, set):
+        # Deterministic order so equal sets encode identically.
+        try:
+            ordered = sorted(value)
+        except TypeError:
+            ordered = sorted(value, key=repr)
+        _write_sequence(out, _TAG_SET, ordered, depth)
+    elif isinstance(value, dict):
+        out.append(bytes([_TAG_DICT]))
+        out.append(_encode_varint(len(value)))
+        for key, item in value.items():
+            _write(out, key, depth + 1)
+            _write(out, item, depth + 1)
+    else:
+        raise SerializationError(
+            f"type {type(value).__name__} is not a neutral wire type; "
+            "annotate its class or convert it to plain data"
+        )
+
+
+def _write_sequence(out: List[bytes], tag: int, items, depth: int) -> None:
+    out.append(bytes([tag]))
+    out.append(_encode_varint(len(items)))
+    for item in items:
+        _write(out, item, depth + 1)
+
+
+# -- decoding ---------------------------------------------------------------
+
+
+def _read(data: bytes, offset: int, depth: int) -> Tuple[Any, int]:
+    if depth > _MAX_DEPTH:
+        raise SerializationError("wire value nests too deeply")
+    if offset >= len(data):
+        raise SerializationError("truncated wire value")
+    tag = data[offset]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_INT:
+        raw, offset = _decode_varint(data, offset)
+        return _unzigzag(raw), offset
+    if tag == _TAG_FLOAT:
+        if offset + 8 > len(data):
+            raise SerializationError("truncated float")
+        return struct.unpack(">d", data[offset : offset + 8])[0], offset + 8
+    if tag in (_TAG_STR, _TAG_BYTES):
+        length, offset = _decode_varint(data, offset)
+        end = offset + length
+        if end > len(data):
+            raise SerializationError("truncated string/bytes payload")
+        payload = data[offset:end]
+        if tag == _TAG_STR:
+            try:
+                return payload.decode("utf-8"), end
+            except UnicodeDecodeError as exc:
+                raise SerializationError(f"invalid utf-8 in wire string: {exc}")
+        return payload, end
+    if tag in (_TAG_LIST, _TAG_TUPLE, _TAG_SET):
+        count, offset = _decode_varint(data, offset)
+        items = []
+        for _ in range(count):
+            item, offset = _read(data, offset, depth + 1)
+            items.append(item)
+        if tag == _TAG_TUPLE:
+            return tuple(items), offset
+        if tag == _TAG_SET:
+            return set(items), offset
+        return items, offset
+    if tag == _TAG_DICT:
+        count, offset = _decode_varint(data, offset)
+        result = {}
+        for _ in range(count):
+            key, offset = _read(data, offset, depth + 1)
+            item, offset = _read(data, offset, depth + 1)
+            result[key] = item
+        return result, offset
+    raise SerializationError(f"unknown wire tag {tag:#x}")
+
+
+# -- varints -----------------------------------------------------------------
+
+
+def _zigzag(value: int) -> int:
+    return ~(value << 1) if value < 0 else value << 1
+
+
+def _unzigzag(raw: int) -> int:
+    return (raw >> 1) ^ -(raw & 1)
+
+
+def _encode_varint(value: int) -> bytes:
+    if value < 0:
+        raise SerializationError("varints are unsigned")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _decode_varint(data: bytes, offset: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise SerializationError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 700:
+            raise SerializationError("varint too long")

@@ -1,0 +1,25 @@
+"""Cost accounting substrate: machine spec, cost model, ledger, clock.
+
+Everything the simulation charges — CPU cycles, MEE-encrypted memory
+traffic, enclave transitions, syscalls, GC copies — flows through this
+package. The calibrated constants live in :mod:`repro.costs.model` so
+the entire reproduction can be re-calibrated from a single file.
+"""
+
+from repro.costs.clock import VirtualClock
+from repro.costs.ledger import CostLedger, LedgerEntry
+from repro.costs.machine import MachineSpec, XEON_E3_1270
+from repro.costs.model import CostModel, DEFAULT_COST_MODEL
+from repro.costs.platform import Platform, fresh_platform
+
+__all__ = [
+    "fresh_platform",
+    "VirtualClock",
+    "CostLedger",
+    "LedgerEntry",
+    "MachineSpec",
+    "XEON_E3_1270",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "Platform",
+]

@@ -1,0 +1,70 @@
+"""Virtual clock measured in nanoseconds.
+
+The reproduction reports *virtual* time: every simulated operation
+advances this clock by an amount derived from the cost model, so the
+figures reproduce the paper's latency shapes independently of the wall
+clock of the machine running the simulation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class VirtualClock:
+    """Monotonic virtual clock with nanosecond resolution."""
+
+    def __init__(self, start_ns: float = 0.0) -> None:
+        if start_ns < 0:
+            raise ConfigurationError("clock cannot start in the past")
+        self._now_ns = float(start_ns)
+
+    @property
+    def now_ns(self) -> float:
+        """Current virtual time in nanoseconds."""
+        return self._now_ns
+
+    @property
+    def now_s(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now_ns / 1e9
+
+    def advance_ns(self, delta_ns: float) -> float:
+        """Advance the clock by ``delta_ns`` and return the new time.
+
+        Negative advances are rejected: virtual time is monotonic.
+        """
+        if delta_ns < 0:
+            raise ConfigurationError(
+                f"virtual time is monotonic, cannot advance by {delta_ns}"
+            )
+        self._now_ns += delta_ns
+        return self._now_ns
+
+    def measure(self) -> "ClockSpan":
+        """Return a span anchored at the current instant.
+
+        Use as ``span = clock.measure(); ...; elapsed = span.elapsed_ns()``.
+        """
+        return ClockSpan(self)
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now_ns:.0f}ns)"
+
+
+class ClockSpan:
+    """Elapsed-time probe over a :class:`VirtualClock`."""
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self._clock = clock
+        self._start_ns = clock.now_ns
+
+    @property
+    def start_ns(self) -> float:
+        return self._start_ns
+
+    def elapsed_ns(self) -> float:
+        return self._clock.now_ns - self._start_ns
+
+    def elapsed_s(self) -> float:
+        return self.elapsed_ns() / 1e9

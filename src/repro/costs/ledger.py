@@ -1,0 +1,122 @@
+"""Cost ledger: categorised accounting of everything the simulation charges.
+
+The ledger answers questions like "how much of this run was enclave
+transitions?" and backs the per-phase breakdowns of Fig. 9 (engine vs
+sharding time) and the ocall-ratio claim of §6.5 (RUWT does ~23x more
+ocalls than RTWU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+
+@dataclass
+class LedgerEntry:
+    """Accumulated cost for one category."""
+
+    count: int = 0
+    total_ns: float = 0.0
+
+    def add(self, ns: float) -> None:
+        self.count += 1
+        self.total_ns += ns
+
+    def merge(self, other: "LedgerEntry") -> None:
+        self.count += other.count
+        self.total_ns += other.total_ns
+
+
+class CostLedger:
+    """Hierarchical cost accounting keyed by dotted category names.
+
+    Categories are free-form dotted strings such as
+    ``"transition.ecall"`` or ``"gc.enclave"``; prefix queries aggregate
+    whole subtrees.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, LedgerEntry] = {}
+
+    def charge(self, category: str, ns: float) -> None:
+        """Record ``ns`` nanoseconds against ``category``."""
+        entry = self._entries.get(category)
+        if entry is None:
+            entry = LedgerEntry()
+            self._entries[category] = entry
+        entry.add(ns)
+
+    def entry(self, category: str) -> LedgerEntry:
+        """Exact-category entry (zero entry if never charged)."""
+        return self._entries.get(category, LedgerEntry())
+
+    def total_ns(self, prefix: str = "") -> float:
+        """Total nanoseconds across all categories under ``prefix``."""
+        return sum(
+            entry.total_ns
+            for name, entry in self._entries.items()
+            if _matches(name, prefix)
+        )
+
+    def count(self, prefix: str = "") -> int:
+        """Total event count across all categories under ``prefix``."""
+        return sum(
+            entry.count
+            for name, entry in self._entries.items()
+            if _matches(name, prefix)
+        )
+
+    def categories(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._entries))
+
+    def snapshot(self) -> Mapping[str, Tuple[int, float]]:
+        """Immutable view: category -> (count, total_ns)."""
+        return {
+            name: (entry.count, entry.total_ns)
+            for name, entry in sorted(self._entries.items())
+        }
+
+    def merge(self, other: "CostLedger") -> None:
+        """Fold another ledger's entries into this one."""
+        for name, entry in other._entries.items():
+            mine = self._entries.get(name)
+            if mine is None:
+                mine = LedgerEntry()
+                self._entries[name] = mine
+            mine.merge(entry)
+
+    def diff_since(self, baseline: Mapping[str, Tuple[int, float]]) -> Dict[str, Tuple[int, float]]:
+        """Delta between the current state and an earlier snapshot."""
+        delta: Dict[str, Tuple[int, float]] = {}
+        for name, entry in self._entries.items():
+            base_count, base_ns = baseline.get(name, (0, 0.0))
+            d_count = entry.count - base_count
+            d_ns = entry.total_ns - base_ns
+            if d_count or d_ns:
+                delta[name] = (d_count, d_ns)
+        return delta
+
+    def __iter__(self) -> Iterator[Tuple[str, LedgerEntry]]:
+        return iter(sorted(self._entries.items()))
+
+    def format_table(self, prefix: str = "", top: Optional[int] = None) -> str:
+        """Human-readable table of the heaviest categories."""
+        rows = [
+            (entry.total_ns, name, entry.count)
+            for name, entry in self._entries.items()
+            if _matches(name, prefix)
+        ]
+        rows.sort(reverse=True)
+        if top is not None:
+            rows = rows[:top]
+        lines = [f"{'category':<36} {'count':>10} {'total_ms':>12}"]
+        for total_ns, name, count in rows:
+            lines.append(f"{name:<36} {count:>10} {total_ns / 1e6:>12.3f}")
+        return "\n".join(lines)
+
+
+def _matches(name: str, prefix: str) -> bool:
+    if not prefix:
+        return True
+    return name == prefix or name.startswith(prefix + ".")

@@ -1,0 +1,68 @@
+"""Machine specification mirroring the paper's testbed (§6.1).
+
+The evaluation server is a quad-core Intel Xeon E3-1270 @ 3.80 GHz with
+32 KB L1, 256 KB L2 and 8 MB L3 caches, 64 GB DRAM, and a 128 MB EPC of
+which 93.5 MB is usable by enclaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Hardware parameters the cost model scales against."""
+
+    name: str
+    cpu_ghz: float
+    cores: int
+    l1_bytes: int
+    l2_bytes: int
+    l3_bytes: int
+    dram_bytes: int
+    epc_total_bytes: int
+    epc_usable_bytes: int
+    page_bytes: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.cpu_ghz <= 0:
+            raise ConfigurationError("cpu_ghz must be positive")
+        if self.epc_usable_bytes > self.epc_total_bytes:
+            raise ConfigurationError("usable EPC cannot exceed total EPC")
+        if self.page_bytes <= 0 or self.page_bytes & (self.page_bytes - 1):
+            raise ConfigurationError("page_bytes must be a power of two")
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        """Convert CPU cycles to nanoseconds at this machine's frequency."""
+        return cycles / self.cpu_ghz
+
+    def ns_to_cycles(self, ns: float) -> float:
+        """Convert nanoseconds to CPU cycles at this machine's frequency."""
+        return ns * self.cpu_ghz
+
+    def pages(self, nbytes: int) -> int:
+        """Number of pages covering ``nbytes`` (ceiling division)."""
+        if nbytes < 0:
+            raise ConfigurationError("byte counts cannot be negative")
+        return -(-nbytes // self.page_bytes)
+
+
+#: The paper's evaluation server (§6.1).
+XEON_E3_1270 = MachineSpec(
+    name="Intel Xeon E3-1270 v6",
+    cpu_ghz=3.80,
+    cores=4,
+    l1_bytes=32 * KB,
+    l2_bytes=256 * KB,
+    l3_bytes=8 * MB,
+    dram_bytes=64 * GB,
+    epc_total_bytes=128 * MB,
+    epc_usable_bytes=int(93.5 * MB),
+)

@@ -1,0 +1,64 @@
+"""Platform: the shared simulation fabric (machine + clock + ledger).
+
+A :class:`Platform` is the single mutable piece of simulation state a
+run threads through every component. Charging a cost advances the
+virtual clock and records the amount in the ledger under a category.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Tuple
+
+from repro.costs.clock import ClockSpan, VirtualClock
+from repro.costs.ledger import CostLedger
+from repro.costs.machine import MachineSpec, XEON_E3_1270
+from repro.costs.model import CostModel, DEFAULT_COST_MODEL
+
+
+class Platform:
+    """Simulated machine a Montsalvat application runs on."""
+
+    def __init__(
+        self,
+        spec: MachineSpec = XEON_E3_1270,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ) -> None:
+        self.spec = spec
+        self.cost_model = cost_model
+        self.clock = VirtualClock()
+        self.ledger = CostLedger()
+
+    def charge_cycles(self, category: str, cycles: float) -> float:
+        """Charge ``cycles`` CPU cycles to ``category``; returns ns charged."""
+        ns = self.spec.cycles_to_ns(cycles)
+        return self.charge_ns(category, ns)
+
+    def charge_ns(self, category: str, ns: float) -> float:
+        """Charge ``ns`` virtual nanoseconds to ``category``."""
+        if ns < 0:
+            raise ValueError(f"cannot charge negative time: {ns}")
+        self.clock.advance_ns(ns)
+        self.ledger.charge(category, ns)
+        return ns
+
+    def measure(self) -> ClockSpan:
+        """Span anchored at the current virtual instant."""
+        return self.clock.measure()
+
+    def snapshot(self) -> Mapping[str, Tuple[int, float]]:
+        """Ledger snapshot for later :meth:`CostLedger.diff_since`."""
+        return self.ledger.snapshot()
+
+    @property
+    def now_s(self) -> float:
+        return self.clock.now_s
+
+    def __repr__(self) -> str:
+        return (
+            f"Platform(spec={self.spec.name!r}, now={self.clock.now_s:.6f}s)"
+        )
+
+
+def fresh_platform(cost_model: Optional[CostModel] = None) -> Platform:
+    """Convenience factory used by experiments: paper testbed, zeroed clock."""
+    return Platform(cost_model=cost_model or DEFAULT_COST_MODEL)

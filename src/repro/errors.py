@@ -1,0 +1,80 @@
+"""Exception hierarchy for the Montsalvat reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch the whole family with one handler while still distinguishing
+subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with inconsistent or invalid values."""
+
+
+class SgxError(ReproError):
+    """Base class for SGX-substrate errors."""
+
+
+class EnclaveError(SgxError):
+    """Enclave lifecycle violation (double init, use after destroy...)."""
+
+
+class TransitionError(SgxError):
+    """An ecall/ocall was attempted outside a valid transition context."""
+
+
+class AttestationError(SgxError):
+    """Enclave measurement or quote verification failed."""
+
+
+class EpcError(SgxError):
+    """EPC capacity or page-state violation."""
+
+
+class BuildError(ReproError):
+    """Native-image build pipeline failure (closed-world violations...)."""
+
+
+class ReachabilityError(BuildError):
+    """Points-to/reachability analysis failed or found a contradiction."""
+
+
+class PartitionError(ReproError):
+    """Montsalvat partitioning failure (bad annotations, mixed trust...)."""
+
+
+class AnnotationError(PartitionError):
+    """A class carries an invalid or conflicting trust annotation."""
+
+
+class RmiError(ReproError):
+    """Cross-runtime remote method invocation failure."""
+
+
+class SerializationError(RmiError):
+    """An argument or return value could not be (de)serialized."""
+
+
+class RegistryError(RmiError):
+    """Mirror-proxy registry lookup or registration failure."""
+
+
+class ShimError(ReproError):
+    """The in-enclave shim libc rejected or failed a relayed call."""
+
+
+class HeapError(ReproError):
+    """Simulated heap exhaustion or invalid allocation."""
+
+
+class StoreError(ReproError):
+    """PalDB-like store format or usage error."""
+
+
+class GraphError(ReproError):
+    """GraphChi-like engine or sharder error."""

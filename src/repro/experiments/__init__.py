@@ -1,0 +1,12 @@
+"""Experiment harness: one module per figure/table of the paper.
+
+Every module exposes a ``run_*`` function returning an
+:class:`~repro.experiments.common.ExperimentTable` whose rows/series
+mirror what the paper plots, plus sensible scaled-down defaults so the
+whole suite regenerates in seconds. The benchmark harness under
+``benchmarks/`` runs them at paper scale and prints the tables.
+"""
+
+from repro.experiments.common import ExperimentTable, Series
+
+__all__ = ["ExperimentTable", "Series"]

@@ -1,0 +1,245 @@
+"""Ablation studies over Montsalvat's design choices.
+
+Not figures from the paper, but quantifications of the knobs the paper
+discusses:
+
+- **switchless RMI** (§7 future work): replace hardware transitions
+  with worker-queue calls on a transition-heavy workload (PalDB RUWT);
+- **hash strategy** (§5.2): identity hashes vs MD5 — cost per proxy
+  and collision probability, the paper's stated reason to move to MD5;
+- **MEE multiplier sensitivity**: how the Fig. 6 CPU result depends on
+  the memory-encryption penalty;
+- **GC helper period** (§5.5): scan overhead vs mirror retention.
+"""
+
+from __future__ import annotations
+
+import gc as _python_gc
+import tempfile
+from dataclasses import replace
+from typing import Sequence
+
+from repro.core import Partitioner, PartitionOptions, Side
+from repro.core.hashing import IdentityHashStrategy, Md5HashStrategy
+from repro.costs import DEFAULT_COST_MODEL, Platform
+from repro.experiments.common import ExperimentTable
+from repro.experiments.fig6_synthetic import _run_generated
+from repro.experiments.micro import MICRO_CLASSES, TrustedCell
+
+
+def run_switchless_ablation(
+    invocation_counts: Sequence[int] = (1_000, 5_000, 10_000),
+) -> ExperimentTable:
+    """Fine-grained RMIs with and without switchless worker calls.
+
+    §7 proposes transition-less cross-enclave calls "especially useful
+    for applications performing several enclave transitions" — exactly
+    the chatty setter workload of Fig. 4a.
+    """
+    table = ExperimentTable(
+        title="Ablation — switchless calls on fine-grained RMIs",
+        x_label="invocations",
+        y_label="run time (s)",
+    )
+    for switchless in (False, True):
+        name = "switchless" if switchless else "hardware transitions"
+        series = table.new_series(name)
+        for count in invocation_counts:
+            options = PartitionOptions(
+                name=f"ablate_sw_{switchless}", switchless=switchless
+            )
+            app = Partitioner(options).partition(list(MICRO_CLASSES))
+            with app.start() as session:
+                cell = TrustedCell(0)
+                span = session.platform.measure()
+                for i in range(count):
+                    cell.set_value(i)
+                series.add(count, span.elapsed_s())
+    return table
+
+
+def run_hash_ablation(n_objects: int = 5_000) -> ExperimentTable:
+    """Identity vs MD5 hashing: per-proxy creation cost and collisions."""
+    table = ExperimentTable(
+        title="Ablation — proxy hash strategy",
+        x_label="objects",
+        y_label="creation time (s)",
+    )
+    strategies = {
+        "identity-hash": IdentityHashStrategy,
+        "md5-hash": Md5HashStrategy,
+    }
+    for name, factory in strategies.items():
+        series = table.new_series(name)
+        options = PartitionOptions(name=f"ablate_hash_{name}", hash_strategy_factory=factory)
+        app = Partitioner(options).partition(list(MICRO_CLASSES))
+        with app.start() as session:
+            span = session.platform.measure()
+            cells = [TrustedCell(i) for i in range(n_objects)]
+            series.add(n_objects, span.elapsed_s())
+            del cells
+    # Collision probabilities in a 2^31 identity space vs 64-bit MD5.
+    identity = IdentityHashStrategy()
+    seen = set()
+    collisions = 0
+    for _ in range(n_objects):
+        value = identity.next_hash("Cell")
+        if value in seen:
+            collisions += 1
+        seen.add(value)
+    table.notes = (
+        f"identity collisions at n={n_objects}: {collisions}; "
+        "md5 collisions: 0 (2^64 space)"
+    )
+    return table
+
+
+def run_mee_sensitivity(
+    multipliers: Sequence[float] = (2.0, 4.0, 8.5, 12.0),
+    n_classes: int = 20,
+) -> ExperimentTable:
+    """Fig. 6 CPU endpoint spread as a function of the MEE penalty."""
+    table = ExperimentTable(
+        title="Ablation — MEE multiplier sensitivity (Fig. 6 CPU workload)",
+        x_label="mee multiplier",
+        y_label="all-trusted / all-untrusted runtime ratio",
+    )
+    series = table.new_series("enclave slowdown")
+    for multiplier in multipliers:
+        model = replace(
+            DEFAULT_COST_MODEL,
+            memory=replace(DEFAULT_COST_MODEL.memory, mee_multiplier=multiplier),
+        )
+        platform_in = Platform(cost_model=model)
+        platform_out = Platform(cost_model=model)
+        all_trusted = _run_generated_on(platform_in, 0, n_classes)
+        all_untrusted = _run_generated_on(platform_out, 100, n_classes)
+        series.add(multiplier, all_trusted / all_untrusted)
+    return table
+
+
+def _run_generated_on(platform: Platform, pct_untrusted: int, n_classes: int) -> float:
+    from repro.apps.generator import generate_app
+    from repro.baselines import native_session
+
+    import repro.experiments.fig6_synthetic as fig6
+
+    fig6._run_counter[0] += 1
+    tag = f"mee{fig6._run_counter[0]}"
+    spec = generate_app(
+        n_classes=n_classes, pct_untrusted=pct_untrusted, workload="cpu", tag=tag
+    )
+    workdir = tempfile.mkdtemp(prefix="ablate_mee_")
+    if pct_untrusted >= 100:
+        with native_session(platform=platform) as session:
+            spec.drive(workdir)
+            return session.platform.now_s
+    app = Partitioner(PartitionOptions(name=f"ablate_{tag}")).partition(
+        list(spec.classes), platform=platform
+    )
+    with app.start() as session:
+        spec.drive(workdir)
+        return session.platform.now_s
+
+
+def run_gc_period_ablation(
+    periods_s: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    batches: int = 12,
+    batch_size: int = 300,
+) -> ExperimentTable:
+    """GC-helper period: shorter periods release mirrors sooner (lower
+    peak enclave retention) at the price of more scans."""
+    table = ExperimentTable(
+        title="Ablation — GC helper scan period (§5.5)",
+        x_label="period (s)",
+        y_label="value",
+    )
+    retention = table.new_series("peak stale mirrors")
+    scans = table.new_series("helper scans")
+    for period in periods_s:
+        options = PartitionOptions(name=f"ablate_gc_{period}", gc_helper_period_s=period)
+        app = Partitioner(options).partition(list(MICRO_CLASSES))
+        with app.start() as session:
+            helper = session.gc_helpers[Side.UNTRUSTED]
+            registry = session.runtime.state_of(Side.TRUSTED).registry
+            peak_stale = 0
+            for _ in range(batches):
+                cells = [TrustedCell(i) for i in range(batch_size)]
+                del cells
+                _python_gc.collect()
+                # Live proxies are zero now; whatever the registry still
+                # holds is stale retention.
+                peak_stale = max(peak_stale, registry.live_count())
+                session.platform.charge_ns("ablate.idle", 0.3e9)
+                helper.maybe_scan()
+            retention.add(period, peak_stale)
+            scans.add(period, helper.stats.scans)
+    return table
+
+
+def run_annotation_granularity_ablation(
+    state_bytes_sweep: Sequence[int] = (64, 512, 4_096, 32_768),
+    calls: int = 1_000,
+) -> ExperimentTable:
+    """Class-level vs method-level annotation (§5.1 vs Uranus [26]).
+
+    With class-level annotations the object's state *lives* in the
+    enclave: each call ships only its arguments. Method-level
+    annotation (Uranus-style) executes annotated methods in the enclave
+    but leaves the object outside, so every call ships the receiver's
+    state in and the updated state back out. The gap grows with state
+    size — one half of the paper's argument for class boundaries (the
+    other half being that method annotations need data-flow analysis).
+    """
+    from repro.core.serialization import SerializationCodec
+    from repro.costs import fresh_platform
+    from repro.runtime.context import Location
+    from repro.sgx.sdk import SgxSdk
+    from repro.sgx.transitions import TransitionLayer
+
+    table = ExperimentTable(
+        title="Ablation — class-level vs method-level annotation (§5.1)",
+        x_label="object state (bytes)",
+        y_label="run time (s)",
+        notes=f"{calls} trusted-method calls per point",
+    )
+    class_level = table.new_series("class-level (Montsalvat)")
+    method_level = table.new_series("method-level (Uranus-style)")
+    for state_bytes in state_bytes_sweep:
+        state_payload = b"\xa5" * state_bytes
+
+        # Class-level: state in the enclave; args-only crossings.
+        platform = fresh_platform()
+        sdk = SgxSdk(platform)
+        layer = TransitionLayer(platform, sdk.create_enclave(sdk.sign("cl", b"cl")))
+        for _ in range(calls):
+            layer.ecall("relay_update", lambda: None, payload_bytes=8)
+        class_level.add(state_bytes, platform.now_s)
+
+        # Method-level: receiver state serialized in and back out.
+        platform = fresh_platform()
+        sdk = SgxSdk(platform)
+        layer = TransitionLayer(platform, sdk.create_enclave(sdk.sign("ml", b"ml")))
+        codec = SerializationCodec(platform)
+        for _ in range(calls):
+            blob = codec.serialize(state_payload, Location.HOST)
+            layer.ecall("annotated_method", lambda: None, payload_bytes=len(blob) + 8)
+            codec.deserialize(blob, Location.ENCLAVE)  # state into the method
+            updated = codec.serialize(state_payload, Location.ENCLAVE)
+            codec.deserialize(updated, Location.HOST)  # state shipped back
+        method_level.add(state_bytes, platform.now_s)
+    return table
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(run_switchless_ablation().format(y_format="{:.3f}"))
+    print()
+    print(run_hash_ablation().format(y_format="{:.4f}"))
+    print()
+    print(run_mee_sensitivity().format(y_format="{:.2f}"))
+    print()
+    print(run_gc_period_ablation().format(y_format="{:.0f}"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

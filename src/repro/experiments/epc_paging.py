@@ -1,0 +1,57 @@
+"""Extra experiment — the EPC paging cliff (§2.1).
+
+"The Linux SGX kernel driver can swap pages between the EPC and regular
+DRAM. This paging mechanism lets enclave applications use more than the
+total EPC, but at a significant cost." This experiment sweeps an
+in-enclave workload's working set across the usable-EPC boundary
+(93.5 MB on the paper's server) and reports the slowdown relative to
+the same work with an EPC-resident working set — the cliff every
+enclave paper shows.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.costs.machine import MB
+from repro.costs.platform import fresh_platform
+from repro.experiments.common import ExperimentTable
+from repro.runtime.context import ExecutionContext, Location
+
+#: Memory traffic per sweep point (fixed; only the working set varies).
+_TRAFFIC_BYTES = 64 * MB
+DEFAULT_WORKING_SETS_MB = (16, 32, 64, 80, 93, 110, 128, 192, 256)
+
+
+def run_epc_paging(
+    working_sets_mb: Sequence[int] = DEFAULT_WORKING_SETS_MB,
+) -> ExperimentTable:
+    table = ExperimentTable(
+        title="EPC paging cliff — in-enclave slowdown vs working set",
+        x_label="working set (MB)",
+        y_label="value",
+        notes="usable EPC is 93.5 MB (§6.1); traffic fixed at 64 MB/point",
+    )
+    enclave_series = table.new_series("enclave time (s)")
+    host_series = table.new_series("host time (s)")
+    slowdown = table.new_series("enclave/host slowdown")
+    for ws_mb in working_sets_mb:
+        ws_bytes = ws_mb * MB
+        platform_in = fresh_platform()
+        enclave_ctx = ExecutionContext(platform_in, Location.ENCLAVE, label="epc")
+        enclave_ctx.memory_traffic(_TRAFFIC_BYTES, ws_bytes=ws_bytes)
+        platform_out = fresh_platform()
+        host_ctx = ExecutionContext(platform_out, Location.HOST, label="epc")
+        host_ctx.memory_traffic(_TRAFFIC_BYTES, ws_bytes=ws_bytes)
+        enclave_series.add(ws_mb, platform_in.now_s)
+        host_series.add(ws_mb, platform_out.now_s)
+        slowdown.add(ws_mb, platform_in.now_s / platform_out.now_s)
+    return table
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(run_epc_paging().format(y_format="{:.4f}"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,91 @@
+"""Fig. 12 / Table 1 — SPECjvm2008 micro-benchmarks in enclaves (§6.6).
+
+Each kernel runs in four configurations: NoSGX+JVM, NoSGX-NI, SGX-NI
+(unpartitioned native image in the enclave) and SCONE+JVM. Table 1 is
+the per-kernel latency gain of SGX-NI over SCONE+JVM.
+
+Expected shape: the native image wins everywhere except Monte_Carlo,
+where the native image's serial GC loses to HotSpot's collectors
+(paper: 2.12 / 2.66 / 0.25 / 1.42 / 1.46 / 1.38 x).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from repro.apps.specjvm import KERNELS
+from repro.apps.specjvm.kernels import KERNEL_ORDER
+from repro.baselines import host_jvm_session, native_session, scone_jvm_session
+from repro.core import Partitioner, PartitionOptions
+from repro.core.annotations import ambient_context
+from repro.experiments.common import ExperimentTable
+
+#: Paper's Table 1 values, for EXPERIMENTS.md comparisons.
+PAPER_TABLE1 = {
+    "mpegaudio": 2.12,
+    "fft": 2.66,
+    "monte_carlo": 0.25,
+    "sor": 1.42,
+    "lu": 1.46,
+    "sparse": 1.38,
+}
+
+
+class _KernelHost:
+    """Placeholder application class for the unpartitioned image."""
+
+    def run(self) -> None:
+        """Entry point the image is built around."""
+
+
+def _configurations() -> Dict[str, Callable]:
+    return {
+        "NoSGX+JVM": lambda: host_jvm_session(name="specjvm"),
+        "NoSGX-NI": lambda: native_session(name="specjvm"),
+        "SGX-NI": lambda: Partitioner(PartitionOptions(name="specjvm"))
+        .unpartitioned([_KernelHost])
+        .start(),
+        "SCONE+JVM": lambda: scone_jvm_session(name="specjvm"),
+    }
+
+
+def run_fig12(kernels: Sequence[str] = KERNEL_ORDER) -> ExperimentTable:
+    table = ExperimentTable(
+        title="Fig. 12 — SPECjvm2008 micro-benchmarks (default workloads)",
+        x_label="kernel",
+        y_label="run time (s)",
+        notes="x positions are kernel indexes in Table 1 order",
+    )
+    for config_name, factory in _configurations().items():
+        series = table.new_series(config_name)
+        for index, kernel_name in enumerate(kernels):
+            with factory() as session:
+                KERNELS[kernel_name].run(ambient_context())
+                series.add(index, session.platform.now_s)
+    table.notes += "; kernels: " + ", ".join(kernels)
+    return table
+
+
+def run_table1(kernels: Sequence[str] = KERNEL_ORDER) -> Dict[str, float]:
+    """Table 1 — SGX-NI latency gain over SCONE+JVM per kernel."""
+    fig12 = run_fig12(kernels)
+    scone = fig12.get("SCONE+JVM")
+    sgx_ni = fig12.get("SGX-NI")
+    return {
+        kernel: scone.y_at(index) / sgx_ni.y_at(index)
+        for index, kernel in enumerate(kernels)
+    }
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    table = run_fig12()
+    print(table.format(y_format="{:.2f}"))
+    print()
+    print("Table 1 — latency gain of SGX-NI over SCONE+JVM")
+    ratios = run_table1()
+    for kernel, ratio in ratios.items():
+        print(f"  {kernel:<12} {ratio:5.2f}x   (paper: {PAPER_TABLE1[kernel]:.2f}x)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

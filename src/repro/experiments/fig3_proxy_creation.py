@@ -1,0 +1,60 @@
+"""Fig. 3 — performance of proxy vs concrete object creation (§6.2).
+
+Four scenarios over increasing object counts:
+
+- ``concrete-out``: untrusted objects created from the untrusted side;
+- ``concrete-in``: trusted objects created inside the enclave;
+- ``proxy-out->in``: trusted objects created from the untrusted side
+  (proxy + ecall + in-enclave mirror);
+- ``proxy-in->out``: untrusted objects created from inside the enclave
+  (proxy + ocall + outside mirror).
+
+Expected shape: proxy creation sits 3-4 orders of magnitude above
+concrete creation, transitions dominating.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core import Partitioner, PartitionOptions, Side
+from repro.experiments.common import ExperimentTable
+from repro.experiments.micro import MICRO_CLASSES, TrustedCell, UntrustedCell
+
+DEFAULT_COUNTS = tuple(range(10_000, 100_001, 10_000))
+
+
+def run_fig3(counts: Sequence[int] = DEFAULT_COUNTS) -> ExperimentTable:
+    table = ExperimentTable(
+        title="Fig. 3 — proxy vs concrete object creation",
+        x_label="objects",
+        y_label="latency (s)",
+        notes="virtual time; proxy curves include transition + mirror creation",
+    )
+    scenarios = {
+        "proxy-out->in": (TrustedCell, Side.UNTRUSTED),
+        "proxy-in->out": (UntrustedCell, Side.TRUSTED),
+        "concrete-out": (UntrustedCell, Side.UNTRUSTED),
+        "concrete-in": (TrustedCell, Side.TRUSTED),
+    }
+    for name, (cls, side) in scenarios.items():
+        series = table.new_series(name)
+        for count in counts:
+            app = Partitioner(PartitionOptions(name=f"fig3_{name}")).partition(
+                list(MICRO_CLASSES)
+            )
+            with app.start() as session:
+                with session.on_side(side):
+                    span = session.platform.measure()
+                    objects = [cls(i) for i in range(count)]
+                    series.add(count, span.elapsed_s())
+                del objects
+    return table
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(run_fig3().format())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

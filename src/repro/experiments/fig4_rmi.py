@@ -1,0 +1,114 @@
+"""Fig. 4 — remote method invocation latency and serialization (§6.3).
+
+(a) Six scenarios over increasing invocation counts: concrete and proxy
+    invocations in both directions, plus the ``...+s`` variants passing
+    a serializable list of 16-byte strings.
+(b) Fixed invocation count, varying the serialized list size.
+
+Expected shape: proxy RMIs sit 3-4 orders above concrete invocations;
+serialization multiplies in-enclave RMIs by ~10x and out-of-enclave
+RMIs by ~3x around the paper's list sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core import Partitioner, PartitionOptions, Side
+from repro.experiments.common import ExperimentTable
+from repro.experiments.micro import (
+    MICRO_CLASSES,
+    TrustedCell,
+    UntrustedCell,
+    make_payload,
+)
+
+DEFAULT_COUNTS = tuple(range(10_000, 100_001, 10_000))
+DEFAULT_PAYLOAD = 1_000  # 16-byte strings per +s invocation (fig 4a)
+DEFAULT_LIST_SIZES = tuple(range(10_000, 100_001, 10_000))
+DEFAULT_4B_INVOCATIONS = 10_000
+
+
+def _fresh_session(name: str):
+    options = PartitionOptions(name=name, memoize_serialization=True)
+    return Partitioner(options).partition(list(MICRO_CLASSES)).start()
+
+
+def run_fig4a(
+    counts: Sequence[int] = DEFAULT_COUNTS,
+    payload_size: int = DEFAULT_PAYLOAD,
+) -> ExperimentTable:
+    table = ExperimentTable(
+        title="Fig. 4a — remote method invocation latency",
+        x_label="invocations",
+        y_label="latency (s)",
+        notes=f"+s variants pass a list of {payload_size} 16-byte strings",
+    )
+    payload = make_payload(payload_size)
+    scenarios = {
+        "proxy-out->in": (TrustedCell, Side.UNTRUSTED, None),
+        "proxy-in->out": (UntrustedCell, Side.TRUSTED, None),
+        "concrete-out": (UntrustedCell, Side.UNTRUSTED, None),
+        "concrete-in": (TrustedCell, Side.TRUSTED, None),
+        "proxy-out->in+s": (TrustedCell, Side.UNTRUSTED, payload),
+        "proxy-in->out+s": (UntrustedCell, Side.TRUSTED, payload),
+    }
+    for name, (cls, caller_side, arg) in scenarios.items():
+        series = table.new_series(name)
+        for count in counts:
+            with _fresh_session(f"fig4a_{name}") as session:
+                with session.on_side(caller_side):
+                    target = cls(0)
+                    span = session.platform.measure()
+                    if arg is None:
+                        for i in range(count):
+                            target.set_value(i)
+                    else:
+                        for _ in range(count):
+                            target.set_payload(arg)
+                    series.add(count, span.elapsed_s())
+    return table
+
+
+def run_fig4b(
+    list_sizes: Sequence[int] = DEFAULT_LIST_SIZES,
+    invocations: int = DEFAULT_4B_INVOCATIONS,
+) -> ExperimentTable:
+    table = ExperimentTable(
+        title="Fig. 4b — impact of serialization on RMIs",
+        x_label="list size",
+        y_label="latency (s)",
+        notes=f"{invocations} invocations per point",
+    )
+    scenarios = {
+        "proxy-out->in+s": (TrustedCell, Side.UNTRUSTED),
+        "proxy-in->out+s": (UntrustedCell, Side.TRUSTED),
+        "proxy-out->in": (TrustedCell, Side.UNTRUSTED),
+        "proxy-in->out": (UntrustedCell, Side.TRUSTED),
+    }
+    for name, (cls, caller_side) in scenarios.items():
+        series = table.new_series(name)
+        serialized = name.endswith("+s")
+        for size in list_sizes:
+            payload = make_payload(size) if serialized else None
+            with _fresh_session(f"fig4b_{name}") as session:
+                with session.on_side(caller_side):
+                    target = cls(0)
+                    span = session.platform.measure()
+                    for i in range(invocations):
+                        if payload is None:
+                            target.set_value(i)
+                        else:
+                            target.set_payload(payload)
+                    series.add(size, span.elapsed_s())
+    return table
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(run_fig4a().format())
+    print()
+    print(run_fig4b().format())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

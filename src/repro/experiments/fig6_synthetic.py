@@ -1,0 +1,67 @@
+"""Fig. 6 — synthetic application runtime vs %untrusted classes (§6.5).
+
+A generated application (default 100 classes) whose instance methods
+are all CPU-intensive or all I/O-intensive; the fraction of @untrusted
+classes sweeps 0..100%. Expected shape: runtime falls monotonically as
+classes leave the enclave, for both workloads.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Sequence
+
+from repro.apps.generator import generate_app
+from repro.baselines import native_session
+from repro.core import Partitioner, PartitionOptions
+from repro.experiments.common import ExperimentTable
+from repro.graal.jtypes import TrustLevel
+
+DEFAULT_PERCENTAGES = tuple(range(0, 101, 10))
+DEFAULT_CLASSES = 100
+
+_run_counter = [0]
+
+
+def _run_generated(workload: str, pct_untrusted: int, n_classes: int) -> float:
+    _run_counter[0] += 1
+    tag = f"r{_run_counter[0]}p{pct_untrusted}"
+    app_spec = generate_app(
+        n_classes=n_classes, pct_untrusted=pct_untrusted, workload=workload, tag=tag
+    )
+    workdir = tempfile.mkdtemp(prefix="fig6_")
+    if pct_untrusted >= 100:
+        # No trusted classes remain: the whole application runs outside.
+        with native_session(name=f"fig6_{tag}") as session:
+            app_spec.drive(workdir)
+            return session.platform.now_s
+    partitioner = Partitioner(PartitionOptions(name=f"fig6_{tag}"))
+    app = partitioner.partition(list(app_spec.classes))
+    with app.start() as session:
+        app_spec.drive(workdir)
+        return session.platform.now_s
+
+
+def run_fig6(
+    percentages: Sequence[int] = DEFAULT_PERCENTAGES,
+    n_classes: int = DEFAULT_CLASSES,
+) -> ExperimentTable:
+    table = ExperimentTable(
+        title="Fig. 6 — runtime vs percentage of untrusted classes",
+        x_label="untrusted (%)",
+        y_label="runtime (s)",
+        notes=f"{n_classes} generated classes; one method call per class",
+    )
+    for workload in ("cpu", "io"):
+        series = table.new_series(f"{workload} intensive")
+        for pct in percentages:
+            series.add(pct, _run_generated(workload, pct, n_classes))
+    return table
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(run_fig6().format())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,142 @@
+"""Fig. 7 / Fig. 10 — PalDB read+write time across configurations (§6.5, §6.6).
+
+Writes then reads N key/value pairs (keys: random-int strings, values:
+128-char strings) in each configuration:
+
+- ``NoSGX``       — native image on the host;
+- ``NoPart``      — unpartitioned native image inside the enclave;
+- ``Part(RTWU)``  — reader trusted / writer untrusted;
+- ``Part(RUWT)``  — reader untrusted / writer trusted;
+- ``SCONE+JVM``   — unmodified app on an in-enclave JVM (Fig. 10 only).
+
+Expected shape: RTWU ~2.5x and RUWT ~1.04x over NoPart; RTWU ~6.6x,
+RUWT ~2.8x and NoPart ~2.6x over SCONE+JVM; RUWT performs ~23x more
+ocalls than RTWU.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+from repro.apps.paldb import KvWorkload
+from repro.apps.paldb.workload import (
+    PALDB_RTWU_CLASSES,
+    PALDB_RUWT_CLASSES,
+    ReaderLogic,
+    TrustedDBReader,
+    TrustedDBWriter,
+    UntrustedDBReader,
+    UntrustedDBWriter,
+    WriterLogic,
+)
+from repro.baselines import native_session, scone_jvm_session
+from repro.core import Partitioner, PartitionOptions
+from repro.experiments.common import ExperimentTable
+
+DEFAULT_KEY_COUNTS = tuple(range(10_000, 100_001, 10_000))
+
+
+@dataclass(frozen=True)
+class PaldbRun:
+    """One configuration run: total virtual time + ocall count."""
+
+    seconds: float
+    ocalls: int
+
+
+def _run_one(
+    writer_cls, reader_cls, session_factory: Callable, keys, values
+) -> PaldbRun:
+    with session_factory() as session:
+        workdir = tempfile.mkdtemp(prefix="paldb_")
+        path = os.path.join(workdir, "store.paldb")
+        written = writer_cls(path).write_all(keys, values)
+        found, _checksum = reader_cls(path).read_all(keys)
+        if written != len(keys) or found != len(keys):
+            raise AssertionError(
+                f"store round-trip failed: wrote {written}, found {found}"
+            )
+        ocalls = int(session.platform.ledger.count("transition.ocall"))
+        return PaldbRun(seconds=session.platform.now_s, ocalls=ocalls)
+
+
+def _configurations(include_scone: bool) -> Dict[str, Tuple]:
+    configs: Dict[str, Tuple] = {
+        "NoSGX": (
+            UntrustedDBWriter,
+            UntrustedDBReader,
+            lambda: native_session(name="paldb"),
+        ),
+        "NoPart": (
+            UntrustedDBWriter,
+            UntrustedDBReader,
+            lambda: Partitioner(PartitionOptions(name="paldb_nopart"))
+            .unpartitioned([WriterLogic, ReaderLogic])
+            .start(),
+        ),
+        "Part(RTWU)": (
+            UntrustedDBWriter,
+            TrustedDBReader,
+            lambda: Partitioner(PartitionOptions(name="paldb_rtwu"))
+            .partition(list(PALDB_RTWU_CLASSES))
+            .start(),
+        ),
+        "Part(RUWT)": (
+            TrustedDBWriter,
+            UntrustedDBReader,
+            lambda: Partitioner(PartitionOptions(name="paldb_ruwt"))
+            .partition(list(PALDB_RUWT_CLASSES))
+            .start(),
+        ),
+    }
+    if include_scone:
+        configs["SCONE+JVM"] = (
+            UntrustedDBWriter,
+            UntrustedDBReader,
+            lambda: scone_jvm_session(name="paldb_scone"),
+        )
+    return configs
+
+
+def run_fig7(
+    key_counts: Sequence[int] = DEFAULT_KEY_COUNTS,
+    include_scone: bool = False,
+) -> ExperimentTable:
+    title = "Fig. 10" if include_scone else "Fig. 7"
+    table = ExperimentTable(
+        title=f"{title} — PalDB time to read and write K/V pairs",
+        x_label="keys",
+        y_label="run time (s)",
+        notes="values are 128-char strings; totals include session start",
+    )
+    configs = _configurations(include_scone)
+    ocall_series = {}
+    for name in configs:
+        table.new_series(name)
+        ocall_series[name] = []
+    for count in key_counts:
+        keys, values = KvWorkload(n_keys=count).generate()
+        for name, (writer_cls, reader_cls, factory) in configs.items():
+            run = _run_one(writer_cls, reader_cls, factory, keys, values)
+            table.get(name).add(count, run.seconds)
+            ocall_series[name].append(run.ocalls)
+    rtwu = sum(ocall_series.get("Part(RTWU)", [0])) or 1
+    ruwt = sum(ocall_series.get("Part(RUWT)", [0]))
+    table.notes += f"; ocalls RUWT/RTWU = {ruwt / rtwu:.1f}x (paper ~23x)"
+    return table
+
+
+def run_fig10(key_counts: Sequence[int] = DEFAULT_KEY_COUNTS) -> ExperimentTable:
+    """Fig. 10 — Fig. 7's sweep with the SCONE+JVM baseline added."""
+    return run_fig7(key_counts=key_counts, include_scone=True)
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(run_fig10().format(y_format="{:.3f}"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,154 @@
+"""Fig. 9 / Fig. 11 — GraphChi PageRank across configurations (§6.5, §6.6).
+
+PageRank over RMAT graphs, sweeping the shard count, with the total
+split into sharding and engine time:
+
+- Fig. 9: NoSGX / NoPart / Part for three graph sizes;
+- Fig. 11: adds NoSGX+JVM and SCONE+JVM for the largest graph.
+
+Expected shape: partitioning moves the sharder's time back to native
+cost (~1.2x overall gain); the partitioned image beats SCONE+JVM ~2.2x.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.apps.graphchi import FastSharder, GraphChiEngine
+from repro.apps.graphchi.engine import EngineLogic
+from repro.apps.graphchi.sharder import SharderLogic
+from repro.apps.rmat import generate_rmat
+from repro.baselines import host_jvm_session, native_session, scone_jvm_session
+from repro.core import Partitioner, PartitionOptions
+from repro.experiments.common import ExperimentTable
+
+#: The paper's three graph sizes (V, E).
+DEFAULT_GRAPHS = ((6_250, 25_000), (12_500, 50_000), (25_000, 100_000))
+DEFAULT_SHARDS = (1, 2, 3, 4, 5, 6)
+DEFAULT_ITERATIONS = 5
+
+GRAPHCHI_CLASSES = (GraphChiEngine, FastSharder)
+
+
+@dataclass(frozen=True)
+class GraphchiRun:
+    sharding_s: float
+    engine_s: float
+    total_s: float
+
+
+def _run_one(
+    session_factory: Callable,
+    sources: List[int],
+    destinations: List[int],
+    n_vertices: int,
+    n_shards: int,
+    iterations: int,
+) -> GraphchiRun:
+    with session_factory() as session:
+        workdir = tempfile.mkdtemp(prefix="graphchi_")
+        platform = session.platform
+        shard_start = platform.now_s
+        sharded = FastSharder(workdir).shard(
+            sources, destinations, n_vertices, n_shards
+        )
+        shard_end = platform.now_s
+        ranks = GraphChiEngine().run_pagerank(sharded, iterations=iterations)
+        total = platform.now_s
+        if len(ranks) != n_vertices:
+            raise AssertionError("engine returned a truncated rank vector")
+        return GraphchiRun(
+            sharding_s=shard_end - shard_start,
+            engine_s=total - shard_end,
+            total_s=total,
+        )
+
+
+def _configurations(extended: bool) -> Dict[str, Callable]:
+    configs: Dict[str, Callable] = {
+        "NoSGX-NI": lambda: native_session(name="graphchi"),
+        "NoPart-NI": lambda: Partitioner(PartitionOptions(name="graphchi_nopart"))
+        .unpartitioned([SharderLogic, EngineLogic])
+        .start(),
+        "Part-NI": lambda: Partitioner(PartitionOptions(name="graphchi_part"))
+        .partition(list(GRAPHCHI_CLASSES))
+        .start(),
+    }
+    if extended:
+        configs["NoSGX+JVM"] = lambda: host_jvm_session(name="graphchi_jvm")
+        configs["SCONE+JVM"] = lambda: scone_jvm_session(name="graphchi_scone")
+    return configs
+
+
+def run_fig9(
+    graphs: Sequence[Tuple[int, int]] = DEFAULT_GRAPHS,
+    shard_counts: Sequence[int] = DEFAULT_SHARDS,
+    iterations: int = DEFAULT_ITERATIONS,
+) -> Dict[Tuple[int, int], ExperimentTable]:
+    """One table per graph size; series are ``<config>`` totals plus
+    ``<config>:sharding`` / ``<config>:engine`` breakdowns."""
+    results: Dict[Tuple[int, int], ExperimentTable] = {}
+    for n_vertices, n_edges in graphs:
+        sources, destinations = generate_rmat(n_vertices, n_edges, seed=11)
+        src_list, dst_list = sources.tolist(), destinations.tolist()
+        table = ExperimentTable(
+            title=(
+                f"Fig. 9 — PageRank-GraphChi, {n_vertices / 1000:g}k-V, "
+                f"{n_edges / 1000:g}k-E"
+            ),
+            x_label="shards",
+            y_label="run time (s)",
+        )
+        for name, factory in _configurations(extended=False).items():
+            total = table.new_series(name)
+            sharding = table.new_series(f"{name}:sharding")
+            engine = table.new_series(f"{name}:engine")
+            for n_shards in shard_counts:
+                run = _run_one(
+                    factory, src_list, dst_list, n_vertices, n_shards, iterations
+                )
+                total.add(n_shards, run.total_s)
+                sharding.add(n_shards, run.sharding_s)
+                engine.add(n_shards, run.engine_s)
+        results[(n_vertices, n_edges)] = table
+    return results
+
+
+def run_fig11(
+    n_vertices: int = 25_000,
+    n_edges: int = 100_000,
+    shard_counts: Sequence[int] = DEFAULT_SHARDS,
+    iterations: int = DEFAULT_ITERATIONS,
+) -> ExperimentTable:
+    """Fig. 11 — the 25k-V/100k-E graph across all five configurations."""
+    sources, destinations = generate_rmat(n_vertices, n_edges, seed=11)
+    src_list, dst_list = sources.tolist(), destinations.tolist()
+    table = ExperimentTable(
+        title=(
+            f"Fig. 11 — PageRank-GraphChi vs SCONE+JVM, "
+            f"{n_vertices / 1000:g}k vertices, {n_edges / 1000:g}k edges"
+        ),
+        x_label="shards",
+        y_label="run time (s)",
+    )
+    for name, factory in _configurations(extended=True).items():
+        series = table.new_series(name)
+        for n_shards in shard_counts:
+            run = _run_one(
+                factory, src_list, dst_list, n_vertices, n_shards, iterations
+            )
+            series.add(n_shards, run.total_s)
+    return table
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    for table in run_fig9().values():
+        print(table.format(y_format="{:.3f}"))
+        print()
+    print(run_fig11().format(y_format="{:.3f}"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

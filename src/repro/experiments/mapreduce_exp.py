@@ -1,0 +1,73 @@
+"""Extra experiment — VC3-style MapReduce across deployments ([44], §3).
+
+Word count over sealed records in four deployments. Unlike the
+SecureKeeper split, this partitioning is *coarse* — one relay per map
+split / reduce partition — so plain Montsalvat partitioning already
+wins: the framework's shuffle stays outside while only the user's
+map/reduce code pays enclave prices.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.apps.mapreduce import (
+    MAPREDUCE_CLASSES,
+    JobTracker,
+    TrustedMapper,
+    TrustedReducer,
+    run_wordcount,
+    wordcount_reference,
+)
+from repro.baselines import native_session, scone_jvm_session
+from repro.core import Partitioner, PartitionOptions
+from repro.experiments.common import ExperimentTable
+
+DEFAULT_LINE_COUNTS = (200, 600, 1_200)
+
+
+def _make_lines(count: int) -> list:
+    return [
+        f"record {index % 50} with shared tokens alpha beta gamma delta"
+        for index in range(count)
+    ]
+
+
+def run_mapreduce(line_counts: Sequence[int] = DEFAULT_LINE_COUNTS) -> ExperimentTable:
+    table = ExperimentTable(
+        title="VC3-style MapReduce — word count across deployments",
+        x_label="input lines",
+        y_label="run time (s)",
+        notes="coarse partitioning: one relay per split/partition",
+    )
+    configurations = {
+        "NoSGX": lambda: native_session(name="vc3"),
+        "Part (map/reduce in enclave)": lambda: Partitioner(
+            PartitionOptions(name="vc3_part")
+        )
+        .partition(list(MAPREDUCE_CLASSES))
+        .start(),
+        "Unpart (all in enclave)": lambda: Partitioner(
+            PartitionOptions(name="vc3_nopart")
+        )
+        .unpartitioned([TrustedMapper, TrustedReducer, JobTracker])
+        .start(),
+        "SCONE+JVM": lambda: scone_jvm_session(name="vc3_scone"),
+    }
+    for name, factory in configurations.items():
+        series = table.new_series(name)
+        for count in line_counts:
+            lines = _make_lines(count)
+            with factory() as session:
+                results = run_wordcount(lines, n_splits=4)
+                assert results == wordcount_reference(lines)
+                series.add(count, session.platform.now_s)
+    return table
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(run_mapreduce().format(y_format="{:.4f}"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,63 @@
+"""Micro-benchmark classes shared by the Fig. 3/4 experiments."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.annotations import current_context, trusted, untrusted
+
+#: Cost of the setter body itself: a handful of instructions plus the
+#: cache lines it touches (object header, field, stack) — which is what
+#: makes a concrete in-enclave call slightly pricier than outside.
+_SETTER_CPU_CYCLES = 30.0
+_SETTER_MEM_BYTES = 256.0
+
+
+def _charge_setter() -> None:
+    ctx = current_context()
+    if ctx is not None:
+        ctx.compute(_SETTER_CPU_CYCLES, mem_bytes=_SETTER_MEM_BYTES)
+
+
+@trusted
+class TrustedCell:
+    """Minimal trusted class: one field, one setter (the paper's
+    micro-benchmarks use inexpensive setter methods, §6.3)."""
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    def set_value(self, value: int) -> None:
+        _charge_setter()
+        self.value = value
+
+    def set_payload(self, values: List[str]) -> int:
+        """Setter taking a serializable list (the ...+s variants)."""
+        _charge_setter()
+        self.last_length = len(values)
+        return self.last_length
+
+
+@untrusted
+class UntrustedCell:
+    """Minimal untrusted class, mirror image of :class:`TrustedCell`."""
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    def set_value(self, value: int) -> None:
+        _charge_setter()
+        self.value = value
+
+    def set_payload(self, values: List[str]) -> int:
+        _charge_setter()
+        self.last_length = len(values)
+        return self.last_length
+
+
+MICRO_CLASSES = (TrustedCell, UntrustedCell)
+
+
+def make_payload(size: int) -> List[str]:
+    """A list of ``size`` 16-byte string values (§6.3)."""
+    return [f"v{index:014d}" for index in range(size)]

@@ -1,0 +1,112 @@
+"""Markdown report generator: run everything, emit EXPERIMENTS-style
+output with the paper targets inlined.
+
+Used to regenerate the measured columns of ``EXPERIMENTS.md`` and as a
+one-command artifact for a fresh checkout::
+
+    python -m repro.experiments.report            # quick scale
+    python -m repro.experiments.report --paper    # paper scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.experiments.ablations import run_switchless_ablation
+from repro.experiments.common import ExperimentTable, orders_of_magnitude
+from repro.experiments.epc_paging import run_epc_paging
+from repro.experiments.fig12_specjvm import PAPER_TABLE1, run_table1
+from repro.experiments.fig3_proxy_creation import run_fig3
+from repro.experiments.fig4_rmi import run_fig4b
+from repro.experiments.fig5_gc import run_fig5a
+from repro.experiments.fig7_paldb import run_fig10
+from repro.experiments.fig9_graphchi import run_fig11
+
+
+def generate_report(paper_scale: bool = False) -> str:
+    """Run the headline experiments and render a markdown summary."""
+    lines: List[str] = ["# Montsalvat reproduction — measured summary", ""]
+
+    def row(name: str, paper: str, measured: str) -> None:
+        lines.append(f"| {name} | {paper} | {measured} |")
+
+    lines += ["| result | paper | measured |", "|---|---|---|"]
+
+    fig3 = run_fig3(counts=(40_000,) if not paper_scale else (10_000, 100_000))
+    out_in = orders_of_magnitude(fig3.mean_ratio("proxy-out->in", "concrete-out"))
+    in_out = orders_of_magnitude(fig3.mean_ratio("proxy-in->out", "concrete-in"))
+    row("Fig. 3 proxy creation (orders)", "~4 / ~3", f"{out_in:.1f} / {in_out:.1f}")
+
+    fig4b = run_fig4b(
+        list_sizes=(30_000,), invocations=1_000 if not paper_scale else 10_000
+    )
+    in_s = fig4b.get("proxy-in->out+s").y_at(30_000) / fig4b.get("proxy-in->out").y_at(30_000)
+    out_s = fig4b.get("proxy-out->in+s").y_at(30_000) / fig4b.get("proxy-out->in").y_at(30_000)
+    row("Fig. 4b serialization penalty", "~10x / ~3x", f"{in_s:.1f}x / {out_s:.1f}x")
+
+    fig5a = run_fig5a(counts=(100_000,))
+    gc_ratio = fig5a.mean_ratio("concrete-in: GC in", "concrete-out: GC out")
+    row("Fig. 5a in-enclave GC", "~1 order", f"{gc_ratio:.1f}x")
+
+    counts = (20_000,) if not paper_scale else (20_000, 60_000, 100_000)
+    fig10 = run_fig10(key_counts=counts)
+    largest = counts[-1]
+    scone = fig10.get("SCONE+JVM").y_at(largest)
+    row(
+        "Fig. 7/10 PalDB RTWU vs NoPart",
+        "2.5x",
+        f"{fig10.mean_ratio('NoPart', 'Part(RTWU)'):.2f}x",
+    )
+    row(
+        "Fig. 10 RTWU vs SCONE+JVM",
+        "6.6x",
+        f"{scone / fig10.get('Part(RTWU)').y_at(largest):.1f}x",
+    )
+
+    fig11 = run_fig11(
+        n_vertices=8_000 if not paper_scale else 25_000,
+        n_edges=32_000 if not paper_scale else 100_000,
+        shard_counts=(3,),
+        iterations=5,
+    )
+    row(
+        "Fig. 11 GraphChi Part vs SCONE+JVM",
+        "2.2x",
+        f"{fig11.mean_ratio('SCONE+JVM', 'Part-NI'):.2f}x",
+    )
+
+    table1 = run_table1()
+    measured = "/".join(f"{table1[k]:.2f}" for k in PAPER_TABLE1)
+    paper = "/".join(f"{v:.2f}" for v in PAPER_TABLE1.values())
+    row("Table 1 ratios", paper, measured)
+
+    switchless = run_switchless_ablation(invocation_counts=(2_000,))
+    row(
+        "Switchless RMI gain (§7)",
+        "n/a (future work)",
+        f"{switchless.mean_ratio('hardware transitions', 'switchless'):.0f}x",
+    )
+
+    epc = run_epc_paging(working_sets_mb=(64, 128))
+    row(
+        "EPC paging slowdown (64->128 MB ws)",
+        "significant (§2.1)",
+        f"{epc.get('enclave/host slowdown').y_at(128) / epc.get('enclave/host slowdown').y_at(64):.1f}x extra",
+    )
+
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.experiments.report")
+    parser.add_argument("--paper", action="store_true", help="paper-scale sweep")
+    args = parser.parse_args(argv)
+    print(generate_report(paper_scale=args.paper))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Extra experiment — SecureKeeper-style partitioning (related work [9]).
+
+The coordination-service split (payload vault trusted, ZooKeeper-style
+framework untrusted) is *chatty*: every put/read crosses the boundary
+for encryption. That makes it exactly the workload the paper's §6.2/§6.3
+micro-benchmarks warn about — per-operation RMIs cost ~10² µs — and the
+workload §7's switchless-call future work exists for:
+
+- plain partitioning pays the full relay (transition + isolate attach)
+  per vault call and loses badly;
+- partitioning **with switchless calls** keeps the framework (network
+  and txn-log syscalls, tree bookkeeping) at native cost while vault
+  crossings shrink to worker-queue hops — beating the whole-service-in-
+  enclave deployment, which relays every network/log syscall out.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.apps.securekeeper import (
+    SECUREKEEPER_CLASSES,
+    PayloadVault,
+    SecureKeeperClient,
+    ZNodeStore,
+)
+from repro.baselines import native_session
+from repro.core import Partitioner, PartitionOptions
+from repro.experiments.common import ExperimentTable
+
+DEFAULT_ENTRY_COUNTS = (500, 1_000, 2_000)
+
+
+def _drive(n_entries: int) -> None:
+    client = SecureKeeperClient(PayloadVault("master"), ZNodeStore())
+    client.put("/app", "root")
+    for index in range(n_entries):
+        client.put(f"/app/cfg{index}", f"value-{index}" * 4)
+    for index in range(n_entries):
+        value = client.read(f"/app/cfg{index}")
+        assert value.startswith(f"value-{index}")
+
+
+def run_securekeeper(
+    entry_counts: Sequence[int] = DEFAULT_ENTRY_COUNTS,
+) -> ExperimentTable:
+    table = ExperimentTable(
+        title="SecureKeeper-style partitioning — the chatty-RMI lesson",
+        x_label="entries",
+        y_label="run time (s)",
+        notes=(
+            "put+read of encrypted configuration entries; the vault "
+            "crossing per operation makes switchless calls (§7) decisive"
+        ),
+    )
+    configurations = {
+        "NoSGX": lambda: native_session(name="sk"),
+        "Part": lambda: Partitioner(PartitionOptions(name="sk_part"))
+        .partition(list(SECUREKEEPER_CLASSES))
+        .start(),
+        "Part+switchless": lambda: Partitioner(
+            PartitionOptions(name="sk_sw", switchless=True)
+        )
+        .partition(list(SECUREKEEPER_CLASSES))
+        .start(),
+        "Unpart (all in enclave)": lambda: Partitioner(
+            PartitionOptions(name="sk_nopart")
+        )
+        .unpartitioned([PayloadVault, ZNodeStore, SecureKeeperClient])
+        .start(),
+    }
+    for name, factory in configurations.items():
+        series = table.new_series(name)
+        for count in entry_counts:
+            with factory() as session:
+                _drive(count)
+                series.add(count, session.platform.now_s)
+    return table
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(run_securekeeper().format(y_format="{:.4f}"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

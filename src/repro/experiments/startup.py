@@ -1,0 +1,128 @@
+"""Extra experiment — startup time and footprint: native image vs JVM.
+
+§2.2: AOT compilation yields "quicker startup times and lower memory
+footprint", and build-time initialisation moves work from every start
+into the single build ("initialize once, start fast"). This experiment
+measures:
+
+- session startup latency of the partitioned native image, the
+  unpartitioned in-enclave image, a host JVM and SCONE+JVM;
+- the resident footprint each brings along before application work;
+- the build-time-init effect: an application whose configuration
+  parsing runs at build time starts from the parsed state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.apps.bank import BANK_CLASSES
+from repro.baselines import host_jvm_session, scone_jvm_session
+from repro.baselines.jvm import JvmBootModel
+from repro.core import Partitioner, PartitionOptions, Side
+from repro.core.annotations import trusted
+from repro.core.tcb import GRAAL_RUNTIME_BYTES
+from repro.experiments.common import ExperimentTable
+
+
+def run_startup() -> ExperimentTable:
+    table = ExperimentTable(
+        title="Startup — native images vs JVMs (§2.2)",
+        x_label="metric",
+        y_label="value",
+        notes="x=0: startup seconds; x=1: runtime footprint (MB)",
+    )
+    partitioner = Partitioner(PartitionOptions(name="startup"))
+
+    part_app = partitioner.partition(BANK_CLASSES, main="Main.main")
+    series = table.new_series("Part-NI")
+    with part_app.start() as session:
+        series.add(0, session.platform.now_s)
+    footprint = (
+        part_app.images.trusted.code_size_bytes
+        + part_app.images.untrusted.code_size_bytes
+        + part_app.images.trusted.image_heap_bytes
+        + 2 * GRAAL_RUNTIME_BYTES
+    )
+    series.add(1, footprint / 1e6)
+
+    unpart_app = partitioner.unpartitioned(list(BANK_CLASSES), main="Main.main")
+    series = table.new_series("NoPart-NI")
+    with unpart_app.start() as session:
+        series.add(0, session.platform.now_s)
+    series.add(
+        1,
+        (unpart_app.image.code_size_bytes + unpart_app.image.image_heap_bytes
+         + GRAAL_RUNTIME_BYTES) / 1e6,
+    )
+
+    boot = JvmBootModel(app_classes=len(BANK_CLASSES))
+    series = table.new_series("NoSGX+JVM")
+    with host_jvm_session(boot=boot) as session:
+        series.add(0, session.platform.now_s)
+    series.add(1, boot.runtime_footprint_bytes / 1e6)
+
+    series = table.new_series("SCONE+JVM")
+    with scone_jvm_session() as session:
+        series.add(0, session.platform.now_s)
+    series.add(1, boot.runtime_footprint_bytes / 1e6)
+
+    return table
+
+
+@trusted
+class ConfiguredService:
+    """Service whose configuration parsing can run at build time."""
+
+    #: Simulated cost of parsing the configuration at runtime.
+    PARSE_CYCLES = 80e6
+
+    @classmethod
+    def __build_init__(cls, image_heap) -> None:
+        image_heap.put("service_config", cls.parse_configuration())
+
+    @staticmethod
+    def parse_configuration() -> Dict[str, int]:
+        # Deterministic "parse" of a config file.
+        return {f"option_{i}": i * 3 for i in range(200)}
+
+    def __init__(self) -> None:
+        self.ready = True
+
+
+def run_build_time_init() -> ExperimentTable:
+    """Startup with and without build-time initialisation."""
+    table = ExperimentTable(
+        title="Build-time initialisation — start from the image heap (§2.2)",
+        x_label="variant",
+        y_label="startup (s)",
+        notes="x=0: init at build; x=1: init at every start",
+    )
+    series = table.new_series("startup seconds")
+
+    app = Partitioner(PartitionOptions(name="bti")).partition(
+        [ConfiguredService, *BANK_CLASSES], main="Main.main"
+    )
+    with app.start() as session:
+        config = session.startup_heap(Side.TRUSTED)["service_config"]
+        assert config["option_7"] == 21  # parsed state, no runtime work
+        series.add(0, session.platform.now_s)
+
+    with app.start() as session:
+        # Counterfactual: parse at startup instead.
+        session.platform.charge_cycles(
+            "startup.runtime_init", ConfiguredService.PARSE_CYCLES
+        )
+        ConfiguredService.parse_configuration()
+        series.add(1, session.platform.now_s)
+    return table
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print(run_startup().format(y_format="{:.4f}"))
+    print()
+    print(run_build_time_init().format(y_format="{:.4f}"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,43 @@
+"""GraalVM native-image substrate, simulated.
+
+Implements the toolchain pieces Montsalvat extends (§2.2, §5.3):
+
+- :mod:`repro.graal.jtypes` — the class/method IR the analyses run on;
+- :mod:`repro.graal.extraction` — AST extraction of call graphs from
+  annotated Python classes (the bytecode stand-in);
+- :mod:`repro.graal.pointsto` — reachability (points-to) analysis;
+- :mod:`repro.graal.entrypoints` — @CEntryPoint modelling/validation;
+- :mod:`repro.graal.image` — image heap snapshots and built images;
+- :mod:`repro.graal.builder` — the native-image build pipeline, with
+  Montsalvat's relocatable-object mode (§5.3);
+- :mod:`repro.graal.isolate` — independent VM instances with their own
+  heaps (§2.2).
+"""
+
+from repro.graal.builder import BuildOptions, LinkMode, NativeImageBuilder
+from repro.graal.entrypoints import CEntryPointSpec, validate_entry_point
+from repro.graal.extraction import extract_class, extract_classes
+from repro.graal.image import ImageHeap, NativeImage
+from repro.graal.isolate import Isolate
+from repro.graal.jtypes import CallSite, JClass, JField, JMethod, TrustLevel
+from repro.graal.pointsto import PointsToAnalysis, ReachableSet
+
+__all__ = [
+    "BuildOptions",
+    "LinkMode",
+    "NativeImageBuilder",
+    "CEntryPointSpec",
+    "validate_entry_point",
+    "extract_class",
+    "extract_classes",
+    "ImageHeap",
+    "NativeImage",
+    "Isolate",
+    "CallSite",
+    "JClass",
+    "JField",
+    "JMethod",
+    "TrustLevel",
+    "PointsToAnalysis",
+    "ReachableSet",
+]

@@ -1,0 +1,116 @@
+"""Native-image build pipeline (§2.2, §5.3).
+
+The builder takes a closed-world class universe and a set of entry
+points, runs the points-to analysis, executes build-time initialisers,
+snapshots the image heap, and emits an image. Montsalvat's modified
+generator bypasses the linking phase to produce relocatable object
+files (`LinkMode.RELOCATABLE`), later linked with the enclave libraries
+by the SGX module.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.costs.machine import GB
+from repro.errors import BuildError
+from repro.graal.image import ImageHeap, NativeImage, synthesize_code
+from repro.graal.jtypes import ClassUniverse, JClass
+from repro.graal.pointsto import PointsToAnalysis, ReachableSet
+
+
+class LinkMode(enum.Enum):
+    """What artifact the build produces."""
+
+    EXECUTABLE = "executable"
+    SHARED_OBJECT = "shared-object"
+    #: Montsalvat's modification: bypass linking, emit a .o for the SGX
+    #: module to link against the enclave libraries (§5.3).
+    RELOCATABLE = "relocatable"
+
+
+@dataclass(frozen=True)
+class BuildOptions:
+    """native-image CLI options the reproduction honours."""
+
+    max_heap_bytes: int = 2 * GB  # paper builds with -R:MaxHeapSize=2g (§6.1)
+    link_mode: LinkMode = LinkMode.EXECUTABLE
+    #: Extra classes forced into the image (the reflection-config JSON
+    #: analog produced by the tracing agent, §2.2).
+    reflection_config: Tuple[str, ...] = ()
+
+
+#: A build-time initialiser: runs during the build and stores results in
+#: the image heap (§2.2 — "initialize once, start fast").
+BuildTimeInit = Callable[[ImageHeap], None]
+
+
+class NativeImageBuilder:
+    """Drives analysis + build-time init + image emission."""
+
+    def __init__(self, options: BuildOptions = BuildOptions()) -> None:
+        self.options = options
+
+    def build(
+        self,
+        name: str,
+        universe: ClassUniverse,
+        entry_points: Iterable[str],
+        build_time_init: Optional[BuildTimeInit] = None,
+    ) -> NativeImage:
+        """Build one image; raises :class:`BuildError` on violations."""
+        entry_tuple = tuple(entry_points)
+        if not entry_tuple:
+            raise BuildError(f"image {name!r} has no entry points")
+
+        reachable = PointsToAnalysis(universe).analyze(entry_tuple)
+        reachable = self._apply_reflection_config(universe, reachable, entry_tuple)
+
+        image_heap = ImageHeap()
+        if build_time_init is not None:
+            build_time_init(image_heap)
+        heap_blob = image_heap.snapshot()
+
+        code = synthesize_code(name, reachable, heap_blob)
+        return NativeImage(
+            name=name,
+            reachable=reachable,
+            entry_points=entry_tuple,
+            image_heap_bytes=len(heap_blob),
+            relocatable=self.options.link_mode is LinkMode.RELOCATABLE,
+            code_bytes=code,
+            image_heap_blob=heap_blob,
+        )
+
+    def _apply_reflection_config(
+        self,
+        universe: ClassUniverse,
+        reachable: ReachableSet,
+        entry_points: Tuple[str, ...],
+    ) -> ReachableSet:
+        """Force reflection-configured classes (and their transitive
+        closure) into the image by re-running the analysis with their
+        public methods added as synthetic entry points."""
+        if not self.options.reflection_config:
+            return reachable
+        extra = []
+        for class_name in self.options.reflection_config:
+            jclass = universe[class_name]  # closed-world check
+            extra.extend(m.qualified_name for m in jclass.public_methods())
+        if not extra:
+            return reachable
+        return PointsToAnalysis(universe).analyze(list(entry_points) + extra)
+
+
+def partition_universes(
+    trusted_and_proxies: Iterable[JClass],
+    untrusted_and_proxies: Iterable[JClass],
+    neutral: Iterable[JClass],
+) -> Tuple[ClassUniverse, ClassUniverse]:
+    """Build the (T ∪ N) and (U ∪ N) input sets of §5.3."""
+    neutral_list = list(neutral)
+    trusted_universe = ClassUniverse.of(*trusted_and_proxies, *neutral_list)
+    untrusted_universe = ClassUniverse.of(*untrusted_and_proxies, *neutral_list)
+    return trusted_universe, untrusted_universe

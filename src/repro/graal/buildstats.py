@@ -1,0 +1,79 @@
+"""Build statistics: what the points-to analysis kept and pruned.
+
+GraalVM's value proposition (§2.2) is that only reachable program
+elements are compiled, and Montsalvat leans on the same analysis to
+prune unreachable proxy classes (§5.2). This module reports those
+numbers for a built, partitioned application — the "how much did the
+closed world save us" view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.graal.image import NativeImage
+from repro.graal.jtypes import ClassUniverse
+
+
+@dataclass(frozen=True)
+class ImageBuildStats:
+    """Pruning statistics for one image."""
+
+    image_name: str
+    total_classes: int
+    reachable_classes: int
+    total_methods: int
+    reachable_methods: int
+    pruned_proxy_classes: Tuple[str, ...]
+
+    @property
+    def method_pruning_ratio(self) -> float:
+        if not self.total_methods:
+            return 0.0
+        return 1.0 - self.reachable_methods / self.total_methods
+
+    def format(self) -> str:
+        lines = [
+            f"build stats — {self.image_name}",
+            f"  classes:  {self.reachable_classes}/{self.total_classes} reachable",
+            f"  methods:  {self.reachable_methods}/{self.total_methods} reachable "
+            f"({self.method_pruning_ratio:.0%} pruned)",
+        ]
+        if self.pruned_proxy_classes:
+            lines.append(
+                "  pruned proxies: " + ", ".join(self.pruned_proxy_classes)
+            )
+        return "\n".join(lines)
+
+
+def analyze_image(
+    image: NativeImage, universe: ClassUniverse, proxy_names: Tuple[str, ...] = ()
+) -> ImageBuildStats:
+    """Compare an image's reachable set against its input universe."""
+    total_methods = sum(len(jclass.methods) for jclass in universe.classes())
+    pruned_proxies = tuple(
+        name
+        for name in proxy_names
+        if name in universe and not image.contains_class(name)
+    )
+    return ImageBuildStats(
+        image_name=image.name,
+        total_classes=len(universe),
+        reachable_classes=len(image.reachable.classes),
+        total_methods=total_methods,
+        reachable_methods=len(image.reachable.methods),
+        pruned_proxy_classes=pruned_proxies,
+    )
+
+
+def partitioned_build_stats(app) -> Tuple[ImageBuildStats, ImageBuildStats]:
+    """(trusted, untrusted) stats for a partitioned application."""
+    proxy_names = tuple(app.transform.proxy_classes)
+    trusted = analyze_image(
+        app.images.trusted, app.transform.trusted_universe, proxy_names
+    )
+    untrusted = analyze_image(
+        app.images.untrusted, app.transform.untrusted_universe, proxy_names
+    )
+    return trusted, untrusted

@@ -1,0 +1,62 @@
+"""@CEntryPoint modelling and validation (§5.2).
+
+GraalVM entry points callable from C must be static, may only take
+primitive or word-type (pointer) parameters — never objects — and must
+receive the isolate that provides their execution context. Montsalvat's
+relay methods are generated to satisfy exactly these restrictions; the
+validator here is what enforces them in the build pipeline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import BuildError
+
+
+class ParamKind(enum.Enum):
+    """Parameter categories permitted (or not) for a C entry point."""
+
+    ISOLATE = "isolate"
+    PRIMITIVE = "primitive"  # int, long, float, double, boolean...
+    WORD = "word"  # pointers: CCharPointer and friends
+    OBJECT = "object"  # forbidden
+
+
+@dataclass(frozen=True)
+class CEntryPointSpec:
+    """Declared signature of a would-be entry point."""
+
+    name: str
+    declared_in: str
+    is_static: bool
+    params: Tuple[ParamKind, ...]
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.declared_in}.{self.name}"
+
+
+def validate_entry_point(spec: CEntryPointSpec) -> None:
+    """Raise :class:`BuildError` unless the spec satisfies @CEntryPoint."""
+    if not spec.is_static:
+        raise BuildError(
+            f"@CEntryPoint {spec.qualified_name} must be static"
+        )
+    if not spec.params or spec.params[0] is not ParamKind.ISOLATE:
+        raise BuildError(
+            f"@CEntryPoint {spec.qualified_name} must take the execution "
+            "isolate as its first parameter"
+        )
+    for index, kind in enumerate(spec.params[1:], start=1):
+        if kind is ParamKind.OBJECT:
+            raise BuildError(
+                f"@CEntryPoint {spec.qualified_name} parameter {index} is an "
+                "object; only primitives and word types are allowed"
+            )
+        if kind is ParamKind.ISOLATE:
+            raise BuildError(
+                f"@CEntryPoint {spec.qualified_name} declares a second isolate"
+            )

@@ -1,0 +1,174 @@
+"""AST extraction: Python classes -> the JClass IR.
+
+This is the reproduction's stand-in for reading Java bytecode: method
+bodies are parsed with :mod:`ast` to discover call sites —
+instantiations of known classes (statically typed receivers) and
+attribute calls (resolved later by class-hierarchy analysis).
+
+Classes whose source is unavailable (generated classes, REPL classes)
+may declare their call graph explicitly via a ``__calls__`` mapping::
+
+    class Generated:
+        __calls__ = {"run": [("Helper", "step"), ("Helper", None)]}
+
+where ``(cls, None)`` records an instantiation of ``cls`` and
+``(None, name)`` an unresolved attribute call.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.graal.jtypes import CallSite, JClass, JField, JMethod, TrustLevel
+
+#: Attribute set by the @trusted/@untrusted/@neutral decorators.
+TRUST_ATTRIBUTE = "__montsalvat_trust__"
+
+
+def extract_classes(classes: Iterable[type]) -> Dict[str, JClass]:
+    """Extract the IR for a set of Python classes."""
+    return {cls.__name__: extract_class(cls) for cls in classes}
+
+
+def extract_class(cls: type) -> JClass:
+    """Extract one Python class into the IR."""
+    trust = getattr(cls, TRUST_ATTRIBUTE, TrustLevel.NEUTRAL)
+    explicit = getattr(cls, "__calls__", None)
+    methods: List[JMethod] = []
+    fields: Set[str] = set()
+    for name, member in _members_across_mro(cls).items():
+        func = _unwrap(member)
+        if func is None:
+            continue
+        if explicit is not None and name in explicit:
+            calls = frozenset(_explicit_sites(explicit[name]))
+            assigned: Set[str] = set()
+        else:
+            calls, assigned = _analyze_body(func)
+        fields |= assigned
+        methods.append(
+            JMethod(
+                name=name,
+                declared_in=cls.__name__,
+                is_static=isinstance(member, staticmethod),
+                is_public=not name.startswith("_") or name == "__init__",
+                is_constructor=(name == "__init__"),
+                param_count=_param_count(func),
+                calls=calls,
+            )
+        )
+    jfields = tuple(
+        JField(name=f, declared_in=cls.__name__) for f in sorted(fields)
+    )
+    return JClass(
+        name=cls.__name__, trust=trust, methods=tuple(methods), fields=jfields
+    )
+
+
+# -- internals ------------------------------------------------------------
+
+
+def _members_across_mro(cls: type) -> Dict[str, object]:
+    """Class members across the MRO (most-derived wins), like the class
+    file a Java compiler would emit for the leaf class plus its
+    inherited concrete methods."""
+    members: Dict[str, object] = {}
+    for klass in reversed(cls.__mro__):
+        if klass is object:
+            continue
+        members.update(vars(klass))
+    return members
+
+
+def _unwrap(member: object) -> Optional[object]:
+    if isinstance(member, (staticmethod, classmethod)):
+        return member.__func__
+    if inspect.isfunction(member):
+        return member
+    return None
+
+
+def _param_count(func: object) -> int:
+    try:
+        signature = inspect.signature(func)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return 0
+    params = [p for p in signature.parameters.values() if p.name != "self"]
+    return len(params)
+
+
+def _explicit_sites(entries: Iterable[Tuple[Optional[str], Optional[str]]]) -> List[CallSite]:
+    sites: List[CallSite] = []
+    for receiver, method in entries:
+        if method is None and receiver is not None:
+            sites.append(
+                CallSite(
+                    method_name="__init__",
+                    receiver_class=receiver,
+                    is_instantiation=True,
+                )
+            )
+        elif method is not None:
+            sites.append(CallSite(method_name=method, receiver_class=receiver))
+    return sites
+
+
+def _analyze_body(func: object) -> Tuple[frozenset, Set[str]]:
+    """Parse a function body; returns (call sites, self-assigned fields)."""
+    try:
+        source = textwrap.dedent(inspect.getsource(func))  # type: ignore[arg-type]
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError, IndentationError):
+        return frozenset(), set()
+    visitor = _CallVisitor()
+    visitor.visit(tree)
+    return frozenset(visitor.sites), visitor.fields
+
+
+class _CallVisitor(ast.NodeVisitor):
+    """Collects instantiations, attribute calls and ``self.x`` writes."""
+
+    def __init__(self) -> None:
+        self.sites: List[CallSite] = []
+        self.fields: Set[str] = set()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id[:1].isupper():
+            # Capitalised bare-name call: treat as instantiation of a
+            # (possibly unknown) class; the analysis filters by universe.
+            self.sites.append(
+                CallSite(
+                    method_name="__init__",
+                    receiver_class=func.id,
+                    is_instantiation=True,
+                )
+            )
+        elif isinstance(func, ast.Attribute):
+            receiver: Optional[str] = None
+            if isinstance(func.value, ast.Name) and func.value.id[:1].isupper():
+                receiver = func.value.id  # static call Class.method(...)
+            self.sites.append(
+                CallSite(method_name=func.attr, receiver_class=receiver)
+            )
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_field(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record_field(node.target)
+        self.generic_visit(node)
+
+    def _record_field(self, target: ast.expr) -> None:
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            self.fields.add(target.attr)

@@ -1,0 +1,70 @@
+"""GraalVM isolates: independent VM instances with separate heaps (§2.2).
+
+Each isolate operates on its own heap, so garbage collection is
+performed independently — threads in one isolate are unaffected by
+collection in another. Montsalvat creates one default isolate per
+runtime: the trusted isolate serves ecall relays, the untrusted isolate
+serves ocall relays (§5.4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.costs.machine import GB
+from repro.errors import ConfigurationError
+from repro.runtime.context import ExecutionContext
+from repro.runtime.heap import SimHeap
+
+_isolate_ids = itertools.count(1)
+
+
+class Isolate:
+    """One VM instance: an execution context plus a private heap."""
+
+    def __init__(
+        self,
+        name: str,
+        ctx: ExecutionContext,
+        max_heap_bytes: int = 2 * GB,
+    ) -> None:
+        if max_heap_bytes <= 0:
+            raise ConfigurationError("isolate heap must be positive")
+        self.isolate_id = next(_isolate_ids)
+        self.name = name
+        self.ctx = ctx
+        self.heap = SimHeap(ctx, max_bytes=max_heap_bytes, name=name)
+        self._torn_down = False
+
+    def attach_thread(self) -> float:
+        """Attach the calling thread (the @CEntryPoint prologue cost).
+
+        The transition layer charges this as part of a relay crossing;
+        the explicit method exists for direct isolate use.
+        """
+        self._require_live()
+        return self.ctx.platform.charge_cycles(
+            f"isolate.attach.{self.name}",
+            self.ctx.platform.cost_model.transitions.isolate_attach_cycles,
+        )
+
+    def collect(self) -> float:
+        """Run this isolate's GC, independent of any other isolate."""
+        self._require_live()
+        return self.heap.collect()
+
+    def tear_down(self) -> None:
+        self._require_live()
+        self._torn_down = True
+
+    @property
+    def live(self) -> bool:
+        return not self._torn_down
+
+    def _require_live(self) -> None:
+        if self._torn_down:
+            raise ConfigurationError(f"isolate {self.name!r} was torn down")
+
+    def __repr__(self) -> str:
+        return f"Isolate(id={self.isolate_id}, name={self.name!r})"

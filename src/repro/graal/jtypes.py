@@ -1,0 +1,145 @@
+"""Class/method IR consumed by the native-image analyses.
+
+The bytecode transformer and the points-to analysis operate on this IR
+rather than on live Python objects, mirroring how GraalVM's analyses
+operate on bytecode rather than on a running JVM.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class TrustLevel(enum.Enum):
+    """Montsalvat's partitioning language (§5.1)."""
+
+    TRUSTED = "trusted"
+    UNTRUSTED = "untrusted"
+    NEUTRAL = "neutral"
+
+    @property
+    def annotated(self) -> bool:
+        return self is not TrustLevel.NEUTRAL
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One outgoing call found in a method body.
+
+    ``receiver_class`` is the statically known receiver (for
+    instantiations); ``None`` means the receiver type is unknown and the
+    analysis falls back to class-hierarchy resolution by method name.
+    """
+
+    method_name: str
+    receiver_class: Optional[str] = None
+    is_instantiation: bool = False
+
+
+@dataclass(frozen=True)
+class JMethod:
+    """A method in the IR."""
+
+    name: str
+    declared_in: str
+    is_static: bool = False
+    is_public: bool = True
+    is_constructor: bool = False
+    param_count: int = 0
+    calls: FrozenSet[CallSite] = frozenset()
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.declared_in}.{self.name}"
+
+
+@dataclass(frozen=True)
+class JField:
+    """A field in the IR; ``declared_type`` when statically known."""
+
+    name: str
+    declared_in: str
+    declared_type: Optional[str] = None
+    is_private: bool = True
+
+
+@dataclass(frozen=True)
+class JClass:
+    """A class in the IR."""
+
+    name: str
+    trust: TrustLevel = TrustLevel.NEUTRAL
+    methods: Tuple[JMethod, ...] = ()
+    fields: Tuple[JField, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [m.name for m in self.methods]
+        if len(names) != len(set(names)):
+            raise ConfigurationError(
+                f"duplicate method names in class {self.name!r} "
+                "(the IR does not model overloads)"
+            )
+
+    def method(self, name: str) -> Optional[JMethod]:
+        for method in self.methods:
+            if method.name == name:
+                return method
+        return None
+
+    def public_methods(self) -> Tuple[JMethod, ...]:
+        return tuple(m for m in self.methods if m.is_public)
+
+    def constructor(self) -> Optional[JMethod]:
+        return self.method("__init__")
+
+
+class ClassUniverse:
+    """The closed world of classes known at build time (§2.2).
+
+    GraalVM native-image assumes every class executable at run time is
+    known at build time; lookups outside the universe are closed-world
+    violations.
+    """
+
+    def __init__(self, classes: Dict[str, JClass]) -> None:
+        self._classes = dict(classes)
+
+    @classmethod
+    def of(cls, *classes: JClass) -> "ClassUniverse":
+        return cls({c.name: c for c in classes})
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def __getitem__(self, name: str) -> JClass:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"closed-world violation: class {name!r} not known at build time"
+            ) from None
+
+    def get(self, name: str) -> Optional[JClass]:
+        return self._classes.get(name)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._classes))
+
+    def classes(self) -> Tuple[JClass, ...]:
+        return tuple(self._classes[name] for name in sorted(self._classes))
+
+    def by_trust(self, trust: TrustLevel) -> Tuple[JClass, ...]:
+        return tuple(c for c in self.classes() if c.trust is trust)
+
+    def classes_defining(self, method_name: str) -> Tuple[JClass, ...]:
+        """Class-hierarchy resolution: every class defining ``method_name``."""
+        return tuple(
+            c for c in self.classes() if c.method(method_name) is not None
+        )
+
+    def __len__(self) -> int:
+        return len(self._classes)

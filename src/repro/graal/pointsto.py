@@ -1,0 +1,142 @@
+"""Points-to / reachability analysis (§2.2, §5.3).
+
+GraalVM native-image starts from all entry points and iteratively
+processes transitively reachable classes, fields and methods; only
+reachable methods are AOT-compiled into the image. This implementation
+is a worklist algorithm over the JClass IR:
+
+- a reachable method makes each of its call sites reachable;
+- an instantiation makes the receiver class *instantiated* and its
+  constructor reachable;
+- an attribute call with a statically known receiver resolves to that
+  class; otherwise it resolves by class-hierarchy analysis restricted
+  to classes already seen as instantiated (plus static methods) —
+  a sound approximation of the paper's points-to analysis;
+- a reachable constructor makes the class's fields reachable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.errors import ReachabilityError
+from repro.graal.jtypes import ClassUniverse, JClass, JMethod
+
+
+@dataclass(frozen=True)
+class ReachableSet:
+    """Result of a reachability analysis."""
+
+    methods: FrozenSet[str]  # qualified "Class.method" names
+    classes: FrozenSet[str]
+    instantiated: FrozenSet[str]
+    fields: FrozenSet[str]  # qualified "Class.field" names
+
+    def includes_method(self, qualified_name: str) -> bool:
+        return qualified_name in self.methods
+
+    def includes_class(self, name: str) -> bool:
+        return name in self.classes
+
+    def method_count(self) -> int:
+        return len(self.methods)
+
+
+class PointsToAnalysis:
+    """Worklist reachability over a closed-world class universe."""
+
+    def __init__(self, universe: ClassUniverse) -> None:
+        self.universe = universe
+
+    def analyze(self, entry_points: Iterable[str]) -> ReachableSet:
+        """Compute reachability from qualified entry-point names.
+
+        Entry points are ``"Class.method"`` strings — the image's main
+        method plus every relay method (§5.3).
+        """
+        entries = list(entry_points)
+        if not entries:
+            raise ReachabilityError("analysis requires at least one entry point")
+
+        reachable_methods: Set[str] = set()
+        reachable_classes: Set[str] = set()
+        instantiated: Set[str] = set()
+        reachable_fields: Set[str] = set()
+        #: unresolved attribute-call names awaiting new instantiations
+        pending_virtual: Set[str] = set()
+        worklist: Deque[JMethod] = deque()
+
+        def enqueue(method: JMethod) -> None:
+            if method.qualified_name in reachable_methods:
+                return
+            reachable_methods.add(method.qualified_name)
+            reachable_classes.add(method.declared_in)
+            worklist.append(method)
+
+        def mark_instantiated(class_name: str) -> None:
+            if class_name in instantiated:
+                return
+            jclass = self.universe.get(class_name)
+            if jclass is None:
+                return  # call to a class outside the universe: library code
+            instantiated.add(class_name)
+            reachable_classes.add(class_name)
+            for jfield in jclass.fields:
+                reachable_fields.add(f"{class_name}.{jfield.name}")
+            ctor = jclass.constructor()
+            if ctor is not None:
+                enqueue(ctor)
+            # Newly instantiated class may now satisfy pending virtual calls.
+            for name in list(pending_virtual):
+                method = jclass.method(name)
+                if method is not None:
+                    enqueue(method)
+
+        for qualified in entries:
+            class_name, _, method_name = qualified.rpartition(".")
+            if not class_name:
+                raise ReachabilityError(
+                    f"entry point {qualified!r} must be 'Class.method'"
+                )
+            jclass = self.universe[class_name]
+            method = jclass.method(method_name)
+            if method is None:
+                raise ReachabilityError(
+                    f"entry point {qualified!r} does not exist"
+                )
+            # Relay entry points are invoked on live instances.
+            mark_instantiated(class_name)
+            enqueue(method)
+
+        while worklist:
+            method = worklist.popleft()
+            for site in method.calls:
+                if site.is_instantiation and site.receiver_class:
+                    mark_instantiated(site.receiver_class)
+                    continue
+                if site.receiver_class is not None:
+                    jclass = self.universe.get(site.receiver_class)
+                    if jclass is not None:
+                        target = jclass.method(site.method_name)
+                        if target is not None:
+                            mark_instantiated(site.receiver_class)
+                            enqueue(target)
+                    continue
+                # Virtual call: resolve against instantiated classes now,
+                # and remember the name for classes instantiated later.
+                pending_virtual.add(site.method_name)
+                for jclass in self.universe.classes_defining(site.method_name):
+                    target = jclass.method(site.method_name)
+                    if target is None:
+                        continue
+                    if jclass.name in instantiated or target.is_static:
+                        enqueue(target)
+
+        return ReachableSet(
+            methods=frozenset(reachable_methods),
+            classes=frozenset(reachable_classes),
+            instantiated=frozenset(instantiated),
+            fields=frozenset(reachable_fields),
+        )

@@ -1,0 +1,91 @@
+"""Tracing agent: records dynamic accesses, emits reflection config (§2.2).
+
+GraalVM's closed-world assumption requires every dynamically accessed
+class to be declared up front, usually via a JSON file the *tracing
+agent* produces by observing a training run. This module implements the
+equivalent: instrument a run, record which classes were touched
+reflectively, and emit/consume the JSON configuration that
+:class:`~repro.graal.builder.BuildOptions` accepts.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import Iterator, List, Set, Tuple
+
+from repro.errors import BuildError
+
+
+class TracingAgent:
+    """Records reflective class/method accesses during a training run."""
+
+    def __init__(self) -> None:
+        self._classes: Set[str] = set()
+        self._methods: Set[Tuple[str, str]] = set()
+        self._active = False
+
+    # -- recording -------------------------------------------------------------
+
+    @contextmanager
+    def tracing(self) -> Iterator["TracingAgent"]:
+        """Activate recording for a with-block."""
+        self._active = True
+        try:
+            yield self
+        finally:
+            self._active = False
+
+    def record_class_access(self, class_name: str) -> None:
+        """Called by instrumented reflection sites (Class.forName analog)."""
+        if self._active:
+            self._classes.add(class_name)
+
+    def record_method_access(self, class_name: str, method_name: str) -> None:
+        """Called by instrumented Method.invoke analogs."""
+        if self._active:
+            self._classes.add(class_name)
+            self._methods.add((class_name, method_name))
+
+    def reflect_instantiate(self, cls: type, *args, **kwargs):
+        """Reflective instantiation helper that records while active."""
+        self.record_class_access(cls.__name__)
+        return cls(*args, **kwargs)
+
+    def reflect_call(self, obj, method_name: str, *args, **kwargs):
+        """Reflective invocation helper that records while active."""
+        self.record_method_access(type(obj).__name__, method_name)
+        return getattr(obj, method_name)(*args, **kwargs)
+
+    # -- output ----------------------------------------------------------------
+
+    @property
+    def traced_classes(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._classes))
+
+    def to_json(self) -> str:
+        """Render the reflect-config.json analog."""
+        entries: List[dict] = []
+        for class_name in sorted(self._classes):
+            entry: dict = {"name": class_name}
+            methods = sorted(m for c, m in self._methods if c == class_name)
+            if methods:
+                entry["methods"] = [{"name": m} for m in methods]
+            entries.append(entry)
+        return json.dumps(entries, indent=2)
+
+
+def load_reflection_config(text: str) -> Tuple[str, ...]:
+    """Parse a reflect-config.json into the class tuple BuildOptions takes."""
+    try:
+        entries = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise BuildError(f"malformed reflection config: {exc}") from exc
+    if not isinstance(entries, list):
+        raise BuildError("reflection config must be a JSON array")
+    names = []
+    for entry in entries:
+        if not isinstance(entry, dict) or "name" not in entry:
+            raise BuildError(f"reflection entry missing 'name': {entry!r}")
+        names.append(entry["name"])
+    return tuple(names)

@@ -1,0 +1,38 @@
+"""Simulated managed runtime: execution contexts, heaps and GC.
+
+This package is the "native image runtime" substrate: the pieces
+GraalVM embeds into every generated image (heap, serial stop-and-copy
+collector, thread-ish scheduling hooks), plus the execution-context
+machinery that converts application resource usage into virtual time
+depending on where (host/enclave) and on what (native image/JVM) the
+code runs.
+"""
+
+from repro.runtime.context import (
+    ExecutionContext,
+    Location,
+    ResourceUsage,
+    RuntimeKind,
+)
+from repro.runtime.gc import GcStats, SerialCopyGc
+from repro.runtime.gc_generational import GenerationalGc, GenerationalStats
+from repro.runtime.heap import HeapStats, SimHeap, SimRef
+from repro.runtime.scheduler import VirtualScheduler
+from repro.runtime.tracker import ProxyTracker, TrackedProxy
+
+__all__ = [
+    "GenerationalGc",
+    "GenerationalStats",
+    "VirtualScheduler",
+    "ExecutionContext",
+    "Location",
+    "ResourceUsage",
+    "RuntimeKind",
+    "SerialCopyGc",
+    "GcStats",
+    "SimHeap",
+    "SimRef",
+    "HeapStats",
+    "ProxyTracker",
+    "TrackedProxy",
+]

@@ -1,0 +1,213 @@
+"""Execution contexts: where and on what the code runs.
+
+An :class:`ExecutionContext` binds a location (host or enclave) and a
+runtime kind (native image or JVM) to a platform. Applications express
+work as resource usage — CPU cycles, cache-missing memory traffic,
+allocations, syscalls — and the context converts it into virtual time:
+
+- enclave memory traffic pays the MEE multiplier;
+- enclave working sets larger than the usable EPC pay paging faults;
+- enclave syscalls are relayed as ocalls through the shim (§5.4);
+- the JVM kind inflates CPU (interpretation warm-up) and working sets
+  (heap inflation), which drives the SCONE+JVM baselines of §6.6.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.costs.platform import Platform
+from repro.errors import ConfigurationError
+
+
+class Location(enum.Enum):
+    """Which side of the enclave boundary code executes on."""
+
+    HOST = "host"
+    ENCLAVE = "enclave"
+
+
+class RuntimeKind(enum.Enum):
+    """Which managed runtime executes the code."""
+
+    NATIVE_IMAGE = "native-image"
+    JVM = "jvm"
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Abstract footprint of a unit of application work.
+
+    ``mem_bytes`` is cache-missing DRAM traffic (the part the MEE sees);
+    ``ws_bytes`` is the resident working set used by the EPC paging
+    model; allocations feed the GC cost model.
+    """
+
+    cpu_cycles: float = 0.0
+    mem_bytes: float = 0.0
+    ws_bytes: float = 0.0
+    alloc_objects: int = 0
+    alloc_bytes: float = 0.0
+
+    def scaled(self, factor: float) -> "ResourceUsage":
+        """Usage multiplied by ``factor`` (for repeating an operation)."""
+        return ResourceUsage(
+            cpu_cycles=self.cpu_cycles * factor,
+            mem_bytes=self.mem_bytes * factor,
+            ws_bytes=self.ws_bytes,
+            alloc_objects=int(self.alloc_objects * factor),
+            alloc_bytes=self.alloc_bytes * factor,
+        )
+
+
+class ExecutionContext:
+    """Charges application work to a platform, location-aware."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        location: Location,
+        runtime: RuntimeKind = RuntimeKind.NATIVE_IMAGE,
+        label: str = "app",
+    ) -> None:
+        self.platform = platform
+        self.location = location
+        self.runtime = runtime
+        self.label = label
+
+    # -- derived properties -------------------------------------------------
+
+    @property
+    def in_enclave(self) -> bool:
+        return self.location is Location.ENCLAVE
+
+    def _mem_byte_cycles(self) -> float:
+        mem = self.platform.cost_model.memory
+        if self.in_enclave:
+            return mem.dram_byte_cycles * mem.mee_multiplier
+        return mem.dram_byte_cycles
+
+    def _category(self, leaf: str) -> str:
+        return f"{leaf}.{self.location.value}.{self.label}"
+
+    # -- work charging ------------------------------------------------------
+
+    def execute(self, usage: ResourceUsage) -> float:
+        """Charge a resource-usage bundle; returns virtual ns spent."""
+        ns = 0.0
+        if usage.cpu_cycles:
+            ns += self.compute(usage.cpu_cycles, mem_bytes=0.0)
+        if usage.mem_bytes:
+            ns += self.memory_traffic(usage.mem_bytes, ws_bytes=usage.ws_bytes)
+        if usage.alloc_bytes or usage.alloc_objects:
+            ns += self.allocate(usage.alloc_bytes, count=max(1, usage.alloc_objects))
+        return ns
+
+    def compute(self, cpu_cycles: float, mem_bytes: float = 0.0, ws_bytes: float = 0.0) -> float:
+        """Pure CPU work plus optional memory traffic."""
+        if cpu_cycles < 0:
+            raise ConfigurationError("negative cpu cycles")
+        cycles = cpu_cycles
+        if self.runtime is RuntimeKind.JVM:
+            cycles *= self.platform.cost_model.jvm.warmup_multiplier
+        ns = self.platform.charge_cycles(self._category("compute"), cycles)
+        if mem_bytes:
+            ns += self.memory_traffic(mem_bytes, ws_bytes=ws_bytes)
+        return ns
+
+    def memory_traffic(self, mem_bytes: float, ws_bytes: float = 0.0) -> float:
+        """Cache-missing DRAM traffic, MEE- and paging-aware."""
+        if mem_bytes < 0:
+            raise ConfigurationError("negative memory traffic")
+        if self.runtime is RuntimeKind.JVM:
+            mem_bytes *= self.platform.cost_model.jvm.traffic_multiplier
+            ws_bytes *= self.platform.cost_model.jvm.heap_inflation
+        ns = self.platform.charge_cycles(
+            self._category("memory"), mem_bytes * self._mem_byte_cycles()
+        )
+        if self.in_enclave and ws_bytes:
+            ns += self._paging(mem_bytes, ws_bytes)
+        return ns
+
+    def _paging(self, mem_bytes: float, ws_bytes: float) -> float:
+        """EPC paging penalty for working sets that overflow the EPC."""
+        epc = self.platform.spec.epc_usable_bytes
+        if ws_bytes <= epc:
+            return 0.0
+        miss_fraction = 1.0 - epc / ws_bytes
+        faults = (mem_bytes / self.platform.spec.page_bytes) * miss_fraction
+        cycles = faults * self.platform.cost_model.memory.epc_page_fault_cycles
+        return self.platform.charge_cycles(self._category("epc.paging"), cycles)
+
+    def allocate(self, nbytes: float, count: int = 1) -> float:
+        """Heap allocation cost (bump pointer + init traffic)."""
+        if nbytes < 0 or count < 0:
+            raise ConfigurationError("negative allocation")
+        mem = self.platform.cost_model.memory
+        cycles = count * mem.alloc_object_cycles + nbytes * mem.alloc_byte_cycles
+        ns = self.platform.charge_cycles(self._category("alloc"), cycles)
+        if self.in_enclave:
+            # Initialising enclave memory streams through the MEE.
+            ns += self.platform.charge_cycles(
+                self._category("alloc.mee"),
+                nbytes * mem.dram_byte_cycles * (mem.mee_multiplier - 1.0),
+            )
+        return ns
+
+    # -- OS interaction -----------------------------------------------------
+
+    def syscall(self, payload_bytes: float = 0.0, count: int = 1, name: str = "syscall") -> float:
+        """A host syscall; relayed through an ocall when in the enclave.
+
+        This is the §5.4 shim path: in-enclave libc calls become ocalls
+        to the shim helper, which invokes the real libc outside.
+        """
+        cm = self.platform.cost_model
+        ns = 0.0
+        if self.in_enclave:
+            trans = cm.transitions
+            per_call = (
+                trans.ocall_cycles
+                + trans.edge_fixed_cycles
+                + payload_bytes * trans.edge_byte_cycles
+            )
+            ns += self.platform.charge_cycles(
+                f"transition.ocall.shim.{name}", per_call * count
+            )
+        ns += self.platform.charge_cycles(
+            self._category(f"os.{name}"),
+            (cm.os.syscall_cycles + payload_bytes * cm.os.io_byte_cycles) * count,
+        )
+        return ns
+
+    def file_open(self) -> float:
+        """open()+close() pair, shim-relayed in the enclave."""
+        ns = self.syscall(name="open")
+        ns += self.platform.charge_cycles(
+            self._category("os.open.kernel"),
+            self.platform.cost_model.os.file_open_cycles,
+        )
+        return ns
+
+    def mmap(self) -> float:
+        """mmap() setup, shim-relayed in the enclave."""
+        ns = self.syscall(name="mmap")
+        ns += self.platform.charge_cycles(
+            self._category("os.mmap.kernel"), self.platform.cost_model.os.mmap_cycles
+        )
+        return ns
+
+    # -- helpers ------------------------------------------------------------
+
+    def sibling(self, location: Location, label: str = "") -> "ExecutionContext":
+        """Same platform/runtime, different location."""
+        return ExecutionContext(
+            self.platform, location, runtime=self.runtime, label=label or self.label
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionContext({self.location.value}, {self.runtime.value}, "
+            f"label={self.label!r})"
+        )

@@ -1,0 +1,125 @@
+"""Simulated per-isolate heap with bump allocation and live-set tracking.
+
+Each GraalVM isolate operates on its own heap (§2.2); Montsalvat's
+partitioned applications therefore have one heap inside the enclave and
+one outside. The heap tracks live and dead bytes so the serial
+stop-and-copy collector can price a collection, and reports its
+resident size to the EPC model when it lives inside an enclave.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import HeapError
+from repro.runtime.context import ExecutionContext
+from repro.runtime.gc import GcStats, SerialCopyGc
+
+
+@dataclass(frozen=True)
+class SimRef:
+    """Handle to a simulated allocation."""
+
+    ref_id: int
+    nbytes: int
+
+
+@dataclass
+class HeapStats:
+    """Point-in-time heap statistics."""
+
+    live_bytes: int = 0
+    dead_bytes: int = 0
+    allocated_bytes_total: int = 0
+    allocations_total: int = 0
+    collections: int = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self.live_bytes + self.dead_bytes
+
+
+class SimHeap:
+    """Bump-allocated heap collected by a serial stop-and-copy GC."""
+
+    def __init__(
+        self,
+        ctx: ExecutionContext,
+        max_bytes: int,
+        gc_threshold: float = 0.75,
+        name: str = "heap",
+    ) -> None:
+        if max_bytes <= 0:
+            raise HeapError("heap size must be positive")
+        if not 0.0 < gc_threshold <= 1.0:
+            raise HeapError("gc_threshold must be in (0, 1]")
+        self.ctx = ctx
+        self.name = name
+        self.max_bytes = max_bytes
+        self.gc_threshold = gc_threshold
+        self.gc = SerialCopyGc(ctx, name=name)
+        self._stats = HeapStats()
+        self._live: Dict[int, int] = {}
+        self._ids = itertools.count(1)
+
+    # -- allocation ----------------------------------------------------------
+
+    def alloc(self, nbytes: int) -> SimRef:
+        """Allocate ``nbytes``; may trigger a collection first."""
+        if nbytes <= 0:
+            raise HeapError(f"allocation size must be positive, got {nbytes}")
+        if self._stats.used_bytes + nbytes > self.max_bytes * self.gc_threshold:
+            self.collect()
+        if self._stats.live_bytes + nbytes > self.max_bytes:
+            raise HeapError(
+                f"heap {self.name!r} exhausted: live={self._stats.live_bytes} "
+                f"+ {nbytes} > max={self.max_bytes}"
+            )
+        self.ctx.allocate(nbytes, count=1)
+        ref = SimRef(next(self._ids), nbytes)
+        self._live[ref.ref_id] = nbytes
+        self._stats.live_bytes += nbytes
+        self._stats.allocated_bytes_total += nbytes
+        self._stats.allocations_total += 1
+        return ref
+
+    def free(self, ref: SimRef) -> None:
+        """Mark an allocation dead (it is reclaimed at the next GC)."""
+        nbytes = self._live.pop(ref.ref_id, None)
+        if nbytes is None:
+            raise HeapError(f"double free or foreign ref: {ref}")
+        self._stats.live_bytes -= nbytes
+        self._stats.dead_bytes += nbytes
+
+    # -- collection ----------------------------------------------------------
+
+    def collect(self) -> float:
+        """Run a full stop-and-copy collection; returns virtual ns spent."""
+        ns = self.gc.collect(
+            live_bytes=self._stats.live_bytes, dead_bytes=self._stats.dead_bytes
+        )
+        self._stats.dead_bytes = 0
+        self._stats.collections += 1
+        return ns
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def stats(self) -> HeapStats:
+        return self._stats
+
+    @property
+    def gc_stats(self) -> GcStats:
+        return self.gc.stats
+
+    def resident_bytes(self) -> int:
+        """Bytes the OS/EPC sees as resident for this heap."""
+        return self._stats.used_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"SimHeap({self.name!r}, live={self._stats.live_bytes}, "
+            f"dead={self._stats.dead_bytes}, max={self.max_bytes})"
+        )

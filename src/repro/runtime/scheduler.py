@@ -1,0 +1,112 @@
+"""Cooperative virtual-time scheduler.
+
+The paper spawns two GC helper *threads* that wake every second (§5.5).
+Real threads and a virtual clock do not mix, so the simulation uses a
+cooperative scheduler: periodic tasks are registered with a virtual
+period, and the application (or the session) pumps the scheduler, which
+fires every task whose deadline has passed — in deadline order, the way
+a timer wheel would.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.costs.platform import Platform
+from repro.errors import ConfigurationError
+
+
+@dataclass(order=True)
+class _ScheduledTask:
+    deadline_s: float
+    sequence: int
+    name: str = field(compare=False)
+    period_s: float = field(compare=False)
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+    fired: int = field(compare=False, default=0)
+
+
+class VirtualScheduler:
+    """Deadline-ordered periodic tasks over a platform's virtual clock."""
+
+    def __init__(self, platform: Platform) -> None:
+        self.platform = platform
+        self._heap: List[_ScheduledTask] = []
+        self._sequence = itertools.count()
+
+    def every(
+        self, period_s: float, action: Callable[[], None], name: str = "task"
+    ) -> _ScheduledTask:
+        """Register a periodic task; first firing one period from now."""
+        if period_s <= 0:
+            raise ConfigurationError("period must be positive")
+        task = _ScheduledTask(
+            deadline_s=self.platform.now_s + period_s,
+            sequence=next(self._sequence),
+            name=name,
+            period_s=period_s,
+            action=action,
+        )
+        heapq.heappush(self._heap, task)
+        return task
+
+    def cancel(self, task: _ScheduledTask) -> None:
+        task.cancelled = True
+
+    def pump(self) -> int:
+        """Fire every task whose deadline has passed; returns firings.
+
+        Call this at convenient points (the session does it around
+        transitions); each fired periodic task is re-armed one period
+        after its previous deadline, so firing cadence stays regular
+        even when pumps are irregular.
+        """
+        fired = 0
+        now = self.platform.now_s
+        while self._heap and self._heap[0].deadline_s <= now:
+            task = heapq.heappop(self._heap)
+            if task.cancelled:
+                continue
+            task.action()
+            task.fired += 1
+            fired += 1
+            # Catch up without storms: next deadline is in the future.
+            next_deadline = task.deadline_s + task.period_s
+            if next_deadline <= now:
+                periods_behind = int((now - task.deadline_s) / task.period_s)
+                next_deadline = task.deadline_s + (periods_behind + 1) * task.period_s
+            task.deadline_s = next_deadline
+            heapq.heappush(self._heap, task)
+        return fired
+
+    def advance_to(self, target_s: float) -> int:
+        """Idle-advance virtual time to ``target_s``, pumping on the way."""
+        if target_s < self.platform.now_s:
+            raise ConfigurationError("cannot advance into the past")
+        fired = 0
+        while self._heap:
+            next_deadline = self._next_live_deadline()
+            if next_deadline is None or next_deadline > target_s:
+                break
+            self.platform.charge_ns(
+                "scheduler.idle", max(0.0, (next_deadline - self.platform.now_s)) * 1e9
+            )
+            fired += self.pump()
+        if self.platform.now_s < target_s:
+            self.platform.charge_ns(
+                "scheduler.idle", (target_s - self.platform.now_s) * 1e9
+            )
+        return fired
+
+    def pending(self) -> int:
+        return sum(1 for task in self._heap if not task.cancelled)
+
+    def _next_live_deadline(self) -> Optional[float]:
+        for task in sorted(self._heap):
+            if not task.cancelled:
+                return task.deadline_s
+        return None

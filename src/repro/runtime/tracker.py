@@ -1,0 +1,72 @@
+"""Proxy weak-reference tracker backing the GC helper (§5.5).
+
+When a proxy object is created, Montsalvat stores a *weak* reference to
+it together with its hash in a global list. The GC helper thread
+periodically scans the list: a cleared referent means the proxy has
+been (or is about to be) collected, so the corresponding mirror can be
+released in the opposite runtime.
+
+This module uses genuine Python weak references, so the consistency
+mechanics are real, not simulated.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
+
+
+@dataclass
+class TrackedProxy:
+    """One entry of the proxy weak-reference list."""
+
+    ref: "weakref.ReferenceType[Any]"
+    proxy_hash: int
+
+    def is_dead(self) -> bool:
+        return self.ref() is None
+
+
+class ProxyTracker:
+    """Weak-reference list for one runtime's proxies."""
+
+    def __init__(self, name: str = "tracker") -> None:
+        self.name = name
+        self._entries: List[TrackedProxy] = []
+
+    def track(self, proxy: Any, proxy_hash: int) -> TrackedProxy:
+        """Register a live proxy. The tracker never keeps it alive."""
+        entry = TrackedProxy(weakref.ref(proxy), proxy_hash)
+        self._entries.append(entry)
+        return entry
+
+    def scan(self, on_dead: Optional[Callable[[int], None]] = None) -> Tuple[int, ...]:
+        """Sweep the list; report and drop entries whose referent died.
+
+        ``on_dead`` is invoked with each dead proxy's hash — in
+        Montsalvat this is the cross-runtime release of the mirror.
+        Returns the tuple of dead hashes found by this scan.
+        """
+        dead: List[int] = []
+        survivors: List[TrackedProxy] = []
+        for entry in self._entries:
+            if entry.is_dead():
+                dead.append(entry.proxy_hash)
+            else:
+                survivors.append(entry)
+        self._entries = survivors
+        if on_dead is not None:
+            for proxy_hash in dead:
+                on_dead(proxy_hash)
+        return tuple(dead)
+
+    def live_count(self) -> int:
+        """Number of entries whose referent is still alive."""
+        return sum(1 for entry in self._entries if not entry.is_dead())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"ProxyTracker({self.name!r}, entries={len(self._entries)})"

@@ -1,0 +1,55 @@
+"""Intel SGX substrate, simulated.
+
+Implements the pieces of the SGX stack Montsalvat builds on (§2.1):
+
+- :mod:`repro.sgx.epc` — the enclave page cache with LRU paging;
+- :mod:`repro.sgx.driver` — the kernel driver that swaps EPC pages;
+- :mod:`repro.sgx.enclave` — enclave lifecycle, measurement, heaps;
+- :mod:`repro.sgx.transitions` — ecall/ocall machinery with statistics;
+- :mod:`repro.sgx.edl` — the enclave definition language model;
+- :mod:`repro.sgx.edger8r` — the edge-routine generator;
+- :mod:`repro.sgx.attestation` — measurement, reports and quotes;
+- :mod:`repro.sgx.sdk` — the SDK facade that signs and loads enclaves.
+"""
+
+from repro.sgx.attestation import AttestationService, Quote, Report, TargetedReport
+from repro.sgx.config_xml import parse_config_xml, render_config_xml
+from repro.sgx.driver import SgxDriver
+from repro.sgx.edl import EdlFile, EdlFunction, EdlParam
+from repro.sgx.edger8r import Edger8r
+from repro.sgx.enclave import Enclave, EnclaveConfig, EnclaveState
+from repro.sgx.epc import EpcPageCache, EpcStats
+from repro.sgx.profiler import TransitionProfiler
+from repro.sgx.sdk import SgxSdk, SignedEnclave
+from repro.sgx.sealing import SealedBlob, SealingService, transparent_seal
+from repro.sgx.switchless import SwitchlessConfig, SwitchlessLayer
+from repro.sgx.transitions import TransitionLayer, TransitionStats
+
+__all__ = [
+    "TargetedReport",
+    "parse_config_xml",
+    "render_config_xml",
+    "TransitionProfiler",
+    "SealedBlob",
+    "SealingService",
+    "transparent_seal",
+    "SwitchlessConfig",
+    "SwitchlessLayer",
+    "AttestationService",
+    "Quote",
+    "Report",
+    "SgxDriver",
+    "EdlFile",
+    "EdlFunction",
+    "EdlParam",
+    "Edger8r",
+    "Enclave",
+    "EnclaveConfig",
+    "EnclaveState",
+    "EpcPageCache",
+    "EpcStats",
+    "SgxSdk",
+    "SignedEnclave",
+    "TransitionLayer",
+    "TransitionStats",
+]

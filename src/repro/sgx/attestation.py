@@ -1,0 +1,131 @@
+"""Remote attestation: reports, quotes and verification (§4).
+
+Montsalvat's threat model relies on remote attestation to validate the
+integrity of the enclave at runtime. This module models the flow:
+
+1. the enclave produces a *report* binding its measurement (MRENCLAVE
+   analog) to caller-supplied report data;
+2. the platform's quoting enclave signs the report into a *quote* with
+   a platform key (HMAC stands in for EPID/DCAP signatures);
+3. a relying party verifies the quote against the expected measurement.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+from dataclasses import dataclass
+
+from repro.errors import AttestationError
+from repro.sgx.enclave import Enclave
+
+
+@dataclass(frozen=True)
+class Report:
+    """Local attestation report produced inside an enclave."""
+
+    measurement: str
+    report_data: bytes
+
+    def digest(self) -> bytes:
+        payload = self.measurement.encode("utf-8") + self.report_data
+        return hashlib.sha256(payload).digest()
+
+
+@dataclass(frozen=True)
+class Quote:
+    """Signed report suitable for remote verification."""
+
+    report: Report
+    signature: bytes
+
+
+@dataclass(frozen=True)
+class TargetedReport:
+    """Local-attestation report, verifiable only by the target enclave."""
+
+    report: Report
+    target_measurement: str
+    mac: bytes
+
+
+class AttestationService:
+    """Quoting + verification service keyed by a per-platform secret."""
+
+    def __init__(self, platform_key: bytes = b"") -> None:
+        self._platform_key = platform_key or secrets.token_bytes(32)
+
+    # -- enclave side ---------------------------------------------------------
+
+    def create_report(self, enclave: Enclave, report_data: bytes = b"") -> Report:
+        """EREPORT analog: bind the enclave's measurement to user data."""
+        enclave.require_usable()
+        if len(report_data) > 64:
+            raise AttestationError("report data limited to 64 bytes")
+        return Report(measurement=enclave.measurement, report_data=report_data)
+
+    # -- quoting enclave --------------------------------------------------------
+
+    def quote(self, report: Report) -> Quote:
+        """Sign a report with the platform key (EPID/DCAP stand-in)."""
+        signature = hmac.new(
+            self._platform_key, report.digest(), hashlib.sha256
+        ).digest()
+        return Quote(report=report, signature=signature)
+
+    # -- local (enclave-to-enclave) attestation ---------------------------------
+
+    def create_targeted_report(
+        self, enclave: Enclave, target: Enclave, report_data: bytes = b""
+    ) -> "TargetedReport":
+        """EREPORT targeted at another enclave on the same platform.
+
+        The report's MAC uses the *target's* report key, so only the
+        target enclave (via EGETKEY) can verify it — SGX local
+        attestation, used when multiple enclaves cooperate.
+        """
+        enclave.require_usable()
+        target.require_usable()
+        if len(report_data) > 64:
+            raise AttestationError("report data limited to 64 bytes")
+        report = Report(measurement=enclave.measurement, report_data=report_data)
+        mac = hmac.new(
+            self._report_key(target), report.digest(), hashlib.sha256
+        ).digest()
+        return TargetedReport(
+            report=report, target_measurement=target.measurement, mac=mac
+        )
+
+    def verify_local(self, targeted: "TargetedReport", verifier: Enclave) -> None:
+        """Verify a targeted report inside the target enclave."""
+        verifier.require_usable()
+        if targeted.target_measurement != verifier.measurement:
+            raise AttestationError(
+                "report was targeted at a different enclave"
+            )
+        expected = hmac.new(
+            self._report_key(verifier), targeted.report.digest(), hashlib.sha256
+        ).digest()
+        if not hmac.compare_digest(expected, targeted.mac):
+            raise AttestationError("local attestation MAC verification failed")
+
+    def _report_key(self, enclave: Enclave) -> bytes:
+        """EGETKEY(REPORT) analog: platform secret + target measurement."""
+        return hashlib.sha256(
+            self._platform_key + enclave.measurement.encode("utf-8")
+        ).digest()
+
+    # -- relying party ----------------------------------------------------------
+
+    def verify(self, quote: Quote, expected_measurement: str) -> None:
+        """Verify quote signature and measurement; raise on mismatch."""
+        expected_sig = hmac.new(
+            self._platform_key, quote.report.digest(), hashlib.sha256
+        ).digest()
+        if not hmac.compare_digest(expected_sig, quote.signature):
+            raise AttestationError("quote signature verification failed")
+        if quote.report.measurement != expected_measurement:
+            raise AttestationError(
+                "measurement mismatch: enclave is not the expected build"
+            )

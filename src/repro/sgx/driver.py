@@ -1,0 +1,52 @@
+"""SGX kernel driver model: services EPC faults and charges swap costs.
+
+The driver owns the machine-wide :class:`EpcPageCache` and converts
+page faults (EWB/ELDU swaps between EPC and DRAM) into virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costs.platform import Platform
+from repro.sgx.epc import EpcPageCache, EpcStats
+
+
+@dataclass
+class DriverStats:
+    """Driver-level accounting."""
+
+    faults_serviced: int = 0
+    total_ns: float = 0.0
+
+
+class SgxDriver:
+    """Linux SGX driver (isgx/in-kernel) paging model, version 2.11-ish."""
+
+    def __init__(self, platform: Platform, version: str = "2.11") -> None:
+        self.platform = platform
+        self.version = version
+        self.epc = EpcPageCache(
+            capacity_bytes=platform.spec.epc_usable_bytes,
+            page_bytes=platform.spec.page_bytes,
+        )
+        self.stats = DriverStats()
+
+    def access(self, enclave_id: int, start_byte: int, nbytes: int) -> float:
+        """Charge an enclave's memory access against the EPC; returns ns."""
+        faults = self.epc.touch_range(enclave_id, start_byte, nbytes)
+        if not faults:
+            return 0.0
+        cycles = faults * self.platform.cost_model.memory.epc_page_fault_cycles
+        ns = self.platform.charge_cycles("sgx.driver.page_fault", cycles)
+        self.stats.faults_serviced += faults
+        self.stats.total_ns += ns
+        return ns
+
+    def release_enclave(self, enclave_id: int) -> int:
+        """Reclaim all EPC pages of a destroyed enclave."""
+        return self.epc.evict_enclave(enclave_id)
+
+    @property
+    def epc_stats(self) -> EpcStats:
+        return self.epc.stats

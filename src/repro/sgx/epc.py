@@ -1,0 +1,101 @@
+"""Enclave page cache (EPC) with LRU replacement.
+
+Recent SGX processors expose at most a few hundred MB of EPC; the
+paper's server has 128 MB of which 93.5 MB is usable (§6.1). The Linux
+SGX driver swaps pages between the EPC and regular DRAM, which lets
+enclaves exceed the EPC at a significant cost (§2.1). This module
+models the page cache itself; :mod:`repro.sgx.driver` charges the
+swap costs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import EpcError
+
+
+@dataclass
+class EpcStats:
+    """Accumulated EPC behaviour."""
+
+    hits: int = 0
+    faults: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.faults
+
+    def fault_rate(self) -> float:
+        return self.faults / self.accesses if self.accesses else 0.0
+
+
+class EpcPageCache:
+    """LRU cache of (enclave_id, page_number) entries."""
+
+    def __init__(self, capacity_bytes: int, page_bytes: int = 4096) -> None:
+        if capacity_bytes <= 0:
+            raise EpcError("EPC capacity must be positive")
+        if page_bytes <= 0:
+            raise EpcError("page size must be positive")
+        self.page_bytes = page_bytes
+        self.capacity_pages = capacity_bytes // page_bytes
+        if self.capacity_pages == 0:
+            raise EpcError("EPC smaller than one page")
+        self.stats = EpcStats()
+        self._resident: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+
+    def touch(self, enclave_id: int, page: int) -> Tuple[bool, Optional[Tuple[int, int]]]:
+        """Access one page.
+
+        Returns ``(faulted, evicted)`` where ``evicted`` is the page
+        pushed out to make room, if any.
+        """
+        key = (enclave_id, page)
+        if key in self._resident:
+            self._resident.move_to_end(key)
+            self.stats.hits += 1
+            return False, None
+        self.stats.faults += 1
+        evicted: Optional[Tuple[int, int]] = None
+        if len(self._resident) >= self.capacity_pages:
+            evicted, _ = self._resident.popitem(last=False)
+            self.stats.evictions += 1
+        self._resident[key] = None
+        return True, evicted
+
+    def touch_range(self, enclave_id: int, start_byte: int, nbytes: int) -> int:
+        """Access a byte range; returns the number of faults incurred."""
+        if nbytes < 0 or start_byte < 0:
+            raise EpcError("byte ranges cannot be negative")
+        if nbytes == 0:
+            return 0
+        first = start_byte // self.page_bytes
+        last = (start_byte + nbytes - 1) // self.page_bytes
+        faults = 0
+        for page in range(first, last + 1):
+            faulted, _ = self.touch(enclave_id, page)
+            if faulted:
+                faults += 1
+        return faults
+
+    def evict_enclave(self, enclave_id: int) -> int:
+        """Drop every page of a destroyed enclave; returns pages dropped."""
+        victims = [key for key in self._resident if key[0] == enclave_id]
+        for key in victims:
+            del self._resident[key]
+        return len(victims)
+
+    def resident_pages(self, enclave_id: Optional[int] = None) -> int:
+        if enclave_id is None:
+            return len(self._resident)
+        return sum(1 for key in self._resident if key[0] == enclave_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"EpcPageCache(resident={len(self._resident)}/"
+            f"{self.capacity_pages} pages)"
+        )

@@ -1,0 +1,109 @@
+"""Transition profiler, after sgx-perf (Weichbrodt et al., cited §2.1).
+
+Wraps a :class:`TransitionLayer` to record per-routine call counts,
+payload volumes and latencies, then reports the hottest crossings and
+flags batching/switchless candidates — the analysis the paper's future
+work (transition-less calls for expensive RMIs) builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple, TypeVar
+
+from repro.sgx.transitions import TransitionLayer
+
+T = TypeVar("T")
+
+#: A routine crossing more often than this per virtual second is a
+#: switchless-call candidate (sgx-perf's "frequent short ecalls" rule).
+SWITCHLESS_CANDIDATE_HZ = 1_000.0
+
+
+@dataclass
+class RoutineProfile:
+    """Accumulated statistics for one ecall/ocall routine."""
+
+    name: str
+    kind: str  # "ecall" | "ocall"
+    calls: int = 0
+    payload_bytes: int = 0
+    total_ns: float = 0.0
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.calls if self.calls else 0.0
+
+    @property
+    def mean_payload(self) -> float:
+        return self.payload_bytes / self.calls if self.calls else 0.0
+
+
+class TransitionProfiler:
+    """Profiling proxy over a transition layer."""
+
+    def __init__(self, layer: TransitionLayer) -> None:
+        self.layer = layer
+        self.platform = layer.platform
+        self._profiles: Dict[Tuple[str, str], RoutineProfile] = {}
+        self._started_s = self.platform.now_s
+
+    # -- instrumented crossings ---------------------------------------------------
+
+    def ecall(self, name: str, body: Callable[[], T], payload_bytes: int = 0) -> T:
+        return self._timed("ecall", name, payload_bytes, lambda: self.layer.ecall(
+            name, body, payload_bytes=payload_bytes
+        ))
+
+    def ocall(self, name: str, body: Callable[[], T], payload_bytes: int = 0) -> T:
+        return self._timed("ocall", name, payload_bytes, lambda: self.layer.ocall(
+            name, body, payload_bytes=payload_bytes
+        ))
+
+    def _timed(self, kind: str, name: str, payload: int, run: Callable[[], T]) -> T:
+        span = self.platform.measure()
+        result = run()
+        profile = self._profiles.get((kind, name))
+        if profile is None:
+            profile = RoutineProfile(name=name, kind=kind)
+            self._profiles[(kind, name)] = profile
+        profile.calls += 1
+        profile.payload_bytes += payload
+        profile.total_ns += span.elapsed_ns()
+        return result
+
+    # -- analysis ------------------------------------------------------------------
+
+    def profiles(self) -> List[RoutineProfile]:
+        return sorted(
+            self._profiles.values(), key=lambda p: p.total_ns, reverse=True
+        )
+
+    def hottest(self, top: int = 5) -> List[RoutineProfile]:
+        return self.profiles()[:top]
+
+    def switchless_candidates(self) -> List[RoutineProfile]:
+        """Routines called frequently enough that worker-thread
+        (switchless) dispatch would amortise (future work, §7)."""
+        elapsed_s = max(1e-9, self.platform.now_s - self._started_s)
+        return [
+            profile
+            for profile in self.profiles()
+            if profile.calls / elapsed_s >= SWITCHLESS_CANDIDATE_HZ
+        ]
+
+    def report(self) -> str:
+        lines = [
+            f"{'routine':<42} {'kind':<6} {'calls':>8} "
+            f"{'mean_us':>9} {'total_ms':>10}"
+        ]
+        for profile in self.profiles():
+            lines.append(
+                f"{profile.name:<42} {profile.kind:<6} {profile.calls:>8} "
+                f"{profile.mean_ns / 1e3:>9.2f} {profile.total_ns / 1e6:>10.3f}"
+            )
+        candidates = self.switchless_candidates()
+        if candidates:
+            names = ", ".join(p.name for p in candidates)
+            lines.append(f"switchless candidates: {names}")
+        return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""SGX SDK facade: signing and loading enclaves.
+
+Mirrors the Intel SDK workflow (§2.1): enclave code is compiled into a
+shared object, cryptographically hashed, *signed* in a trusted
+environment (§4), and verified when loaded into enclave memory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+from dataclasses import dataclass
+
+from repro.costs.platform import Platform
+from repro.errors import EnclaveError
+from repro.runtime.context import RuntimeKind
+from repro.sgx.driver import SgxDriver
+from repro.sgx.enclave import Enclave, EnclaveConfig, EnclaveContents
+
+
+@dataclass(frozen=True)
+class SignedEnclave:
+    """An enclave shared object plus its launch signature (SIGSTRUCT)."""
+
+    contents: EnclaveContents
+    signature: bytes
+    signer: str
+
+
+class SgxSdk:
+    """Build-side (sign) and run-side (load) SDK entry points."""
+
+    def __init__(self, platform: Platform, signing_key: bytes = b"") -> None:
+        self.platform = platform
+        self.driver = SgxDriver(platform)
+        self._signing_key = signing_key or secrets.token_bytes(32)
+
+    # -- trusted build environment ---------------------------------------------
+
+    def sign(
+        self,
+        image_name: str,
+        code_bytes: bytes,
+        config: EnclaveConfig = EnclaveConfig(),
+        signer: str = "montsalvat-dev",
+    ) -> SignedEnclave:
+        """Produce the SIGSTRUCT analog for an enclave shared object."""
+        contents = EnclaveContents(
+            image_name=image_name, code_bytes=code_bytes, config=config
+        )
+        signature = self._sign_measurement(contents.measure())
+        return SignedEnclave(contents=contents, signature=signature, signer=signer)
+
+    # -- untrusted loader ----------------------------------------------------------
+
+    def create_enclave(
+        self,
+        signed: SignedEnclave,
+        runtime: RuntimeKind = RuntimeKind.NATIVE_IMAGE,
+    ) -> Enclave:
+        """sgx_create_enclave analog: verify signature, load, EINIT."""
+        expected = self._sign_measurement(signed.contents.measure())
+        if not hmac.compare_digest(expected, signed.signature):
+            raise EnclaveError(
+                "enclave signature verification failed: refusing to load"
+            )
+        enclave = Enclave(self.platform, signed.contents, runtime=runtime)
+        enclave.initialize()
+        return enclave
+
+    def destroy_enclave(self, enclave: Enclave) -> None:
+        """sgx_destroy_enclave analog: teardown + EPC reclamation."""
+        enclave.destroy()
+        self.driver.release_enclave(enclave.enclave_id)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _sign_measurement(self, measurement: str) -> bytes:
+        return hmac.new(
+            self._signing_key, measurement.encode("utf-8"), hashlib.sha256
+        ).digest()

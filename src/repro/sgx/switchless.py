@@ -1,0 +1,133 @@
+"""Switchless calls: worker-pool model (Tian et al., cited in §7).
+
+Intel's switchless-call library replaces hardware transitions with
+shared-memory task queues served by busy-waiting worker threads:
+
+- a caller posts the call into a queue; if a worker is free, the call
+  runs without any EENTER/EEXIT;
+- if every worker is busy (or the queue is full), the caller *falls
+  back* to a regular transition;
+- workers burn CPU while idle, so the pool size is a real trade-off.
+
+The simulation tracks in-flight switchless calls to decide worker
+availability (nested cross-boundary calls occupy workers, exactly the
+situation that exhausts small pools), charges queue-hop costs for
+switchless dispatch, and full transition costs on fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.costs.platform import Platform
+from repro.errors import ConfigurationError
+from repro.sgx.enclave import Enclave
+from repro.sgx.transitions import TransitionLayer
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class SwitchlessConfig:
+    """Worker-pool sizing (the Intel library's uworkers/tworkers)."""
+
+    trusted_workers: int = 2  # serve switchless ecalls
+    untrusted_workers: int = 2  # serve switchless ocalls
+
+    def __post_init__(self) -> None:
+        if self.trusted_workers < 0 or self.untrusted_workers < 0:
+            raise ConfigurationError("worker counts cannot be negative")
+
+
+@dataclass
+class SwitchlessStats:
+    """Dispatch outcomes."""
+
+    switchless_ecalls: int = 0
+    switchless_ocalls: int = 0
+    fallback_ecalls: int = 0
+    fallback_ocalls: int = 0
+
+    @property
+    def fallback_rate(self) -> float:
+        total = (
+            self.switchless_ecalls
+            + self.switchless_ocalls
+            + self.fallback_ecalls
+            + self.fallback_ocalls
+        )
+        if not total:
+            return 0.0
+        return (self.fallback_ecalls + self.fallback_ocalls) / total
+
+
+class SwitchlessLayer:
+    """Transition layer with worker-served fast paths."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        enclave: Enclave,
+        config: SwitchlessConfig = SwitchlessConfig(),
+    ) -> None:
+        self.platform = platform
+        self.enclave = enclave
+        self.config = config
+        self.stats = SwitchlessStats()
+        # Fallback path uses an ordinary (non-switchless) layer.
+        self._fallback = TransitionLayer(platform, enclave, switchless=False)
+        self._busy_trusted = 0
+        self._busy_untrusted = 0
+
+    # -- crossings ------------------------------------------------------------
+
+    def ecall(self, name: str, body: Callable[[], T], payload_bytes: int = 0) -> T:
+        self.enclave.require_usable()
+        if self._busy_trusted < self.config.trusted_workers:
+            self._busy_trusted += 1
+            try:
+                self._charge_switchless("ecall", name, payload_bytes)
+                self.stats.switchless_ecalls += 1
+                return body()
+            finally:
+                self._busy_trusted -= 1
+        self.stats.fallback_ecalls += 1
+        return self._fallback.ecall(name, body, payload_bytes=payload_bytes)
+
+    def ocall(self, name: str, body: Callable[[], T], payload_bytes: int = 0) -> T:
+        self.enclave.require_usable()
+        if self._busy_untrusted < self.config.untrusted_workers:
+            self._busy_untrusted += 1
+            try:
+                self._charge_switchless("ocall", name, payload_bytes)
+                self.stats.switchless_ocalls += 1
+                return body()
+            finally:
+                self._busy_untrusted -= 1
+        self.stats.fallback_ocalls += 1
+        return self._fallback.ocall(name, body, payload_bytes=payload_bytes)
+
+    # -- accounting --------------------------------------------------------------
+
+    def _charge_switchless(self, kind: str, name: str, payload_bytes: int) -> None:
+        trans = self.platform.cost_model.transitions
+        cycles = (
+            trans.switchless_call_cycles
+            + trans.edge_fixed_cycles
+            + payload_bytes * trans.edge_byte_cycles
+        )
+        self.platform.charge_cycles(f"transition.switchless.{kind}.{name}", cycles)
+
+    def idle_worker_cost(self, duration_s: float) -> float:
+        """CPU burned by busy-waiting workers over ``duration_s`` — the
+        price of the pool even when no calls arrive."""
+        if duration_s < 0:
+            raise ConfigurationError("duration cannot be negative")
+        workers = self.config.trusted_workers + self.config.untrusted_workers
+        cycles = workers * duration_s * self.platform.spec.cpu_ghz * 1e9
+        return self.platform.spec.cycles_to_ns(cycles)
+
+    @property
+    def fallback_stats(self):
+        return self._fallback.stats

@@ -1,0 +1,118 @@
+"""Ecall/ocall transition layer with statistics.
+
+Ecalls enter the enclave, ocalls exit it; both are specialised function
+calls costing up to ~13,100 cycles of context switch (§2.1). Montsalvat
+additionally pays the GraalVM isolate attach + relay dispatch on every
+crossing, which dominates the measured RMI latencies (Fig. 3/4).
+
+The layer optionally runs in *switchless* mode (the paper's future-work
+direction, after Tian et al.): calls are handed to a worker thread
+through shared memory instead of performing a hardware transition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, TypeVar
+
+from repro.costs.platform import Platform
+from repro.errors import TransitionError
+from repro.sgx.enclave import Enclave
+
+T = TypeVar("T")
+
+
+@dataclass
+class TransitionStats:
+    """Counts and time spent crossing the boundary."""
+
+    ecalls: int = 0
+    ocalls: int = 0
+    switchless_calls: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    total_ns: float = 0.0
+
+    @property
+    def crossings(self) -> int:
+        return self.ecalls + self.ocalls + self.switchless_calls
+
+
+class TransitionLayer:
+    """Performs priced ecall/ocall crossings for one enclave."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        enclave: Enclave,
+        switchless: bool = False,
+    ) -> None:
+        self.platform = platform
+        self.enclave = enclave
+        self.switchless = switchless
+        self.stats = TransitionStats()
+        #: Ecalls currently executing: each consumes one TCS slot; a
+        #: re-entrant ecall during an ocall takes another (SGX
+        #: semantics — deep cross-boundary recursion runs out of TCS).
+        self._active_ecalls = 0
+
+    # -- crossings ------------------------------------------------------------
+
+    def ecall(
+        self,
+        name: str,
+        body: Callable[[], T],
+        payload_bytes: int = 0,
+        attach_isolate: bool = True,
+    ) -> T:
+        """Enter the enclave, run ``body`` inside, return its result."""
+        self.enclave.require_usable()
+        if self._active_ecalls >= self.enclave.config.tcs_count:
+            raise TransitionError(
+                f"SGX_ERROR_OUT_OF_TCS: {self._active_ecalls} ecalls active, "
+                f"enclave has {self.enclave.config.tcs_count} TCS slots"
+            )
+        self._charge("ecall", name, payload_bytes, attach_isolate)
+        self.stats.ecalls += 1
+        self.stats.bytes_in += payload_bytes
+        self._active_ecalls += 1
+        try:
+            return body()
+        finally:
+            self._active_ecalls -= 1
+
+    def ocall(
+        self,
+        name: str,
+        body: Callable[[], T],
+        payload_bytes: int = 0,
+        attach_isolate: bool = True,
+    ) -> T:
+        """Exit the enclave, run ``body`` outside, return its result."""
+        self.enclave.require_usable()
+        self._charge("ocall", name, payload_bytes, attach_isolate)
+        self.stats.ocalls += 1
+        self.stats.bytes_out += payload_bytes
+        return body()
+
+    # -- internals ------------------------------------------------------------
+
+    def _charge(
+        self, kind: str, name: str, payload_bytes: int, attach_isolate: bool
+    ) -> None:
+        if payload_bytes < 0:
+            raise TransitionError("payload size cannot be negative")
+        trans = self.platform.cost_model.transitions
+        if self.switchless:
+            cycles = trans.switchless_call_cycles
+            self.stats.switchless_calls += 1
+            category = f"transition.switchless.{name}"
+        else:
+            base = trans.ecall_cycles if kind == "ecall" else trans.ocall_cycles
+            cycles = base
+            category = f"transition.{kind}.{name}"
+        cycles += trans.edge_fixed_cycles + payload_bytes * trans.edge_byte_cycles
+        if attach_isolate and not self.switchless:
+            cycles += trans.isolate_attach_cycles
+        ns = self.platform.charge_cycles(category, cycles)
+        self.stats.total_ns += ns

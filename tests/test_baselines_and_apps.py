@@ -1,0 +1,262 @@
+"""Tests for the baseline runners, SPECjvm kernels, the Fig. 6 program
+generator, the shim libc and serialization."""
+
+import os
+
+import pytest
+
+from repro.apps.generator import generate_app
+from repro.apps.specjvm import KERNELS, run_kernel
+from repro.apps.specjvm.kernels import KERNEL_ORDER, charge_allocation_gc
+from repro.baselines import (
+    host_jvm_session,
+    native_session,
+    scone_jvm_session,
+)
+from repro.core import Partitioner, PartitionOptions, SerializationCodec
+from repro.core.annotations import ambient_context, current_context
+from repro.core.serialization import round_trip
+from repro.core.shim import ShimLibc
+from repro.costs import fresh_platform
+from repro.errors import (
+    AnnotationError,
+    ConfigurationError,
+    SerializationError,
+    ShimError,
+)
+from repro.graal.jtypes import TrustLevel
+from repro.runtime.context import ExecutionContext, Location, RuntimeKind
+
+
+class TestBaselines:
+    def test_native_session_is_host_native_image(self):
+        with native_session() as session:
+            ctx = current_context()
+            assert ctx.location is Location.HOST
+            assert ctx.runtime is RuntimeKind.NATIVE_IMAGE
+
+    def test_host_jvm_charges_boot(self):
+        with host_jvm_session() as session:
+            assert session.platform.ledger.total_ns("jvm.startup") > 0
+            assert session.platform.ledger.total_ns("jvm.class_loading") > 0
+
+    def test_scone_session_is_enclave_jvm(self):
+        with scone_jvm_session() as session:
+            ctx = current_context()
+            assert ctx.location is Location.ENCLAVE
+            assert ctx.runtime is RuntimeKind.JVM
+
+    def test_scone_boot_slower_than_host_jvm_boot(self):
+        with host_jvm_session() as host:
+            host_boot = host.platform.now_s
+        with scone_jvm_session() as scone:
+            scone_boot = scone.platform.now_s
+        assert scone_boot > host_boot * 1.2
+
+    def test_scone_syscalls_avoid_hardware_ocalls(self):
+        with scone_jvm_session() as session:
+            ShimLibc(session.ctx).fopen(os.devnull, "wb").close()
+            assert session.platform.ledger.count("transition.ocall") == 0
+            assert session.platform.ledger.count("scone.syscall") > 0
+
+    def test_sessions_deactivate_on_exit(self):
+        with native_session():
+            assert current_context() is not None
+        assert current_context() is None
+
+
+class TestSpecjvmKernels:
+    def test_all_kernels_run_and_checksum(self):
+        with native_session():
+            for name in KERNEL_ORDER:
+                checksum = run_kernel(name)
+                assert checksum == pytest.approx(KERNELS[name].compute())
+
+    def test_unknown_kernel_rejected(self):
+        with native_session():
+            with pytest.raises(ConfigurationError):
+                run_kernel("quantum_sort")
+
+    def test_kernel_requires_session(self):
+        with pytest.raises(AnnotationError):
+            run_kernel("fft")
+
+    def test_monte_carlo_estimates_pi(self):
+        assert KERNELS["monte_carlo"].compute() == pytest.approx(3.14, abs=0.1)
+
+    def test_fft_round_trip_error_tiny(self):
+        assert KERNELS["fft"].compute() < 1e-9
+
+    def test_ni_gc_pricier_than_jvm_gc(self):
+        p_ni, p_jvm = fresh_platform(), fresh_platform()
+        ni_ctx = ExecutionContext(p_ni, Location.HOST, RuntimeKind.NATIVE_IMAGE)
+        jvm_ctx = ExecutionContext(p_jvm, Location.HOST, RuntimeKind.JVM)
+        assert charge_allocation_gc(ni_ctx, 1e9) > 5 * charge_allocation_gc(jvm_ctx, 1e9)
+
+    def test_enclave_gc_pricier_than_host_gc(self):
+        p_in, p_out = fresh_platform(), fresh_platform()
+        in_ctx = ExecutionContext(p_in, Location.ENCLAVE)
+        out_ctx = ExecutionContext(p_out, Location.HOST)
+        assert charge_allocation_gc(in_ctx, 1e8) > charge_allocation_gc(out_ctx, 1e8)
+
+    def test_negative_alloc_rejected(self):
+        ctx = ExecutionContext(fresh_platform(), Location.HOST)
+        with pytest.raises(ConfigurationError):
+            charge_allocation_gc(ctx, -1)
+
+
+class TestGenerator:
+    def test_trust_split(self):
+        from repro.core import trust_of
+
+        app = generate_app(n_classes=10, pct_untrusted=30, workload="cpu", tag="t1")
+        trusts = [trust_of(cls) for cls in app.classes]
+        assert trusts.count(TrustLevel.UNTRUSTED) == 3
+        assert trusts.count(TrustLevel.TRUSTED) == 7
+
+    def test_drive_runs_every_class(self, tmp_path):
+        app = generate_app(n_classes=5, pct_untrusted=100, workload="io", tag="t2")
+        with native_session():
+            total = app.drive(str(tmp_path))
+        assert total == 5 * 4096.0
+        assert len(list(tmp_path.iterdir())) == 5
+
+    def test_cpu_classes_return_fft_checksum(self, tmp_path):
+        app = generate_app(n_classes=2, pct_untrusted=100, workload="cpu", tag="t3")
+        with native_session():
+            assert app.drive(str(tmp_path)) > 0
+
+    def test_partitioned_generated_app(self, tmp_path):
+        app = generate_app(n_classes=6, pct_untrusted=50, workload="io", tag="t4")
+        partitioned = Partitioner(PartitionOptions(name="gen_t4")).partition(
+            list(app.classes)
+        )
+        with partitioned.start() as session:
+            app.drive(str(tmp_path))
+            # Three trusted classes -> ecall relays happened.
+            assert session.transition_stats.ecalls >= 3
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_app(workload="gpu")
+        with pytest.raises(ConfigurationError):
+            generate_app(pct_untrusted=120)
+        with pytest.raises(ConfigurationError):
+            generate_app(n_classes=0)
+
+
+class TestShimLibc:
+    def test_real_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "data.bin")
+        with native_session() as session:
+            libc = ShimLibc(session.ctx)
+            with libc.fopen(path, "wb") as handle:
+                handle.write(b"hello ")
+                handle.write(b"world")
+            with libc.fopen(path, "rb") as handle:
+                assert handle.read() == b"hello world"
+            assert libc.stats.writes == 2
+            assert libc.stats.bytes_written == 11
+
+    def test_enclave_writes_are_ocalls(self, tmp_path):
+        path = str(tmp_path / "data.bin")
+        platform = fresh_platform()
+        ctx = ExecutionContext(platform, Location.ENCLAVE)
+        libc = ShimLibc(ctx)
+        with libc.fopen(path, "wb") as handle:
+            handle.write(b"x" * 100)
+        assert platform.ledger.count("transition.ocall.shim.write") == 1
+
+    def test_mmap_read_bounds_checked(self, tmp_path):
+        path = str(tmp_path / "data.bin")
+        with native_session() as session:
+            libc = ShimLibc(session.ctx)
+            with libc.fopen(path, "wb") as handle:
+                handle.write(b"0123456789")
+            mapped = libc.mmap_file(path)
+            assert mapped.read(2, 3) == b"234"
+            with pytest.raises(ShimError):
+                mapped.read(8, 5)
+
+    def test_mmap_missing_file_rejected(self, tmp_path):
+        with native_session() as session:
+            with pytest.raises(ShimError):
+                ShimLibc(session.ctx).mmap_file(str(tmp_path / "nope"))
+
+    def test_enclave_mmap_reads_trigger_page_ins(self, tmp_path):
+        path = str(tmp_path / "big.bin")
+        platform = fresh_platform()
+        ctx = ExecutionContext(platform, Location.ENCLAVE)
+        libc = ShimLibc(ctx)
+        with open(path, "wb") as handle:
+            handle.write(b"\x00" * 65536)
+        mapped = libc.mmap_file(path)
+        for offset in range(0, 65536, 256):
+            mapped.read(offset, 256)
+        assert platform.ledger.count("transition.ocall.shim.page_in") >= 15
+
+    def test_use_after_close_rejected(self, tmp_path):
+        with native_session() as session:
+            handle = ShimLibc(session.ctx).fopen(str(tmp_path / "f"), "wb")
+            handle.close()
+            with pytest.raises(ShimError):
+                handle.write(b"late")
+
+    def test_unlink(self, tmp_path):
+        path = str(tmp_path / "gone.bin")
+        with native_session() as session:
+            libc = ShimLibc(session.ctx)
+            libc.fopen(path, "wb").close()
+            assert os.path.exists(path)
+            libc.unlink(path)
+            assert not os.path.exists(path)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        codec = SerializationCodec(fresh_platform())
+        value, size = round_trip(codec, {"a": [1, 2, 3]}, Location.HOST)
+        assert value == {"a": [1, 2, 3]}
+        assert size > 0
+
+    def test_unserialisable_rejected(self):
+        codec = SerializationCodec(fresh_platform())
+        with pytest.raises(SerializationError):
+            codec.serialize(lambda: None, Location.HOST)
+
+    def test_corrupt_buffer_rejected(self):
+        codec = SerializationCodec(fresh_platform())
+        with pytest.raises(SerializationError):
+            codec.deserialize(b"garbage", Location.HOST)
+
+    def test_enclave_serialization_costs_more(self):
+        p_in, p_out = fresh_platform(), fresh_platform()
+        payload = ["x" * 16] * 1000
+        SerializationCodec(p_in).serialize(payload, Location.ENCLAVE)
+        SerializationCodec(p_out).serialize(payload, Location.HOST)
+        assert p_in.now_s > 3 * p_out.now_s
+
+    def test_enclave_serialize_pricier_than_deserialize(self):
+        """The Fig. 4b asymmetry at the codec level."""
+        platform = fresh_platform()
+        codec = SerializationCodec(platform)
+        payload = ["x" * 16] * 2000
+        buffer = codec.serialize(payload, Location.ENCLAVE)
+        serialize_ns = platform.ledger.total_ns("rmi.serialize.enclave")
+        codec.deserialize(buffer, Location.ENCLAVE)
+        deserialize_ns = platform.ledger.total_ns("rmi.deserialize.enclave")
+        assert serialize_ns > 2 * deserialize_ns
+
+    def test_memoized_codec_still_charges(self):
+        platform = fresh_platform()
+        codec = SerializationCodec(platform, memoize=True)
+        payload = ["y"] * 5000
+        codec.serialize(payload, Location.HOST)
+        first = platform.now_s
+        codec.serialize(payload, Location.HOST)
+        assert platform.now_s == pytest.approx(2 * first)
+
+    def test_measure_matches_serialized_size(self):
+        codec = SerializationCodec(fresh_platform())
+        value = list(range(100))
+        assert codec.measure(value) == len(codec.serialize(value, Location.HOST))

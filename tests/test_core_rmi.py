@@ -1,0 +1,290 @@
+"""Tests for the Montsalvat core runtime: annotations, proxies, RMI,
+mirror-proxy registries and GC synchronization — on the paper's own
+bank example."""
+
+import gc
+
+import pytest
+
+from repro.apps.bank import BANK_CLASSES, Account, AccountRegistry, Main, Person
+from repro.core import Partitioner, Side, current_context, trust_of
+from repro.core.annotations import current_runtime
+from repro.core.proxy import is_proxy, proxy_hash
+from repro.errors import AnnotationError, PartitionError, RegistryError, RmiError
+from repro.graal.jtypes import TrustLevel
+
+
+@pytest.fixture()
+def app():
+    return Partitioner().partition(BANK_CLASSES, main="Main.main")
+
+
+class TestAnnotations:
+    def test_trust_levels(self):
+        assert trust_of(Account) is TrustLevel.TRUSTED
+        assert trust_of(Person) is TrustLevel.UNTRUSTED
+
+    def test_unannotated_class_is_neutral(self):
+        class Helper:
+            pass
+
+        assert trust_of(Helper) is TrustLevel.NEUTRAL
+
+    def test_annotation_on_non_class_rejected(self):
+        from repro.core import trusted
+
+        with pytest.raises(AnnotationError):
+            trusted(lambda: None)
+
+    def test_conflicting_annotations_rejected(self):
+        from repro.core import trusted, untrusted
+
+        with pytest.raises(AnnotationError):
+            @untrusted
+            @trusted
+            class Both:
+                pass
+
+    def test_no_runtime_means_plain_python(self):
+        """§5.6: without an active runtime, annotated classes behave
+        like ordinary classes."""
+        assert current_runtime() is None
+        account = Account("plain", 10)
+        assert not is_proxy(account)
+        account.update_balance(5)
+        assert account.balance == 15
+
+
+class TestInstantiation:
+    def test_untrusted_is_concrete_on_untrusted_side(self, app):
+        with app.start():
+            alice = Person("Alice", 100)
+            assert not is_proxy(alice)
+
+    def test_trusted_is_proxy_from_untrusted_side(self, app):
+        with app.start():
+            account = Account("Alice", 100)
+            assert is_proxy(account)
+            assert isinstance(account, Account)
+
+    def test_mirror_registered_in_enclave(self, app):
+        with app.start() as session:
+            Account("Alice", 100)
+            trusted_state = session.runtime.state_of(Side.TRUSTED)
+            assert trusted_state.registry.live_count() == 1
+
+    def test_constructor_crosses_once(self, app):
+        with app.start() as session:
+            before = session.transition_stats.ecalls
+            Account("Alice", 100)
+            assert session.transition_stats.ecalls == before + 1
+
+    def test_trusted_instantiation_from_trusted_side_is_concrete(self, app):
+        with app.start() as session:
+            with session.on_side(Side.TRUSTED):
+                account = Account("inside", 5)
+                assert not is_proxy(account)
+
+    def test_untrusted_class_proxied_from_enclave(self, app):
+        with app.start() as session:
+            with session.on_side(Side.TRUSTED):
+                person = Person("outside", 5)
+                assert is_proxy(person)
+            # Constructing Person outside created its trusted Account
+            # mirror through a nested transition.
+            assert session.transition_stats.ocalls >= 1
+
+    def test_proxy_cannot_be_instantiated_directly(self, app):
+        from repro.core.proxy import make_proxy_class
+
+        with app.start():
+            proxy_cls = make_proxy_class(Account)
+            with pytest.raises((RmiError, AnnotationError)):
+                proxy_cls("x", 1)
+
+
+class TestInvocation:
+    def test_remote_method_effects_visible(self, app):
+        with app.start() as session:
+            account = Account("Alice", 100)
+            account.update_balance(-30)
+            assert account.get_balance() == 70
+            mirror = session.runtime.state_of(Side.TRUSTED).registry.get(
+                proxy_hash(account)
+            )
+            assert mirror.balance == 70
+
+    def test_paper_main_scenario(self, app):
+        with app.start():
+            registry = Main.main()
+            assert registry.count() == 2
+            assert registry.total_balance() == 125  # 75 + 50
+
+    def test_proxy_argument_resolves_to_mirror(self, app):
+        """Listing 5: passing a proxy sends its hash; the relay looks
+        the mirror up and invokes on it."""
+        with app.start() as session:
+            account = Account("Alice", 100)
+            registry = AccountRegistry()
+            registry.add_account(account)
+            assert registry.count() == 1
+            trusted_state = session.runtime.state_of(Side.TRUSTED)
+            mirror_registry = trusted_state.registry.get(proxy_hash(registry))
+            mirror_account = trusted_state.registry.get(proxy_hash(account))
+            assert mirror_registry.reg[0] is mirror_account
+
+    def test_concrete_annotated_return_becomes_proxy(self, app):
+        with app.start():
+            alice = Person("Alice", 100)
+            account = alice.get_account()
+            assert is_proxy(account)
+            assert account.get_balance() == 100
+
+    def test_proxy_identity_cached(self, app):
+        with app.start():
+            alice = Person("Alice", 100)
+            first = alice.get_account()
+            second = alice.get_account()
+            assert first is second
+
+    def test_neutral_arguments_serialized(self, app):
+        with app.start() as session:
+            before = session.platform.ledger.count("rmi.serialize.host")
+            Account("Alice", 100)  # the owner string serializes
+            assert session.platform.ledger.count("rmi.serialize.host") > before
+
+    def test_private_method_stripped_from_proxy(self, app):
+        from repro.core.proxy import make_proxy_class
+
+        class WithPrivate:
+            def public(self):
+                return self._secret()
+
+            def _secret(self):
+                return 42
+
+        proxy_cls = make_proxy_class(WithPrivate)
+        proxy = object.__new__(proxy_cls)
+        with pytest.raises(RmiError):
+            proxy._secret()
+
+    def test_transfer_uses_transitions(self, app):
+        with app.start() as session:
+            alice = Person("Alice", 100)
+            bob = Person("Bob", 25)
+            before = session.transition_stats.ecalls
+            alice.transfer(bob, 25)
+            # Two update_balance relays.
+            assert session.transition_stats.ecalls == before + 2
+
+    def test_current_context_follows_side(self, app):
+        with app.start() as session:
+            assert not current_context().in_enclave
+            with session.on_side(Side.TRUSTED):
+                assert current_context().in_enclave
+
+
+class TestGcSynchronization:
+    def test_dead_proxy_releases_mirror(self, app):
+        """Fig. 5b mechanics: collecting a proxy releases its mirror."""
+        with app.start() as session:
+            account = Account("Alice", 100)
+            trusted_registry = session.runtime.state_of(Side.TRUSTED).registry
+            assert trusted_registry.live_count() == 1
+            del account
+            gc.collect()
+            released = session.gc_helpers[Side.UNTRUSTED].scan_once()
+            assert released == 1
+            assert trusted_registry.live_count() == 0
+
+    def test_live_proxy_keeps_mirror(self, app):
+        with app.start() as session:
+            account = Account("Alice", 100)
+            gc.collect()
+            released = session.gc_helpers[Side.UNTRUSTED].scan_once()
+            assert released == 0
+            assert session.runtime.state_of(Side.TRUSTED).registry.live_count() == 1
+            assert account.get_balance() == 100
+
+    def test_released_mirror_unreachable_from_relays(self, app):
+        with app.start() as session:
+            account = Account("Alice", 100)
+            dead_hash = proxy_hash(account)
+            del account
+            gc.collect()
+            session.gc_helpers[Side.UNTRUSTED].scan_once()
+            with pytest.raises(RegistryError):
+                session.runtime.state_of(Side.TRUSTED).registry.get(dead_hash)
+
+    def test_gc_release_is_batched_transition(self, app):
+        with app.start() as session:
+            accounts = [Account(f"a{i}", i) for i in range(10)]
+            del accounts
+            gc.collect()
+            before = session.transition_stats.ecalls
+            released = session.gc_helpers[Side.UNTRUSTED].scan_once()
+            assert released == 10
+            # One batched ecall for all ten releases.
+            assert session.transition_stats.ecalls == before + 1
+
+    def test_maybe_scan_respects_period(self, app):
+        with app.start() as session:
+            helper = session.gc_helpers[Side.UNTRUSTED]
+            account = Account("Alice", 1)
+            del account
+            gc.collect()
+            # Less than a virtual second has passed since start.
+            assert helper.maybe_scan() == 0
+            session.platform.charge_ns("idle", 2e9)
+            assert helper.maybe_scan() == 1
+
+
+class TestPartitionerValidation:
+    def test_requires_trusted_class(self):
+        with pytest.raises(PartitionError):
+            Partitioner().partition([Person, Main], main="Main.main")
+
+    def test_trusted_main_rejected(self):
+        with pytest.raises(PartitionError):
+            Partitioner().partition(BANK_CLASSES, main="Account.get_balance")
+
+    def test_unknown_main_rejected(self):
+        with pytest.raises(PartitionError):
+            Partitioner().partition(BANK_CLASSES, main="Nowhere.main")
+
+    def test_duplicate_class_names_rejected(self):
+        with pytest.raises(PartitionError):
+            Partitioner().partition([Account, Account], main=None)
+
+
+class TestImagePartitioning:
+    def test_untrusted_functionality_absent_from_trusted_image(self, app):
+        """§5.3: after analysis the trusted image contains no untrusted
+        methods — the unreachable Person proxy is pruned."""
+        assert not app.images.trusted.contains_class("Person")
+
+    def test_trusted_proxies_present_in_untrusted_image(self, app):
+        assert app.images.untrusted.contains_class("Account")
+        assert app.images.untrusted.contains_method("Person.transfer")
+
+    def test_relays_are_trusted_entry_points(self, app):
+        assert "Account.relay_init" in app.images.trusted.entry_points
+        assert "Account.relay_update_balance" in app.images.trusted.entry_points
+
+    def test_main_is_untrusted_entry_point(self, app):
+        assert app.images.untrusted.entry_points[0] == "Main.main"
+
+    def test_images_are_relocatable(self, app):
+        assert app.images.trusted.artifact_name.endswith("-trusted.o")
+        assert app.images.untrusted.artifact_name.endswith("-untrusted.o")
+
+    def test_edl_covers_all_relays_and_shim(self, app):
+        text = app.artifacts.edl_text
+        assert "ecall_Account_relay_update_balance" in text
+        assert "ocall_Person_relay_transfer" in text
+        assert "ocall_write" in text
+        assert "ecall_gc_release" in text
+
+    def test_generated_c_dispatches_through_isolate(self, app):
+        assert "get_trusted_isolate()" in app.artifacts["ecalls.c"]
+        assert "get_untrusted_isolate()" in app.artifacts["ocalls.c"]

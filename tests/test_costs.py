@@ -1,0 +1,186 @@
+"""Unit tests for the cost substrate: clock, ledger, machine, platform."""
+
+import pytest
+
+from repro.costs import (
+    CostLedger,
+    CostModel,
+    Platform,
+    VirtualClock,
+    XEON_E3_1270,
+    fresh_platform,
+)
+from repro.costs.machine import MachineSpec
+from repro.errors import ConfigurationError
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now_ns == 0.0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance_ns(10.0)
+        clock.advance_ns(5.5)
+        assert clock.now_ns == pytest.approx(15.5)
+
+    def test_now_s_converts(self):
+        clock = VirtualClock()
+        clock.advance_ns(2.5e9)
+        assert clock.now_s == pytest.approx(2.5)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VirtualClock().advance_ns(-1.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VirtualClock(start_ns=-5)
+
+    def test_measure_span(self):
+        clock = VirtualClock()
+        span = clock.measure()
+        clock.advance_ns(100.0)
+        assert span.elapsed_ns() == pytest.approx(100.0)
+        assert span.elapsed_s() == pytest.approx(1e-7)
+
+
+class TestMachineSpec:
+    def test_paper_testbed_values(self):
+        spec = XEON_E3_1270
+        assert spec.cpu_ghz == 3.80
+        assert spec.epc_total_bytes == 128 * 1024 * 1024
+        assert spec.epc_usable_bytes < spec.epc_total_bytes
+
+    def test_cycles_ns_round_trip(self):
+        spec = XEON_E3_1270
+        assert spec.ns_to_cycles(spec.cycles_to_ns(1000.0)) == pytest.approx(1000.0)
+
+    def test_one_cycle_duration(self):
+        # 3.8 GHz -> one cycle is ~0.263 ns.
+        assert XEON_E3_1270.cycles_to_ns(1.0) == pytest.approx(1 / 3.8)
+
+    def test_pages_ceiling(self):
+        assert XEON_E3_1270.pages(1) == 1
+        assert XEON_E3_1270.pages(4096) == 1
+        assert XEON_E3_1270.pages(4097) == 2
+        assert XEON_E3_1270.pages(0) == 0
+
+    def test_pages_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            XEON_E3_1270.pages(-1)
+
+    def test_invalid_epc_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec(
+                name="bad",
+                cpu_ghz=1.0,
+                cores=1,
+                l1_bytes=1,
+                l2_bytes=1,
+                l3_bytes=1,
+                dram_bytes=1,
+                epc_total_bytes=10,
+                epc_usable_bytes=20,
+            )
+
+    def test_non_power_of_two_page_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec(
+                name="bad",
+                cpu_ghz=1.0,
+                cores=1,
+                l1_bytes=1,
+                l2_bytes=1,
+                l3_bytes=1,
+                dram_bytes=1,
+                epc_total_bytes=100,
+                epc_usable_bytes=50,
+                page_bytes=1000,
+            )
+
+
+class TestCostLedger:
+    def test_charge_and_total(self):
+        ledger = CostLedger()
+        ledger.charge("a.b", 10.0)
+        ledger.charge("a.b", 5.0)
+        ledger.charge("a.c", 1.0)
+        assert ledger.total_ns("a") == pytest.approx(16.0)
+        assert ledger.total_ns("a.b") == pytest.approx(15.0)
+        assert ledger.count("a") == 3
+
+    def test_prefix_does_not_match_partial_segment(self):
+        ledger = CostLedger()
+        ledger.charge("transition.ocall", 1.0)
+        ledger.charge("transition.ocallish", 2.0)
+        assert ledger.total_ns("transition.ocall") == pytest.approx(1.0)
+
+    def test_empty_prefix_matches_all(self):
+        ledger = CostLedger()
+        ledger.charge("x", 1.0)
+        ledger.charge("y", 2.0)
+        assert ledger.total_ns() == pytest.approx(3.0)
+
+    def test_snapshot_and_diff(self):
+        ledger = CostLedger()
+        ledger.charge("x", 1.0)
+        snap = ledger.snapshot()
+        ledger.charge("x", 2.0)
+        ledger.charge("y", 3.0)
+        delta = ledger.diff_since(snap)
+        assert delta["x"] == (1, pytest.approx(2.0))
+        assert delta["y"] == (1, pytest.approx(3.0))
+
+    def test_merge(self):
+        a, b = CostLedger(), CostLedger()
+        a.charge("x", 1.0)
+        b.charge("x", 2.0)
+        b.charge("y", 4.0)
+        a.merge(b)
+        assert a.total_ns("x") == pytest.approx(3.0)
+        assert a.total_ns("y") == pytest.approx(4.0)
+
+    def test_format_table_contains_categories(self):
+        ledger = CostLedger()
+        ledger.charge("alpha", 5.0)
+        table = ledger.format_table()
+        assert "alpha" in table
+
+
+class TestPlatform:
+    def test_charge_cycles_advances_clock(self):
+        platform = fresh_platform()
+        ns = platform.charge_cycles("work", 3800.0)  # 3800 cycles @ 3.8GHz = 1us
+        assert ns == pytest.approx(1000.0)
+        assert platform.clock.now_ns == pytest.approx(1000.0)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            fresh_platform().charge_ns("work", -1.0)
+
+    def test_ledger_records_categories(self):
+        platform = fresh_platform()
+        platform.charge_ns("a", 1.0)
+        platform.charge_ns("b", 2.0)
+        assert set(platform.ledger.categories()) == {"a", "b"}
+
+
+class TestCostModel:
+    def test_default_is_valid(self):
+        model = CostModel()
+        assert model.transitions.ecall_cycles == pytest.approx(13_100.0)
+
+    def test_mee_cannot_speed_up(self):
+        from dataclasses import replace
+
+        from repro.costs.model import MemoryCosts
+
+        with pytest.raises(ConfigurationError):
+            CostModel(memory=MemoryCosts(mee_multiplier=0.5))
+
+    def test_enclave_gc_cannot_be_faster(self):
+        from repro.costs.model import GcCosts
+
+        with pytest.raises(ConfigurationError):
+            CostModel(gc=GcCosts(enclave_multiplier=0.9))

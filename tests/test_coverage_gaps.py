@@ -1,0 +1,210 @@
+"""Coverage for remaining corners: proxy internals, annotation edge
+cases, application lifecycle, build stats, profiler rendering, CLI."""
+
+import pytest
+
+from repro.apps.bank import BANK_CLASSES, Account, AccountRegistry, Person
+from repro.cli import main as cli_main
+from repro.core import Partitioner, PartitionOptions, Side
+from repro.core.annotations import (
+    current_context,
+    current_runtime,
+    neutral,
+    side_for,
+    trusted,
+)
+from repro.core.proxy import (
+    construct_proxy,
+    is_proxy,
+    make_proxy_class,
+    proxy_hash,
+)
+from repro.costs import fresh_platform
+from repro.errors import AnnotationError, ConfigurationError, PartitionError
+from repro.graal.buildstats import analyze_image, partitioned_build_stats
+from repro.graal.jtypes import JClass, JMethod, TrustLevel
+
+
+@pytest.fixture()
+def app():
+    return Partitioner(PartitionOptions(name="gaps")).partition(
+        BANK_CLASSES, main="Main.main"
+    )
+
+
+class TestProxyInternals:
+    def test_proxy_class_cached(self):
+        assert make_proxy_class(Account) is make_proxy_class(Account)
+
+    def test_proxy_class_name_and_doc(self):
+        proxy_cls = make_proxy_class(Account)
+        assert proxy_cls.__name__ == "AccountProxy"
+        assert "generated" in proxy_cls.__doc__
+
+    def test_proxy_inherits_for_isinstance(self):
+        proxy_cls = make_proxy_class(Account)
+        assert issubclass(proxy_cls, Account)
+
+    def test_inherited_public_methods_forwarded(self, app):
+        """Methods inherited from a base class are proxied too."""
+
+        class BaseLogic:
+            def shared(self):
+                return self.value
+
+        @trusted
+        class Derived(BaseLogic):
+            def __init__(self, value):
+                self.value = value
+
+        inner = Partitioner(PartitionOptions(name="mro")).partition(
+            [Derived], main=None
+        )
+        with inner.start():
+            obj = Derived(7)
+            assert is_proxy(obj)
+            assert obj.shared() == 7
+
+    def test_proxy_repr_mentions_hash_and_side(self, app):
+        with app.start():
+            account = Account("x", 1)
+            text = repr(account)
+            assert "AccountProxy" in text
+            assert "trusted" in text
+
+    def test_get_hash_matches_proxy_hash(self, app):
+        with app.start():
+            account = Account("x", 1)
+            assert account.get_hash() == proxy_hash(account)
+
+
+class TestAnnotationEdgeCases:
+    def test_reannotation_same_trust_is_idempotent(self):
+        @trusted
+        @trusted
+        class Twice:
+            pass
+
+        from repro.core import trust_of
+
+        assert trust_of(Twice) is TrustLevel.TRUSTED
+
+    def test_neutral_decorator_marks_explicitly(self):
+        @neutral
+        class Util:
+            pass
+
+        from repro.core import trust_of
+
+        assert trust_of(Util) is TrustLevel.NEUTRAL
+
+    def test_neutral_has_no_home_side(self):
+        with pytest.raises(AnnotationError):
+            side_for(TrustLevel.NEUTRAL)
+
+    def test_side_opposites(self):
+        assert Side.TRUSTED.opposite is Side.UNTRUSTED
+        assert Side.UNTRUSTED.opposite is Side.TRUSTED
+
+    def test_no_runtime_outside_sessions(self):
+        assert current_runtime() is None
+        assert current_context() is None
+
+
+class TestApplicationLifecycle:
+    def test_sequential_sessions_from_one_app(self, app):
+        for _ in range(2):
+            with app.start():
+                person = Person("x", 10)
+                assert person.get_account().get_balance() == 10
+
+    def test_session_cleans_registries_on_exit(self, app):
+        import gc
+
+        with app.start() as session:
+            Account("x", 1)
+            trusted_registry = session.runtime.state_of(Side.TRUSTED).registry
+        gc.collect()
+        # The exit hook ran a forced GC scan; at most the final state
+        # remains, and the enclave was destroyed either way.
+        assert not session.enclave.usable
+
+    def test_nested_sessions_are_isolated(self, app):
+        other = Partitioner(PartitionOptions(name="gaps2")).partition(
+            BANK_CLASSES, main="Main.main"
+        )
+        with app.start() as outer:
+            with other.start() as inner:
+                account = Account("inner", 5)
+                # The innermost active runtime owns instantiation.
+                assert inner.runtime.state_of(Side.TRUSTED).registry.live_count() == 1
+                assert outer.runtime.state_of(Side.TRUSTED).registry.live_count() == 0
+            # After the inner session exits, the outer one is active again.
+            account2 = Account("outer", 6)
+            assert outer.runtime.state_of(Side.TRUSTED).registry.live_count() == 1
+
+    def test_unpartitioned_runs_annotated_classes_concretely(self):
+        partitioner = Partitioner(PartitionOptions(name="gaps3"))
+        app = partitioner.unpartitioned(list(BANK_CLASSES), main="Main.main")
+        with app.start():
+            account = Account("plain", 3)
+            assert not is_proxy(account)
+            account.update_balance(2)
+            assert account.balance == 5
+
+
+class TestBuildStats:
+    def test_partitioned_stats(self, app):
+        trusted_stats, untrusted_stats = partitioned_build_stats(app)
+        assert trusted_stats.reachable_methods <= trusted_stats.total_methods
+        assert 0.0 <= trusted_stats.method_pruning_ratio <= 1.0
+        assert "Person" in trusted_stats.pruned_proxy_classes
+        assert "build stats" in trusted_stats.format()
+
+    def test_analyze_image_direct(self):
+        from repro.graal import NativeImageBuilder, extract_classes
+        from repro.graal.jtypes import ClassUniverse
+
+        universe = ClassUniverse(extract_classes(BANK_CLASSES))
+        image = NativeImageBuilder().build("x", universe, ["Main.main"])
+        stats = analyze_image(image, universe)
+        assert stats.total_classes == 4
+        assert stats.reachable_classes >= 3
+
+
+class TestCliCommands:
+    @pytest.mark.parametrize("command", ["fig3", "fig4a", "fig12", "table1"])
+    def test_quick_commands_run(self, command, capsys):
+        assert cli_main([command, "--scale", "small"]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_fig6_small(self, capsys):
+        assert cli_main(["fig6", "--scale", "small"]) == 0
+        assert "untrusted (%)" in capsys.readouterr().out
+
+    def test_ablations_command(self, capsys):
+        assert cli_main(["ablations"]) == 0
+        assert "switchless" in capsys.readouterr().out
+
+
+class TestLedgerRendering:
+    def test_format_table_top_limit(self):
+        platform = fresh_platform()
+        for index in range(10):
+            platform.charge_ns(f"cat{index}", float(index + 1))
+        table = platform.ledger.format_table(top=3)
+        assert "cat9" in table
+        assert "cat0" not in table
+
+    def test_profiler_report_renders(self):
+        from repro.sgx import SgxSdk, TransitionLayer
+        from repro.sgx.profiler import TransitionProfiler
+
+        platform = fresh_platform()
+        sdk = SgxSdk(platform)
+        layer = TransitionLayer(platform, sdk.create_enclave(sdk.sign("p", b"p")))
+        profiler = TransitionProfiler(layer)
+        profiler.ecall("relay_x", lambda: None, payload_bytes=64)
+        report = profiler.report()
+        assert "relay_x" in report
+        assert "mean_us" in report

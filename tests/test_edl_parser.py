@@ -1,0 +1,79 @@
+"""Round-trip tests for the EDL renderer/parser."""
+
+import pytest
+
+from repro.apps.bank import BANK_CLASSES
+from repro.core import BytecodeTransformer
+from repro.core.codegen import SgxCodeGenerator
+from repro.errors import ConfigurationError
+from repro.graal.extraction import extract_classes
+from repro.sgx.edl import EdlFile, EdlFunction, EdlParam, parse_edl
+
+
+def sample_edl() -> EdlFile:
+    edl = EdlFile("sample")
+    edl.add_ecall(
+        EdlFunction(
+            "ecall_put",
+            params=(
+                EdlParam("uint64_t", "hash"),
+                EdlParam("const char*", "buf", direction="in", size_expr="len"),
+                EdlParam("size_t", "len"),
+            ),
+        )
+    )
+    edl.add_ecall(EdlFunction("ecall_ping", return_type="int"))
+    edl.add_ocall(
+        EdlFunction(
+            "ocall_write",
+            return_type="long",
+            params=(
+                EdlParam("char*", "buf", direction="in, out", size_expr="len"),
+                EdlParam("size_t", "len"),
+            ),
+        )
+    )
+    return edl
+
+
+class TestEdlRoundTrip:
+    def test_render_parse_render_fixpoint(self):
+        original = sample_edl()
+        parsed = parse_edl(original.render(), name="sample")
+        assert parsed.render() == original.render()
+
+    def test_sections_preserved(self):
+        parsed = parse_edl(sample_edl().render())
+        assert [f.name for f in parsed.trusted] == ["ecall_put", "ecall_ping"]
+        assert [f.name for f in parsed.untrusted] == ["ocall_write"]
+
+    def test_attributes_preserved(self):
+        parsed = parse_edl(sample_edl().render())
+        buf = parsed.trusted[0].params[1]
+        assert buf.direction == "in"
+        assert buf.size_expr == "len"
+        rw = parsed.untrusted[0].params[0]
+        assert rw.direction == "in, out"
+
+    def test_return_types_preserved(self):
+        parsed = parse_edl(sample_edl().render())
+        assert parsed.trusted[1].return_type == "int"
+        assert parsed.untrusted[0].return_type == "long"
+
+    def test_generated_application_edl_parses(self):
+        """The full generated interface for the bank app round-trips."""
+        ir = extract_classes(BANK_CLASSES)
+        result = BytecodeTransformer().transform(ir, main_entry="Main.main")
+        edl = SgxCodeGenerator("bank").build_edl(result)
+        parsed = parse_edl(edl.render(), name="bank")
+        assert parsed.render() == edl.render()
+        assert len(parsed.routine_names()) == len(edl.routine_names())
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_edl("enclave {\n    trusted {\n        ???\n    };\n};")
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = sample_edl().render() + "\n// trailing comment\n\n"
+        parsed = parse_edl(text)
+        assert len(parsed.routine_names()) == 3

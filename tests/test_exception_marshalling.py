@@ -1,0 +1,123 @@
+"""Tests for exception marshalling across the enclave boundary.
+
+Live exception objects cannot cross a real enclave boundary; the
+runtime serializes (type, args) and reconstructs on the caller side."""
+
+import pytest
+
+from repro.apps.bank import BANK_CLASSES
+from repro.core import Partitioner, PartitionOptions
+from repro.core.annotations import trusted, untrusted
+from repro.errors import RegistryError, RmiError
+
+
+class AppFailure(Exception):
+    """A custom application exception (not reconstructible remotely)."""
+
+
+@trusted
+class Failing:
+    def __init__(self, mode: str) -> None:
+        self.mode = mode
+
+    def explode(self):
+        if self.mode == "value":
+            raise ValueError("bad input", 42)
+        if self.mode == "key":
+            raise KeyError("missing")
+        if self.mode == "custom":
+            raise AppFailure("application-specific problem")
+        if self.mode == "unpicklable":
+            raise ValueError(lambda: None)
+        return "fine"
+
+    def fail_in_constructor(self):
+        return Breaker(-1)
+
+
+@trusted
+class Breaker:
+    def __init__(self, value: int) -> None:
+        if value < 0:
+            raise ValueError("constructor rejects negatives")
+        self.value = value
+
+
+@untrusted
+class Caller:
+    def trigger(self, failing: Failing):
+        return failing.explode()
+
+
+@pytest.fixture()
+def session():
+    app = Partitioner(PartitionOptions(name="exc")).partition(
+        [Failing, Breaker, Caller]
+    )
+    with app.start() as live:
+        yield live
+
+
+class TestExceptionMarshalling:
+    def test_builtin_exception_reconstructed(self, session):
+        failing = Failing("value")
+        with pytest.raises(ValueError) as excinfo:
+            failing.explode()
+        assert excinfo.value.args == ("bad input", 42)
+
+    def test_keyerror_reconstructed(self, session):
+        failing = Failing("key")
+        with pytest.raises(KeyError):
+            failing.explode()
+
+    def test_custom_exception_becomes_rmi_error(self, session):
+        failing = Failing("custom")
+        with pytest.raises(RmiError) as excinfo:
+            failing.explode()
+        assert "AppFailure" in str(excinfo.value)
+        assert "application-specific problem" in str(excinfo.value)
+
+    def test_unpicklable_exception_payload_degrades_to_string(self, session):
+        failing = Failing("unpicklable")
+        with pytest.raises(ValueError):
+            failing.explode()
+
+    def test_constructor_exception_crosses(self, session):
+        with pytest.raises(ValueError) as excinfo:
+            Breaker(-5)
+        assert "rejects negatives" in str(excinfo.value)
+
+    def test_nested_relay_exception_crosses_twice(self, session):
+        """untrusted -> trusted -> (raise) -> untrusted -> caller."""
+        from repro.core import Side
+
+        failing = Failing("value")
+        with session.on_side(Side.TRUSTED):
+            caller = Caller()  # proxy to the untrusted Caller mirror
+            with pytest.raises(ValueError):
+                caller.trigger(failing)
+
+    def test_infrastructure_errors_not_masked(self, session):
+        """Runtime errors (registry misses...) stay typed."""
+        from repro.core import Side
+        from repro.core.proxy import proxy_hash
+
+        failing = Failing("value")
+        session.runtime.state_of(Side.TRUSTED).registry.remove(proxy_hash(failing))
+        with pytest.raises(RegistryError):
+            failing.explode()
+
+    def test_mirror_stays_usable_after_exception(self, session):
+        failing = Failing("fine")
+        assert failing.explode() == "fine"
+        failing.mode = None  # proxies have no fields: AttributeError? no —
+        # setting attributes on a proxy only touches the proxy object;
+        # the mirror's mode is unchanged.
+        assert failing.explode() == "fine"
+
+    def test_exception_costs_serialization(self, session):
+        failing = Failing("value")
+        before = session.platform.ledger.count("rmi.serialize.enclave")
+        with pytest.raises(ValueError):
+            failing.explode()
+        assert session.platform.ledger.count("rmi.serialize.enclave") > before

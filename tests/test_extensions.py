@@ -1,0 +1,190 @@
+"""Tests for the extension modules: switchless transitions, tracing
+agent, transition profiler, and sealing."""
+
+import pytest
+
+from repro.apps.bank import BANK_CLASSES, Account
+from repro.core import Partitioner, PartitionOptions
+from repro.costs import fresh_platform
+from repro.errors import AttestationError, BuildError
+from repro.graal import NativeImageBuilder, extract_classes
+from repro.graal.builder import BuildOptions
+from repro.graal.jtypes import ClassUniverse
+from repro.graal.tracing import TracingAgent, load_reflection_config
+from repro.sgx import SgxSdk, TransitionLayer
+from repro.sgx.profiler import TransitionProfiler
+from repro.sgx.sealing import SealingService, transparent_seal
+
+
+def make_enclave(platform=None):
+    platform = platform or fresh_platform()
+    sdk = SgxSdk(platform)
+    return platform, sdk.create_enclave(sdk.sign("ext", b"ext-code"))
+
+
+class TestSwitchlessRuntime:
+    def _time_run(self, switchless: bool) -> float:
+        options = PartitionOptions(name=f"sw_{switchless}", switchless=switchless)
+        app = Partitioner(options).partition(BANK_CLASSES, main="Main.main")
+        with app.start() as session:
+            account = Account("x", 0)
+            for i in range(200):
+                account.update_balance(1)
+            assert account.get_balance() == 200
+            return session.platform.now_s
+
+    def test_switchless_speeds_up_chatty_workloads(self):
+        """The §7 future-work claim: transition-less calls pay off for
+        applications performing many enclave transitions."""
+        normal = self._time_run(switchless=False)
+        switchless = self._time_run(switchless=True)
+        assert switchless < normal / 10
+
+    def test_switchless_counts_separately(self):
+        options = PartitionOptions(name="sw_count", switchless=True)
+        app = Partitioner(options).partition(BANK_CLASSES, main="Main.main")
+        with app.start() as session:
+            Account("x", 0)
+            assert session.transition_stats.switchless_calls >= 1
+            assert session.transition_stats.ecalls >= 1  # counted as ecalls too
+
+
+class TestTracingAgent:
+    def test_records_only_while_active(self):
+        agent = TracingAgent()
+        agent.record_class_access("Early")
+        with agent.tracing():
+            agent.record_class_access("During")
+        agent.record_class_access("Late")
+        assert agent.traced_classes == ("During",)
+
+    def test_reflective_helpers_record(self):
+        class Widget:
+            def ping(self):
+                return "pong"
+
+        agent = TracingAgent()
+        with agent.tracing():
+            widget = agent.reflect_instantiate(Widget)
+            assert agent.reflect_call(widget, "ping") == "pong"
+        assert "Widget" in agent.traced_classes
+
+    def test_json_round_trip_into_build_options(self):
+        agent = TracingAgent()
+        with agent.tracing():
+            agent.record_method_access("AccountRegistry", "count")
+        config = load_reflection_config(agent.to_json())
+        assert config == ("AccountRegistry",)
+
+        # The traced class is forced into an image that would not
+        # otherwise reach it — closing the closed-world gap (§2.2).
+        universe = ClassUniverse(extract_classes(BANK_CLASSES))
+        image = NativeImageBuilder(
+            BuildOptions(reflection_config=config)
+        ).build("traced", universe, ["Account.get_balance"])
+        assert image.contains_class("AccountRegistry")
+
+    def test_malformed_config_rejected(self):
+        with pytest.raises(BuildError):
+            load_reflection_config("not json")
+        with pytest.raises(BuildError):
+            load_reflection_config('{"name": "NotAList"}')
+        with pytest.raises(BuildError):
+            load_reflection_config('[{"class": "missing-name-key"}]')
+
+
+class TestTransitionProfiler:
+    def test_profiles_accumulate(self):
+        platform, enclave = make_enclave()
+        profiler = TransitionProfiler(TransitionLayer(platform, enclave))
+        for _ in range(3):
+            profiler.ecall("relay_update", lambda: None, payload_bytes=100)
+        profiler.ocall("ocall_write", lambda: None, payload_bytes=4096)
+        profiles = {(p.kind, p.name): p for p in profiler.profiles()}
+        assert profiles[("ecall", "relay_update")].calls == 3
+        assert profiles[("ecall", "relay_update")].payload_bytes == 300
+        assert profiles[("ocall", "ocall_write")].mean_payload == 4096
+        assert profiles[("ecall", "relay_update")].mean_ns > 0
+
+    def test_hottest_sorted_by_total_time(self):
+        platform, enclave = make_enclave()
+        profiler = TransitionProfiler(TransitionLayer(platform, enclave))
+        profiler.ecall("cold", lambda: None)
+        for _ in range(10):
+            profiler.ecall("hot", lambda: None)
+        assert profiler.hottest(1)[0].name == "hot"
+
+    def test_switchless_candidates_flagged(self):
+        platform, enclave = make_enclave()
+        profiler = TransitionProfiler(TransitionLayer(platform, enclave))
+        # ~7000 calls in well under a virtual second -> high frequency.
+        for _ in range(7000):
+            profiler.ecall("chatty", lambda: None)
+        names = [p.name for p in profiler.switchless_candidates()]
+        assert "chatty" in names
+        assert "chatty" in profiler.report()
+
+
+class TestSealing:
+    def test_seal_unseal_round_trip(self):
+        _, enclave = make_enclave()
+        service = SealingService(enclave)
+        blob = service.seal({"pin": 1234})
+        assert service.unseal(blob) == {"pin": 1234}
+
+    def test_ciphertext_hides_plaintext(self):
+        _, enclave = make_enclave()
+        blob = SealingService(enclave).seal("super-secret-owner")
+        assert b"super-secret-owner" not in blob.ciphertext
+
+    def test_tamper_rejected(self):
+        from dataclasses import replace
+
+        _, enclave = make_enclave()
+        service = SealingService(enclave)
+        blob = service.seal("data")
+        flipped = bytes([blob.ciphertext[0] ^ 1]) + blob.ciphertext[1:]
+        with pytest.raises(AttestationError):
+            service.unseal(replace(blob, ciphertext=flipped))
+
+    def test_foreign_enclave_cannot_unseal(self):
+        platform = fresh_platform()
+        sdk = SgxSdk(platform)
+        enclave_a = sdk.create_enclave(sdk.sign("a", b"code-a"))
+        enclave_b = sdk.create_enclave(sdk.sign("b", b"code-b"))
+        blob = SealingService(enclave_a).seal("bound to A")
+        with pytest.raises(AttestationError):
+            SealingService(enclave_b).unseal(blob)
+
+    def test_same_measurement_can_unseal(self):
+        """Sealing survives enclave restarts of the same build."""
+        platform = fresh_platform()
+        sdk = SgxSdk(platform)
+        signed = sdk.sign("app", b"same-code")
+        first = sdk.create_enclave(signed)
+        blob = SealingService(first).seal([1, 2, 3])
+        sdk.destroy_enclave(first)
+        second = sdk.create_enclave(signed)
+        assert SealingService(second).unseal(blob) == [1, 2, 3]
+
+    def test_transparent_seal_decorator(self):
+        _, enclave = make_enclave()
+        service = SealingService(enclave)
+
+        class Secret:
+            def __init__(self):
+                self._value = "classified"
+
+            @transparent_seal(service)
+            def get_value(self):
+                return self._value
+
+        blob = Secret().get_value()
+        assert not isinstance(blob, str)
+        assert service.unseal(blob) == "classified"
+
+    def test_sealing_charges_time(self):
+        platform, enclave = make_enclave()
+        before = platform.now_s
+        SealingService(enclave).seal(b"x" * 10000)
+        assert platform.now_s > before

@@ -1,0 +1,178 @@
+"""Failure-injection tests: what happens when parts of the system die
+or misbehave mid-run."""
+
+import gc
+
+import pytest
+
+from repro.apps.bank import BANK_CLASSES, Account, Person
+from repro.core import Partitioner, PartitionOptions, Side
+from repro.core.proxy import is_proxy, proxy_hash
+from repro.core.shim import ShimLibc
+from repro.costs import fresh_platform
+from repro.errors import (
+    EnclaveError,
+    HeapError,
+    RegistryError,
+    RmiError,
+    SerializationError,
+    ShimError,
+    StoreError,
+)
+from repro.runtime.context import ExecutionContext, Location
+from repro.runtime.heap import SimHeap
+from repro.sgx.enclave import EnclaveState
+
+
+@pytest.fixture()
+def app():
+    return Partitioner(PartitionOptions(name="fault")).partition(
+        BANK_CLASSES, main="Main.main"
+    )
+
+
+class TestEnclaveDeath:
+    def test_rmi_after_enclave_destroyed(self, app):
+        with app.start() as session:
+            account = Account("x", 1)
+            session.enclave.destroy()
+            with pytest.raises(EnclaveError):
+                account.get_balance()
+            # Re-destroying at session exit must not mask the state.
+            session.enclave.state = EnclaveState.INITIALIZED  # allow teardown
+
+    def test_proxy_creation_after_enclave_destroyed(self, app):
+        with app.start() as session:
+            session.enclave.destroy()
+            with pytest.raises(EnclaveError):
+                Account("too-late", 1)
+            session.enclave.state = EnclaveState.INITIALIZED
+
+
+class TestRegistryFaults:
+    def test_stale_proxy_after_forced_release(self, app):
+        """A mirror force-released while its proxy lives: the next RMI
+        fails loudly instead of acting on a ghost object."""
+        with app.start() as session:
+            account = Account("x", 5)
+            registry = session.runtime.state_of(Side.TRUSTED).registry
+            registry.remove(proxy_hash(account))
+            with pytest.raises(RegistryError):
+                account.get_balance()
+
+    def test_hash_collision_detected(self, app):
+        with app.start() as session:
+            account = Account("x", 5)
+            registry = session.runtime.state_of(Side.TRUSTED).registry
+            with pytest.raises(RegistryError):
+                registry.add(proxy_hash(account), object())
+
+    def test_gc_release_survives_cleared_registry(self, app):
+        """Scan racing an explicit clear: discard semantics keep the
+        helper from crashing on already-gone mirrors."""
+        with app.start() as session:
+            account = Account("x", 5)
+            session.runtime.state_of(Side.TRUSTED).registry.clear()
+            del account
+            gc.collect()
+            released = session.gc_helpers[Side.UNTRUSTED].scan_once()
+            assert released == 0  # nothing left to release; no crash
+
+
+class TestSerializationFaults:
+    def test_unpicklable_argument_fails_cleanly(self, app):
+        with app.start() as session:
+            registry_before = session.runtime.state_of(Side.TRUSTED).registry.live_count()
+            with pytest.raises(SerializationError):
+                Account(lambda: None, 1)  # closure as owner: not serialisable
+
+    def test_error_inside_relay_propagates(self, app):
+        with app.start():
+            account = Account("x", 5)
+            with pytest.raises(TypeError):
+                account.update_balance("not-a-number")
+            # The mirror is still usable afterwards.
+            account.update_balance(1)
+            assert account.get_balance() == 6
+
+
+class TestHeapFaults:
+    def test_enclave_heap_exhaustion(self):
+        platform = fresh_platform()
+        ctx = ExecutionContext(platform, Location.ENCLAVE)
+        heap = SimHeap(ctx, max_bytes=1024)
+        heap.alloc(900)
+        with pytest.raises(HeapError):
+            heap.alloc(900)
+
+    def test_gc_makes_room_again(self):
+        platform = fresh_platform()
+        ctx = ExecutionContext(platform, Location.HOST)
+        heap = SimHeap(ctx, max_bytes=1000, gc_threshold=1.0)
+        ref = heap.alloc(800)
+        heap.free(ref)
+        heap.collect()
+        heap.alloc(800)  # fits after collection
+
+
+class TestShimFaults:
+    def test_open_missing_directory_fails(self):
+        platform = fresh_platform()
+        libc = ShimLibc(ExecutionContext(platform, Location.HOST))
+        with pytest.raises(OSError):
+            libc.fopen("/nonexistent-dir-xyz/file.bin", "wb")
+
+    def test_corrupt_store_header(self, tmp_path):
+        from repro.apps.paldb.reader import StoreReader
+        from repro.baselines import native_session
+
+        path = str(tmp_path / "corrupt.paldb")
+        with open(path, "wb") as handle:
+            handle.write(b"JUNKJUNK" + b"\x00" * 64)
+        with native_session() as session:
+            with pytest.raises(StoreError):
+                StoreReader(path, ShimLibc(session.ctx))
+
+    def test_truncated_store_index(self, tmp_path):
+        from repro.apps.paldb import format as fmt
+        from repro.apps.paldb.reader import StoreReader
+        from repro.baselines import native_session
+
+        path = str(tmp_path / "trunc.paldb")
+        header = fmt.StoreHeader(
+            n_keys=100, n_buckets=1 << 20, index_offset=40, data_offset=40
+        )
+        with open(path, "wb") as handle:
+            handle.write(header.pack())
+        with native_session() as session:
+            with pytest.raises(StoreError):
+                StoreReader(path, ShimLibc(session.ctx))
+
+
+class TestProxyMisuse:
+    def test_direct_proxy_instantiation_rejected(self, app):
+        from repro.core.proxy import make_proxy_class
+
+        with app.start():
+            proxy_cls = make_proxy_class(Account)
+            with pytest.raises(Exception):
+                proxy_cls("x", 1)
+
+    def test_proxy_hash_on_non_proxy_rejected(self):
+        with pytest.raises(RmiError):
+            proxy_hash(object())
+
+    def test_static_on_proxy_rejected(self, app):
+        from repro.core.proxy import construct_proxy
+
+        class WithStatic:
+            @staticmethod
+            def helper():
+                return 1
+
+        with app.start() as session:
+            proxy = construct_proxy(
+                WithStatic, session.runtime, Side.TRUSTED, 123
+            )
+            with pytest.raises(RmiError):
+                proxy.helper()

@@ -1,0 +1,133 @@
+"""Final coverage pass: CLI extra commands, startup experiment
+internals, switchless ocall paths, and small utility corners."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.costs import fresh_platform
+from repro.errors import ConfigurationError
+
+
+class TestExtraCliCommands:
+    def test_epc_command(self, capsys):
+        assert cli_main(["epc"]) == 0
+        out = capsys.readouterr().out
+        assert "EPC paging cliff" in out
+
+    def test_startup_command(self, capsys):
+        assert cli_main(["startup"]) == 0
+        out = capsys.readouterr().out
+        assert "Startup" in out
+        assert "Build-time initialisation" in out
+
+    def test_securekeeper_command(self, capsys):
+        assert cli_main(["securekeeper", "--scale", "small"]) == 0
+        assert "switchless" in capsys.readouterr().out
+
+    def test_mapreduce_command(self, capsys):
+        assert cli_main(["mapreduce", "--scale", "small"]) == 0
+        assert "MapReduce" in capsys.readouterr().out
+
+
+class TestStartupExperimentInternals:
+    def test_run_startup_shapes(self):
+        from repro.experiments.startup import run_startup
+
+        table = run_startup()
+        # NI sessions start orders of magnitude faster than JVMs.
+        assert table.get("Part-NI").y_at(0) < table.get("NoSGX+JVM").y_at(0) / 50
+        # Footprints: native images carry megabytes, JVMs ~150 MB.
+        assert table.get("NoPart-NI").y_at(1) < 5.0
+        assert table.get("SCONE+JVM").y_at(1) > 100.0
+
+    def test_run_build_time_init_effect(self):
+        from repro.experiments.startup import run_build_time_init
+
+        table = run_build_time_init()
+        series = table.get("startup seconds")
+        assert series.y_at(0) < series.y_at(1)
+
+
+class TestSwitchlessOcallPath:
+    def make_layer(self, untrusted_workers=1):
+        from repro.sgx import SgxSdk, SwitchlessConfig, SwitchlessLayer
+
+        platform = fresh_platform()
+        sdk = SgxSdk(platform)
+        enclave = sdk.create_enclave(sdk.sign("swo", b"swo"))
+        return platform, SwitchlessLayer(
+            platform,
+            enclave,
+            SwitchlessConfig(trusted_workers=1, untrusted_workers=untrusted_workers),
+        )
+
+    def test_switchless_ocall_fast_path(self):
+        _, layer = self.make_layer()
+        assert layer.ocall("o", lambda: "out") == "out"
+        assert layer.stats.switchless_ocalls == 1
+
+    def test_ocall_fallback_when_untrusted_workers_busy(self):
+        _, layer = self.make_layer(untrusted_workers=1)
+
+        def nested():
+            return layer.ocall("inner", lambda: 3)
+
+        assert layer.ocall("outer", nested) == 3
+        assert layer.stats.fallback_ocalls == 1
+
+    def test_negative_worker_config_rejected(self):
+        from repro.sgx import SwitchlessConfig
+
+        with pytest.raises(ConfigurationError):
+            SwitchlessConfig(trusted_workers=-1)
+
+    def test_negative_idle_duration_rejected(self):
+        _, layer = self.make_layer()
+        with pytest.raises(ConfigurationError):
+            layer.idle_worker_cost(-1.0)
+
+
+class TestUtilityCorners:
+    def test_series_xs_and_mean(self):
+        from repro.experiments.common import Series
+
+        series = Series("s", [(1, 2.0), (2, 4.0)])
+        assert series.xs() == [1, 2]
+        assert series.mean() == 3.0
+        assert Series("empty").mean() == 0.0
+
+    def test_clock_span_start(self):
+        platform = fresh_platform()
+        platform.charge_ns("w", 100.0)
+        span = platform.measure()
+        assert span.start_ns == pytest.approx(100.0)
+
+    def test_platform_snapshot_diff(self):
+        platform = fresh_platform()
+        platform.charge_ns("a", 1.0)
+        snapshot = platform.snapshot()
+        platform.charge_ns("a", 2.0)
+        delta = platform.ledger.diff_since(snapshot)
+        assert delta["a"] == (1, pytest.approx(2.0))
+
+    def test_platform_repr(self):
+        platform = fresh_platform()
+        assert "Xeon" in repr(platform)
+
+    def test_top_level_package_exports(self):
+        import repro
+
+        assert callable(repro.trusted)
+        assert repro.__version__ == "1.0.0"
+
+    def test_transition_stats_crossings(self):
+        from repro.sgx.transitions import TransitionStats
+
+        stats = TransitionStats(ecalls=2, ocalls=3, switchless_calls=1)
+        assert stats.crossings == 6
+
+    def test_wire_huge_integers(self):
+        from repro.core import wire
+
+        for value in (2**300, -(2**300), 2**64 - 1):
+            assert wire.loads(wire.dumps(value)) == value

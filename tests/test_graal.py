@@ -1,0 +1,336 @@
+"""Unit tests for the GraalVM substrate: extraction, points-to analysis,
+entry points, image heap, builder and isolates."""
+
+import pytest
+
+from repro.costs import fresh_platform
+from repro.errors import BuildError, ConfigurationError, ReachabilityError
+from repro.graal import (
+    BuildOptions,
+    CEntryPointSpec,
+    Isolate,
+    LinkMode,
+    NativeImageBuilder,
+    PointsToAnalysis,
+    extract_classes,
+    validate_entry_point,
+)
+from repro.graal.entrypoints import ParamKind
+from repro.graal.image import ImageHeap, synthesize_code
+from repro.graal.jtypes import (
+    CallSite,
+    ClassUniverse,
+    JClass,
+    JMethod,
+    TrustLevel,
+)
+from repro.runtime.context import ExecutionContext, Location
+
+from repro.apps.bank import BANK_CLASSES
+
+
+def bank_universe():
+    return ClassUniverse(extract_classes(BANK_CLASSES))
+
+
+class TestExtraction:
+    def test_extracts_annotated_trust(self):
+        ir = extract_classes(BANK_CLASSES)
+        assert ir["Account"].trust is TrustLevel.TRUSTED
+        assert ir["Person"].trust is TrustLevel.UNTRUSTED
+
+    def test_extracts_methods(self):
+        ir = extract_classes(BANK_CLASSES)
+        names = {m.name for m in ir["Account"].methods}
+        assert {"__init__", "update_balance", "get_balance"} <= names
+
+    def test_extracts_instantiation_sites(self):
+        ir = extract_classes(BANK_CLASSES)
+        ctor = ir["Person"].method("__init__")
+        instantiations = {
+            site.receiver_class for site in ctor.calls if site.is_instantiation
+        }
+        assert "Account" in instantiations
+
+    def test_extracts_fields(self):
+        ir = extract_classes(BANK_CLASSES)
+        fields = {f.name for f in ir["Person"].fields}
+        assert {"name", "account"} <= fields
+
+    def test_constructor_flag(self):
+        ir = extract_classes(BANK_CLASSES)
+        assert ir["Account"].method("__init__").is_constructor
+        assert not ir["Account"].method("get_balance").is_constructor
+
+    def test_static_flag(self):
+        ir = extract_classes(BANK_CLASSES)
+        assert ir["Main"].method("main").is_static
+
+    def test_explicit_calls_declaration(self):
+        class Generated:
+            __calls__ = {"run": [("Helper", None), (None, "step")]}
+
+            def run(self):
+                pass
+
+        ir = extract_classes([Generated])
+        sites = ir["Generated"].method("run").calls
+        assert CallSite("__init__", "Helper", is_instantiation=True) in sites
+        assert CallSite("step") in sites
+
+
+class TestPointsTo:
+    def test_bank_main_reaches_trusted_methods(self):
+        result = PointsToAnalysis(bank_universe()).analyze(["Main.main"])
+        assert result.includes_method("Person.transfer")
+        assert result.includes_method("Account.update_balance")
+        assert result.includes_class("AccountRegistry")
+
+    def test_unreachable_method_excluded(self):
+        classes = {
+            "A": JClass(
+                name="A",
+                methods=(
+                    JMethod("used", "A"),
+                    JMethod("unused", "A"),
+                    JMethod(
+                        "main",
+                        "A",
+                        is_static=True,
+                        calls=frozenset({CallSite("used", "A")}),
+                    ),
+                ),
+            )
+        }
+        result = PointsToAnalysis(ClassUniverse(classes)).analyze(["A.main"])
+        assert result.includes_method("A.used")
+        assert not result.includes_method("A.unused")
+
+    def test_virtual_call_resolved_after_instantiation(self):
+        classes = {
+            "Impl": JClass(name="Impl", methods=(JMethod("go", "Impl"), JMethod("__init__", "Impl", is_constructor=True))),
+            "Main": JClass(
+                name="Main",
+                methods=(
+                    JMethod(
+                        "main",
+                        "Main",
+                        is_static=True,
+                        calls=frozenset(
+                            {
+                                CallSite("go"),  # virtual, then
+                                CallSite("__init__", "Impl", is_instantiation=True),
+                            }
+                        ),
+                    ),
+                ),
+            ),
+        }
+        result = PointsToAnalysis(ClassUniverse(classes)).analyze(["Main.main"])
+        assert result.includes_method("Impl.go")
+        assert "Impl" in result.instantiated
+
+    def test_virtual_call_without_instantiation_not_resolved(self):
+        classes = {
+            "Impl": JClass(name="Impl", methods=(JMethod("go", "Impl"),)),
+            "Main": JClass(
+                name="Main",
+                methods=(
+                    JMethod(
+                        "main", "Main", is_static=True, calls=frozenset({CallSite("go")})
+                    ),
+                ),
+            ),
+        }
+        result = PointsToAnalysis(ClassUniverse(classes)).analyze(["Main.main"])
+        assert not result.includes_method("Impl.go")
+
+    def test_constructor_marks_fields_reachable(self):
+        result = PointsToAnalysis(bank_universe()).analyze(["Main.main"])
+        assert "Account.balance" in result.fields
+
+    def test_missing_entry_point_rejected(self):
+        with pytest.raises(ReachabilityError):
+            PointsToAnalysis(bank_universe()).analyze(["Account.no_such"])
+
+    def test_unqualified_entry_point_rejected(self):
+        with pytest.raises(ReachabilityError):
+            PointsToAnalysis(bank_universe()).analyze(["main"])
+
+    def test_empty_entry_points_rejected(self):
+        with pytest.raises(ReachabilityError):
+            PointsToAnalysis(bank_universe()).analyze([])
+
+    def test_closed_world_violation(self):
+        with pytest.raises(ConfigurationError):
+            PointsToAnalysis(bank_universe()).analyze(["Unknown.main"])
+
+
+class TestCEntryPoint:
+    def good(self):
+        return CEntryPointSpec(
+            "relay", "Account", True, (ParamKind.ISOLATE, ParamKind.PRIMITIVE, ParamKind.WORD)
+        )
+
+    def test_valid_spec_passes(self):
+        validate_entry_point(self.good())
+
+    def test_non_static_rejected(self):
+        spec = CEntryPointSpec("relay", "A", False, (ParamKind.ISOLATE,))
+        with pytest.raises(BuildError):
+            validate_entry_point(spec)
+
+    def test_missing_isolate_rejected(self):
+        spec = CEntryPointSpec("relay", "A", True, (ParamKind.PRIMITIVE,))
+        with pytest.raises(BuildError):
+            validate_entry_point(spec)
+
+    def test_object_param_rejected(self):
+        spec = CEntryPointSpec(
+            "relay", "A", True, (ParamKind.ISOLATE, ParamKind.OBJECT)
+        )
+        with pytest.raises(BuildError):
+            validate_entry_point(spec)
+
+    def test_double_isolate_rejected(self):
+        spec = CEntryPointSpec(
+            "relay", "A", True, (ParamKind.ISOLATE, ParamKind.ISOLATE)
+        )
+        with pytest.raises(BuildError):
+            validate_entry_point(spec)
+
+
+class TestImageHeap:
+    def test_snapshot_round_trip(self):
+        heap = ImageHeap()
+        heap.put("config", {"threads": 4})
+        view = heap.startup_view()
+        assert view["config"] == {"threads": 4}
+
+    def test_put_after_snapshot_rejected(self):
+        heap = ImageHeap()
+        heap.snapshot()
+        with pytest.raises(BuildError):
+            heap.put("late", 1)
+
+    def test_unpicklable_state_rejected(self):
+        heap = ImageHeap()
+        heap.put("socket", lambda: None)
+        with pytest.raises(BuildError):
+            heap.snapshot()
+
+    def test_startup_view_is_a_copy(self):
+        heap = ImageHeap()
+        heap.put("data", [1, 2])
+        view = heap.startup_view()
+        view["data"].append(3)
+        assert heap.startup_view()["data"] == [1, 2]
+
+
+class TestBuilder:
+    def test_build_executable(self):
+        image = NativeImageBuilder().build("bank", bank_universe(), ["Main.main"])
+        assert not image.relocatable
+        assert image.artifact_name == "bank"
+        assert image.contains_method("Account.update_balance")
+
+    def test_relocatable_mode(self):
+        builder = NativeImageBuilder(BuildOptions(link_mode=LinkMode.RELOCATABLE))
+        image = builder.build("trusted", bank_universe(), ["Main.main"])
+        assert image.artifact_name == "trusted.o"
+
+    def test_no_entry_points_rejected(self):
+        with pytest.raises(BuildError):
+            NativeImageBuilder().build("bank", bank_universe(), [])
+
+    def test_build_time_init_lands_in_image_heap(self):
+        def init(heap):
+            heap.put("parsed_config", {"mode": "fast"})
+
+        image = NativeImageBuilder().build(
+            "bank", bank_universe(), ["Main.main"], build_time_init=init
+        )
+        assert image.image_heap_bytes > 0
+
+    def test_measurement_deterministic(self):
+        a = NativeImageBuilder().build("bank", bank_universe(), ["Main.main"])
+        b = NativeImageBuilder().build("bank", bank_universe(), ["Main.main"])
+        assert a.measure() == b.measure()
+
+    def test_measurement_changes_with_entry_points(self):
+        a = NativeImageBuilder().build("bank", bank_universe(), ["Main.main"])
+        b = NativeImageBuilder().build(
+            "bank", bank_universe(), ["Main.main", "AccountRegistry.count"]
+        )
+        assert a.measure() != b.measure()
+
+    def test_reflection_config_forces_class(self):
+        plain = NativeImageBuilder().build(
+            "bank", bank_universe(), ["Account.get_balance"]
+        )
+        assert not plain.contains_class("AccountRegistry")
+        forced = NativeImageBuilder(
+            BuildOptions(reflection_config=("AccountRegistry",))
+        ).build("bank", bank_universe(), ["Account.get_balance"])
+        assert forced.contains_class("AccountRegistry")
+
+    def test_code_size_scales_with_reachability(self):
+        small = NativeImageBuilder().build("bank", bank_universe(), ["Account.get_balance"])
+        large = NativeImageBuilder().build("bank", bank_universe(), ["Main.main"])
+        assert large.code_size_bytes > small.code_size_bytes
+
+    def test_runtime_components_embedded(self):
+        image = NativeImageBuilder().build("bank", bank_universe(), ["Main.main"])
+        assert "serial-gc" in image.runtime_components
+
+
+class TestIsolate:
+    def make(self, name="iso"):
+        platform = fresh_platform()
+        ctx = ExecutionContext(platform, Location.HOST)
+        return platform, Isolate(name, ctx, max_heap_bytes=1 << 20)
+
+    def test_independent_heaps(self):
+        platform = fresh_platform()
+        ctx = ExecutionContext(platform, Location.HOST)
+        a = Isolate("a", ctx, max_heap_bytes=1 << 20)
+        b = Isolate("b", ctx, max_heap_bytes=1 << 20)
+        a.heap.alloc(100)
+        assert b.heap.stats.live_bytes == 0
+
+    def test_collect_only_affects_own_heap(self):
+        platform = fresh_platform()
+        ctx = ExecutionContext(platform, Location.HOST)
+        a = Isolate("a", ctx, max_heap_bytes=1 << 20)
+        b = Isolate("b", ctx, max_heap_bytes=1 << 20)
+        a.heap.free(a.heap.alloc(500))
+        a.collect()
+        assert a.heap.stats.collections == 1
+        assert b.heap.stats.collections == 0
+
+    def test_attach_thread_charges(self):
+        platform, isolate = self.make()
+        before = platform.clock.now_ns
+        isolate.attach_thread()
+        assert platform.clock.now_ns > before
+
+    def test_use_after_teardown_rejected(self):
+        _, isolate = self.make()
+        isolate.tear_down()
+        with pytest.raises(ConfigurationError):
+            isolate.collect()
+
+    def test_unique_ids(self):
+        _, a = self.make("a")
+        _, b = self.make("b")
+        assert a.isolate_id != b.isolate_id
+
+
+class TestSynthesizeCode:
+    def test_deterministic(self):
+        result = PointsToAnalysis(bank_universe()).analyze(["Main.main"])
+        assert synthesize_code("x", result, b"") == synthesize_code("x", result, b"")
+
+    def test_name_changes_code(self):
+        result = PointsToAnalysis(bank_universe()).analyze(["Main.main"])
+        assert synthesize_code("x", result, b"") != synthesize_code("y", result, b"")

@@ -1,0 +1,211 @@
+"""Tests for the GraphChi-like engine: sharder, engine, PageRank, RMAT."""
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.apps.graphchi import (
+    GRAPHCHI_CLASSES,
+    FastSharder,
+    GraphChiEngine,
+    pagerank_reference,
+    run_pagerank_in_memory,
+)
+from repro.apps.graphchi.sharder import EDGE_BYTES, unpack_edges
+from repro.apps.rmat import RmatParams, generate_rmat
+from repro.baselines import native_session
+from repro.core import Partitioner, PartitionOptions
+from repro.errors import GraphError
+
+
+@pytest.fixture()
+def small_graph():
+    return generate_rmat(256, 1024, seed=5)
+
+
+class TestRmat:
+    def test_dimensions(self):
+        src, dst = generate_rmat(1000, 5000, seed=1)
+        assert len(src) == len(dst) == 5000
+        assert src.max() < 1000 and dst.max() < 1000
+        assert src.min() >= 0 and dst.min() >= 0
+
+    def test_deterministic_by_seed(self):
+        a = generate_rmat(100, 400, seed=9)
+        b = generate_rmat(100, 400, seed=9)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_no_self_loops(self):
+        src, dst = generate_rmat(64, 2000, seed=2)
+        assert not np.any(src == dst)
+
+    def test_skewed_degree_distribution(self):
+        """RMAT's defining property: heavy-tailed degrees."""
+        src, _ = generate_rmat(1024, 20_000, seed=3)
+        degrees = np.bincount(src, minlength=1024)
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(GraphError):
+            RmatParams(a=0.5, b=0.5, c=0.5, d=0.5)
+        with pytest.raises(GraphError):
+            RmatParams(a=1.2, b=-0.2, c=0.0, d=0.0)
+        with pytest.raises(GraphError):
+            generate_rmat(0, 10)
+
+
+class TestPageRankReference:
+    def test_matches_networkx(self, small_graph):
+        src, dst = small_graph
+        ours = pagerank_reference(src, dst, 256, iterations=80)
+        graph = nx.MultiDiGraph()
+        graph.add_nodes_from(range(256))
+        graph.add_edges_from(zip(src.tolist(), dst.tolist()))
+        theirs = nx.pagerank(graph, alpha=0.85, max_iter=300, tol=1e-12)
+        reference = np.array([theirs[i] for i in range(256)])
+        assert np.abs(ours - reference).max() < 1e-4
+
+    def test_uniform_on_cycle(self):
+        n = 10
+        src = np.arange(n)
+        dst = (src + 1) % n
+        ranks = run_pagerank_in_memory(src, dst, n, iterations=50)
+        assert np.allclose(ranks, ranks[0])
+
+    def test_rank_mass_conserved(self, small_graph):
+        src, dst = small_graph
+        ranks = run_pagerank_in_memory(src, dst, 256, iterations=30)
+        # With dangling redistribution the total mass stays at n.
+        assert ranks.sum() == pytest.approx(256, rel=1e-6)
+
+    def test_sink_attracts_rank(self):
+        # Star: everyone points to vertex 0.
+        src = np.arange(1, 20)
+        dst = np.zeros(19, dtype=np.int64)
+        ranks = run_pagerank_in_memory(src, dst, 20, iterations=40)
+        assert ranks[0] == max(ranks)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(GraphError):
+            run_pagerank_in_memory(np.array([0]), np.array([1]), 0)
+
+
+class TestSharder:
+    def test_shards_cover_all_edges(self, small_graph, tmp_path):
+        src, dst = small_graph
+        with native_session():
+            sharded = FastSharder(str(tmp_path)).shard(
+                src.tolist(), dst.tolist(), 256, 4
+            )
+        assert sharded.n_shards == 4
+        assert sum(s.n_edges for s in sharded.shards) == len(src)
+
+    def test_shards_partition_by_destination(self, small_graph, tmp_path):
+        src, dst = small_graph
+        with native_session():
+            sharded = FastSharder(str(tmp_path)).shard(
+                src.tolist(), dst.tolist(), 256, 4
+            )
+        for shard in sharded.shards:
+            with open(shard.path, "rb") as handle:
+                shard_src, shard_dst = unpack_edges(handle.read())
+            assert len(shard_src) == shard.n_edges
+            assert np.all(shard_dst >= shard.interval_start)
+            assert np.all(shard_dst < shard.interval_end)
+            # The PSW invariant: sorted by source.
+            assert np.all(np.diff(shard_src) >= 0)
+
+    def test_intervals_cover_vertex_space(self, small_graph, tmp_path):
+        src, dst = small_graph
+        with native_session():
+            sharded = FastSharder(str(tmp_path)).shard(
+                src.tolist(), dst.tolist(), 256, 3
+            )
+        assert sharded.shards[0].interval_start == 0
+        assert sharded.shards[-1].interval_end == 256
+        for left, right in zip(sharded.shards, sharded.shards[1:]):
+            assert left.interval_end == right.interval_start
+
+    def test_degree_file_written(self, small_graph, tmp_path):
+        src, dst = small_graph
+        with native_session():
+            sharded = FastSharder(str(tmp_path)).shard(
+                src.tolist(), dst.tolist(), 256, 2
+            )
+        degrees = np.fromfile(sharded.degree_path, dtype=np.uint32)
+        assert len(degrees) == 256
+        assert degrees.sum() == len(src)
+
+    def test_single_shard(self, small_graph, tmp_path):
+        src, dst = small_graph
+        with native_session():
+            sharded = FastSharder(str(tmp_path)).shard(
+                src.tolist(), dst.tolist(), 256, 1
+            )
+        assert sharded.n_shards == 1
+        assert sharded.shards[0].n_edges == len(src)
+
+    def test_invalid_inputs_rejected(self, tmp_path):
+        with native_session():
+            sharder = FastSharder(str(tmp_path))
+            with pytest.raises(GraphError):
+                sharder.shard([0], [1], 2, 0)
+            with pytest.raises(GraphError):
+                sharder.shard([0, 1], [1], 2, 1)
+            with pytest.raises(GraphError):
+                sharder.shard([5], [1], 2, 1)  # vertex out of range
+
+
+class TestEngine:
+    def _run(self, src, dst, n, shards, iterations, session_factory):
+        with session_factory():
+            import tempfile
+
+            workdir = tempfile.mkdtemp()
+            sharded = FastSharder(workdir).shard(src.tolist(), dst.tolist(), n, shards)
+            return GraphChiEngine().run_pagerank(sharded, iterations=iterations)
+
+    def test_engine_matches_in_memory_reference(self, small_graph):
+        src, dst = small_graph
+        out_of_core = self._run(src, dst, 256, 4, 10, native_session)
+        reference = run_pagerank_in_memory(src, dst, 256, iterations=10)
+        assert np.abs(np.array(out_of_core) - reference).max() < 1e-9
+
+    def test_shard_count_does_not_change_result(self, small_graph):
+        src, dst = small_graph
+        one = self._run(src, dst, 256, 1, 5, native_session)
+        six = self._run(src, dst, 256, 6, 5, native_session)
+        assert np.allclose(one, six)
+
+    def test_partitioned_run_matches_reference(self, small_graph):
+        src, dst = small_graph
+
+        def factory():
+            app = Partitioner(PartitionOptions(name="t_graphchi")).partition(
+                list(GRAPHCHI_CLASSES)
+            )
+            return app.start()
+
+        ranks = self._run(src, dst, 256, 3, 5, factory)
+        reference = run_pagerank_in_memory(src, dst, 256, iterations=5)
+        assert np.abs(np.array(ranks) - reference).max() < 1e-9
+
+    def test_invalid_iterations_rejected(self, small_graph, tmp_path):
+        src, dst = small_graph
+        with native_session():
+            sharded = FastSharder(str(tmp_path)).shard(
+                src.tolist(), dst.tolist(), 256, 2
+            )
+            with pytest.raises(GraphError):
+                GraphChiEngine().run_pagerank(sharded, iterations=0)
+
+    def test_corrupt_shard_rejected(self, small_graph, tmp_path):
+        src, dst = small_graph
+        with native_session():
+            sharded = FastSharder(str(tmp_path)).shard(
+                src.tolist(), dst.tolist(), 256, 2
+            )
+            with open(sharded.shards[0].path, "ab") as handle:
+                handle.write(b"xyz")  # not a whole edge record
+            with pytest.raises(GraphError):
+                GraphChiEngine().run_pagerank(sharded, iterations=1)

@@ -1,0 +1,124 @@
+"""Tests for the VC3-style trustworthy MapReduce application."""
+
+import pytest
+
+from repro.apps.mapreduce import (
+    MAPREDUCE_CLASSES,
+    JobTracker,
+    MapReduceError,
+    TrustedMapper,
+    TrustedReducer,
+    run_wordcount,
+    seal_input,
+    wordcount_reference,
+)
+from repro.baselines import native_session
+from repro.core import Partitioner, PartitionOptions
+from repro.core.proxy import is_proxy
+
+LINES = [
+    "the quick brown fox jumps over the lazy dog",
+    "The dog barks; the fox runs.",
+    "Quick thinking wins, quick acting wins more.",
+    "",
+    "fox fox fox",
+]
+
+
+@pytest.fixture()
+def session():
+    with native_session() as live:
+        yield live
+
+
+class TestWordCount:
+    def test_matches_reference(self, session):
+        assert run_wordcount(LINES) == wordcount_reference(LINES)
+
+    def test_case_and_punctuation_normalised(self, session):
+        results = run_wordcount(LINES)
+        assert results["the"] == 4
+        assert results["fox"] == 5
+        assert results["quick"] == 3
+
+    def test_split_count_does_not_change_result(self, session):
+        assert run_wordcount(LINES, n_splits=1) == run_wordcount(LINES, n_splits=7)
+
+    def test_empty_input(self, session):
+        assert run_wordcount([]) == {}
+
+    def test_large_input_consistency(self, session):
+        lines = [f"alpha beta gamma token{i % 17}" for i in range(300)]
+        results = run_wordcount(lines, n_splits=5)
+        assert results["alpha"] == 300
+        assert results == wordcount_reference(lines)
+
+
+class TestConfidentiality:
+    def test_framework_only_sees_ciphertext(self, session):
+        """VC3's property: Hadoop never sees plaintext records."""
+        sealed = seal_input("secret", ["classified payload data"])
+        assert all(b"classified" not in blob for blob in sealed)
+        tracker = JobTracker(n_splits=2)
+        splits = tracker.make_splits(sealed)
+        flat = [blob for split in splits for blob in split]
+        assert all(b"classified" not in blob for blob in flat)
+
+    def test_map_outputs_are_sealed(self, session):
+        mapper = TrustedMapper("secret")
+        sealed = seal_input("secret", ["topsecretword appears here"])
+        emitted = mapper.map_split(sealed)
+        assert emitted
+        assert all(b"topsecretword" not in blob for _, blob in emitted)
+
+    def test_wrong_job_key_rejected(self, session):
+        sealed = seal_input("key-A", ["data"])
+        mapper = TrustedMapper("key-B")
+        with pytest.raises(MapReduceError):
+            mapper.map_split(sealed)
+
+    def test_tampered_record_rejected(self, session):
+        sealed = seal_input("key", ["data"])
+        corrupted = sealed[0][:-1] + bytes([sealed[0][-1] ^ 1])
+        with pytest.raises(MapReduceError):
+            TrustedMapper("key").map_split([corrupted])
+
+    def test_invalid_split_count_rejected(self, session):
+        with pytest.raises(MapReduceError):
+            JobTracker(n_splits=0)
+
+
+class TestPartitionedMapReduce:
+    def test_mapper_reducer_in_enclave_tracker_outside(self):
+        app = Partitioner(PartitionOptions(name="vc3")).partition(
+            list(MAPREDUCE_CLASSES)
+        )
+        with app.start() as session:
+            mapper = TrustedMapper("s")
+            reducer = TrustedReducer("s")
+            tracker = JobTracker()
+            assert is_proxy(mapper) and is_proxy(reducer)
+            assert not is_proxy(tracker)
+
+    def test_end_to_end_partitioned(self):
+        app = Partitioner(PartitionOptions(name="vc3_run")).partition(
+            list(MAPREDUCE_CLASSES)
+        )
+        with app.start() as session:
+            results = run_wordcount(LINES, n_splits=3)
+            assert results == wordcount_reference(LINES)
+            # Map/reduce phases crossed into the enclave.
+            assert session.transition_stats.ecalls >= 5
+
+    def test_shuffle_accounted(self):
+        app = Partitioner(PartitionOptions(name="vc3_shuffle")).partition(
+            list(MAPREDUCE_CLASSES)
+        )
+        with app.start():
+            sealed = seal_input("job-key", LINES)
+            tracker = JobTracker(n_splits=2)
+            mapper = TrustedMapper("job-key")
+            splits = tracker.make_splits(sealed)
+            mapped = [mapper.map_split(s) for s in splits if s]
+            tracker.shuffle(mapped)
+            assert tracker.shuffle_bytes > 0

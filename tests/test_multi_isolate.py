@@ -1,0 +1,133 @@
+"""Tests for the multi-isolate proxy-mirror extension (§7 future work)."""
+
+import gc
+
+import pytest
+
+from repro.apps.bank import BANK_CLASSES, Account, Person
+from repro.core import Partitioner, PartitionOptions, Side
+from repro.core.multi_isolate import (
+    DEFAULT_ISOLATE,
+    MultiIsolateRuntime,
+    upgrade_session,
+)
+from repro.core.proxy import is_proxy, proxy_hash
+from repro.errors import RmiError
+
+
+@pytest.fixture()
+def session():
+    app = Partitioner(PartitionOptions(name="multi_iso")).partition(
+        BANK_CLASSES, main="Main.main"
+    )
+    with app.start() as live_session:
+        upgrade_session(live_session)
+        yield live_session
+
+
+class TestIsolateManagement:
+    def test_default_isolates_exist(self, session):
+        runtime = session.runtime
+        assert runtime.isolate_names(Side.TRUSTED) == (DEFAULT_ISOLATE,)
+        assert runtime.isolate_names(Side.UNTRUSTED) == (DEFAULT_ISOLATE,)
+
+    def test_spawn_and_list(self, session):
+        runtime = session.runtime
+        runtime.spawn_isolate(Side.TRUSTED, "crypto")
+        assert runtime.isolate_names(Side.TRUSTED) == ("crypto", DEFAULT_ISOLATE)
+
+    def test_duplicate_spawn_rejected(self, session):
+        runtime = session.runtime
+        runtime.spawn_isolate(Side.TRUSTED, "crypto")
+        with pytest.raises(RmiError):
+            runtime.spawn_isolate(Side.TRUSTED, "crypto")
+
+    def test_unknown_isolate_rejected(self, session):
+        with pytest.raises(RmiError):
+            with session.runtime.in_isolate(Side.TRUSTED, "ghost"):
+                pass
+
+    def test_default_cannot_be_torn_down(self, session):
+        with pytest.raises(RmiError):
+            session.runtime.tear_down_isolate(Side.TRUSTED, DEFAULT_ISOLATE)
+
+
+class TestPinnedMirrors:
+    def test_mirror_lands_in_active_isolate(self, session):
+        runtime = session.runtime
+        crypto = runtime.spawn_isolate(Side.TRUSTED, "crypto")
+        default = runtime.state_of(Side.TRUSTED)
+        with runtime.in_isolate(Side.TRUSTED, "crypto"):
+            account = Account("pinned", 1)
+        assert is_proxy(account)
+        assert crypto.registry.live_count() == 1
+        assert default.registry.live_count() == 0
+
+    def test_invocation_routes_to_pinned_isolate(self, session):
+        runtime = session.runtime
+        runtime.spawn_isolate(Side.TRUSTED, "crypto")
+        with runtime.in_isolate(Side.TRUSTED, "crypto"):
+            account = Account("pinned", 10)
+        # Invoked *outside* the pinning block: routing is by hash.
+        account.update_balance(5)
+        assert account.get_balance() == 15
+
+    def test_mirrors_in_different_isolates_coexist(self, session):
+        runtime = session.runtime
+        vault = runtime.spawn_isolate(Side.TRUSTED, "vault")
+        account_default = Account("default", 1)
+        with runtime.in_isolate(Side.TRUSTED, "vault"):
+            account_vault = Account("vault", 2)
+        assert account_default.get_balance() == 1
+        assert account_vault.get_balance() == 2
+        assert vault.registry.live_count() == 1
+        assert runtime._isolates[Side.TRUSTED][DEFAULT_ISOLATE].registry.live_count() == 1
+
+    def test_untrusted_side_isolates_too(self, session):
+        runtime = session.runtime
+        runtime.spawn_isolate(Side.UNTRUSTED, "net")
+        with session.on_side(Side.TRUSTED):
+            with runtime.in_isolate(Side.UNTRUSTED, "net"):
+                person = Person("outside", 7)
+            assert is_proxy(person)
+        net_state = runtime._isolates[Side.UNTRUSTED]["net"]
+        # Person mirror pinned to the 'net' untrusted isolate; its
+        # nested trusted Account lives on the trusted side.
+        assert net_state.registry.live_count() == 1
+
+    def test_teardown_releases_mirrors(self, session):
+        runtime = session.runtime
+        runtime.spawn_isolate(Side.TRUSTED, "tmp")
+        with runtime.in_isolate(Side.TRUSTED, "tmp"):
+            account = Account("doomed", 3)
+        dropped = runtime.tear_down_isolate(Side.TRUSTED, "tmp")
+        assert dropped == 1
+        with pytest.raises(RmiError):
+            account.get_balance()
+
+    def test_gc_scan_per_isolate(self, session):
+        runtime = session.runtime
+        crypto = runtime.spawn_isolate(Side.TRUSTED, "crypto")
+        with runtime.in_isolate(Side.TRUSTED, "crypto"):
+            account = Account("short-lived", 4)
+        assert crypto.registry.live_count() == 1
+        del account
+        gc.collect()
+        released = runtime.scan_all()
+        assert released == 1
+        assert crypto.registry.live_count() == 0
+
+    def test_independent_heaps(self, session):
+        runtime = session.runtime
+        crypto = runtime.spawn_isolate(Side.TRUSTED, "crypto")
+        default = runtime._isolates[Side.TRUSTED][DEFAULT_ISOLATE]
+        assert crypto.isolate.heap is not default.isolate.heap
+        crypto.isolate.heap.alloc(128)
+        assert default.isolate.heap.stats.live_bytes == 0
+
+    def test_describe_lists_all_isolates(self, session):
+        runtime = session.runtime
+        runtime.spawn_isolate(Side.TRUSTED, "crypto")
+        text = runtime.describe_isolates()
+        assert "trusted/crypto" in text
+        assert "untrusted/default" in text

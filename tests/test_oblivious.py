@@ -1,0 +1,115 @@
+"""Tests for the Opaque-style oblivious operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.oblivious import (
+    OBLIVIOUS_CLASSES,
+    ObliviousError,
+    ObliviousTable,
+    bitonic_sort,
+    oblivious_filter,
+)
+from repro.baselines import native_session
+from repro.core import Partitioner, PartitionOptions
+from repro.core.proxy import is_proxy
+
+
+class TestBitonicSort:
+    def test_sorts(self):
+        assert bitonic_sort([3.0, 1.0, 2.0]) == [1.0, 2.0, 3.0]
+
+    def test_empty_and_singleton(self):
+        assert bitonic_sort([]) == []
+        assert bitonic_sort([5.0]) == [5.0]
+
+    def test_non_power_of_two_lengths(self):
+        for n in (3, 5, 6, 7, 9, 100):
+            values = list(np.random.RandomState(n).standard_normal(n))
+            assert bitonic_sort(values) == sorted(values)
+
+    def test_duplicates(self):
+        values = [2.0, 1.0, 2.0, 1.0, 2.0]
+        assert bitonic_sort(values) == sorted(values)
+
+    @settings(max_examples=60)
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32)))
+    def test_property_matches_sorted(self, values):
+        assert bitonic_sort(values) == sorted(values)
+
+    def test_access_pattern_is_data_independent(self):
+        """Opaque's defining property: the compare-exchange trace is a
+        function of the input size only."""
+        rng = np.random.RandomState(0)
+        trace_a, trace_b, trace_c = [], [], []
+        bitonic_sort(list(rng.standard_normal(37)), trace=trace_a)
+        bitonic_sort(list(rng.uniform(1e6, 2e6, 37)), trace=trace_b)
+        bitonic_sort(sorted(rng.standard_normal(37)), trace=trace_c)
+        assert trace_a == trace_b == trace_c
+        assert len(trace_a) > 0
+
+    def test_access_pattern_changes_with_size_only(self):
+        trace_small, trace_large = [], []
+        bitonic_sort([1.0] * 8, trace=trace_small)
+        bitonic_sort([1.0] * 16, trace=trace_large)
+        assert trace_small != trace_large
+
+
+class TestObliviousFilter:
+    def test_filters_correctly(self):
+        values = [5.0, 1.0, 7.0, 3.0, 9.0]
+        matches, count = oblivious_filter(values, lambda v: v > 4)
+        assert count == 3
+        assert sorted(matches) == [5.0, 7.0, 9.0]
+
+    def test_empty_selectivity(self):
+        matches, count = oblivious_filter([1.0, 2.0], lambda v: v > 10)
+        assert (matches, count) == ([], 0)
+
+    def test_full_selectivity(self):
+        matches, count = oblivious_filter([2.0, 1.0], lambda v: True)
+        assert count == 2
+        assert sorted(matches) == [1.0, 2.0]
+
+
+class TestObliviousTable:
+    def test_partitioned_sort_and_filter(self):
+        app = Partitioner(PartitionOptions(name="opaque")).partition(
+            list(OBLIVIOUS_CLASSES)
+        )
+        with app.start() as session:
+            table = ObliviousTable([4.0, 1.0, 3.0, 2.0])
+            assert is_proxy(table)
+            assert table.sort() == [1.0, 2.0, 3.0, 4.0]
+            assert table.filter_greater_than(2.0) == [3.0, 4.0]
+
+    def test_sort_cost_superlinear(self):
+        """The price of obliviousness: n log^2 n, not n log n."""
+        def sort_cost(n):
+            with native_session() as session:
+                table = ObliviousTable(list(np.random.RandomState(1).standard_normal(n)))
+                before = session.platform.now_s
+                table.sort()
+                return session.platform.now_s - before
+
+        small, large = sort_cost(1024), sort_cost(4096)
+        # 4x the rows cost more than 4x the time (log^2 growth).
+        assert large > small * 4.5
+
+    def test_invalid_input_rejected(self):
+        with native_session():
+            with pytest.raises(ObliviousError):
+                ObliviousTable("not-a-list")
+
+    def test_filter_cost_independent_of_selectivity(self):
+        """Same size, wildly different selectivity, same virtual cost."""
+        def filter_cost(threshold):
+            with native_session() as session:
+                table = ObliviousTable([float(i) for i in range(512)])
+                before = session.platform.now_s
+                table.filter_greater_than(threshold)
+                return session.platform.now_s - before
+
+        assert filter_cost(-1.0) == pytest.approx(filter_cost(510.0), rel=1e-9)

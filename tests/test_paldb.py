@@ -1,0 +1,208 @@
+"""Tests for the PalDB-like store: format, writer, reader, workload."""
+
+import os
+
+import pytest
+
+from repro.apps.paldb import KvWorkload, StoreReader, StoreWriter, hash_key
+from repro.apps.paldb import format as fmt
+from repro.apps.paldb.workload import (
+    PALDB_RTWU_CLASSES,
+    PALDB_RUWT_CLASSES,
+    TrustedDBReader,
+    TrustedDBWriter,
+    UntrustedDBReader,
+    UntrustedDBWriter,
+)
+from repro.baselines import native_session
+from repro.core import Partitioner, PartitionOptions, Side
+from repro.core.proxy import is_proxy
+from repro.core.shim import ShimLibc
+from repro.errors import StoreError
+
+
+@pytest.fixture()
+def store_path(tmp_path):
+    return str(tmp_path / "store.paldb")
+
+
+def write_store(path, pairs, libc):
+    with StoreWriter(path, libc) as writer:
+        for key, value in pairs:
+            writer.put(key, value)
+
+
+class TestFormat:
+    def test_header_round_trip(self):
+        header = fmt.StoreHeader(
+            n_keys=10, n_buckets=16, index_offset=1000, data_offset=40
+        )
+        assert fmt.StoreHeader.unpack(header.pack()) == header
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(StoreError):
+            fmt.StoreHeader.unpack(b"NOTMAGIC" + b"\x00" * 32)
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(StoreError):
+            fmt.StoreHeader.unpack(b"\x00" * 10)
+
+    def test_hash_key_deterministic_and_nonzero(self):
+        assert hash_key(b"abc") == hash_key(b"abc")
+        assert hash_key(b"") != 0
+        assert hash_key(b"abc") != hash_key(b"abd")
+
+    def test_bucket_count_load_factor(self):
+        for n in (1, 10, 100, 5000):
+            buckets = fmt.bucket_count(n)
+            assert buckets & (buckets - 1) == 0  # power of two
+            assert n / buckets <= fmt.LOAD_FACTOR
+
+    def test_record_round_trip(self):
+        key, value = b"key", b"some value bytes"
+        assert fmt.unpack_record(fmt.pack_record(key, value)) == (key, value)
+
+    def test_record_with_empty_value(self):
+        assert fmt.unpack_record(fmt.pack_record(b"k", b"")) == (b"k", b"")
+
+    def test_truncated_record_rejected(self):
+        with pytest.raises(StoreError):
+            fmt.unpack_record(b"\x01")
+
+
+class TestStoreRoundTrip:
+    def test_write_then_read(self, store_path):
+        pairs = [(f"key{i}".encode(), f"value{i}".encode()) for i in range(200)]
+        with native_session() as session:
+            libc = ShimLibc(session.ctx)
+            write_store(store_path, pairs, libc)
+            reader = StoreReader(store_path, libc)
+            assert reader.n_keys == 200
+            for key, value in pairs:
+                assert reader.get(key) == value
+
+    def test_missing_key_returns_none(self, store_path):
+        with native_session() as session:
+            libc = ShimLibc(session.ctx)
+            write_store(store_path, [(b"present", b"x")], libc)
+            reader = StoreReader(store_path, libc)
+            assert reader.get(b"absent") is None
+            assert b"present" in reader
+            assert b"absent" not in reader
+
+    def test_duplicate_key_rejected(self, store_path):
+        with native_session() as session:
+            writer = StoreWriter(store_path, ShimLibc(session.ctx))
+            writer.put(b"k", b"v1")
+            with pytest.raises(StoreError):
+                writer.put(b"k", b"v2")
+            writer.close()
+
+    def test_write_after_close_rejected(self, store_path):
+        with native_session() as session:
+            writer = StoreWriter(store_path, ShimLibc(session.ctx))
+            writer.put(b"k", b"v")
+            writer.close()
+            with pytest.raises(StoreError):
+                writer.put(b"k2", b"v2")
+
+    def test_close_idempotent(self, store_path):
+        with native_session() as session:
+            writer = StoreWriter(store_path, ShimLibc(session.ctx))
+            writer.close()
+            writer.close()
+
+    def test_non_bytes_rejected(self, store_path):
+        with native_session() as session:
+            writer = StoreWriter(store_path, ShimLibc(session.ctx))
+            with pytest.raises(StoreError):
+                writer.put("str", b"v")
+
+    def test_items_iterates_all(self, store_path):
+        pairs = {f"k{i}".encode(): f"v{i}".encode() for i in range(50)}
+        with native_session() as session:
+            libc = ShimLibc(session.ctx)
+            write_store(store_path, pairs.items(), libc)
+            reader = StoreReader(store_path, libc)
+            assert dict(reader.items()) == pairs
+
+    def test_empty_store(self, store_path):
+        with native_session() as session:
+            libc = ShimLibc(session.ctx)
+            write_store(store_path, [], libc)
+            reader = StoreReader(store_path, libc)
+            assert reader.n_keys == 0
+            assert reader.get(b"anything") is None
+
+    def test_colliding_bucket_probe(self, store_path):
+        """Linear probing: many keys that share buckets still resolve."""
+        pairs = [(f"{i}".encode(), f"{i * 7}".encode()) for i in range(500)]
+        with native_session() as session:
+            libc = ShimLibc(session.ctx)
+            write_store(store_path, pairs, libc)
+            reader = StoreReader(store_path, libc)
+            for key, value in pairs:
+                assert reader.get(key) == value
+
+    def test_writes_are_counted_as_syscalls(self, store_path):
+        with native_session() as session:
+            libc = ShimLibc(session.ctx)
+            write_store(store_path, [(b"a", b"1"), (b"b", b"2")], libc)
+            # One write per record plus index + header writes.
+            assert libc.stats.writes >= 4
+
+
+class TestWorkload:
+    def test_generate_unique_keys(self):
+        keys, values = KvWorkload(n_keys=500).generate()
+        assert len(keys) == len(set(keys)) == 500
+        assert all(len(v) == 128 for v in values)
+
+    def test_generate_deterministic_by_seed(self):
+        a = KvWorkload(n_keys=50, seed=1).generate()
+        b = KvWorkload(n_keys=50, seed=1).generate()
+        c = KvWorkload(n_keys=50, seed=2).generate()
+        assert a == b
+        assert a != c
+
+    def test_keys_are_integer_strings(self):
+        keys, _ = KvWorkload(n_keys=20).generate()
+        for key in keys:
+            assert 0 <= int(key) < 2**31
+
+
+class TestPartitionedSchemes:
+    def test_rtwu_reader_is_trusted_proxy(self, store_path):
+        app = Partitioner(PartitionOptions(name="t_rtwu")).partition(
+            list(PALDB_RTWU_CLASSES)
+        )
+        keys, values = KvWorkload(n_keys=100).generate()
+        with app.start() as session:
+            writer = UntrustedDBWriter(store_path)
+            assert not is_proxy(writer)
+            writer.write_all(keys, values)
+            reader = TrustedDBReader(store_path)
+            assert is_proxy(reader)
+            found, _ = reader.read_all(keys)
+            assert found == 100
+
+    def test_ruwt_writer_ocalls_dominate(self, store_path):
+        app = Partitioner(PartitionOptions(name="t_ruwt")).partition(
+            list(PALDB_RUWT_CLASSES)
+        )
+        keys, values = KvWorkload(n_keys=200).generate()
+        with app.start() as session:
+            TrustedDBWriter(store_path).write_all(keys, values)
+            ocalls = session.platform.ledger.count("transition.ocall")
+            # At least one write ocall per record relayed out.
+            assert ocalls >= 200
+            found, _ = UntrustedDBReader(store_path).read_all(keys)
+            assert found == 200
+
+    def test_read_all_checksum_counts_lengths(self, store_path):
+        keys, values = KvWorkload(n_keys=10).generate()
+        with native_session():
+            UntrustedDBWriter(store_path).write_all(keys, values)
+            found, checksum = UntrustedDBReader(store_path).read_all(keys)
+        assert found == 10
+        assert checksum == (10 * 128) & 0xFFFFFFFF

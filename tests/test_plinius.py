@@ -1,0 +1,119 @@
+"""Tests for the Plinius-style secure ML training application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.plinius import (
+    PLINIUS_CLASSES,
+    DataLoader,
+    TrainingError,
+    TrustedModel,
+    train,
+    write_dataset,
+)
+from repro.baselines import native_session
+from repro.core import Partitioner, PartitionOptions
+from repro.core.proxy import is_proxy
+
+TRUE_WEIGHTS = [1.5, -2.0, 0.75]
+
+
+@pytest.fixture()
+def dataset(tmp_path):
+    path = str(tmp_path / "train.bin")
+    write_dataset(path, TRUE_WEIGHTS, n_samples=640, noise=0.01, seed=3)
+    return path
+
+
+class TestDataset:
+    def test_header(self, dataset):
+        with native_session():
+            n_samples, n_features = DataLoader(dataset).read_header()
+        assert (n_samples, n_features) == (640, 3)
+
+    def test_batches_cover_rows(self, dataset):
+        with native_session():
+            loader = DataLoader(dataset)
+            first = loader.load_batch(0, 32)
+            last = loader.load_batch(19, 32)
+        assert len(first) == len(last) == 32
+        assert len(first[0]) == 4  # 3 features + label
+
+    def test_batch_beyond_dataset_rejected(self, dataset):
+        with native_session():
+            with pytest.raises(TrainingError):
+                DataLoader(dataset).load_batch(100, 32)
+
+    def test_truncated_dataset_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.bin")
+        with open(path, "wb") as handle:
+            handle.write(b"\x01")
+        with native_session():
+            with pytest.raises(TrainingError):
+                DataLoader(path).read_header()
+
+
+class TestTraining:
+    def test_recovers_true_weights(self, dataset):
+        with native_session():
+            weights, mse = train(dataset, n_features=3, epochs=8)
+        assert np.allclose(weights, TRUE_WEIGHTS, atol=0.05)
+        assert mse < 0.01
+
+    def test_loss_decreases(self, dataset):
+        with native_session():
+            _, early = train(dataset, n_features=3, epochs=1)
+            _, late = train(dataset, n_features=3, epochs=8)
+        assert late < early
+
+    def test_feature_mismatch_rejected(self, dataset):
+        with native_session():
+            with pytest.raises(TrainingError):
+                train(dataset, n_features=5)
+
+    def test_invalid_model_parameters(self):
+        with native_session():
+            with pytest.raises(TrainingError):
+                TrustedModel(0)
+            with pytest.raises(TrainingError):
+                TrustedModel(3, learning_rate=0)
+            with pytest.raises(TrainingError):
+                TrustedModel(3).train_batch([])
+
+    def test_predict_uses_weights(self):
+        with native_session():
+            model = TrustedModel(2)
+            model.weights = [2.0, -1.0]
+            assert model.predict([3.0, 1.0]) == pytest.approx(5.0)
+
+
+class TestPartitionedTraining:
+    def test_model_in_enclave_loader_outside(self, dataset):
+        app = Partitioner(PartitionOptions(name="plinius")).partition(
+            list(PLINIUS_CLASSES)
+        )
+        with app.start() as session:
+            model = TrustedModel(3)
+            loader = DataLoader(dataset)
+            assert is_proxy(model)
+            assert not is_proxy(loader)
+
+    def test_partitioned_training_converges(self, dataset):
+        app = Partitioner(PartitionOptions(name="plinius_run")).partition(
+            list(PLINIUS_CLASSES)
+        )
+        with app.start() as session:
+            weights, mse = train(dataset, n_features=3, epochs=6)
+            assert np.allclose(weights, TRUE_WEIGHTS, atol=0.08)
+            # Every batch crossed into the enclave once.
+            assert session.transition_stats.ecalls >= 6 * (640 // 32)
+
+    def test_same_result_partitioned_and_native(self, dataset):
+        app = Partitioner(PartitionOptions(name="plinius_eq")).partition(
+            list(PLINIUS_CLASSES)
+        )
+        with app.start():
+            part_weights, _ = train(dataset, n_features=3, epochs=4)
+        with native_session():
+            native_weights, _ = train(dataset, n_features=3, epochs=4)
+        assert np.allclose(part_weights, native_weights, atol=1e-12)

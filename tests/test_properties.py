@@ -1,0 +1,229 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants: store round-trips, EPC residency, ledger accounting,
+PageRank mass conservation, RMAT validity, registries and hashing."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.graphchi.pagerank import run_pagerank_in_memory
+from repro.apps.paldb import format as fmt
+from repro.apps.paldb.reader import StoreReader
+from repro.apps.paldb.writer import StoreWriter
+from repro.apps.rmat import generate_rmat
+from repro.baselines import native_session
+from repro.core.hashing import IdentityHashStrategy, Md5HashStrategy
+from repro.core.registry import MirrorProxyRegistry
+from repro.core.shim import ShimLibc
+from repro.costs import CostLedger
+from repro.errors import RegistryError
+from repro.runtime.tracker import ProxyTracker
+from repro.sgx.epc import EpcPageCache
+
+# File-backed strategies are slow per example; keep example counts sane.
+_FILE_SETTINGS = settings(
+    max_examples=20, suppress_health_check=[HealthCheck.function_scoped_fixture]
+)
+
+keys_values = st.dictionaries(
+    st.binary(min_size=1, max_size=64),
+    st.binary(min_size=0, max_size=256),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestStoreProperties:
+    @_FILE_SETTINGS
+    @given(pairs=keys_values)
+    def test_every_written_pair_is_readable(self, tmp_path_factory, pairs):
+        path = str(tmp_path_factory.mktemp("store") / "s.paldb")
+        with native_session() as session:
+            libc = ShimLibc(session.ctx)
+            with StoreWriter(path, libc) as writer:
+                for key, value in pairs.items():
+                    writer.put(key, value)
+            reader = StoreReader(path, libc)
+            assert reader.n_keys == len(pairs)
+            for key, value in pairs.items():
+                assert reader.get(key) == value
+
+    @_FILE_SETTINGS
+    @given(pairs=keys_values, probe=st.binary(min_size=1, max_size=64))
+    def test_absent_keys_read_none(self, tmp_path_factory, pairs, probe):
+        path = str(tmp_path_factory.mktemp("store") / "s.paldb")
+        with native_session() as session:
+            libc = ShimLibc(session.ctx)
+            with StoreWriter(path, libc) as writer:
+                for key, value in pairs.items():
+                    writer.put(key, value)
+            reader = StoreReader(path, libc)
+            expected = pairs.get(probe)
+            assert reader.get(probe) == expected
+
+    @given(st.binary(min_size=0, max_size=128), st.binary(min_size=0, max_size=128))
+    def test_record_pack_unpack_inverse(self, key, value):
+        assert fmt.unpack_record(fmt.pack_record(key, value)) == (key, value)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_bucket_count_invariants(self, n_keys):
+        buckets = fmt.bucket_count(n_keys)
+        assert buckets >= 8
+        assert buckets & (buckets - 1) == 0
+        assert n_keys <= buckets * fmt.LOAD_FACTOR or n_keys == 0
+
+
+class TestEpcProperties:
+    @given(
+        accesses=st.lists(
+            st.tuples(st.integers(1, 3), st.integers(0, 50)), max_size=200
+        ),
+        capacity_pages=st.integers(min_value=1, max_value=16),
+    )
+    def test_residency_never_exceeds_capacity(self, accesses, capacity_pages):
+        epc = EpcPageCache(capacity_bytes=capacity_pages * 4096)
+        for enclave_id, page in accesses:
+            epc.touch(enclave_id, page)
+            assert epc.resident_pages() <= capacity_pages
+
+    @given(
+        accesses=st.lists(
+            st.tuples(st.integers(1, 3), st.integers(0, 50)), max_size=200
+        )
+    )
+    def test_hits_plus_faults_equals_accesses(self, accesses):
+        epc = EpcPageCache(capacity_bytes=8 * 4096)
+        for enclave_id, page in accesses:
+            epc.touch(enclave_id, page)
+        assert epc.stats.accesses == len(accesses)
+
+    @given(page=st.integers(0, 1000))
+    def test_second_touch_always_hits_when_capacity_allows(self, page):
+        epc = EpcPageCache(capacity_bytes=16 * 4096)
+        epc.touch(1, page)
+        faulted, _ = epc.touch(1, page)
+        assert not faulted
+
+
+class TestLedgerProperties:
+    @given(
+        charges=st.lists(
+            st.tuples(
+                st.sampled_from(["a", "a.b", "a.b.c", "d"]),
+                st.floats(min_value=0.0, max_value=1e6),
+            ),
+            max_size=100,
+        )
+    )
+    def test_total_equals_sum_of_subtrees(self, charges):
+        ledger = CostLedger()
+        for category, ns in charges:
+            ledger.charge(category, ns)
+        total = ledger.total_ns()
+        assert total == pytest.approx(ledger.total_ns("a") + ledger.total_ns("d"))
+        assert ledger.total_ns("a") >= ledger.total_ns("a.b") >= ledger.total_ns("a.b.c")
+        assert ledger.count() == len(charges)
+
+
+class TestPageRankProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_vertices=st.integers(min_value=2, max_value=64),
+        seed=st.integers(min_value=0, max_value=1000),
+        iterations=st.integers(min_value=1, max_value=20),
+    )
+    def test_mass_conservation_and_positivity(self, n_vertices, seed, iterations):
+        rng = np.random.RandomState(seed)
+        n_edges = max(1, 3 * n_vertices)
+        src = rng.randint(0, n_vertices, size=n_edges)
+        dst = rng.randint(0, n_vertices, size=n_edges)
+        ranks = run_pagerank_in_memory(src, dst, n_vertices, iterations=iterations)
+        assert np.all(ranks > 0)
+        assert ranks.sum() == pytest.approx(n_vertices, rel=1e-9)
+
+
+class TestRmatProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_vertices=st.integers(min_value=2, max_value=2048),
+        n_edges=st.integers(min_value=1, max_value=5000),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_edges_always_valid(self, n_vertices, n_edges, seed):
+        src, dst = generate_rmat(n_vertices, n_edges, seed=seed)
+        assert len(src) == n_edges
+        assert src.min() >= 0 and dst.min() >= 0
+        assert src.max() < n_vertices and dst.max() < n_vertices
+        assert not np.any(src == dst)
+
+
+class TestRegistryProperties:
+    @given(hashes=st.lists(st.integers(min_value=1), unique=True, max_size=100))
+    def test_add_get_remove_cycle(self, hashes):
+        registry = MirrorProxyRegistry()
+        for value in hashes:
+            registry.add(value, object())
+        assert registry.live_count() == len(hashes)
+        for value in hashes:
+            registry.get(value)
+            registry.remove(value)
+        assert registry.live_count() == 0
+        for value in hashes:
+            with pytest.raises(RegistryError):
+                registry.get(value)
+
+    @given(hashes=st.lists(st.integers(), unique=True, max_size=50))
+    def test_discard_is_idempotent(self, hashes):
+        registry = MirrorProxyRegistry()
+        for value in hashes:
+            registry.add(value, object())
+        for value in hashes:
+            assert registry.discard(value)
+            assert not registry.discard(value)
+
+
+class TestHashingProperties:
+    @given(n=st.integers(min_value=1, max_value=2000))
+    def test_md5_hashes_unique(self, n):
+        strategy = Md5HashStrategy()
+        hashes = {strategy.next_hash("Cls") for _ in range(n)}
+        assert len(hashes) == n
+
+    @given(modulus=st.integers(min_value=2, max_value=50))
+    def test_identity_hash_collides_in_small_spaces(self, modulus):
+        """The paper's motivation for MD5: identity hashes collide."""
+        strategy = IdentityHashStrategy(modulus=modulus)
+        hashes = [strategy.next_hash("Cls") for _ in range(modulus + 1)]
+        assert len(set(hashes)) <= modulus  # pigeonhole
+
+    @given(n=st.integers(min_value=1, max_value=500))
+    def test_identity_hash_within_modulus(self, n):
+        strategy = IdentityHashStrategy(modulus=2**31)
+        for _ in range(n // 10 + 1):
+            value = strategy.next_hash("X")
+            assert 0 <= value < 2**31
+
+
+class TestTrackerProperties:
+    @given(keep_mask=st.lists(st.booleans(), min_size=1, max_size=60))
+    def test_scan_reports_exactly_the_dead(self, keep_mask):
+        import gc
+
+        class Obj:
+            pass
+
+        tracker = ProxyTracker()
+        kept = []
+        dead_hashes = set()
+        for index, keep in enumerate(keep_mask):
+            obj = Obj()
+            tracker.track(obj, index)
+            if keep:
+                kept.append(obj)
+            else:
+                dead_hashes.add(index)
+        del obj
+        gc.collect()
+        assert set(tracker.scan()) == dead_hashes
+        assert tracker.live_count() == len(kept)

@@ -1,0 +1,221 @@
+"""Unit tests for execution contexts, heaps, GC and the proxy tracker."""
+
+import gc
+
+import pytest
+
+from repro.costs import fresh_platform
+from repro.errors import ConfigurationError, HeapError
+from repro.runtime import (
+    ExecutionContext,
+    Location,
+    ProxyTracker,
+    ResourceUsage,
+    RuntimeKind,
+    SimHeap,
+)
+
+
+def host_ctx(platform=None):
+    return ExecutionContext(platform or fresh_platform(), Location.HOST)
+
+
+def enclave_ctx(platform=None):
+    return ExecutionContext(platform or fresh_platform(), Location.ENCLAVE)
+
+
+class TestExecutionContext:
+    def test_compute_charges_cycles(self):
+        ctx = host_ctx()
+        ns = ctx.compute(3800.0)
+        assert ns == pytest.approx(1000.0)
+
+    def test_enclave_memory_pays_mee(self):
+        platform_out = fresh_platform()
+        platform_in = fresh_platform()
+        out_ns = host_ctx(platform_out).memory_traffic(1_000_000)
+        in_ns = enclave_ctx(platform_in).memory_traffic(1_000_000)
+        mee = platform_in.cost_model.memory.mee_multiplier
+        assert in_ns == pytest.approx(out_ns * mee)
+
+    def test_paging_kicks_in_above_epc(self):
+        platform = fresh_platform()
+        ctx = enclave_ctx(platform)
+        epc = platform.spec.epc_usable_bytes
+        small_ws = ctx.memory_traffic(10 * 4096, ws_bytes=epc // 2)
+        assert platform.ledger.total_ns("epc.paging.enclave.app") == 0.0
+        ctx.memory_traffic(10 * 4096, ws_bytes=epc * 4)
+        assert platform.ledger.total_ns("epc.paging.enclave.app") > 0.0
+        assert small_ws > 0.0
+
+    def test_host_never_pays_paging(self):
+        platform = fresh_platform()
+        ctx = host_ctx(platform)
+        ctx.memory_traffic(10 * 4096, ws_bytes=platform.spec.epc_usable_bytes * 10)
+        assert platform.ledger.total_ns("epc.paging.host.app") == 0.0
+
+    def test_enclave_syscall_is_an_ocall(self):
+        platform = fresh_platform()
+        ctx = enclave_ctx(platform)
+        ctx.syscall(payload_bytes=4096, name="write")
+        assert platform.ledger.count("transition.ocall.shim.write") == 1
+
+    def test_host_syscall_is_not_an_ocall(self):
+        platform = fresh_platform()
+        host_ctx(platform).syscall(payload_bytes=4096, name="write")
+        assert platform.ledger.count("transition.ocall") == 0
+
+    def test_enclave_syscall_costs_more(self):
+        p_in, p_out = fresh_platform(), fresh_platform()
+        in_ns = enclave_ctx(p_in).syscall(payload_bytes=4096)
+        out_ns = host_ctx(p_out).syscall(payload_bytes=4096)
+        assert in_ns > out_ns * 2
+
+    def test_jvm_inflates_compute(self):
+        p_ni, p_jvm = fresh_platform(), fresh_platform()
+        ni = ExecutionContext(p_ni, Location.HOST, RuntimeKind.NATIVE_IMAGE)
+        jvm = ExecutionContext(p_jvm, Location.HOST, RuntimeKind.JVM)
+        assert jvm.compute(1e6) > ni.compute(1e6)
+
+    def test_jvm_inflates_memory(self):
+        p_ni, p_jvm = fresh_platform(), fresh_platform()
+        ni = ExecutionContext(p_ni, Location.HOST, RuntimeKind.NATIVE_IMAGE)
+        jvm = ExecutionContext(p_jvm, Location.HOST, RuntimeKind.JVM)
+        factor = p_jvm.cost_model.jvm.traffic_multiplier
+        assert jvm.memory_traffic(1e6) == pytest.approx(ni.memory_traffic(1e6) * factor)
+
+    def test_execute_resource_usage(self):
+        ctx = host_ctx()
+        usage = ResourceUsage(cpu_cycles=1000, mem_bytes=100, alloc_bytes=64, alloc_objects=1)
+        assert ctx.execute(usage) > 0.0
+
+    def test_usage_scaled(self):
+        usage = ResourceUsage(cpu_cycles=10, mem_bytes=4, alloc_objects=2, alloc_bytes=8)
+        scaled = usage.scaled(3)
+        assert scaled.cpu_cycles == 30
+        assert scaled.alloc_objects == 6
+
+    def test_negative_inputs_rejected(self):
+        ctx = host_ctx()
+        with pytest.raises(ConfigurationError):
+            ctx.compute(-1)
+        with pytest.raises(ConfigurationError):
+            ctx.memory_traffic(-1)
+        with pytest.raises(ConfigurationError):
+            ctx.allocate(-1)
+
+    def test_sibling_switches_location(self):
+        ctx = host_ctx()
+        sibling = ctx.sibling(Location.ENCLAVE)
+        assert sibling.in_enclave
+        assert sibling.platform is ctx.platform
+
+
+class TestSimHeap:
+    def test_alloc_tracks_live_bytes(self):
+        heap = SimHeap(host_ctx(), max_bytes=1 << 20)
+        heap.alloc(100)
+        heap.alloc(50)
+        assert heap.stats.live_bytes == 150
+
+    def test_free_moves_bytes_to_dead(self):
+        heap = SimHeap(host_ctx(), max_bytes=1 << 20)
+        ref = heap.alloc(100)
+        heap.free(ref)
+        assert heap.stats.live_bytes == 0
+        assert heap.stats.dead_bytes == 100
+
+    def test_double_free_rejected(self):
+        heap = SimHeap(host_ctx(), max_bytes=1 << 20)
+        ref = heap.alloc(10)
+        heap.free(ref)
+        with pytest.raises(HeapError):
+            heap.free(ref)
+
+    def test_collect_resets_dead(self):
+        heap = SimHeap(host_ctx(), max_bytes=1 << 20)
+        heap.free(heap.alloc(100))
+        ns = heap.collect()
+        assert ns > 0
+        assert heap.stats.dead_bytes == 0
+        assert heap.stats.collections == 1
+
+    def test_gc_triggered_at_threshold(self):
+        heap = SimHeap(host_ctx(), max_bytes=1000, gc_threshold=0.5)
+        for _ in range(4):
+            heap.free(heap.alloc(200))
+        assert heap.stats.collections >= 1
+
+    def test_exhaustion_raises(self):
+        heap = SimHeap(host_ctx(), max_bytes=100)
+        heap.alloc(90)
+        with pytest.raises(HeapError):
+            heap.alloc(50)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(HeapError):
+            SimHeap(host_ctx(), max_bytes=0)
+        heap = SimHeap(host_ctx(), max_bytes=100)
+        with pytest.raises(HeapError):
+            heap.alloc(0)
+
+    def test_enclave_gc_order_of_magnitude_slower(self):
+        """The Fig. 5a effect, at the unit level."""
+        p_in, p_out = fresh_platform(), fresh_platform()
+        heap_in = SimHeap(enclave_ctx(p_in), max_bytes=1 << 30)
+        heap_out = SimHeap(host_ctx(p_out), max_bytes=1 << 30)
+        for heap in (heap_in, heap_out):
+            refs = [heap.alloc(128) for _ in range(1000)]
+            for ref in refs[::2]:
+                heap.free(ref)
+        ns_in = heap_in.collect()
+        ns_out = heap_out.collect()
+        assert ns_in == pytest.approx(
+            ns_out * p_in.cost_model.gc.enclave_multiplier, rel=0.01
+        )
+
+
+class TestProxyTracker:
+    def test_scan_finds_dead_proxies(self):
+        tracker = ProxyTracker()
+
+        class Obj:
+            pass
+
+        keep = Obj()
+        drop = Obj()
+        tracker.track(keep, 1)
+        tracker.track(drop, 2)
+        del drop
+        gc.collect()
+        dead = tracker.scan()
+        assert dead == (2,)
+        assert tracker.live_count() == 1
+
+    def test_scan_invokes_callback(self):
+        tracker = ProxyTracker()
+
+        class Obj:
+            pass
+
+        obj = Obj()
+        tracker.track(obj, 7)
+        del obj
+        gc.collect()
+        released = []
+        tracker.scan(on_dead=released.append)
+        assert released == [7]
+
+    def test_scan_drops_dead_entries(self):
+        tracker = ProxyTracker()
+
+        class Obj:
+            pass
+
+        obj = Obj()
+        tracker.track(obj, 1)
+        del obj
+        gc.collect()
+        tracker.scan()
+        assert len(tracker) == 0
+        assert tracker.scan() == ()

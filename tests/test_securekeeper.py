@@ -1,0 +1,196 @@
+"""Tests for the SecureKeeper-style coordination service."""
+
+import pytest
+
+from repro.apps.securekeeper import (
+    SECUREKEEPER_CLASSES,
+    KeeperError,
+    PayloadVault,
+    SecureKeeperClient,
+    ZNodeStore,
+    validate_path,
+)
+from repro.baselines import native_session
+from repro.core import Partitioner, PartitionOptions, Side
+from repro.core.proxy import is_proxy
+
+
+@pytest.fixture()
+def session():
+    with native_session() as live:
+        yield live
+
+
+@pytest.fixture()
+def store(session):
+    return ZNodeStore()
+
+
+@pytest.fixture()
+def vault(session):
+    return PayloadVault("master-secret")
+
+
+class TestPathValidation:
+    def test_valid_paths(self):
+        assert validate_path("/") == ()
+        assert validate_path("/a") == ("a",)
+        assert validate_path("/a/b/c") == ("a", "b", "c")
+
+    @pytest.mark.parametrize("bad", ["relative", "/trailing/", "/a/../b", "/a/./b", ""])
+    def test_invalid_paths_rejected(self, bad):
+        with pytest.raises(KeeperError):
+            validate_path(bad)
+
+
+class TestZNodeStore:
+    def test_create_and_get(self, store):
+        store.create("/app", b"blob")
+        data, version = store.get("/app")
+        assert data == b"blob"
+        assert version == 0
+
+    def test_nested_creation_requires_parent(self, store):
+        with pytest.raises(KeeperError):
+            store.create("/a/b", b"x")
+        store.create("/a", b"")
+        store.create("/a/b", b"x")
+        assert store.get_children("/a") == ["b"]
+
+    def test_duplicate_create_rejected(self, store):
+        store.create("/a", b"")
+        with pytest.raises(KeeperError):
+            store.create("/a", b"")
+
+    def test_cas_set_increments_version(self, store):
+        store.create("/a", b"v0")
+        assert store.set("/a", b"v1", expected_version=0) == 1
+        assert store.set("/a", b"v2", expected_version=1) == 2
+
+    def test_cas_conflict_rejected(self, store):
+        store.create("/a", b"v0")
+        store.set("/a", b"v1", expected_version=0)
+        with pytest.raises(KeeperError):
+            store.set("/a", b"v1-again", expected_version=0)
+
+    def test_delete_with_cas(self, store):
+        store.create("/a", b"")
+        store.delete("/a", expected_version=0)
+        assert not store.exists("/a")
+
+    def test_delete_version_conflict(self, store):
+        store.create("/a", b"")
+        store.set("/a", b"x", 0)
+        with pytest.raises(KeeperError):
+            store.delete("/a", expected_version=0)
+
+    def test_delete_with_children_rejected(self, store):
+        store.create("/a", b"")
+        store.create("/a/b", b"")
+        with pytest.raises(KeeperError):
+            store.delete("/a", expected_version=0)
+
+    def test_children_sorted(self, store):
+        store.create("/a", b"")
+        for name in ("z", "m", "a"):
+            store.create(f"/a/{name}", b"")
+        assert store.get_children("/a") == ["a", "m", "z"]
+
+    def test_get_missing_rejected(self, store):
+        with pytest.raises(KeeperError):
+            store.get("/ghost")
+
+
+class TestWatches:
+    def test_data_watch_fires_once(self, store):
+        store.create("/a", b"")
+        store.watch("/a")
+        store.set("/a", b"x", 0)
+        store.set("/a", b"y", 1)  # watch already consumed
+        assert store.drain_events() == [("/a", "data")]
+
+    def test_child_watch_on_parent(self, store):
+        store.create("/a", b"")
+        store.watch("/a")
+        store.create("/a/kid", b"")
+        assert ("/a", "child") in store.drain_events()
+
+    def test_delete_fires_watch(self, store):
+        store.create("/a", b"")
+        store.watch("/a")
+        store.delete("/a", 0)
+        assert ("/a", "deleted") in store.drain_events()
+
+    def test_multiple_watch_registrations(self, store):
+        store.create("/a", b"")
+        store.watch("/a")
+        store.watch("/a")
+        store.set("/a", b"x", 0)
+        store.set("/a", b"y", 1)
+        assert store.drain_events() == [("/a", "data"), ("/a", "data")]
+
+
+class TestPayloadVault:
+    def test_round_trip(self, vault):
+        blob = vault.encrypt("secret config")
+        assert vault.decrypt(blob) == "secret config"
+
+    def test_ciphertext_hides_plaintext(self, vault):
+        blob = vault.encrypt("super-secret-payload")
+        assert b"super-secret-payload" not in blob
+
+    def test_tamper_detected(self, vault):
+        blob = bytearray(vault.encrypt("data"))
+        blob[-1] ^= 0x01
+        with pytest.raises(KeeperError):
+            vault.decrypt(bytes(blob))
+
+    def test_nonces_unique(self, vault):
+        a = vault.encrypt("same")
+        b = vault.encrypt("same")
+        assert a != b
+
+    def test_truncated_blob_rejected(self, vault):
+        with pytest.raises(KeeperError):
+            vault.decrypt(b"short")
+
+    def test_unicode_payloads(self, vault):
+        assert vault.decrypt(vault.encrypt("géhëimnis ☃")) == "géhëimnis ☃"
+
+
+class TestPartitionedSecureKeeper:
+    @pytest.fixture()
+    def partitioned(self):
+        app = Partitioner(PartitionOptions(name="sk")).partition(
+            list(SECUREKEEPER_CLASSES)
+        )
+        with app.start() as live:
+            yield live
+
+    def test_vault_is_in_enclave_store_outside(self, partitioned):
+        vault = PayloadVault("s")
+        store = ZNodeStore()
+        assert is_proxy(vault)
+        assert not is_proxy(store)
+
+    def test_end_to_end_confidentiality(self, partitioned):
+        """The untrusted store only ever holds ciphertext."""
+        vault = PayloadVault("master")
+        store = ZNodeStore()
+        client = SecureKeeperClient(vault, store)
+        client.put("/secrets", "the launch codes")
+        raw, _ = store.get("/secrets")
+        assert b"launch codes" not in raw
+        assert client.read("/secrets") == "the launch codes"
+
+    def test_update_via_cas(self, partitioned):
+        client = SecureKeeperClient(PayloadVault("m"), ZNodeStore())
+        client.put("/cfg", "v1")
+        client.put("/cfg", "v2")
+        assert client.read("/cfg") == "v2"
+
+    def test_encrypt_crossings_counted(self, partitioned):
+        vault = PayloadVault("m")
+        before = partitioned.transition_stats.ecalls
+        vault.encrypt("x")
+        assert partitioned.transition_stats.ecalls == before + 1

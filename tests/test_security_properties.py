@@ -1,0 +1,223 @@
+"""End-to-end security-property tests against the threat model (§4).
+
+The adversary controls the full untrusted software stack and wants
+confidential data processed in trusted classes. These tests check that
+the mechanisms standing in the way actually stand in the way."""
+
+import pytest
+
+from repro.apps.bank import BANK_CLASSES, Account, Person
+from repro.core import Partitioner, PartitionOptions, Side
+from repro.core.proxy import HASH_ATTR, is_proxy
+from repro.costs import fresh_platform
+from repro.errors import AttestationError, EnclaveError, RmiError
+from repro.graal.buildstats import partitioned_build_stats
+from repro.sgx import AttestationService, SgxSdk
+from repro.sgx.sealing import SealingService
+from repro.sgx.switchless import SwitchlessConfig, SwitchlessLayer
+
+
+@pytest.fixture()
+def app():
+    return Partitioner(PartitionOptions(name="sec")).partition(
+        BANK_CLASSES, main="Main.main"
+    )
+
+
+class TestDataConfinement:
+    def test_proxy_carries_no_sensitive_fields(self, app):
+        """The untrusted side holds only a hash, never the balance."""
+        with app.start():
+            account = Account("alice-secret", 1_000_000)
+            assert is_proxy(account)
+            assert not hasattr(account, "balance")
+            assert not hasattr(account, "owner")
+            public_state = {
+                name: value
+                for name, value in vars(account).items()
+                if not name.startswith("_montsalvat")
+            }
+            assert public_state == {}
+
+    def test_sensitive_values_only_cross_as_primitives_on_demand(self, app):
+        """Reading the balance is an explicit relay, not ambient state."""
+        with app.start() as session:
+            account = Account("alice", 500)
+            before = session.transition_stats.ecalls
+            value = account.get_balance()
+            assert value == 500
+            assert session.transition_stats.ecalls == before + 1
+
+    def test_untrusted_image_contains_no_trusted_method_bodies(self, app):
+        """The artifact shipped outside has no trusted functionality —
+        the image was analysed from (U ∪ N) with proxies only (§5.3)."""
+        untrusted = app.images.untrusted
+        # Relay entry points of trusted classes exist only in the
+        # trusted image.
+        assert not untrusted.contains_method("Account.relay_update_balance")
+        assert app.images.trusted.contains_method("Account.relay_update_balance")
+
+    def test_trusted_image_has_no_untrusted_functionality(self, app):
+        trusted = app.images.trusted
+        assert not trusted.contains_method("Person.transfer")
+        assert not trusted.contains_class("Main")
+
+    def test_unreachable_proxies_pruned_from_tcb(self, app):
+        trusted_stats, _ = partitioned_build_stats(app)
+        assert "Person" in trusted_stats.pruned_proxy_classes
+
+    def test_images_measure_differently(self, app):
+        assert app.images.trusted.measure() != app.images.untrusted.measure()
+
+
+class TestLaunchIntegrity:
+    def test_modified_enclave_changes_measurement(self):
+        platform = fresh_platform()
+        sdk = SgxSdk(platform)
+        honest = sdk.sign("app", b"honest code")
+        malicious = sdk.sign("app", b"honest code with a backdoor")
+        assert honest.contents.measure() != malicious.contents.measure()
+
+    def test_unsigned_code_cannot_launch(self):
+        from dataclasses import replace
+
+        platform = fresh_platform()
+        sdk = SgxSdk(platform)
+        signed = sdk.sign("app", b"code")
+        from repro.sgx.enclave import EnclaveContents
+
+        swapped = replace(
+            signed, contents=EnclaveContents("app", b"swapped at load time")
+        )
+        with pytest.raises(EnclaveError):
+            sdk.create_enclave(swapped)
+
+    def test_attestation_detects_wrong_build(self, app):
+        with app.start() as session:
+            service = AttestationService()
+            quote = service.quote(service.create_report(session.enclave))
+            with pytest.raises(AttestationError):
+                service.verify(quote, expected_measurement="f" * 64)
+
+    def test_attestation_accepts_expected_build(self, app):
+        with app.start() as session:
+            service = AttestationService()
+            quote = service.quote(service.create_report(session.enclave))
+            service.verify(quote, expected_measurement=session.enclave.measurement)
+
+
+class TestForgedReferences:
+    def test_guessed_hash_cannot_reach_foreign_mirror(self, app):
+        """An attacker forging a proxy with a guessed hash gets a
+        registry error, not another object's data."""
+        from repro.core.proxy import construct_proxy
+
+        with app.start() as session:
+            Account("victim", 9_999)
+            forged = construct_proxy(
+                Account, session.runtime, Side.TRUSTED, remote_hash=123456789
+            )
+            from repro.errors import RegistryError
+
+            with pytest.raises(RegistryError):
+                forged.get_balance()
+
+    def test_released_mirror_not_reachable_by_old_hash(self, app):
+        import gc
+
+        with app.start() as session:
+            account = Account("gone", 1)
+            old_hash = getattr(account, HASH_ATTR)
+            del account
+            gc.collect()
+            session.gc_helpers[Side.UNTRUSTED].scan_once()
+            from repro.core.proxy import construct_proxy
+            from repro.errors import RegistryError
+
+            stale = construct_proxy(Account, session.runtime, Side.TRUSTED, old_hash)
+            with pytest.raises(RegistryError):
+                stale.get_balance()
+
+
+class TestSealedDataAtRest:
+    def test_sealed_state_useless_outside_enclave(self):
+        platform = fresh_platform()
+        sdk = SgxSdk(platform)
+        enclave = sdk.create_enclave(sdk.sign("sealer", b"sealer-code"))
+        blob = SealingService(enclave).seal({"key": "K" * 32})
+        # The adversary holds the blob (untrusted storage) but cannot
+        # recover plaintext without the enclave's sealing key.
+        assert b"KKKK" not in blob.ciphertext
+        evil = SealingService(
+            sdk.create_enclave(sdk.sign("evil", b"evil-code"))
+        )
+        with pytest.raises(AttestationError):
+            evil.unseal(blob)
+
+
+class TestSwitchlessWorkerPool:
+    def make_layer(self, trusted_workers=1):
+        platform = fresh_platform()
+        sdk = SgxSdk(platform)
+        enclave = sdk.create_enclave(sdk.sign("sw", b"sw-code"))
+        return platform, SwitchlessLayer(
+            platform,
+            enclave,
+            SwitchlessConfig(trusted_workers=trusted_workers, untrusted_workers=1),
+        )
+
+    def test_fast_path_used_when_workers_free(self):
+        _, layer = self.make_layer()
+        assert layer.ecall("f", lambda: 1) == 1
+        assert layer.stats.switchless_ecalls == 1
+        assert layer.stats.fallback_ecalls == 0
+
+    def test_fallback_when_workers_busy(self):
+        _, layer = self.make_layer(trusted_workers=1)
+
+        def nested():
+            # The outer ecall occupies the single trusted worker; the
+            # nested one must fall back to a hardware transition.
+            return layer.ecall("inner", lambda: 2)
+
+        assert layer.ecall("outer", nested) == 2
+        assert layer.stats.switchless_ecalls == 1
+        assert layer.stats.fallback_ecalls == 1
+        assert layer.fallback_stats.ecalls == 1
+
+    def test_fallback_rate(self):
+        _, layer = self.make_layer(trusted_workers=1)
+        layer.ecall("a", lambda: layer.ecall("b", lambda: None))
+        assert layer.stats.fallback_rate == pytest.approx(0.5)
+
+    def test_fast_path_cheaper_than_fallback(self):
+        platform, layer = self.make_layer(trusted_workers=1)
+        t0 = platform.now_s
+        layer.ecall("fast", lambda: None)
+        fast_cost = platform.now_s - t0
+
+        def nested():
+            t1 = platform.now_s
+            layer.ecall("slow", lambda: None)
+            self.slow_cost = platform.now_s - t1
+
+        layer.ecall("outer", nested)
+        assert fast_cost < self.slow_cost / 10
+
+    def test_idle_workers_burn_cpu(self):
+        platform, layer = self.make_layer()
+        ns = layer.idle_worker_cost(1.0)
+        # Two workers busy-waiting for one second = two CPU-seconds.
+        assert ns == pytest.approx(2e9)
+
+    def test_zero_workers_always_fall_back(self):
+        platform = fresh_platform()
+        sdk = SgxSdk(platform)
+        enclave = sdk.create_enclave(sdk.sign("sw0", b"sw0"))
+        layer = SwitchlessLayer(
+            platform, enclave, SwitchlessConfig(trusted_workers=0, untrusted_workers=0)
+        )
+        layer.ecall("f", lambda: None)
+        layer.ocall("g", lambda: None)
+        assert layer.stats.fallback_ecalls == 1
+        assert layer.stats.fallback_ocalls == 1

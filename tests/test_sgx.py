@@ -1,0 +1,314 @@
+"""Unit tests for the SGX substrate: EPC, driver, enclave, transitions,
+EDL, Edger8r, attestation and the SDK facade."""
+
+import pytest
+
+from repro.costs import fresh_platform
+from repro.errors import (
+    AttestationError,
+    ConfigurationError,
+    EnclaveError,
+    EpcError,
+)
+from repro.sgx import (
+    AttestationService,
+    Edger8r,
+    EdlFile,
+    EdlFunction,
+    EdlParam,
+    EpcPageCache,
+    SgxDriver,
+    SgxSdk,
+    TransitionLayer,
+)
+from repro.sgx.enclave import EnclaveConfig, EnclaveContents, EnclaveState
+
+
+def make_enclave(platform=None, code=b"enclave-code"):
+    platform = platform or fresh_platform()
+    sdk = SgxSdk(platform)
+    return platform, sdk, sdk.create_enclave(sdk.sign("img", code))
+
+
+class TestEpcPageCache:
+    def test_hit_after_touch(self):
+        epc = EpcPageCache(capacity_bytes=8 * 4096)
+        faulted, _ = epc.touch(1, 0)
+        assert faulted
+        faulted, _ = epc.touch(1, 0)
+        assert not faulted
+        assert epc.stats.hits == 1
+        assert epc.stats.faults == 1
+
+    def test_lru_eviction(self):
+        epc = EpcPageCache(capacity_bytes=2 * 4096)
+        epc.touch(1, 0)
+        epc.touch(1, 1)
+        faulted, evicted = epc.touch(1, 2)
+        assert faulted
+        assert evicted == (1, 0)
+
+    def test_touch_refreshes_lru_position(self):
+        epc = EpcPageCache(capacity_bytes=2 * 4096)
+        epc.touch(1, 0)
+        epc.touch(1, 1)
+        epc.touch(1, 0)  # page 0 becomes most-recent
+        _, evicted = epc.touch(1, 2)
+        assert evicted == (1, 1)
+
+    def test_touch_range_counts_faults(self):
+        epc = EpcPageCache(capacity_bytes=100 * 4096)
+        faults = epc.touch_range(1, 0, 10 * 4096)
+        assert faults == 10
+        assert epc.touch_range(1, 0, 10 * 4096) == 0
+
+    def test_touch_range_zero_bytes(self):
+        epc = EpcPageCache(capacity_bytes=4096)
+        assert epc.touch_range(1, 0, 0) == 0
+
+    def test_evict_enclave_drops_all_pages(self):
+        epc = EpcPageCache(capacity_bytes=100 * 4096)
+        epc.touch_range(1, 0, 5 * 4096)
+        epc.touch_range(2, 0, 3 * 4096)
+        assert epc.evict_enclave(1) == 5
+        assert epc.resident_pages(1) == 0
+        assert epc.resident_pages(2) == 3
+
+    def test_fault_rate(self):
+        epc = EpcPageCache(capacity_bytes=100 * 4096)
+        epc.touch(1, 0)
+        epc.touch(1, 0)
+        assert epc.stats.fault_rate() == pytest.approx(0.5)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(EpcError):
+            EpcPageCache(capacity_bytes=0)
+        with pytest.raises(EpcError):
+            EpcPageCache(capacity_bytes=100, page_bytes=4096)
+
+    def test_negative_range_rejected(self):
+        with pytest.raises(EpcError):
+            EpcPageCache(capacity_bytes=4096).touch_range(1, -1, 10)
+
+
+class TestSgxDriver:
+    def test_faults_charge_time(self):
+        platform = fresh_platform()
+        driver = SgxDriver(platform)
+        ns = driver.access(1, 0, 10 * 4096)
+        assert ns > 0
+        assert driver.stats.faults_serviced == 10
+
+    def test_warm_access_is_free(self):
+        driver = SgxDriver(fresh_platform())
+        driver.access(1, 0, 4096)
+        assert driver.access(1, 0, 4096) == 0.0
+
+    def test_release_enclave(self):
+        driver = SgxDriver(fresh_platform())
+        driver.access(1, 0, 4 * 4096)
+        assert driver.release_enclave(1) == 4
+
+
+class TestEnclaveLifecycle:
+    def test_create_and_measure(self):
+        _, _, enclave = make_enclave()
+        assert enclave.state is EnclaveState.INITIALIZED
+        assert len(enclave.measurement) == 64
+
+    def test_measurement_depends_on_code(self):
+        a = EnclaveContents("img", b"aaa").measure()
+        b = EnclaveContents("img", b"bbb").measure()
+        assert a != b
+
+    def test_measurement_depends_on_config(self):
+        a = EnclaveContents("img", b"x", EnclaveConfig(heap_max_bytes=1 << 20)).measure()
+        b = EnclaveContents("img", b"x", EnclaveConfig(heap_max_bytes=1 << 21)).measure()
+        assert a != b
+
+    def test_double_destroy_rejected(self):
+        _, sdk, enclave = make_enclave()
+        sdk.destroy_enclave(enclave)
+        with pytest.raises(EnclaveError):
+            enclave.destroy()
+
+    def test_use_after_destroy_rejected(self):
+        platform, sdk, enclave = make_enclave()
+        sdk.destroy_enclave(enclave)
+        layer = TransitionLayer(platform, enclave)
+        with pytest.raises(EnclaveError):
+            layer.ecall("f", lambda: None)
+
+    def test_tampered_signature_refused(self):
+        platform = fresh_platform()
+        sdk = SgxSdk(platform)
+        signed = sdk.sign("img", b"code")
+        from dataclasses import replace
+
+        tampered = replace(signed, signature=b"\x00" * 32)
+        with pytest.raises(EnclaveError):
+            sdk.create_enclave(tampered)
+
+    def test_tampered_code_refused(self):
+        from dataclasses import replace
+
+        platform = fresh_platform()
+        sdk = SgxSdk(platform)
+        signed = sdk.sign("img", b"code")
+        evil = replace(
+            signed, contents=EnclaveContents("img", b"evil-code", signed.contents.config)
+        )
+        with pytest.raises(EnclaveError):
+            sdk.create_enclave(evil)
+
+
+class TestTransitions:
+    def test_ecall_executes_body_inside(self):
+        platform, _, enclave = make_enclave()
+        layer = TransitionLayer(platform, enclave)
+        assert layer.ecall("f", lambda: 42) == 42
+        assert layer.stats.ecalls == 1
+
+    def test_ocall_counts(self):
+        platform, _, enclave = make_enclave()
+        layer = TransitionLayer(platform, enclave)
+        layer.ocall("g", lambda: None, payload_bytes=100)
+        assert layer.stats.ocalls == 1
+        assert layer.stats.bytes_out == 100
+
+    def test_transition_cost_includes_isolate_attach(self):
+        platform, _, enclave = make_enclave()
+        layer = TransitionLayer(platform, enclave)
+        before = platform.clock.now_ns
+        layer.ecall("f", lambda: None)
+        elapsed_cycles = platform.spec.ns_to_cycles(platform.clock.now_ns - before)
+        trans = platform.cost_model.transitions
+        expected = trans.ecall_cycles + trans.edge_fixed_cycles + trans.isolate_attach_cycles
+        assert elapsed_cycles == pytest.approx(expected)
+
+    def test_switchless_is_cheaper(self):
+        p1, _, e1 = make_enclave()
+        p2, _, e2 = make_enclave()
+        normal = TransitionLayer(p1, e1)
+        switchless = TransitionLayer(p2, e2, switchless=True)
+        t1 = p1.clock.now_ns
+        normal.ecall("f", lambda: None)
+        normal_cost = p1.clock.now_ns - t1
+        t2 = p2.clock.now_ns
+        switchless.ecall("f", lambda: None)
+        switchless_cost = p2.clock.now_ns - t2
+        assert switchless_cost < normal_cost / 5
+        assert switchless.stats.switchless_calls == 1
+
+    def test_payload_increases_cost(self):
+        platform, _, enclave = make_enclave()
+        layer = TransitionLayer(platform, enclave)
+        t0 = platform.clock.now_ns
+        layer.ecall("f", lambda: None, payload_bytes=0)
+        small = platform.clock.now_ns - t0
+        t1 = platform.clock.now_ns
+        layer.ecall("f", lambda: None, payload_bytes=1_000_000)
+        large = platform.clock.now_ns - t1
+        assert large > small
+
+
+class TestEdl:
+    def test_render_contains_sections(self):
+        edl = EdlFile("app")
+        edl.add_ecall(EdlFunction("ecall_f", params=(EdlParam("int", "x"),)))
+        edl.add_ocall(EdlFunction("ocall_g"))
+        text = edl.render()
+        assert "trusted {" in text
+        assert "untrusted {" in text
+        assert "public void ecall_f(int x);" in text
+
+    def test_sized_buffer_attributes(self):
+        param = EdlParam("char*", "buf", direction="in", size_expr="len")
+        assert param.render() == "[in, size=len] char* buf"
+
+    def test_duplicate_routine_rejected(self):
+        edl = EdlFile("app")
+        edl.add_ecall(EdlFunction("f"))
+        with pytest.raises(ConfigurationError):
+            edl.add_ocall(EdlFunction("f"))
+
+    def test_direction_on_non_pointer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EdlParam("int", "x", direction="in")
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EdlParam("java.lang.Object", "obj")
+
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EdlFunction("f", params=(EdlParam("int", "x"), EdlParam("long", "x")))
+
+
+class TestEdger8r:
+    def make_edl(self):
+        edl = EdlFile("app")
+        edl.add_ecall(
+            EdlFunction(
+                "ecall_put",
+                params=(
+                    EdlParam("char*", "buf", direction="in", size_expr="len"),
+                    EdlParam("size_t", "len"),
+                ),
+            )
+        )
+        edl.add_ocall(EdlFunction("ocall_log"))
+        return edl
+
+    def test_generates_four_files(self):
+        artifacts = Edger8r().generate(self.make_edl())
+        assert artifacts.names() == ["app_t.c", "app_t.h", "app_u.c", "app_u.h"]
+
+    def test_trusted_bridge_has_bounds_check(self):
+        artifacts = Edger8r().generate(self.make_edl())
+        assert "sgx_is_outside_enclave" in artifacts["app_t.c"]
+        assert "memcpy" in artifacts["app_t.c"]
+
+    def test_headers_declare_signatures(self):
+        artifacts = Edger8r().generate(self.make_edl())
+        assert "void ecall_put(char* buf, size_t len);" in artifacts["app_t.h"]
+        assert "void ocall_log();" in artifacts["app_u.h"]
+
+
+class TestAttestation:
+    def test_quote_round_trip(self):
+        _, _, enclave = make_enclave()
+        service = AttestationService()
+        report = service.create_report(enclave, b"nonce")
+        quote = service.quote(report)
+        service.verify(quote, expected_measurement=enclave.measurement)
+
+    def test_wrong_measurement_rejected(self):
+        _, _, enclave = make_enclave()
+        service = AttestationService()
+        quote = service.quote(service.create_report(enclave))
+        with pytest.raises(AttestationError):
+            service.verify(quote, expected_measurement="0" * 64)
+
+    def test_forged_signature_rejected(self):
+        from dataclasses import replace
+
+        _, _, enclave = make_enclave()
+        service = AttestationService()
+        quote = service.quote(service.create_report(enclave))
+        forged = replace(quote, signature=b"\x00" * 32)
+        with pytest.raises(AttestationError):
+            service.verify(forged, expected_measurement=enclave.measurement)
+
+    def test_different_platform_key_rejected(self):
+        _, _, enclave = make_enclave()
+        signer = AttestationService(platform_key=b"A" * 32)
+        verifier = AttestationService(platform_key=b"B" * 32)
+        quote = signer.quote(signer.create_report(enclave))
+        with pytest.raises(AttestationError):
+            verifier.verify(quote, expected_measurement=enclave.measurement)
+
+    def test_oversized_report_data_rejected(self):
+        _, _, enclave = make_enclave()
+        with pytest.raises(AttestationError):
+            AttestationService().create_report(enclave, b"x" * 65)

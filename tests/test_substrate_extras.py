@@ -1,0 +1,251 @@
+"""Tests for the deeper substrate features: TCS accounting, enclave
+config XML, local attestation, encapsulation validation and TCB
+accounting."""
+
+import pytest
+
+from repro.apps.bank import BANK_CLASSES
+from repro.core import Partitioner, PartitionOptions
+from repro.core.annotations import trusted, untrusted
+from repro.core.tcb import compare, partitioned_tcb, scone_tcb, unpartitioned_tcb
+from repro.core.validation import EncapsulationValidator
+from repro.costs import fresh_platform
+from repro.errors import (
+    AttestationError,
+    ConfigurationError,
+    PartitionError,
+    TransitionError,
+)
+from repro.sgx import AttestationService, SgxSdk, TransitionLayer
+from repro.sgx.config_xml import parse_config_xml, render_config_xml
+from repro.sgx.enclave import EnclaveConfig
+
+
+def make_enclave(platform, name="img", code=b"code", tcs=2):
+    sdk = SgxSdk(platform)
+    return sdk.create_enclave(
+        sdk.sign(name, code, config=EnclaveConfig(tcs_count=tcs))
+    )
+
+
+class TestTcsAccounting:
+    def test_nested_ecalls_consume_tcs(self):
+        platform = fresh_platform()
+        enclave = make_enclave(platform, tcs=2)
+        layer = TransitionLayer(platform, enclave)
+
+        def depth_three():
+            return layer.ecall(
+                "level2", lambda: layer.ecall("level3", lambda: 42)
+            )
+
+        with pytest.raises(TransitionError):
+            layer.ecall("level1", depth_three)
+
+    def test_within_tcs_budget_succeeds(self):
+        platform = fresh_platform()
+        enclave = make_enclave(platform, tcs=3)
+        layer = TransitionLayer(platform, enclave)
+        result = layer.ecall(
+            "l1", lambda: layer.ecall("l2", lambda: layer.ecall("l3", lambda: 7))
+        )
+        assert result == 7
+
+    def test_tcs_released_after_return(self):
+        platform = fresh_platform()
+        enclave = make_enclave(platform, tcs=1)
+        layer = TransitionLayer(platform, enclave)
+        for _ in range(5):  # sequential ecalls reuse the slot
+            layer.ecall("seq", lambda: None)
+        assert layer.stats.ecalls == 5
+
+    def test_tcs_released_after_exception(self):
+        platform = fresh_platform()
+        enclave = make_enclave(platform, tcs=1)
+        layer = TransitionLayer(platform, enclave)
+
+        def boom():
+            raise ValueError("inside enclave")
+
+        with pytest.raises(ValueError):
+            layer.ecall("boom", boom)
+        assert layer.ecall("after", lambda: "ok") == "ok"
+
+    def test_ocall_does_not_consume_tcs(self):
+        platform = fresh_platform()
+        enclave = make_enclave(platform, tcs=1)
+        layer = TransitionLayer(platform, enclave)
+        # ecall -> ocall -> (no re-entry) stays within one TCS.
+        result = layer.ecall("in", lambda: layer.ocall("out", lambda: 5))
+        assert result == 5
+
+
+class TestConfigXml:
+    def test_round_trip(self):
+        config = EnclaveConfig(
+            heap_max_bytes=4 << 30, stack_max_bytes=8 << 20, tcs_count=8, debug=False
+        )
+        parsed = parse_config_xml(render_config_xml(config))
+        assert parsed == config
+
+    def test_paper_defaults_render(self):
+        text = render_config_xml(EnclaveConfig())
+        assert "<HeapMaxSize>0x100000000</HeapMaxSize>" in text  # 4 GB
+        assert "<StackMaxSize>0x800000</StackMaxSize>" in text  # 8 MB
+
+    def test_debug_flag(self):
+        text = render_config_xml(EnclaveConfig(debug=True))
+        assert "<DisableDebug>0</DisableDebug>" in text
+        assert parse_config_xml(text).debug
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_config_xml("<EnclaveConfiguration></EnclaveConfiguration>")
+
+    def test_bad_integer_rejected(self):
+        text = render_config_xml(EnclaveConfig()).replace("0x800000", "huge")
+        with pytest.raises(ConfigurationError):
+            parse_config_xml(text)
+
+    def test_negative_prod_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_config_xml(EnclaveConfig(), prod_id=-1)
+
+
+class TestLocalAttestation:
+    def test_enclave_to_enclave(self):
+        platform = fresh_platform()
+        alpha = make_enclave(platform, "alpha", b"alpha-code")
+        beta = make_enclave(platform, "beta", b"beta-code")
+        service = AttestationService()
+        report = service.create_targeted_report(alpha, beta, b"hello")
+        service.verify_local(report, verifier=beta)
+
+    def test_wrong_target_rejected(self):
+        platform = fresh_platform()
+        alpha = make_enclave(platform, "alpha", b"alpha-code")
+        beta = make_enclave(platform, "beta", b"beta-code")
+        gamma = make_enclave(platform, "gamma", b"gamma-code")
+        service = AttestationService()
+        report = service.create_targeted_report(alpha, beta)
+        with pytest.raises(AttestationError):
+            service.verify_local(report, verifier=gamma)
+
+    def test_forged_mac_rejected(self):
+        from dataclasses import replace
+
+        platform = fresh_platform()
+        alpha = make_enclave(platform, "alpha", b"alpha-code")
+        beta = make_enclave(platform, "beta", b"beta-code")
+        service = AttestationService()
+        report = service.create_targeted_report(alpha, beta)
+        with pytest.raises(AttestationError):
+            service.verify_local(replace(report, mac=b"\x00" * 32), verifier=beta)
+
+    def test_report_carries_sender_measurement(self):
+        platform = fresh_platform()
+        alpha = make_enclave(platform, "alpha", b"alpha-code")
+        beta = make_enclave(platform, "beta", b"beta-code")
+        report = AttestationService().create_targeted_report(alpha, beta)
+        assert report.report.measurement == alpha.measurement
+
+
+class TestEncapsulationValidator:
+    def test_clean_application_passes(self):
+        assert EncapsulationValidator().validate(list(BANK_CLASSES)) == ()
+
+    def test_foreign_field_access_detected(self):
+        @trusted
+        class Wallet:
+            def __init__(self):
+                self.secret_key = "k"
+
+            def use(self):
+                return self.secret_key
+
+        @untrusted
+        class Snooper:
+            def peek(self):
+                wallet = Wallet()
+                return wallet.secret_key  # encapsulation violation
+
+        violations = EncapsulationValidator().validate([Wallet, Snooper])
+        assert len(violations) == 1
+        violation = violations[0]
+        assert violation.accessing_class == "Snooper"
+        assert violation.target_class == "Wallet"
+        assert violation.field == "secret_key"
+        assert "§5.1" in violation.describe()
+
+    def test_strict_mode_raises(self):
+        @trusted
+        class Vault:
+            def __init__(self):
+                self.pin = 1234
+
+        @untrusted
+        class Thief:
+            def rob(self):
+                vault = Vault()
+                return vault.pin
+
+        with pytest.raises(PartitionError):
+            EncapsulationValidator().validate([Vault, Thief], strict=True)
+
+    def test_own_field_access_allowed(self):
+        @trusted
+        class SelfUser:
+            def __init__(self):
+                self.state = 0
+
+            def bump(self):
+                self.state += 1
+
+        assert EncapsulationValidator().validate([SelfUser]) == ()
+
+    def test_method_calls_are_not_violations(self):
+        @trusted
+        class Service:
+            def __init__(self):
+                self.data = []
+
+            def add(self, x):
+                self.data.append(x)
+
+        @untrusted
+        class Caller:
+            def use(self):
+                service = Service()
+                service.add(1)  # method call: fine
+
+        assert EncapsulationValidator().validate([Service, Caller]) == ()
+
+
+class TestTcbReports:
+    def test_partitioned_smaller_than_scone(self):
+        app = Partitioner(PartitionOptions(name="tcb")).partition(
+            BANK_CLASSES, main="Main.main"
+        )
+        part = partitioned_tcb(app)
+        scone = scone_tcb(app_code_bytes=app.images.trusted.code_size_bytes)
+        assert part.total_bytes < scone.total_bytes / 10
+
+    def test_partitioned_smaller_than_unpartitioned(self):
+        from repro.apps.paldb.workload import ReaderLogic, WriterLogic
+
+        partitioner = Partitioner(PartitionOptions(name="tcb2"))
+        part_app = partitioner.partition(BANK_CLASSES, main="Main.main")
+        unpart_app = partitioner.unpartitioned(list(BANK_CLASSES))
+        part = partitioned_tcb(part_app)
+        unpart = unpartitioned_tcb(unpart_app)
+        assert part.total_bytes <= unpart.total_bytes * 1.2
+
+    def test_reports_format(self):
+        app = Partitioner(PartitionOptions(name="tcb3")).partition(
+            BANK_CLASSES, main="Main.main"
+        )
+        text = partitioned_tcb(app).format()
+        assert "shim libc" in text
+        assert "TOTAL" in text
+        comparison = compare([partitioned_tcb(app), scone_tcb(100_000)])
+        assert "SCONE + JVM" in comparison

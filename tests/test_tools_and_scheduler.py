@@ -1,0 +1,252 @@
+"""Tests for the build tool, the virtual scheduler, the report
+generator, the EPC-paging experiment and the wire-codec option."""
+
+import json
+import os
+
+import pytest
+
+from repro.apps.bank import BANK_CLASSES, Account, Main, Person
+from repro.buildtool import build, collect_classes, main as buildtool_main
+from repro.core import Partitioner, PartitionOptions, Side
+from repro.costs import fresh_platform
+from repro.errors import ConfigurationError, PartitionError, SerializationError
+from repro.experiments.epc_paging import run_epc_paging
+from repro.runtime.scheduler import VirtualScheduler
+
+
+class TestBuildTool:
+    def test_build_bank_module(self, tmp_path):
+        manifest = build("repro.apps.bank", str(tmp_path), main="Main.main")
+        assert manifest["classes"]["Account"] == "trusted"
+        assert manifest["classes"]["Person"] == "untrusted"
+        assert manifest["images"]["trusted"]["artifact"].endswith("-trusted.o")
+        assert "Main.main" in manifest["images"]["untrusted"]["entry_points"]
+        for filename in ("manifest.json", "Enclave.config.xml", "tcb_report.txt",
+                         "bank.edl", "ecalls.c", "shim_ocalls.c"):
+            assert (tmp_path / filename).exists(), filename
+
+    def test_manifest_parsable_and_consistent(self, tmp_path):
+        build("repro.apps.bank", str(tmp_path), main="Main.main")
+        with open(tmp_path / "manifest.json") as handle:
+            manifest = json.load(handle)
+        assert manifest["images"]["trusted"]["reachable_methods"] > 0
+        assert len(manifest["images"]["trusted"]["measurement"]) == 64
+
+    def test_explicit_class_selection(self, tmp_path):
+        manifest = build(
+            "repro.apps.bank",
+            str(tmp_path),
+            class_names=["Account", "Person", "Main"],
+            main="Main.main",
+        )
+        assert set(manifest["classes"]) == {"Account", "Person", "Main"}
+
+    def test_unknown_module_rejected(self, tmp_path):
+        with pytest.raises(PartitionError):
+            build("no.such.module", str(tmp_path))
+
+    def test_unknown_class_rejected(self, tmp_path):
+        with pytest.raises(PartitionError):
+            build("repro.apps.bank", str(tmp_path), class_names=["Ghost"])
+
+    def test_cli_entry_point(self, tmp_path, capsys):
+        code = buildtool_main(
+            ["repro.apps.bank", "-o", str(tmp_path), "--main", "Main.main"]
+        )
+        assert code == 0
+        assert "bank-trusted.o" in capsys.readouterr().out
+
+    def test_cli_failure_is_nonzero(self, tmp_path, capsys):
+        code = buildtool_main(["no.such.module", "-o", str(tmp_path)])
+        assert code == 1
+        assert "build failed" in capsys.readouterr().err
+
+    def test_collect_classes_defaults_to_module_classes(self):
+        classes = collect_classes("repro.apps.bank", None)
+        names = {cls.__name__ for cls in classes}
+        assert {"Account", "AccountRegistry", "Person", "Main"} <= names
+
+
+class TestVirtualScheduler:
+    def test_periodic_firing(self):
+        platform = fresh_platform()
+        scheduler = VirtualScheduler(platform)
+        fired = []
+        scheduler.every(1.0, lambda: fired.append(platform.now_s), name="tick")
+        scheduler.advance_to(3.5)
+        assert len(fired) == 3
+        assert fired[0] == pytest.approx(1.0)
+        assert fired[2] == pytest.approx(3.0)
+
+    def test_pump_fires_overdue_tasks_once_each(self):
+        platform = fresh_platform()
+        scheduler = VirtualScheduler(platform)
+        count = []
+        scheduler.every(1.0, lambda: count.append(1))
+        platform.charge_ns("work", 5e9)  # five periods pass without pumping
+        scheduler.pump()
+        assert len(count) == 1  # no catch-up storm
+
+    def test_multiple_tasks_deadline_order(self):
+        platform = fresh_platform()
+        scheduler = VirtualScheduler(platform)
+        order = []
+        scheduler.every(2.0, lambda: order.append("slow"))
+        scheduler.every(1.0, lambda: order.append("fast"))
+        scheduler.advance_to(2.0)
+        assert order == ["fast", "slow", "fast"] or order == ["fast", "fast", "slow"]
+
+    def test_cancel(self):
+        platform = fresh_platform()
+        scheduler = VirtualScheduler(platform)
+        fired = []
+        task = scheduler.every(1.0, lambda: fired.append(1))
+        scheduler.cancel(task)
+        scheduler.advance_to(5.0)
+        assert fired == []
+        assert scheduler.pending() == 0
+
+    def test_invalid_period_rejected(self):
+        scheduler = VirtualScheduler(fresh_platform())
+        with pytest.raises(ConfigurationError):
+            scheduler.every(0.0, lambda: None)
+
+    def test_cannot_advance_backwards(self):
+        platform = fresh_platform()
+        platform.charge_ns("work", 2e9)
+        scheduler = VirtualScheduler(platform)
+        with pytest.raises(ConfigurationError):
+            scheduler.advance_to(1.0)
+
+    def test_drives_gc_helpers(self):
+        """The §5.5 wiring: helpers as periodic scheduler tasks."""
+        import gc
+
+        app = Partitioner(PartitionOptions(name="sched")).partition(
+            BANK_CLASSES, main="Main.main"
+        )
+        with app.start() as session:
+            scheduler = VirtualScheduler(session.platform)
+            for helper in session.gc_helpers.values():
+                scheduler.every(1.0, lambda h=helper: h.scan_once(), name="gc")
+            account = Account("x", 1)
+            registry = session.runtime.state_of(Side.TRUSTED).registry
+            assert registry.live_count() == 1
+            del account
+            gc.collect()
+            scheduler.advance_to(session.platform.now_s + 1.5)
+            assert registry.live_count() == 0
+
+
+class TestEpcPagingExperiment:
+    def test_cliff_at_usable_epc(self):
+        table = run_epc_paging(working_sets_mb=(64, 93, 110, 192))
+        slowdown = table.get("enclave/host slowdown")
+        # Flat below the EPC boundary...
+        assert slowdown.y_at(64) == pytest.approx(slowdown.y_at(93))
+        # ...cliff above it, growing with the working set.
+        assert slowdown.y_at(110) > slowdown.y_at(93) * 1.5
+        assert slowdown.y_at(192) > slowdown.y_at(110)
+
+    def test_host_never_pages(self):
+        table = run_epc_paging(working_sets_mb=(64, 256))
+        host = table.get("host time (s)")
+        assert host.y_at(64) == pytest.approx(host.y_at(256))
+
+
+class TestWireCodecOption:
+    def test_partitioned_run_with_wire_format(self):
+        options = PartitionOptions(name="wire_run", wire_format=True)
+        app = Partitioner(options).partition(BANK_CLASSES, main="Main.main")
+        with app.start():
+            registry = Main.main()
+            assert registry.total_balance() == 125
+
+    def test_wire_format_rejects_non_plain_arguments(self):
+        options = PartitionOptions(name="wire_reject", wire_format=True)
+        app = Partitioner(options).partition(BANK_CLASSES, main="Main.main")
+        with app.start():
+            account = Account("x", 1)
+            with pytest.raises(SerializationError):
+                # A set of functions is not plain data in any codec, but
+                # wire rejects even custom objects pickle would accept.
+                account.update_balance(object())
+
+
+class TestBuildTimeInit:
+    def test_collect_build_time_init(self):
+        from repro.core.partitioner import collect_build_time_init
+        from repro.graal.image import ImageHeap
+
+        class WithInit:
+            @classmethod
+            def __build_init__(cls, heap):
+                heap.put("ready", True)
+
+        class Without:
+            pass
+
+        assert collect_build_time_init([Without]) is None
+        runner = collect_build_time_init([WithInit, Without])
+        heap = ImageHeap()
+        runner(heap)
+        assert heap.startup_view()["ready"] is True
+
+    def test_partitioned_app_exposes_startup_heap(self):
+        from repro.core.annotations import trusted
+
+        @trusted
+        class Precomputed:
+            @classmethod
+            def __build_init__(cls, heap):
+                heap.put("table", [i * i for i in range(16)])
+
+            def use(self):
+                return 1
+
+        app = Partitioner(PartitionOptions(name="bti_unit")).partition(
+            [Precomputed, *BANK_CLASSES], main="Main.main"
+        )
+        assert app.images.trusted.image_heap_bytes > 0
+        with app.start() as session:
+            table = session.startup_heap(Side.TRUSTED)["table"]
+            assert table[4] == 16
+            # The untrusted image has no trusted build-init state.
+            assert "table" not in session.startup_heap(Side.UNTRUSTED)
+
+    def test_image_startup_heap_empty_without_init(self):
+        from repro.graal import NativeImageBuilder, extract_classes
+        from repro.graal.jtypes import ClassUniverse
+
+        universe = ClassUniverse(extract_classes(BANK_CLASSES))
+        image = NativeImageBuilder().build("plain", universe, ["Main.main"])
+        assert image.startup_heap() == {}
+
+
+class TestReportGenerator:
+    def test_report_contains_headlines(self):
+        from repro.experiments.report import generate_report
+
+        text = generate_report(paper_scale=False)
+        assert "Fig. 3 proxy creation" in text
+        assert "Table 1 ratios" in text
+        assert "| result | paper | measured |" in text
+
+
+class TestNeutralCopies:
+    def test_neutral_objects_copy_and_evolve_independently(self):
+        """§5.1: neutral instances may have several copies in both
+        worlds and evolve independently."""
+        app = Partitioner(PartitionOptions(name="neutral")).partition(
+            BANK_CLASSES, main="Main.main"
+        )
+        with app.start() as session:
+            payload = [1, 2, 3]
+            account = Account("x", 0)
+            # The list crossed by serialization: the mirror saw a copy.
+            mirror = session.runtime.state_of(Side.TRUSTED).registry.get(
+                account.get_hash()
+            )
+            payload.append(4)  # evolving the local copy...
+            assert mirror.owner == "x"  # ...does not affect the enclave

@@ -1,0 +1,152 @@
+"""Tests for the bytecode-transformer analog and the SGX code generator."""
+
+import pytest
+
+from repro.apps.bank import BANK_CLASSES
+from repro.core import BytecodeTransformer, Side
+from repro.core.codegen import SgxCodeGenerator
+from repro.core.transformer import GC_ROUTINES, SHIM_OCALLS
+from repro.errors import PartitionError
+from repro.graal.extraction import extract_classes
+from repro.graal.jtypes import TrustLevel
+
+
+@pytest.fixture()
+def bank_ir():
+    return extract_classes(BANK_CLASSES)
+
+
+@pytest.fixture()
+def result(bank_ir):
+    return BytecodeTransformer().transform(bank_ir, main_entry="Main.main")
+
+
+class TestTransform:
+    def test_universes_are_disjoint_in_concretes(self, result):
+        """Trusted image has no concrete untrusted classes; it only has
+        their proxies — and vice versa (§5.2)."""
+        trusted_person = result.trusted_universe["Person"]
+        # Person exists in the trusted universe only as a stripped proxy:
+        # it carries the hash field, not its real fields.
+        field_names = {f.name for f in trusted_person.fields}
+        assert field_names == {"hash"}
+        untrusted_account = result.untrusted_universe["Account"]
+        assert {f.name for f in untrusted_account.fields} == {"hash"}
+
+    def test_concrete_classes_keep_their_fields(self, result):
+        account = result.trusted_universe["Account"]
+        assert {"owner", "balance"} <= {f.name for f in account.fields}
+
+    def test_relays_added_to_concrete_classes(self, result):
+        account = result.trusted_universe["Account"]
+        relay_names = {m.name for m in account.methods if m.name.startswith("relay_")}
+        assert {"relay_init", "relay_update_balance", "relay_get_balance"} <= relay_names
+
+    def test_proxies_have_no_relays(self, result):
+        person_proxy = result.trusted_universe["Person"]
+        assert not any(m.name.startswith("relay_") for m in person_proxy.methods)
+
+    def test_proxy_methods_mirror_public_methods(self, result):
+        person_proxy = result.trusted_universe["Person"]
+        names = {m.name for m in person_proxy.methods}
+        assert {"__init__", "get_account", "transfer"} <= names
+
+    def test_relay_specs_cover_both_sides(self, result):
+        trusted_specs = result.relay_specs[Side.TRUSTED]
+        untrusted_specs = result.relay_specs[Side.UNTRUSTED]
+        assert all(s.transition == "ecall" for s in trusted_specs)
+        assert all(s.transition == "ocall" for s in untrusted_specs)
+        assert any(s.kind == "constructor" for s in trusted_specs)
+
+    def test_entry_points(self, result):
+        assert result.untrusted_entry_points[0] == "Main.main"
+        assert "Account.relay_init" in result.trusted_entry_points
+        assert all("." in e for e in result.trusted_entry_points)
+
+    def test_relay_entry_points_are_valid_centrypoints(self, result):
+        from repro.graal.entrypoints import validate_entry_point
+
+        for specs in result.relay_specs.values():
+            for spec in specs:
+                validate_entry_point(spec.entry_point)  # must not raise
+
+    def test_neutral_classes_untouched(self, bank_ir):
+        class Helper:
+            def assist(self):
+                return 1
+
+        ir = dict(bank_ir)
+        ir.update(extract_classes([Helper]))
+        result = BytecodeTransformer().transform(ir, main_entry="Main.main")
+        helper_t = result.trusted_universe["Helper"]
+        helper_u = result.untrusted_universe["Helper"]
+        assert helper_t.trust is TrustLevel.NEUTRAL
+        assert helper_t.methods == helper_u.methods
+
+    def test_no_trusted_classes_rejected(self):
+        class OnlyNeutral:
+            def run(self):
+                return 1
+
+        ir = extract_classes([OnlyNeutral])
+        with pytest.raises(PartitionError):
+            BytecodeTransformer().transform(ir)
+
+    def test_synthetic_driver_when_no_main(self, bank_ir):
+        # Drop the untrusted classes so there are no untrusted relays.
+        ir = {k: v for k, v in bank_ir.items() if k in ("Account", "AccountRegistry")}
+        result = BytecodeTransformer().transform(ir)
+        assert result.untrusted_entry_points == ("MontsalvatDriver.main",)
+        assert "MontsalvatDriver" in result.untrusted_universe
+
+
+class TestCodegen:
+    @pytest.fixture()
+    def artifacts(self, result):
+        return SgxCodeGenerator("bankapp").generate(result)
+
+    def test_all_expected_files(self, artifacts):
+        names = artifacts.names()
+        assert "bankapp.edl" in names
+        assert "ecalls.c" in names and "ocalls.c" in names
+        assert "shim_ocalls.c" in names
+        assert "bankapp_t.c" in names and "bankapp_u.h" in names
+
+    def test_edl_routes_unique(self, result):
+        edl = SgxCodeGenerator("bankapp").build_edl(result)
+        names = edl.routine_names()
+        assert len(names) == len(set(names))
+
+    def test_edl_contains_every_relay(self, artifacts, result):
+        for spec in result.relay_specs[Side.TRUSTED]:
+            assert f"ecall_{spec.class_name}_{spec.relay_name}" in artifacts.edl_text
+        for spec in result.relay_specs[Side.UNTRUSTED]:
+            assert f"ocall_{spec.class_name}_{spec.relay_name}" in artifacts.edl_text
+
+    def test_edl_contains_shim_and_gc(self, artifacts):
+        for routine in SHIM_OCALLS:
+            assert routine in artifacts.edl_text
+        for routine in GC_ROUTINES:
+            assert routine in artifacts.edl_text
+
+    def test_ecall_defs_fetch_trusted_isolate(self, artifacts):
+        text = artifacts["ecalls.c"]
+        assert "get_trusted_isolate()" in text
+        assert "ecall_Account_relay_update_balance" in text
+
+    def test_ocall_defs_fetch_untrusted_isolate(self, artifacts):
+        text = artifacts["ocalls.c"]
+        assert "get_untrusted_isolate()" in text
+        assert "ocall_Person_relay_transfer" in text
+
+    def test_shim_helper_invokes_real_libc(self, artifacts):
+        text = artifacts["shim_ocalls.c"]
+        assert "#include <unistd.h>" in text
+        for call in ("open(", "read(", "write(", "fsync(", "close("):
+            assert call in text
+
+    def test_bridges_generated_by_edger8r(self, artifacts):
+        assert "sgx_is_outside_enclave" in artifacts["bankapp_t.c"]
+
+    def test_total_bytes_positive(self, artifacts):
+        assert artifacts.total_bytes() > 1000

@@ -1,0 +1,186 @@
+"""Tests for the wire serializer and the generational GC model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import wire
+from repro.costs import fresh_platform
+from repro.errors import ConfigurationError, HeapError, SerializationError
+from repro.runtime.context import ExecutionContext, Location
+from repro.runtime.gc import SerialCopyGc
+from repro.runtime.gc_generational import GenerationalGc
+
+
+def host_ctx():
+    return ExecutionContext(fresh_platform(), Location.HOST)
+
+
+class TestWireFormat:
+    CASES = [
+        None,
+        True,
+        False,
+        0,
+        1,
+        -1,
+        2**80,
+        -(2**80),
+        3.14159,
+        float("inf"),
+        "",
+        "héllo wörld",
+        b"",
+        b"\x00\xff" * 10,
+        [],
+        [1, "two", 3.0, None],
+        (1, (2, (3,))),
+        {"k": [1, 2], "nested": {"a": b"b"}},
+        {1, 2, 3},
+        [{"deep": [(1, 2), {"s": {4}}]}],
+    ]
+
+    @pytest.mark.parametrize("value", CASES, ids=repr)
+    def test_round_trip(self, value):
+        assert wire.loads(wire.dumps(value)) == value
+
+    def test_nan_round_trips(self):
+        assert math.isnan(wire.loads(wire.dumps(float("nan"))))
+
+    def test_magic_checked(self):
+        with pytest.raises(SerializationError):
+            wire.loads(b"XX\x01\x00")
+
+    def test_version_checked(self):
+        blob = bytearray(wire.dumps(None))
+        blob[2] = 99
+        with pytest.raises(SerializationError):
+            wire.loads(bytes(blob))
+
+    def test_truncation_detected(self):
+        blob = wire.dumps([1, 2, 3])
+        with pytest.raises(SerializationError):
+            wire.loads(blob[:-1])
+
+    def test_trailing_bytes_detected(self):
+        with pytest.raises(SerializationError):
+            wire.loads(wire.dumps(1) + b"\x00")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(SerializationError):
+            wire.loads(wire.MAGIC + bytes([wire.VERSION, 0x7F]))
+
+    def test_non_neutral_type_rejected(self):
+        class Custom:
+            pass
+
+        with pytest.raises(SerializationError):
+            wire.dumps(Custom())
+        with pytest.raises(SerializationError):
+            wire.dumps(lambda: None)
+
+    def test_depth_limit(self):
+        value = []
+        for _ in range(100):
+            value = [value]
+        with pytest.raises(SerializationError):
+            wire.dumps(value)
+
+    def test_decoder_executes_no_code(self):
+        """Unlike pickle, adversarial buffers can only raise, never run."""
+        import os
+
+        evil = wire.MAGIC + bytes([wire.VERSION]) + b"\x05\xff\xff\xff"
+        with pytest.raises(SerializationError):
+            wire.loads(evil)
+        assert os.path.exists("/")  # trivially: we are still alive
+
+    @settings(max_examples=150)
+    @given(
+        st.recursive(
+            st.none()
+            | st.booleans()
+            | st.integers()
+            | st.floats(allow_nan=False)
+            | st.text(max_size=30)
+            | st.binary(max_size=30),
+            lambda children: st.lists(children, max_size=4)
+            | st.dictionaries(st.text(max_size=8), children, max_size=4),
+            max_leaves=20,
+        )
+    )
+    def test_property_round_trip(self, value):
+        assert wire.loads(wire.dumps(value)) == value
+
+    def test_set_encoding_deterministic(self):
+        a = wire.dumps({3, 1, 2})
+        b = wire.dumps({2, 3, 1})
+        assert a == b
+
+
+class TestGenerationalGc:
+    def test_minor_collections_triggered_by_nursery(self):
+        gc = GenerationalGc(host_ctx(), nursery_bytes=1000)
+        gc.allocate(2500)
+        assert gc.stats.minor_collections == 2
+        assert gc.nursery_used == 500
+
+    def test_survivors_promoted(self):
+        gc = GenerationalGc(host_ctx(), nursery_bytes=1000, survival_rate=0.1)
+        gc.allocate(1000)
+        gc.minor_collect()
+        assert gc.old_used == 100
+        assert gc.stats.bytes_promoted == 100
+
+    def test_major_collection_when_old_fills(self):
+        gc = GenerationalGc(
+            host_ctx(), nursery_bytes=1000, old_max_bytes=300, survival_rate=0.5
+        )
+        gc.allocate(3000)
+        assert gc.stats.major_collections >= 1
+
+    def test_cheaper_than_serial_on_churny_workload(self):
+        """The [28]/Table-1 effect: generational GC amortises churn."""
+        churn = 50 * 1024 * 1024
+
+        gen_ctx = host_ctx()
+        generational = GenerationalGc(gen_ctx, nursery_bytes=4 * 1024 * 1024)
+        generational.allocate(churn)
+        generational_ns = generational.stats.total_ns
+
+        serial_ctx = host_ctx()
+        serial = SerialCopyGc(serial_ctx)
+        # Serial stop-and-copy: the whole churn is copied/scanned across
+        # collections of a same-size young space.
+        space = 4 * 1024 * 1024
+        serial_ns = 0.0
+        for _ in range(churn // space):
+            serial_ns += serial.collect(live_bytes=space // 2, dead_bytes=space // 2)
+
+        assert generational_ns < serial_ns / 3
+
+    def test_enclave_collections_pricier(self):
+        p_out = fresh_platform()
+        out_gc = GenerationalGc(
+            ExecutionContext(p_out, Location.HOST), nursery_bytes=1000
+        )
+        p_in = fresh_platform()
+        in_gc = GenerationalGc(
+            ExecutionContext(p_in, Location.ENCLAVE), nursery_bytes=1000
+        )
+        out_gc.allocate(5000)
+        in_gc.allocate(5000)
+        assert in_gc.stats.total_ns > 5 * out_gc.stats.total_ns
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GenerationalGc(host_ctx(), nursery_bytes=0)
+        with pytest.raises(ConfigurationError):
+            GenerationalGc(host_ctx(), survival_rate=1.5)
+        gc = GenerationalGc(host_ctx())
+        with pytest.raises(HeapError):
+            gc.allocate(0)
+        with pytest.raises(ConfigurationError):
+            gc.major_collect(live_fraction=2.0)
