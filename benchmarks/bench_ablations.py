@@ -15,7 +15,7 @@ def test_ablation_switchless(benchmark, record_table):
     table = run_once(
         benchmark, run_switchless_ablation, invocation_counts=(1_000, 5_000, 10_000)
     )
-    record_table("ablation_switchless", table.format(y_format="{:.4f}"))
+    record_table("ablation_switchless", table.format(y_format="{:.4f}"), table=table)
     # Transition-less calls pay off massively for chatty RMIs (§7).
     gain = table.mean_ratio("hardware transitions", "switchless")
     assert gain > 10.0
@@ -23,7 +23,7 @@ def test_ablation_switchless(benchmark, record_table):
 
 def test_ablation_hash_strategy(benchmark, record_table):
     table = run_once(benchmark, run_hash_ablation, n_objects=5_000)
-    record_table("ablation_hash", table.format(y_format="{:.4f}"))
+    record_table("ablation_hash", table.format(y_format="{:.4f}"), table=table)
     identity = table.get("identity-hash").mean()
     md5 = table.get("md5-hash").mean()
     # MD5 costs more, but the transition dominates: < 2% overhead.
@@ -34,7 +34,7 @@ def test_ablation_mee_sensitivity(benchmark, record_table):
     table = run_once(
         benchmark, run_mee_sensitivity, multipliers=(2.0, 4.0, 8.5, 12.0), n_classes=30
     )
-    record_table("ablation_mee", table.format(y_format="{:.2f}"))
+    record_table("ablation_mee", table.format(y_format="{:.2f}"), table=table)
     slowdowns = table.get("enclave slowdown").ys()
     # The Fig. 6 spread grows monotonically with the MEE penalty.
     assert all(a < b for a, b in zip(slowdowns, slowdowns[1:]))
@@ -48,7 +48,7 @@ def test_ablation_annotation_granularity(benchmark, record_table):
         state_bytes_sweep=(64, 512, 4_096, 32_768, 131_072),
         calls=1_000,
     )
-    record_table("ablation_granularity", table.format(y_format="{:.4f}"))
+    record_table("ablation_granularity", table.format(y_format="{:.4f}"), table=table)
     class_level = table.get("class-level (Montsalvat)")
     method_level = table.get("method-level (Uranus-style)")
     # Method-level state shipping always costs more...
@@ -66,7 +66,7 @@ def test_ablation_gc_period(benchmark, record_table):
     table = run_once(
         benchmark, run_gc_period_ablation, periods_s=(0.25, 0.5, 1.0, 2.0, 4.0)
     )
-    record_table("ablation_gc_period", table.format(y_format="{:.0f}"))
+    record_table("ablation_gc_period", table.format(y_format="{:.0f}"), table=table)
     retention = table.get("peak stale mirrors").ys()
     scans = table.get("helper scans").ys()
     # Longer periods retain more dead mirrors but scan less.

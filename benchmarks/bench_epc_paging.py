@@ -9,7 +9,7 @@ WORKING_SETS_MB = (16, 32, 64, 80, 93, 110, 128, 192, 256)
 
 def test_epc_paging_cliff(benchmark, record_table):
     table = run_once(benchmark, run_epc_paging, working_sets_mb=WORKING_SETS_MB)
-    record_table("epc_paging", table.format(y_format="{:.4f}"))
+    record_table("epc_paging", table.format(y_format="{:.4f}"), table=table)
 
     slowdown = table.get("enclave/host slowdown")
     below = [slowdown.y_at(ws) for ws in (16, 32, 64, 80, 93)]

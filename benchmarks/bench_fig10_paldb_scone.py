@@ -9,7 +9,7 @@ KEY_COUNTS = (20_000, 60_000, 100_000)
 
 def test_fig10_paldb_scone(benchmark, record_table):
     table = run_once(benchmark, run_fig10, key_counts=KEY_COUNTS)
-    record_table("fig10_paldb_scone", table.format(y_format="{:.3f}"))
+    record_table("fig10_paldb_scone", table.format(y_format="{:.3f}"), table=table)
 
     # Paper averages: RTWU 6.6x, RUWT 2.8x, NoPart 2.6x over SCONE+JVM.
     # JVM boot amortises with scale, so assert at the largest count.

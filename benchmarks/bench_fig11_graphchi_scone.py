@@ -16,7 +16,7 @@ def test_fig11_graphchi_scone(benchmark, record_table):
         shard_counts=SHARDS,
         iterations=5,
     )
-    record_table("fig11_graphchi_scone", table.format(y_format="{:.3f}"))
+    record_table("fig11_graphchi_scone", table.format(y_format="{:.3f}"), table=table)
 
     # Paper: partitioned image ~2.2x faster than SCONE+JVM; the
     # unpartitioned image ~1.7x.

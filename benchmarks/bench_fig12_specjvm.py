@@ -8,7 +8,7 @@ from repro.experiments.fig12_specjvm import run_fig12
 
 def test_fig12_specjvm(benchmark, record_table):
     table = run_once(benchmark, run_fig12, kernels=KERNEL_ORDER)
-    record_table("fig12_specjvm", table.format(y_format="{:.2f}"))
+    record_table("fig12_specjvm", table.format(y_format="{:.2f}"), table=table)
 
     ni = table.get("NoSGX-NI")
     sgx_ni = table.get("SGX-NI")

@@ -10,7 +10,7 @@ COUNTS = (10_000, 40_000, 70_000, 100_000)
 
 def test_fig3_proxy_creation(benchmark, record_table):
     table = run_once(benchmark, run_fig3, counts=COUNTS)
-    record_table("fig3_proxy_creation", table.format())
+    record_table("fig3_proxy_creation", table.format(), table=table)
 
     # Shape: proxy creation is 3-4 orders of magnitude above concrete.
     out_in = table.mean_ratio("proxy-out->in", "concrete-out")

@@ -11,7 +11,7 @@ LIST_SIZES = tuple(range(10_000, 100_001, 10_000))
 
 def test_fig4a_method_invocations(benchmark, record_table):
     table = run_once(benchmark, run_fig4a, counts=COUNTS)
-    record_table("fig4a_rmi", table.format())
+    record_table("fig4a_rmi", table.format(), table=table)
 
     out_in = table.mean_ratio("proxy-out->in", "concrete-out")
     in_out = table.mean_ratio("proxy-in->out", "concrete-in")
@@ -26,7 +26,7 @@ def test_fig4b_serialization(benchmark, record_table):
     table = run_once(
         benchmark, run_fig4b, list_sizes=LIST_SIZES, invocations=10_000
     )
-    record_table("fig4b_serialization", table.format())
+    record_table("fig4b_serialization", table.format(), table=table)
 
     # Paper: ~10x for in-enclave RMIs, ~3x for out-of-enclave RMIs.
     mid = LIST_SIZES[len(LIST_SIZES) // 3]

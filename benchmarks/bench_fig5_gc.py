@@ -9,7 +9,7 @@ COUNTS = tuple(range(50_000, 500_001, 50_000))
 
 def test_fig5a_gc_performance(benchmark, record_table):
     table = run_once(benchmark, run_fig5a, counts=COUNTS)
-    record_table("fig5a_gc_performance", table.format())
+    record_table("fig5a_gc_performance", table.format(), table=table)
 
     # Paper: the enclave adds about an order of magnitude of GC time.
     ratio = table.mean_ratio("concrete-in: GC in", "concrete-out: GC out")
@@ -20,7 +20,7 @@ def test_fig5b_gc_consistency(benchmark, record_table):
     table = run_once(
         benchmark, run_fig5b, duration_s=60.0, batch=500, create_phase_s=30.0
     )
-    record_table("fig5b_gc_consistency", table.format(y_format="{:.0f}"))
+    record_table("fig5b_gc_consistency", table.format(y_format="{:.0f}"), table=table)
 
     proxies = table.get("proxy-objs-out")
     mirrors = table.get("mirror-objs-in")

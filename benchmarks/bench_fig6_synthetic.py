@@ -11,7 +11,7 @@ def test_fig6_synthetic(benchmark, record_table):
     table = run_once(
         benchmark, run_fig6, percentages=PERCENTAGES, n_classes=100
     )
-    record_table("fig6_synthetic", table.format(y_format="{:.4f}"))
+    record_table("fig6_synthetic", table.format(y_format="{:.4f}"), table=table)
 
     for name in ("cpu intensive", "io intensive"):
         series = table.get(name)

@@ -9,7 +9,7 @@ KEY_COUNTS = (10_000, 30_000, 50_000, 70_000, 90_000)
 
 def test_fig7_paldb(benchmark, record_table):
     table = run_once(benchmark, run_fig7, key_counts=KEY_COUNTS)
-    record_table("fig7_paldb", table.format(y_format="{:.3f}"))
+    record_table("fig7_paldb", table.format(y_format="{:.3f}"), table=table)
 
     # Paper: RTWU ~2.5x and RUWT ~1.04x faster than the unpartitioned
     # image; NoSGX is the (insecure) ceiling.

@@ -15,7 +15,7 @@ def test_fig9_graphchi(benchmark, record_table):
     text = "\n\n".join(
         table.format(y_format="{:.3f}") for table in results.values()
     )
-    record_table("fig9_graphchi", text)
+    record_table("fig9_graphchi", text, table=list(results.values()))
 
     for (n_vertices, n_edges), table in results.items():
         gain = table.mean_ratio("NoPart-NI", "Part-NI")

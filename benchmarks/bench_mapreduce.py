@@ -9,7 +9,7 @@ LINE_COUNTS = (200, 600, 1_200)
 
 def test_mapreduce_deployments(benchmark, record_table):
     table = run_once(benchmark, run_mapreduce, line_counts=LINE_COUNTS)
-    record_table("mapreduce", table.format(y_format="{:.4f}"))
+    record_table("mapreduce", table.format(y_format="{:.4f}"), table=table)
 
     part = table.get("Part (map/reduce in enclave)")
     unpart = table.get("Unpart (all in enclave)")

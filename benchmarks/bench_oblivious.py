@@ -44,7 +44,7 @@ def run_oblivious_cost(sizes=SIZES) -> ExperimentTable:
 
 def test_oblivious_cost(benchmark, record_table):
     table = run_once(benchmark, run_oblivious_cost, sizes=SIZES)
-    record_table("oblivious_cost", table.format(y_format="{:.6f}"))
+    record_table("oblivious_cost", table.format(y_format="{:.6f}"), table=table)
 
     enclave = table.get("oblivious sort (enclave)").ys()
     host = table.get("oblivious sort (host)").ys()

@@ -9,7 +9,7 @@ ENTRY_COUNTS = (500, 1_000, 2_000)
 
 def test_securekeeper_partitioning(benchmark, record_table):
     table = run_once(benchmark, run_securekeeper, entry_counts=ENTRY_COUNTS)
-    record_table("securekeeper", table.format(y_format="{:.4f}"))
+    record_table("securekeeper", table.format(y_format="{:.4f}"), table=table)
 
     # Per-operation RMIs are 10^2 us (§6.3): plain partitioning loses
     # to running everything in the enclave on this chatty workload...

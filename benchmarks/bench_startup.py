@@ -7,7 +7,7 @@ from repro.experiments.startup import run_build_time_init, run_startup
 
 def test_startup_native_image_vs_jvm(benchmark, record_table):
     table = run_once(benchmark, run_startup)
-    record_table("startup", table.format(y_format="{:.4f}"))
+    record_table("startup", table.format(y_format="{:.4f}"), table=table)
 
     # §2.2's claims: quicker startup, lower footprint.
     assert table.get("Part-NI").y_at(0) < table.get("NoSGX+JVM").y_at(0) / 100
@@ -19,7 +19,7 @@ def test_startup_native_image_vs_jvm(benchmark, record_table):
 
 def test_build_time_initialisation(benchmark, record_table):
     table = run_once(benchmark, run_build_time_init)
-    record_table("build_time_init", table.format(y_format="{:.4f}"))
+    record_table("build_time_init", table.format(y_format="{:.4f}"), table=table)
 
     series = table.get("startup seconds")
     # Initialise once at build: startup skips the parsing entirely.

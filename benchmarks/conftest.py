@@ -2,10 +2,18 @@
 
 Each ``bench_*``/``test_*`` function regenerates one of the paper's
 figures or tables at (scaled) paper size, prints it, and stores the
-text under ``benchmarks/results/`` so the artifacts survive the run.
-pytest-benchmark wraps the experiment for wall-clock reporting; every
-experiment runs a single round — the numbers that matter are the
-*virtual* times inside the tables.
+artifacts under ``benchmarks/results/``:
+
+- ``<name>.txt`` — the human-readable table (as before);
+- ``<name>.json`` — a machine-readable run artifact (table rows, the
+  merged cost-ledger snapshot, and the observability metrics of the
+  run), so the benchmark trajectory is diffable across PRs.
+
+A :class:`~repro.obs.recorder.RunRecorder` is active for every
+benchmark, attaching the span tracer + metrics registry to each
+platform the experiment creates. pytest-benchmark wraps the experiment
+for wall-clock reporting; every experiment runs a single round — the
+numbers that matter are the *virtual* times inside the tables.
 """
 
 import os
@@ -15,18 +23,56 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import pytest
 
+from repro.obs import artifacts as obs_artifacts
+from repro.obs.recorder import RunRecorder, activate, deactivate
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
-@pytest.fixture()
-def record_table():
-    """Print an ExperimentTable and persist it under benchmarks/results."""
+@pytest.fixture(autouse=True)
+def obs_recorder():
+    """Record observability for every platform a benchmark creates."""
+    recorder = RunRecorder()
+    activate(recorder)
+    try:
+        yield recorder
+    finally:
+        deactivate()
 
-    def _record(name: str, text: str) -> None:
+
+@pytest.fixture()
+def record_table(obs_recorder, request):
+    """Print an ExperimentTable and persist text + JSON artifacts.
+
+    ``_record(name, text, table=...)`` — pass the ExperimentTable (or a
+    list of tables) when available so the JSON artifact carries the
+    rows; the ledger snapshot and metrics come from the active
+    recorder either way.
+    """
+
+    def _record(name: str, text: str, table=None) -> None:
         os.makedirs(RESULTS_DIR, exist_ok=True)
         path = os.path.join(RESULTS_DIR, f"{name}.txt")
         with open(path, "w") as handle:
             handle.write(text + "\n")
+
+        tables = []
+        if table is not None:
+            tables = list(table) if isinstance(table, (list, tuple)) else [table]
+        artifact = obs_artifacts.run_artifact(
+            name,
+            tables=tables,
+            ledger=obs_recorder.merged_ledger_snapshot(),
+            metrics=obs_recorder.merged_metrics().snapshot(),
+            extra={
+                "source": request.node.nodeid,
+                "crosscheck_mismatches": obs_recorder.crosscheck(),
+            },
+        )
+        obs_artifacts.write_artifact(
+            os.path.join(RESULTS_DIR, f"{name}.json"), artifact
+        )
+
         print()
         print(text)
 

@@ -6,9 +6,21 @@ Usage::
     python -m repro fig3 [--scale small|paper]
     python -m repro table1
     python -m repro ablations
+    python -m repro fig4a --trace trace.json --metrics metrics.json
 
 ``--scale small`` (the default) runs a quick, scaled-down sweep;
 ``--scale paper`` uses the paper's parameter ranges.
+
+Observability flags (any of them activates a
+:class:`~repro.obs.recorder.RunRecorder` spanning the whole run):
+
+- ``--trace PATH``    Chrome trace_event JSON (open in Perfetto)
+- ``--events PATH``   raw span stream as JSONL
+- ``--metrics PATH``  merged metrics + ledger snapshot + cross-check
+- ``--obs-summary``   print a per-span-name summary table after the run
+
+Without these flags no tracer is attached and the experiment output is
+byte-identical to a build without the observability layer.
 """
 
 from __future__ import annotations
@@ -163,22 +175,70 @@ def build_parser() -> argparse.ArgumentParser:
         default="small",
         help="parameter scale (default: small, quick sweep)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace_event JSON file (Perfetto-loadable)",
+    )
+    parser.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help="write the raw span stream as JSONL",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write merged metrics + ledger snapshot JSON",
+    )
+    parser.add_argument(
+        "--obs-summary",
+        action="store_true",
+        help="print a per-span summary table after the experiment",
+    )
     return parser
 
 
-def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+def _run(args) -> None:
     if args.experiment == "list":
         for name in sorted(COMMANDS):
             print(name)
-        return 0
+        return
     if args.experiment == "all":
         for name in sorted(COMMANDS):
             print(f"==== {name} ====")
             COMMANDS[name](args.scale)
             print()
-        return 0
+        return
     COMMANDS[args.experiment](args.scale)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    wants_obs = args.trace or args.events or args.metrics or args.obs_summary
+    if not wants_obs:
+        _run(args)
+        return 0
+
+    from repro.obs.recorder import RunRecorder, recording
+
+    recorder = RunRecorder()
+    with recording(recorder):
+        _run(args)
+    if args.trace:
+        recorder.write_chrome_trace(args.trace)
+        print(f"trace: {args.trace}", file=sys.stderr)
+    if args.events:
+        lines = recorder.write_jsonl(args.events)
+        print(f"events: {args.events} ({lines} lines)", file=sys.stderr)
+    if args.metrics:
+        recorder.write_metrics(args.metrics)
+        print(f"metrics: {args.metrics}", file=sys.stderr)
+    if args.obs_summary:
+        print()
+        print(recorder.summary())
     return 0
 
 

@@ -57,20 +57,37 @@ class GcHelper:
         """
         if collect_python_garbage:
             _python_gc.collect()
-        state = self.runtime.state_of(self.side)
-        entries = len(state.tracker)
-        if entries:
-            self.runtime.platform.charge_cycles(
-                f"gc_helper.scan.{self.side.value}", entries * _SCAN_ENTRY_CYCLES
+        platform = self.runtime.platform
+        obs = platform.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.start_span(
+                "gc.helper.scan", attrs={"side": self.side.value}
             )
-        dead = state.tracker.scan()
-        self.stats.scans += 1
-        self.stats.dead_found += len(dead)
-        if not dead:
-            return 0
-        released = self.runtime.release_remote(self.side, dead)
-        self.stats.mirrors_released += released
-        return released
+        try:
+            state = self.runtime.state_of(self.side)
+            entries = len(state.tracker)
+            if entries:
+                platform.charge_cycles(
+                    f"gc_helper.scan.{self.side.value}", entries * _SCAN_ENTRY_CYCLES
+                )
+            dead = state.tracker.scan()
+            self.stats.scans += 1
+            self.stats.dead_found += len(dead)
+            if span is not None:
+                span.set_attr("entries", entries)
+                span.set_attr("dead", len(dead))
+            if not dead:
+                return 0
+            released = self.runtime.release_remote(self.side, dead)
+            self.stats.mirrors_released += released
+            if span is not None:
+                span.set_attr("released", released)
+            return released
+        finally:
+            if span is not None:
+                obs.tracer.end_span(span)
+                obs.metrics.counter("gc.helper.scans").inc()
 
     def maybe_scan(self) -> int:
         """Scan only if a full period of virtual time has elapsed."""

@@ -103,7 +103,13 @@ def _all_methods(cls: type) -> Dict[str, Any]:
 def _forwarding_method(name: str):
     def forward(self: Any, *args: Any, **kwargs: Any) -> Any:
         runtime = getattr(self, RUNTIME_ATTR)
-        return runtime.invoke(self, name, args, kwargs)
+        obs = runtime.platform.obs
+        if obs is None:
+            return runtime.invoke(self, name, args, kwargs)
+        with obs.tracer.span(
+            "proxy.call", attrs={"class": type(self).__name__, "method": name}
+        ):
+            return runtime.invoke(self, name, args, kwargs)
 
     forward.__name__ = name
     forward.__qualname__ = f"proxy.{name}"

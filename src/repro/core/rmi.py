@@ -146,6 +146,20 @@ class RmiRuntime:
     def _create_remote(
         self, cls: type, home: Side, args: Tuple[Any, ...], kwargs: Dict[str, Any]
     ) -> Any:
+        obs = self.platform.obs
+        if obs is None:
+            return self._create_remote_impl(cls, home, args, kwargs)
+        with obs.tracer.span(
+            "rmi.new",
+            attrs={"class": cls.__name__, "home": home.value},
+        ):
+            proxy = self._create_remote_impl(cls, home, args, kwargs)
+        obs.metrics.counter("rmi.proxies_created").inc()
+        return proxy
+
+    def _create_remote_impl(
+        self, cls: type, home: Side, args: Tuple[Any, ...], kwargs: Dict[str, Any]
+    ) -> Any:
         caller = self.current_side
         rmi_costs = self.platform.cost_model.rmi
         self.platform.charge_cycles(
@@ -184,7 +198,6 @@ class RmiRuntime:
         target: Side = getattr(proxy, SIDE_ATTR)
         remote_hash: int = getattr(proxy, HASH_ATTR)
         caller = self.current_side
-        rmi_costs = self.platform.cost_model.rmi
 
         if caller is target:
             # The proxy crossed back to its mirror's own side; dispatch
@@ -192,8 +205,43 @@ class RmiRuntime:
             mirror = self.mirror_state(target, remote_hash).registry.get(remote_hash)
             return getattr(mirror, method_name)(*args, **kwargs)
 
-        encoded_args, encoded_kwargs, payload = self._encode_call(args, kwargs, caller)
         class_name = type(proxy).__name__.replace("Proxy", "")
+        obs = self.platform.obs
+        if obs is None:
+            return self._invoke_remote(
+                class_name, method_name, args, kwargs, caller, target, remote_hash, None
+            )
+        with obs.tracer.span(
+            "rmi.invoke",
+            attrs={
+                "class": class_name,
+                "method": method_name,
+                "caller": caller.value,
+                "target": target.value,
+            },
+        ) as span:
+            result = self._invoke_remote(
+                class_name, method_name, args, kwargs, caller, target, remote_hash, span
+            )
+        obs.metrics.counter("rmi.invocations").inc()
+        obs.metrics.histogram("rmi.invoke_ns").observe(span.duration_ns)
+        return result
+
+    def _invoke_remote(
+        self,
+        class_name: str,
+        method_name: str,
+        args: Tuple[Any, ...],
+        kwargs: Dict[str, Any],
+        caller: Side,
+        target: Side,
+        remote_hash: int,
+        span: Optional[Any],
+    ) -> Any:
+        rmi_costs = self.platform.cost_model.rmi
+        encoded_args, encoded_kwargs, payload = self._encode_call(args, kwargs, caller)
+        if span is not None:
+            span.set_attr("payload_bytes", payload)
 
         def relay_method() -> Any:
             with self.on_side(target):
@@ -224,20 +272,41 @@ class RmiRuntime:
         func = getattr(cls, method_name)
         if caller is home:
             return func(*args, **kwargs)
-        encoded_args, encoded_kwargs, payload = self._encode_call(args, kwargs, caller)
+        obs = self.platform.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.start_span(
+                "rmi.invoke_static",
+                attrs={
+                    "class": cls.__name__,
+                    "method": method_name,
+                    "caller": caller.value,
+                    "target": home.value,
+                },
+            )
+        try:
+            encoded_args, encoded_kwargs, payload = self._encode_call(
+                args, kwargs, caller
+            )
+            if span is not None:
+                span.set_attr("payload_bytes", payload)
 
-        def relay_static() -> Any:
-            with self.on_side(home):
-                decoded_args, decoded_kwargs = self._decode_call(
-                    encoded_args, encoded_kwargs, home
-                )
-                result = func(*decoded_args, **decoded_kwargs)
-                return self._encode_value(result, home)
+            def relay_static() -> Any:
+                with self.on_side(home):
+                    decoded_args, decoded_kwargs = self._decode_call(
+                        encoded_args, encoded_kwargs, home
+                    )
+                    result = func(*decoded_args, **decoded_kwargs)
+                    return self._encode_value(result, home)
 
-        encoded_result = self._cross(
-            caller, home, f"relay_{cls.__name__}_{method_name}", relay_static, payload
-        )
-        return self._decode_value(encoded_result, caller)
+            encoded_result = self._cross(
+                caller, home, f"relay_{cls.__name__}_{method_name}", relay_static, payload
+            )
+            return self._decode_value(encoded_result, caller)
+        finally:
+            if span is not None:
+                obs.tracer.end_span(span)
+                obs.metrics.counter("rmi.static_invocations").inc()
 
     # -- GC-helper support ----------------------------------------------------------
 
@@ -268,9 +337,20 @@ class RmiRuntime:
             return released
 
         with self.on_side(dead_side):
-            return self._cross(
-                dead_side, opposite, "gc_release", release, payload=8 * len(dead_list)
-            )
+            obs = self.platform.obs
+            if obs is None:
+                return self._cross(
+                    dead_side, opposite, "gc_release", release, payload=8 * len(dead_list)
+                )
+            with obs.tracer.span(
+                "rmi.gc_release",
+                attrs={"dead_side": dead_side.value, "dead": len(dead_list)},
+            ):
+                released = self._cross(
+                    dead_side, opposite, "gc_release", release, payload=8 * len(dead_list)
+                )
+            obs.metrics.counter("rmi.mirrors_released").inc(released)
+            return released
 
     # -- encoding -------------------------------------------------------------------
 

@@ -50,11 +50,7 @@ class SerializationCodec:
                 if len(self._cache) > 64:
                     self._cache.clear()
                 self._cache[id(value)] = buffer
-        rmi = self.platform.cost_model.rmi
-        cycles = rmi.serialize_fixed_cycles + len(buffer) * rmi.serialize_byte_cycles
-        if location is Location.ENCLAVE:
-            cycles *= rmi.enclave_serialize_multiplier
-        self.platform.charge_cycles(f"rmi.serialize.{location.value}", cycles)
+        self._charge_codec("encode", "serialize", len(buffer), location)
         return buffer
 
     def deserialize(self, buffer: bytes, location: Location) -> Any:
@@ -71,12 +67,42 @@ class SerializationCodec:
                 ) from exc
             if self._memoize and len(buffer) > 1024:
                 self._cache[buffer] = value
-        rmi = self.platform.cost_model.rmi
-        cycles = rmi.serialize_fixed_cycles + len(buffer) * rmi.deserialize_byte_cycles
-        if location is Location.ENCLAVE:
-            cycles *= rmi.enclave_deserialize_multiplier
-        self.platform.charge_cycles(f"rmi.deserialize.{location.value}", cycles)
+        self._charge_codec("decode", "deserialize", len(buffer), location)
         return value
+
+    def _charge_codec(
+        self, op: str, direction: str, nbytes: int, location: Location
+    ) -> None:
+        """Charge one encode/decode, wrapped in a ``ser.*`` span.
+
+        The span covers exactly the virtual time the codec charges; the
+        actual byte work happens outside it (it costs no virtual time).
+        """
+        rmi = self.platform.cost_model.rmi
+        per_byte = (
+            rmi.serialize_byte_cycles
+            if direction == "serialize"
+            else rmi.deserialize_byte_cycles
+        )
+        cycles = rmi.serialize_fixed_cycles + nbytes * per_byte
+        if location is Location.ENCLAVE:
+            multiplier = (
+                rmi.enclave_serialize_multiplier
+                if direction == "serialize"
+                else rmi.enclave_deserialize_multiplier
+            )
+            cycles *= multiplier
+        category = f"rmi.{direction}.{location.value}"
+        obs = self.platform.obs
+        if obs is None:
+            self.platform.charge_cycles(category, cycles)
+            return
+        with obs.tracer.span(
+            f"ser.{op}", attrs={"bytes": nbytes, "location": location.value}
+        ):
+            self.platform.charge_cycles(category, cycles)
+        obs.metrics.counter(f"ser.{op}s").inc()
+        obs.metrics.counter(f"ser.{op}d_bytes").inc(nbytes)
 
     def measure(self, value: Any) -> int:
         """Size in bytes ``value`` would serialize to (no cost charged)."""
@@ -106,22 +132,14 @@ class WireSerializationCodec(SerializationCodec):
                 if len(self._cache) > 64:
                     self._cache.clear()
                 self._cache[id(value)] = buffer
-        rmi = self.platform.cost_model.rmi
-        cycles = rmi.serialize_fixed_cycles + len(buffer) * rmi.serialize_byte_cycles
-        if location is Location.ENCLAVE:
-            cycles *= rmi.enclave_serialize_multiplier
-        self.platform.charge_cycles(f"rmi.serialize.{location.value}", cycles)
+        self._charge_codec("encode", "serialize", len(buffer), location)
         return buffer
 
     def deserialize(self, buffer: bytes, location: Location) -> Any:
         from repro.core import wire
 
         value = wire.loads(buffer)
-        rmi = self.platform.cost_model.rmi
-        cycles = rmi.serialize_fixed_cycles + len(buffer) * rmi.deserialize_byte_cycles
-        if location is Location.ENCLAVE:
-            cycles *= rmi.enclave_deserialize_multiplier
-        self.platform.charge_cycles(f"rmi.deserialize.{location.value}", cycles)
+        self._charge_codec("decode", "deserialize", len(buffer), location)
         return value
 
     def measure(self, value: Any) -> int:

@@ -7,7 +7,7 @@ the entire reproduction can be re-calibrated from a single file.
 """
 
 from repro.costs.clock import VirtualClock
-from repro.costs.ledger import CostLedger, LedgerEntry
+from repro.costs.ledger import CostLedger, LedgerEntry, LedgerEntryView
 from repro.costs.machine import MachineSpec, XEON_E3_1270
 from repro.costs.model import CostModel, DEFAULT_COST_MODEL
 from repro.costs.platform import Platform, fresh_platform
@@ -17,6 +17,7 @@ __all__ = [
     "VirtualClock",
     "CostLedger",
     "LedgerEntry",
+    "LedgerEntryView",
     "MachineSpec",
     "XEON_E3_1270",
     "CostModel",

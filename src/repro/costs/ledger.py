@@ -14,7 +14,7 @@ from typing import Dict, Iterator, Mapping, Optional, Tuple
 
 @dataclass
 class LedgerEntry:
-    """Accumulated cost for one category."""
+    """Accumulated cost for one category (internal, mutable)."""
 
     count: int = 0
     total_ns: float = 0.0
@@ -26,6 +26,23 @@ class LedgerEntry:
     def merge(self, other: "LedgerEntry") -> None:
         self.count += other.count
         self.total_ns += other.total_ns
+
+
+@dataclass(frozen=True)
+class LedgerEntryView:
+    """Immutable snapshot of one category's accumulated cost.
+
+    Returned by :meth:`CostLedger.entry` so callers can never mutate
+    ledger state through it — previously an unknown category returned a
+    fresh mutable entry whose mutations were silently lost.
+    """
+
+    count: int = 0
+    total_ns: float = 0.0
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.count if self.count else 0.0
 
 
 class CostLedger:
@@ -47,9 +64,16 @@ class CostLedger:
             self._entries[category] = entry
         entry.add(ns)
 
-    def entry(self, category: str) -> LedgerEntry:
-        """Exact-category entry (zero entry if never charged)."""
-        return self._entries.get(category, LedgerEntry())
+    def entry(self, category: str) -> LedgerEntryView:
+        """Immutable exact-category view (zero view if never charged).
+
+        This is a copy, not a live reference: later charges to the
+        category are not reflected in a previously returned view.
+        """
+        entry = self._entries.get(category)
+        if entry is None:
+            return LedgerEntryView()
+        return LedgerEntryView(count=entry.count, total_ns=entry.total_ns)
 
     def total_ns(self, prefix: str = "") -> float:
         """Total nanoseconds across all categories under ``prefix``."""

@@ -7,12 +7,20 @@ virtual clock and records the amount in the ledger under a category.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Mapping, Optional, Tuple
 
 from repro.costs.clock import ClockSpan, VirtualClock
 from repro.costs.ledger import CostLedger
 from repro.costs.machine import MachineSpec, XEON_E3_1270
 from repro.costs.model import CostModel, DEFAULT_COST_MODEL
+from repro.obs.recorder import attach_platform
+from repro.obs.tracer import NULL_TRACER
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.core import Observability
+
+#: Signature of a charge observer: (category, ns, now_ns).
+ChargeObserver = Callable[[str, float, float], None]
 
 
 class Platform:
@@ -27,6 +35,12 @@ class Platform:
         self.cost_model = cost_model
         self.clock = VirtualClock()
         self.ledger = CostLedger()
+        #: Active observability bundle, or None (the zero-cost default).
+        self.obs: Optional["Observability"] = None
+        # A tuple, not a list: iteration over the common empty case is
+        # free and observers are registered once, not churned.
+        self._charge_observers: Tuple[ChargeObserver, ...] = ()
+        attach_platform(self)
 
     def charge_cycles(self, category: str, cycles: float) -> float:
         """Charge ``cycles`` CPU cycles to ``category``; returns ns charged."""
@@ -39,7 +53,55 @@ class Platform:
             raise ValueError(f"cannot charge negative time: {ns}")
         self.clock.advance_ns(ns)
         self.ledger.charge(category, ns)
+        if self._charge_observers:
+            now_ns = self.clock.now_ns
+            for observer in self._charge_observers:
+                observer(category, ns, now_ns)
         return ns
+
+    # -- observability --------------------------------------------------------
+
+    def add_charge_observer(self, observer: ChargeObserver) -> None:
+        """Subscribe to every charge (category, ns, clock-after)."""
+        self._charge_observers += (observer,)
+
+    def remove_charge_observer(self, observer: ChargeObserver) -> None:
+        self._charge_observers = tuple(
+            o for o in self._charge_observers if o is not observer
+        )
+
+    def enable_observability(
+        self,
+        obs: Optional["Observability"] = None,
+        ring_capacity: Optional[int] = None,
+        label: str = "",
+    ) -> "Observability":
+        """Attach (or return the existing) observability bundle.
+
+        Idempotent: the first call installs a tracer + metrics registry
+        and registers its charge mirror; later calls return the same
+        bundle. Observability never advances the virtual clock, so
+        enabling it does not change any figure.
+        """
+        if self.obs is None:
+            if obs is None:
+                from repro.obs.core import Observability
+                from repro.obs.tracer import DEFAULT_RING_CAPACITY
+
+                obs = Observability(
+                    self.clock,
+                    ring_capacity=ring_capacity or DEFAULT_RING_CAPACITY,
+                    label=label,
+                )
+            self.obs = obs
+            self.add_charge_observer(obs.on_charge)
+        return self.obs
+
+    @property
+    def tracer(self):
+        """The active span tracer, or the shared no-op tracer."""
+        obs = self.obs
+        return obs.tracer if obs is not None else NULL_TRACER
 
     def measure(self) -> ClockSpan:
         """Span anchored at the current virtual instant."""

@@ -1,0 +1,105 @@
+"""Machine-readable run artifacts.
+
+An *artifact* is the JSON sibling of a figure's text table: the same
+rows plus the ledger snapshot and metrics of the run that produced
+them, under a versioned schema. Benchmarks write one per figure
+(``benchmarks/results/<name>.json``) so the trajectory of the
+reproduction is diffable across PRs, and the CLI writes one per
+experiment when asked (``--metrics``).
+
+Tables are duck-typed against
+:class:`~repro.experiments.common.ExperimentTable` (``title``,
+``x_label``, ``y_label``, ``series`` with ``name``/``points``) so this
+module needs no imports from the experiment layer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+SCHEMA = "repro.obs/artifact@1"
+
+
+def table_to_rows(table: Any) -> Dict[str, Any]:
+    """Flatten an ExperimentTable-like object into plain JSON data."""
+    return {
+        "title": getattr(table, "title", ""),
+        "x_label": getattr(table, "x_label", ""),
+        "y_label": getattr(table, "y_label", ""),
+        "notes": getattr(table, "notes", ""),
+        "series": [
+            {"name": series.name, "points": [[x, y] for x, y in series.points]}
+            for series in getattr(table, "series", [])
+        ],
+    }
+
+
+def run_artifact(
+    name: str,
+    tables: Sequence[Any] = (),
+    ledger: Optional[Mapping[str, Tuple[int, float]]] = None,
+    metrics: Optional[Mapping[str, Any]] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble one artifact document.
+
+    ``ledger`` is a ``CostLedger.snapshot()``-shaped mapping
+    (category -> (count, total_ns)); ``metrics`` a
+    ``MetricsRegistry.snapshot()`` mapping.
+    """
+    doc: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "name": name,
+        "tables": [table_to_rows(t) for t in tables],
+    }
+    if ledger is not None:
+        doc["ledger"] = {
+            category: {"count": count, "total_ns": total_ns}
+            for category, (count, total_ns) in sorted(ledger.items())
+        }
+    if metrics is not None:
+        doc["metrics"] = dict(metrics)
+    if extra:
+        doc.update(extra)
+    return doc
+
+
+def validate_artifact(doc: Any) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a well-formed artifact."""
+    if not isinstance(doc, dict):
+        raise ValueError("artifact must be a JSON object")
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"unknown artifact schema {doc.get('schema')!r}")
+    if not isinstance(doc.get("name"), str) or not doc["name"]:
+        raise ValueError("artifact needs a non-empty name")
+    tables = doc.get("tables", [])
+    if not isinstance(tables, list):
+        raise ValueError("artifact tables must be a list")
+    for i, table in enumerate(tables):
+        series: List[Any] = table.get("series", [])
+        for s in series:
+            if "name" not in s or "points" not in s:
+                raise ValueError(f"tables[{i}] has a series without name/points")
+            for point in s["points"]:
+                if len(point) != 2:
+                    raise ValueError(f"tables[{i}] series {s['name']!r} has a non-pair point")
+    ledger = doc.get("ledger")
+    if ledger is not None:
+        for category, entry in ledger.items():
+            if "count" not in entry or "total_ns" not in entry:
+                raise ValueError(f"ledger entry {category!r} lacks count/total_ns")
+
+
+def write_artifact(path: str, doc: Dict[str, Any]) -> None:
+    validate_artifact(doc)
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=False, default=str)
+        handle.write("\n")
+
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    with open(path) as handle:
+        doc = json.load(handle)
+    validate_artifact(doc)
+    return doc

@@ -1,0 +1,228 @@
+"""Exporters: Chrome trace_event JSON, JSONL event dumps, summary tables.
+
+The Chrome export follows the Trace Event Format's *complete* events
+(``"ph": "X"``): one record per finished span with microsecond
+timestamps derived from the virtual clock (1 virtual ns = 0.001 trace
+µs). Load the file in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``; each platform of a run appears as its own
+process, nested spans stack within a single track because the
+simulation is single-threaded per platform.
+
+Instant events (EPC faults, GC triggers) export as ``"ph": "i"``
+markers. The JSONL export is one self-describing JSON object per line —
+the raw span stream for ad-hoc analysis (``jq``, pandas).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.obs.core import Observability
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracer import Span
+
+#: Trace-event timestamps are microseconds; the tracer records ns.
+_NS_PER_US = 1_000.0
+
+
+# -- Chrome trace_event ------------------------------------------------------
+
+
+def chrome_trace_events(
+    events: Iterable[Span], pid: int = 1, tid: int = 1
+) -> List[Dict[str, Any]]:
+    """Convert a span stream into Chrome trace-event records."""
+    records: List[Dict[str, Any]] = []
+    for span in events:
+        if not span.closed:
+            continue
+        args = dict(span.attrs)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.kind == "instant":
+            records.append(
+                {
+                    "name": span.name,
+                    "ph": "i",
+                    "ts": span.start_ns / _NS_PER_US,
+                    "pid": pid,
+                    "tid": tid,
+                    "s": "t",
+                    "args": args,
+                }
+            )
+        else:
+            records.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": span.start_ns / _NS_PER_US,
+                    "dur": span.duration_ns / _NS_PER_US,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+    return records
+
+
+def chrome_trace(
+    sessions: Sequence[Tuple[str, Observability]],
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build a complete Chrome trace document.
+
+    ``sessions`` is ``[(label, observability), ...]``; each session
+    becomes one trace process (pid), named via a metadata event.
+    """
+    trace_events: List[Dict[str, Any]] = []
+    for pid, (label, obs) in enumerate(sessions, start=1):
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label or f"platform-{pid}"},
+            }
+        )
+        trace_events.extend(chrome_trace_events(obs.tracer.events(), pid=pid))
+    doc: Dict[str, Any] = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ns",
+        "metadata": {
+            "clock": "virtual-ns",
+            "generator": "repro.obs",
+        },
+    }
+    if metadata:
+        doc["metadata"].update(metadata)
+    return doc
+
+
+def validate_chrome_trace(doc: Any) -> None:
+    """Raise ``ValueError`` if ``doc`` is not a usable trace document.
+
+    Used by tests and the CI smoke job; checks the envelope, per-event
+    required fields, and that durations are non-negative.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document is missing the traceEvents list")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        phase = event.get("ph")
+        if phase not in ("X", "i", "M", "B", "E"):
+            raise ValueError(f"traceEvents[{i}] has unsupported phase {phase!r}")
+        if "name" not in event or "pid" not in event:
+            raise ValueError(f"traceEvents[{i}] lacks name/pid")
+        if phase == "X":
+            if "ts" not in event or "dur" not in event:
+                raise ValueError(f"traceEvents[{i}] complete event lacks ts/dur")
+            if event["dur"] < 0:
+                raise ValueError(f"traceEvents[{i}] has negative duration")
+
+
+def load_chrome_trace(path: str) -> Dict[str, Any]:
+    """Read + validate a trace file; returns the parsed document."""
+    with open(path) as handle:
+        doc = json.load(handle)
+    validate_chrome_trace(doc)
+    return doc
+
+
+def write_chrome_trace(path: str, doc: Dict[str, Any]) -> None:
+    validate_chrome_trace(doc)
+    with open(path, "w") as handle:
+        json.dump(doc, handle)
+        handle.write("\n")
+
+
+# -- JSONL event dump --------------------------------------------------------
+
+
+def jsonl_events(
+    sessions: Sequence[Tuple[str, Observability]]
+) -> Iterator[str]:
+    """One JSON object per line: the raw event stream of every session."""
+    for label, obs in sessions:
+        for span in obs.tracer.events():
+            record = span.to_dict()
+            record["session"] = label
+            yield json.dumps(record, default=str)
+
+
+def write_jsonl(path: str, sessions: Sequence[Tuple[str, Observability]]) -> int:
+    """Write the JSONL dump; returns the number of lines written."""
+    lines = 0
+    with open(path, "w") as handle:
+        for line in jsonl_events(sessions):
+            handle.write(line + "\n")
+            lines += 1
+    return lines
+
+
+# -- human summary -----------------------------------------------------------
+
+
+def span_summary(events: Iterable[Span]) -> Dict[str, Dict[str, Any]]:
+    """Aggregate a span stream by name: count, total, and a latency
+    histogram for percentile reporting."""
+    rows: Dict[str, Dict[str, Any]] = {}
+    for span in events:
+        if span.kind != "span" or not span.closed:
+            continue
+        row = rows.get(span.name)
+        if row is None:
+            row = {"count": 0, "total_ns": 0.0, "hist": Histogram(span.name)}
+            rows[span.name] = row
+        row["count"] += 1
+        row["total_ns"] += span.duration_ns
+        row["hist"].observe(span.duration_ns)
+    return rows
+
+
+def summary_table(
+    sessions: Sequence[Tuple[str, Observability]],
+    metrics: Optional[MetricsRegistry] = None,
+    top: Optional[int] = None,
+) -> str:
+    """Human-readable per-span-name table across all sessions."""
+    merged: Dict[str, Dict[str, Any]] = {}
+    instants = 0
+    for _, obs in sessions:
+        for name, row in span_summary(obs.tracer.events()).items():
+            into = merged.get(name)
+            if into is None:
+                merged[name] = row
+            else:
+                into["count"] += row["count"]
+                into["total_ns"] += row["total_ns"]
+                into["hist"].merge(row["hist"])
+        instants += sum(1 for e in obs.tracer.events() if e.kind == "instant")
+    ordered = sorted(merged.items(), key=lambda kv: kv[1]["total_ns"], reverse=True)
+    if top is not None:
+        ordered = ordered[:top]
+    lines = [
+        f"{'span':<28} {'count':>10} {'total_ms':>12} "
+        f"{'p50_us':>10} {'p95_us':>10} {'p99_us':>10}"
+    ]
+    for name, row in ordered:
+        hist: Histogram = row["hist"]
+        lines.append(
+            f"{name:<28} {row['count']:>10} {row['total_ns'] / 1e6:>12.3f} "
+            f"{hist.percentile(50) / 1e3:>10.2f} "
+            f"{hist.percentile(95) / 1e3:>10.2f} "
+            f"{hist.percentile(99) / 1e3:>10.2f}"
+        )
+    if instants:
+        lines.append(f"instant events: {instants}")
+    dropped = sum(obs.tracer.dropped for _, obs in sessions)
+    if dropped:
+        lines.append(f"ring buffer dropped {dropped} events (oldest first)")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Optional fine-grained instrumentation installers.
+
+Most subsystems consult ``platform.obs`` directly on their hot paths;
+the helpers here cover components that have no platform reference of
+their own (the raw :class:`~repro.sgx.epc.EpcPageCache`) or that want
+page-granular event streams beyond the default counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.core import Observability
+
+
+def install_epc_observer(cache: Any, obs: Observability) -> None:
+    """Stream per-page EPC faults/evictions into ``obs``.
+
+    ``cache`` is an :class:`~repro.sgx.epc.EpcPageCache`; its
+    ``observer`` hook fires as ``observer(kind, enclave_id, page)`` with
+    kind ``"fault"`` or ``"evict"``. Off by default because a paging
+    cliff run touches millions of pages — enable it for targeted
+    paging investigations, rely on the driver-level counters otherwise.
+    """
+
+    def observer(kind: str, enclave_id: int, page: int) -> None:
+        obs.metrics.counter(f"epc.cache.{kind}s").inc()
+        obs.tracer.instant(
+            f"epc.{kind}", attrs={"enclave": enclave_id, "page": page}
+        )
+
+    cache.observer = observer
+
+
+def remove_epc_observer(cache: Any) -> None:
+    cache.observer = None

@@ -1,0 +1,236 @@
+"""Metrics registry: counters, gauges and log-bucketed histograms.
+
+Metrics complement the :class:`~repro.costs.ledger.CostLedger`: the
+ledger is the *authoritative* virtual-time accounting, while metrics
+add shapes the ledger cannot express — call-rate counters kept by the
+instrumentation sites themselves, high-water gauges, and latency
+distributions (p50/p95/p99 over virtual nanoseconds) in geometric
+buckets. :meth:`Observability.crosscheck` verifies the two stay in
+exact agreement for every charged category.
+
+Histograms bucket by powers of two: ``observe(v)`` lands ``v`` in
+bucket ``floor(log2(v))``, covering ``[2^i, 2^(i+1))``. Percentiles are
+reconstructed by linear interpolation inside the crossing bucket and
+clamped to the exact observed min/max, so the error is bounded by the
+bucket width (a factor of two) and is zero at the extremes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonically increasing count (or sum, for float increments)."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Last-set value with high/low watermarks."""
+
+    __slots__ = ("name", "value", "max_seen", "min_seen")
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+        self.max_seen: Optional[float] = None
+        self.min_seen: Optional[float] = None
+
+    def set(self, value: Number) -> None:
+        self.value = value
+        if self.max_seen is None or value > self.max_seen:
+            self.max_seen = value
+        if self.min_seen is None or value < self.min_seen:
+            self.min_seen = value
+
+    def add(self, delta: Number) -> None:
+        self.set(self.value + delta)
+
+    def merge(self, other: "Gauge") -> None:
+        # Merging run segments: keep the widest watermarks, last value wins.
+        self.value = other.value
+        for extreme, pick in (("max_seen", max), ("min_seen", min)):
+            mine, theirs = getattr(self, extreme), getattr(other, extreme)
+            if theirs is not None:
+                setattr(self, extreme, theirs if mine is None else pick(mine, theirs))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"value": self.value, "max": self.max_seen, "min": self.min_seen}
+
+
+class Histogram:
+    """Power-of-two log-bucketed distribution of non-negative values."""
+
+    __slots__ = ("name", "count", "sum", "min", "max", "zeros", "_buckets")
+    kind = "histogram"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.zeros = 0  # values in [0, 1) get their own underflow bucket
+        self._buckets: Dict[int, int] = {}
+
+    @staticmethod
+    def bucket_index(value: float) -> int:
+        """Index i such that value lies in [2^i, 2^(i+1))."""
+        return int(math.floor(math.log2(value)))
+
+    @staticmethod
+    def bucket_bounds(index: int) -> Tuple[float, float]:
+        return (2.0 ** index, 2.0 ** (index + 1))
+
+    def observe(self, value: Number) -> None:
+        if value < 0:
+            raise ValueError(f"histogram {self.name!r} takes non-negative values")
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value < 1.0:
+            self.zeros += 1
+            return
+        index = self.bucket_index(value)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Approximate p-th percentile (p in [0, 100])."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be within [0, 100]")
+        if self.count == 0:
+            return 0.0
+        assert self.min is not None and self.max is not None
+        target = (p / 100.0) * self.count
+        cumulative = float(self.zeros)
+        if target <= cumulative:
+            # Inside the underflow bucket [0, 1): interpolate linearly.
+            fraction = target / cumulative if cumulative else 0.0
+            return self._clamp(fraction)
+        for index in sorted(self._buckets):
+            in_bucket = self._buckets[index]
+            if target <= cumulative + in_bucket:
+                lo, hi = self.bucket_bounds(index)
+                fraction = (target - cumulative) / in_bucket
+                return self._clamp(lo + fraction * (hi - lo))
+            cumulative += in_bucket
+        return self.max
+
+    def _clamp(self, value: float) -> float:
+        assert self.min is not None and self.max is not None
+        return min(self.max, max(self.min, value))
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.sum += other.sum
+        self.zeros += other.zeros
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max, other.max)
+        for index, n in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + n
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "buckets": {str(i): self._buckets[i] for i in sorted(self._buckets)},
+            "underflow": self.zeros,
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def _get(self, name: str, cls: type) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return metric
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in (same-named metrics must share kind)."""
+        for name, metric in other._metrics.items():
+            mine = self._get(name, type(metric))
+            mine.merge(metric)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-ready view: name -> {"kind": ..., **metric fields}."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            entry = {"kind": metric.kind}
+            entry.update(metric.to_dict())
+            out[name] = entry
+        return out
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._metrics)} metrics)"

@@ -1,0 +1,155 @@
+"""Run-scoped recorder: observability across every platform of a run.
+
+Experiments create :class:`~repro.costs.platform.Platform` instances
+deep inside their sweeps (one per figure point, sometimes), so
+observability cannot be enabled by hand at each site. A
+:class:`RunRecorder`, while *active*, is notified of every platform
+constructed and attaches an :class:`~repro.obs.core.Observability` to
+it; afterwards it can merge the sessions into one Chrome trace, one
+metrics document, and one ledger snapshot.
+
+The CLI's ``--trace``/``--metrics`` flags and the benchmark harness
+both drive this. When no recorder is active, platform construction
+stays untouched (the no-op default).
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.core import Observability
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import DEFAULT_RING_CAPACITY
+
+_active: Optional["RunRecorder"] = None
+
+
+def active_recorder() -> Optional["RunRecorder"]:
+    return _active
+
+
+def activate(recorder: "RunRecorder") -> None:
+    global _active
+    if _active is not None:
+        raise RuntimeError("a RunRecorder is already active")
+    _active = recorder
+
+
+def deactivate() -> None:
+    global _active
+    _active = None
+
+
+@contextmanager
+def recording(
+    recorder: Optional["RunRecorder"] = None,
+) -> Iterator["RunRecorder"]:
+    """``with recording() as rec:`` — record every platform in the block."""
+    rec = recorder or RunRecorder()
+    activate(rec)
+    try:
+        yield rec
+    finally:
+        deactivate()
+
+
+def attach_platform(platform: Any) -> None:
+    """Platform-construction hook (called by ``Platform.__init__``)."""
+    if _active is not None:
+        _active.attach(platform)
+
+
+class RunRecorder:
+    """Collects per-platform observability for one logical run."""
+
+    def __init__(self, ring_capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        self.ring_capacity = ring_capacity
+        #: (label, platform, observability) per attached platform.
+        self.sessions: List[Tuple[str, Any, Observability]] = []
+
+    def attach(self, platform: Any, label: str = "") -> Observability:
+        label = label or f"platform-{len(self.sessions) + 1}"
+        obs = platform.enable_observability(
+            ring_capacity=self.ring_capacity, label=label
+        )
+        if not any(existing is obs for _, _, existing in self.sessions):
+            self.sessions.append((label, platform, obs))
+        return obs
+
+    # -- merged views --------------------------------------------------------
+
+    def merged_metrics(self) -> MetricsRegistry:
+        merged = MetricsRegistry()
+        for _, _, obs in self.sessions:
+            merged.merge(obs.metrics)
+        return merged
+
+    def merged_ledger_snapshot(self) -> Dict[str, Tuple[int, float]]:
+        merged: Dict[str, Tuple[int, float]] = {}
+        for _, platform, _ in self.sessions:
+            for category, (count, total_ns) in platform.ledger.snapshot().items():
+                base_count, base_ns = merged.get(category, (0, 0.0))
+                merged[category] = (base_count + count, base_ns + total_ns)
+        return dict(sorted(merged.items()))
+
+    def crosscheck(self) -> List[str]:
+        """Per-session metrics-vs-ledger agreement (empty = exact)."""
+        problems: List[str] = []
+        for label, platform, obs in self.sessions:
+            for problem in obs.crosscheck(platform.ledger.snapshot()):
+                problems.append(f"{label}: {problem}")
+        return problems
+
+    # -- exports -------------------------------------------------------------
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        from repro.obs import export
+
+        return export.chrome_trace(
+            [(label, obs) for label, _, obs in self.sessions],
+            metadata={"sessions": len(self.sessions)},
+        )
+
+    def write_chrome_trace(self, path: str) -> None:
+        from repro.obs import export
+
+        export.write_chrome_trace(path, self.chrome_trace())
+
+    def write_jsonl(self, path: str) -> int:
+        from repro.obs import export
+
+        return export.write_jsonl(
+            path, [(label, obs) for label, _, obs in self.sessions]
+        )
+
+    def metrics_document(self) -> Dict[str, Any]:
+        """Merged metrics + ledger snapshot + cross-check verdict."""
+        return {
+            "schema": "repro.obs/metrics@1",
+            "sessions": [label for label, _, _ in self.sessions],
+            "metrics": self.merged_metrics().snapshot(),
+            "ledger": {
+                category: {"count": count, "total_ns": total_ns}
+                for category, (count, total_ns) in self.merged_ledger_snapshot().items()
+            },
+            "crosscheck_mismatches": self.crosscheck(),
+        }
+
+    def write_metrics(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.metrics_document(), handle, indent=2, default=str)
+            handle.write("\n")
+
+    def summary(self, top: Optional[int] = 20) -> str:
+        from repro.obs import export
+
+        return export.summary_table(
+            [(label, obs) for label, _, obs in self.sessions],
+            metrics=self.merged_metrics(),
+            top=top,
+        )
+
+    def __repr__(self) -> str:
+        return f"RunRecorder(sessions={len(self.sessions)})"

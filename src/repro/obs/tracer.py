@@ -1,0 +1,275 @@
+"""Virtual-time span tracer.
+
+Spans are nested intervals measured on the simulation's
+:class:`~repro.costs.clock.VirtualClock`: a span opened around an ecall
+covers exactly the virtual nanoseconds the cost model charged while it
+was open, so the trace decomposes a figure's total time the same way
+the ledger does — but with causal structure (which proxy call issued
+which ecall, which ecall triggered which EPC faults).
+
+Completed events live in a bounded ring buffer; once it is full, the
+oldest events are dropped (and counted) rather than growing without
+bound. Listeners registered with :meth:`SpanTracer.add_listener` see
+*every* completed span regardless of ring capacity — the
+:class:`~repro.sgx.profiler.TransitionProfiler` aggregates from that
+stream.
+
+The default tracer on every platform is :data:`NULL_TRACER`, whose
+operations do nothing and charge nothing: with observability disabled
+the virtual-time output of every experiment is unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+#: Default ring-buffer capacity (completed spans + instant events).
+DEFAULT_RING_CAPACITY = 65_536
+
+
+class Span:
+    """One completed or in-flight interval on the virtual clock."""
+
+    __slots__ = ("span_id", "parent_id", "name", "start_ns", "end_ns", "attrs", "kind")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        start_ns: float,
+        attrs: Optional[Dict[str, Any]] = None,
+        kind: str = "span",
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start_ns = start_ns
+        self.end_ns: Optional[float] = None
+        self.attrs = attrs if attrs is not None else {}
+        self.kind = kind
+
+    @property
+    def duration_ns(self) -> float:
+        """Virtual nanoseconds covered (0.0 while still open)."""
+        if self.end_ns is None:
+            return 0.0
+        return self.end_ns - self.start_ns
+
+    @property
+    def closed(self) -> bool:
+        return self.end_ns is not None
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:
+        state = f"dur={self.duration_ns:.0f}ns" if self.closed else "open"
+        return f"Span({self.name!r}, id={self.span_id}, {state})"
+
+
+class _SpanContext:
+    """``with tracer.span(...)`` support: starts on enter, ends on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer: "SpanTracer", name: str, attrs: Optional[Dict[str, Any]]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer.start_span(self._name, attrs=self._attrs)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._span is not None:
+            if exc_type is not None:
+                self._span.attrs.setdefault("error", exc_type.__name__)
+            self._tracer.end_span(self._span)
+
+
+class _NullSpan:
+    """Inert span: accepts the whole Span surface, records nothing."""
+
+    __slots__ = ()
+    span_id = 0
+    parent_id = None
+    name = ""
+    start_ns = 0.0
+    end_ns = 0.0
+    duration_ns = 0.0
+    closed = True
+    kind = "null"
+
+    @property
+    def attrs(self) -> Dict[str, Any]:
+        return {}
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """No-op tracer: the default when observability is disabled."""
+
+    enabled = False
+    dropped = 0
+
+    def span(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> _NullSpan:
+        return NULL_SPAN
+
+    def start_span(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> _NullSpan:
+        return NULL_SPAN
+
+    def end_span(self, span: Any) -> None:
+        pass
+
+    def instant(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> None:
+        pass
+
+    def add_listener(self, listener: Callable[[Span], None]) -> None:
+        pass
+
+    def remove_listener(self, listener: Callable[[Span], None]) -> None:
+        pass
+
+    def events(self) -> List[Span]:
+        return []
+
+    def finished_spans(self) -> List[Span]:
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+
+class SpanTracer:
+    """Nested-span tracer over a virtual clock.
+
+    ``clock`` only needs a ``now_ns`` attribute, so the tracer works
+    with :class:`~repro.costs.clock.VirtualClock` without importing it
+    (keeping ``repro.obs`` import-cycle-free below ``repro.costs``).
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Any, capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self._clock = clock
+        self._events: "deque[Span]" = deque(maxlen=capacity)
+        self._stack: List[Span] = []
+        self._next_id = 1
+        self._seq = 0
+        self.dropped = 0
+        self.misnested = 0
+        self._listeners: List[Callable[[Span], None]] = []
+
+    # -- recording ----------------------------------------------------------
+
+    def span(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> _SpanContext:
+        """Context manager: ``with tracer.span("rmi.invoke", attrs={...}):``."""
+        return _SpanContext(self, name, attrs)
+
+    def start_span(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> Span:
+        """Open a span at the current virtual instant."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(self._next_id, parent, name, self._clock.now_ns, attrs=attrs)
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def end_span(self, span: Span) -> None:
+        """Close ``span`` at the current virtual instant and commit it."""
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:
+            # Misnested close: drop the interlopers from the stack but
+            # keep their records intact (they stay open).
+            self.misnested += 1
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+            if self._stack:
+                self._stack.pop()
+        span.end_ns = self._clock.now_ns
+        self._commit(span)
+
+    def instant(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> Span:
+        """Record a zero-duration marker (EPC fault, GC trigger, ...)."""
+        parent = self._stack[-1].span_id if self._stack else None
+        now = self._clock.now_ns
+        span = Span(self._next_id, parent, name, now, attrs=attrs, kind="instant")
+        self._next_id += 1
+        span.end_ns = now
+        self._commit(span)
+        return span
+
+    def _commit(self, span: Span) -> None:
+        if self._events.maxlen is not None and len(self._events) == self._events.maxlen:
+            self.dropped += 1
+        self._events.append(span)
+        self._seq += 1
+        for listener in self._listeners:
+            listener(span)
+
+    # -- the span stream ----------------------------------------------------
+
+    def add_listener(self, listener: Callable[[Span], None]) -> None:
+        """Subscribe to every completed event, bypassing the ring limit."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[Span], None]) -> None:
+        self._listeners.remove(listener)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def sequence(self) -> int:
+        """Number of events committed so far (monotonic, ignores drops)."""
+        return self._seq
+
+    def events(self) -> List[Span]:
+        """All ring-buffered events (spans + instants), completion order."""
+        return list(self._events)
+
+    def finished_spans(self) -> List[Span]:
+        """Ring-buffered proper spans (excludes instants)."""
+        return [e for e in self._events if e.kind == "span"]
+
+    def open_spans(self) -> List[Span]:
+        return list(self._stack)
+
+    def iter_events(self) -> Iterator[Span]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanTracer(events={len(self._events)}, open={len(self._stack)}, "
+            f"dropped={self.dropped})"
+        )

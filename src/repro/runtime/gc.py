@@ -46,7 +46,24 @@ class SerialCopyGc:
         if self.ctx.in_enclave:
             cycles *= costs.enclave_multiplier
         location = self.ctx.location.value
-        ns = self.ctx.platform.charge_cycles(f"gc.{location}.{self.name}", cycles)
+        platform = self.ctx.platform
+        obs = platform.obs
+        if obs is None:
+            ns = platform.charge_cycles(f"gc.{location}.{self.name}", cycles)
+        else:
+            with obs.tracer.span(
+                "gc.collect",
+                attrs={
+                    "heap": self.name,
+                    "location": location,
+                    "live_bytes": live_bytes,
+                    "dead_bytes": dead_bytes,
+                },
+            ):
+                ns = platform.charge_cycles(f"gc.{location}.{self.name}", cycles)
+            obs.metrics.counter("gc.collections").inc()
+            obs.metrics.counter("gc.bytes_copied").inc(live_bytes)
+            obs.metrics.histogram(f"gc.pause_ns.{location}").observe(ns)
         self.stats.collections += 1
         self.stats.live_bytes_copied += live_bytes
         self.stats.dead_bytes_reclaimed += dead_bytes

@@ -83,9 +83,7 @@ class GenerationalGc:
         cycles = costs.cycle_fixed_cycles + survivors * costs.copy_byte_cycles
         if self.ctx.in_enclave:
             cycles *= costs.enclave_multiplier
-        ns = self.ctx.platform.charge_cycles(
-            f"gc.minor.{self.ctx.location.value}.{self.name}", cycles
-        )
+        ns = self._charge_collection("minor", cycles, survivors)
         self._nursery_used = 0
         self._old_used += survivors
         self.stats.minor_collections += 1
@@ -108,12 +106,27 @@ class GenerationalGc:
         )
         if self.ctx.in_enclave:
             cycles *= costs.enclave_multiplier
-        ns = self.ctx.platform.charge_cycles(
-            f"gc.major.{self.ctx.location.value}.{self.name}", cycles
-        )
+        ns = self._charge_collection("major", cycles, live)
         self._old_used = live
         self.stats.major_collections += 1
         self.stats.total_ns += ns
+        return ns
+
+    def _charge_collection(self, phase: str, cycles: float, copied_bytes: int) -> float:
+        """Charge one collection phase, wrapped in a ``gc.<phase>`` span."""
+        location = self.ctx.location.value
+        platform = self.ctx.platform
+        category = f"gc.{phase}.{location}.{self.name}"
+        obs = platform.obs
+        if obs is None:
+            return platform.charge_cycles(category, cycles)
+        with obs.tracer.span(
+            f"gc.{phase}",
+            attrs={"heap": self.name, "location": location, "copied_bytes": copied_bytes},
+        ):
+            ns = platform.charge_cycles(category, cycles)
+        obs.metrics.counter(f"gc.{phase}_collections").inc()
+        obs.metrics.histogram(f"gc.pause_ns.{location}").observe(ns)
         return ns
 
     # -- introspection ---------------------------------------------------------

@@ -34,11 +34,27 @@ class SgxDriver:
 
     def access(self, enclave_id: int, start_byte: int, nbytes: int) -> float:
         """Charge an enclave's memory access against the EPC; returns ns."""
+        evictions_before = self.epc.stats.evictions
         faults = self.epc.touch_range(enclave_id, start_byte, nbytes)
         if not faults:
             return 0.0
         cycles = faults * self.platform.cost_model.memory.epc_page_fault_cycles
-        ns = self.platform.charge_cycles("sgx.driver.page_fault", cycles)
+        obs = self.platform.obs
+        if obs is None:
+            ns = self.platform.charge_cycles("sgx.driver.page_fault", cycles)
+        else:
+            evictions = self.epc.stats.evictions - evictions_before
+            with obs.tracer.span(
+                "epc.page_fault",
+                attrs={
+                    "enclave": enclave_id,
+                    "faults": faults,
+                    "evictions": evictions,
+                },
+            ):
+                ns = self.platform.charge_cycles("sgx.driver.page_fault", cycles)
+            obs.metrics.counter("epc.faults").inc(faults)
+            obs.metrics.counter("epc.evictions").inc(evictions)
         self.stats.faults_serviced += faults
         self.stats.total_ns += ns
         return ns

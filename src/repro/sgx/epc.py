@@ -12,9 +12,14 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.errors import EpcError
+
+#: Optional page-event observer: ``observer(kind, enclave_id, page)``
+#: with kind ``"fault"`` or ``"evict"``. Installed by
+#: :func:`repro.obs.hooks.install_epc_observer`.
+PageObserver = Callable[[str, int, int], None]
 
 
 @dataclass
@@ -47,6 +52,7 @@ class EpcPageCache:
             raise EpcError("EPC smaller than one page")
         self.stats = EpcStats()
         self._resident: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+        self.observer: Optional[PageObserver] = None
 
     def touch(self, enclave_id: int, page: int) -> Tuple[bool, Optional[Tuple[int, int]]]:
         """Access one page.
@@ -65,6 +71,10 @@ class EpcPageCache:
             evicted, _ = self._resident.popitem(last=False)
             self.stats.evictions += 1
         self._resident[key] = None
+        if self.observer is not None:
+            self.observer("fault", enclave_id, page)
+            if evicted is not None:
+                self.observer("evict", evicted[0], evicted[1])
         return True, evicted
 
     def touch_range(self, enclave_id: int, start_byte: int, nbytes: int) -> int:

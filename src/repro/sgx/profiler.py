@@ -1,16 +1,26 @@
 """Transition profiler, after sgx-perf (Weichbrodt et al., cited §2.1).
 
-Wraps a :class:`TransitionLayer` to record per-routine call counts,
-payload volumes and latencies, then reports the hottest crossings and
-flags batching/switchless candidates — the analysis the paper's future
-work (transition-less calls for expensive RMIs) builds on.
+Consumes the :mod:`repro.obs` span stream to record per-routine call
+counts, payload volumes and latencies, then reports the hottest
+crossings and flags batching/switchless candidates — the analysis the
+paper's future work (transition-less calls for expensive RMIs) builds
+on.
+
+Attaching a profiler to a :class:`TransitionLayer` enables
+observability on the layer's platform (idempotently) and subscribes to
+the tracer's span stream: every ``sgx.ecall``/``sgx.ocall`` span of
+*this layer's enclave* is aggregated as it completes, whether the
+crossing was issued through the profiler's wrappers or directly on the
+layer. The subscription sees all spans regardless of ring-buffer
+capacity, so long runs never undercount.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple, TypeVar
 
+from repro.obs.tracer import Span
 from repro.sgx.transitions import TransitionLayer
 
 T = TypeVar("T")
@@ -18,6 +28,9 @@ T = TypeVar("T")
 #: A routine crossing more often than this per virtual second is a
 #: switchless-call candidate (sgx-perf's "frequent short ecalls" rule).
 SWITCHLESS_CANDIDATE_HZ = 1_000.0
+
+#: Span names the transition layer emits (kind is the suffix).
+_TRANSITION_SPANS = {"sgx.ecall": "ecall", "sgx.ocall": "ocall"}
 
 
 @dataclass
@@ -40,37 +53,43 @@ class RoutineProfile:
 
 
 class TransitionProfiler:
-    """Profiling proxy over a transition layer."""
+    """Span-stream aggregator over one transition layer."""
 
     def __init__(self, layer: TransitionLayer) -> None:
         self.layer = layer
         self.platform = layer.platform
         self._profiles: Dict[Tuple[str, str], RoutineProfile] = {}
         self._started_s = self.platform.now_s
+        self._enclave_id = layer.enclave.enclave_id
+        self._obs = self.platform.enable_observability()
+        self._obs.tracer.add_listener(self._on_span)
 
-    # -- instrumented crossings ---------------------------------------------------
+    def close(self) -> None:
+        """Stop consuming the span stream (profiles stay readable)."""
+        self._obs.tracer.remove_listener(self._on_span)
 
-    def ecall(self, name: str, body: Callable[[], T], payload_bytes: int = 0) -> T:
-        return self._timed("ecall", name, payload_bytes, lambda: self.layer.ecall(
-            name, body, payload_bytes=payload_bytes
-        ))
+    # -- span-stream consumption ----------------------------------------------
 
-    def ocall(self, name: str, body: Callable[[], T], payload_bytes: int = 0) -> T:
-        return self._timed("ocall", name, payload_bytes, lambda: self.layer.ocall(
-            name, body, payload_bytes=payload_bytes
-        ))
-
-    def _timed(self, kind: str, name: str, payload: int, run: Callable[[], T]) -> T:
-        span = self.platform.measure()
-        result = run()
+    def _on_span(self, span: Span) -> None:
+        kind = _TRANSITION_SPANS.get(span.name)
+        if kind is None or span.attrs.get("enclave") != self._enclave_id:
+            return
+        name = span.attrs.get("routine", "?")
         profile = self._profiles.get((kind, name))
         if profile is None:
             profile = RoutineProfile(name=name, kind=kind)
             self._profiles[(kind, name)] = profile
         profile.calls += 1
-        profile.payload_bytes += payload
-        profile.total_ns += span.elapsed_ns()
-        return result
+        profile.payload_bytes += span.attrs.get("payload_bytes", 0)
+        profile.total_ns += span.duration_ns
+
+    # -- instrumented crossings ---------------------------------------------------
+
+    def ecall(self, name: str, body: Callable[[], T], payload_bytes: int = 0) -> T:
+        return self.layer.ecall(name, body, payload_bytes=payload_bytes)
+
+    def ocall(self, name: str, body: Callable[[], T], payload_bytes: int = 0) -> T:
+        return self.layer.ocall(name, body, payload_bytes=payload_bytes)
 
     # -- analysis ------------------------------------------------------------------
 

@@ -72,6 +72,12 @@ class TransitionLayer:
                 f"SGX_ERROR_OUT_OF_TCS: {self._active_ecalls} ecalls active, "
                 f"enclave has {self.enclave.config.tcs_count} TCS slots"
             )
+        obs = self.platform.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.start_span(
+                "sgx.ecall", attrs=self._span_attrs(name, payload_bytes)
+            )
         self._charge("ecall", name, payload_bytes, attach_isolate)
         self.stats.ecalls += 1
         self.stats.bytes_in += payload_bytes
@@ -80,6 +86,11 @@ class TransitionLayer:
             return body()
         finally:
             self._active_ecalls -= 1
+            if span is not None:
+                obs.tracer.end_span(span)
+                obs.metrics.counter("sgx.ecalls").inc()
+                obs.metrics.counter("sgx.bytes_in").inc(payload_bytes)
+                obs.metrics.histogram("sgx.ecall_ns").observe(span.duration_ns)
 
     def ocall(
         self,
@@ -90,10 +101,31 @@ class TransitionLayer:
     ) -> T:
         """Exit the enclave, run ``body`` outside, return its result."""
         self.enclave.require_usable()
+        obs = self.platform.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.start_span(
+                "sgx.ocall", attrs=self._span_attrs(name, payload_bytes)
+            )
         self._charge("ocall", name, payload_bytes, attach_isolate)
         self.stats.ocalls += 1
         self.stats.bytes_out += payload_bytes
-        return body()
+        try:
+            return body()
+        finally:
+            if span is not None:
+                obs.tracer.end_span(span)
+                obs.metrics.counter("sgx.ocalls").inc()
+                obs.metrics.counter("sgx.bytes_out").inc(payload_bytes)
+                obs.metrics.histogram("sgx.ocall_ns").observe(span.duration_ns)
+
+    def _span_attrs(self, name: str, payload_bytes: int) -> dict:
+        return {
+            "routine": name,
+            "payload_bytes": payload_bytes,
+            "enclave": self.enclave.enclave_id,
+            "mode": "switchless" if self.switchless else "hw",
+        }
 
     # -- internals ------------------------------------------------------------
 
@@ -116,3 +148,7 @@ class TransitionLayer:
             cycles += trans.isolate_attach_cycles
         ns = self.platform.charge_cycles(category, cycles)
         self.stats.total_ns += ns
+        if self.switchless:
+            obs = self.platform.obs
+            if obs is not None:
+                obs.metrics.counter("sgx.switchless_calls").inc()
