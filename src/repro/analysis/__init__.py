@@ -1,0 +1,73 @@
+"""Static partition analysis: the build-time linter (§5.1, §5.3).
+
+Montsalvat's security argument is a *build-time* argument — annotated
+classes are properly encapsulated, only reachable code enters the
+enclave image, and boundary crossings are deliberate. This package
+checks those properties before a single virtual cycle is spent:
+
+>>> from repro.analysis import PartitionLinter
+>>> result = PartitionLinter().lint(BANK_CLASSES)  # doctest: +SKIP
+>>> result.exit_code  # doctest: +SKIP
+0
+
+See ``docs/ANALYSIS.md`` for the rule catalogue (MSV001–MSV005),
+suppression syntax and the static-vs-dynamic crossing workflow.
+"""
+
+from repro.analysis.diagnostics import (
+    ALL_CODES,
+    BOUNDARY_ESCAPE,
+    CHATTY_CROSSING,
+    DEAD_TCB,
+    ENCAPSULATION,
+    UNSERIALIZABLE_CROSSING,
+    Diagnostic,
+    Severity,
+)
+from repro.analysis.inference import AppModel, TypeVerdict, classify_annotation
+from repro.analysis.linter import (
+    LintResult,
+    PartitionLinter,
+    diff_candidates,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.report import format_text, to_dict, to_json
+from repro.analysis.rules import (
+    BoundaryEscapeRule,
+    ChattyCrossingRule,
+    DeadTcbRule,
+    EncapsulationRule,
+    Rule,
+    UnserializableCrossingRule,
+    default_rules,
+)
+
+__all__ = [
+    "ALL_CODES",
+    "BOUNDARY_ESCAPE",
+    "CHATTY_CROSSING",
+    "DEAD_TCB",
+    "ENCAPSULATION",
+    "UNSERIALIZABLE_CROSSING",
+    "AppModel",
+    "BoundaryEscapeRule",
+    "ChattyCrossingRule",
+    "DeadTcbRule",
+    "Diagnostic",
+    "EncapsulationRule",
+    "LintResult",
+    "PartitionLinter",
+    "Rule",
+    "Severity",
+    "TypeVerdict",
+    "UnserializableCrossingRule",
+    "classify_annotation",
+    "default_rules",
+    "diff_candidates",
+    "format_text",
+    "load_baseline",
+    "to_dict",
+    "to_json",
+    "write_baseline",
+]

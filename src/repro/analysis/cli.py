@@ -1,0 +1,182 @@
+"""``python -m repro lint`` — the partition linter's command line.
+
+Examples::
+
+    python -m repro lint                       # all bundled apps
+    python -m repro lint bank graphchi         # selected bundled apps
+    python -m repro lint --module myapp.classes
+    python -m repro lint --json --baseline lint-baseline.txt
+    python -m repro lint --write-baseline lint-baseline.txt
+
+Exits 1 when any unsuppressed error-severity finding remains, 0
+otherwise (warnings never fail the build; baseline them or fix them at
+leisure).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.analysis.linter import (
+    LintResult,
+    PartitionLinter,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.report import format_text, to_json
+from repro.analysis.rules import default_rules
+from repro.errors import PartitionError
+
+
+def _bank() -> Sequence[type]:
+    from repro.apps.bank import BANK_CLASSES
+
+    return BANK_CLASSES
+
+
+def _mapreduce() -> Sequence[type]:
+    from repro.apps.mapreduce import MAPREDUCE_CLASSES
+
+    return MAPREDUCE_CLASSES
+
+
+def _paldb_rtwu() -> Sequence[type]:
+    from repro.apps.paldb.workload import PALDB_RTWU_CLASSES
+
+    return PALDB_RTWU_CLASSES
+
+
+def _paldb_ruwt() -> Sequence[type]:
+    from repro.apps.paldb.workload import PALDB_RUWT_CLASSES
+
+    return PALDB_RUWT_CLASSES
+
+
+def _graphchi() -> Sequence[type]:
+    from repro.apps.graphchi import GRAPHCHI_CLASSES
+
+    return GRAPHCHI_CLASSES
+
+
+#: The bundled example applications the lint job covers by default.
+BUNDLED_APPS: Dict[str, Callable[[], Sequence[type]]] = {
+    "bank": _bank,
+    "mapreduce": _mapreduce,
+    "paldb-rtwu": _paldb_rtwu,
+    "paldb-ruwt": _paldb_ruwt,
+    "graphchi": _graphchi,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="static partition linter over annotated application classes",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        metavar="APP",
+        help=f"bundled apps to lint (default: all of {', '.join(sorted(BUNDLED_APPS))})",
+    )
+    parser.add_argument(
+        "--module",
+        metavar="MOD",
+        default=None,
+        help="lint an importable module's classes instead of bundled apps",
+    )
+    parser.add_argument(
+        "--classes",
+        metavar="NAME",
+        nargs="*",
+        default=None,
+        help="with --module: restrict to these class names",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="suppression file of known findings (see docs/ANALYSIS.md)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        default=None,
+        help="write current findings as a baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable JSON report"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    return parser
+
+
+def _resolve_targets(args) -> List[Tuple[str, Sequence[type]]]:
+    if args.module:
+        from repro.buildtool import collect_classes
+
+        return [(args.module, collect_classes(args.module, args.classes))]
+    names = args.targets or sorted(BUNDLED_APPS)
+    targets: List[Tuple[str, Sequence[type]]] = []
+    for name in names:
+        loader = BUNDLED_APPS.get(name)
+        if loader is None:
+            raise PartitionError(
+                f"unknown lint target {name!r}; choose from "
+                f"{', '.join(sorted(BUNDLED_APPS))} or use --module"
+            )
+        targets.append((name, loader()))
+    return targets
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.code}  {rule.name:<26} {rule.description}")
+        return 0
+
+    try:
+        targets = _resolve_targets(args)
+    except PartitionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline = load_baseline(args.baseline) if args.baseline else set()
+    linter = PartitionLinter()
+    results: Dict[str, LintResult] = {
+        name: linter.lint(classes, baseline=baseline) for name, classes in targets
+    }
+
+    if args.write_baseline:
+        everything = [
+            d
+            for result in results.values()
+            for d in (*result.diagnostics, *result.suppressed)
+        ]
+        count = write_baseline(args.write_baseline, everything)
+        print(f"baseline: {args.write_baseline} ({count} suppression(s))")
+        return 0
+
+    if args.json:
+        print(to_json(results))
+    else:
+        print(format_text(results), end="")
+
+    # A suppression no target consumed is stale everywhere.
+    used = {
+        d.suppression_key for result in results.values() for d in result.suppressed
+    }
+    for key in sorted(baseline - used):
+        print(f"warning: unused baseline suppression: {key}", file=sys.stderr)
+
+    return max(result.exit_code for result in results.values())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""Diagnostics produced by the partition linter.
+
+Every rule reports :class:`Diagnostic` records with a stable code
+(``MSV001``..), a severity, a class/method location and a fix hint, so
+text and JSON reporters, the baseline file and the CLI exit code all
+work off one shape regardless of which analysis produced the finding.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; only ``ERROR`` fails the build/CI."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return {"info": 0, "warning": 1, "error": 2}[self.value]
+
+
+#: Rule codes, kept in one place so docs/tests cannot drift.
+BOUNDARY_ESCAPE = "MSV001"
+UNSERIALIZABLE_CROSSING = "MSV002"
+CHATTY_CROSSING = "MSV003"
+DEAD_TCB = "MSV004"
+ENCAPSULATION = "MSV005"
+
+ALL_CODES = (
+    BOUNDARY_ESCAPE,
+    UNSERIALIZABLE_CROSSING,
+    CHATTY_CROSSING,
+    DEAD_TCB,
+    ENCAPSULATION,
+)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one rule at one class/method location.
+
+    ``detail`` disambiguates several findings of the same rule at the
+    same location (e.g. two leaking variables in one method); it is part
+    of the suppression key and must therefore be stable across runs and
+    contain no whitespace.
+    """
+
+    code: str
+    severity: Severity
+    class_name: str
+    method_name: str
+    message: str
+    hint: str = ""
+    detail: str = ""
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def location(self) -> str:
+        if not self.method_name:
+            return self.class_name
+        return f"{self.class_name}.{self.method_name}"
+
+    @property
+    def suppression_key(self) -> str:
+        """Stable identity for the baseline-suppression file."""
+        key = f"{self.code}:{self.location}"
+        if self.detail:
+            key += f":{self.detail}"
+        return key.replace(" ", "_")
+
+    def format(self) -> str:
+        line = f"{self.code} {self.severity.value:<7} {self.location}: {self.message}"
+        if self.hint:
+            line += f"\n    hint: {self.hint}"
+        return line
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "class": self.class_name,
+            "method": self.method_name,
+            "location": self.location,
+            "message": self.message,
+            "hint": self.hint,
+            "detail": self.detail,
+            "suppression_key": self.suppression_key,
+            "data": dict(self.data),
+        }
+
+
+def sort_key(diag: Diagnostic):
+    """Deterministic report order: by code, then location, then detail."""
+    return (diag.code, diag.location, diag.detail)
+
+
+def worst_severity(diagnostics) -> Optional[Severity]:
+    worst: Optional[Severity] = None
+    for diag in diagnostics:
+        if worst is None or diag.severity.rank > worst.rank:
+            worst = diag.severity
+    return worst

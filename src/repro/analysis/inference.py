@@ -1,0 +1,492 @@
+"""Shared static model for the partition linter.
+
+The linter's rules all need the same three ingredients:
+
+- the JClass IR of the application (:mod:`repro.graal.extraction`),
+  which fixes each class's trust level and fields;
+- parsed method bodies, walked in source order with a lightweight
+  receiver-type inference (parameter annotations, constructor
+  assignments, ``self.field`` types from ``__init__`` and the same
+  variable-name heuristics :mod:`repro.core.validation` uses);
+- a classification of type annotations against what the boundary can
+  carry: primitives and plain containers travel through the wire codec
+  (:mod:`repro.core.wire`), annotated classes travel as proxy hashes,
+  anything else needs pickle — or cannot cross at all.
+
+:class:`AppModel` packages all of it; rules stay small.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import sys
+import textwrap
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.graal.extraction import extract_classes
+from repro.graal.jtypes import ClassUniverse, TrustLevel
+
+# -- annotation classification ------------------------------------------------
+
+#: Verdict kinds, ordered from harmless to hopeless.
+NONE = "none"  # -> None: nothing crosses
+WIRE = "wire"  # plain data: the wire codec handles it
+PROXY = "proxy"  # annotated class: crosses as a proxy hash
+UNKNOWN = "unknown"  # unresolvable annotation: give the benefit of the doubt
+NESTED_PROXY = "nested_proxy"  # annotated class *inside* a container
+NEUTRAL = "neutral"  # known class the wire codec cannot marshal
+UNMARSHALABLE = "unmarshalable"  # cannot cross any codec (Callable, IO, ...)
+
+_RANK = {
+    NONE: 0,
+    WIRE: 1,
+    PROXY: 2,
+    UNKNOWN: 3,
+    NESTED_PROXY: 4,
+    NEUTRAL: 5,
+    UNMARSHALABLE: 6,
+}
+
+#: Types the explicit wire format can carry (core/wire.py tag set plus
+#: their typing aliases; the decoder executes no code).
+WIRE_TYPE_NAMES = frozenset(
+    {
+        "None",
+        "NoneType",
+        "bool",
+        "int",
+        "float",
+        "str",
+        "bytes",
+        "bytearray",
+        "object",
+        "Any",
+    }
+)
+
+#: Container annotations whose element types decide the verdict.
+CONTAINER_TYPE_NAMES = frozenset(
+    {
+        "list",
+        "tuple",
+        "dict",
+        "set",
+        "frozenset",
+        "List",
+        "Tuple",
+        "Dict",
+        "Set",
+        "FrozenSet",
+        "Sequence",
+        "MutableSequence",
+        "Iterable",
+        "Collection",
+        "Mapping",
+        "MutableMapping",
+    }
+)
+
+UNION_TYPE_NAMES = frozenset({"Optional", "Union"})
+
+#: Annotations no codec can marshal across the enclave boundary.
+UNMARSHALABLE_TYPE_NAMES = frozenset(
+    {
+        "Callable",
+        "Generator",
+        "Iterator",
+        "AsyncIterator",
+        "AsyncGenerator",
+        "Coroutine",
+        "Awaitable",
+        "IO",
+        "TextIO",
+        "BinaryIO",
+        "socket",
+        "Thread",
+        "Lock",
+        "RLock",
+        "Condition",
+        "ModuleType",
+        "FunctionType",
+    }
+)
+
+
+@dataclass(frozen=True)
+class TypeVerdict:
+    """What happens to a value of an annotated type at the boundary."""
+
+    kind: str
+    class_name: Optional[str] = None
+
+    @property
+    def rank(self) -> int:
+        return _RANK[self.kind]
+
+    @property
+    def crosses_as_proxy(self) -> bool:
+        return self.kind in (PROXY, NESTED_PROXY)
+
+
+def worst(verdicts: Sequence[TypeVerdict]) -> TypeVerdict:
+    chosen = TypeVerdict(WIRE)
+    for verdict in verdicts:
+        if verdict.rank > chosen.rank:
+            chosen = verdict
+    return chosen
+
+
+def classify_annotation(raw, model: "AppModel", module) -> TypeVerdict:
+    """Classify an annotation (string, ast node, or live type).
+
+    ``module`` is the namespace names resolve in (the defining module
+    of the class the annotation appears on).
+    """
+    node = _as_node(raw)
+    if node is None:
+        return TypeVerdict(UNKNOWN)
+    return _classify(node, model, module, top_level=True)
+
+
+def _as_node(raw) -> Optional[ast.expr]:
+    if raw is None:
+        return None
+    if isinstance(raw, ast.expr):
+        return raw
+    if isinstance(raw, type):
+        raw = raw.__name__
+    if isinstance(raw, str):
+        try:
+            return ast.parse(raw, mode="eval").body
+        except SyntaxError:
+            return None
+    return None
+
+
+def _classify(node: ast.expr, model, module, top_level: bool) -> TypeVerdict:
+    if isinstance(node, ast.Constant):
+        if node.value is None:
+            return TypeVerdict(NONE)
+        if isinstance(node.value, str):  # quoted forward reference
+            return classify_annotation(node.value, model, module)
+        return TypeVerdict(WIRE)
+    if isinstance(node, ast.Name):
+        return _classify_name(node.id, model, module, top_level)
+    if isinstance(node, ast.Attribute):
+        return _classify_dotted(node, model, module, top_level)
+    if isinstance(node, ast.Subscript):
+        return _classify_subscript(node, model, module, top_level)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return worst(
+            [
+                _classify(node.left, model, module, top_level),
+                _classify(node.right, model, module, top_level),
+            ]
+        )
+    return TypeVerdict(UNKNOWN)
+
+
+def _classify_name(name: str, model, module, top_level: bool) -> TypeVerdict:
+    if name in WIRE_TYPE_NAMES or name in UNION_TYPE_NAMES:
+        return TypeVerdict(WIRE)
+    if name in CONTAINER_TYPE_NAMES:
+        return TypeVerdict(WIRE)
+    if name in UNMARSHALABLE_TYPE_NAMES:
+        return TypeVerdict(UNMARSHALABLE, class_name=name)
+    jclass = model.universe.get(name)
+    if jclass is not None:
+        if jclass.trust.annotated:
+            return TypeVerdict(PROXY if top_level else NESTED_PROXY, class_name=name)
+        return TypeVerdict(NEUTRAL, class_name=name)
+    resolved = getattr(module, name, None) if module is not None else None
+    if isinstance(resolved, type):
+        return TypeVerdict(NEUTRAL, class_name=name)
+    return TypeVerdict(UNKNOWN)
+
+
+def _classify_dotted(node: ast.Attribute, model, module, top_level: bool) -> TypeVerdict:
+    # typing.Callable, collections.abc.Sequence, np.ndarray, ...: the
+    # last segment decides against the known sets, then the resolved
+    # object (if any) decides class-ness.
+    last = node.attr
+    if last in WIRE_TYPE_NAMES or last in CONTAINER_TYPE_NAMES or last in UNION_TYPE_NAMES:
+        return TypeVerdict(WIRE)
+    if last in UNMARSHALABLE_TYPE_NAMES:
+        return TypeVerdict(UNMARSHALABLE, class_name=last)
+    resolved = _resolve_dotted(node, module)
+    if isinstance(resolved, type):
+        return _classify_name(resolved.__name__, model, module, top_level)
+    return TypeVerdict(UNKNOWN)
+
+
+def _resolve_dotted(node: ast.expr, module):
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name) or module is None:
+        return None
+    obj = getattr(module, node.id, None)
+    for part in reversed(parts):
+        if obj is None:
+            return None
+        obj = getattr(obj, part, None)
+    return obj
+
+
+def _classify_subscript(node: ast.Subscript, model, module, top_level: bool) -> TypeVerdict:
+    base = node.value
+    base_name = None
+    if isinstance(base, ast.Name):
+        base_name = base.id
+    elif isinstance(base, ast.Attribute):
+        base_name = base.attr
+    if base_name in UNMARSHALABLE_TYPE_NAMES:
+        return TypeVerdict(UNMARSHALABLE, class_name=base_name)
+    elts = _slice_elements(node)
+    if base_name in UNION_TYPE_NAMES:
+        return worst([_classify(e, model, module, top_level) for e in elts])
+    if base_name in CONTAINER_TYPE_NAMES:
+        return worst([_classify(e, model, module, top_level=False) for e in elts])
+    # Parameterised user class: judge the base itself.
+    return _classify(base, model, module, top_level)
+
+
+def _slice_elements(node: ast.Subscript) -> List[ast.expr]:
+    inner = node.slice
+    if isinstance(inner, ast.Tuple):
+        return [e for e in inner.elts if not isinstance(e, ast.Slice)]
+    return [inner]
+
+
+# -- crossing geometry --------------------------------------------------------
+
+
+def crossing_kind(caller: TrustLevel, receiver: TrustLevel) -> Optional[str]:
+    """Transition a call from ``caller``-owned code into ``receiver``
+    performs, or ``None`` when no boundary is crossed.
+
+    Neutral callers are assumed to run on the side opposite the
+    receiver (the pessimistic case: every such call is a crossing).
+    """
+    if receiver is TrustLevel.TRUSTED and caller is not TrustLevel.TRUSTED:
+        return "ecall"
+    if receiver is TrustLevel.UNTRUSTED and caller is not TrustLevel.UNTRUSTED:
+        return "ocall"
+    return None
+
+
+# -- the application model ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MethodInfo:
+    """One method as the linter sees it: leaf owner + live function + AST."""
+
+    owner: str
+    name: str
+    func: object
+    tree: Optional[ast.FunctionDef]
+    is_public: bool
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.owner}.{self.name}"
+
+
+class AppModel:
+    """Everything the rules share for one application's class set."""
+
+    def __init__(self, classes: Sequence[type]) -> None:
+        unique: Dict[str, type] = {}
+        for cls in classes:
+            unique.setdefault(cls.__name__, cls)
+        self.classes: Tuple[type, ...] = tuple(unique.values())
+        self.ir = extract_classes(self.classes)
+        self.universe = ClassUniverse(self.ir)
+        self.by_name = dict(unique)
+        self.lower_names = {name.lower(): name for name in unique}
+        self._methods: Dict[str, List[MethodInfo]] = {
+            name: list(self._extract_methods(cls)) for name, cls in unique.items()
+        }
+        self.field_types: Dict[str, Dict[str, str]] = {}
+        for name in unique:
+            self.field_types[name] = self._infer_field_types(name)
+
+    # -- lookups --------------------------------------------------------------
+
+    def trust_of(self, class_name: str) -> TrustLevel:
+        jclass = self.universe.get(class_name)
+        return jclass.trust if jclass is not None else TrustLevel.NEUTRAL
+
+    def module_of(self, class_name: str):
+        cls = self.by_name.get(class_name)
+        if cls is None:
+            return None
+        return sys.modules.get(cls.__module__)
+
+    def methods_of(self, class_name: str) -> List[MethodInfo]:
+        return self._methods.get(class_name, [])
+
+    def all_methods(self) -> Iterator[MethodInfo]:
+        for name in sorted(self._methods):
+            yield from self._methods[name]
+
+    def return_verdict(self, class_name: str, method_name: str) -> TypeVerdict:
+        """Boundary classification of ``class_name.method_name()``'s result."""
+        cls = self.by_name.get(class_name)
+        func = getattr(cls, method_name, None) if cls is not None else None
+        if func is None:
+            return TypeVerdict(UNKNOWN)
+        raw = getattr(func, "__annotations__", {}).get("return")
+        if raw is None:
+            return TypeVerdict(UNKNOWN)
+        return classify_annotation(raw, self, self.module_of(class_name))
+
+    def return_class(self, class_name: str, method_name: str) -> Optional[str]:
+        verdict = self.return_verdict(class_name, method_name)
+        if verdict.class_name and verdict.class_name in self.universe:
+            return verdict.class_name
+        return None
+
+    # -- construction ---------------------------------------------------------
+
+    def _extract_methods(self, cls: type) -> Iterator[MethodInfo]:
+        members: Dict[str, object] = {}
+        for klass in reversed(cls.__mro__):
+            if klass is object:
+                continue
+            members.update(vars(klass))
+        for name, member in members.items():
+            if isinstance(member, (staticmethod, classmethod)):
+                member = member.__func__
+            if not inspect.isfunction(member):
+                continue
+            yield MethodInfo(
+                owner=cls.__name__,
+                name=name,
+                func=member,
+                tree=_parse_function(member),
+                is_public=not name.startswith("_") or name == "__init__",
+            )
+
+    def _infer_field_types(self, class_name: str) -> Dict[str, str]:
+        init = next(
+            (m for m in self._methods[class_name] if m.name == "__init__"), None
+        )
+        if init is None or init.tree is None:
+            return {}
+        scope = ScopeTypes(self, class_name, init.tree)
+        fields: Dict[str, str] = {}
+        for stmt in _assignments_in(init.tree.body):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            value = stmt.value
+            if value is None:
+                continue
+            if isinstance(stmt, ast.Assign):
+                scope.assign(stmt)
+            inferred = scope.infer(value)
+            if inferred is None:
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    fields[target.attr] = inferred
+        return fields
+
+
+def _parse_function(func) -> Optional[ast.FunctionDef]:
+    try:
+        tree = ast.parse(textwrap.dedent(inspect.getsource(func)))
+    except (OSError, TypeError, SyntaxError, IndentationError):
+        return None
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node  # type: ignore[return-value]
+    return None
+
+
+def _assignments_in(stmts) -> Iterator[ast.stmt]:
+    """Assign/AnnAssign statements in source order, descending into
+    compound statements (the bodies of if/for/while/with/try)."""
+    for stmt in stmts:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            yield stmt
+        for attr in ("body", "orelse", "finalbody"):
+            yield from _assignments_in(getattr(stmt, attr, []) or [])
+        for handler in getattr(stmt, "handlers", []) or []:
+            yield from _assignments_in(handler.body)
+
+
+class ScopeTypes:
+    """Per-method receiver-class inference.
+
+    Combines parameter annotations, ``var = ClassName(...)`` constructor
+    assignments, ``self.field`` types inferred from ``__init__``,
+    chained calls whose return annotation resolves to a universe class,
+    and the variable-name heuristic shared with
+    :mod:`repro.core.validation` (``account`` -> ``Account``).
+    """
+
+    def __init__(self, model: AppModel, owner: str, tree: Optional[ast.FunctionDef]) -> None:
+        self.model = model
+        self.owner = owner
+        self.vars: Dict[str, str] = {}
+        if tree is None:
+            return
+        args = tree.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if arg.arg == "self":
+                continue
+            inferred = self._class_from_annotation(arg.annotation)
+            if inferred is None:
+                inferred = model.lower_names.get(arg.arg.lower())
+            if inferred is not None:
+                self.vars[arg.arg] = inferred
+
+    def _class_from_annotation(self, annotation) -> Optional[str]:
+        if annotation is None:
+            return None
+        verdict = classify_annotation(
+            annotation, self.model, self.model.module_of(self.owner)
+        )
+        if verdict.class_name and verdict.class_name in self.model.universe:
+            return verdict.class_name
+        return None
+
+    def assign(self, node: ast.Assign) -> None:
+        inferred = self.infer(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if inferred is not None:
+                    self.vars[target.id] = inferred
+                else:
+                    self.vars.pop(target.id, None)
+
+    def infer(self, node) -> Optional[str]:
+        """Universe class of an expression's value, if statically known."""
+        if isinstance(node, ast.Name):
+            if node.id in self.vars:
+                return self.vars[node.id]
+            if node.id in self.model.universe:
+                return node.id  # the class object itself (static receiver)
+            return self.model.lower_names.get(node.id.lower())
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                return self.model.field_types.get(self.owner, {}).get(node.attr)
+            return None
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                return func.id if func.id in self.model.universe else None
+            if isinstance(func, ast.Attribute):
+                receiver = self.infer(func.value)
+                if receiver is not None and receiver in self.model.universe:
+                    return self.model.return_class(receiver, func.attr)
+            return None
+        return None

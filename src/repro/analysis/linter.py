@@ -1,0 +1,165 @@
+"""The partition linter: runs the rule set, applies the baseline.
+
+A baseline file suppresses known findings by their stable suppression
+keys (``CODE:Class.method[:detail]``), one per line; ``#`` starts a
+comment, inline comments explain *why* a finding is intentional::
+
+    # ShardedGraph is plain-data and pickles fine; only the restricted
+    # wire format cannot carry it.
+    MSV002:GraphChiEngine.run_pagerank:param:graph
+
+Suppressed findings stay visible in the result (``suppressed``) and in
+the JSON report; suppressions matching nothing are reported as unused
+so the baseline cannot rot silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import CHATTY_CROSSING, Diagnostic, Severity, sort_key
+from repro.analysis.inference import AppModel
+from repro.analysis.rules import Rule, default_rules
+from repro.sgx.profiler import RoutineProfile
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Outcome of linting one class set."""
+
+    diagnostics: Tuple[Diagnostic, ...]  # active (not baselined)
+    suppressed: Tuple[Diagnostic, ...] = ()
+    unused_suppressions: Tuple[str, ...] = ()
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def warning_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is Severity.WARNING)
+
+    @property
+    def exit_code(self) -> int:
+        """Nonzero iff unsuppressed error-severity findings exist."""
+        return 1 if self.error_count else 0
+
+    def by_code(self, code: str) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def codes(self) -> Tuple[str, ...]:
+        return tuple(sorted({d.code for d in self.diagnostics}))
+
+    def predicted_candidates(self) -> List[RoutineProfile]:
+        """MSV003 predictions in :class:`RoutineProfile` form.
+
+        Format-compatible with
+        :meth:`repro.sgx.profiler.TransitionProfiler.switchless_candidates`
+        so static and dynamic views diff directly
+        (:func:`diff_candidates`). ``calls`` carries the static
+        estimate; payloads and latencies are unknowable statically and
+        stay zero.
+        """
+        aggregated: Dict[Tuple[str, str], int] = {}
+        for diag in (*self.diagnostics, *self.suppressed):
+            if diag.code != CHATTY_CROSSING:
+                continue
+            key = (diag.data["kind"], diag.data["routine"])
+            aggregated[key] = aggregated.get(key, 0) + diag.data["estimated_calls"]
+        return [
+            RoutineProfile(name=name, kind=kind, calls=calls)
+            for (kind, name), calls in sorted(
+                aggregated.items(), key=lambda item: (-item[1], item[0])
+            )
+        ]
+
+
+class PartitionLinter:
+    """Rule runner over one application's annotated classes."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
+        self.rules: Tuple[Rule, ...] = (
+            tuple(rules) if rules is not None else default_rules()
+        )
+
+    def lint(
+        self,
+        classes: Sequence[type],
+        baseline: Optional[Iterable[str]] = None,
+    ) -> LintResult:
+        model = AppModel(classes)
+        findings: List[Diagnostic] = []
+        for rule in self.rules:
+            findings.extend(rule.check(model))
+        findings.sort(key=sort_key)
+
+        suppressions: Set[str] = set(baseline or ())
+        active = tuple(d for d in findings if d.suppression_key not in suppressions)
+        suppressed = tuple(d for d in findings if d.suppression_key in suppressions)
+        used = {d.suppression_key for d in suppressed}
+        return LintResult(
+            diagnostics=active,
+            suppressed=suppressed,
+            unused_suppressions=tuple(sorted(suppressions - used)),
+        )
+
+
+# -- baseline files -----------------------------------------------------------
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Suppression keys from a baseline file (missing file = empty)."""
+    keys: Set[str] = set()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except FileNotFoundError:
+        return keys
+    for line in lines:
+        stripped = line.split("#", 1)[0].strip()
+        if stripped:
+            keys.add(stripped)
+    return keys
+
+
+def write_baseline(path: str, diagnostics: Iterable[Diagnostic]) -> int:
+    """Write every finding's suppression key; returns keys written."""
+    keys = sorted({d.suppression_key for d in diagnostics})
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(
+            "# Partition-linter baseline: known findings, one suppression\n"
+            "# key per line. Add a comment explaining why each finding is\n"
+            "# intentional before committing.\n"
+        )
+        for key in keys:
+            handle.write(key + "\n")
+    return len(keys)
+
+
+# -- static vs dynamic --------------------------------------------------------
+
+
+def diff_candidates(
+    static: Sequence[RoutineProfile], dynamic: Sequence[RoutineProfile]
+) -> Dict[str, List[RoutineProfile]]:
+    """Compare MSV003 predictions with a measured profile.
+
+    Profiles are keyed by ``(kind, name)``. Returns ``both`` (the
+    static profile, confirmed dynamically), ``static_only`` (predicted
+    but not observed above the switchless threshold) and
+    ``dynamic_only`` (observed hot but not predicted — usually a loop
+    the static estimator cannot see, e.g. one driven by recursion or
+    external callers).
+    """
+    static_by_key = {(p.kind, p.name): p for p in static}
+    dynamic_by_key = {(p.kind, p.name): p for p in dynamic}
+    return {
+        "both": [p for key, p in static_by_key.items() if key in dynamic_by_key],
+        "static_only": [
+            p for key, p in static_by_key.items() if key not in dynamic_by_key
+        ],
+        "dynamic_only": [
+            p for key, p in dynamic_by_key.items() if key not in static_by_key
+        ],
+    }

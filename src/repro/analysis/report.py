@@ -1,0 +1,72 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping
+
+from repro.analysis.linter import LintResult
+
+#: Bumped when the JSON layout changes incompatibly.
+JSON_SCHEMA = "repro.analysis/lint@1"
+
+
+def format_text(results: Mapping[str, LintResult]) -> str:
+    """Human-readable report over one or more lint targets."""
+    lines = []
+    for target in sorted(results):
+        result = results[target]
+        lines.append(f"== {target} ==")
+        if not result.diagnostics and not result.suppressed:
+            lines.append("  clean")
+        for diag in result.diagnostics:
+            lines.append("  " + diag.format().replace("\n", "\n  "))
+        summary = (
+            f"  {result.error_count} error(s), {result.warning_count} warning(s)"
+        )
+        if result.suppressed:
+            summary += f", {len(result.suppressed)} suppressed by baseline"
+        lines.append(summary)
+        candidates = result.predicted_candidates()
+        if candidates:
+            lines.append("  predicted switchless candidates (MSV003):")
+            for profile in candidates:
+                lines.append(
+                    f"    {profile.name:<40} {profile.kind:<6} "
+                    f"~{profile.calls} crossings"
+                )
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def to_json(results: Mapping[str, LintResult]) -> str:
+    return json.dumps(to_dict(results), indent=2, sort_keys=True)
+
+
+def to_dict(results: Mapping[str, LintResult]) -> Dict[str, Any]:
+    targets: Dict[str, Any] = {}
+    errors = 0
+    warnings = 0
+    for target, result in results.items():
+        errors += result.error_count
+        warnings += result.warning_count
+        targets[target] = {
+            "diagnostics": [d.to_dict() for d in result.diagnostics],
+            "suppressed": [d.to_dict() for d in result.suppressed],
+            "unused_suppressions": list(result.unused_suppressions),
+            "counts": {
+                "error": result.error_count,
+                "warning": result.warning_count,
+                "suppressed": len(result.suppressed),
+            },
+            "predicted_candidates": [
+                {"name": p.name, "kind": p.kind, "estimated_calls": p.calls}
+                for p in result.predicted_candidates()
+            ],
+        }
+    return {
+        "schema": JSON_SCHEMA,
+        "targets": targets,
+        "counts": {"error": errors, "warning": warnings},
+        "exit_code": 1 if errors else 0,
+    }

@@ -1,0 +1,593 @@
+"""The partition linter's rule set.
+
+Each rule consumes the shared :class:`~repro.analysis.inference.AppModel`
+and returns :class:`~repro.analysis.diagnostics.Diagnostic` records:
+
+- ``MSV001`` boundary escape — trusted-sourced plain values flowing to
+  untrusted code without the proxy layer (§5.1, §5.2);
+- ``MSV002`` unserializable crossing — boundary signatures the wire
+  codec cannot marshal (§5.2);
+- ``MSV003`` chatty crossing — loops of fine-grained proxy calls, with
+  statically estimated crossing counts emitted in the same
+  :class:`~repro.sgx.profiler.RoutineProfile` format the dynamic
+  profiler uses for switchless candidates (§7);
+- ``MSV004`` dead TCB — trusted methods unreachable from every enclave
+  entry point, priced via :mod:`repro.core.tcb` (§5.3);
+- ``MSV005`` encapsulation — :mod:`repro.core.validation` absorbed into
+  the diagnostics pipeline (§5.1).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.diagnostics import (
+    BOUNDARY_ESCAPE,
+    CHATTY_CROSSING,
+    DEAD_TCB,
+    ENCAPSULATION,
+    UNSERIALIZABLE_CROSSING,
+    Diagnostic,
+    Severity,
+)
+from repro.analysis.inference import (
+    NESTED_PROXY,
+    NEUTRAL,
+    NONE,
+    PROXY,
+    UNMARSHALABLE,
+    AppModel,
+    MethodInfo,
+    ScopeTypes,
+    classify_annotation,
+    crossing_kind,
+)
+from repro.errors import PartitionError, ReachabilityError
+from repro.graal.jtypes import TrustLevel
+
+#: Iterations assumed for a loop whose trip count is not a literal.
+ESTIMATED_LOOP_TRIPS = 100
+
+#: Cap on statically estimated crossings (nested unbounded loops).
+MAX_ESTIMATED_CROSSINGS = 1_000_000
+
+
+class Rule:
+    """One static check; stateless between :meth:`check` calls."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, model: AppModel) -> List[Diagnostic]:
+        raise NotImplementedError
+
+
+# -- MSV001: boundary escape --------------------------------------------------
+
+
+class BoundaryEscapeRule(Rule):
+    code = BOUNDARY_ESCAPE
+    name = "boundary-escape"
+    description = (
+        "plain data obtained from a trusted object must not flow onward "
+        "to untrusted methods or returns; only proxies cross safely"
+    )
+
+    def check(self, model: AppModel) -> List[Diagnostic]:
+        findings: List[Diagnostic] = []
+        for cls in model.classes:
+            owner = cls.__name__
+            if model.trust_of(owner) is TrustLevel.TRUSTED:
+                continue  # code already inside the enclave cannot leak out-of-band
+            for info in model.methods_of(owner):
+                if info.tree is None:
+                    continue
+                visitor = _TaintVisitor(model, info)
+                visitor.visit(info.tree)
+                findings.extend(visitor.findings)
+        return findings
+
+
+class _TaintVisitor(ast.NodeVisitor):
+    """Forward taint walk over one untrusted/neutral method body."""
+
+    def __init__(self, model: AppModel, info: MethodInfo) -> None:
+        self.model = model
+        self.info = info
+        self.owner = info.owner
+        self.owner_trust = model.trust_of(info.owner)
+        self.scope = ScopeTypes(model, info.owner, info.tree)
+        self.tainted: Dict[str, str] = {}  # variable -> "Class.method" source
+        self.findings: List[Diagnostic] = []
+
+    # -- taint sources --------------------------------------------------------
+
+    def _taint_source(self, node) -> Optional[str]:
+        """``Class.method`` when ``node`` calls a trusted receiver whose
+        result crosses as plain data (not as a proxy)."""
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+            return None
+        receiver = self.scope.infer(node.func.value)
+        if receiver is None or self.model.trust_of(receiver) is not TrustLevel.TRUSTED:
+            return None
+        verdict = self.model.return_verdict(receiver, node.func.attr)
+        if verdict.kind in (NONE, PROXY, NESTED_PROXY):
+            return None
+        return f"{receiver}.{node.func.attr}"
+
+    def _expr_taint(self, node) -> Optional[Tuple[str, str]]:
+        """(display, source) when the expression carries tainted data."""
+        source = self._taint_source(node)
+        if source is not None:
+            return (f"{source}()", source)
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and sub.id in self.tainted:
+                return (sub.id, self.tainted[sub.id])
+        return None
+
+    # -- propagation ----------------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        taint = self._expr_taint(node.value)
+        self.scope.assign(node)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if taint is not None:
+                    self.tainted[target.id] = taint[1]
+                else:
+                    self.tainted.pop(target.id, None)
+        self.visit(node.value)  # sinks may hide inside the value expression
+
+    # -- sinks ----------------------------------------------------------------
+
+    def _untrusted_sink(self, node: ast.Call) -> Optional[str]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if (
+                func.id in self.model.universe
+                and func.id != self.owner
+                and self.model.trust_of(func.id) is TrustLevel.UNTRUSTED
+            ):
+                return f"{func.id}.__init__"
+            return None
+        if isinstance(func, ast.Attribute):
+            receiver = self.scope.infer(func.value)
+            if (
+                receiver is not None
+                and receiver != self.owner
+                and self.model.trust_of(receiver) is TrustLevel.UNTRUSTED
+            ):
+                return f"{receiver}.{func.attr}"
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        sink = self._untrusted_sink(node)
+        if sink is not None:
+            arguments = list(node.args) + [kw.value for kw in node.keywords]
+            for arg in arguments:
+                taint = self._expr_taint(arg)
+                if taint is None:
+                    continue
+                display, source = taint
+                self.findings.append(
+                    Diagnostic(
+                        code=BOUNDARY_ESCAPE,
+                        severity=Severity.ERROR,
+                        class_name=self.owner,
+                        method_name=self.info.name,
+                        message=(
+                            f"{display} holds plain data from trusted "
+                            f"{source} and is passed to untrusted {sink} "
+                            "without going through the proxy layer"
+                        ),
+                        hint=(
+                            "keep the value behind an annotated class so it "
+                            "crosses as a proxy hash, or move this logic into "
+                            "the trusted side (§5.1, §5.2)"
+                        ),
+                        detail=f"{display}->{sink}",
+                        data={"source": source, "sink": sink},
+                    )
+                )
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None and self.owner_trust is TrustLevel.UNTRUSTED:
+            taint = self._expr_taint(node.value)
+            if taint is not None:
+                display, source = taint
+                self.findings.append(
+                    Diagnostic(
+                        code=BOUNDARY_ESCAPE,
+                        severity=Severity.ERROR,
+                        class_name=self.owner,
+                        method_name=self.info.name,
+                        message=(
+                            f"{display} holds plain data from trusted "
+                            f"{source} and is returned from untrusted "
+                            f"{self.owner}.{self.info.name}"
+                        ),
+                        hint=(
+                            "return an annotated instance (crosses as a "
+                            "proxy) or keep the secret on the trusted side "
+                            "(§5.1, §5.2)"
+                        ),
+                        detail=f"return:{display}",
+                        data={"source": source, "sink": "return"},
+                    )
+                )
+        self.generic_visit(node)
+
+
+# -- MSV002: unserializable crossing ------------------------------------------
+
+
+class UnserializableCrossingRule(Rule):
+    code = UNSERIALIZABLE_CROSSING
+    name = "unserializable-crossing"
+    description = (
+        "public methods of annotated classes are the crossing surface; "
+        "their signatures must be marshalable by the boundary codecs"
+    )
+
+    def check(self, model: AppModel) -> List[Diagnostic]:
+        findings: List[Diagnostic] = []
+        for cls in model.classes:
+            owner = cls.__name__
+            if not model.trust_of(owner).annotated:
+                continue
+            module = model.module_of(owner)
+            for info in model.methods_of(owner):
+                if not info.is_public:
+                    continue  # private methods get no relay (§5.2)
+                for what, detail, raw in self._signature_slots(info):
+                    verdict = classify_annotation(raw, model, module)
+                    diag = self._judge(info, what, detail, verdict)
+                    if diag is not None:
+                        findings.append(diag)
+        return findings
+
+    def _signature_slots(self, info: MethodInfo):
+        if info.tree is not None:
+            args = info.tree.args
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                if arg.arg == "self" or arg.annotation is None:
+                    continue
+                yield f"parameter {arg.arg!r}", f"param:{arg.arg}", arg.annotation
+        raw_return = getattr(info.func, "__annotations__", {}).get("return")
+        if raw_return is not None and info.name != "__init__":
+            yield "return value", "return", raw_return
+
+    def _judge(self, info: MethodInfo, what: str, detail: str, verdict) -> Optional[Diagnostic]:
+        if verdict.kind == UNMARSHALABLE:
+            return Diagnostic(
+                code=UNSERIALIZABLE_CROSSING,
+                severity=Severity.ERROR,
+                class_name=info.owner,
+                method_name=info.name,
+                message=(
+                    f"{what} of {info.qualified_name} is "
+                    f"{verdict.class_name!r}: no codec can marshal it across "
+                    "the enclave boundary"
+                ),
+                hint=(
+                    "pass plain data or an annotated class; callbacks, "
+                    "handles and live resources cannot cross (§5.2)"
+                ),
+                detail=detail,
+                data={"type": verdict.class_name, "kind": verdict.kind},
+            )
+        if verdict.kind == NEUTRAL:
+            return Diagnostic(
+                code=UNSERIALIZABLE_CROSSING,
+                severity=Severity.WARNING,
+                class_name=info.owner,
+                method_name=info.name,
+                message=(
+                    f"{what} of {info.qualified_name} is "
+                    f"{verdict.class_name!r}: the wire codec cannot marshal "
+                    "it (pickle-only crossing)"
+                ),
+                hint=(
+                    f"annotate {verdict.class_name} so it crosses as a proxy, "
+                    "or flatten it to plain data; "
+                    "PartitionOptions(wire_format=True) rejects this call "
+                    "(§5.2)"
+                ),
+                detail=detail,
+                data={"type": verdict.class_name, "kind": verdict.kind},
+            )
+        if verdict.kind == NESTED_PROXY:
+            return Diagnostic(
+                code=UNSERIALIZABLE_CROSSING,
+                severity=Severity.WARNING,
+                class_name=info.owner,
+                method_name=info.name,
+                message=(
+                    f"{what} of {info.qualified_name} nests annotated "
+                    f"{verdict.class_name!r} inside a container: container "
+                    "elements are serialized by value, bypassing the proxy "
+                    "layer"
+                ),
+                hint=(
+                    f"pass {verdict.class_name} instances as top-level "
+                    "arguments so they cross as proxy hashes (§5.2)"
+                ),
+                detail=detail,
+                data={"type": verdict.class_name, "kind": verdict.kind},
+            )
+        return None
+
+
+# -- MSV003: chatty crossing --------------------------------------------------
+
+
+class ChattyCrossingRule(Rule):
+    code = CHATTY_CROSSING
+    name = "chatty-crossing"
+    description = (
+        "proxy calls inside loops multiply enclave transitions; "
+        "estimates per-call-site crossing counts from the call structure"
+    )
+
+    def check(self, model: AppModel) -> List[Diagnostic]:
+        findings: List[Diagnostic] = []
+        for cls in model.classes:
+            owner = cls.__name__
+            for info in model.methods_of(owner):
+                if info.tree is None:
+                    continue
+                visitor = _LoopCrossingVisitor(model, info)
+                visitor.visit(info.tree)
+                findings.extend(visitor.findings)
+        return findings
+
+
+class _LoopCrossingVisitor(ast.NodeVisitor):
+    """Counts boundary crossings under loop nesting."""
+
+    def __init__(self, model: AppModel, info: MethodInfo) -> None:
+        self.model = model
+        self.info = info
+        self.owner = info.owner
+        self.owner_trust = model.trust_of(info.owner)
+        self.scope = ScopeTypes(model, info.owner, info.tree)
+        self.trips: List[int] = []
+        self.findings: List[Diagnostic] = []
+
+    # -- loop tracking --------------------------------------------------------
+
+    def _loop(self, node, trip_count: int) -> None:
+        self.trips.append(trip_count)
+        self.generic_visit(node)
+        self.trips.pop()
+
+    def visit_For(self, node: ast.For) -> None:
+        self._loop(node, _trip_estimate(node.iter))
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._loop(node, _trip_estimate(node.iter))
+
+    def visit_While(self, node: ast.While) -> None:
+        self._loop(node, ESTIMATED_LOOP_TRIPS)
+
+    def _comprehension(self, node) -> None:
+        self._loop(node, ESTIMATED_LOOP_TRIPS ** max(1, len(node.generators)))
+
+    visit_ListComp = _comprehension
+    visit_SetComp = _comprehension
+    visit_DictComp = _comprehension
+    visit_GeneratorExp = _comprehension
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.scope.assign(node)
+        self.generic_visit(node)
+
+    # -- crossing detection ---------------------------------------------------
+
+    def _crossing(self, node: ast.Call) -> Optional[Tuple[str, str, str]]:
+        """(routine, kind, target_method) when the call crosses."""
+        func = node.func
+        if isinstance(func, ast.Name):
+            receiver = func.id
+            if receiver not in self.model.universe:
+                return None
+            trust = self.model.trust_of(receiver)
+            if not trust.annotated:
+                return None
+            kind = crossing_kind(self.owner_trust, trust)
+            if kind is None:
+                return None
+            return (f"relay_{receiver}_init", kind, f"{receiver}.__init__")
+        if isinstance(func, ast.Attribute):
+            receiver = self.scope.infer(func.value)
+            if receiver is None or receiver not in self.model.universe:
+                return None
+            trust = self.model.trust_of(receiver)
+            if not trust.annotated:
+                return None
+            kind = crossing_kind(self.owner_trust, trust)
+            if kind is None:
+                return None
+            return (f"relay_{receiver}_{func.attr}", kind, f"{receiver}.{func.attr}")
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        crossing = self._crossing(node)
+        if crossing is not None and self.trips:
+            routine, kind, target = crossing
+            estimate = 1
+            for trips in self.trips:
+                estimate = min(MAX_ESTIMATED_CROSSINGS, estimate * trips)
+            depth = len(self.trips)
+            self.findings.append(
+                Diagnostic(
+                    code=CHATTY_CROSSING,
+                    severity=Severity.WARNING,
+                    class_name=self.owner,
+                    method_name=self.info.name,
+                    message=(
+                        f"{kind} {routine} sits in a depth-{depth} loop: "
+                        f"~{estimate} crossings per call of "
+                        f"{self.info.qualified_name}; each transition costs "
+                        "thousands of cycles (§6.2)"
+                    ),
+                    hint=(
+                        f"batch the loop body into one coarse call on "
+                        f"{target.split('.')[0]}, or verify with "
+                        "TransitionProfiler.switchless_candidates and make "
+                        "the routine switchless (§7)"
+                    ),
+                    detail=f"{routine}:depth{depth}",
+                    data={
+                        "routine": routine,
+                        "kind": kind,
+                        "estimated_calls": estimate,
+                        "target": target,
+                        "depth": depth,
+                    },
+                )
+            )
+        self.generic_visit(node)
+
+
+def _trip_estimate(iter_expr: ast.expr) -> int:
+    """Literal ``range(N)`` trip counts; the default estimate otherwise."""
+    if (
+        isinstance(iter_expr, ast.Call)
+        and isinstance(iter_expr.func, ast.Name)
+        and iter_expr.func.id == "range"
+        and len(iter_expr.args) == 1
+        and isinstance(iter_expr.args[0], ast.Constant)
+        and isinstance(iter_expr.args[0].value, int)
+    ):
+        return max(1, iter_expr.args[0].value)
+    if isinstance(iter_expr, (ast.List, ast.Tuple, ast.Set)):
+        return max(1, len(iter_expr.elts))
+    return ESTIMATED_LOOP_TRIPS
+
+
+# -- MSV004: dead TCB ---------------------------------------------------------
+
+
+class DeadTcbRule(Rule):
+    code = DEAD_TCB
+    name = "dead-tcb"
+    description = (
+        "trusted methods unreachable from every enclave entry point are "
+        "compiled into the enclave image for nothing"
+    )
+
+    def check(self, model: AppModel) -> List[Diagnostic]:
+        from repro.core.tcb import dead_code_report, method_code_bytes
+        from repro.core.transformer import BytecodeTransformer
+        from repro.graal.pointsto import PointsToAnalysis
+
+        trusted = model.universe.by_trust(TrustLevel.TRUSTED)
+        if not trusted:
+            return []
+        try:
+            result = BytecodeTransformer().transform(model.ir)
+        except PartitionError:
+            return []
+        if result.trusted_entry_points:
+            try:
+                reachable = PointsToAnalysis(result.trusted_universe).analyze(
+                    result.trusted_entry_points
+                ).methods
+            except ReachabilityError:
+                reachable = frozenset()
+        else:
+            reachable = frozenset()
+
+        dead_by_class: Dict[str, List[str]] = {}
+        for jclass in trusted:
+            for method in jclass.methods:
+                if method.qualified_name in reachable:
+                    continue
+                if method.name.startswith("__") and method.name != "__init__":
+                    continue  # dunders are runtime hooks, not dead weight
+                dead_by_class.setdefault(jclass.name, []).append(method.name)
+        if not dead_by_class:
+            return []
+
+        report = dead_code_report(dead_by_class)
+        per_method = method_code_bytes()
+        findings: List[Diagnostic] = []
+        for class_name in sorted(dead_by_class):
+            for method_name in sorted(dead_by_class[class_name]):
+                findings.append(
+                    Diagnostic(
+                        code=DEAD_TCB,
+                        severity=Severity.WARNING,
+                        class_name=class_name,
+                        method_name=method_name,
+                        message=(
+                            f"trusted method {class_name}.{method_name} is "
+                            "unreachable from every enclave entry point; it "
+                            f"still adds ~{per_method} bytes to the enclave "
+                            f"image ({report.total_bytes} bytes of dead "
+                            "trusted code in total, §5.3)"
+                        ),
+                        hint=(
+                            "delete it or call it from reachable trusted "
+                            "code; dead code inflates the TCB partitioning "
+                            "exists to shrink"
+                        ),
+                        data={
+                            "bytes": per_method,
+                            "dead_total_bytes": report.total_bytes,
+                        },
+                    )
+                )
+        return findings
+
+
+# -- MSV005: encapsulation ----------------------------------------------------
+
+
+class EncapsulationRule(Rule):
+    code = ENCAPSULATION
+    name = "encapsulation"
+    description = (
+        "annotated classes must be accessed through public methods; "
+        "foreign field access bypasses the proxy layer"
+    )
+
+    def check(self, model: AppModel) -> List[Diagnostic]:
+        from repro.core.validation import EncapsulationValidator
+
+        findings: List[Diagnostic] = []
+        for violation in EncapsulationValidator().validate(list(model.classes)):
+            findings.append(
+                Diagnostic(
+                    code=ENCAPSULATION,
+                    severity=Severity.ERROR,
+                    class_name=violation.accessing_class,
+                    method_name=violation.accessing_method,
+                    message=violation.describe(),
+                    hint=(
+                        f"add an accessor on {violation.target_class}; "
+                        "proxies carry no fields, so direct access reads the "
+                        "wrong side's memory (§5.1)"
+                    ),
+                    detail=f"{violation.target_class}.{violation.field}",
+                    data={
+                        "target_class": violation.target_class,
+                        "field": violation.field,
+                    },
+                )
+            )
+        return findings
+
+
+def default_rules() -> Tuple[Rule, ...]:
+    return (
+        BoundaryEscapeRule(),
+        UnserializableCrossingRule(),
+        ChattyCrossingRule(),
+        DeadTcbRule(),
+        EncapsulationRule(),
+    )

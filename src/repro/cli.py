@@ -163,6 +163,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Montsalvat reproduction: regenerate paper figures/tables",
+        epilog=(
+            "additional subcommand: 'repro lint' — static partition linter "
+            "over the bundled apps (see docs/ANALYSIS.md)"
+        ),
     )
     parser.add_argument(
         "experiment",
@@ -216,6 +220,13 @@ def _run(args) -> None:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # Static partition linter; its own argparse handles the rest.
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     wants_obs = args.trace or args.events or args.metrics or args.obs_summary
     if not wants_obs:

@@ -100,16 +100,21 @@ class Partitioner:
         classes: Sequence[type],
         main: Optional[str] = None,
         platform: Optional[Platform] = None,
+        lint: bool = False,
     ) -> PartitionedApplication:
         """Partition annotated ``classes`` into a runnable SGX application.
 
         ``main`` is the untrusted ``"Class.method"`` entry point; when
         omitted, the untrusted image is entered through its relay
-        methods only.
+        methods only. ``lint=True`` runs the static partition linter
+        (:mod:`repro.analysis`) first and refuses to build on
+        error-severity findings.
         """
         platform = platform or fresh_platform()
         ir = extract_classes(classes)
         self._validate(classes)
+        if lint:
+            self._lint(classes)
 
         result = self.transformer.transform(ir, main_entry=main)
         images = self.build_images(result, classes)
@@ -212,6 +217,25 @@ class Partitioner:
             raise PartitionError(
                 "partitioning requires at least one @trusted class; use "
                 "Partitioner.unpartitioned() for enclave-only images (§5.6)"
+            )
+
+    def _lint(self, classes: Sequence[type]) -> None:
+        """Refuse to build when the partition linter finds errors."""
+        from repro.analysis import PartitionLinter, Severity
+
+        result = PartitionLinter().lint(classes)
+        errors = [
+            d for d in result.diagnostics if d.severity is Severity.ERROR
+        ]
+        if errors:
+            summary = "; ".join(
+                f"{d.code} {d.location}: {d.message}" for d in errors[:5]
+            )
+            if len(errors) > 5:
+                summary += f"; ... {len(errors) - 5} more"
+            raise PartitionError(
+                f"partition linter found {len(errors)} error(s): {summary} "
+                "(run 'python -m repro lint' for the full report)"
             )
 
     def _all_public_entry_points(self, ir) -> list:

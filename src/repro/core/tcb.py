@@ -10,7 +10,7 @@ argues qualitatively becomes a measurable report.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Mapping, Sequence, Tuple
 
 from repro.costs.machine import KB, MB
 
@@ -86,6 +86,32 @@ def scone_tcb(app_code_bytes: int) -> TcbReport:
         TcbComponent("library OS / container runtime", LIBOS_BYTES),
     )
     return TcbReport(deployment="SCONE + JVM", components=components)
+
+
+def method_code_bytes() -> int:
+    """Enclave-image bytes one compiled method accounts for."""
+    from repro.graal.image import CODE_BYTES_PER_METHOD
+
+    return CODE_BYTES_PER_METHOD
+
+
+def dead_code_report(dead_methods: Mapping[str, Sequence[str]]) -> TcbReport:
+    """Price trusted methods unreachable from every enclave entry point.
+
+    ``dead_methods`` maps trusted class names to their dead method
+    names (as found by the partition linter's MSV004 rule); the report
+    quantifies how much enclave image §5.3's reachability pruning would
+    have saved had the code been reachable-only.
+    """
+    per_method = method_code_bytes()
+    components = tuple(
+        TcbComponent(
+            name=f"dead methods in {class_name}",
+            bytes_=len(dead_methods[class_name]) * per_method,
+        )
+        for class_name in sorted(dead_methods)
+    )
+    return TcbReport(deployment="dead trusted code", components=components)
 
 
 def compare(reports: List[TcbReport]) -> str:

@@ -146,11 +146,30 @@ class _ForeignAccessFinder(ast.NodeVisitor):
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
         if isinstance(node.value, ast.Name) and node.value.id != "self":
-            variable = node.value.id
-            target_class = self._inferred.get(variable) or self.name_hints.get(
-                variable.lower()
-            )
-            if target_class and target_class in self.annotated_fields:
-                if node.attr in self.annotated_fields[target_class]:
-                    self.accesses.append((target_class, node.attr))
+            self._check_access(node.value.id, node.attr)
         self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # getattr(obj, "field") / setattr(obj, "field", v) / delattr:
+        # string-based access bypasses attribute syntax but reaches the
+        # same field.
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in ("getattr", "setattr", "delattr")
+            and len(node.args) >= 2
+            and isinstance(node.args[0], ast.Name)
+            and node.args[0].id != "self"
+            and isinstance(node.args[1], ast.Constant)
+            and isinstance(node.args[1].value, str)
+        ):
+            self._check_access(node.args[0].id, node.args[1].value)
+        self.generic_visit(node)
+
+    def _check_access(self, variable: str, field: str) -> None:
+        target_class = self._inferred.get(variable) or self.name_hints.get(
+            variable.lower()
+        )
+        if target_class and target_class in self.annotated_fields:
+            if field in self.annotated_fields[target_class]:
+                self.accesses.append((target_class, field))

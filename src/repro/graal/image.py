@@ -58,8 +58,10 @@ class ImageHeap:
 
 
 #: Bytes of generated machine code we account per reachable method; used
-#: to synthesise a deterministic image size for measurement/signing.
-_CODE_BYTES_PER_METHOD = 640
+#: to synthesise a deterministic image size for measurement/signing and
+#: by the TCB accounting (repro.core.tcb) to price dead trusted code.
+CODE_BYTES_PER_METHOD = 640
+_CODE_BYTES_PER_METHOD = CODE_BYTES_PER_METHOD
 
 #: Runtime components embedded in every image (GC, thread scheduling,
 #: stack walking, exception handling — §2.2).

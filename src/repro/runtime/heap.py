@@ -83,6 +83,7 @@ class SimHeap:
         self._stats.live_bytes += nbytes
         self._stats.allocated_bytes_total += nbytes
         self._stats.allocations_total += 1
+        self._update_gauges()
         return ref
 
     def free(self, ref: SimRef) -> None:
@@ -92,6 +93,7 @@ class SimHeap:
             raise HeapError(f"double free or foreign ref: {ref}")
         self._stats.live_bytes -= nbytes
         self._stats.dead_bytes += nbytes
+        self._update_gauges()
 
     # -- collection ----------------------------------------------------------
 
@@ -102,7 +104,21 @@ class SimHeap:
         )
         self._stats.dead_bytes = 0
         self._stats.collections += 1
+        self._update_gauges()
         return ns
+
+    def _update_gauges(self) -> None:
+        """Sample occupancy into the metrics registry (watermarks track
+        peak/trough automatically); zero-cost when observability is off."""
+        obs = self.ctx.platform.obs
+        if obs is None:
+            return
+        obs.metrics.gauge(f"heap.{self.name}.live_bytes").set(
+            self._stats.live_bytes
+        )
+        obs.metrics.gauge(f"heap.{self.name}.used_bytes").set(
+            self._stats.used_bytes
+        )
 
     # -- introspection ---------------------------------------------------------
 

@@ -55,13 +55,24 @@ class SgxDriver:
                 ns = self.platform.charge_cycles("sgx.driver.page_fault", cycles)
             obs.metrics.counter("epc.faults").inc(faults)
             obs.metrics.counter("epc.evictions").inc(evictions)
+            self._update_gauges(obs)
         self.stats.faults_serviced += faults
         self.stats.total_ns += ns
         return ns
 
     def release_enclave(self, enclave_id: int) -> int:
         """Reclaim all EPC pages of a destroyed enclave."""
-        return self.epc.evict_enclave(enclave_id)
+        released = self.epc.evict_enclave(enclave_id)
+        obs = self.platform.obs
+        if obs is not None:
+            self._update_gauges(obs)
+        return released
+
+    def _update_gauges(self, obs) -> None:
+        """Sample EPC residency; watermarks give peak occupancy over time."""
+        resident = self.epc.resident_pages()
+        obs.metrics.gauge("epc.resident_pages").set(resident)
+        obs.metrics.gauge("epc.resident_bytes").set(resident * self.epc.page_bytes)
 
     @property
     def epc_stats(self) -> EpcStats:

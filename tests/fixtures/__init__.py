@@ -1,0 +1,1 @@
+"""Test fixture applications for the partition linter."""

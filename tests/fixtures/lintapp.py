@@ -1,0 +1,115 @@
+"""Deliberately broken partitioned app: seeds one finding per lint rule.
+
+Used by ``tests/test_analysis.py`` and lintable directly::
+
+    PYTHONPATH=src python -m repro lint --module tests.fixtures.lintapp
+
+Expected findings:
+
+- ``MSV001`` (x2) — ``Station.exfiltrate`` pulls the plain secret out of
+  the trusted ``Vault`` and both forwards it to untrusted ``Uplink.send``
+  and returns it from untrusted code;
+- ``MSV002`` — ``Uplink.send_callback`` takes a ``Callable`` (error: no
+  codec crosses it) and ``Station.configure`` takes the neutral
+  ``Config`` (warning: pickle-only);
+- ``MSV003`` — ``Station.rekey`` performs one fine-grained ecall
+  (``relay_Vault_rotate``) per loop iteration;
+- ``MSV004`` — ``Vault._forgotten_migration`` is private (gets no relay)
+  and never called: dead enclave code;
+- ``MSV005`` — ``Station.peek`` reads ``Vault.secret`` directly and
+  ``Station.probe`` does the same through ``getattr``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.annotations import trusted, untrusted
+
+
+@trusted
+class Vault:
+    """Holds the secret inside the enclave."""
+
+    def __init__(self, secret: str) -> None:
+        self.secret = secret
+
+    def reveal(self) -> str:
+        # Plain-data getter: legitimate on its own, the hazard is what
+        # callers do with the result.
+        return self.secret
+
+    def rotate(self, salt: int) -> int:
+        self.secret = f"{self.secret}:{salt}"
+        return salt
+
+    def _forgotten_migration(self) -> None:
+        # MSV004: private (no relay is generated) and never called.
+        self.secret = "migrated"
+
+
+@trusted
+class AuditLog:
+    """Second trusted class; fully reachable, so MSV004 stays quiet."""
+
+    def __init__(self) -> None:
+        self.entries: List[str] = []
+
+    def record(self, entry: str) -> None:
+        self.entries.append(entry)
+
+
+class Config:
+    """Neutral class: pickle can cross it, the wire codec cannot."""
+
+    def __init__(self) -> None:
+        self.flags: Dict[str, bool] = {}
+
+
+@untrusted
+class Uplink:
+    """Untrusted network endpoint."""
+
+    def __init__(self) -> None:
+        self.sent = 0
+
+    def send(self, payload: str) -> int:
+        self.sent += 1
+        return self.sent
+
+    def send_callback(self, callback: Callable[[str], None]) -> None:
+        # MSV002 (error): a callback cannot cross the enclave boundary.
+        callback("ping")
+
+
+@untrusted
+class Station:
+    """Untrusted orchestrator wired to commit every boundary sin."""
+
+    def __init__(self, secret: str) -> None:
+        self.vault = Vault(secret)
+        self.uplink = Uplink()
+
+    def exfiltrate(self) -> str:
+        secret = self.vault.reveal()
+        self.uplink.send(secret)  # MSV001: tainted value to untrusted sink
+        return secret  # MSV001: tainted value returned from untrusted code
+
+    def rekey(self, rounds: int) -> None:
+        for salt in range(rounds):
+            self.vault.rotate(salt)  # MSV003: one ecall per iteration
+
+    def configure(self, config: Config) -> None:
+        # MSV002 (warning): Config crosses pickle-only.
+        self.vault.rotate(len(config.flags))
+
+    def peek(self) -> str:
+        vault = self.vault
+        return vault.secret  # MSV005: foreign field access
+
+    def probe(self) -> object:
+        vault = self.vault
+        return getattr(vault, "secret")  # MSV005: string-based field access
+
+
+LINT_FIXTURE_CLASSES = (Vault, AuditLog, Config, Uplink, Station)

@@ -1,0 +1,306 @@
+"""Partition linter: rules, baseline, reporters, CLI and the lint gate."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    ALL_CODES,
+    BOUNDARY_ESCAPE,
+    CHATTY_CROSSING,
+    DEAD_TCB,
+    ENCAPSULATION,
+    UNSERIALIZABLE_CROSSING,
+    AppModel,
+    Diagnostic,
+    LintResult,
+    PartitionLinter,
+    Severity,
+    classify_annotation,
+    diff_candidates,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.report import JSON_SCHEMA, format_text, to_dict, to_json
+from repro.apps.bank import BANK_CLASSES
+from repro.core import Partitioner, PartitionOptions
+from repro.errors import PartitionError
+from repro.sgx.profiler import RoutineProfile
+from tests.fixtures.lintapp import LINT_FIXTURE_CLASSES, Station
+
+REPO_BASELINE = Path(__file__).resolve().parent.parent / "lint-baseline.txt"
+
+
+@pytest.fixture(scope="module")
+def fixture_result() -> LintResult:
+    return PartitionLinter().lint(LINT_FIXTURE_CLASSES)
+
+
+class TestFixtureFindings:
+    """The fixture app seeds at least one finding per rule (acceptance)."""
+
+    def test_all_five_codes_fire(self, fixture_result):
+        assert fixture_result.codes() == tuple(sorted(ALL_CODES))
+
+    def test_exit_code_nonzero(self, fixture_result):
+        assert fixture_result.error_count > 0
+        assert fixture_result.exit_code == 1
+
+    def test_boundary_escape_locations(self, fixture_result):
+        escapes = fixture_result.by_code(BOUNDARY_ESCAPE)
+        assert {d.location for d in escapes} == {"Station.exfiltrate"}
+        details = {d.detail for d in escapes}
+        assert "return:secret" in details
+        assert any(d.endswith("Uplink.send") for d in details)
+        assert all(d.severity is Severity.ERROR for d in escapes)
+
+    def test_unserializable_crossing_severities(self, fixture_result):
+        crossings = fixture_result.by_code(UNSERIALIZABLE_CROSSING)
+        by_location = {(d.location, d.detail): d.severity for d in crossings}
+        # Callable can never cross; neutral Config crosses pickle-only.
+        assert by_location[("Uplink.send_callback", "param:callback")] is Severity.ERROR
+        assert by_location[("Station.configure", "param:config")] is Severity.WARNING
+
+    def test_chatty_crossing_estimate(self, fixture_result):
+        chatty = fixture_result.by_code(CHATTY_CROSSING)
+        assert len(chatty) == 1
+        diag = chatty[0]
+        assert diag.location == "Station.rekey"
+        assert diag.data["routine"] == "relay_Vault_rotate"
+        assert diag.data["kind"] == "ecall"
+        assert diag.data["depth"] == 1
+        assert diag.data["estimated_calls"] >= 1
+
+    def test_dead_tcb_names_method_and_bytes(self, fixture_result):
+        from repro.core.tcb import method_code_bytes
+
+        dead = fixture_result.by_code(DEAD_TCB)
+        assert {d.location for d in dead} == {"Vault._forgotten_migration"}
+        assert str(method_code_bytes()) in dead[0].message
+
+    def test_encapsulation_covers_getattr(self, fixture_result):
+        leaks = fixture_result.by_code(ENCAPSULATION)
+        assert {d.location for d in leaks} == {"Station.peek", "Station.probe"}
+        assert all(d.detail == "Vault.secret" for d in leaks)
+
+
+class TestBundledApps:
+    """False-positive guard: shipped apps lint clean against the baseline."""
+
+    def test_bank_is_clean_without_baseline(self):
+        result = PartitionLinter().lint(list(BANK_CLASSES))
+        assert result.diagnostics == ()
+
+    def test_all_bundled_apps_match_checked_in_baseline(self):
+        from repro.analysis.cli import BUNDLED_APPS
+
+        baseline = load_baseline(REPO_BASELINE)
+        for name, loader in BUNDLED_APPS.items():
+            result = PartitionLinter().lint(loader(), baseline=baseline)
+            assert result.diagnostics == (), (
+                f"unbaselined findings in bundled app {name!r}: "
+                f"{[d.format() for d in result.diagnostics]}"
+            )
+
+    def test_baseline_has_no_globally_unused_keys(self):
+        from repro.analysis.cli import BUNDLED_APPS
+
+        baseline = load_baseline(REPO_BASELINE)
+        used = set()
+        for loader in BUNDLED_APPS.values():
+            result = PartitionLinter().lint(loader(), baseline=baseline)
+            used.update(d.suppression_key for d in result.suppressed)
+        assert baseline == used
+
+
+class TestBaseline:
+    def test_round_trip_suppresses_everything(self, tmp_path, fixture_result):
+        path = tmp_path / "baseline.txt"
+        write_baseline(path, fixture_result.diagnostics)
+        reloaded = load_baseline(path)
+        result = PartitionLinter().lint(LINT_FIXTURE_CLASSES, baseline=reloaded)
+        assert result.diagnostics == ()
+        assert len(result.suppressed) == len(fixture_result.diagnostics)
+        assert result.exit_code == 0
+
+    def test_comments_and_unused_keys(self, tmp_path):
+        path = tmp_path / "baseline.txt"
+        path.write_text(
+            "# explanatory comment\n"
+            "MSV005:Station.peek:Vault.secret\n"
+            "MSV001:Ghost.method:bogus  # trailing comment\n"
+        )
+        baseline = load_baseline(path)
+        result = PartitionLinter().lint(LINT_FIXTURE_CLASSES, baseline=baseline)
+        assert "MSV001:Ghost.method:bogus" in result.unused_suppressions
+        suppressed = {d.suppression_key for d in result.suppressed}
+        assert suppressed == {"MSV005:Station.peek:Vault.secret"}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.txt") == set()
+
+
+class TestReporters:
+    def test_text_report_mentions_codes_and_counts(self, fixture_result):
+        text = format_text({"lintapp": fixture_result})
+        for code in ALL_CODES:
+            assert code in text
+        assert "error" in text
+        assert "relay_Vault_rotate" in text  # predicted candidates block
+
+    def test_json_report_schema(self, fixture_result):
+        doc = json.loads(to_json({"lintapp": fixture_result}))
+        assert doc["schema"] == JSON_SCHEMA
+        assert doc["exit_code"] == 1
+        target = doc["targets"]["lintapp"]
+        codes = {d["code"] for d in target["diagnostics"]}
+        assert codes == set(ALL_CODES)
+        sample = target["diagnostics"][0]
+        assert {"code", "severity", "class", "method", "message"} <= set(sample)
+
+    def test_to_dict_counts_are_consistent(self, fixture_result):
+        doc = to_dict({"lintapp": fixture_result})
+        counts = doc["targets"]["lintapp"]["counts"]
+        assert counts["error"] == fixture_result.error_count
+        assert counts["warning"] == fixture_result.warning_count
+
+
+class TestCli:
+    def test_lint_subcommand_dispatches(self, capsys):
+        from repro.cli import main
+
+        rc = main(["lint", "--module", "tests.fixtures.lintapp"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        for code in ALL_CODES:
+            assert code in out
+
+    def test_bundled_apps_exit_zero_with_baseline(self, capsys):
+        from repro.cli import main
+
+        rc = main(["lint", "--baseline", str(REPO_BASELINE)])
+        captured = capsys.readouterr()
+        assert rc == 0, captured.out
+        assert "unused suppression" not in captured.err
+
+    def test_json_flag(self, capsys):
+        from repro.analysis.cli import main
+
+        rc = main(["bank", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["schema"] == JSON_SCHEMA
+        assert doc["targets"]["bank"]["diagnostics"] == []
+
+    def test_unknown_target_is_usage_error(self, capsys):
+        from repro.analysis.cli import main
+
+        assert main(["no-such-app"]) == 2
+
+    def test_write_baseline(self, tmp_path, capsys):
+        from repro.analysis.cli import main
+
+        path = tmp_path / "new-baseline.txt"
+        rc = main(
+            [
+                "--module",
+                "tests.fixtures.lintapp",
+                "--write-baseline",
+                str(path),
+            ]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        keys = load_baseline(path)
+        assert any(key.startswith("MSV001:") for key in keys)
+        rerun = PartitionLinter().lint(LINT_FIXTURE_CLASSES, baseline=keys)
+        assert rerun.exit_code == 0
+
+
+class TestLintGate:
+    def test_partition_refuses_on_errors(self):
+        with pytest.raises(PartitionError, match="partition linter found"):
+            Partitioner(PartitionOptions(name="gate")).partition(
+                list(LINT_FIXTURE_CLASSES), lint=True
+            )
+
+    def test_partition_passes_clean_app(self):
+        app = Partitioner(PartitionOptions(name="gate_ok")).partition(
+            list(BANK_CLASSES), main="Main.main", lint=True
+        )
+        assert app.name == "gate_ok"
+
+    def test_gate_off_by_default(self):
+        app = Partitioner(PartitionOptions(name="gate_off")).partition(
+            list(LINT_FIXTURE_CLASSES)
+        )
+        assert app.name == "gate_off"
+
+
+class TestDiagnosticModel:
+    def test_suppression_key_replaces_spaces(self):
+        diag = Diagnostic(
+            code="MSV001",
+            severity=Severity.ERROR,
+            class_name="C",
+            method_name="m",
+            message="msg",
+            detail="a b",
+        )
+        assert diag.suppression_key == "MSV001:C.m:a_b"
+
+    def test_classify_annotation_outside_model(self):
+        model = AppModel(LINT_FIXTURE_CLASSES)
+        assert classify_annotation("int", model, None).kind == "wire"
+        assert classify_annotation("Vault", model, None).crosses_as_proxy
+        assert (
+            classify_annotation("Callable[[str], None]", model, None).kind
+            == "unmarshalable"
+        )
+        assert classify_annotation("List[Vault]", model, None).kind == "nested_proxy"
+
+
+class TestStaticVsDynamic:
+    """Acceptance: MSV003's static predictions agree with a dynamic
+    :class:`TransitionProfiler` trace of the same workload."""
+
+    def test_predicted_candidates_format(self, fixture_result):
+        static = fixture_result.predicted_candidates()
+        assert static and all(isinstance(p, RoutineProfile) for p in static)
+        assert {(p.kind, p.name) for p in static} == {("ecall", "relay_Vault_rotate")}
+
+    def test_static_predictions_confirmed_by_trace(self, fixture_result):
+        from repro.sgx.profiler import TransitionProfiler
+
+        static = fixture_result.predicted_candidates()
+        options = PartitionOptions(name="lint_dynamic")
+        app = Partitioner(options).partition(list(LINT_FIXTURE_CLASSES))
+        with app.start() as session:
+            profiler = TransitionProfiler(session.transitions)
+            station = Station("hunter2")
+            station.rekey(2000)
+            dynamic = profiler.switchless_candidates()
+            profiler.close()
+
+        assert ("ecall", "relay_Vault_rotate") in {
+            (p.kind, p.name) for p in dynamic
+        }
+        diff = diff_candidates(static, dynamic)
+        assert [(p.kind, p.name) for p in diff["static_only"]] == []
+        assert ("ecall", "relay_Vault_rotate") in {
+            (p.kind, p.name) for p in diff["both"]
+        }
+        # Anything dynamic-only is the one-off constructor crossing, not a
+        # loop the static analysis should have seen.
+        assert all(p.name == "relay_Vault_init" for p in diff["dynamic_only"])
+
+
+class TestDeadTcbAccounting:
+    def test_dead_code_report_prices_by_method(self):
+        from repro.core.tcb import dead_code_report, method_code_bytes
+        from repro.graal.image import CODE_BYTES_PER_METHOD
+
+        assert method_code_bytes() == CODE_BYTES_PER_METHOD
+        report = dead_code_report({"Vault": ["_forgotten_migration", "_other"]})
+        assert report.total_bytes == 2 * CODE_BYTES_PER_METHOD

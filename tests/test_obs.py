@@ -420,6 +420,63 @@ class TestEpcObserver:
         assert any(e.name == "epc.page_fault" for e in obs.tracer.events())
 
 
+# -- occupancy gauges -------------------------------------------------------------
+
+
+class TestOccupancyGauges:
+    """Heap and EPC residency sampled into gauges (ROADMAP item)."""
+
+    def test_heap_gauges_track_live_and_used_bytes(self):
+        from repro.runtime.context import ExecutionContext, Location
+        from repro.runtime.heap import SimHeap
+
+        platform = fresh_platform()
+        obs = platform.enable_observability()
+        ctx = ExecutionContext(platform, Location.ENCLAVE)
+        heap = SimHeap(ctx, max_bytes=1 << 20, name="enclave")
+        a = heap.alloc(1000)
+        heap.alloc(2000)
+        live = obs.metrics.gauge("heap.enclave.live_bytes")
+        used = obs.metrics.gauge("heap.enclave.used_bytes")
+        assert live.value == 3000
+        heap.free(a)
+        assert live.value == 2000
+        assert used.value == 3000  # dead bytes linger until collection
+        heap.collect()
+        assert used.value == 2000
+        assert live.max_seen == 3000  # watermark: peak occupancy
+        assert used.max_seen == 3000
+
+    def test_epc_gauges_track_residency(self):
+        from repro.sgx.driver import SgxDriver
+
+        platform = fresh_platform()
+        obs = platform.enable_observability()
+        driver = SgxDriver(platform)
+        driver.access(1, 0, 5 * platform.spec.page_bytes)
+        pages = obs.metrics.gauge("epc.resident_pages")
+        assert pages.value == 5
+        assert (
+            obs.metrics.gauge("epc.resident_bytes").value
+            == 5 * platform.spec.page_bytes
+        )
+        released = driver.release_enclave(1)
+        assert released == 5
+        assert pages.value == 0
+        assert pages.max_seen == 5  # peak EPC residency survives release
+
+    def test_gauges_absent_without_observability(self):
+        from repro.runtime.context import ExecutionContext, Location
+        from repro.runtime.heap import SimHeap
+        from repro.sgx.driver import SgxDriver
+
+        platform = fresh_platform()
+        ctx = ExecutionContext(platform, Location.HOST)
+        SimHeap(ctx, max_bytes=1 << 20, name="plain").alloc(64)
+        SgxDriver(platform).access(1, 0, platform.spec.page_bytes)
+        assert platform.obs is None  # no registry was ever created
+
+
 # -- artifacts --------------------------------------------------------------------
 
 

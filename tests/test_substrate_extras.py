@@ -203,6 +203,41 @@ class TestEncapsulationValidator:
 
         assert EncapsulationValidator().validate([SelfUser]) == ()
 
+    def test_getattr_string_access_detected(self):
+        @trusted
+        class Locker:
+            def __init__(self):
+                self.combo = "0000"
+
+        @untrusted
+        class Lockpick:
+            def read(self):
+                locker = Locker()
+                return getattr(locker, "combo")  # string-based access
+
+            def write(self):
+                locker = Locker()
+                setattr(locker, "combo", "1234")
+
+        violations = EncapsulationValidator().validate([Locker, Lockpick])
+        assert len(violations) == 2
+        assert {v.accessing_method for v in violations} == {"read", "write"}
+        assert all(v.field == "combo" for v in violations)
+
+    def test_getattr_with_dynamic_name_ignored(self):
+        @trusted
+        class Cabinet:
+            def __init__(self):
+                self.files = []
+
+        @untrusted
+        class Browser:
+            def lookup(self, which):
+                cabinet = Cabinet()
+                return getattr(cabinet, which, None)  # not a literal
+
+        assert EncapsulationValidator().validate([Cabinet, Browser]) == ()
+
     def test_method_calls_are_not_violations(self):
         @trusted
         class Service:
