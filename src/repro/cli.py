@@ -33,6 +33,7 @@ from repro.experiments import fig3_proxy_creation, fig4_rmi, fig5_gc
 from repro.experiments import fig6_synthetic, fig7_paldb, fig9_graphchi
 from repro.experiments import ablations, fig12_specjvm
 from repro.experiments import epc_paging, mapreduce_exp, securekeeper_exp, startup
+from repro.experiments import fault_recovery
 
 
 def _fig3(scale: str) -> None:
@@ -138,7 +139,28 @@ def _mapreduce(scale: str) -> None:
     print(mapreduce_exp.run_mapreduce(line_counts=counts).format(y_format="{:.4f}"))
 
 
+def _chaos(scale: str) -> None:
+    import os
+
+    if scale == "small":
+        report = fault_recovery.run_chaos(
+            fault_rates=(0.0, 0.05),
+            checkpoint_intervals_ns=(0.0, 2_000_000.0),
+            n_accounts=4,
+            rounds=12,
+            n_entries=10,
+        )
+    else:
+        report = fault_recovery.run_chaos()
+    print(report.format())
+    os.makedirs("results", exist_ok=True)
+    path = os.path.join("results", "fault_recovery.json")
+    report.write_artifact(path)
+    print(f"artifact: {path}", file=sys.stderr)
+
+
 COMMANDS: Dict[str, Callable[[str], None]] = {
+    "chaos": _chaos,
     "epc": _epc,
     "startup": _startup,
     "securekeeper": _securekeeper,

@@ -78,6 +78,10 @@ class MirrorProxyRegistry:
                 return True, proxy_hash
         return False, 0
 
+    def items(self) -> Tuple[Tuple[int, Any], ...]:
+        """Snapshot of (hash, mirror) pairs — checkpoint capture."""
+        return tuple(self._mirrors.items())
+
     def live_count(self) -> int:
         return len(self._mirrors)
 

@@ -21,6 +21,7 @@ a neutral object and serialized.
 
 from __future__ import annotations
 
+import itertools
 import weakref
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -42,6 +43,7 @@ from repro.graal.isolate import Isolate
 from repro.graal.jtypes import TrustLevel
 from repro.runtime.context import ExecutionContext, Location
 from repro.runtime.tracker import ProxyTracker
+from repro.sgx.enclave import EnclaveState
 from repro.sgx.transitions import TransitionLayer
 
 #: Default simulated footprint of an annotated-class instance.
@@ -49,6 +51,11 @@ DEFAULT_OBJECT_BYTES = 64
 
 #: Class attribute overriding the simulated instance footprint.
 SIZE_ATTRIBUTE = "__montsalvat_size__"
+
+#: Same literal as :data:`repro.faults.retry.IDEMPOTENT_ATTR` — kept as
+#: a local constant so the core runtime does not import the fault
+#: package it is being tested against.
+_IDEMPOTENT_ATTR = "__montsalvat_idempotent__"
 
 _PRIMITIVES = (bool, int, float, type(None))
 
@@ -94,6 +101,10 @@ class RmiRuntime:
         self.hash_strategy = hash_strategy or IdentityHashStrategy()
         self.current_side = Side.UNTRUSTED
         self.platform = untrusted.ctx.platform
+        #: Optional :class:`~repro.faults.RecoveryCoordinator`; when set
+        #: every crossing runs through its retry loop.
+        self.recovery: Optional[Any] = None
+        self._invocation_ids = itertools.count(1)
 
     # -- wiring ---------------------------------------------------------------
 
@@ -206,10 +217,19 @@ class RmiRuntime:
             return getattr(mirror, method_name)(*args, **kwargs)
 
         class_name = type(proxy).__name__.replace("Proxy", "")
+        idempotent = self._idempotent_hint(type(proxy), method_name)
         obs = self.platform.obs
         if obs is None:
             return self._invoke_remote(
-                class_name, method_name, args, kwargs, caller, target, remote_hash, None
+                class_name,
+                method_name,
+                args,
+                kwargs,
+                caller,
+                target,
+                remote_hash,
+                None,
+                idempotent,
             )
         with obs.tracer.span(
             "rmi.invoke",
@@ -221,11 +241,26 @@ class RmiRuntime:
             },
         ) as span:
             result = self._invoke_remote(
-                class_name, method_name, args, kwargs, caller, target, remote_hash, span
+                class_name,
+                method_name,
+                args,
+                kwargs,
+                caller,
+                target,
+                remote_hash,
+                span,
+                idempotent,
             )
         obs.metrics.counter("rmi.invocations").inc()
         obs.metrics.histogram("rmi.invoke_ns").observe(span.duration_ns)
         return result
+
+    def _idempotent_hint(self, proxy_cls: type, method_name: str) -> bool:
+        """Whether the target method is declared replay-safe."""
+        if self.recovery is None:
+            return False
+        func = getattr(_concrete_class(proxy_cls), method_name, None)
+        return bool(getattr(func, _IDEMPOTENT_ATTR, False))
 
     def _invoke_remote(
         self,
@@ -237,6 +272,7 @@ class RmiRuntime:
         target: Side,
         remote_hash: int,
         span: Optional[Any],
+        idempotent: bool = False,
     ) -> Any:
         rmi_costs = self.platform.cost_model.rmi
         encoded_args, encoded_kwargs, payload = self._encode_call(args, kwargs, caller)
@@ -258,7 +294,12 @@ class RmiRuntime:
                 return self._encode_value(result, target)
 
         encoded_result = self._cross(
-            caller, target, f"relay_{class_name}_{method_name}", relay_method, payload
+            caller,
+            target,
+            f"relay_{class_name}_{method_name}",
+            relay_method,
+            payload,
+            idempotent=idempotent,
         )
         return self._decode_value(encoded_result, caller)
 
@@ -300,7 +341,12 @@ class RmiRuntime:
                     return self._encode_value(result, home)
 
             encoded_result = self._cross(
-                caller, home, f"relay_{cls.__name__}_{method_name}", relay_static, payload
+                caller,
+                home,
+                f"relay_{cls.__name__}_{method_name}",
+                relay_static,
+                payload,
+                idempotent=bool(getattr(func, _IDEMPOTENT_ATTR, False)),
             )
             return self._decode_value(encoded_result, caller)
         finally:
@@ -318,6 +364,14 @@ class RmiRuntime:
         """
         dead_list = list(hashes)
         if not dead_list:
+            return 0
+        if (
+            self.transitions is not None
+            and self.transitions.enclave.state is EnclaveState.LOST
+        ):
+            # The mirrors died with the enclave; there is nothing to
+            # release and no enclave to cross into (teardown after an
+            # unrecovered loss must not explode).
             return 0
         opposite = dead_side.opposite
         rmi_costs = self.platform.cost_model.rmi
@@ -340,14 +394,24 @@ class RmiRuntime:
             obs = self.platform.obs
             if obs is None:
                 return self._cross(
-                    dead_side, opposite, "gc_release", release, payload=8 * len(dead_list)
+                    dead_side,
+                    opposite,
+                    "gc_release",
+                    release,
+                    payload=8 * len(dead_list),
+                    idempotent=True,
                 )
             with obs.tracer.span(
                 "rmi.gc_release",
                 attrs={"dead_side": dead_side.value, "dead": len(dead_list)},
             ):
                 released = self._cross(
-                    dead_side, opposite, "gc_release", release, payload=8 * len(dead_list)
+                    dead_side,
+                    opposite,
+                    "gc_release",
+                    release,
+                    payload=8 * len(dead_list),
+                    idempotent=True,
                 )
             obs.metrics.counter("rmi.mirrors_released").inc(released)
             return released
@@ -442,7 +506,15 @@ class RmiRuntime:
 
     # -- transitions -------------------------------------------------------------------
 
-    def _cross(self, caller: Side, target: Side, name: str, body, payload: int) -> Any:
+    def _cross(
+        self,
+        caller: Side,
+        target: Side,
+        name: str,
+        body,
+        payload: int,
+        idempotent: bool = False,
+    ) -> Any:
         """Perform the boundary crossing and marshal outcomes.
 
         Application exceptions raised on the target side cannot cross a
@@ -451,6 +523,11 @@ class RmiRuntime:
         exception types are reconstructed, anything else surfaces as
         :class:`RmiError`. Infrastructure errors (:class:`ReproError`)
         propagate directly; they belong to the runtime, not the app.
+
+        With a recovery coordinator installed, the transition runs
+        inside its retry loop: enclave loss triggers rebuild + replay
+        under the at-most-once rules (``idempotent`` marks routines the
+        coordinator may reissue after a *mid-call* loss).
         """
         from repro.errors import ReproError
 
@@ -472,10 +549,24 @@ class RmiRuntime:
 
         if self.transitions is None:
             outcome = guarded()
-        elif target is Side.TRUSTED:
-            outcome = self.transitions.ecall(name, guarded, payload_bytes=payload)
         else:
-            outcome = self.transitions.ocall(name, guarded, payload_bytes=payload)
+            if target is Side.TRUSTED:
+                def transition() -> Tuple[str, Any]:
+                    return self.transitions.ecall(name, guarded, payload_bytes=payload)
+            else:
+                def transition() -> Tuple[str, Any]:
+                    return self.transitions.ocall(name, guarded, payload_bytes=payload)
+
+            recovery = self.recovery
+            if recovery is None:
+                outcome = transition()
+            else:
+                outcome = recovery.run_with_retry(
+                    transition,
+                    routine=name,
+                    invocation_id=next(self._invocation_ids),
+                    idempotent=idempotent,
+                )
 
         tag, value = outcome
         if tag == "ok":

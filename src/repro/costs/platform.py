@@ -7,7 +7,7 @@ virtual clock and records the amount in the ledger under a category.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional, Tuple
 
 from repro.costs.clock import ClockSpan, VirtualClock
 from repro.costs.ledger import CostLedger
@@ -37,6 +37,9 @@ class Platform:
         self.ledger = CostLedger()
         #: Active observability bundle, or None (the zero-cost default).
         self.obs: Optional["Observability"] = None
+        #: Active fault injector, or None (the zero-cost default). The
+        #: SGX substrate consults it at every boundary it can break.
+        self.faults: Optional[Any] = None
         # A tuple, not a list: iteration over the common empty case is
         # free and observers are registered once, not churned.
         self._charge_observers: Tuple[ChargeObserver, ...] = ()
@@ -96,6 +99,24 @@ class Platform:
             self.obs = obs
             self.add_charge_observer(obs.on_charge)
         return self.obs
+
+    # -- fault injection ------------------------------------------------------
+
+    def enable_fault_injection(self, injector: Any) -> Any:
+        """Attach a :class:`~repro.faults.FaultInjector` to this platform.
+
+        Like observability, injection is strictly zero-cost when off:
+        with no injector attached the substrate performs one attribute
+        check per boundary and charges nothing extra.
+        """
+        self.faults = injector
+        bind = getattr(injector, "bind", None)
+        if callable(bind):
+            bind(self)
+        return injector
+
+    def disable_fault_injection(self) -> None:
+        self.faults = None
 
     @property
     def tracer(self):

@@ -24,6 +24,25 @@ class EnclaveError(SgxError):
     """Enclave lifecycle violation (double init, use after destroy...)."""
 
 
+class EnclaveLostError(EnclaveError):
+    """``SGX_ERROR_ENCLAVE_LOST`` analog: the enclave vanished under the
+    caller (power transition, AEX storm, injected crash).
+
+    ``phase`` records when the loss surfaced relative to the crossing's
+    body: ``"pre"`` means the call never dispatched (safe to reissue),
+    ``"mid"`` means the body may have executed before the reply was
+    lost (replay needs an idempotency guarantee). ``transient`` is True
+    for aborts that leave the enclave itself intact.
+    """
+
+    def __init__(
+        self, message: str, *, phase: str = "pre", transient: bool = False
+    ) -> None:
+        super().__init__(message)
+        self.phase = phase
+        self.transient = transient
+
+
 class TransitionError(SgxError):
     """An ecall/ocall was attempted outside a valid transition context."""
 
@@ -62,6 +81,19 @@ class SerializationError(RmiError):
 
 class RegistryError(RmiError):
     """Mirror-proxy registry lookup or registration failure."""
+
+
+class RetryExhaustedError(RmiError):
+    """An RMI invocation kept failing after every allowed retry."""
+
+
+class NonIdempotentReplayError(RmiError):
+    """A crossing failed *mid-call* and cannot be replayed safely.
+
+    The relay may have executed inside the enclave before the reply was
+    lost; re-invoking a routine that is not marked idempotent would
+    break at-most-once delivery, so the runtime surfaces this typed
+    error instead of silently re-executing."""
 
 
 class ShimError(ReproError):

@@ -1,0 +1,54 @@
+"""Deterministic fault injection and enclave-loss recovery.
+
+``repro.faults`` turns robustness into a measurable experiment axis:
+
+- :class:`FaultInjector` — seeded chaos plans (transient transition
+  aborts, permanent enclave crashes, switchless worker stalls, EPC
+  pressure spikes) consulted by the SGX substrate via
+  ``Platform.enable_fault_injection``; strictly zero-cost when off.
+- :class:`RetryPolicy` / :func:`idempotent` — bounded exponential
+  backoff and the at-most-once idempotency contract for RMI crossings.
+- :class:`CheckpointManager` — sealed state snapshots through
+  :class:`~repro.sgx.sealing.SealingService`, restored after rebuild.
+- :class:`RecoveryCoordinator` / :func:`attach_recovery` — the retry
+  loop plus the priced rebuild pipeline (reinitialize → re-attest →
+  restore from sealed checkpoints).
+
+See ``docs/FAULTS.md`` for the fault model and recovery semantics.
+"""
+
+from repro.faults.checkpoint import (
+    CheckpointManager,
+    CheckpointStats,
+    register_mirror_registry,
+)
+from repro.faults.injector import (
+    FaultDecision,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultRule,
+)
+from repro.faults.recovery import (
+    RecoveryCoordinator,
+    RecoveryStats,
+    attach_recovery,
+)
+from repro.faults.retry import IDEMPOTENT_ATTR, RetryPolicy, idempotent
+
+__all__ = [
+    "CheckpointManager",
+    "CheckpointStats",
+    "FaultDecision",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultRule",
+    "IDEMPOTENT_ATTR",
+    "RecoveryCoordinator",
+    "RecoveryStats",
+    "RetryPolicy",
+    "attach_recovery",
+    "idempotent",
+    "register_mirror_registry",
+]

@@ -1,0 +1,170 @@
+"""Sealed checkpoints: durable trusted state across enclave loss.
+
+A SecureKeeper-style shielding runtime survives ``ENCLAVE_LOST`` by
+periodically sealing its in-enclave state to untrusted storage and
+restoring from the latest blob after the rebuild + re-attestation. The
+:class:`CheckpointManager` generalises that: components register named
+(capture, restore) pairs, the manager seals every captured snapshot
+through :class:`~repro.sgx.sealing.SealingService` (so blobs are bound
+to the enclave measurement and priced through ``sgx.seal``), and the
+recovery coordinator calls :meth:`restore_all` once the rebuilt enclave
+is attested.
+
+``interval_ns`` trades checkpoint cost against exposure: 0 checkpoints
+after every successful crossing (maximal durability, maximal sealing
+cost); larger intervals amortise sealing but lose the updates since the
+last checkpoint on a crash — exactly the axis the chaos ablation sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.sgx.sealing import SealedBlob, SealingService
+
+
+@dataclass
+class CheckpointStats:
+    """Work done by one checkpoint manager."""
+
+    checkpoints: int = 0
+    entries_sealed: int = 0
+    restores: int = 0
+    entries_restored: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "checkpoints": self.checkpoints,
+            "entries_sealed": self.entries_sealed,
+            "restores": self.restores,
+            "entries_restored": self.entries_restored,
+        }
+
+
+@dataclass
+class _Entry:
+    name: str
+    capture: Callable[[], Any]
+    restore: Callable[[Any], None]
+    wipe: Optional[Callable[[], None]] = None
+    blob: Optional[SealedBlob] = None
+
+
+class CheckpointManager:
+    """Seals registered state snapshots at a configurable cadence."""
+
+    def __init__(self, sealing: SealingService, interval_ns: float = 0.0) -> None:
+        if interval_ns < 0:
+            raise ConfigurationError("interval_ns cannot be negative")
+        self.sealing = sealing
+        self.interval_ns = interval_ns
+        self.stats = CheckpointStats()
+        self._entries: List[_Entry] = []
+        self._last_checkpoint_ns: Optional[float] = None
+
+    @property
+    def platform(self):
+        return self.sealing.enclave.platform
+
+    # -- registration ---------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        capture: Callable[[], Any],
+        restore: Callable[[Any], None],
+        wipe: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Register a named snapshot source.
+
+        ``capture`` returns a picklable snapshot, ``restore`` applies
+        one to the rebuilt world, ``wipe`` (optional) clears the stale
+        live state first — restore_all always wipes before restoring so
+        an entry with no blob yet comes back empty, not stale.
+        """
+        if any(entry.name == name for entry in self._entries):
+            raise ConfigurationError(f"checkpoint entry {name!r} already exists")
+        self._entries.append(
+            _Entry(name=name, capture=capture, restore=restore, wipe=wipe)
+        )
+
+    # -- checkpointing --------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Seal every registered entry now; returns entries sealed."""
+        for entry in self._entries:
+            entry.blob = self.sealing.seal(entry.capture())
+            self.stats.entries_sealed += 1
+        self.stats.checkpoints += 1
+        self._last_checkpoint_ns = self.platform.clock.now_ns
+        obs = self.platform.obs
+        if obs is not None:
+            obs.metrics.counter("recovery.checkpoints").inc()
+        return len(self._entries)
+
+    def maybe_checkpoint(self) -> bool:
+        """Checkpoint if the configured interval has elapsed."""
+        if not self._entries:
+            return False
+        now = self.platform.clock.now_ns
+        if (
+            self._last_checkpoint_ns is not None
+            and now - self._last_checkpoint_ns < self.interval_ns
+        ):
+            return False
+        self.checkpoint()
+        return True
+
+    # -- restore --------------------------------------------------------------
+
+    def restore_all(self) -> int:
+        """Wipe live state and restore the latest sealed snapshots.
+
+        Called by the recovery coordinator after ``reinitialize()`` +
+        re-attestation. Entries never checkpointed are only wiped: the
+        state they guarded died with the enclave.
+        """
+        restored = 0
+        for entry in self._entries:
+            if entry.wipe is not None:
+                entry.wipe()
+            if entry.blob is not None:
+                entry.restore(self.sealing.unseal(entry.blob))
+                restored += 1
+                self.stats.entries_restored += 1
+        self.stats.restores += 1
+        return restored
+
+    @property
+    def entry_names(self) -> List[str]:
+        return [entry.name for entry in self._entries]
+
+
+def register_mirror_registry(
+    manager: CheckpointManager, state: Any, name: str = "trusted-mirrors"
+) -> None:
+    """Checkpoint a :class:`~repro.core.state.SideState`'s mirror registry.
+
+    Captures the (hash -> mirror) mapping; wipes it (and the identity
+    hash cache) before restoring so a crash without any checkpoint
+    leaves the side verifiably empty. The hash cache is rebuilt from
+    the restored mirrors — unpickling gives them fresh identities, so
+    the pre-crash cache would be stale.
+    """
+    registry = state.registry
+
+    def capture() -> Any:
+        return tuple(sorted(registry.items()))
+
+    def wipe() -> None:
+        registry.clear()
+        state.mirror_hashes.clear()
+
+    def restore(snapshot: Any) -> None:
+        for proxy_hash, mirror in snapshot:
+            registry.add(proxy_hash, mirror)
+            state.mirror_hashes[id(mirror)] = proxy_hash
+
+    manager.register(name, capture=capture, restore=restore, wipe=wipe)

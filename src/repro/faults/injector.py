@@ -1,0 +1,323 @@
+"""Seeded, deterministic fault injection for the SGX substrate.
+
+Real enclaves are *lossy*: power transitions and AEX storms surface as
+``SGX_ERROR_ENCLAVE_LOST``, switchless worker pools stall, and other
+tenants create EPC pressure. The :class:`FaultInjector` models all of
+that as a *plan*: an ordered list of :class:`FaultRule` entries matched
+against every instrumented boundary (ecall/ocall transitions, the
+switchless worker pool, the EPC driver). Rules select by routine-name
+pattern, call count, probability and virtual-time window; probabilistic
+rules draw from one seeded :class:`random.Random`, so a plan replays
+byte-identically — fault schedules are an experiment parameter, not
+noise.
+
+The injector never raises and never charges: it only *decides*. The
+instrumented component turns a :class:`FaultDecision` into the right
+error (:class:`~repro.errors.EnclaveLostError`), state change
+(``Enclave.mark_lost``) or cost, which keeps this module free of any
+SGX imports and the substrate free of fault-package imports beyond the
+``platform.faults`` attribute.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class FaultKind(enum.Enum):
+    """What kind of failure a rule injects."""
+
+    #: AEX-style abort: the crossing fails with ``ENCLAVE_LOST`` but the
+    #: enclave itself survives; reissuing the call succeeds.
+    TRANSIENT_ABORT = "transient-abort"
+    #: Permanent loss: the enclave transitions to ``LOST`` and must be
+    #: rebuilt (reinitialize + re-attest + restore) before any new call.
+    ENCLAVE_CRASH = "enclave-crash"
+    #: Switchless worker stall: the fast path is unavailable for the
+    #: next ``stall_calls`` calls, forcing the hardware-transition
+    #: fallback.
+    WORKER_STALL = "worker-stall"
+    #: EPC pressure spike: a hostile tenant touches ``spike_pages``
+    #: pages, evicting resident pages and inflating later fault rates.
+    EPC_PRESSURE = "epc-pressure"
+
+
+_PHASES = ("pre", "mid")
+
+
+@dataclass
+class FaultRule:
+    """One entry of a fault plan.
+
+    A rule *matches* a boundary event when its kind is being consulted,
+    ``routine`` fnmatch-matches the routine name, ``call_kind`` matches
+    (``ecall``/``ocall``/``epc`` or ``*``) and the virtual clock lies in
+    ``window_ns``. Among matching calls it *fires* according to
+    ``at_call`` (exactly the Nth matching call), ``every`` (each Nth),
+    and/or ``probability``; ``max_fires`` caps total firings.
+    """
+
+    kind: FaultKind
+    routine: str = "*"
+    call_kind: str = "*"
+    probability: float = 1.0
+    at_call: Optional[int] = None
+    every: Optional[int] = None
+    window_ns: Optional[Tuple[float, float]] = None
+    max_fires: Optional[int] = None
+    #: For crashes: "pre" (before the body dispatches — safe to retry)
+    #: or "mid" (after the body ran — replay needs idempotency).
+    phase: str = "pre"
+    #: WORKER_STALL: how many consecutive calls the pool stays stalled.
+    stall_calls: int = 4
+    #: EPC_PRESSURE: hostile pages touched per spike.
+    spike_pages: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.phase not in _PHASES:
+            raise ConfigurationError(f"phase must be one of {_PHASES}")
+        if self.kind is FaultKind.TRANSIENT_ABORT and self.phase != "pre":
+            raise ConfigurationError(
+                "transient aborts never execute the body: phase must be 'pre'"
+            )
+        if self.at_call is not None and self.at_call < 1:
+            raise ConfigurationError("at_call is 1-based")
+        if self.every is not None and self.every < 1:
+            raise ConfigurationError("every must be >= 1")
+        if self.stall_calls < 1:
+            raise ConfigurationError("stall_calls must be >= 1")
+        if self.spike_pages < 0:
+            raise ConfigurationError("spike_pages cannot be negative")
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the transition layer should do about one fired rule."""
+
+    kind: str
+    phase: str
+    crash: bool
+    message: str
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, in firing order (the replayable schedule)."""
+
+    seq: int
+    kind: str
+    routine: str
+    call_kind: str
+    now_ns: float
+    rule_index: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "routine": self.routine,
+            "call_kind": self.call_kind,
+            "now_ns": self.now_ns,
+            "rule": self.rule_index,
+        }
+
+
+_TRANSITION_KINDS = (FaultKind.TRANSIENT_ABORT, FaultKind.ENCLAVE_CRASH)
+
+
+class FaultInjector:
+    """Deterministic chaos: decides which boundary events fail.
+
+    Attach with ``platform.enable_fault_injection(injector)``. All
+    decisions depend only on the seed, the rule list and the (virtual
+    time, routine) sequence of consultations — two identical runs see
+    identical fault schedules.
+    """
+
+    def __init__(self, seed: int = 0, rules: Sequence[FaultRule] = ()) -> None:
+        self.seed = seed
+        self.rules: List[FaultRule] = list(rules)
+        self._rng = random.Random(seed)
+        self._seen: Dict[int, int] = {}
+        self._fired: Dict[int, int] = {}
+        self._stall_remaining: Dict[str, int] = {}
+        self.events: List[FaultEvent] = []
+        self.platform: Optional[Any] = None
+
+    # -- wiring ---------------------------------------------------------------
+
+    def bind(self, platform: Any) -> None:
+        """Called by ``Platform.enable_fault_injection``."""
+        self.platform = platform
+
+    def add_rule(self, rule: FaultRule) -> FaultRule:
+        self.rules.append(rule)
+        return rule
+
+    # -- boundary probes ------------------------------------------------------
+
+    def transition_fault(
+        self, call_kind: str, routine: str, now_ns: float
+    ) -> Optional[FaultDecision]:
+        """Consulted by the transition layer before each ecall/ocall."""
+        index, rule = self._consult(_TRANSITION_KINDS, routine, call_kind, now_ns)
+        if rule is None:
+            return None
+        self._record(index, rule, routine, call_kind, now_ns)
+        crash = rule.kind is FaultKind.ENCLAVE_CRASH
+        if crash:
+            message = (
+                f"injected enclave crash ({rule.phase}-dispatch) during "
+                f"{call_kind} {routine!r}"
+            )
+        else:
+            message = f"injected transient abort during {call_kind} {routine!r}"
+        return FaultDecision(
+            kind=rule.kind.value,
+            phase=rule.phase if crash else "pre",
+            crash=crash,
+            message=message,
+        )
+
+    def worker_stall(self, call_kind: str, routine: str, now_ns: float) -> bool:
+        """Consulted by switchless dispatch; True forces the fallback."""
+        remaining = self._stall_remaining.get(call_kind, 0)
+        if remaining > 0:
+            self._stall_remaining[call_kind] = remaining - 1
+            return True
+        index, rule = self._consult(
+            (FaultKind.WORKER_STALL,), routine, call_kind, now_ns
+        )
+        if rule is None:
+            return False
+        self._record(index, rule, routine, call_kind, now_ns)
+        # This call stalls now; stall_calls - 1 more follow it.
+        self._stall_remaining[call_kind] = rule.stall_calls - 1
+        return True
+
+    def epc_pressure(self, now_ns: float) -> int:
+        """Consulted by the driver; returns hostile pages to touch."""
+        index, rule = self._consult(
+            (FaultKind.EPC_PRESSURE,), "epc.access", "epc", now_ns
+        )
+        if rule is None:
+            return 0
+        self._record(index, rule, "epc.access", "epc", now_ns)
+        return rule.spike_pages
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def faults_injected(self) -> int:
+        return len(self.events)
+
+    def fired_counts(self) -> Dict[int, int]:
+        """Firings per rule index (rules that never fired are absent)."""
+        return dict(self._fired)
+
+    def event_schedule(self) -> Tuple[Tuple[Any, ...], ...]:
+        """Hashable view of the fault schedule (determinism checks)."""
+        return tuple(
+            (e.seq, e.kind, e.routine, e.call_kind, e.now_ns, e.rule_index)
+            for e in self.events
+        )
+
+    def to_dict(self, max_events: int = 200) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "rules": [
+                {
+                    "kind": rule.kind.value,
+                    "routine": rule.routine,
+                    "call_kind": rule.call_kind,
+                    "probability": rule.probability,
+                    "phase": rule.phase,
+                    "fired": self._fired.get(i, 0),
+                }
+                for i, rule in enumerate(self.rules)
+            ],
+            "faults_injected": self.faults_injected,
+            "events": [e.to_dict() for e in self.events[:max_events]],
+        }
+
+    # -- internals ------------------------------------------------------------
+
+    def _consult(
+        self,
+        kinds: Tuple[FaultKind, ...],
+        routine: str,
+        call_kind: str,
+        now_ns: float,
+    ) -> Tuple[int, Optional[FaultRule]]:
+        for index, rule in enumerate(self.rules):
+            if rule.kind not in kinds:
+                continue
+            if rule.call_kind not in ("*", call_kind):
+                continue
+            if not fnmatchcase(routine, rule.routine):
+                continue
+            if rule.window_ns is not None:
+                low, high = rule.window_ns
+                if not low <= now_ns < high:
+                    continue
+            if (
+                rule.max_fires is not None
+                and self._fired.get(index, 0) >= rule.max_fires
+            ):
+                continue
+            seen = self._seen.get(index, 0) + 1
+            self._seen[index] = seen
+            if self._fires(index, rule, seen):
+                return index, rule
+        return -1, None
+
+    def _fires(self, index: int, rule: FaultRule, seen: int) -> bool:
+        if rule.at_call is not None and seen != rule.at_call:
+            return False
+        if rule.every is not None and seen % rule.every != 0:
+            return False
+        if rule.probability >= 1.0:
+            return True
+        # One draw per eligible consultation, in consultation order:
+        # the schedule is a pure function of (seed, rules, call trace).
+        return self._rng.random() < rule.probability
+
+    def _record(
+        self,
+        index: int,
+        rule: FaultRule,
+        routine: str,
+        call_kind: str,
+        now_ns: float,
+    ) -> None:
+        self._fired[index] = self._fired.get(index, 0) + 1
+        self.events.append(
+            FaultEvent(
+                seq=len(self.events) + 1,
+                kind=rule.kind.value,
+                routine=routine,
+                call_kind=call_kind,
+                now_ns=now_ns,
+                rule_index=index,
+            )
+        )
+        platform = self.platform
+        obs = platform.obs if platform is not None else None
+        if obs is not None:
+            obs.metrics.counter("sgx.faults_injected").inc()
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(seed={self.seed}, rules={len(self.rules)}, "
+            f"injected={self.faults_injected})"
+        )

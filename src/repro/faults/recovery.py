@@ -1,0 +1,240 @@
+"""Enclave-loss recovery: retry loop + rebuild/re-attest/restore.
+
+The :class:`RecoveryCoordinator` sits between :class:`RmiRuntime` and
+the transition layer. Every proxy crossing runs through
+:meth:`run_with_retry`; when the substrate raises
+:class:`~repro.errors.EnclaveLostError` the coordinator
+
+1. rebuilds a LOST enclave (priced ``reinitialize()``),
+2. re-attests the rebuilt enclave against its expected measurement
+   (local attestation through :class:`AttestationService`, priced under
+   ``recovery.reattest``),
+3. restores trusted state from the latest sealed checkpoints,
+4. charges exponential backoff as virtual ns and reissues the call —
+   but only when at-most-once semantics allow it: a *mid-call* loss
+   leaves the crossing's outcome indeterminate, and replaying a routine
+   not declared idempotent raises
+   :class:`~repro.errors.NonIdempotentReplayError` instead.
+
+Every component of the recovery cost is measured separately
+(``reinit_ns`` / ``reattest_ns`` / ``restore_ns`` / ``backoff_ns``) so
+the chaos ablation can break down where the robustness budget goes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Set, TypeVar
+
+from repro.errors import (
+    EnclaveLostError,
+    NonIdempotentReplayError,
+    RetryExhaustedError,
+)
+from repro.faults.checkpoint import CheckpointManager, register_mirror_registry
+from repro.faults.retry import RetryPolicy
+from repro.sgx.attestation import AttestationService
+from repro.sgx.enclave import Enclave
+from repro.sgx.sealing import SealingService
+
+T = TypeVar("T")
+
+#: Fixed cost of the post-rebuild local attestation handshake
+#: (EREPORT + quote + verification round trip).
+_REATTEST_FIXED_CYCLES = 120_000.0
+
+
+@dataclass
+class RecoveryStats:
+    """What recovering from enclave loss cost, by component."""
+
+    recoveries: int = 0
+    retries: int = 0
+    reinit_ns: float = 0.0
+    reattest_ns: float = 0.0
+    restore_ns: float = 0.0
+    backoff_ns: float = 0.0
+    mirrors_restored: int = 0
+
+    @property
+    def total_ns(self) -> float:
+        return self.reinit_ns + self.reattest_ns + self.restore_ns + self.backoff_ns
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "recoveries": self.recoveries,
+            "retries": self.retries,
+            "reinit_ns": self.reinit_ns,
+            "reattest_ns": self.reattest_ns,
+            "restore_ns": self.restore_ns,
+            "backoff_ns": self.backoff_ns,
+            "total_ns": self.total_ns,
+            "mirrors_restored": self.mirrors_restored,
+        }
+
+
+class RecoveryCoordinator:
+    """Retries crossings across enclave loss, rebuilding as needed."""
+
+    def __init__(
+        self,
+        enclave: Enclave,
+        attestation: Optional[AttestationService] = None,
+        checkpoints: Optional[CheckpointManager] = None,
+        policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.enclave = enclave
+        self.platform = enclave.platform
+        self.attestation = attestation
+        self.checkpoints = checkpoints
+        self.policy = policy or RetryPolicy()
+        #: Invocation ids whose relay may have executed before the
+        #: reply was lost — replay needs an idempotency declaration.
+        self._indeterminate: Set[int] = set()
+        self.stats = RecoveryStats()
+
+    # -- the retry loop -------------------------------------------------------
+
+    def run_with_retry(
+        self,
+        operation: Callable[[], T],
+        routine: str,
+        invocation_id: int,
+        idempotent: bool = False,
+    ) -> T:
+        """Run one crossing, recovering and retrying on enclave loss."""
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                result = operation()
+            except EnclaveLostError as exc:
+                self._note_loss(invocation_id, exc)
+                if not self.enclave.usable:
+                    self.recover()
+                if invocation_id in self._indeterminate and not (
+                    idempotent or self.policy.is_idempotent(routine)
+                ):
+                    raise NonIdempotentReplayError(
+                        f"crossing {routine!r} (invocation {invocation_id}) was "
+                        "lost mid-call; the relay may already have executed "
+                        "and the routine is not marked idempotent"
+                    ) from exc
+                if attempt >= self.policy.max_attempts:
+                    raise RetryExhaustedError(
+                        f"crossing {routine!r} failed {attempt} times "
+                        f"(last: {exc})"
+                    ) from exc
+                self._backoff(attempt, routine)
+            else:
+                self._indeterminate.discard(invocation_id)
+                if self.checkpoints is not None:
+                    self.checkpoints.maybe_checkpoint()
+                return result
+
+    def _note_loss(self, invocation_id: int, exc: EnclaveLostError) -> None:
+        if exc.phase == "mid":
+            self._indeterminate.add(invocation_id)
+
+    def _backoff(self, attempt: int, routine: str) -> None:
+        backoff = self.policy.backoff_ns(attempt)
+        self.platform.charge_ns("rmi.retry.backoff", backoff)
+        self.stats.retries += 1
+        self.stats.backoff_ns += backoff
+        obs = self.platform.obs
+        if obs is not None:
+            obs.metrics.counter("rmi.retries").inc()
+
+    # -- rebuild --------------------------------------------------------------
+
+    def recover(self) -> float:
+        """Rebuild a LOST enclave: reinit + re-attest + restore.
+
+        Returns the total virtual ns the rebuild cost. No-op when the
+        enclave is already usable (another caller recovered it first).
+        """
+        if self.enclave.usable:
+            return 0.0
+        clock = self.platform.clock
+        obs = self.platform.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.start_span(
+                "recovery.rebuild", attrs={"enclave": self.enclave.enclave_id}
+            )
+        started_ns = clock.now_ns
+        try:
+            mark = clock.now_ns
+            self.enclave.reinitialize()
+            reinit_ns = clock.now_ns - mark
+
+            mark = clock.now_ns
+            self._reattest()
+            reattest_ns = clock.now_ns - mark
+
+            mark = clock.now_ns
+            restored = 0
+            if self.checkpoints is not None:
+                restored = self.checkpoints.restore_all()
+            restore_ns = clock.now_ns - mark
+        finally:
+            if span is not None:
+                span.set_attr("enclave_rebuilds", self.enclave.rebuilds)
+                obs.tracer.end_span(span)
+
+        self.stats.recoveries += 1
+        self.stats.reinit_ns += reinit_ns
+        self.stats.reattest_ns += reattest_ns
+        self.stats.restore_ns += restore_ns
+        self.stats.mirrors_restored += restored
+        if obs is not None:
+            obs.metrics.counter("recovery.recoveries").inc()
+            obs.metrics.counter("recovery.reinit_ns").inc(reinit_ns)
+            obs.metrics.counter("recovery.reattest_ns").inc(reattest_ns)
+            obs.metrics.counter("recovery.restore_ns").inc(restore_ns)
+        return clock.now_ns - started_ns
+
+    def _reattest(self) -> None:
+        """Local re-attestation: prove the rebuilt enclave is the same
+        build before trusting it with restored state."""
+        self.platform.charge_cycles("recovery.reattest", _REATTEST_FIXED_CYCLES)
+        if self.attestation is None:
+            return
+        report = self.attestation.create_report(
+            self.enclave, report_data=b"post-recovery"
+        )
+        quote = self.attestation.quote(report)
+        self.attestation.verify(quote, self.enclave.measurement)
+
+
+def attach_recovery(
+    session: Any,
+    checkpoint_interval_ns: float = 0.0,
+    policy: Optional[RetryPolicy] = None,
+    attestation: Optional[AttestationService] = None,
+    platform_secret: bytes = b"",
+    checkpoint_trusted_state: bool = True,
+) -> RecoveryCoordinator:
+    """Wire full recovery into a running :class:`MontsalvatSession`.
+
+    Builds a :class:`SealingService` + :class:`CheckpointManager` over
+    the session's enclave, registers the trusted mirror registry as
+    checkpointed state, and installs the coordinator on the session's
+    runtime so every proxy crossing retries through it.
+    """
+    from repro.core.annotations import Side
+
+    sealing = SealingService(session.enclave, platform_secret=platform_secret)
+    checkpoints = CheckpointManager(sealing, interval_ns=checkpoint_interval_ns)
+    if checkpoint_trusted_state:
+        register_mirror_registry(
+            checkpoints, session.runtime.state_of(Side.TRUSTED)
+        )
+    coordinator = RecoveryCoordinator(
+        session.enclave,
+        attestation=attestation or AttestationService(platform_key=b"chaos"),
+        checkpoints=checkpoints,
+        policy=policy,
+    )
+    session.runtime.recovery = coordinator
+    return coordinator

@@ -1,0 +1,82 @@
+"""Retry policy and the idempotency contract for RMI crossings.
+
+At-most-once delivery is the load-bearing semantic: a relay call that
+failed *mid-dispatch* may already have mutated trusted state, so blind
+re-execution would double-apply it. The runtime therefore only replays
+a crossing whose outcome is indeterminate when the target routine is
+declared idempotent — either by decorating the method with
+:func:`idempotent` or by listing a routine-name pattern on the
+:class:`RetryPolicy`. Everything else surfaces a typed
+:class:`~repro.errors.NonIdempotentReplayError`.
+
+Backoff is charged as virtual nanoseconds, so retrying is visible in
+the ledger (``rmi.retry.backoff``) like any other cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Callable, Tuple, TypeVar
+
+from repro.errors import ConfigurationError
+
+F = TypeVar("F", bound=Callable)
+
+#: Function attribute marking a trusted/untrusted method as safe to
+#: replay. Read by ``RmiRuntime.invoke`` when a retry policy is active.
+IDEMPOTENT_ATTR = "__montsalvat_idempotent__"
+
+
+def idempotent(func: F) -> F:
+    """Mark a method as replay-safe across enclave loss.
+
+    Use on reads and on writes whose effect is absorbing (e.g. put-same
+    -value, counters keyed by invocation id). The runtime may then
+    re-execute the relay after a *mid-call* loss without violating
+    at-most-once semantics.
+    """
+    setattr(func, IDEMPOTENT_ATTR, True)
+    return func
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for enclave-lost crossings.
+
+    ``max_attempts`` counts total tries (first call + retries). Backoff
+    before retry ``i`` (1-based) is
+    ``min(base_backoff_ns * backoff_multiplier**(i-1), max_backoff_ns)``
+    virtual nanoseconds.
+    """
+
+    max_attempts: int = 4
+    base_backoff_ns: float = 50_000.0
+    backoff_multiplier: float = 2.0
+    max_backoff_ns: float = 10_000_000.0
+    #: fnmatch patterns of routine names treated as idempotent even
+    #: without the decorator (e.g. ``relay_*_get_*``, ``gc_release``).
+    idempotent_patterns: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_backoff_ns < 0 or self.max_backoff_ns < 0:
+            raise ConfigurationError("backoff cannot be negative")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError("backoff_multiplier must be >= 1")
+
+    def backoff_ns(self, retry_index: int) -> float:
+        """Virtual ns to charge before the ``retry_index``-th retry."""
+        if retry_index < 1:
+            raise ConfigurationError("retry_index is 1-based")
+        backoff = self.base_backoff_ns * (
+            self.backoff_multiplier ** (retry_index - 1)
+        )
+        return min(backoff, self.max_backoff_ns)
+
+    def is_idempotent(self, routine: str) -> bool:
+        return any(
+            fnmatchcase(routine, pattern)
+            for pattern in self.idempotent_patterns
+        )

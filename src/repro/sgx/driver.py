@@ -18,6 +18,14 @@ class DriverStats:
 
     faults_serviced: int = 0
     total_ns: float = 0.0
+    #: Injected hostile-tenant pressure spikes serviced.
+    pressure_spikes: int = 0
+    pressure_faults: int = 0
+
+
+#: Enclave id charged with injected pressure: a hostile co-tenant that
+#: competes for EPC but is not any enclave under test.
+_PRESSURE_TENANT_ID = -1
 
 
 class SgxDriver:
@@ -31,9 +39,15 @@ class SgxDriver:
             page_bytes=platform.spec.page_bytes,
         )
         self.stats = DriverStats()
+        self._pressure_cursor = 0
 
     def access(self, enclave_id: int, start_byte: int, nbytes: int) -> float:
         """Charge an enclave's memory access against the EPC; returns ns."""
+        faults_mod = self.platform.faults
+        if faults_mod is not None:
+            spike_pages = faults_mod.epc_pressure(self.platform.clock.now_ns)
+            if spike_pages:
+                self._pressure_spike(spike_pages)
         evictions_before = self.epc.stats.evictions
         faults = self.epc.touch_range(enclave_id, start_byte, nbytes)
         if not faults:
@@ -59,6 +73,28 @@ class SgxDriver:
         self.stats.faults_serviced += faults
         self.stats.total_ns += ns
         return ns
+
+    def _pressure_spike(self, pages: int) -> None:
+        """A hostile co-tenant touches ``pages`` fresh EPC pages,
+        evicting resident pages of the enclaves under test. The EWB
+        work is charged (the driver does it on the victim's time); the
+        cursor advances so consecutive spikes hit cold pages."""
+        start = self._pressure_cursor * self.epc.page_bytes
+        nbytes = pages * self.epc.page_bytes
+        self._pressure_cursor += pages
+        hostile_faults = self.epc.touch_range(_PRESSURE_TENANT_ID, start, nbytes)
+        cycles = (
+            hostile_faults * self.platform.cost_model.memory.epc_page_fault_cycles
+        )
+        ns = self.platform.charge_cycles("sgx.driver.pressure_spike", cycles)
+        self.stats.pressure_spikes += 1
+        self.stats.pressure_faults += hostile_faults
+        self.stats.total_ns += ns
+        obs = self.platform.obs
+        if obs is not None:
+            obs.metrics.counter("epc.pressure_spikes").inc()
+            obs.metrics.counter("epc.pressure_faults").inc(hostile_faults)
+            self._update_gauges(obs)
 
     def release_enclave(self, enclave_id: int) -> int:
         """Reclaim all EPC pages of a destroyed enclave."""

@@ -17,7 +17,7 @@ from typing import Optional
 
 from repro.costs.machine import MB
 from repro.costs.platform import Platform
-from repro.errors import EnclaveError
+from repro.errors import EnclaveError, EnclaveLostError
 from repro.runtime.context import ExecutionContext, Location, RuntimeKind
 from repro.runtime.heap import SimHeap
 
@@ -25,10 +25,20 @@ _enclave_ids = itertools.count(1)
 
 
 class EnclaveState(enum.Enum):
-    """Lifecycle states of an enclave."""
+    """Lifecycle states of an enclave.
+
+    ``CREATED → INITIALIZED`` via :meth:`Enclave.initialize`;
+    ``INITIALIZED → LOST`` via :meth:`Enclave.mark_lost` (power
+    transition / injected crash); ``LOST → INITIALIZED`` via the priced
+    :meth:`Enclave.reinitialize`; any non-destroyed state →
+    ``DESTROYED`` via :meth:`Enclave.destroy` (terminal).
+    """
 
     CREATED = "created"
     INITIALIZED = "initialized"
+    #: ``SGX_ERROR_ENCLAVE_LOST``: the EPC contents are gone but the
+    #: enclave can be rebuilt from its (unchanged) signed image.
+    LOST = "lost"
     DESTROYED = "destroyed"
 
 
@@ -79,6 +89,10 @@ class Enclave:
             platform, Location.ENCLAVE, runtime=runtime, label=contents.image_name
         )
         self.heap: Optional[SimHeap] = None
+        #: Ecalls currently executing inside this enclave.
+        self.active_ecalls = 0
+        #: How many times this enclave was rebuilt after a loss.
+        self.rebuilds = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -96,14 +110,77 @@ class Enclave:
         )
         self.state = EnclaveState.INITIALIZED
 
+    def mark_lost(self) -> None:
+        """Power-transition/crash analog: EPC contents vanish.
+
+        The enclave can no longer execute; in-flight ecalls are torn
+        down (their TCS state is gone with the EPC). Idempotent from
+        LOST; a destroyed enclave cannot be lost.
+        """
+        if self.state is EnclaveState.LOST:
+            return
+        if self.state is EnclaveState.DESTROYED:
+            raise EnclaveError("cannot lose a destroyed enclave")
+        if self.state is not EnclaveState.INITIALIZED:
+            raise EnclaveError(
+                f"cannot lose enclave in state {self.state.value}"
+            )
+        self.state = EnclaveState.LOST
+        self.heap = None
+        self.active_ecalls = 0
+
+    def reinitialize(self) -> None:
+        """Rebuild a LOST enclave from its signed image.
+
+        Re-runs the EADD+EEXTEND loading pass (same price as
+        :meth:`initialize`) and re-derives the measurement — the image
+        is unchanged, so MRENCLAVE (and hence sealing keys) survive
+        the loss. Callers still must re-attest before trusting it.
+        """
+        if self.state is not EnclaveState.LOST:
+            raise EnclaveError(
+                f"can only reinitialize a LOST enclave (state={self.state.value})"
+            )
+        load_bytes = len(self.contents.code_bytes)
+        self.platform.charge_cycles(
+            "sgx.enclave.reload", load_bytes * 1.2 + 500_000.0
+        )
+        self.measurement = self.contents.measure()
+        self.heap = SimHeap(
+            self.ctx, max_bytes=self.config.heap_max_bytes, name="enclave"
+        )
+        self.rebuilds += 1
+        self.state = EnclaveState.INITIALIZED
+
     def destroy(self) -> None:
         if self.state is EnclaveState.DESTROYED:
             raise EnclaveError("enclave already destroyed")
+        if self.active_ecalls > 0:
+            raise EnclaveError(
+                f"cannot destroy enclave with {self.active_ecalls} active "
+                "ecall(s); wait for them to return"
+            )
         self.state = EnclaveState.DESTROYED
         self.heap = None
 
+    def begin_call(self) -> None:
+        self.active_ecalls += 1
+
+    def end_call(self) -> None:
+        # mark_lost zeroes the counter while calls are unwinding, so
+        # the paired decrement must not push it negative.
+        if self.active_ecalls > 0:
+            self.active_ecalls -= 1
+
     def require_usable(self) -> None:
         """Raise unless the enclave can execute ecalls right now."""
+        if self.state is EnclaveState.LOST:
+            raise EnclaveLostError(
+                f"enclave {self.contents.image_name!r} is LOST; "
+                "reinitialize() before calling into it",
+                phase="pre",
+                transient=False,
+            )
         if self.state is not EnclaveState.INITIALIZED:
             raise EnclaveError(
                 f"enclave {self.contents.image_name!r} not usable "

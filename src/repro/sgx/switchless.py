@@ -48,6 +48,9 @@ class SwitchlessStats:
     switchless_ocalls: int = 0
     fallback_ecalls: int = 0
     fallback_ocalls: int = 0
+    #: Calls rerouted to the fallback by an injected worker stall.
+    stalled_ecalls: int = 0
+    stalled_ocalls: int = 0
 
     @property
     def fallback_rate(self) -> float:
@@ -84,19 +87,29 @@ class SwitchlessLayer:
 
     def ecall(self, name: str, body: Callable[[], T], payload_bytes: int = 0) -> T:
         self.enclave.require_usable()
+        if self._stalled("ecall", name):
+            self.stats.stalled_ecalls += 1
+            self.stats.fallback_ecalls += 1
+            return self._fallback.ecall(name, body, payload_bytes=payload_bytes)
         if self._busy_trusted < self.config.trusted_workers:
             self._busy_trusted += 1
+            self.enclave.begin_call()
             try:
                 self._charge_switchless("ecall", name, payload_bytes)
                 self.stats.switchless_ecalls += 1
                 return body()
             finally:
                 self._busy_trusted -= 1
+                self.enclave.end_call()
         self.stats.fallback_ecalls += 1
         return self._fallback.ecall(name, body, payload_bytes=payload_bytes)
 
     def ocall(self, name: str, body: Callable[[], T], payload_bytes: int = 0) -> T:
         self.enclave.require_usable()
+        if self._stalled("ocall", name):
+            self.stats.stalled_ocalls += 1
+            self.stats.fallback_ocalls += 1
+            return self._fallback.ocall(name, body, payload_bytes=payload_bytes)
         if self._busy_untrusted < self.config.untrusted_workers:
             self._busy_untrusted += 1
             try:
@@ -107,6 +120,19 @@ class SwitchlessLayer:
                 self._busy_untrusted -= 1
         self.stats.fallback_ocalls += 1
         return self._fallback.ocall(name, body, payload_bytes=payload_bytes)
+
+    def _stalled(self, kind: str, name: str) -> bool:
+        """Injected worker stall: the pool is wedged, fall back to a
+        hardware transition instead of busy-waiting forever."""
+        faults = self.platform.faults
+        if faults is None:
+            return False
+        if not faults.worker_stall(kind, name, self.platform.clock.now_ns):
+            return False
+        obs = self.platform.obs
+        if obs is not None:
+            obs.metrics.counter("sgx.switchless_stalls").inc()
+        return True
 
     # -- accounting --------------------------------------------------------------
 

@@ -8,6 +8,14 @@ crossing, which dominates the measured RMI latencies (Fig. 3/4).
 The layer optionally runs in *switchless* mode (the paper's future-work
 direction, after Tian et al.): calls are handed to a worker thread
 through shared memory instead of performing a hardware transition.
+
+When a :class:`~repro.faults.FaultInjector` is attached to the
+platform, each crossing first consults it: transient aborts and
+enclave crashes surface as :class:`~repro.errors.EnclaveLostError`
+(``pre``-dispatch faults never run the body; ``mid`` faults run it and
+lose the reply), and worker stalls silently reroute a switchless call
+through the hardware path. With no injector attached the only overhead
+is one attribute check per call.
 """
 
 from __future__ import annotations
@@ -16,7 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional, TypeVar
 
 from repro.costs.platform import Platform
-from repro.errors import TransitionError
+from repro.errors import EnclaveLostError, TransitionError
 from repro.sgx.enclave import Enclave
 
 T = TypeVar("T")
@@ -32,6 +40,10 @@ class TransitionStats:
     bytes_in: int = 0
     bytes_out: int = 0
     total_ns: float = 0.0
+    #: Crossings that failed with an injected fault.
+    faulted_calls: int = 0
+    #: Switchless calls rerouted through the hardware path by a stall.
+    stall_fallbacks: int = 0
 
     @property
     def crossings(self) -> int:
@@ -72,6 +84,12 @@ class TransitionLayer:
                 f"SGX_ERROR_OUT_OF_TCS: {self._active_ecalls} ecalls active, "
                 f"enclave has {self.enclave.config.tcs_count} TCS slots"
             )
+        faults = self.platform.faults
+        fault = (
+            faults.transition_fault("ecall", name, self.platform.clock.now_ns)
+            if faults is not None
+            else None
+        )
         obs = self.platform.obs
         span = None
         if obs is not None:
@@ -81,16 +99,28 @@ class TransitionLayer:
         self._charge("ecall", name, payload_bytes, attach_isolate)
         self.stats.ecalls += 1
         self.stats.bytes_in += payload_bytes
+        if fault is not None and fault.phase == "pre":
+            # The transition itself aborted: the body never dispatched.
+            error = self._fault_error(fault)
+            self._finish("ecall", span, obs, payload_bytes, error)
+            raise error
         self._active_ecalls += 1
+        self.enclave.begin_call()
+        error: Optional[BaseException] = None
         try:
-            return body()
+            result = body()
+            if fault is not None:
+                # Mid-call loss: the body executed but the reply is gone.
+                error = self._fault_error(fault)
+                raise error
+            return result
+        except BaseException as exc:
+            error = exc
+            raise
         finally:
             self._active_ecalls -= 1
-            if span is not None:
-                obs.tracer.end_span(span)
-                obs.metrics.counter("sgx.ecalls").inc()
-                obs.metrics.counter("sgx.bytes_in").inc(payload_bytes)
-                obs.metrics.histogram("sgx.ecall_ns").observe(span.duration_ns)
+            self.enclave.end_call()
+            self._finish("ecall", span, obs, payload_bytes, error)
 
     def ocall(
         self,
@@ -101,6 +131,12 @@ class TransitionLayer:
     ) -> T:
         """Exit the enclave, run ``body`` outside, return its result."""
         self.enclave.require_usable()
+        faults = self.platform.faults
+        fault = (
+            faults.transition_fault("ocall", name, self.platform.clock.now_ns)
+            if faults is not None
+            else None
+        )
         obs = self.platform.obs
         span = None
         if obs is not None:
@@ -110,14 +146,22 @@ class TransitionLayer:
         self._charge("ocall", name, payload_bytes, attach_isolate)
         self.stats.ocalls += 1
         self.stats.bytes_out += payload_bytes
+        if fault is not None and fault.phase == "pre":
+            error = self._fault_error(fault)
+            self._finish("ocall", span, obs, payload_bytes, error)
+            raise error
+        error = None
         try:
-            return body()
+            result = body()
+            if fault is not None:
+                error = self._fault_error(fault)
+                raise error
+            return result
+        except BaseException as exc:
+            error = exc
+            raise
         finally:
-            if span is not None:
-                obs.tracer.end_span(span)
-                obs.metrics.counter("sgx.ocalls").inc()
-                obs.metrics.counter("sgx.bytes_out").inc(payload_bytes)
-                obs.metrics.histogram("sgx.ocall_ns").observe(span.duration_ns)
+            self._finish("ocall", span, obs, payload_bytes, error)
 
     def _span_attrs(self, name: str, payload_bytes: int) -> dict:
         return {
@@ -129,13 +173,61 @@ class TransitionLayer:
 
     # -- internals ------------------------------------------------------------
 
+    def _fault_error(self, fault: Any) -> EnclaveLostError:
+        """Apply a fired fault decision; returns the error to raise."""
+        self.stats.faulted_calls += 1
+        if fault.crash:
+            self.enclave.mark_lost()
+        return EnclaveLostError(
+            f"SGX_ERROR_ENCLAVE_LOST: {fault.message}",
+            phase=fault.phase,
+            transient=not fault.crash,
+        )
+
+    def _finish(
+        self,
+        kind: str,
+        span: Optional[Any],
+        obs: Optional[Any],
+        payload_bytes: int,
+        error: Optional[BaseException],
+    ) -> None:
+        if obs is None:
+            return
+        if error is not None:
+            span.set_attr("status", "error")
+            span.set_attr("error", type(error).__name__)
+            obs.metrics.counter(f"sgx.{kind}_errors").inc()
+        obs.tracer.end_span(span)
+        if kind == "ecall":
+            obs.metrics.counter("sgx.ecalls").inc()
+            obs.metrics.counter("sgx.bytes_in").inc(payload_bytes)
+            obs.metrics.histogram("sgx.ecall_ns").observe(span.duration_ns)
+        else:
+            obs.metrics.counter("sgx.ocalls").inc()
+            obs.metrics.counter("sgx.bytes_out").inc(payload_bytes)
+            obs.metrics.histogram("sgx.ocall_ns").observe(span.duration_ns)
+
     def _charge(
         self, kind: str, name: str, payload_bytes: int, attach_isolate: bool
     ) -> None:
         if payload_bytes < 0:
             raise TransitionError("payload size cannot be negative")
         trans = self.platform.cost_model.transitions
-        if self.switchless:
+        switchless = self.switchless
+        if switchless:
+            faults = self.platform.faults
+            if faults is not None and faults.worker_stall(
+                kind, name, self.platform.clock.now_ns
+            ):
+                # Worker pool stalled: degrade to a hardware transition
+                # for this call (priced accordingly) instead of hanging.
+                switchless = False
+                self.stats.stall_fallbacks += 1
+                obs = self.platform.obs
+                if obs is not None:
+                    obs.metrics.counter("sgx.switchless_stalls").inc()
+        if switchless:
             cycles = trans.switchless_call_cycles
             self.stats.switchless_calls += 1
             category = f"transition.switchless.{name}"
@@ -144,11 +236,11 @@ class TransitionLayer:
             cycles = base
             category = f"transition.{kind}.{name}"
         cycles += trans.edge_fixed_cycles + payload_bytes * trans.edge_byte_cycles
-        if attach_isolate and not self.switchless:
+        if attach_isolate and not switchless:
             cycles += trans.isolate_attach_cycles
         ns = self.platform.charge_cycles(category, cycles)
         self.stats.total_ns += ns
-        if self.switchless:
+        if switchless:
             obs = self.platform.obs
             if obs is not None:
                 obs.metrics.counter("sgx.switchless_calls").inc()

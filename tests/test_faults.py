@@ -1,0 +1,898 @@
+"""Fault injection + enclave-loss recovery (repro.faults).
+
+Covers the chaos substrate end to end: injector determinism and rule
+matching, the enclave lifecycle state machine (every transition),
+fault semantics at the transition layer, error-path observability,
+retry/recovery through the RMI runtime, sealed checkpoints across
+rebuilds, switchless stalls, EPC pressure, zero-cost-when-off, and the
+chaos ablation's determinism.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.bank import Account, BANK_CLASSES
+from repro.core import Partitioner, PartitionOptions
+from repro.core.annotations import Side
+from repro.costs.platform import fresh_platform
+from repro.errors import (
+    AttestationError,
+    ConfigurationError,
+    EnclaveError,
+    EnclaveLostError,
+    NonIdempotentReplayError,
+    RetryExhaustedError,
+)
+from repro.experiments import fault_recovery
+from repro.faults import (
+    CheckpointManager,
+    FaultInjector,
+    FaultKind,
+    FaultRule,
+    RecoveryCoordinator,
+    RetryPolicy,
+    attach_recovery,
+    idempotent,
+)
+from repro.obs.artifacts import validate_artifact
+from repro.sgx.driver import SgxDriver
+from repro.sgx.enclave import Enclave, EnclaveContents, EnclaveState
+from repro.sgx.sealing import SealingService
+from repro.sgx.switchless import SwitchlessLayer
+from repro.sgx.transitions import TransitionLayer
+
+
+from repro.core.annotations import trusted
+
+
+@trusted
+class Sensor:
+    """Module-level so checkpoint sealing can pickle its mirrors."""
+
+    def __init__(self) -> None:
+        self.reads = 0
+
+    @idempotent
+    def read(self) -> int:
+        self.reads += 1
+        return 7
+
+    def arm(self) -> None:
+        self.reads += 100
+
+
+def _enclave(platform, name="img", code=b"x" * 4_000):
+    enclave = Enclave(platform, EnclaveContents(name, code))
+    enclave.initialize()
+    return enclave
+
+
+# ---------------------------------------------------------------------------
+# FaultInjector: rule matching + determinism
+# ---------------------------------------------------------------------------
+
+
+class TestInjector:
+    def test_at_call_fires_exactly_once(self):
+        inj = FaultInjector(
+            rules=[FaultRule(FaultKind.TRANSIENT_ABORT, at_call=3)]
+        )
+        decisions = [
+            inj.transition_fault("ecall", "r", float(i)) for i in range(6)
+        ]
+        assert [d is not None for d in decisions] == [
+            False, False, True, False, False, False
+        ]
+        assert inj.faults_injected == 1
+
+    def test_every_nth_matching_call(self):
+        inj = FaultInjector(rules=[FaultRule(FaultKind.TRANSIENT_ABORT, every=2)])
+        fired = [
+            inj.transition_fault("ecall", "r", 0.0) is not None for _ in range(6)
+        ]
+        assert fired == [False, True, False, True, False, True]
+
+    def test_routine_pattern_and_call_kind_filter(self):
+        inj = FaultInjector(
+            rules=[
+                FaultRule(
+                    FaultKind.TRANSIENT_ABORT,
+                    routine="relay_Account_*",
+                    call_kind="ecall",
+                )
+            ]
+        )
+        assert inj.transition_fault("ocall", "relay_Account_get", 0.0) is None
+        assert inj.transition_fault("ecall", "relay_Person_get", 0.0) is None
+        assert inj.transition_fault("ecall", "relay_Account_get", 0.0) is not None
+
+    def test_window_ns_gates_on_virtual_time(self):
+        inj = FaultInjector(
+            rules=[
+                FaultRule(FaultKind.TRANSIENT_ABORT, window_ns=(100.0, 200.0))
+            ]
+        )
+        assert inj.transition_fault("ecall", "r", 50.0) is None
+        assert inj.transition_fault("ecall", "r", 150.0) is not None
+        assert inj.transition_fault("ecall", "r", 250.0) is None
+
+    def test_max_fires_caps_firings(self):
+        inj = FaultInjector(
+            rules=[FaultRule(FaultKind.TRANSIENT_ABORT, max_fires=2)]
+        )
+        fired = [
+            inj.transition_fault("ecall", "r", 0.0) is not None for _ in range(5)
+        ]
+        assert fired == [True, True, False, False, False]
+
+    def test_probabilistic_rules_replay_identically(self):
+        rules = lambda: [  # noqa: E731 - local factory
+            FaultRule(FaultKind.TRANSIENT_ABORT, probability=0.3)
+        ]
+        a = FaultInjector(seed=7, rules=rules())
+        b = FaultInjector(seed=7, rules=rules())
+        seq_a = [a.transition_fault("ecall", "r", float(i)) is not None for i in range(50)]
+        seq_b = [b.transition_fault("ecall", "r", float(i)) is not None for i in range(50)]
+        assert seq_a == seq_b
+        assert any(seq_a) and not all(seq_a)
+        assert a.event_schedule() == b.event_schedule()
+
+    def test_different_seeds_differ(self):
+        seqs = []
+        for seed in (1, 2):
+            inj = FaultInjector(
+                seed=seed,
+                rules=[FaultRule(FaultKind.TRANSIENT_ABORT, probability=0.5)],
+            )
+            seqs.append(
+                tuple(
+                    inj.transition_fault("ecall", "r", 0.0) is not None
+                    for _ in range(64)
+                )
+            )
+        assert seqs[0] != seqs[1]
+
+    def test_crash_decision_carries_phase(self):
+        inj = FaultInjector(
+            rules=[FaultRule(FaultKind.ENCLAVE_CRASH, phase="mid")]
+        )
+        decision = inj.transition_fault("ecall", "r", 0.0)
+        assert decision.crash and decision.phase == "mid"
+
+    def test_worker_stall_budget(self):
+        inj = FaultInjector(
+            rules=[
+                FaultRule(FaultKind.WORKER_STALL, at_call=1, stall_calls=3)
+            ]
+        )
+        stalls = [inj.worker_stall("ecall", "r", 0.0) for _ in range(5)]
+        assert stalls == [True, True, True, False, False]
+        # One rule firing produced the whole stall window.
+        assert inj.faults_injected == 1
+
+    def test_epc_pressure_returns_pages(self):
+        inj = FaultInjector(
+            rules=[FaultRule(FaultKind.EPC_PRESSURE, at_call=2, spike_pages=32)]
+        )
+        assert inj.epc_pressure(0.0) == 0
+        assert inj.epc_pressure(1.0) == 32
+
+    def test_rule_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule(FaultKind.TRANSIENT_ABORT, probability=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultRule(FaultKind.TRANSIENT_ABORT, phase="mid")
+        with pytest.raises(ConfigurationError):
+            FaultRule(FaultKind.ENCLAVE_CRASH, phase="sideways")
+        with pytest.raises(ConfigurationError):
+            FaultRule(FaultKind.ENCLAVE_CRASH, at_call=0)
+
+
+# ---------------------------------------------------------------------------
+# Enclave lifecycle state machine
+# ---------------------------------------------------------------------------
+
+
+class TestEnclaveLifecycle:
+    def test_created_to_initialized(self):
+        platform = fresh_platform()
+        enclave = Enclave(platform, EnclaveContents("img", b"abc"))
+        assert enclave.state is EnclaveState.CREATED
+        with pytest.raises(EnclaveError):
+            enclave.require_usable()
+        enclave.initialize()
+        assert enclave.state is EnclaveState.INITIALIZED
+        enclave.require_usable()
+
+    def test_created_cannot_be_lost_or_reinitialized(self):
+        platform = fresh_platform()
+        enclave = Enclave(platform, EnclaveContents("img", b"abc"))
+        with pytest.raises(EnclaveError):
+            enclave.mark_lost()
+        with pytest.raises(EnclaveError):
+            enclave.reinitialize()
+
+    def test_double_initialize_rejected(self):
+        enclave = _enclave(fresh_platform())
+        with pytest.raises(EnclaveError):
+            enclave.initialize()
+
+    def test_initialized_to_lost_and_back(self):
+        platform = fresh_platform()
+        enclave = _enclave(platform)
+        measurement = enclave.measurement
+        enclave.mark_lost()
+        assert enclave.state is EnclaveState.LOST
+        assert enclave.heap is None
+        with pytest.raises(EnclaveLostError) as excinfo:
+            enclave.require_usable()
+        assert excinfo.value.phase == "pre"
+        assert not excinfo.value.transient
+        # LOST -> LOST is idempotent (concurrent loss notifications).
+        enclave.mark_lost()
+        before = platform.ledger.total_ns("sgx.enclave.reload")
+        enclave.reinitialize()
+        assert enclave.state is EnclaveState.INITIALIZED
+        assert enclave.rebuilds == 1
+        assert enclave.measurement == measurement
+        assert enclave.heap is not None
+        assert platform.ledger.total_ns("sgx.enclave.reload") > before
+
+    def test_reinitialize_only_from_lost(self):
+        enclave = _enclave(fresh_platform())
+        with pytest.raises(EnclaveError):
+            enclave.reinitialize()
+
+    def test_destroy_from_each_live_state(self):
+        platform = fresh_platform()
+        created = Enclave(platform, EnclaveContents("a", b"x"))
+        created.destroy()
+        assert created.state is EnclaveState.DESTROYED
+
+        initialized = _enclave(platform, "b")
+        initialized.destroy()
+        assert initialized.state is EnclaveState.DESTROYED
+
+        lost = _enclave(platform, "c")
+        lost.mark_lost()
+        lost.destroy()
+        assert lost.state is EnclaveState.DESTROYED
+
+    def test_destroyed_is_terminal(self):
+        enclave = _enclave(fresh_platform())
+        enclave.destroy()
+        with pytest.raises(EnclaveError):
+            enclave.destroy()
+        with pytest.raises(EnclaveError):
+            enclave.mark_lost()
+        with pytest.raises(EnclaveError):
+            enclave.reinitialize()
+        with pytest.raises(EnclaveError):
+            enclave.initialize()
+        with pytest.raises(EnclaveError):
+            enclave.require_usable()
+
+    def test_destroy_during_active_ecall_rejected(self):
+        platform = fresh_platform()
+        enclave = _enclave(platform)
+        transitions = TransitionLayer(platform, enclave)
+
+        def body():
+            with pytest.raises(EnclaveError, match="active"):
+                enclave.destroy()
+            return "ran"
+
+        assert transitions.ecall("probe", body) == "ran"
+        # Once the ecall returned, destroy succeeds.
+        enclave.destroy()
+        assert enclave.state is EnclaveState.DESTROYED
+
+
+# ---------------------------------------------------------------------------
+# Transition-layer fault semantics + error-path observability
+# ---------------------------------------------------------------------------
+
+
+class TestTransitionFaults:
+    def test_transient_abort_leaves_enclave_usable(self):
+        platform = fresh_platform()
+        enclave = _enclave(platform)
+        transitions = TransitionLayer(platform, enclave)
+        platform.enable_fault_injection(
+            FaultInjector(rules=[FaultRule(FaultKind.TRANSIENT_ABORT, at_call=1)])
+        )
+        ran = []
+        with pytest.raises(EnclaveLostError) as excinfo:
+            transitions.ecall("r", lambda: ran.append(1))
+        assert excinfo.value.transient and excinfo.value.phase == "pre"
+        assert ran == []  # pre-dispatch: the body never executed
+        assert enclave.usable
+        assert transitions.stats.faulted_calls == 1
+        # Next call goes through.
+        assert transitions.ecall("r", lambda: 42) == 42
+
+    def test_pre_crash_marks_enclave_lost_without_running_body(self):
+        platform = fresh_platform()
+        enclave = _enclave(platform)
+        transitions = TransitionLayer(platform, enclave)
+        platform.enable_fault_injection(
+            FaultInjector(
+                rules=[FaultRule(FaultKind.ENCLAVE_CRASH, at_call=1, phase="pre")]
+            )
+        )
+        ran = []
+        with pytest.raises(EnclaveLostError) as excinfo:
+            transitions.ecall("r", lambda: ran.append(1))
+        assert not excinfo.value.transient
+        assert ran == []
+        assert enclave.state is EnclaveState.LOST
+
+    def test_mid_crash_runs_body_then_loses_reply(self):
+        platform = fresh_platform()
+        enclave = _enclave(platform)
+        transitions = TransitionLayer(platform, enclave)
+        platform.enable_fault_injection(
+            FaultInjector(
+                rules=[FaultRule(FaultKind.ENCLAVE_CRASH, at_call=1, phase="mid")]
+            )
+        )
+        ran = []
+        with pytest.raises(EnclaveLostError) as excinfo:
+            transitions.ecall("r", lambda: ran.append(1))
+        assert excinfo.value.phase == "mid"
+        assert ran == [1]  # side effects happened; the reply vanished
+        assert enclave.state is EnclaveState.LOST
+
+    def test_ocall_faults_too(self):
+        platform = fresh_platform()
+        enclave = _enclave(platform)
+        transitions = TransitionLayer(platform, enclave)
+        platform.enable_fault_injection(
+            FaultInjector(
+                rules=[
+                    FaultRule(
+                        FaultKind.TRANSIENT_ABORT, call_kind="ocall", at_call=1
+                    )
+                ]
+            )
+        )
+        assert transitions.ecall("in", lambda: 1) == 1  # ecalls unaffected
+        with pytest.raises(EnclaveLostError):
+            transitions.ocall("out", lambda: 2)
+
+    def test_error_path_observability_on_app_exception(self):
+        platform = fresh_platform()
+        obs = platform.enable_observability()
+        enclave = _enclave(platform)
+        transitions = TransitionLayer(platform, enclave)
+
+        def boom():
+            raise ValueError("app bug")
+
+        with pytest.raises(ValueError):
+            transitions.ecall("r", boom)
+        assert obs.metrics.counter("sgx.ecall_errors").value == 1
+        span = [s for s in obs.tracer.finished_spans() if s.name == "sgx.ecall"][-1]
+        assert span.attrs["status"] == "error"
+        assert span.attrs["error"] == "ValueError"
+
+        with pytest.raises(ValueError):
+            transitions.ocall("r", boom)
+        assert obs.metrics.counter("sgx.ocall_errors").value == 1
+        span = [s for s in obs.tracer.finished_spans() if s.name == "sgx.ocall"][-1]
+        assert span.attrs["status"] == "error"
+
+    def test_successful_calls_have_no_error_status(self):
+        platform = fresh_platform()
+        obs = platform.enable_observability()
+        enclave = _enclave(platform)
+        transitions = TransitionLayer(platform, enclave)
+        transitions.ecall("r", lambda: 1)
+        span = [s for s in obs.tracer.finished_spans() if s.name == "sgx.ecall"][-1]
+        assert "status" not in span.attrs
+        assert obs.metrics.counter("sgx.ecall_errors").value == 0
+
+    def test_injected_faults_counted_in_metrics(self):
+        platform = fresh_platform()
+        obs = platform.enable_observability()
+        enclave = _enclave(platform)
+        transitions = TransitionLayer(platform, enclave)
+        platform.enable_fault_injection(
+            FaultInjector(rules=[FaultRule(FaultKind.TRANSIENT_ABORT, at_call=1)])
+        )
+        with pytest.raises(EnclaveLostError):
+            transitions.ecall("r", lambda: 1)
+        assert obs.metrics.counter("sgx.faults_injected").value == 1
+        assert obs.metrics.counter("sgx.ecall_errors").value == 1
+
+
+# ---------------------------------------------------------------------------
+# Switchless stalls
+# ---------------------------------------------------------------------------
+
+
+class TestSwitchlessStalls:
+    def test_switchless_transition_layer_falls_back_on_stall(self):
+        platform = fresh_platform()
+        enclave = _enclave(platform)
+        transitions = TransitionLayer(platform, enclave, switchless=True)
+        platform.enable_fault_injection(
+            FaultInjector(
+                rules=[
+                    FaultRule(FaultKind.WORKER_STALL, at_call=1, stall_calls=2)
+                ]
+            )
+        )
+        transitions.ecall("r", lambda: 1)
+        transitions.ecall("r", lambda: 2)
+        transitions.ecall("r", lambda: 3)
+        assert transitions.stats.stall_fallbacks == 2
+        assert transitions.stats.switchless_calls == 1
+        # Stalled calls were priced as hardware transitions.
+        assert platform.ledger.count("transition.ecall.r") == 2
+        assert platform.ledger.count("transition.switchless.r") == 1
+
+    def test_switchless_layer_falls_back_on_stall(self):
+        platform = fresh_platform()
+        enclave = _enclave(platform)
+        layer = SwitchlessLayer(platform, enclave)
+        platform.enable_fault_injection(
+            FaultInjector(
+                rules=[
+                    FaultRule(FaultKind.WORKER_STALL, at_call=1, stall_calls=1)
+                ]
+            )
+        )
+        assert layer.ecall("r", lambda: 1) == 1
+        assert layer.ecall("r", lambda: 2) == 2
+        assert layer.stats.stalled_ecalls == 1
+        assert layer.stats.fallback_ecalls == 1
+        assert layer.stats.switchless_ecalls == 1
+        assert layer.fallback_stats.ecalls == 1
+
+    def test_stall_costs_more_than_fast_path(self):
+        def run(with_stall: bool) -> float:
+            platform = fresh_platform()
+            enclave = _enclave(platform)
+            layer = SwitchlessLayer(platform, enclave)
+            if with_stall:
+                platform.enable_fault_injection(
+                    FaultInjector(
+                        rules=[
+                            FaultRule(
+                                FaultKind.WORKER_STALL, at_call=1, stall_calls=1
+                            )
+                        ]
+                    )
+                )
+            start = platform.clock.now_ns
+            layer.ecall("r", lambda: 1)
+            return platform.clock.now_ns - start
+
+        assert run(with_stall=True) > run(with_stall=False)
+
+
+# ---------------------------------------------------------------------------
+# EPC pressure
+# ---------------------------------------------------------------------------
+
+
+class TestEpcPressure:
+    def test_pressure_spike_evicts_and_charges(self):
+        platform = fresh_platform()
+        driver = SgxDriver(platform)
+        epc_pages = platform.spec.epc_usable_bytes // platform.spec.page_bytes
+        # Fill most of the EPC with the victim enclave.
+        driver.access(1, 0, (epc_pages - 8) * platform.spec.page_bytes)
+        platform.enable_fault_injection(
+            FaultInjector(
+                rules=[
+                    FaultRule(
+                        FaultKind.EPC_PRESSURE, at_call=1, spike_pages=64
+                    )
+                ]
+            )
+        )
+        before = platform.ledger.total_ns("sgx.driver.pressure_spike")
+        driver.access(1, 0, platform.spec.page_bytes)
+        assert driver.stats.pressure_spikes == 1
+        assert driver.stats.pressure_faults == 64
+        assert platform.ledger.total_ns("sgx.driver.pressure_spike") > before
+        # The hostile tenant evicted victim pages: re-touching faults.
+        faults_before = driver.stats.faults_serviced
+        driver.access(1, 0, (epc_pages - 8) * platform.spec.page_bytes)
+        assert driver.stats.faults_serviced > faults_before
+
+
+# ---------------------------------------------------------------------------
+# Sealing across rebuild
+# ---------------------------------------------------------------------------
+
+
+class TestSealingAcrossRebuild:
+    def test_round_trip_survives_reinitialize(self):
+        platform = fresh_platform()
+        enclave = _enclave(platform)
+        sealing = SealingService(enclave, platform_secret=b"fuse")
+        blob = sealing.seal({"balance": 125})
+        enclave.mark_lost()
+        enclave.reinitialize()
+        assert sealing.unseal(blob) == {"balance": 125}
+
+    def test_unseal_fails_across_different_measurement(self):
+        platform = fresh_platform()
+        enclave = _enclave(platform, "one", b"code-one" * 100)
+        other = _enclave(platform, "two", b"code-two" * 100)
+        blob = SealingService(enclave, platform_secret=b"fuse").seal("secret")
+        foreign = SealingService(other, platform_secret=b"fuse")
+        with pytest.raises(AttestationError):
+            foreign.unseal(blob)
+
+    def test_unseal_rejected_while_lost(self):
+        platform = fresh_platform()
+        enclave = _enclave(platform)
+        sealing = SealingService(enclave)
+        blob = sealing.seal("x")
+        enclave.mark_lost()
+        with pytest.raises(EnclaveLostError):
+            sealing.unseal(blob)
+
+
+# ---------------------------------------------------------------------------
+# Checkpoints + recovery coordinator
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointManager:
+    def test_interval_gates_checkpoints(self):
+        platform = fresh_platform()
+        enclave = _enclave(platform)
+        manager = CheckpointManager(
+            SealingService(enclave), interval_ns=1_000_000.0
+        )
+        store = {"v": 1}
+        manager.register(
+            "store", capture=lambda: dict(store), restore=store.update
+        )
+        assert manager.maybe_checkpoint()  # first one always happens
+        assert not manager.maybe_checkpoint()  # too soon
+        platform.charge_ns("test.wait", 2_000_000.0)
+        assert manager.maybe_checkpoint()
+        assert manager.stats.checkpoints == 2
+
+    def test_restore_wipes_then_applies_latest_snapshot(self):
+        platform = fresh_platform()
+        enclave = _enclave(platform)
+        manager = CheckpointManager(SealingService(enclave))
+        store = {"v": 1}
+        manager.register(
+            "store",
+            capture=lambda: dict(store),
+            restore=store.update,
+            wipe=store.clear,
+        )
+        manager.checkpoint()
+        store["v"] = 99
+        store["junk"] = True
+        assert manager.restore_all() == 1
+        assert store == {"v": 1}
+
+    def test_duplicate_entry_rejected(self):
+        platform = fresh_platform()
+        manager = CheckpointManager(SealingService(_enclave(platform)))
+        manager.register("a", capture=dict, restore=lambda s: None)
+        with pytest.raises(ConfigurationError):
+            manager.register("a", capture=dict, restore=lambda s: None)
+
+    def test_never_checkpointed_entry_only_wiped(self):
+        platform = fresh_platform()
+        manager = CheckpointManager(SealingService(_enclave(platform)))
+        store = {"v": 1}
+        manager.register(
+            "store",
+            capture=lambda: dict(store),
+            restore=store.update,
+            wipe=store.clear,
+        )
+        assert manager.restore_all() == 0
+        assert store == {}
+
+
+class TestRecoveryCoordinator:
+    def _coordinator(self, platform, enclave, **kwargs):
+        return RecoveryCoordinator(enclave, **kwargs)
+
+    def test_recovers_lost_enclave_and_retries(self):
+        platform = fresh_platform()
+        enclave = _enclave(platform)
+        transitions = TransitionLayer(platform, enclave)
+        platform.enable_fault_injection(
+            FaultInjector(
+                rules=[FaultRule(FaultKind.ENCLAVE_CRASH, at_call=1, phase="pre")]
+            )
+        )
+        coordinator = self._coordinator(platform, enclave)
+        result = coordinator.run_with_retry(
+            lambda: transitions.ecall("r", lambda: "ok"),
+            routine="r",
+            invocation_id=1,
+        )
+        assert result == "ok"
+        assert coordinator.stats.recoveries == 1
+        assert coordinator.stats.retries == 1
+        assert enclave.rebuilds == 1
+        assert platform.ledger.count("rmi.retry.backoff") == 1
+        assert platform.ledger.count("recovery.reattest") == 1
+
+    def test_retry_exhausted_raises_typed_error(self):
+        platform = fresh_platform()
+        enclave = _enclave(platform)
+        transitions = TransitionLayer(platform, enclave)
+        platform.enable_fault_injection(
+            FaultInjector(rules=[FaultRule(FaultKind.TRANSIENT_ABORT)])
+        )
+        coordinator = self._coordinator(
+            platform, enclave, policy=RetryPolicy(max_attempts=3)
+        )
+        with pytest.raises(RetryExhaustedError):
+            coordinator.run_with_retry(
+                lambda: transitions.ecall("r", lambda: 1),
+                routine="r",
+                invocation_id=1,
+            )
+        assert coordinator.stats.retries == 2  # 3 attempts, 2 backoffs
+        assert platform.ledger.count("rmi.retry.backoff") == 2
+
+    def test_mid_loss_on_non_idempotent_routine_refuses_replay(self):
+        platform = fresh_platform()
+        enclave = _enclave(platform)
+        transitions = TransitionLayer(platform, enclave)
+        platform.enable_fault_injection(
+            FaultInjector(
+                rules=[FaultRule(FaultKind.ENCLAVE_CRASH, at_call=1, phase="mid")]
+            )
+        )
+        coordinator = self._coordinator(platform, enclave)
+        executed = []
+        with pytest.raises(NonIdempotentReplayError):
+            coordinator.run_with_retry(
+                lambda: transitions.ecall("r", lambda: executed.append(1)),
+                routine="r",
+                invocation_id=9,
+            )
+        assert executed == [1]  # ran once, never replayed
+        assert enclave.usable  # recovery still rebuilt the enclave
+
+    def test_mid_loss_on_idempotent_routine_replays(self):
+        platform = fresh_platform()
+        enclave = _enclave(platform)
+        transitions = TransitionLayer(platform, enclave)
+        platform.enable_fault_injection(
+            FaultInjector(
+                rules=[
+                    FaultRule(
+                        FaultKind.ENCLAVE_CRASH,
+                        at_call=1,
+                        phase="mid",
+                        max_fires=1,
+                    )
+                ]
+            )
+        )
+        coordinator = self._coordinator(
+            platform,
+            enclave,
+            policy=RetryPolicy(idempotent_patterns=("relay_*_get_*",)),
+        )
+        executed = []
+
+        def body():
+            executed.append(1)
+            return len(executed)
+
+        result = coordinator.run_with_retry(
+            lambda: transitions.ecall("relay_Account_get_balance", body),
+            routine="relay_Account_get_balance",
+            invocation_id=3,
+        )
+        assert result == 2  # executed twice: at-most-once waived by contract
+        assert executed == [1, 1]
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            base_backoff_ns=100.0, backoff_multiplier=2.0, max_backoff_ns=350.0
+        )
+        assert policy.backoff_ns(1) == 100.0
+        assert policy.backoff_ns(2) == 200.0
+        assert policy.backoff_ns(3) == 350.0  # capped
+        assert policy.backoff_ns(4) == 350.0
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: partitioned apps under chaos
+# ---------------------------------------------------------------------------
+
+
+class TestEndToEnd:
+    def test_bank_survives_enclave_loss_with_correct_state(self):
+        app = Partitioner(PartitionOptions(name="e2e_bank")).partition(
+            list(BANK_CLASSES)
+        )
+        platform = app.platform
+        with app.start() as session:
+            coordinator = attach_recovery(
+                session,
+                checkpoint_interval_ns=0.0,
+                policy=RetryPolicy(
+                    max_attempts=6, idempotent_patterns=("relay_*_get_*",)
+                ),
+            )
+            accounts = [Account(f"a{i}", 0) for i in range(3)]
+            coordinator.checkpoints.checkpoint()
+            platform.enable_fault_injection(
+                FaultInjector(
+                    seed=5,
+                    rules=[
+                        FaultRule(
+                            FaultKind.ENCLAVE_CRASH,
+                            routine="relay_*",
+                            at_call=4,
+                            phase="pre",
+                            max_fires=1,
+                        )
+                    ],
+                )
+            )
+            for _ in range(5):
+                for account in accounts:
+                    account.update_balance(1)
+            balances = [account.get_balance() for account in accounts]
+            platform.disable_fault_injection()
+            session.runtime.recovery = None
+            assert balances == [5, 5, 5]
+            assert coordinator.stats.recoveries == 1
+            assert session.enclave.rebuilds == 1
+            assert coordinator.stats.reinit_ns > 0
+            assert coordinator.stats.reattest_ns > 0
+            assert coordinator.stats.restore_ns > 0
+
+    def test_idempotent_decorator_is_honoured_by_invoke(self):
+        app = Partitioner(PartitionOptions(name="e2e_idem")).partition(
+            [Sensor]
+        )
+        platform = app.platform
+        with app.start() as session:
+            attach_recovery(session, checkpoint_interval_ns=0.0)
+            sensor = Sensor()
+            platform.enable_fault_injection(
+                FaultInjector(
+                    rules=[
+                        FaultRule(
+                            FaultKind.ENCLAVE_CRASH,
+                            routine="relay_Sensor_read",
+                            at_call=1,
+                            phase="mid",
+                            max_fires=1,
+                        ),
+                        FaultRule(
+                            FaultKind.ENCLAVE_CRASH,
+                            routine="relay_Sensor_arm",
+                            at_call=1,
+                            phase="mid",
+                            max_fires=1,
+                        ),
+                    ]
+                )
+            )
+            assert sensor.read() == 7  # mid-loss + replay: decorator allows
+            with pytest.raises(NonIdempotentReplayError):
+                sensor.arm()  # undeclared mutation: replay refused
+            platform.disable_fault_injection()
+            session.runtime.recovery = None
+
+    def test_unrecovered_loss_still_tears_down_cleanly(self):
+        app = Partitioner(PartitionOptions(name="e2e_teardown")).partition(
+            list(BANK_CLASSES)
+        )
+        platform = app.platform
+        with app.start() as session:
+            account = Account("a", 1)
+            platform.enable_fault_injection(
+                FaultInjector(
+                    rules=[
+                        FaultRule(
+                            FaultKind.ENCLAVE_CRASH,
+                            routine="relay_*",
+                            at_call=1,
+                            phase="pre",
+                            max_fires=1,
+                        )
+                    ]
+                )
+            )
+            # No recovery attached: the loss surfaces to the caller and
+            # the enclave stays LOST through session teardown.
+            with pytest.raises(EnclaveLostError):
+                account.update_balance(1)
+            platform.disable_fault_injection()
+            assert session.enclave.state is EnclaveState.LOST
+        assert session.enclave.state is EnclaveState.DESTROYED
+
+
+# ---------------------------------------------------------------------------
+# Zero cost when off + determinism
+# ---------------------------------------------------------------------------
+
+
+def _bank_ledger(inject: bool):
+    app = Partitioner(PartitionOptions(name="zc_bank")).partition(
+        list(BANK_CLASSES)
+    )
+    platform = app.platform
+    if inject:
+        platform.enable_fault_injection(FaultInjector(seed=0, rules=[]))
+    with app.start():
+        accounts = [Account(f"a{i}", 10) for i in range(3)]
+        for account in accounts:
+            account.update_balance(5)
+        total = sum(account.get_balance() for account in accounts)
+        assert total == 45
+    return dict(platform.snapshot())
+
+
+class TestZeroCostAndDeterminism:
+    def test_ruleless_injector_changes_nothing(self):
+        assert _bank_ledger(inject=False) == _bank_ledger(inject=True)
+
+    def test_chaos_runs_are_byte_identical(self):
+        kwargs = dict(
+            fault_rates=(0.05,),
+            checkpoint_intervals_ns=(0.0,),
+            n_accounts=3,
+            rounds=8,
+            n_entries=6,
+        )
+        a = fault_recovery.run_chaos(**kwargs)
+        b = fault_recovery.run_chaos(**kwargs)
+        assert a.fingerprint() == b.fingerprint()
+        for ra, rb in zip(a.results, b.results):
+            assert ra.ledger == rb.ledger
+            assert ra.events == rb.events
+        assert a.keeper.events == b.keeper.events
+
+    def test_chaos_report_smoke(self):
+        report = fault_recovery.run_chaos(
+            fault_rates=(0.0, 0.05),
+            checkpoint_intervals_ns=(0.0,),
+            n_accounts=3,
+            rounds=8,
+            n_entries=6,
+        )
+        assert report.total_recoveries >= 1
+        # Eager checkpointing: correct results despite enclave losses.
+        for result in report.results:
+            assert result.observed_total == result.expected_total
+            assert result.aborted_ops == 0
+        assert report.keeper.all_correct
+        assert report.keeper.enclave_losses >= 1
+        # The artifact validates and carries the cost breakdown.
+        doc = report.to_artifact()
+        validate_artifact(doc)
+        chaotic = [
+            c for c in doc["chaos"]["configs"] if c["enclave_losses"] > 0
+        ]
+        assert chaotic
+        for config in chaotic:
+            recovery = config["recovery"]
+            assert recovery["reinit_ns"] > 0
+            assert recovery["reattest_ns"] > 0
+            assert recovery["restore_ns"] > 0
+
+    def test_faulted_run_differs_from_clean_run(self):
+        clean = fault_recovery.run_bank_chaos(0.0, 0.0, n_accounts=3, rounds=8)
+        faulted = fault_recovery.run_bank_chaos(
+            0.08, 0.0, n_accounts=3, rounds=8
+        )
+        assert faulted.faults_injected > 0
+        assert faulted.throughput_ops_s < clean.throughput_ops_s
