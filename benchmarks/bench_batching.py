@@ -1,0 +1,40 @@
+"""Extra benchmark — trace-driven batching of hot enclave crossings."""
+
+from conftest import run_once
+
+from repro.experiments.batching_exp import run_batching
+
+BATCH_SIZES = (None, 1, 4, 16, 64)
+DURABILITY_SIZES = (None, 1, 2, 4, 8, 16)
+
+
+def test_batching_ablation(benchmark, record_table):
+    report = run_once(
+        benchmark,
+        run_batching,
+        batch_sizes=BATCH_SIZES,
+        durability_sizes=DURABILITY_SIZES,
+    )
+    record_table(
+        "batching",
+        report.format(),
+        table=[report.speedup, report.crossings, report.durability],
+    )
+
+    # Coalescing must pay for itself on chatty workloads: one transition
+    # (and one isolate attach) per batch instead of per call.
+    assert report.best_speedup("bank") > 10.0
+    assert report.best_speedup("paldb") > 4.0
+    assert report.best_speedup("securekeeper") > 2.0
+    # A batch size of 1 routes through the unbatched path: the ledger
+    # and results must be byte-identical to batching disabled.
+    assert report.identical == {
+        "bank": True,
+        "paldb": True,
+        "securekeeper": True,
+    }
+    # The durability trade: one mid-call loss of a non-idempotent batch
+    # of N silently destroys N-1 acknowledged updates (monotone in N).
+    lost = [r.lost_acked for r in report.durability_results]
+    assert lost == sorted(lost)
+    assert lost[0] == 0 and lost[-1] > 0

@@ -74,6 +74,26 @@ class LintResult:
             )
         ]
 
+    def reranked_candidates(
+        self,
+        dynamic: Sequence[RoutineProfile],
+        elapsed_s: float,
+        **kwargs: object,
+    ) -> List["RankedCandidate"]:
+        """MSV003 predictions re-ranked with a recorded trace.
+
+        Delegates to :func:`repro.batching.rerank_predictions`:
+        trace-confirmed routines lead in measured-cost order (including
+        hot routines the estimator missed), unconfirmed predictions
+        keep their static order at the tail. Extra keyword arguments
+        (``min_rate_hz``, ``window_ns``, ``max_batch``) pass through.
+        """
+        from repro.batching.detector import rerank_predictions
+
+        return rerank_predictions(
+            self.predicted_candidates(), dynamic, elapsed_s, **kwargs
+        )
+
 
 class PartitionLinter:
     """Rule runner over one application's annotated classes."""

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.batching import batchable
 from repro.core.annotations import trusted, untrusted
 
 
@@ -21,8 +22,14 @@ class Account:
         self.owner = owner
         self.balance = balance
 
+    @batchable
     def update_balance(self, amount: int) -> None:
-        """Apply a signed amount to the balance."""
+        """Apply a signed amount to the balance.
+
+        Void and fire-and-forget, so a coalescer may carry many
+        updates across the boundary in one crossing; any
+        ``get_balance()`` read drains the queue first.
+        """
         self.balance += amount
 
     def get_balance(self) -> int:

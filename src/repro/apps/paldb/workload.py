@@ -23,8 +23,10 @@ import numpy as np
 
 from repro.apps.paldb.reader import StoreReader
 from repro.apps.paldb.writer import StoreWriter
+from repro.batching import batchable
 from repro.core.annotations import ambient_context, trusted, untrusted
 from repro.core.shim import ShimLibc
+from repro.errors import StoreError
 
 
 class WriterLogic:
@@ -32,6 +34,7 @@ class WriterLogic:
 
     def __init__(self, path: str) -> None:
         self.path = path
+        self._open_writer = None
 
     def write_all(self, keys: Sequence[str], values: Sequence[str]) -> int:
         """Write every pair; returns the number of records written."""
@@ -40,6 +43,35 @@ class WriterLogic:
             for key, value in zip(keys, values):
                 writer.put(key.encode("utf-8"), value.encode("utf-8"))
             count = writer.n_keys
+        return count
+
+    # -- record-at-a-time API --------------------------------------------------
+    #
+    # The driver-side loop the paper's RUWT scheme actually performs:
+    # one relay per record. Chatty by construction — which is exactly
+    # what makes it the batching ablation's worst/best case.
+
+    def begin_store(self) -> None:
+        """Open the store file for record-at-a-time writing."""
+        if self._open_writer is not None:
+            raise StoreError(f"store {self.path} already open for writing")
+        libc = ShimLibc(ambient_context())
+        self._open_writer = StoreWriter(self.path, libc).__enter__()
+
+    @batchable
+    def put_record(self, key: str, value: str) -> None:
+        """Write one record (void: eligible for call coalescing)."""
+        if self._open_writer is None:
+            raise StoreError("put_record before begin_store")
+        self._open_writer.put(key.encode("utf-8"), value.encode("utf-8"))
+
+    def finish_store(self) -> int:
+        """Seal the store; returns records written (drains any batch)."""
+        if self._open_writer is None:
+            raise StoreError("finish_store before begin_store")
+        writer, self._open_writer = self._open_writer, None
+        count = writer.n_keys
+        writer.__exit__(None, None, None)
         return count
 
 

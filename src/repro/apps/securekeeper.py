@@ -21,6 +21,7 @@ import hmac
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.batching import batchable
 from repro.core.annotations import ambient_context, trusted, untrusted
 from repro.errors import ReproError
 
@@ -32,6 +33,9 @@ class KeeperError(ReproError):
 #: AES-GCM-class cost per payload byte inside the vault.
 _CRYPT_BYTE_CYCLES = 2.2
 _CRYPT_FIXED_CYCLES = 2_400.0
+
+#: Appending one record to the in-enclave audit log.
+_AUDIT_RECORD_CYCLES = 650.0
 
 #: Tree-operation costs charged by the store.
 _TREE_OP_CYCLES = 900.0
@@ -63,6 +67,24 @@ class PayloadVault:
     def __init__(self, master_secret: str) -> None:
         self._key = hashlib.sha256(master_secret.encode("utf-8")).digest()
         self._counter = 0
+        self._audit: List[str] = []
+
+    @batchable
+    def record_access(self, path: str) -> None:
+        """Append one entry to the in-enclave audit trail.
+
+        SecureKeeper logs every znode access inside the enclave so the
+        untrusted framework cannot censor the trail. Fire-and-forget
+        and extremely chatty — one ecall per store operation — which
+        makes it the coalescer's canonical target.
+        """
+        ctx = ambient_context()
+        ctx.compute(_AUDIT_RECORD_CYCLES, mem_bytes=len(path) + 24)
+        self._audit.append(path)
+
+    def audit_count(self) -> int:
+        """Entries recorded so far (drains any open audit batch)."""
+        return len(self._audit)
 
     def encrypt(self, plaintext: str) -> bytes:
         """Encrypt+authenticate one payload; returns the wire blob."""
@@ -222,13 +244,22 @@ class ZNodeStore:
 
 
 class SecureKeeperClient:
-    """Neutral client composing the vault and the store."""
+    """Neutral client composing the vault and the store.
 
-    def __init__(self, vault: PayloadVault, store: ZNodeStore) -> None:
+    With ``audit=True`` every operation also appends to the vault's
+    in-enclave audit trail — one extra (batchable) ecall per op.
+    """
+
+    def __init__(
+        self, vault: PayloadVault, store: ZNodeStore, audit: bool = False
+    ) -> None:
         self.vault = vault
         self.store = store
+        self.audit = audit
 
     def put(self, path: str, plaintext: str) -> None:
+        if self.audit:
+            self.vault.record_access(path)
         blob = self.vault.encrypt(plaintext)
         if self.store.exists(path):
             _, version = self.store.get(path)
@@ -237,6 +268,8 @@ class SecureKeeperClient:
             self.store.create(path, blob)
 
     def read(self, path: str) -> str:
+        if self.audit:
+            self.vault.record_access(path)
         blob, _ = self.store.get(path)
         return self.vault.decrypt(blob)
 

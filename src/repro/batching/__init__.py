@@ -1,0 +1,72 @@
+"""Trace-driven batching of hot enclave crossings.
+
+``repro.batching`` closes the loop the ROADMAP drew between the
+observability layer (PR 1), the partition linter (PR 2) and the chaos
+layer (PR 3):
+
+- :mod:`repro.batching.ranking` — the *shared* crossing-rank heuristic
+  behind both switchless-candidate detection and batching plans;
+- :mod:`repro.batching.detector` — :class:`HotSiteDetector` ranks
+  recorded per-routine crossing streams into sized batching plans, and
+  :func:`rerank_predictions` re-orders the linter's static ``MSV003``
+  predictions with a measured trace;
+- :mod:`repro.batching.coalescer` — :class:`CallCoalescer` queues
+  eligible proxy invocations per ``(side, routine)`` and flushes them
+  through one priced batch crossing, with explicit flush triggers
+  (batch size, virtual-time window, data-dependent reads, side
+  switches) and fault-aware :class:`BatchEnvelope` idempotency
+  metadata.
+
+See ``docs/BATCHING.md`` for the detector → coalescer → flush-trigger
+→ fault-semantics pipeline, and ``repro batch`` for the ablation.
+"""
+
+from repro.batching.coalescer import (
+    BATCHABLE_ATTR,
+    BatchEnvelope,
+    BatchPolicy,
+    BatchStats,
+    CallCoalescer,
+    PendingCall,
+    attach_batching,
+    batchable,
+)
+from repro.batching.detector import (
+    CONFIRMED,
+    STATIC_ONLY,
+    TRACE_ONLY,
+    HotSite,
+    HotSiteDetector,
+    RankedCandidate,
+    rerank_predictions,
+)
+from repro.batching.ranking import (
+    HOT_ROUTINE_HZ,
+    MAX_SUGGESTED_BATCH,
+    crossing_rate_hz,
+    rank_hot_routines,
+    suggest_batch_size,
+)
+
+__all__ = [
+    "BATCHABLE_ATTR",
+    "BatchEnvelope",
+    "BatchPolicy",
+    "BatchStats",
+    "CallCoalescer",
+    "PendingCall",
+    "attach_batching",
+    "batchable",
+    "CONFIRMED",
+    "STATIC_ONLY",
+    "TRACE_ONLY",
+    "HotSite",
+    "HotSiteDetector",
+    "RankedCandidate",
+    "rerank_predictions",
+    "HOT_ROUTINE_HZ",
+    "MAX_SUGGESTED_BATCH",
+    "crossing_rate_hz",
+    "rank_hot_routines",
+    "suggest_batch_size",
+]

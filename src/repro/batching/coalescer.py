@@ -1,0 +1,414 @@
+"""Call coalescing: queue hot proxy invocations, flush one crossing.
+
+Montsalvat pays ~13,100 cycles of context switch plus the GraalVM
+isolate attach on *every* enclave transition (§2.1, Fig. 3/4). For a
+chatty call site — N fire-and-forget invocations of the same routine in
+a row — that fixed cost is paid N times for work one crossing could
+carry. The :class:`CallCoalescer` elides it: eligible proxy invocations
+are queued per ``(caller, target, routine)`` and flushed through a
+single priced crossing that charges **one transition** (one context
+switch, one isolate attach, one edge-fixed cost) plus the per-call
+marshalling and relay dispatch that would have happened anyway.
+
+Correctness rules (results must stay byte-identical to unbatched runs):
+
+- only routines declared batchable — via :func:`batchable` on the
+  method or an fnmatch pattern on the :class:`BatchPolicy` — are ever
+  queued; these must be *void* (fire-and-forget) methods, enforced at
+  flush when ``strict_void`` is on;
+- any other crossing through the runtime (a data-dependent read, a
+  proxy construction, a static relay, a GC release, a local dispatch
+  on the mirror side) first drains the queue, so program order is
+  preserved exactly;
+- a queue older than ``window_ns`` of virtual time is drained before
+  new calls join it, bounding staleness;
+- a queue switching to a different ``(side, routine)`` is drained
+  first — at most one batch is ever open, so cross-routine ordering
+  cannot invert;
+- a **single-call** flush takes the ordinary unbatched path (same
+  routine name, same charges), so ``max_batch=1`` is priced identically
+  to batching disabled.
+
+Fault semantics: each multi-call batch crosses under one invocation id
+with an idempotency bit that is the conjunction of its calls' — the
+:class:`~repro.faults.RecoveryCoordinator` retries or refuses replay at
+*batch* granularity, and per-crossing ``maybe_checkpoint()`` sealing is
+amortised over the whole batch. A batch that dies mid-call loses all N
+calls' effects; ``recovery.stats.calls_refused`` counts them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.proxy import BATCHABLE_ATTR, HASH_ATTR
+from repro.errors import BatchingError, ConfigurationError
+
+F = Callable[..., None]
+
+
+def batchable(func: F) -> F:
+    """Mark a void method as safe to coalesce into a batch crossing.
+
+    Only apply to fire-and-forget methods: the caller receives ``None``
+    immediately and the effect lands when the batch flushes (still
+    before any subsequent crossing, so program order holds).
+    """
+    setattr(func, BATCHABLE_ATTR, True)
+    return func
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """What to coalesce and when to force a flush."""
+
+    #: fnmatch patterns of relay routine names eligible for batching
+    #: (e.g. ``relay_Account_update_balance``, ``relay_*_put_record``).
+    #: Methods decorated @batchable are eligible without a pattern.
+    routines: Tuple[str, ...] = ()
+    #: Flush when the open queue reaches this many calls.
+    max_batch: int = 16
+    #: Flush a queue older than this much virtual time before growing it.
+    window_ns: float = 200_000.0
+    #: Per-routine batch-size overrides as (pattern, size) pairs; first
+    #: match wins. Lets a detector plan size each site independently.
+    sizes: Tuple[Tuple[str, int], ...] = ()
+    #: Verify at flush that every coalesced call returned None.
+    strict_void: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        if self.window_ns < 0:
+            raise ConfigurationError("window_ns cannot be negative")
+        for pattern, size in self.sizes:
+            if size < 1:
+                raise ConfigurationError(
+                    f"batch size for {pattern!r} must be >= 1, got {size}"
+                )
+
+    def covers(self, routine: str) -> bool:
+        return any(fnmatchcase(routine, pattern) for pattern in self.routines)
+
+    def size_for(self, routine: str) -> int:
+        for pattern, size in self.sizes:
+            if fnmatchcase(routine, pattern):
+                return size
+        return self.max_batch
+
+    @classmethod
+    def from_hot_sites(
+        cls,
+        sites: Any,
+        window_ns: float = 200_000.0,
+        strict_void: bool = True,
+    ) -> "BatchPolicy":
+        """A policy batching exactly a detector's hot sites, each at
+        its suggested size."""
+        sites = list(sites)
+        if not sites:
+            return cls(routines=(), window_ns=window_ns, strict_void=strict_void)
+        return cls(
+            routines=tuple(site.routine for site in sites),
+            sizes=tuple((site.routine, site.suggested_batch) for site in sites),
+            max_batch=max(site.suggested_batch for site in sites),
+            window_ns=window_ns,
+            strict_void=strict_void,
+        )
+
+
+@dataclass(frozen=True)
+class PendingCall:
+    """One queued invocation, already marshalled on the caller side."""
+
+    class_name: str
+    method_name: str
+    routine: str
+    remote_hash: int
+    encoded_args: Tuple[Any, ...]
+    encoded_kwargs: Dict[str, Any]
+    payload: int
+    idempotent: bool
+
+
+@dataclass(frozen=True)
+class BatchEnvelope:
+    """Idempotency metadata one batch crossing carries.
+
+    ``invocation_id`` is assigned by the runtime when the batch
+    crosses; the envelope's ``idempotent`` bit is the conjunction of
+    the member calls' — one non-idempotent call poisons the whole
+    batch, because a mid-call loss leaves *every* member's outcome
+    indeterminate.
+    """
+
+    routine: str
+    calls: int
+    payload: int
+    idempotent: bool
+
+
+@dataclass
+class BatchStats:
+    """What the coalescer did, by cause."""
+
+    offered: int = 0
+    enqueued: int = 0
+    fallthrough: int = 0  # offered but ineligible: took the normal path
+    batches: int = 0  # multi-call flush crossings
+    batched_calls: int = 0  # calls carried by those crossings
+    single_flushes: int = 0  # one-call queues flushed via the normal path
+    largest_batch: int = 0
+    #: Flush counts keyed by trigger ("batch-full", "window",
+    #: "routine-switch", "side-switch", "barrier:<reason>", "explicit").
+    flushes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def crossings_saved(self) -> int:
+        """Transitions elided: calls that rode an existing crossing."""
+        return self.batched_calls - self.batches
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "offered": self.offered,
+            "enqueued": self.enqueued,
+            "fallthrough": self.fallthrough,
+            "batches": self.batches,
+            "batched_calls": self.batched_calls,
+            "single_flushes": self.single_flushes,
+            "largest_batch": self.largest_batch,
+            "crossings_saved": self.crossings_saved,
+            "flushes": dict(sorted(self.flushes.items())),
+        }
+
+
+class CallCoalescer:
+    """Per-runtime invocation queue with explicit flush triggers."""
+
+    def __init__(self, runtime: Any, policy: Optional[BatchPolicy] = None) -> None:
+        self.runtime = runtime
+        self.policy = policy or BatchPolicy()
+        self.stats = BatchStats()
+        self._queue: List[PendingCall] = []
+        #: (caller Side, target Side, routine) of the open queue.
+        self._queue_key: Optional[Tuple[Any, Any, str]] = None
+        self._opened_ns: float = 0.0
+
+    # -- intake (called by RmiRuntime.invoke) ---------------------------------
+
+    def offer(
+        self,
+        proxy: Any,
+        class_name: str,
+        method_name: str,
+        args: Tuple[Any, ...],
+        kwargs: Dict[str, Any],
+        caller: Any,
+        target: Any,
+        idempotent_hint: bool,
+    ) -> bool:
+        """Queue the invocation if eligible; returns True when queued.
+
+        A False return means the caller must treat the invocation as a
+        data-dependent crossing: drain the queue (ordering barrier) and
+        dispatch it through the normal path.
+        """
+        self.stats.offered += 1
+        routine = f"relay_{class_name}_{method_name}"
+        if not self._eligible(proxy, method_name, routine):
+            self.stats.fallthrough += 1
+            return False
+        now_ns = self.runtime.platform.clock.now_ns
+        key = (caller, target, routine)
+        if self._queue:
+            if self._queue_key != key:
+                trigger = (
+                    "routine-switch"
+                    if self._queue_key[:2] == key[:2]
+                    else "side-switch"
+                )
+                self._flush(trigger)
+            elif now_ns - self._opened_ns >= self.policy.window_ns:
+                self._flush("window")
+        encoded_args, encoded_kwargs, payload = self.runtime._encode_call(
+            args, kwargs, caller
+        )
+        if not self._queue:
+            self._queue_key = key
+            self._opened_ns = self.runtime.platform.clock.now_ns
+        self._queue.append(
+            PendingCall(
+                class_name=class_name,
+                method_name=method_name,
+                routine=routine,
+                remote_hash=getattr(proxy, HASH_ATTR),
+                encoded_args=encoded_args,
+                encoded_kwargs=encoded_kwargs,
+                payload=payload,
+                idempotent=self._call_idempotent(routine, idempotent_hint),
+            )
+        )
+        self.stats.enqueued += 1
+        if len(self._queue) >= self.policy.size_for(routine):
+            self._flush("batch-full")
+        return True
+
+    def _eligible(self, proxy: Any, method_name: str, routine: str) -> bool:
+        if self.policy.covers(routine):
+            return True
+        func = getattr(type(proxy), method_name, None)
+        return bool(getattr(func, BATCHABLE_ATTR, False))
+
+    def _call_idempotent(self, routine: str, hint: bool) -> bool:
+        if hint:
+            return True
+        recovery = getattr(self.runtime, "recovery", None)
+        if recovery is not None and recovery.policy.is_idempotent(routine):
+            return True
+        return False
+
+    # -- flushing -------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Calls currently queued."""
+        return len(self._queue)
+
+    def flush(self) -> int:
+        """Drain the queue now; returns the number of calls flushed."""
+        return self._flush("explicit")
+
+    def barrier(self, reason: str) -> int:
+        """Ordering barrier: drain before a non-batchable crossing."""
+        if not self._queue:
+            return 0
+        return self._flush(f"barrier:{reason}")
+
+    def _flush(self, trigger: str) -> int:
+        if not self._queue:
+            return 0
+        calls = self._queue
+        caller, target, routine = self._queue_key  # type: ignore[misc]
+        self._queue = []
+        self._queue_key = None
+        self.stats.flushes[trigger] = self.stats.flushes.get(trigger, 0) + 1
+        runtime = self.runtime
+
+        if len(calls) == 1:
+            # Single-call batch: cross exactly like the unbatched
+            # runtime (same routine name, same charges) so max_batch=1
+            # is priced identically to batching disabled.
+            call = calls[0]
+            self.stats.single_flushes += 1
+            body = runtime.relay_body(
+                target,
+                call.remote_hash,
+                call.method_name,
+                call.encoded_args,
+                call.encoded_kwargs,
+            )
+            encoded = runtime.cross_batched(
+                caller,
+                target,
+                call.routine,
+                body,
+                call.payload,
+                idempotent=call.idempotent,
+                calls=1,
+            )
+            self._accept_result(call, runtime._decode_value(encoded, caller))
+            return 1
+
+        envelope = BatchEnvelope(
+            routine=routine,
+            calls=len(calls),
+            payload=sum(call.payload for call in calls),
+            idempotent=all(call.idempotent for call in calls),
+        )
+        bodies = [
+            runtime.relay_body(
+                target,
+                call.remote_hash,
+                call.method_name,
+                call.encoded_args,
+                call.encoded_kwargs,
+            )
+            for call in calls
+        ]
+
+        def run_batch() -> Tuple[Any, ...]:
+            return tuple(body() for body in bodies)
+
+        batch_name = f"batch_{calls[0].class_name}_{calls[0].method_name}"
+        obs = runtime.platform.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.start_span(
+                "rmi.batch_flush",
+                attrs={
+                    "routine": routine,
+                    "calls": envelope.calls,
+                    "trigger": trigger,
+                    "idempotent": envelope.idempotent,
+                },
+            )
+        try:
+            encoded_results = runtime.cross_batched(
+                caller,
+                target,
+                batch_name,
+                run_batch,
+                envelope.payload,
+                idempotent=envelope.idempotent,
+                calls=envelope.calls,
+            )
+        finally:
+            if span is not None:
+                obs.tracer.end_span(span)
+        self.stats.batches += 1
+        self.stats.batched_calls += envelope.calls
+        self.stats.largest_batch = max(self.stats.largest_batch, envelope.calls)
+        if obs is not None:
+            obs.metrics.counter("rmi.batch.flushes").inc()
+            obs.metrics.counter("rmi.batch.calls").inc(envelope.calls)
+            obs.metrics.counter("rmi.batch.crossings_saved").inc(
+                envelope.calls - 1
+            )
+            obs.metrics.histogram("rmi.batch.size").observe(envelope.calls)
+        for call, encoded in zip(calls, encoded_results):
+            self._accept_result(call, runtime._decode_value(encoded, caller))
+        return envelope.calls
+
+    def _accept_result(self, call: PendingCall, result: Any) -> None:
+        if result is None or not self.policy.strict_void:
+            return
+        raise BatchingError(
+            f"batched routine {call.routine!r} returned {result!r}; only "
+            "void (fire-and-forget) methods may be coalesced — the caller "
+            "already received None. Remove it from the batch policy or "
+            "drop its @batchable mark."
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def detach(self) -> int:
+        """Drain the queue and uninstall from the runtime."""
+        flushed = self.flush()
+        if getattr(self.runtime, "batcher", None) is self:
+            self.runtime.batcher = None
+        return flushed
+
+
+def attach_batching(
+    session: Any, policy: Optional[BatchPolicy] = None
+) -> CallCoalescer:
+    """Install a :class:`CallCoalescer` on a running session's runtime.
+
+    Returns the coalescer; call :meth:`CallCoalescer.detach` (or let
+    the session's ``start()`` block exit) to drain and uninstall it.
+    """
+    coalescer = CallCoalescer(session.runtime, policy)
+    session.runtime.batcher = coalescer
+    return coalescer

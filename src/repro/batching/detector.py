@@ -1,0 +1,198 @@
+"""Trace-driven hot-site detection and static-prediction re-ranking.
+
+The detector consumes per-routine crossing profiles — either live from
+a :class:`~repro.sgx.profiler.TransitionProfiler` or replayed from a
+recorded trace — and answers two questions:
+
+1. **Which call sites should the coalescer batch?**
+   :meth:`HotSiteDetector.detect` ranks routines with the shared
+   heuristic (:mod:`repro.batching.ranking`) and attaches a suggested
+   batch size derived from the observed rate and the flush window.
+
+2. **Were the linter's static predictions right?**
+   :func:`rerank_predictions` merges ``MSV003``
+   ``predicted_candidates()`` with a recorded trace: routines the trace
+   confirms move to the front in *measured-cost* order, predictions the
+   trace never saw keep their static order at the tail, and hot
+   routines the estimator missed (recursion, externally-driven loops)
+   are surfaced as ``trace-only``. This closes the loop between
+   ``repro.analysis`` (static) and ``repro.obs`` (dynamic).
+
+Profiles are duck-typed against
+:class:`~repro.sgx.profiler.RoutineProfile`; nothing here imports the
+profiler or analysis layers, so those layers may import this one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.batching.ranking import (
+    HOT_ROUTINE_HZ,
+    MAX_SUGGESTED_BATCH,
+    crossing_rate_hz,
+    rank_hot_routines,
+    suggest_batch_size,
+)
+
+#: Where a candidate's evidence came from.
+CONFIRMED = "confirmed"  # predicted statically AND observed hot
+STATIC_ONLY = "static-only"  # predicted, never observed hot
+TRACE_ONLY = "trace-only"  # observed hot, not predicted
+
+
+@dataclass(frozen=True)
+class HotSite:
+    """One chatty crossing site, ranked and sized for batching."""
+
+    routine: str
+    kind: str  # "ecall" | "ocall"
+    calls: int
+    total_ns: float
+    rate_hz: float
+    mean_payload: float
+    suggested_batch: int
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.kind, self.routine)
+
+
+@dataclass(frozen=True)
+class RankedCandidate:
+    """A switchless/batching candidate after static+dynamic merging."""
+
+    profile: Any  # RoutineProfile-shaped (dynamic if observed, else static)
+    source: str  # CONFIRMED | STATIC_ONLY | TRACE_ONLY
+    predicted_calls: int
+    observed_calls: int
+    suggested_batch: int
+
+    @property
+    def routine(self) -> str:
+        return self.profile.name
+
+    @property
+    def kind(self) -> str:
+        return self.profile.kind
+
+
+class HotSiteDetector:
+    """Ranks crossing profiles into a batching plan."""
+
+    def __init__(
+        self,
+        min_rate_hz: float = HOT_ROUTINE_HZ,
+        window_ns: float = 200_000.0,
+        max_batch: int = MAX_SUGGESTED_BATCH,
+    ) -> None:
+        self.min_rate_hz = min_rate_hz
+        self.window_ns = window_ns
+        self.max_batch = max_batch
+
+    def detect(self, profiles: Sequence[Any], elapsed_s: float) -> List[HotSite]:
+        """Hot sites among ``profiles``, hottest first."""
+        sites = []
+        for profile in rank_hot_routines(
+            profiles, elapsed_s, min_rate_hz=self.min_rate_hz
+        ):
+            sites.append(
+                HotSite(
+                    routine=profile.name,
+                    kind=profile.kind,
+                    calls=profile.calls,
+                    total_ns=profile.total_ns,
+                    rate_hz=crossing_rate_hz(profile.calls, elapsed_s),
+                    mean_payload=profile.mean_payload,
+                    suggested_batch=suggest_batch_size(
+                        profile.calls,
+                        elapsed_s,
+                        window_ns=self.window_ns,
+                        max_batch=self.max_batch,
+                    ),
+                )
+            )
+        return sites
+
+    def from_profiler(self, profiler: Any) -> List[HotSite]:
+        """Hot sites from a live :class:`TransitionProfiler`."""
+        return self.detect(profiler.profiles(), profiler.elapsed_s)
+
+    def report(self, sites: Sequence[HotSite]) -> str:
+        lines = [
+            f"{'routine':<42} {'kind':<6} {'calls':>8} {'rate_hz':>10} "
+            f"{'total_ms':>10} {'batch':>6}"
+        ]
+        for site in sites:
+            lines.append(
+                f"{site.routine:<42} {site.kind:<6} {site.calls:>8} "
+                f"{site.rate_hz:>10.0f} {site.total_ns / 1e6:>10.3f} "
+                f"{site.suggested_batch:>6}"
+            )
+        return "\n".join(lines)
+
+
+def rerank_predictions(
+    static: Sequence[Any],
+    dynamic: Sequence[Any],
+    elapsed_s: float,
+    min_rate_hz: float = HOT_ROUTINE_HZ,
+    window_ns: float = 200_000.0,
+    max_batch: int = MAX_SUGGESTED_BATCH,
+    detector: Optional[HotSiteDetector] = None,
+) -> List[RankedCandidate]:
+    """Re-rank MSV003 predictions with a recorded trace.
+
+    ``static`` is ``LintResult.predicted_candidates()``; ``dynamic`` is
+    a recorded per-routine profile list (e.g.
+    ``TransitionProfiler.profiles()``) spanning ``elapsed_s`` virtual
+    seconds. Returns candidates in trace-informed order:
+
+    1. routines the trace observed hot, by *measured* total crossing
+       time (confirmed predictions and trace-only discoveries mixed —
+       the measured cost, not the prediction, decides priority);
+    2. predictions the trace never confirmed, in their static order.
+    """
+    if detector is None:
+        detector = HotSiteDetector(
+            min_rate_hz=min_rate_hz, window_ns=window_ns, max_batch=max_batch
+        )
+    static_by_key: Dict[Tuple[str, str], Any] = {
+        (p.kind, p.name): p for p in static
+    }
+    hot = detector.detect(dynamic, elapsed_s)
+    hot_keys = {site.key for site in hot}
+    dynamic_by_key = {(p.kind, p.name): p for p in dynamic}
+
+    ranked: List[RankedCandidate] = []
+    for site in hot:
+        predicted = static_by_key.get(site.key)
+        ranked.append(
+            RankedCandidate(
+                profile=dynamic_by_key[site.key],
+                source=CONFIRMED if predicted is not None else TRACE_ONLY,
+                predicted_calls=predicted.calls if predicted is not None else 0,
+                observed_calls=site.calls,
+                suggested_batch=site.suggested_batch,
+            )
+        )
+    for key, profile in static_by_key.items():
+        if key in hot_keys:
+            continue
+        ranked.append(
+            RankedCandidate(
+                profile=profile,
+                source=STATIC_ONLY,
+                predicted_calls=profile.calls,
+                observed_calls=(
+                    dynamic_by_key[key].calls if key in dynamic_by_key else 0
+                ),
+                # No observed rate to size from: treat the static call
+                # estimate as one window's worth of traffic.
+                suggested_batch=suggest_batch_size(
+                    profile.calls, 1.0, window_ns=1e9, max_batch=max_batch
+                ),
+            )
+        )
+    return ranked

@@ -1,0 +1,79 @@
+"""The shared crossing-rank heuristic (sgx-perf's "frequent short calls").
+
+Both elision strategies this codebase knows — switchless dispatch
+(:meth:`repro.sgx.profiler.TransitionProfiler.switchless_candidates`)
+and trace-driven batching (:class:`repro.batching.detector.HotSiteDetector`)
+— start from the same question: *which routines cross the boundary
+often enough that shaving the per-crossing fixed cost would pay?* This
+module holds that heuristic once, so the two consumers cannot drift:
+
+- a routine qualifies when its crossing rate reaches
+  :data:`HOT_ROUTINE_HZ` calls per virtual second;
+- qualifying routines rank by total time spent crossing (the paper's
+  Fig. 3/4 bottleneck), with calls and name as deterministic
+  tie-breakers.
+
+Profiles are duck-typed against
+:class:`~repro.sgx.profiler.RoutineProfile` (``name``, ``kind``,
+``calls``, ``total_ns``, ``mean_payload``) so this module imports
+nothing from the profiler layer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+#: A routine crossing more often than this per virtual second is worth
+#: eliding (switchless dispatch or batching). The same constant the
+#: profiler's switchless rule has always used.
+HOT_ROUTINE_HZ = 1_000.0
+
+#: Never suggest coalescing more calls than this into one crossing:
+#: past ~64 the fixed cost is fully amortised and latency-to-first-
+#: result and the mid-batch blast radius keep growing.
+MAX_SUGGESTED_BATCH = 64
+
+
+def crossing_rate_hz(calls: int, elapsed_s: float) -> float:
+    """Calls per virtual second, guarded against a zero-length window."""
+    return calls / max(1e-9, elapsed_s)
+
+
+def rank_hot_routines(
+    profiles: Sequence[Any],
+    elapsed_s: float,
+    min_rate_hz: float = HOT_ROUTINE_HZ,
+) -> List[Any]:
+    """Profiles crossing at ``min_rate_hz`` or more, hottest first.
+
+    Ordering is total crossing time descending, then call count
+    descending, then ``(kind, name)`` — fully deterministic so reports
+    and fingerprints never flap between runs.
+    """
+    hot = [
+        profile
+        for profile in profiles
+        if crossing_rate_hz(profile.calls, elapsed_s) >= min_rate_hz
+    ]
+    hot.sort(key=lambda p: (-p.total_ns, -p.calls, p.kind, p.name))
+    return hot
+
+
+def suggest_batch_size(
+    calls: int,
+    elapsed_s: float,
+    window_ns: float,
+    max_batch: int = MAX_SUGGESTED_BATCH,
+) -> int:
+    """Batch size for a routine, from its observed rate and the flush window.
+
+    The coalescer flushes a queue no older than ``window_ns``, so the
+    natural batch size is the number of calls expected inside one
+    window, rounded up to a power of two and clamped to
+    ``[1, max_batch]``.
+    """
+    expected = crossing_rate_hz(calls, elapsed_s) * (window_ns / 1e9)
+    size = 1
+    while size < expected and size < max_batch:
+        size *= 2
+    return max(1, min(size, max_batch))

@@ -33,7 +33,7 @@ from repro.experiments import fig3_proxy_creation, fig4_rmi, fig5_gc
 from repro.experiments import fig6_synthetic, fig7_paldb, fig9_graphchi
 from repro.experiments import ablations, fig12_specjvm
 from repro.experiments import epc_paging, mapreduce_exp, securekeeper_exp, startup
-from repro.experiments import fault_recovery
+from repro.experiments import batching_exp, fault_recovery
 
 
 def _fig3(scale: str) -> None:
@@ -159,7 +159,25 @@ def _chaos(scale: str) -> None:
     print(f"artifact: {path}", file=sys.stderr)
 
 
+def _batch(scale: str) -> None:
+    import os
+
+    if scale == "small":
+        report = batching_exp.run_batching(
+            batch_sizes=(None, 1, 4, 16),
+            durability_sizes=(None, 1, 4, 8),
+        )
+    else:
+        report = batching_exp.run_batching()
+    print(report.format())
+    os.makedirs("results", exist_ok=True)
+    path = os.path.join("results", "batching.json")
+    report.write_artifact(path)
+    print(f"artifact: {path}", file=sys.stderr)
+
+
 COMMANDS: Dict[str, Callable[[str], None]] = {
+    "batch": _batch,
     "chaos": _chaos,
     "epc": _epc,
     "startup": _startup,

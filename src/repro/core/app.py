@@ -170,6 +170,10 @@ class PartitionedApplication:
             yield session
         finally:
             deactivate_runtime(token)
+            # Drain any open call batch before teardown: queued
+            # invocations must land while the enclave is still alive.
+            if runtime.batcher is not None:
+                runtime.batcher.flush()
             session.tick_gc(force=True)
             sdk.destroy_enclave(enclave)
 

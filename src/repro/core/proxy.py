@@ -19,6 +19,10 @@ HASH_ATTR = "_montsalvat_hash"
 RUNTIME_ATTR = "_montsalvat_runtime"
 SIDE_ATTR = "_montsalvat_target_side"
 
+#: Marker set by :func:`repro.batching.batchable`; duplicated here (not
+#: imported) so the proxy generator stays a leaf module.
+BATCHABLE_ATTR = "__montsalvat_batchable__"
+
 _proxy_class_cache: Dict[type, type] = {}
 
 
@@ -66,7 +70,10 @@ def make_proxy_class(cls: type) -> type:
         elif isinstance(member, staticmethod):
             namespace[name] = staticmethod(_forwarding_static(cls, name))
         else:
-            namespace[name] = _forwarding_method(name)
+            forwarder = _forwarding_method(name)
+            if getattr(member, BATCHABLE_ATTR, False):
+                setattr(forwarder, BATCHABLE_ATTR, True)
+            namespace[name] = forwarder
 
     proxy_cls = type(cls)(f"{cls.__name__}Proxy", (cls,), namespace)
     _proxy_class_cache[cls] = proxy_cls

@@ -104,6 +104,11 @@ class RmiRuntime:
         #: Optional :class:`~repro.faults.RecoveryCoordinator`; when set
         #: every crossing runs through its retry loop.
         self.recovery: Optional[Any] = None
+        #: Optional :class:`~repro.batching.CallCoalescer`; when set,
+        #: eligible proxy invocations are queued and flushed as one
+        #: batch crossing, and every other crossing drains the queue
+        #: first (ordering barrier). Zero-cost when None.
+        self.batcher: Optional[Any] = None
         self._invocation_ids = itertools.count(1)
 
     # -- wiring ---------------------------------------------------------------
@@ -157,6 +162,8 @@ class RmiRuntime:
     def _create_remote(
         self, cls: type, home: Side, args: Tuple[Any, ...], kwargs: Dict[str, Any]
     ) -> Any:
+        if self.batcher is not None:
+            self.batcher.barrier("proxy-construction")
         obs = self.platform.obs
         if obs is None:
             return self._create_remote_impl(cls, home, args, kwargs)
@@ -209,15 +216,28 @@ class RmiRuntime:
         target: Side = getattr(proxy, SIDE_ATTR)
         remote_hash: int = getattr(proxy, HASH_ATTR)
         caller = self.current_side
+        batcher = self.batcher
 
         if caller is target:
             # The proxy crossed back to its mirror's own side; dispatch
-            # locally without a transition.
+            # locally without a transition — but queued calls targeting
+            # this mirror's side must land first (program order).
+            if batcher is not None:
+                batcher.barrier("local-dispatch")
             mirror = self.mirror_state(target, remote_hash).registry.get(remote_hash)
             return getattr(mirror, method_name)(*args, **kwargs)
 
         class_name = type(proxy).__name__.replace("Proxy", "")
         idempotent = self._idempotent_hint(type(proxy), method_name)
+        if batcher is not None:
+            if batcher.offer(
+                proxy, class_name, method_name, args, kwargs, caller, target,
+                idempotent,
+            ):
+                return None
+            # Ineligible: a data-dependent crossing. Drain the queue so
+            # its effects are visible to this call, then fall through.
+            batcher.barrier("data-dependent")
         obs = self.platform.obs
         if obs is None:
             return self._invoke_remote(
@@ -274,10 +294,39 @@ class RmiRuntime:
         span: Optional[Any],
         idempotent: bool = False,
     ) -> Any:
-        rmi_costs = self.platform.cost_model.rmi
         encoded_args, encoded_kwargs, payload = self._encode_call(args, kwargs, caller)
         if span is not None:
             span.set_attr("payload_bytes", payload)
+
+        relay_method = self.relay_body(
+            target, remote_hash, method_name, encoded_args, encoded_kwargs
+        )
+        encoded_result = self._cross(
+            caller,
+            target,
+            f"relay_{class_name}_{method_name}",
+            relay_method,
+            payload,
+            idempotent=idempotent,
+        )
+        return self._decode_value(encoded_result, caller)
+
+    def relay_body(
+        self,
+        target: Side,
+        remote_hash: int,
+        method_name: str,
+        encoded_args: Tuple[Any, ...],
+        encoded_kwargs: Dict[str, Any],
+    ):
+        """The target-side half of one invocation: registry lookup,
+        decode, dispatch on the mirror, encode the result.
+
+        Shared by the unbatched path and the call coalescer — a batch
+        crossing runs N of these bodies inside a single transition, so
+        per-call dispatch work is priced identically either way.
+        """
+        rmi_costs = self.platform.cost_model.rmi
 
         def relay_method() -> Any:
             with self.on_side(target):
@@ -293,15 +342,28 @@ class RmiRuntime:
                 result = getattr(mirror, method_name)(*decoded_args, **decoded_kwargs)
                 return self._encode_value(result, target)
 
-        encoded_result = self._cross(
-            caller,
-            target,
-            f"relay_{class_name}_{method_name}",
-            relay_method,
-            payload,
-            idempotent=idempotent,
+        return relay_method
+
+    def cross_batched(
+        self,
+        caller: Side,
+        target: Side,
+        name: str,
+        body,
+        payload: int,
+        idempotent: bool = False,
+        calls: int = 1,
+    ) -> Any:
+        """Crossing entry point for the call coalescer.
+
+        ``calls`` is the number of logical invocations the crossing
+        carries; the transition layer and recovery coordinator account
+        batch crossings by it.
+        """
+        return self._cross(
+            caller, target, name, body, payload,
+            idempotent=idempotent, calls=calls,
         )
-        return self._decode_value(encoded_result, caller)
 
     def invoke_static(
         self, cls: type, method_name: str, args: Tuple[Any, ...], kwargs: Dict[str, Any]
@@ -313,6 +375,8 @@ class RmiRuntime:
         func = getattr(cls, method_name)
         if caller is home:
             return func(*args, **kwargs)
+        if self.batcher is not None:
+            self.batcher.barrier("static-relay")
         obs = self.platform.obs
         span = None
         if obs is not None:
@@ -365,6 +429,10 @@ class RmiRuntime:
         dead_list = list(hashes)
         if not dead_list:
             return 0
+        if self.batcher is not None:
+            # Queued calls may keep a mirror alive on the wire; land
+            # them before releasing anything.
+            self.batcher.barrier("gc-release")
         if (
             self.transitions is not None
             and self.transitions.enclave.state is EnclaveState.LOST
@@ -514,6 +582,7 @@ class RmiRuntime:
         body,
         payload: int,
         idempotent: bool = False,
+        calls: int = 1,
     ) -> Any:
         """Perform the boundary crossing and marshal outcomes.
 
@@ -552,10 +621,14 @@ class RmiRuntime:
         else:
             if target is Side.TRUSTED:
                 def transition() -> Tuple[str, Any]:
-                    return self.transitions.ecall(name, guarded, payload_bytes=payload)
+                    return self.transitions.ecall(
+                        name, guarded, payload_bytes=payload, calls=calls
+                    )
             else:
                 def transition() -> Tuple[str, Any]:
-                    return self.transitions.ocall(name, guarded, payload_bytes=payload)
+                    return self.transitions.ocall(
+                        name, guarded, payload_bytes=payload, calls=calls
+                    )
 
             recovery = self.recovery
             if recovery is None:
@@ -566,6 +639,7 @@ class RmiRuntime:
                     routine=name,
                     invocation_id=next(self._invocation_ids),
                     idempotent=idempotent,
+                    calls=calls,
                 )
 
         tag, value = outcome

@@ -96,6 +96,12 @@ class NonIdempotentReplayError(RmiError):
     error instead of silently re-executing."""
 
 
+class BatchingError(RmiError):
+    """The call coalescer was misconfigured (e.g. a non-void routine
+    was declared batchable: its return value was silently discarded
+    while the caller already received ``None``)."""
+
+
 class ShimError(ReproError):
     """The in-enclave shim libc rejected or failed a relayed call."""
 

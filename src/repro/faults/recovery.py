@@ -55,6 +55,10 @@ class RecoveryStats:
     restore_ns: float = 0.0
     backoff_ns: float = 0.0
     mirrors_restored: int = 0
+    #: Logical call-effects refused on non-idempotent replay. A batch
+    #: crossing that dies mid-call loses all N member calls at once, so
+    #: this counts the durability cost of batching under faults.
+    calls_refused: int = 0
 
     @property
     def total_ns(self) -> float:
@@ -70,6 +74,7 @@ class RecoveryStats:
             "backoff_ns": self.backoff_ns,
             "total_ns": self.total_ns,
             "mirrors_restored": self.mirrors_restored,
+            "calls_refused": self.calls_refused,
         }
 
 
@@ -101,8 +106,14 @@ class RecoveryCoordinator:
         routine: str,
         invocation_id: int,
         idempotent: bool = False,
+        calls: int = 1,
     ) -> T:
-        """Run one crossing, recovering and retrying on enclave loss."""
+        """Run one crossing, recovering and retrying on enclave loss.
+
+        ``calls`` > 1 marks a coalesced batch: the whole batch shares
+        one invocation id, so it retries — or refuses replay — as a
+        unit, and a refused replay loses ``calls`` call-effects.
+        """
         attempt = 0
         while True:
             attempt += 1
@@ -115,10 +126,15 @@ class RecoveryCoordinator:
                 if invocation_id in self._indeterminate and not (
                     idempotent or self.policy.is_idempotent(routine)
                 ):
+                    self.stats.calls_refused += calls
+                    obs = self.platform.obs
+                    if obs is not None:
+                        obs.metrics.counter("recovery.calls_refused").inc(calls)
                     raise NonIdempotentReplayError(
-                        f"crossing {routine!r} (invocation {invocation_id}) was "
-                        "lost mid-call; the relay may already have executed "
-                        "and the routine is not marked idempotent"
+                        f"crossing {routine!r} (invocation {invocation_id}, "
+                        f"{calls} call(s)) was lost mid-call; the relay may "
+                        "already have executed and the routine is not marked "
+                        "idempotent"
                     ) from exc
                 if attempt >= self.policy.max_attempts:
                     raise RetryExhaustedError(

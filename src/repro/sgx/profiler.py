@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple, TypeVar
 
+from repro.batching.ranking import HOT_ROUTINE_HZ, rank_hot_routines
 from repro.obs.tracer import Span
 from repro.sgx.transitions import TransitionLayer
 
@@ -27,7 +28,9 @@ T = TypeVar("T")
 
 #: A routine crossing more often than this per virtual second is a
 #: switchless-call candidate (sgx-perf's "frequent short ecalls" rule).
-SWITCHLESS_CANDIDATE_HZ = 1_000.0
+#: Shared with the batching hot-site detector, which applies the same
+#: heuristic to pick coalescing sites.
+SWITCHLESS_CANDIDATE_HZ = HOT_ROUTINE_HZ
 
 #: Span names the transition layer emits (kind is the suffix).
 _TRANSITION_SPANS = {"sgx.ecall": "ecall", "sgx.ocall": "ocall"}
@@ -42,6 +45,9 @@ class RoutineProfile:
     calls: int = 0
     payload_bytes: int = 0
     total_ns: float = 0.0
+    #: Boundary transitions observed; < ``calls`` once batching
+    #: coalesces several logical calls into one crossing.
+    crossings: int = 0
 
     @property
     def mean_ns(self) -> float:
@@ -79,7 +85,8 @@ class TransitionProfiler:
         if profile is None:
             profile = RoutineProfile(name=name, kind=kind)
             self._profiles[(kind, name)] = profile
-        profile.calls += 1
+        profile.calls += span.attrs.get("calls", 1)
+        profile.crossings += 1
         profile.payload_bytes += span.attrs.get("payload_bytes", 0)
         profile.total_ns += span.duration_ns
 
@@ -93,6 +100,11 @@ class TransitionProfiler:
 
     # -- analysis ------------------------------------------------------------------
 
+    @property
+    def elapsed_s(self) -> float:
+        """Virtual seconds this profiler has been recording."""
+        return max(1e-9, self.platform.now_s - self._started_s)
+
     def profiles(self) -> List[RoutineProfile]:
         return sorted(
             self._profiles.values(), key=lambda p: p.total_ns, reverse=True
@@ -103,13 +115,16 @@ class TransitionProfiler:
 
     def switchless_candidates(self) -> List[RoutineProfile]:
         """Routines called frequently enough that worker-thread
-        (switchless) dispatch would amortise (future work, §7)."""
-        elapsed_s = max(1e-9, self.platform.now_s - self._started_s)
-        return [
-            profile
-            for profile in self.profiles()
-            if profile.calls / elapsed_s >= SWITCHLESS_CANDIDATE_HZ
-        ]
+        (switchless) dispatch would amortise (future work, §7).
+
+        Uses the shared :func:`repro.batching.ranking.rank_hot_routines`
+        heuristic, so the switchless and batching analyses agree on
+        what "hot" means."""
+        return rank_hot_routines(
+            self.profiles(),
+            self.elapsed_s,
+            min_rate_hz=SWITCHLESS_CANDIDATE_HZ,
+        )
 
     def report(self) -> str:
         lines = [

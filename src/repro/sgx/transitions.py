@@ -44,10 +44,19 @@ class TransitionStats:
     faulted_calls: int = 0
     #: Switchless calls rerouted through the hardware path by a stall.
     stall_fallbacks: int = 0
+    #: Crossings that carried a coalesced batch (``calls > 1``).
+    batch_crossings: int = 0
+    #: Logical calls carried by those batch crossings.
+    batched_calls: int = 0
 
     @property
     def crossings(self) -> int:
         return self.ecalls + self.ocalls + self.switchless_calls
+
+    @property
+    def logical_calls(self) -> int:
+        """Application-level invocations, counting batch members."""
+        return self.crossings - self.batch_crossings + self.batched_calls
 
 
 class TransitionLayer:
@@ -76,8 +85,14 @@ class TransitionLayer:
         body: Callable[[], T],
         payload_bytes: int = 0,
         attach_isolate: bool = True,
+        calls: int = 1,
     ) -> T:
-        """Enter the enclave, run ``body`` inside, return its result."""
+        """Enter the enclave, run ``body`` inside, return its result.
+
+        ``calls`` > 1 marks a coalesced batch crossing: one transition
+        charge carries that many logical invocations (the coalescer
+        already priced per-call marshalling at enqueue time).
+        """
         self.enclave.require_usable()
         if self._active_ecalls >= self.enclave.config.tcs_count:
             raise TransitionError(
@@ -94,11 +109,12 @@ class TransitionLayer:
         span = None
         if obs is not None:
             span = obs.tracer.start_span(
-                "sgx.ecall", attrs=self._span_attrs(name, payload_bytes)
+                "sgx.ecall", attrs=self._span_attrs(name, payload_bytes, calls)
             )
         self._charge("ecall", name, payload_bytes, attach_isolate)
         self.stats.ecalls += 1
         self.stats.bytes_in += payload_bytes
+        self._count_batch(calls)
         if fault is not None and fault.phase == "pre":
             # The transition itself aborted: the body never dispatched.
             error = self._fault_error(fault)
@@ -128,8 +144,13 @@ class TransitionLayer:
         body: Callable[[], T],
         payload_bytes: int = 0,
         attach_isolate: bool = True,
+        calls: int = 1,
     ) -> T:
-        """Exit the enclave, run ``body`` outside, return its result."""
+        """Exit the enclave, run ``body`` outside, return its result.
+
+        ``calls`` has the same batch-crossing meaning as for
+        :meth:`ecall`.
+        """
         self.enclave.require_usable()
         faults = self.platform.faults
         fault = (
@@ -141,11 +162,12 @@ class TransitionLayer:
         span = None
         if obs is not None:
             span = obs.tracer.start_span(
-                "sgx.ocall", attrs=self._span_attrs(name, payload_bytes)
+                "sgx.ocall", attrs=self._span_attrs(name, payload_bytes, calls)
             )
         self._charge("ocall", name, payload_bytes, attach_isolate)
         self.stats.ocalls += 1
         self.stats.bytes_out += payload_bytes
+        self._count_batch(calls)
         if fault is not None and fault.phase == "pre":
             error = self._fault_error(fault)
             self._finish("ocall", span, obs, payload_bytes, error)
@@ -163,13 +185,28 @@ class TransitionLayer:
         finally:
             self._finish("ocall", span, obs, payload_bytes, error)
 
-    def _span_attrs(self, name: str, payload_bytes: int) -> dict:
-        return {
+    def _span_attrs(self, name: str, payload_bytes: int, calls: int) -> dict:
+        attrs = {
             "routine": name,
             "payload_bytes": payload_bytes,
             "enclave": self.enclave.enclave_id,
             "mode": "switchless" if self.switchless else "hw",
         }
+        if calls != 1:
+            # Only batch crossings carry the attribute, so unbatched
+            # span streams (and their fingerprints) are unchanged.
+            attrs["calls"] = calls
+        return attrs
+
+    def _count_batch(self, calls: int) -> None:
+        if calls <= 1:
+            return
+        self.stats.batch_crossings += 1
+        self.stats.batched_calls += calls
+        obs = self.platform.obs
+        if obs is not None:
+            obs.metrics.counter("sgx.batch_crossings").inc()
+            obs.metrics.counter("sgx.batched_calls").inc(calls)
 
     # -- internals ------------------------------------------------------------
 

@@ -1,0 +1,645 @@
+"""Trace-driven batching (repro.batching).
+
+Covers the shared ranking heuristic, the hot-site detector and MSV003
+re-ranking, the call coalescer's flush triggers and pricing identity,
+fault-aware batch semantics (mid-batch enclave loss, envelope
+idempotency, batch-granularity refusal), runtime wiring (proxy marks,
+teardown drain, transition accounting) and the ablation's determinism.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.bank import Account, BANK_CLASSES
+from repro.batching import (
+    CONFIRMED,
+    STATIC_ONLY,
+    TRACE_ONLY,
+    BATCHABLE_ATTR,
+    BatchPolicy,
+    CallCoalescer,
+    HotSiteDetector,
+    attach_batching,
+    batchable,
+    crossing_rate_hz,
+    rank_hot_routines,
+    rerank_predictions,
+    suggest_batch_size,
+)
+from repro.core import Partitioner, PartitionOptions
+from repro.core.annotations import Side, trusted
+from repro.core.proxy import make_proxy_class
+from repro.costs.platform import fresh_platform
+from repro.errors import (
+    BatchingError,
+    ConfigurationError,
+    EnclaveLostError,
+    NonIdempotentReplayError,
+)
+from repro.experiments import batching_exp
+from repro.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultRule,
+    RecoveryCoordinator,
+    RetryPolicy,
+    attach_recovery,
+    idempotent,
+)
+from repro.obs.artifacts import validate_artifact
+from repro.sgx.enclave import Enclave, EnclaveContents
+from repro.sgx.profiler import (
+    SWITCHLESS_CANDIDATE_HZ,
+    RoutineProfile,
+    TransitionProfiler,
+)
+from repro.sgx.transitions import TransitionLayer
+
+
+@trusted
+class Counter:
+    """Module-level so checkpoint sealing can pickle its mirrors."""
+
+    def __init__(self) -> None:
+        self.total = 0
+
+    @batchable
+    def bump(self, amount: int) -> None:
+        self.total += amount
+
+    @batchable
+    def mark(self) -> None:
+        self.total += 1_000
+
+    def snapshot(self) -> int:
+        return self.total
+
+
+@trusted
+class LeakyVoid:
+    """A method wrongly declared batchable: it returns a value."""
+
+    def __init__(self) -> None:
+        pass
+
+    @batchable
+    def leaky(self, n: int) -> int:
+        return n
+
+
+@trusted
+class IdemSink:
+    """Replay-safe batchable sink (idempotent by declaration)."""
+
+    def __init__(self) -> None:
+        self.ticks = 0
+
+    @idempotent
+    @batchable
+    def tick(self) -> None:
+        self.ticks += 1
+
+    def count(self) -> int:
+        return self.ticks
+
+
+def _partitioned(classes, name="batchtest"):
+    return Partitioner(PartitionOptions(name=name)).partition(list(classes))
+
+
+def _profile(name, kind="ecall", calls=0, total_ns=0.0, payload=0):
+    return RoutineProfile(
+        name=name, kind=kind, calls=calls, total_ns=total_ns, payload_bytes=payload
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shared ranking heuristic
+# ---------------------------------------------------------------------------
+
+
+class TestRankingHeuristic:
+    def test_rate_guards_zero_elapsed(self):
+        assert crossing_rate_hz(100, 0.0) > 0
+        assert crossing_rate_hz(100, 2.0) == pytest.approx(50.0)
+
+    def test_rank_filters_by_rate_and_sorts_by_cost(self):
+        profiles = [
+            _profile("cold", calls=1, total_ns=9e9),
+            _profile("warm", calls=5_000, total_ns=1e6),
+            _profile("hot", calls=5_000, total_ns=2e6),
+        ]
+        ranked = rank_hot_routines(profiles, elapsed_s=1.0, min_rate_hz=1_000.0)
+        assert [p.name for p in ranked] == ["hot", "warm"]
+
+    def test_suggest_batch_size_rounds_to_power_of_two(self):
+        # 10_000 calls/s over a 1 ms window = 10 expected -> 16.
+        assert suggest_batch_size(10_000, 1.0, window_ns=1e6) == 16
+        assert suggest_batch_size(0, 1.0, window_ns=1e6) == 1
+        assert suggest_batch_size(10**9, 1.0, window_ns=1e9, max_batch=64) == 64
+
+    def test_profiler_shares_the_heuristic(self):
+        assert SWITCHLESS_CANDIDATE_HZ == 1_000.0
+        app = _partitioned(BANK_CLASSES, name="heuristic")
+        with app.start() as session:
+            profiler = TransitionProfiler(session.transitions)
+            account = Account("a", 0)
+            for _ in range(64):
+                account.update_balance(1)
+            candidates = profiler.switchless_candidates()
+            expected = rank_hot_routines(
+                profiler.profiles(),
+                profiler.elapsed_s,
+                min_rate_hz=SWITCHLESS_CANDIDATE_HZ,
+            )
+            profiler.close()
+        assert [p.name for p in candidates] == [p.name for p in expected]
+        assert "relay_Account_update_balance" in {p.name for p in candidates}
+
+
+# ---------------------------------------------------------------------------
+# Hot-site detector + MSV003 re-ranking
+# ---------------------------------------------------------------------------
+
+
+class TestDetector:
+    def test_detect_ranks_and_sizes(self):
+        profiles = [
+            _profile("quiet", calls=3, total_ns=1e3),
+            _profile("busy", calls=40_000, total_ns=8e8, payload=40_000 * 8),
+        ]
+        sites = HotSiteDetector(window_ns=1e6).detect(profiles, elapsed_s=2.0)
+        assert [s.routine for s in sites] == ["busy"]
+        site = sites[0]
+        assert site.rate_hz == pytest.approx(20_000.0)
+        assert site.suggested_batch == 32  # 20 expected per ms window -> 32
+        assert site.mean_payload == pytest.approx(8.0)
+        assert "busy" in HotSiteDetector().report(sites)
+
+    def test_from_profiler_live(self):
+        app = _partitioned(BANK_CLASSES, name="detectlive")
+        with app.start() as session:
+            profiler = TransitionProfiler(session.transitions)
+            account = Account("a", 0)
+            for _ in range(64):
+                account.update_balance(1)
+            sites = HotSiteDetector().from_profiler(profiler)
+            profiler.close()
+        assert "relay_Account_update_balance" in {s.routine for s in sites}
+        assert all(s.suggested_batch >= 1 for s in sites)
+
+    def test_rerank_static_vs_trace_informed_order(self):
+        # Static order: A (big estimate) before B. The trace disagrees:
+        # B dominated measured cost and C (unpredicted) was hot too,
+        # while A never crossed enough to matter.
+        static = [
+            _profile("relay_A", calls=500),
+            _profile("relay_B", calls=100),
+        ]
+        dynamic = [
+            _profile("relay_B", calls=9_000, total_ns=7e8),
+            _profile("relay_C", calls=4_000, total_ns=3e8),
+            _profile("relay_A", calls=2, total_ns=1e3),
+        ]
+        ranked = rerank_predictions(static, dynamic, elapsed_s=1.0)
+        assert [(c.routine, c.source) for c in ranked] == [
+            ("relay_B", CONFIRMED),
+            ("relay_C", TRACE_ONLY),
+            ("relay_A", STATIC_ONLY),
+        ]
+        # Static order alone would have put A first; the trace flipped it.
+        assert [p.name for p in static][0] == "relay_A"
+        assert ranked[0].observed_calls == 9_000
+        assert ranked[0].predicted_calls == 100
+        assert ranked[2].suggested_batch >= 1
+
+    def test_linter_reranked_candidates(self):
+        from repro.analysis import PartitionLinter
+        from tests.fixtures.lintapp import LINT_FIXTURE_CLASSES, Station
+
+        result = PartitionLinter().lint(LINT_FIXTURE_CLASSES)
+        static = result.predicted_candidates()
+        assert static  # MSV003 fired
+        app = _partitioned(LINT_FIXTURE_CLASSES, name="rerank")
+        with app.start() as session:
+            profiler = TransitionProfiler(session.transitions)
+            station = Station("hunter2")
+            station.rekey(2_000)
+            ranked = result.reranked_candidates(
+                profiler.profiles(), profiler.elapsed_s
+            )
+            profiler.close()
+        by_routine = {c.routine: c for c in ranked}
+        confirmed = by_routine["relay_Vault_rotate"]
+        assert confirmed.source == CONFIRMED
+        assert confirmed.observed_calls >= 2_000
+        # The trace decides priority: measured-hot routines lead.
+        assert all(
+            c.source in (CONFIRMED, TRACE_ONLY)
+            for c in ranked[: len([c for c in ranked if c.source != STATIC_ONLY])]
+        )
+        assert ranked[0].source in (CONFIRMED, TRACE_ONLY)
+
+    def test_policy_from_hot_sites(self):
+        profiles = [_profile("relay_X_go", calls=50_000, total_ns=5e8)]
+        sites = HotSiteDetector(window_ns=1e6).detect(profiles, elapsed_s=1.0)
+        policy = BatchPolicy.from_hot_sites(sites)
+        assert policy.covers("relay_X_go")
+        assert not policy.covers("relay_X_stop")
+        assert policy.size_for("relay_X_go") == sites[0].suggested_batch
+        empty = BatchPolicy.from_hot_sites([])
+        assert empty.routines == ()
+
+
+# ---------------------------------------------------------------------------
+# Call coalescer: flush triggers + pricing identity
+# ---------------------------------------------------------------------------
+
+
+class TestCoalescer:
+    def test_empty_flush_is_free(self):
+        app = _partitioned([Counter], name="emptyflush")
+        with app.start() as session:
+            coalescer = attach_batching(session)
+            before = dict(session.platform.snapshot())
+            assert coalescer.flush() == 0
+            assert coalescer.barrier("test") == 0
+            assert dict(session.platform.snapshot()) == before
+            assert coalescer.stats.to_dict()["batches"] == 0
+
+    def test_batch_reduces_crossings_same_result(self):
+        totals = {}
+        crossings = {}
+        for batch_size in (None, 8):
+            app = _partitioned([Counter], name="reduce")
+            with app.start() as session:
+                counter = Counter()
+                if batch_size is not None:
+                    attach_batching(
+                        session,
+                        BatchPolicy(max_batch=batch_size, window_ns=1e9),
+                    )
+                before = session.transition_stats.crossings
+                for i in range(24):
+                    counter.bump(i)
+                totals[batch_size] = counter.snapshot()
+                crossings[batch_size] = (
+                    session.transition_stats.crossings - before
+                )
+        assert totals[None] == totals[8] == sum(range(24))
+        # 24 calls in batches of 8 = 3 crossings (+1 read) vs 24 (+1).
+        assert crossings[8] < crossings[None] / 4
+
+    def test_single_call_flush_priced_identically_to_unbatched(self):
+        ledgers = {}
+        for batch_size in (None, 1):
+            app = _partitioned([Counter], name="price1")
+            with app.start() as session:
+                counter = Counter()
+                if batch_size is not None:
+                    attach_batching(session, BatchPolicy(max_batch=1))
+                for i in range(8):
+                    counter.bump(i)
+                assert counter.snapshot() == sum(range(8))
+                ledgers[batch_size] = {
+                    "snapshot": dict(session.platform.snapshot()),
+                    "now": session.platform.now_s,
+                    "crossings": session.transition_stats.crossings,
+                }
+        assert ledgers[None] == ledgers[1]
+
+    def test_window_trigger(self):
+        app = _partitioned([Counter], name="window")
+        with app.start() as session:
+            counter = Counter()
+            coalescer = attach_batching(
+                session, BatchPolicy(max_batch=64, window_ns=1_000.0)
+            )
+            counter.bump(1)
+            session.platform.charge_ns("test.idle", 50_000.0)
+            counter.bump(2)  # queue is stale: drained before this joins
+            assert coalescer.stats.flushes.get("window") == 1
+            assert counter.snapshot() == 3
+
+    def test_routine_switch_trigger(self):
+        app = _partitioned([Counter], name="switch")
+        with app.start() as session:
+            counter = Counter()
+            coalescer = attach_batching(
+                session, BatchPolicy(max_batch=64, window_ns=1e9)
+            )
+            counter.bump(1)
+            counter.bump(2)
+            counter.mark()  # different routine: bump-queue must drain
+            assert coalescer.stats.flushes.get("routine-switch") == 1
+            assert counter.snapshot() == 1_003
+
+    def test_data_dependent_read_drains_queue(self):
+        app = _partitioned([Counter], name="read")
+        with app.start() as session:
+            counter = Counter()
+            coalescer = attach_batching(
+                session, BatchPolicy(max_batch=64, window_ns=1e9)
+            )
+            for i in range(5):
+                counter.bump(1)
+            assert coalescer.pending == 5
+            assert counter.snapshot() == 5  # barrier drained first
+            assert coalescer.pending == 0
+            assert coalescer.stats.flushes.get("barrier:data-dependent") == 1
+
+    def test_strict_void_rejects_value_returning_batchable(self):
+        app = _partitioned([LeakyVoid], name="strict")
+        with app.start() as session:
+            leaky = LeakyVoid()
+            attach_batching(session, BatchPolicy(max_batch=2, window_ns=1e9))
+            with pytest.raises(BatchingError):
+                leaky.leaky(1)
+                leaky.leaky(2)  # batch-full flush surfaces the violation
+
+    def test_non_batchable_falls_through(self):
+        app = _partitioned([Counter], name="fallthrough")
+        with app.start() as session:
+            counter = Counter()
+            coalescer = attach_batching(session)
+            assert counter.snapshot() == 0  # offered, but not eligible
+            assert coalescer.stats.fallthrough >= 1
+            assert coalescer.stats.enqueued == 0
+
+    def test_batchable_mark_survives_proxy_generation(self):
+        proxy_cls = make_proxy_class(Counter)
+        assert getattr(proxy_cls.bump, BATCHABLE_ATTR, False)
+        assert not getattr(proxy_cls.snapshot, BATCHABLE_ATTR, False)
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            BatchPolicy(max_batch=0)
+        with pytest.raises(ConfigurationError):
+            BatchPolicy(window_ns=-1.0)
+        with pytest.raises(ConfigurationError):
+            BatchPolicy(sizes=(("relay_*", 0),))
+
+    def test_teardown_drains_open_queue(self):
+        app = _partitioned([Counter], name="teardown")
+        with app.start() as session:
+            counter = Counter()
+            coalescer = attach_batching(
+                session, BatchPolicy(max_batch=64, window_ns=1e9)
+            )
+            counter.bump(7)
+            assert coalescer.pending == 1
+        # The session's finally-block flushed before enclave teardown.
+        assert coalescer.pending == 0
+        assert coalescer.stats.flushes.get("explicit") == 1
+
+    def test_detach_flushes_and_uninstalls(self):
+        app = _partitioned([Counter], name="detach")
+        with app.start() as session:
+            counter = Counter()
+            coalescer = attach_batching(
+                session, BatchPolicy(max_batch=64, window_ns=1e9)
+            )
+            counter.bump(3)
+            assert coalescer.detach() == 1
+            assert session.runtime.batcher is None
+            assert counter.snapshot() == 3
+
+    def test_stats_crossings_saved(self):
+        stats = CallCoalescer(runtime=None).stats
+        stats.batches = 3
+        stats.batched_calls = 24
+        assert stats.crossings_saved == 21
+
+
+# ---------------------------------------------------------------------------
+# Fault-aware batch semantics
+# ---------------------------------------------------------------------------
+
+
+class TestBatchFaults:
+    def _chaos_app(self, classes, routine, name, idempotent_patterns=()):
+        app = _partitioned(classes, name=name)
+        injector = FaultInjector(
+            seed=99,
+            rules=[
+                FaultRule(
+                    FaultKind.ENCLAVE_CRASH,
+                    routine=routine,
+                    at_call=1,
+                    phase="mid",
+                    max_fires=1,
+                )
+            ],
+        )
+        return app, injector
+
+    def test_mid_batch_loss_refuses_whole_batch(self):
+        app, injector = self._chaos_app(
+            [Counter], "batch_Counter_bump", "midloss"
+        )
+        with app.start() as session:
+            coordinator = attach_recovery(
+                session,
+                checkpoint_interval_ns=0.0,
+                policy=RetryPolicy(max_attempts=4),
+                platform_secret=b"t",
+            )
+            counter = Counter()
+            coordinator.checkpoints.checkpoint()
+            attach_batching(session, BatchPolicy(max_batch=4, window_ns=1e9))
+            session.platform.enable_fault_injection(injector)
+            acked = 0
+            with pytest.raises(NonIdempotentReplayError):
+                for _ in range(4):
+                    counter.bump(1)
+                    acked += 1
+            # Three members were silently acknowledged; the whole batch
+            # was refused replay as one unit and rolled back.
+            assert acked == 3
+            assert coordinator.stats.calls_refused == 4
+            session.platform.disable_fault_injection()
+            session.runtime.recovery = None
+            assert counter.snapshot() == 0
+
+    def test_idempotent_batch_replays_after_mid_loss(self):
+        app, injector = self._chaos_app(
+            [IdemSink], "batch_IdemSink_tick", "midreplay"
+        )
+        with app.start() as session:
+            coordinator = attach_recovery(
+                session,
+                checkpoint_interval_ns=0.0,
+                policy=RetryPolicy(max_attempts=4),
+                platform_secret=b"t",
+            )
+            sink = IdemSink()
+            coordinator.checkpoints.checkpoint()
+            attach_batching(session, BatchPolicy(max_batch=4, window_ns=1e9))
+            session.platform.enable_fault_injection(injector)
+            for _ in range(4):
+                sink.tick()  # @idempotent: the envelope may replay
+            session.platform.disable_fault_injection()
+            assert coordinator.stats.retries >= 1
+            assert coordinator.stats.calls_refused == 0
+            session.runtime.recovery = None
+            # Rolled back to the checkpoint, then replayed in full.
+            assert sink.count() == 4
+
+    def test_envelope_conjunction_one_bad_call_poisons_batch(self):
+        app, injector = self._chaos_app(
+            [Counter], "batch_Counter_bump", "poison"
+        )
+        with app.start() as session:
+            coordinator = attach_recovery(
+                session,
+                checkpoint_interval_ns=0.0,
+                policy=RetryPolicy(max_attempts=4),
+                platform_secret=b"t",
+            )
+            counter = Counter()
+            coordinator.checkpoints.checkpoint()
+            coalescer = attach_batching(
+                session, BatchPolicy(max_batch=8, window_ns=1e9)
+            )
+            session.platform.enable_fault_injection(injector)
+            # Three replay-safe calls and one that is not: the
+            # envelope's bit is the conjunction, so the loss refuses
+            # all four.
+            for hint in (True, True, False, True):
+                assert coalescer.offer(
+                    counter,
+                    "Counter",
+                    "bump",
+                    (1,),
+                    {},
+                    Side.UNTRUSTED,
+                    Side.TRUSTED,
+                    hint,
+                )
+            with pytest.raises(NonIdempotentReplayError):
+                coalescer.flush()
+            assert coordinator.stats.calls_refused == 4
+            session.platform.disable_fault_injection()
+            session.runtime.recovery = None
+
+    def test_run_with_retry_counts_refused_calls(self):
+        platform = fresh_platform()
+        enclave = Enclave(platform, EnclaveContents("rc", b"x" * 2_000))
+        enclave.initialize()
+        coordinator = RecoveryCoordinator(enclave, policy=RetryPolicy())
+
+        def doomed():
+            raise EnclaveLostError("mid loss", phase="mid", transient=True)
+
+        with pytest.raises(NonIdempotentReplayError):
+            coordinator.run_with_retry(
+                doomed, routine="batch_x", invocation_id=1, calls=5
+            )
+        assert coordinator.stats.calls_refused == 5
+
+    def test_checkpoints_amortised_per_batch(self):
+        # Eager checkpointing seals once per *crossing*: a batch of 8
+        # calls seals once, not eight times.
+        seals = {}
+        for batch_size in (None, 8):
+            app = _partitioned([Counter], name="amortise")
+            with app.start() as session:
+                coordinator = attach_recovery(
+                    session, checkpoint_interval_ns=0.0, platform_secret=b"t"
+                )
+                counter = Counter()
+                coordinator.checkpoints.checkpoint()
+                baseline = coordinator.checkpoints.stats.checkpoints
+                if batch_size is not None:
+                    attach_batching(
+                        session, BatchPolicy(max_batch=batch_size, window_ns=1e9)
+                    )
+                for _ in range(8):
+                    counter.bump(1)
+                if session.runtime.batcher is not None:
+                    session.runtime.batcher.flush()
+                seals[batch_size] = (
+                    coordinator.checkpoints.stats.checkpoints - baseline
+                )
+                session.runtime.recovery = None
+        assert seals[8] < seals[None]
+        assert seals[8] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Transition accounting
+# ---------------------------------------------------------------------------
+
+
+class TestTransitionAccounting:
+    def test_batch_crossing_counts(self):
+        platform = fresh_platform()
+        enclave = Enclave(platform, EnclaveContents("tx", b"x" * 2_000))
+        enclave.initialize()
+        layer = TransitionLayer(platform, enclave)
+        layer.ecall("solo", lambda: None)
+        layer.ecall("batch", lambda: None, calls=6)
+        layer.ocall("obatch", lambda: None, calls=3)
+        assert layer.stats.crossings == 3
+        assert layer.stats.batch_crossings == 2
+        assert layer.stats.batched_calls == 9
+        assert layer.stats.logical_calls == 10
+
+    def test_profiler_separates_calls_from_crossings(self):
+        platform = fresh_platform()
+        enclave = Enclave(platform, EnclaveContents("pf", b"x" * 2_000))
+        enclave.initialize()
+        layer = TransitionLayer(platform, enclave)
+        profiler = TransitionProfiler(layer)
+        layer.ecall("hot", lambda: None, calls=4)
+        layer.ecall("hot", lambda: None)
+        profiler.close()
+        profile = {p.name: p for p in profiler.profiles()}["hot"]
+        assert profile.calls == 5
+        assert profile.crossings == 2
+
+
+# ---------------------------------------------------------------------------
+# The ablation
+# ---------------------------------------------------------------------------
+
+
+class TestBatchingExperiment:
+    def test_batch1_ledger_identical_to_unbatched(self):
+        base = batching_exp.run_bank_batching(None, n_accounts=2, rounds=8)
+        one = batching_exp.run_bank_batching(1, n_accounts=2, rounds=8)
+        assert base.ledger == one.ledger
+        assert base.checksum == one.checksum
+        assert base.elapsed_s == one.elapsed_s
+
+    def test_speedup_and_crossings_at_batch_16(self):
+        base = batching_exp.run_bank_batching(None)
+        fast = batching_exp.run_bank_batching(16)
+        assert base.checksum == fast.checksum
+        assert base.elapsed_s / fast.elapsed_s >= 2.0
+        assert fast.crossings < base.crossings / 4
+        assert fast.crossings_saved > 0
+
+    def test_durability_scales_with_batch_size(self):
+        one = batching_exp.run_bank_durability(1, n_updates=8)
+        four = batching_exp.run_bank_durability(4, n_updates=8)
+        assert one.lost_acked == 0
+        assert four.lost_acked == 3
+        assert four.calls_refused == 4
+        assert one.enclave_losses == four.enclave_losses == 1
+
+    def test_report_fingerprint_deterministic_and_artifact_valid(self):
+        kwargs = dict(
+            batch_sizes=(None, 1, 4),
+            durability_sizes=(None, 2),
+            workloads=("bank",),
+        )
+        first = batching_exp.run_batching(**kwargs)
+        second = batching_exp.run_batching(**kwargs)
+        assert first.fingerprint() == second.fingerprint()
+        assert first.identical == {"bank": True}
+        artifact = first.to_artifact()
+        validate_artifact(artifact)  # raises on malformed documents
+        assert artifact["batching"]["fingerprint"] == first.fingerprint()
+        assert "bank" in first.format()
