@@ -33,7 +33,7 @@ from repro.experiments import fig3_proxy_creation, fig4_rmi, fig5_gc
 from repro.experiments import fig6_synthetic, fig7_paldb, fig9_graphchi
 from repro.experiments import ablations, fig12_specjvm
 from repro.experiments import epc_paging, mapreduce_exp, securekeeper_exp, startup
-from repro.experiments import batching_exp, fault_recovery
+from repro.experiments import batching_exp, fault_recovery, scaling_exp
 
 
 def _fig3(scale: str) -> None:
@@ -176,6 +176,25 @@ def _batch(scale: str) -> None:
     print(f"artifact: {path}", file=sys.stderr)
 
 
+def _scale(scale: str) -> None:
+    import os
+
+    if scale == "small":
+        report = scaling_exp.run_scaling(
+            session_counts=(1, 2, 4, 8),
+            shard_counts=(1, 2),
+            rounds=8,
+            entries=6,
+        )
+    else:
+        report = scaling_exp.run_scaling()
+    print(report.format())
+    os.makedirs("results", exist_ok=True)
+    path = os.path.join("results", "scaling.json")
+    report.write_artifact(path)
+    print(f"artifact: {path}", file=sys.stderr)
+
+
 COMMANDS: Dict[str, Callable[[str], None]] = {
     "batch": _batch,
     "chaos": _chaos,
@@ -183,6 +202,7 @@ COMMANDS: Dict[str, Callable[[str], None]] = {
     "startup": _startup,
     "securekeeper": _securekeeper,
     "mapreduce": _mapreduce,
+    "scale": _scale,
     "fig3": _fig3,
     "fig4a": _fig4a,
     "fig4b": _fig4b,

@@ -1,0 +1,46 @@
+"""Deterministic multi-session concurrency over the virtual clock.
+
+Three pieces compose into a concurrent runtime that still replays
+byte-identically from a seed:
+
+- :class:`SessionScheduler` — interleaves K client sessions (cooperative
+  generators with per-session local timestamps), always resuming the
+  lowest-timestamp session;
+- :class:`ContendedWorkerPool` / :func:`attach_worker_pool` — finite
+  switchless workers leased in session event time; busy workers degrade
+  crossings to priced hardware transitions;
+- :class:`ShardedEnclaveGroup` — N hash-routed trusted shards over the
+  multi-isolate runtime, with an optionally partitioned EPC budget and
+  per-shard loss + recovery.
+
+A 1-session, 1-shard, pool-less configuration charges the ledger
+byte-identically to the plain sequential runtime (asserted by tests and
+the CI ``scale-smoke`` job). See ``docs/CONCURRENCY.md``.
+"""
+
+from repro.concurrency.scheduler import (
+    ClientSession,
+    SessionScheduler,
+    StepRecord,
+)
+from repro.concurrency.sharding import ShardedEnclaveGroup, ShardedRuntime
+from repro.concurrency.workers import (
+    ContendedTransitionLayer,
+    ContendedWorkerPool,
+    WorkerPoolStats,
+    attach_worker_pool,
+    detach_worker_pool,
+)
+
+__all__ = [
+    "ClientSession",
+    "ContendedTransitionLayer",
+    "ContendedWorkerPool",
+    "SessionScheduler",
+    "ShardedEnclaveGroup",
+    "ShardedRuntime",
+    "StepRecord",
+    "WorkerPoolStats",
+    "attach_worker_pool",
+    "detach_worker_pool",
+]

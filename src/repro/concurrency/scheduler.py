@@ -1,0 +1,250 @@
+"""Deterministic multi-session scheduling over the virtual clock.
+
+Every experiment before this module drove *one* client through the
+enclave sequentially. Real deployments serve many concurrent clients,
+but real threads and a virtual clock do not mix — the platform owns a
+single monotonic clock that advances with every charge. The
+:class:`SessionScheduler` therefore generalises the timer-wheel idea of
+:class:`~repro.runtime.scheduler.VirtualScheduler` from periodic tasks
+to whole client sessions:
+
+- each session is a cooperative **generator**; every ``yield`` marks a
+  point where the client would block (think time, network gap) and
+  hands control back to the scheduler;
+- each session carries its own **local virtual timestamp**. Running a
+  segment adds the global-clock delta it charged (its compute/crossing
+  cost); yielding a number adds that much *think time* to the local
+  clock only, charging nothing;
+- the scheduler always resumes the session with the **lowest local
+  timestamp** (seeded, deterministic tie-break), so session-local event
+  times form a globally non-decreasing stream — the property the
+  contended worker pool's virtual-time leases rely on.
+
+Everything is a pure function of the generators, the seed and the cost
+model: a run replays byte-identically, and :meth:`trace_digest` hashes
+the full interleaving so determinism breaks loudly.
+
+The scheduler itself never charges the platform: a one-session run is
+priced byte-identically to calling the generator body inline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.costs.platform import Platform
+from repro.errors import ConfigurationError
+from repro.runtime.scheduler import VirtualScheduler
+
+#: A client session body: yields think-time ns (or None for a bare
+#: cooperative break) and returns its final result.
+SessionBody = Generator[Optional[float], None, Any]
+
+
+@dataclass
+class ClientSession:
+    """One cooperative client session under the scheduler."""
+
+    name: str
+    body: SessionBody = field(repr=False)
+    index: int
+    tiebreak: float
+    #: Session-local virtual timestamp (ns): charged work + think time.
+    local_ns: float = 0.0
+    busy_ns: float = 0.0
+    think_ns: float = 0.0
+    steps: int = 0
+    done: bool = False
+    result: Any = None
+    error: Optional[BaseException] = None
+
+    def sort_key(self) -> Tuple[float, float, int]:
+        return (self.local_ns, self.tiebreak, self.index)
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One scheduler step, for the determinism trace."""
+
+    step: int
+    session: str
+    start_local_ns: float
+    busy_ns: float
+    think_ns: float
+
+    def to_tuple(self) -> Tuple[Any, ...]:
+        return (
+            self.step,
+            self.session,
+            self.start_local_ns,
+            self.busy_ns,
+            self.think_ns,
+        )
+
+
+class SessionScheduler:
+    """Interleaves K client sessions deterministically in virtual time."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        seed: int = 0,
+        wheel: Optional[VirtualScheduler] = None,
+        pool: Optional[Any] = None,
+        on_error: str = "raise",
+    ) -> None:
+        if on_error not in ("raise", "record"):
+            raise ConfigurationError("on_error must be 'raise' or 'record'")
+        self.platform = platform
+        self.seed = seed
+        #: Optional timer wheel pumped after every step, so periodic
+        #: tasks (GC helpers, checkpoints) fire between session segments.
+        self.wheel = wheel
+        #: Optional contended worker pool (duck-typed ``set_time`` /
+        #: ``clear_time``): told each running session's local time so
+        #: worker leases live in session event time, not global time.
+        self.pool = pool
+        self.on_error = on_error
+        self._rng = random.Random(seed)
+        self._sessions: List[ClientSession] = []
+        self._trace: List[StepRecord] = []
+        self._steps = 0
+
+    # -- registration ---------------------------------------------------------
+
+    def spawn(self, name: str, body: SessionBody, start_ns: float = 0.0) -> ClientSession:
+        """Register a session; ``start_ns`` staggers its arrival."""
+        if any(s.name == name for s in self._sessions):
+            raise ConfigurationError(f"duplicate session name {name!r}")
+        if start_ns < 0:
+            raise ConfigurationError("sessions cannot start in the past")
+        session = ClientSession(
+            name=name,
+            body=body,
+            index=len(self._sessions),
+            # One draw per spawn, in spawn order: the tie-break order is
+            # a pure function of the seed.
+            tiebreak=self._rng.random(),
+            local_ns=start_ns,
+        )
+        self._sessions.append(session)
+        self._set_active_gauge()
+        return session
+
+    # -- execution ------------------------------------------------------------
+
+    def step(self) -> Optional[StepRecord]:
+        """Run one segment of the lowest-timestamp session."""
+        session = self._next_session()
+        if session is None:
+            return None
+        start_local = session.local_ns
+        pool = self.pool
+        clock = self.platform.clock
+        started_global = clock.now_ns
+        if pool is not None:
+            pool.set_time(session.local_ns, started_global)
+        think = 0.0
+        try:
+            yielded = next(session.body)
+            if yielded is not None:
+                if yielded < 0:
+                    raise ConfigurationError("think time cannot be negative")
+                think = float(yielded)
+        except StopIteration as stop:
+            session.done = True
+            session.result = stop.value
+            self._set_active_gauge()
+        except ConfigurationError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - policy-controlled below
+            session.done = True
+            session.error = exc
+            self._set_active_gauge()
+            if self.on_error == "raise":
+                raise
+        finally:
+            busy = clock.now_ns - started_global
+            session.local_ns += busy + think
+            session.busy_ns += busy
+            session.think_ns += think
+            session.steps += 1
+            if pool is not None:
+                pool.clear_time()
+        record = StepRecord(
+            step=self._steps,
+            session=session.name,
+            start_local_ns=start_local,
+            busy_ns=session.busy_ns,
+            think_ns=session.think_ns,
+        )
+        self._steps += 1
+        self._trace.append(record)
+        obs = self.platform.obs
+        if obs is not None:
+            obs.metrics.counter("concurrency.steps").inc()
+        if self.wheel is not None:
+            self.wheel.pump()
+        return record
+
+    def run(self, max_steps: Optional[int] = None) -> Dict[str, Any]:
+        """Drive every session to completion; returns name -> result."""
+        while True:
+            if max_steps is not None and self._steps >= max_steps:
+                break
+            if self.step() is None:
+                break
+        return {s.name: s.result for s in self._sessions if s.done}
+
+    def _next_session(self) -> Optional[ClientSession]:
+        live = [s for s in self._sessions if not s.done]
+        if not live:
+            return None
+        return min(live, key=ClientSession.sort_key)
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def sessions(self) -> Tuple[ClientSession, ...]:
+        return tuple(self._sessions)
+
+    @property
+    def active_count(self) -> int:
+        return sum(1 for s in self._sessions if not s.done)
+
+    @property
+    def makespan_ns(self) -> float:
+        """Largest session-local timestamp: the concurrent wall clock."""
+        return max((s.local_ns for s in self._sessions), default=0.0)
+
+    @property
+    def total_busy_ns(self) -> float:
+        return sum(s.busy_ns for s in self._sessions)
+
+    def errors(self) -> Dict[str, BaseException]:
+        return {s.name: s.error for s in self._sessions if s.error is not None}
+
+    def trace(self) -> Tuple[Tuple[Any, ...], ...]:
+        return tuple(record.to_tuple() for record in self._trace)
+
+    def trace_digest(self) -> str:
+        """SHA-256 over the full interleaving (replay fingerprint)."""
+        blob = json.dumps(self.trace(), sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+    def _set_active_gauge(self) -> None:
+        obs = self.platform.obs
+        if obs is not None:
+            obs.metrics.gauge("concurrency.sessions_active").set(
+                self.active_count
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionScheduler(seed={self.seed}, sessions={len(self._sessions)}, "
+            f"active={self.active_count}, steps={self._steps})"
+        )

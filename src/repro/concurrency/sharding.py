@@ -1,0 +1,277 @@
+"""Enclave sharding: hash-routed trusted shards over multi-isolate RMI.
+
+Montsalvat names multi-isolate proxy–mirror pairs as §7 future work;
+:class:`~repro.core.multi_isolate.MultiIsolateRuntime` already supplies
+the mechanism (per-isolate registries, hash-home routing). This module
+turns it into an operational **shard group**:
+
+- :class:`ShardedEnclaveGroup` spawns N trusted shards. Shard 0 *is*
+  the default isolate — a one-shard group adds no isolate, charges
+  nothing, and prices byte-identically to the unsharded runtime;
+- objects are pinned by key: ``crc32(key) % N`` routes a key to a
+  shard, and every relay targeting a pinned mirror runs with that
+  shard active (counted under ``shard.<name>.crossings``);
+- the machine-wide EPC budget can be split across shards through
+  :meth:`~repro.sgx.driver.SgxDriver.partition_epc`, each shard
+  touching a configurable working set per crossing — overcommitting
+  the budget produces the paging cliff the scaling ablation plots;
+- a shard can be **lost and recovered** while the others keep serving:
+  its isolate is torn down (mirrors dropped, EPC pages evicted), a
+  per-shard share of the enclave reload is priced, and registered
+  restore hooks rebuild application state in a fresh isolate.
+  :meth:`poll_faults` drives losses from the platform's seeded
+  :class:`~repro.faults.FaultInjector` (rules with
+  ``call_kind="shard"``), keeping chaos schedules replayable.
+"""
+
+from __future__ import annotations
+
+import zlib
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.annotations import Side, activate_runtime
+from repro.core.multi_isolate import DEFAULT_ISOLATE, MultiIsolateRuntime
+from repro.errors import ConfigurationError
+from repro.sgx.driver import SgxDriver
+
+#: Synthetic EPC tenant ids for shards. Shards share one enclave, so
+#: their EPC partitions need owner ids distinct from any real enclave
+#: id (small positive ints) and from the hostile-pressure tenant (-1).
+_SHARD_TENANT_BASE = -10
+
+
+class ShardedRuntime(MultiIsolateRuntime):
+    """Multi-isolate runtime that activates a mirror's home shard per
+    relay and reports each trusted crossing to its shard group."""
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.group: Optional["ShardedEnclaveGroup"] = None
+
+    def relay_body(
+        self,
+        target: Side,
+        remote_hash: int,
+        method_name: str,
+        encoded_args: Tuple[Any, ...],
+        encoded_kwargs: Dict[str, Any],
+    ):
+        base = super().relay_body(
+            target, remote_hash, method_name, encoded_args, encoded_kwargs
+        )
+        group = self.group
+        if group is None or target is not Side.TRUSTED:
+            return base
+        shard = self._hash_home[target].get(remote_hash, DEFAULT_ISOLATE)
+
+        def sharded_relay() -> Any:
+            # Activate the mirror's home shard for the dispatch, so any
+            # objects the relay creates are pinned alongside it.
+            with self.in_isolate(target, shard):
+                result = base()
+            group.note_crossing(shard)
+            return result
+
+        return sharded_relay
+
+
+class ShardedEnclaveGroup:
+    """N hash-routed trusted shards behind one session."""
+
+    def __init__(
+        self,
+        session: Any,
+        n_shards: int,
+        driver: Optional[SgxDriver] = None,
+        epc_budget_pages: Optional[int] = None,
+        touch_bytes: int = 0,
+        working_set_bytes: int = 0,
+    ) -> None:
+        if n_shards < 1:
+            raise ConfigurationError("a shard group needs at least one shard")
+        if touch_bytes < 0 or working_set_bytes < 0:
+            raise ConfigurationError("EPC byte counts cannot be negative")
+        if touch_bytes and driver is None:
+            raise ConfigurationError(
+                "touch_bytes models EPC traffic; pass the SgxDriver that "
+                "owns the page cache"
+            )
+        self.session = session
+        self.platform = session.platform
+        self.runtime = self._upgrade_runtime(session)
+        self.runtime.group = self
+        self.driver = driver
+        self.touch_bytes = touch_bytes
+        self.working_set_bytes = max(working_set_bytes, touch_bytes)
+        #: Shard 0 is the default isolate: a 1-shard group spawns
+        #: nothing and stays priced identically to the plain runtime.
+        self.shard_names: Tuple[str, ...] = (DEFAULT_ISOLATE,) + tuple(
+            f"shard{i}" for i in range(1, n_shards)
+        )
+        for name in self.shard_names[1:]:
+            self.runtime.spawn_isolate(Side.TRUSTED, name)
+        self.crossings: Dict[str, int] = {name: 0 for name in self.shard_names}
+        self.losses = 0
+        self.restored_objects = 0
+        self._restore_hooks: Dict[str, List[Callable[[], Any]]] = {
+            name: [] for name in self.shard_names
+        }
+        self._tenant_ids = {
+            name: _SHARD_TENANT_BASE - index
+            for index, name in enumerate(self.shard_names)
+        }
+        self._ws_cursor = {name: 0 for name in self.shard_names}
+        if epc_budget_pages is not None:
+            if driver is None:
+                raise ConfigurationError(
+                    "an EPC budget needs the SgxDriver that owns the cache"
+                )
+            driver.partition_epc(
+                [self._tenant_ids[name] for name in self.shard_names],
+                total_pages=epc_budget_pages,
+            )
+        #: Per-shard share of a full enclave reload (EADD+EEXTEND over
+        #: 1/N of the image), priced on every shard recovery.
+        load_bytes = len(session.enclave.contents.code_bytes)
+        self._reload_cycles = (load_bytes * 1.2 + 500_000.0) / n_shards
+
+    @staticmethod
+    def _upgrade_runtime(session: Any) -> ShardedRuntime:
+        base = session.runtime
+        if isinstance(base, ShardedRuntime):
+            return base
+        runtime = ShardedRuntime(
+            untrusted=base.state_of(Side.UNTRUSTED),
+            trusted=base.state_of(Side.TRUSTED),
+            transitions=base.transitions,
+            codec=base.codec,
+            hash_strategy=base.hash_strategy,
+        )
+        runtime.current_side = base.current_side
+        runtime.recovery = base.recovery
+        runtime.batcher = base.batcher
+        session.runtime = runtime
+        for helper in session.gc_helpers.values():
+            helper.runtime = runtime
+        activate_runtime(runtime)
+        return runtime
+
+    # -- routing --------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shard_names)
+
+    def shard_for(self, key: Any) -> str:
+        """Stable hash routing: the shard owning ``key``."""
+        digest = zlib.crc32(str(key).encode("utf-8"))
+        return self.shard_names[digest % self.n_shards]
+
+    @contextmanager
+    def pinned(self, shard: str):
+        """Run a block with ``shard`` as the active trusted isolate."""
+        with self.runtime.in_isolate(Side.TRUSTED, shard) as state:
+            yield state
+
+    def create_pinned(self, key: Any, factory: Callable[[], Any]) -> Any:
+        """Construct an annotated object pinned to ``key``'s shard."""
+        with self.pinned(self.shard_for(key)):
+            return factory()
+
+    # -- crossing accounting (called by ShardedRuntime) -----------------------
+
+    def note_crossing(self, shard: str) -> None:
+        self.crossings[shard] = self.crossings.get(shard, 0) + 1
+        if self.touch_bytes:
+            # The relay walks part of the shard's working set; the
+            # driver prices any page faults (the shard's EPC share).
+            cursor = self._ws_cursor[shard]
+            span = max(self.working_set_bytes, 1)
+            self.driver.access(
+                self._tenant_ids[shard], cursor % span, self.touch_bytes
+            )
+            self._ws_cursor[shard] = (cursor + self.touch_bytes) % span
+        obs = self.platform.obs
+        if obs is not None:
+            obs.metrics.counter(f"shard.{shard}.crossings").inc()
+
+    # -- loss + recovery ------------------------------------------------------
+
+    def register_restore(self, key: Any, hook: Callable[[], Any]) -> str:
+        """Register a state-rebuild hook on ``key``'s shard; returns it."""
+        shard = self.shard_for(key)
+        self._restore_hooks[shard].append(hook)
+        return shard
+
+    def lose_shard(self, shard: str) -> Dict[str, Any]:
+        """Lose one shard's isolate and recover it in place.
+
+        Mirrors pinned to the shard are dropped (their proxies dangle —
+        exactly what an EPC loss does to live references), its EPC
+        pages are reclaimed, a per-shard reload is priced, and restore
+        hooks rebuild state inside a fresh isolate under the same name.
+        Every other shard keeps serving throughout.
+        """
+        if shard == DEFAULT_ISOLATE:
+            raise ConfigurationError(
+                "shard 0 is the root isolate of the enclave image; losing "
+                "it is a whole-enclave loss (see repro.faults.recovery)"
+            )
+        if shard not in self.shard_names:
+            raise ConfigurationError(f"no shard named {shard!r}")
+        dropped = self.runtime.tear_down_isolate(Side.TRUSTED, shard)
+        if self.driver is not None:
+            self.driver.epc.evict_enclave(self._tenant_ids[shard])
+        self.platform.charge_cycles(f"shard.reload.{shard}", self._reload_cycles)
+        self.runtime.spawn_isolate(Side.TRUSTED, shard)
+        self.losses += 1
+        restored = 0
+        with self.pinned(shard):
+            for hook in self._restore_hooks[shard]:
+                hook()
+                restored += 1
+        self.restored_objects += restored
+        obs = self.platform.obs
+        if obs is not None:
+            obs.metrics.counter("shard.losses").inc()
+            obs.metrics.counter("shard.mirrors_dropped").inc(dropped)
+            obs.metrics.counter("shard.objects_restored").inc(restored)
+        return {"shard": shard, "mirrors_dropped": dropped, "restored": restored}
+
+    def poll_faults(self) -> Optional[Dict[str, Any]]:
+        """Consult the platform's fault injector for shard crashes.
+
+        Fault plans target shards with rules like
+        ``FaultRule(FaultKind.ENCLAVE_CRASH, call_kind="shard",
+        routine="shard.shard1", at_call=3)``; consultation order (and
+        hence the schedule) is deterministic.
+        """
+        injector = self.platform.faults
+        if injector is None:
+            return None
+        now_ns = self.platform.clock.now_ns
+        for shard in self.shard_names[1:]:
+            decision = injector.transition_fault(
+                "shard", f"shard.{shard}", now_ns
+            )
+            if decision is not None and decision.crash:
+                return self.lose_shard(shard)
+        return None
+
+    # -- introspection --------------------------------------------------------
+
+    def crossing_counts(self) -> Dict[str, int]:
+        return dict(self.crossings)
+
+    def describe(self) -> str:
+        lines = [f"shard group: {self.n_shards} shard(s), losses={self.losses}"]
+        for name in self.shard_names:
+            lines.append(f"  {name}: crossings={self.crossings[name]}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedEnclaveGroup(shards={self.n_shards}, "
+            f"crossings={sum(self.crossings.values())}, losses={self.losses})"
+        )

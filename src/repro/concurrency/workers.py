@@ -1,0 +1,253 @@
+"""Switchless worker pool contended across concurrent sessions.
+
+The paper's switchless mode (after Tian et al.) hands calls to a worker
+thread through shared memory instead of performing a hardware
+transition. A real pool has finitely many workers; under concurrent
+load, calls that find every worker busy must fall back to the hardware
+path. This module models that contention with **virtual-time leases**:
+
+- every worker carries a ``busy_until_ns`` timestamp in *session event
+  time* (the :class:`~repro.concurrency.scheduler.SessionScheduler`
+  tells the pool the running session's local clock before each step);
+- a crossing grabs the first worker whose lease expired and re-leases
+  it for the crossing's measured duration — priced at the cheap
+  switchless rate through the existing ledger;
+- if every worker is leased, the crossing degrades to a hardware
+  transition (priced accordingly) and counts as a contention fallback.
+
+Because the scheduler always advances the lowest-timestamp session,
+the event times the pool sees are non-decreasing, so the lease algebra
+is consistent — no rollbacks, no speculative state.
+
+With one session the pool is never contended (each call starts after
+the previous one's lease expired), so a single-session run simply gets
+uniform switchless pricing; with the pool unattached the transition
+layer is byte-for-byte today's code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, TypeVar
+
+from repro.costs.platform import Platform
+from repro.errors import ConfigurationError
+from repro.sgx.enclave import Enclave
+from repro.sgx.transitions import TransitionLayer
+
+T = TypeVar("T")
+
+#: Worker classes, following SwitchlessConfig: trusted workers serve
+#: ecalls inside the enclave, untrusted workers serve ocalls outside.
+_POOL_KINDS = ("trusted", "untrusted")
+_KIND_FOR_CALL = {"ecall": "trusted", "ocall": "untrusted"}
+
+
+@dataclass
+class WorkerPoolStats:
+    """Contention accounting, per worker class."""
+
+    served: Dict[str, int] = field(
+        default_factory=lambda: {kind: 0 for kind in _POOL_KINDS}
+    )
+    fallbacks: Dict[str, int] = field(
+        default_factory=lambda: {kind: 0 for kind in _POOL_KINDS}
+    )
+
+    @property
+    def total_served(self) -> int:
+        return sum(self.served.values())
+
+    @property
+    def total_fallbacks(self) -> int:
+        return sum(self.fallbacks.values())
+
+    def fallback_share(self) -> float:
+        total = self.total_served + self.total_fallbacks
+        return self.total_fallbacks / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "served": dict(self.served),
+            "fallbacks": dict(self.fallbacks),
+            "fallback_share": self.fallback_share(),
+        }
+
+
+class ContendedWorkerPool:
+    """Finite switchless workers leased in session event time."""
+
+    def __init__(self, trusted_workers: int = 2, untrusted_workers: int = 2) -> None:
+        if trusted_workers < 0 or untrusted_workers < 0:
+            raise ConfigurationError("worker counts cannot be negative")
+        self._busy_until: Dict[str, List[float]] = {
+            "trusted": [0.0] * trusted_workers,
+            "untrusted": [0.0] * untrusted_workers,
+        }
+        self.stats = WorkerPoolStats()
+        self._now_ns: Optional[float] = None
+        self._anchor_ns: Optional[float] = None
+
+    # -- scheduler integration ------------------------------------------------
+
+    def set_time(self, now_ns: float, global_ns: Optional[float] = None) -> None:
+        """Install the running session's local clock (scheduler hook).
+
+        ``global_ns`` anchors the global clock at the moment the
+        session resumed: event time then advances with the global
+        charges the segment makes, so back-to-back crossings within one
+        segment occupy *successive* event times (a lone session never
+        contends with itself) instead of piling onto one instant.
+        """
+        self._now_ns = now_ns
+        self._anchor_ns = global_ns
+
+    def clear_time(self) -> None:
+        self._now_ns = None
+        self._anchor_ns = None
+
+    def event_time(self, platform: Platform) -> float:
+        """Current event time: session-local if set, else global."""
+        if self._now_ns is None:
+            return platform.clock.now_ns
+        if self._anchor_ns is None:
+            return self._now_ns
+        return self._now_ns + (platform.clock.now_ns - self._anchor_ns)
+
+    # -- leases ---------------------------------------------------------------
+
+    def workers(self, kind: str) -> int:
+        return len(self._busy_until[kind])
+
+    def try_acquire(self, kind: str, now_ns: float) -> Optional[int]:
+        """Index of a free ``kind`` worker at ``now_ns``, or None."""
+        for index, busy_until in enumerate(self._busy_until[kind]):
+            if busy_until <= now_ns:
+                return index
+        return None
+
+    def occupy(self, kind: str, index: int, until_ns: float) -> None:
+        self._busy_until[kind][index] = until_ns
+
+    def occupancy(self, kind: str, now_ns: float) -> int:
+        """Workers of ``kind`` still leased at ``now_ns``."""
+        return sum(1 for until in self._busy_until[kind] if until > now_ns)
+
+    def total_occupancy(self, now_ns: float) -> int:
+        return sum(self.occupancy(kind, now_ns) for kind in _POOL_KINDS)
+
+    def __repr__(self) -> str:
+        return (
+            f"ContendedWorkerPool(trusted={self.workers('trusted')}, "
+            f"untrusted={self.workers('untrusted')}, "
+            f"served={self.stats.total_served}, "
+            f"fallbacks={self.stats.total_fallbacks})"
+        )
+
+
+class ContendedTransitionLayer(TransitionLayer):
+    """Transition layer that prices each crossing by pool availability.
+
+    A free worker ⇒ the crossing runs switchless (cheap); a fully
+    leased pool ⇒ hardware transition + isolate attach, exactly the
+    categories today's non-switchless layer charges.
+    """
+
+    def __init__(
+        self, platform: Platform, enclave: Enclave, pool: ContendedWorkerPool
+    ) -> None:
+        super().__init__(platform, enclave, switchless=False)
+        self.pool = pool
+
+    def ecall(
+        self,
+        name: str,
+        body: Callable[[], T],
+        payload_bytes: int = 0,
+        attach_isolate: bool = True,
+        calls: int = 1,
+    ) -> T:
+        return self._contended(
+            "ecall", super().ecall, name, body, payload_bytes, attach_isolate, calls
+        )
+
+    def ocall(
+        self,
+        name: str,
+        body: Callable[[], T],
+        payload_bytes: int = 0,
+        attach_isolate: bool = True,
+        calls: int = 1,
+    ) -> T:
+        return self._contended(
+            "ocall", super().ocall, name, body, payload_bytes, attach_isolate, calls
+        )
+
+    def _contended(
+        self,
+        call_kind: str,
+        base_call: Callable[..., T],
+        name: str,
+        body: Callable[[], T],
+        payload_bytes: int,
+        attach_isolate: bool,
+        calls: int,
+    ) -> T:
+        pool = self.pool
+        pool_kind = _KIND_FOR_CALL[call_kind]
+        event_ns = pool.event_time(self.platform)
+        worker = pool.try_acquire(pool_kind, event_ns)
+        previous = self.switchless
+        self.switchless = worker is not None
+        started_global = self.platform.clock.now_ns
+        try:
+            return base_call(
+                name,
+                body,
+                payload_bytes=payload_bytes,
+                attach_isolate=attach_isolate,
+                calls=calls,
+            )
+        finally:
+            self.switchless = previous
+            duration = self.platform.clock.now_ns - started_global
+            if worker is not None:
+                # The lease covers the whole crossing, nested work
+                # included, anchored at the session's event time.
+                pool.occupy(pool_kind, worker, event_ns + duration)
+                pool.stats.served[pool_kind] += 1
+            else:
+                pool.stats.fallbacks[pool_kind] += 1
+            obs = self.platform.obs
+            if obs is not None:
+                if worker is None:
+                    obs.metrics.counter("concurrency.pool_fallbacks").inc()
+                obs.metrics.gauge("concurrency.worker_pool.occupancy").set(
+                    pool.total_occupancy(event_ns)
+                )
+
+
+def attach_worker_pool(session: Any, pool: ContendedWorkerPool) -> ContendedTransitionLayer:
+    """Swap a session's transition layer for a pool-contended one.
+
+    The new layer shares the old layer's stats object, so counters the
+    session already exposes keep accumulating. Returns the new layer;
+    :func:`detach_worker_pool` restores the original.
+    """
+    base = session.transitions
+    layer = ContendedTransitionLayer(base.platform, base.enclave, pool)
+    layer.stats = base.stats
+    layer._base_layer = base
+    session.transitions = layer
+    session.runtime.transitions = layer
+    return layer
+
+
+def detach_worker_pool(session: Any) -> None:
+    """Restore the transition layer :func:`attach_worker_pool` replaced."""
+    layer = session.transitions
+    base = getattr(layer, "_base_layer", None)
+    if base is None:
+        raise ConfigurationError("no worker pool is attached to this session")
+    session.transitions = base
+    session.runtime.transitions = base

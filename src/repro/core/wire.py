@@ -170,7 +170,12 @@ def _read(data: bytes, offset: int, depth: int) -> Tuple[Any, int]:
         if tag == _TAG_TUPLE:
             return tuple(items), offset
         if tag == _TAG_SET:
-            return set(items), offset
+            try:
+                return set(items), offset
+            except TypeError as exc:
+                raise SerializationError(
+                    f"unhashable set element in wire data: {exc}"
+                )
         return items, offset
     if tag == _TAG_DICT:
         count, offset = _decode_varint(data, offset)
@@ -178,7 +183,12 @@ def _read(data: bytes, offset: int, depth: int) -> Tuple[Any, int]:
         for _ in range(count):
             key, offset = _read(data, offset, depth + 1)
             item, offset = _read(data, offset, depth + 1)
-            result[key] = item
+            try:
+                result[key] = item
+            except TypeError as exc:
+                raise SerializationError(
+                    f"unhashable dict key in wire data: {exc}"
+                )
         return result, offset
     raise SerializationError(f"unknown wire tag {tag:#x}")
 

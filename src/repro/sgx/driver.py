@@ -7,6 +7,7 @@ page faults (EWB/ELDU swaps between EPC and DRAM) into virtual time.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
 from repro.costs.platform import Platform
 from repro.sgx.epc import EpcPageCache, EpcStats
@@ -40,6 +41,22 @@ class SgxDriver:
         )
         self.stats = DriverStats()
         self._pressure_cursor = 0
+        #: Owner ids with an EPC budget carved out via partition_epc.
+        self._partition_owners: Sequence[int] = ()
+
+    def partition_epc(
+        self, owners: Sequence[int], total_pages: Optional[int] = None
+    ) -> Dict[int, int]:
+        """Split an EPC page budget evenly across ``owners``.
+
+        Each owner (an enclave id or a synthetic shard-tenant id) gets
+        ``total_pages // len(owners)`` resident pages; at its quota it
+        evicts its own LRU page rather than a co-tenant's. With
+        ``total_pages=None`` the whole usable EPC is split.
+        """
+        quotas = self.epc.partition(owners, total_pages=total_pages)
+        self._partition_owners = tuple(owners)
+        return quotas
 
     def access(self, enclave_id: int, start_byte: int, nbytes: int) -> float:
         """Charge an enclave's memory access against the EPC; returns ns."""
@@ -109,6 +126,12 @@ class SgxDriver:
         resident = self.epc.resident_pages()
         obs.metrics.gauge("epc.resident_pages").set(resident)
         obs.metrics.gauge("epc.resident_bytes").set(resident * self.epc.page_bytes)
+        # Per-owner residency only exists once the EPC is partitioned,
+        # so unpartitioned runs emit exactly the pre-existing metrics.
+        for owner in self._partition_owners:
+            obs.metrics.gauge(f"epc.owner.{owner}.resident_pages").set(
+                self.epc.resident_pages(owner)
+            )
 
     @property
     def epc_stats(self) -> EpcStats:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.errors import EpcError
 
@@ -53,6 +53,56 @@ class EpcPageCache:
         self.stats = EpcStats()
         self._resident: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
         self.observer: Optional[PageObserver] = None
+        #: Optional per-owner residency budgets (pages). An owner at its
+        #: quota evicts its *own* LRU page instead of the global one, so
+        #: co-tenant shards cannot starve each other. Empty by default:
+        #: behaviour (and every priced figure) is unchanged.
+        self._quota: Dict[int, int] = {}
+        self._owner_resident: Dict[int, int] = {}
+
+    # -- budget partitioning ----------------------------------------------------
+
+    def set_quota(self, owner: int, pages: Optional[int]) -> None:
+        """Cap ``owner``'s residency at ``pages`` (``None`` removes it)."""
+        if pages is None:
+            self._quota.pop(owner, None)
+            return
+        if pages < 1:
+            raise EpcError("an EPC quota must be at least one page")
+        self._quota[owner] = pages
+
+    def quota_of(self, owner: int) -> Optional[int]:
+        return self._quota.get(owner)
+
+    def partition(
+        self, owners: Iterable[int], total_pages: Optional[int] = None
+    ) -> Dict[int, int]:
+        """Split a page budget evenly across ``owners``; returns quotas."""
+        owner_list = list(owners)
+        if not owner_list:
+            raise EpcError("cannot partition the EPC across zero owners")
+        budget = self.capacity_pages if total_pages is None else total_pages
+        share = budget // len(owner_list)
+        if share < 1:
+            raise EpcError(
+                f"budget of {budget} pages is too small for "
+                f"{len(owner_list)} owners"
+            )
+        quotas = {owner: share for owner in owner_list}
+        for owner, pages in quotas.items():
+            self.set_quota(owner, pages)
+        return quotas
+
+    @property
+    def partitioned(self) -> bool:
+        return bool(self._quota)
+
+    def _evict_owner_lru(self, owner: int) -> Tuple[int, int]:
+        for key in self._resident:
+            if key[0] == owner:
+                del self._resident[key]
+                return key
+        raise EpcError(f"owner {owner} is at quota but holds no pages")
 
     def touch(self, enclave_id: int, page: int) -> Tuple[bool, Optional[Tuple[int, int]]]:
         """Access one page.
@@ -67,10 +117,21 @@ class EpcPageCache:
             return False, None
         self.stats.faults += 1
         evicted: Optional[Tuple[int, int]] = None
-        if len(self._resident) >= self.capacity_pages:
+        quota = self._quota.get(enclave_id)
+        if quota is not None and self._owner_resident.get(enclave_id, 0) >= quota:
+            evicted = self._evict_owner_lru(enclave_id)
+            self.stats.evictions += 1
+        elif len(self._resident) >= self.capacity_pages:
             evicted, _ = self._resident.popitem(last=False)
             self.stats.evictions += 1
+        if evicted is not None:
+            self._owner_resident[evicted[0]] = (
+                self._owner_resident.get(evicted[0], 1) - 1
+            )
         self._resident[key] = None
+        self._owner_resident[enclave_id] = (
+            self._owner_resident.get(enclave_id, 0) + 1
+        )
         if self.observer is not None:
             self.observer("fault", enclave_id, page)
             if evicted is not None:
@@ -97,6 +158,7 @@ class EpcPageCache:
         victims = [key for key in self._resident if key[0] == enclave_id]
         for key in victims:
             del self._resident[key]
+        self._owner_resident.pop(enclave_id, None)
         return len(victims)
 
     def resident_pages(self, enclave_id: Optional[int] = None) -> int:

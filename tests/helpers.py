@@ -1,0 +1,58 @@
+"""Shared test helpers.
+
+The pricing-identity pattern — "configuration X must charge the ledger
+byte-identically to configuration Y" — recurs across the batching,
+fault and concurrency suites. These helpers capture one canonical
+fingerprint shape and one assertion with a readable diff, so every
+suite compares the same things the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+def session_ledger(session: Any) -> Dict[str, Any]:
+    """Full pricing fingerprint of a running session.
+
+    Covers the cost ledger (per-category counts and totals), the
+    virtual clock, and the transition-layer crossing count: two
+    configurations with equal fingerprints were priced byte-identically
+    and crossed the enclave boundary the same number of times.
+    """
+    return {
+        "snapshot": dict(session.platform.snapshot()),
+        "now": session.platform.now_s,
+        "crossings": session.transition_stats.crossings,
+    }
+
+
+def platform_ledger(platform: Any) -> Dict[str, Any]:
+    """Pricing fingerprint when only the platform survives the run
+    (e.g. captured after ``app.start()`` tears the session down)."""
+    return {
+        "snapshot": dict(platform.snapshot()),
+        "now": platform.now_s,
+    }
+
+
+def assert_ledgers_identical(actual: Any, expected: Any) -> None:
+    """Assert two pricing fingerprints are byte-identical, reporting
+    the first differing ledger categories when they are not."""
+    if actual == expected:
+        return
+    lines = ["pricing fingerprints differ:"]
+    if isinstance(actual, dict) and isinstance(expected, dict):
+        actual_snap = actual.get("snapshot", {})
+        expected_snap = expected.get("snapshot", {})
+        for key in sorted(set(actual_snap) | set(expected_snap)):
+            left = actual_snap.get(key)
+            right = expected_snap.get(key)
+            if left != right:
+                lines.append(f"  {key}: {left} != {right}")
+        for field in ("now", "crossings"):
+            if actual.get(field) != expected.get(field):
+                lines.append(
+                    f"  {field}: {actual.get(field)} != {expected.get(field)}"
+                )
+    raise AssertionError("\n".join(lines))

@@ -38,6 +38,7 @@ from repro.errors import (
     NonIdempotentReplayError,
 )
 from repro.experiments import batching_exp
+from tests.helpers import assert_ledgers_identical, session_ledger
 from repro.faults import (
     FaultInjector,
     FaultKind,
@@ -302,12 +303,8 @@ class TestCoalescer:
                 for i in range(8):
                     counter.bump(i)
                 assert counter.snapshot() == sum(range(8))
-                ledgers[batch_size] = {
-                    "snapshot": dict(session.platform.snapshot()),
-                    "now": session.platform.now_s,
-                    "crossings": session.transition_stats.crossings,
-                }
-        assert ledgers[None] == ledgers[1]
+                ledgers[batch_size] = session_ledger(session)
+        assert_ledgers_identical(ledgers[1], ledgers[None])
 
     def test_window_trigger(self):
         app = _partitioned([Counter], name="window")

@@ -1,0 +1,563 @@
+"""Deterministic multi-session concurrency (repro.concurrency).
+
+Covers the session scheduler (min-timestamp order, think time, seeded
+replay, error policy, timer-wheel pumping, zero platform cost), the
+contended switchless worker pool (virtual-time leases, fallback
+pricing, attach/detach), enclave sharding (hash routing, per-shard
+crossings, EPC partitioning with owner-LRU eviction, shard loss and
+recovery via the fault injector) and the scaling ablation's invariants
+(replay determinism and the 1-session/1-shard pricing identity).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.bank import Account, BANK_CLASSES
+from repro.concurrency import (
+    ContendedWorkerPool,
+    SessionScheduler,
+    ShardedEnclaveGroup,
+    attach_worker_pool,
+    detach_worker_pool,
+)
+from repro.core import Partitioner, PartitionOptions
+from repro.core.multi_isolate import DEFAULT_ISOLATE
+from repro.costs.platform import fresh_platform
+from repro.errors import ConfigurationError, EpcError, RmiError
+from repro.experiments import scaling_exp
+from repro.faults import FaultInjector, FaultKind, FaultRule
+from repro.obs.artifacts import validate_artifact
+from repro.runtime.scheduler import VirtualScheduler
+from repro.sgx.driver import SgxDriver
+from repro.sgx.epc import EpcPageCache
+from tests.helpers import assert_ledgers_identical, session_ledger
+
+
+def _bank_app(name: str):
+    return Partitioner(PartitionOptions(name=name)).partition(
+        list(BANK_CLASSES)
+    )
+
+
+def _charging_body(platform, charges, think_ns=0.0):
+    """A session that charges a fixed list of cycle amounts."""
+
+    def body():
+        for cycles in charges:
+            platform.charge_cycles("test.work", cycles)
+            yield think_ns
+        return len(charges)
+
+    return body()
+
+
+# ---------------------------------------------------------------------------
+# SessionScheduler
+# ---------------------------------------------------------------------------
+
+
+class TestSessionScheduler:
+    def test_runs_lowest_timestamp_first(self):
+        platform = fresh_platform()
+        sched = SessionScheduler(platform, seed=3)
+        # 'slow' charges 10x per step: after its first step it is far
+        # ahead in local time, so 'fast' gets every next turn until it
+        # catches up.
+        sched.spawn("slow", _charging_body(platform, [10_000] * 2))
+        sched.spawn("fast", _charging_body(platform, [1_000] * 8))
+        sched.run()
+        order = [record.session for record in sched._trace]
+        first_slow = order.index("slow")
+        second_slow = order.index("slow", first_slow + 1)
+        # Between the two slow steps, fast runs many times.
+        assert second_slow - first_slow > 5
+
+    def test_scheduler_itself_charges_nothing(self):
+        platform = fresh_platform()
+        sched = SessionScheduler(platform, seed=0)
+
+        def idle():
+            yield 100.0
+            yield None
+            return "done"
+
+        sched.spawn("idle", idle())
+        results = sched.run()
+        assert results == {"idle": "done"}
+        assert dict(platform.snapshot()) == {}
+        assert platform.now_s == 0.0
+
+    def test_think_time_advances_local_clock_only(self):
+        platform = fresh_platform()
+        sched = SessionScheduler(platform, seed=0)
+        sched.spawn("thinker", _charging_body(platform, [1_000], think_ns=5_000.0))
+        sched.run()
+        session = sched.sessions[0]
+        assert session.think_ns == 5_000.0
+        assert session.busy_ns > 0
+        assert session.local_ns == session.busy_ns + session.think_ns
+        # The global clock only saw the charged work.
+        assert platform.clock.now_ns == session.busy_ns
+
+    def test_same_seed_replays_byte_identically(self):
+        def run_once():
+            platform = fresh_platform()
+            sched = SessionScheduler(platform, seed=42)
+            for i in range(4):
+                sched.spawn(
+                    f"s{i}", _charging_body(platform, [500 + 10 * i] * 5)
+                )
+            sched.run()
+            return sched.trace_digest(), dict(platform.snapshot())
+
+        digest_a, ledger_a = run_once()
+        digest_b, ledger_b = run_once()
+        assert digest_a == digest_b
+        assert ledger_a == ledger_b
+
+    def test_start_ns_staggers_arrival(self):
+        platform = fresh_platform()
+        sched = SessionScheduler(platform, seed=0)
+        sched.spawn("late", _charging_body(platform, [100] * 3), start_ns=1e9)
+        sched.spawn("early", _charging_body(platform, [100] * 3))
+        sched.run()
+        order = [record.session for record in sched._trace]
+        assert order[:3] == ["early", "early", "early"]
+
+    def test_spawn_validation(self):
+        platform = fresh_platform()
+        sched = SessionScheduler(platform, seed=0)
+        sched.spawn("dup", _charging_body(platform, [1]))
+        with pytest.raises(ConfigurationError):
+            sched.spawn("dup", _charging_body(platform, [1]))
+        with pytest.raises(ConfigurationError):
+            sched.spawn("past", _charging_body(platform, [1]), start_ns=-1.0)
+        with pytest.raises(ConfigurationError):
+            SessionScheduler(platform, on_error="ignore")
+
+    def test_negative_think_time_rejected(self):
+        platform = fresh_platform()
+        sched = SessionScheduler(platform, seed=0)
+
+        def bad():
+            yield -5.0
+
+        sched.spawn("bad", bad())
+        with pytest.raises(ConfigurationError):
+            sched.run()
+
+    def test_error_policy_record_keeps_other_sessions_running(self):
+        platform = fresh_platform()
+        sched = SessionScheduler(platform, seed=0, on_error="record")
+
+        def crashing():
+            yield 0.0
+            raise ValueError("boom")
+
+        sched.spawn("crash", crashing())
+        sched.spawn("steady", _charging_body(platform, [100] * 4))
+        results = sched.run()
+        assert results["steady"] == 4
+        assert isinstance(sched.errors()["crash"], ValueError)
+
+    def test_error_policy_raise_propagates(self):
+        platform = fresh_platform()
+        sched = SessionScheduler(platform, seed=0)
+
+        def crashing():
+            raise ValueError("boom")
+            yield 0.0
+
+        sched.spawn("crash", crashing())
+        with pytest.raises(ValueError):
+            sched.run()
+
+    def test_max_steps_bounds_the_run(self):
+        platform = fresh_platform()
+        sched = SessionScheduler(platform, seed=0)
+        sched.spawn("a", _charging_body(platform, [100] * 10))
+        sched.run(max_steps=3)
+        assert sched.active_count == 1
+        assert len(sched.trace()) == 3
+
+    def test_sessions_active_gauge(self):
+        platform = fresh_platform()
+        obs = platform.enable_observability()
+        sched = SessionScheduler(platform, seed=0)
+        sched.spawn("a", _charging_body(platform, [100]))
+        sched.spawn("b", _charging_body(platform, [100] * 3))
+        assert obs.metrics.gauge("concurrency.sessions_active").value == 2
+        sched.run()
+        assert obs.metrics.gauge("concurrency.sessions_active").value == 0
+        assert obs.metrics.counter("concurrency.steps").value == 6
+
+    def test_pumps_timer_wheel_between_segments(self):
+        platform = fresh_platform()
+        wheel = VirtualScheduler(platform)
+        fired = []
+        wheel.every(1e-6, lambda: fired.append(platform.clock.now_ns), name="tick")
+        sched = SessionScheduler(platform, seed=0, wheel=wheel)
+        sched.spawn("worker", _charging_body(platform, [3_000] * 4))
+        sched.run()
+        assert fired  # periodic task fired between session segments
+
+    def test_makespan_is_max_local_time(self):
+        platform = fresh_platform()
+        sched = SessionScheduler(platform, seed=0)
+        sched.spawn("a", _charging_body(platform, [1_000], think_ns=9_000.0))
+        sched.spawn("b", _charging_body(platform, [2_000]))
+        sched.run()
+        by_name = {s.name: s for s in sched.sessions}
+        assert sched.makespan_ns == max(
+            by_name["a"].local_ns, by_name["b"].local_ns
+        )
+        assert sched.total_busy_ns == sum(s.busy_ns for s in sched.sessions)
+
+
+# ---------------------------------------------------------------------------
+# Contended worker pool
+# ---------------------------------------------------------------------------
+
+
+class TestContendedWorkerPool:
+    def test_lease_algebra(self):
+        pool = ContendedWorkerPool(trusted_workers=2, untrusted_workers=1)
+        assert pool.try_acquire("trusted", 0.0) == 0
+        pool.occupy("trusted", 0, 100.0)
+        assert pool.try_acquire("trusted", 50.0) == 1
+        pool.occupy("trusted", 1, 80.0)
+        assert pool.try_acquire("trusted", 50.0) is None
+        # A lease expiring exactly now frees the worker.
+        assert pool.try_acquire("trusted", 100.0) == 0
+        assert pool.occupancy("trusted", 90.0) == 1
+        assert pool.total_occupancy(90.0) == 1
+
+    def test_negative_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ContendedWorkerPool(trusted_workers=-1)
+
+    def test_single_session_never_contends(self):
+        result = scaling_exp.run_scale("bank", sessions=1, shards=1, workers=1)
+        assert result.pool_stats is not None
+        assert result.pool_stats["fallbacks"] == {"trusted": 0, "untrusted": 0}
+        assert result.pool_stats["served"]["trusted"] > 0
+
+    def test_contention_grows_with_sessions(self):
+        shares = [
+            scaling_exp.run_scale(
+                "securekeeper", sessions=k, shards=1, workers=1
+            ).fallback_share
+            for k in (1, 4, 8)
+        ]
+        assert shares[0] == 0.0
+        assert shares[0] < shares[1] < shares[2]
+        assert shares[2] > 0.5  # fallbacks dominate: the knee
+
+    def test_fallback_prices_hardware_path(self):
+        # Under heavy contention both pricing categories appear: cheap
+        # switchless crossings for served calls, hardware transitions
+        # for fallbacks.
+        result = scaling_exp.run_scale("bank", sessions=6, shards=1, workers=1)
+        switchless = [
+            key for key in result.ledger if key.startswith("transition.switchless.")
+        ]
+        hardware = [
+            key
+            for key in result.ledger
+            if key.startswith("transition.ecall.")
+            or key.startswith("transition.ocall.")
+        ]
+        assert switchless and hardware
+        assert result.pool_stats["fallback_share"] > 0
+
+    def test_attach_detach_round_trip(self):
+        app = _bank_app("conc_attach")
+        with app.start() as session:
+            base = session.transitions
+            pool = ContendedWorkerPool(1, 1)
+            layer = attach_worker_pool(session, pool)
+            assert session.transitions is layer
+            assert session.runtime.transitions is layer
+            assert layer.stats is base.stats  # shared accounting
+            account = Account("a", 10)
+            account.update_balance(5)
+            assert pool.stats.total_served > 0
+            detach_worker_pool(session)
+            assert session.transitions is base
+            with pytest.raises(ConfigurationError):
+                detach_worker_pool(session)
+
+
+# ---------------------------------------------------------------------------
+# Sharding
+# ---------------------------------------------------------------------------
+
+
+class TestSharding:
+    def test_hash_routing_is_stable_and_spreads(self):
+        app = _bank_app("conc_route")
+        with app.start() as session:
+            group = ShardedEnclaveGroup(session, 4)
+            keys = [f"k{i}" for i in range(64)]
+            homes = {key: group.shard_for(key) for key in keys}
+            assert homes == {key: group.shard_for(key) for key in keys}
+            assert len(set(homes.values())) == 4  # every shard gets keys
+
+    def test_single_shard_group_spawns_nothing(self):
+        app = _bank_app("conc_one")
+        with app.start() as session:
+            group = ShardedEnclaveGroup(session, 1)
+            assert group.shard_names == (DEFAULT_ISOLATE,)
+            assert group.shard_for("anything") == DEFAULT_ISOLATE
+
+    def test_validation(self):
+        app = _bank_app("conc_valid")
+        with app.start() as session:
+            with pytest.raises(ConfigurationError):
+                ShardedEnclaveGroup(session, 0)
+            with pytest.raises(ConfigurationError):
+                ShardedEnclaveGroup(session, 2, touch_bytes=4096)  # no driver
+            with pytest.raises(ConfigurationError):
+                ShardedEnclaveGroup(session, 2, epc_budget_pages=16)
+
+    def test_per_shard_crossings_counted(self):
+        app = _bank_app("conc_cross")
+        with app.start() as session:
+            group = ShardedEnclaveGroup(session, 2)
+            accounts = {
+                key: group.create_pinned(key, lambda k=key: Account(k, 100))
+                for key in (f"k{i}" for i in range(8))
+            }
+            for account in accounts.values():
+                account.update_balance(1)
+            counts = group.crossing_counts()
+            assert sum(counts.values()) >= len(accounts)
+            assert all(counts[group.shard_for(k)] > 0 for k in accounts)
+
+    def test_lose_shard_drops_mirrors_and_restores(self):
+        app = _bank_app("conc_loss")
+        with app.start() as session:
+            group = ShardedEnclaveGroup(session, 2)
+            lost_shard = group.shard_names[1]
+            registry = {}
+
+            def make(key):
+                registry[key] = group.create_pinned(
+                    key, lambda k=key: Account(k, 100)
+                )
+
+            keys = [f"k{i}" for i in range(12)]
+            on_lost = [k for k in keys if group.shard_for(k) == lost_shard]
+            on_default = [k for k in keys if group.shard_for(k) != lost_shard]
+            assert on_lost and on_default
+            for key in keys:
+                make(key)
+                group.register_restore(key, lambda k=key: make(k))
+            for key in keys:
+                registry[key].update_balance(7)
+            info = group.lose_shard(lost_shard)
+            assert info["mirrors_dropped"] == len(on_lost)
+            assert info["restored"] == len(on_lost)
+            # Survivors kept their state; restored objects restart.
+            assert registry[on_default[0]].get_balance() == 107
+            assert registry[on_lost[0]].get_balance() == 100
+            ledger = dict(session.platform.snapshot())
+            assert f"shard.reload.{lost_shard}" in ledger
+
+    def test_stale_proxy_to_lost_shard_raises(self):
+        app = _bank_app("conc_stale")
+        with app.start() as session:
+            group = ShardedEnclaveGroup(session, 2)
+            lost_shard = group.shard_names[1]
+            key = next(
+                f"k{i}" for i in range(100)
+                if group.shard_for(f"k{i}") == lost_shard
+            )
+            account = group.create_pinned(key, lambda: Account(key, 100))
+            group.lose_shard(lost_shard)
+            with pytest.raises(RmiError):
+                account.get_balance()
+
+    def test_root_shard_cannot_be_lost(self):
+        app = _bank_app("conc_root")
+        with app.start() as session:
+            group = ShardedEnclaveGroup(session, 2)
+            with pytest.raises(ConfigurationError):
+                group.lose_shard(DEFAULT_ISOLATE)
+            with pytest.raises(ConfigurationError):
+                group.lose_shard("no-such-shard")
+
+    def test_poll_faults_follows_seeded_plan(self):
+        app = _bank_app("conc_chaos")
+        with app.start() as session:
+            group = ShardedEnclaveGroup(session, 2)
+            session.platform.enable_fault_injection(
+                FaultInjector(
+                    seed=1,
+                    rules=[
+                        FaultRule(
+                            FaultKind.ENCLAVE_CRASH,
+                            call_kind="shard",
+                            routine="shard.shard1",
+                            at_call=2,
+                            max_fires=1,
+                        )
+                    ],
+                )
+            )
+            assert group.poll_faults() is None
+            info = group.poll_faults()
+            assert info is not None and info["shard"] == "shard1"
+            assert group.poll_faults() is None  # max_fires=1
+            assert group.losses == 1
+            session.platform.disable_fault_injection()
+
+
+# ---------------------------------------------------------------------------
+# EPC partitioning
+# ---------------------------------------------------------------------------
+
+
+class TestEpcPartitioning:
+    def test_partition_splits_budget_evenly(self):
+        cache = EpcPageCache(capacity_bytes=64 * 4096)
+        quotas = cache.partition([1, 2, 3], total_pages=30)
+        assert quotas == {1: 10, 2: 10, 3: 10}
+        assert cache.partitioned
+        assert cache.quota_of(1) == 10
+
+    def test_partition_validation(self):
+        cache = EpcPageCache(capacity_bytes=8 * 4096)
+        with pytest.raises(EpcError):
+            cache.partition([])
+        with pytest.raises(EpcError):
+            cache.partition(list(range(20)))  # share < 1 page
+        with pytest.raises(EpcError):
+            cache.set_quota(1, 0)
+
+    def test_owner_at_quota_evicts_own_lru_not_neighbours(self):
+        cache = EpcPageCache(capacity_bytes=100 * 4096)
+        cache.partition([1, 2], total_pages=8)  # 4 pages each
+        for page in range(4):
+            cache.touch_range(1, page * 4096, 1)
+            cache.touch_range(2, page * 4096, 1)
+        assert cache.stats.evictions == 0
+        cache.touch_range(1, 4 * 4096, 1)  # owner 1 over quota
+        assert cache.stats.evictions == 1
+        # Owner 2 keeps all its pages resident (no cross-owner theft).
+        assert cache.touch_range(2, 0, 4 * 4096) == 0
+        # Owner 1's LRU page (page 0) was the victim.
+        assert cache.touch_range(1, 0, 1) == 1
+
+    def test_unpartitioned_cache_behaves_as_before(self):
+        plain = EpcPageCache(capacity_bytes=4 * 4096)
+        for page in range(6):
+            plain.touch_range(7, page * 4096, 1)
+        assert plain.stats.faults == 6
+        assert plain.stats.evictions == 2  # global LRU still applies
+
+    def test_driver_partition_emits_per_owner_gauges(self):
+        platform = fresh_platform()
+        obs = platform.enable_observability()
+        driver = SgxDriver(platform)
+        driver.partition_epc([-10, -11], total_pages=8)
+        driver.access(-10, 0, 2 * 4096)
+        assert obs.metrics.gauge("epc.owner.-10.resident_pages").value == 2
+        assert obs.metrics.gauge("epc.owner.-11.resident_pages").value == 0
+
+    def test_shard_group_epc_pressure_prices_faults(self):
+        result = scaling_exp.run_scale(
+            "bank",
+            sessions=2,
+            shards=2,
+            rounds=6,
+            epc_budget_pages=8,
+            touch_bytes=4096,
+            working_set_bytes=8 * 4096,
+        )
+        assert result.epc_faults > 0
+        assert any(key == "sgx.driver.page_fault" for key in result.ledger)
+
+
+# ---------------------------------------------------------------------------
+# Scaling ablation invariants
+# ---------------------------------------------------------------------------
+
+
+class TestScalingExperiment:
+    def test_single_session_single_shard_prices_like_sequential(self):
+        # The acceptance invariant: concurrency machinery present but
+        # idle must not change a single priced nanosecond.
+        assert scaling_exp.check_pricing_identity("bank")
+        assert scaling_exp.check_pricing_identity("securekeeper")
+
+    def test_pricing_identity_via_shared_helper(self):
+        ledgers = {}
+        for mode in ("sequential", "concurrent"):
+            app = _bank_app("conc_price")
+            with app.start() as session:
+                if mode == "concurrent":
+                    group = ShardedEnclaveGroup(session, 1)
+                    accounts = [
+                        group.create_pinned(f"a{i}", lambda i=i: Account(f"a{i}", 10))
+                        for i in range(3)
+                    ]
+                else:
+                    accounts = [Account(f"a{i}", 10) for i in range(3)]
+                sched = SessionScheduler(session.platform, seed=5)
+
+                def run_all():
+                    if mode == "concurrent":
+                        def body():
+                            for account in accounts:
+                                account.update_balance(5)
+                                yield 0.0
+                            return sum(a.get_balance() for a in accounts)
+
+                        sched.spawn("only", body())
+                        return sched.run()["only"]
+                    return [
+                        a.update_balance(5) for a in accounts
+                    ] and sum(a.get_balance() for a in accounts)
+
+                assert run_all() == 45
+                ledgers[mode] = session_ledger(session)
+        assert_ledgers_identical(ledgers["concurrent"], ledgers["sequential"])
+
+    def test_epc_cliff_appears_when_shards_overcommit(self):
+        rates = [
+            scaling_exp.run_scale(
+                "bank",
+                sessions=2,
+                shards=shards,
+                rounds=6,
+                epc_budget_pages=48,
+                touch_bytes=4096,
+                working_set_bytes=20 * 4096,
+            ).epc_fault_rate
+            for shards in (1, 4)
+        ]
+        assert rates[1] > 2 * rates[0]  # overcommit => the cliff
+
+    def test_shard_loss_run_keeps_serving(self):
+        loss = scaling_exp.run_shard_loss("bank", sessions=2, shards=2)
+        assert loss.losses == 1
+        assert loss.ok_ops > 0
+        assert loss.restored_objects > 0
+        assert loss.availability > 0.9
+        assert loss.lost_updates >= 0
+
+    def test_small_report_is_deterministic_and_valid(self):
+        kwargs = dict(
+            session_counts=(1, 2),
+            shard_counts=(1, 2),
+            rounds=4,
+            entries=4,
+        )
+        report_a = scaling_exp.run_scaling(**kwargs)
+        report_b = scaling_exp.run_scaling(**kwargs)
+        assert report_a.fingerprint() == report_b.fingerprint()
+        assert report_a.identical == {"bank": True, "securekeeper": True}
+        validate_artifact(report_a.to_artifact())
+        assert "sessions" in report_a.format()

@@ -1,4 +1,6 @@
-"""Round-trip tests for the EDL renderer/parser."""
+"""Round-trip and seeded fuzz tests for the EDL renderer/parser."""
+
+import random
 
 import pytest
 
@@ -77,3 +79,140 @@ class TestEdlRoundTrip:
         text = sample_edl().render() + "\n// trailing comment\n\n"
         parsed = parse_edl(text)
         assert len(parsed.routine_names()) == 3
+
+
+# ---------------------------------------------------------------------------
+# Seeded fuzzing: hostile input must fail with typed errors, never crash
+# ---------------------------------------------------------------------------
+
+
+def _random_edl_file(rng: random.Random) -> EdlFile:
+    """A random valid EdlFile drawn from the allowed EDL types."""
+    scalar_types = ("int", "long", "float", "double", "size_t", "uint64_t", "int64_t")
+    pointer_types = ("char*", "const char*", "void*")
+    edl = EdlFile(f"fuzz{rng.randrange(1000)}")
+    for index in range(rng.randint(1, 6)):
+        params = []
+        size_params = []
+        for p in range(rng.randint(0, 4)):
+            name = f"p{p}"
+            if rng.random() < 0.4:
+                direction = rng.choice(("", "in", "out", "in, out"))
+                size_expr = size_params[-1] if size_params and rng.random() < 0.7 else ""
+                params.append(
+                    EdlParam(
+                        rng.choice(pointer_types),
+                        name,
+                        direction=direction,
+                        size_expr=size_expr,
+                    )
+                )
+            else:
+                params.append(EdlParam(rng.choice(scalar_types), name))
+                size_params.append(name)
+        function = EdlFunction(
+            f"routine_{index}",
+            return_type=rng.choice(("void",) + scalar_types),
+            params=tuple(params),
+        )
+        if rng.random() < 0.5:
+            edl.add_ecall(function)
+        else:
+            edl.add_ocall(function)
+    return edl
+
+
+def _parse_or_typed_error(text: str) -> None:
+    """The fuzz contract: parse succeeds or raises ConfigurationError."""
+    try:
+        parse_edl(text, name="fuzz")
+    except ConfigurationError:
+        pass
+
+
+class TestEdlFuzzing:
+    @pytest.mark.parametrize("seed", (1, 2, 3, 4))
+    def test_random_valid_files_are_render_parse_fixpoints(self, seed):
+        rng = random.Random(seed)
+        for _ in range(20):
+            edl = _random_edl_file(rng)
+            rendered = edl.render()
+            parsed = parse_edl(rendered, name=edl.name)
+            assert parsed.render() == rendered
+            assert parsed.routine_names() == edl.routine_names()
+
+    @pytest.mark.parametrize("seed", (11, 12))
+    def test_truncated_documents_never_crash(self, seed):
+        rng = random.Random(seed)
+        text = sample_edl().render()
+        for _ in range(60):
+            _parse_or_typed_error(text[: rng.randrange(len(text))])
+
+    @pytest.mark.parametrize("seed", (21, 22))
+    def test_random_line_injection_never_crashes(self, seed):
+        rng = random.Random(seed)
+        alphabet = "abc()[]{};,*= \t/\\\"'<>?!0123"
+        lines = sample_edl().render().splitlines()
+        for _ in range(60):
+            garbage = "".join(
+                rng.choice(alphabet) for _ in range(rng.randint(1, 40))
+            )
+            position = rng.randrange(len(lines) + 1)
+            mutated = lines[:position] + [garbage] + lines[position:]
+            _parse_or_typed_error("\n".join(mutated))
+
+    @pytest.mark.parametrize("seed", (31, 32))
+    def test_random_character_mutations_never_crash(self, seed):
+        rng = random.Random(seed)
+        text = sample_edl().render()
+        for _ in range(80):
+            chars = list(text)
+            for _ in range(rng.randint(1, 4)):
+                op = rng.randrange(3)
+                position = rng.randrange(len(chars))
+                if op == 0:
+                    chars[position] = chr(rng.randrange(32, 127))
+                elif op == 1:
+                    del chars[position]
+                else:
+                    chars.insert(position, chr(rng.randrange(32, 127)))
+            _parse_or_typed_error("".join(chars))
+
+    def test_duplicate_routine_rejected(self):
+        text = sample_edl().render()
+        duplicated = text.replace(
+            "public int ecall_ping();",
+            "public int ecall_ping();\n        public int ecall_ping();",
+        )
+        assert duplicated != text
+        with pytest.raises(ConfigurationError, match="duplicate EDL routine"):
+            parse_edl(duplicated)
+
+    def test_duplicate_routine_across_sections_rejected(self):
+        edl = EdlFile("dup")
+        edl.add_ecall(EdlFunction("shared"))
+        with pytest.raises(ConfigurationError):
+            edl.add_ocall(EdlFunction("shared"))
+
+    def test_unsupported_type_rejected(self):
+        text = sample_edl().render().replace("uint64_t hash", "uint128_t hash")
+        with pytest.raises(ConfigurationError, match="unsupported EDL type"):
+            parse_edl(text)
+
+    def test_direction_on_non_pointer_rejected(self):
+        text = sample_edl().render().replace(
+            "size_t len", "[in] size_t len"
+        )
+        with pytest.raises(ConfigurationError, match="non-pointer"):
+            parse_edl(text)
+
+    def test_attribute_corruption_never_crashes(self):
+        rng = random.Random(41)
+        text = sample_edl().render()
+        start = text.index("[")
+        end = text.index("]", start)
+        for _ in range(40):
+            attrs = list(text[start : end + 1])
+            position = rng.randrange(len(attrs))
+            attrs[position] = rng.choice("[],=xz ")
+            _parse_or_typed_error(text[:start] + "".join(attrs) + text[end + 1 :])

@@ -41,6 +41,7 @@ from repro.sgx.enclave import Enclave, EnclaveContents, EnclaveState
 from repro.sgx.sealing import SealingService
 from repro.sgx.switchless import SwitchlessLayer
 from repro.sgx.transitions import TransitionLayer
+from tests.helpers import assert_ledgers_identical, platform_ledger
 
 
 from repro.core.annotations import trusted
@@ -838,12 +839,14 @@ def _bank_ledger(inject: bool):
             account.update_balance(5)
         total = sum(account.get_balance() for account in accounts)
         assert total == 45
-    return dict(platform.snapshot())
+    return platform_ledger(platform)
 
 
 class TestZeroCostAndDeterminism:
     def test_ruleless_injector_changes_nothing(self):
-        assert _bank_ledger(inject=False) == _bank_ledger(inject=True)
+        assert_ledgers_identical(
+            _bank_ledger(inject=True), _bank_ledger(inject=False)
+        )
 
     def test_chaos_runs_are_byte_identical(self):
         kwargs = dict(

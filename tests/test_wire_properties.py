@@ -1,0 +1,196 @@
+"""Seeded property tests for the wire format and the codecs.
+
+A deterministic generator (``random.Random(seed)`` — no external
+property-testing dependency) builds hundreds of random nested payloads
+and checks the properties every crossing relies on:
+
+- ``wire.loads(wire.dumps(v)) == v`` with container types preserved;
+- encoding is a pure function of the value (set insertion order does
+  not leak into the bytes);
+- every strict prefix of a valid buffer fails loudly with
+  :class:`SerializationError` — never a crash, hang or silent value;
+- random single-byte corruption either decodes or raises
+  :class:`SerializationError`, nothing else;
+- both codecs price bytes *stably*: serializing the same corpus on two
+  fresh platforms charges byte-identical ledgers, and ``measure``
+  agrees with the encoded length while charging nothing.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import wire
+from repro.core.serialization import (
+    SerializationCodec,
+    WireSerializationCodec,
+    round_trip,
+)
+from repro.costs.platform import fresh_platform
+from repro.errors import SerializationError
+from repro.runtime.context import Location
+from tests.helpers import assert_ledgers_identical, platform_ledger
+
+_SCALAR_KINDS = ("none", "bool", "int", "float", "str", "bytes")
+_CONTAINER_KINDS = ("list", "tuple", "dict", "set")
+
+_STRING_ALPHABET = "abc é世\U0001f600\"'\\\n\x00"
+
+
+def _random_scalar(rng: random.Random):
+    kind = rng.choice(_SCALAR_KINDS)
+    if kind == "none":
+        return None
+    if kind == "bool":
+        return rng.random() < 0.5
+    if kind == "int":
+        magnitude = rng.choice((1, 2**8, 2**31, 2**63, 2**130))
+        return rng.randint(-magnitude, magnitude)
+    if kind == "float":
+        # Finite floats only: NaN breaks the equality property itself.
+        return rng.choice(
+            (0.0, -0.0, 1.5, -2.75, 1e-300, 1e300, rng.uniform(-1e6, 1e6))
+        )
+    if kind == "str":
+        return "".join(
+            rng.choice(_STRING_ALPHABET) for _ in range(rng.randint(0, 12))
+        )
+    return bytes(rng.randrange(256) for _ in range(rng.randint(0, 16)))
+
+
+def _random_key(rng: random.Random):
+    kind = rng.choice(("int", "str", "bytes", "bool"))
+    if kind == "int":
+        return rng.randint(-1000, 1000)
+    if kind == "str":
+        return "".join(rng.choice("abcdefgh") for _ in range(rng.randint(1, 6)))
+    if kind == "bytes":
+        return bytes(rng.randrange(256) for _ in range(rng.randint(1, 4)))
+    return rng.random() < 0.5
+
+
+def random_payload(rng: random.Random, depth: int = 0):
+    """A random nested payload drawn from the wire-encodable types."""
+    if depth >= 3 or rng.random() < 0.4:
+        return _random_scalar(rng)
+    kind = rng.choice(_CONTAINER_KINDS)
+    size = rng.randint(0, 5)
+    if kind == "list":
+        return [random_payload(rng, depth + 1) for _ in range(size)]
+    if kind == "tuple":
+        return tuple(random_payload(rng, depth + 1) for _ in range(size))
+    if kind == "dict":
+        return {
+            _random_key(rng): random_payload(rng, depth + 1)
+            for _ in range(size)
+        }
+    return {_random_key(rng) for _ in range(size)}
+
+
+def _corpus(seed: int, count: int):
+    rng = random.Random(seed)
+    return [random_payload(rng) for _ in range(count)]
+
+
+class TestWireRoundTripProperties:
+    @pytest.mark.parametrize("seed", (1, 7, 99, 2024))
+    def test_encode_decode_identity(self, seed):
+        for value in _corpus(seed, 100):
+            decoded = wire.loads(wire.dumps(value))
+            assert decoded == value
+            assert type(decoded) is type(value)
+
+    @pytest.mark.parametrize("seed", (5, 51))
+    def test_encoding_is_deterministic(self, seed):
+        for value in _corpus(seed, 60):
+            assert wire.dumps(value) == wire.dumps(value)
+
+    def test_set_insertion_order_does_not_leak(self):
+        rng = random.Random(13)
+        for _ in range(40):
+            elements = [_random_key(rng) for _ in range(rng.randint(0, 8))]
+            forward, backward = set(), set()
+            for e in elements:
+                forward.add(e)
+            for e in reversed(elements):
+                backward.add(e)
+            assert wire.dumps(forward) == wire.dumps(backward)
+
+    @pytest.mark.parametrize("seed", (3, 33))
+    def test_every_strict_prefix_raises_typed_error(self, seed):
+        rng = random.Random(seed)
+        for value in _corpus(seed, 15):
+            buffer = wire.dumps(value)
+            cuts = set(
+                rng.randrange(len(buffer)) for _ in range(min(len(buffer), 12))
+            )
+            cuts.add(0)
+            cuts.add(len(buffer) - 1)
+            for cut in cuts:
+                with pytest.raises(SerializationError):
+                    wire.loads(buffer[:cut])
+
+    def test_random_corruption_never_crashes(self):
+        rng = random.Random(77)
+        for value in _corpus(77, 30):
+            buffer = bytearray(wire.dumps(value))
+            position = rng.randrange(len(buffer))
+            buffer[position] ^= 1 << rng.randrange(8)
+            try:
+                wire.loads(bytes(buffer))
+            except SerializationError:
+                pass  # typed failure is the contract
+
+    def test_deep_nesting_bounded_not_crashing(self):
+        value = None
+        for _ in range(wire._MAX_DEPTH + 1):
+            value = [value]
+        with pytest.raises(SerializationError):
+            wire.dumps(value)
+
+
+class TestCodecPricingProperties:
+    @pytest.mark.parametrize("codec_cls", (SerializationCodec, WireSerializationCodec))
+    def test_round_trip_identity_through_codec(self, codec_cls):
+        platform = fresh_platform()
+        codec = codec_cls(platform)
+        for value in _corpus(11, 40):
+            for location in (Location.ENCLAVE, Location.HOST):
+                result, nbytes = round_trip(codec, value, location)
+                assert result == value
+                assert nbytes > 0
+
+    @pytest.mark.parametrize("codec_cls", (SerializationCodec, WireSerializationCodec))
+    def test_byte_pricing_is_stable_across_platforms(self, codec_cls):
+        def price_corpus():
+            platform = fresh_platform()
+            codec = codec_cls(platform)
+            for value in _corpus(23, 40):
+                round_trip(codec, value, Location.ENCLAVE)
+                round_trip(codec, value, Location.HOST)
+            return platform_ledger(platform)
+
+        assert_ledgers_identical(price_corpus(), price_corpus())
+
+    @pytest.mark.parametrize("codec_cls", (SerializationCodec, WireSerializationCodec))
+    def test_measure_matches_encoded_length_and_charges_nothing(self, codec_cls):
+        platform = fresh_platform()
+        codec = codec_cls(platform)
+        for value in _corpus(31, 40):
+            measured = codec.measure(value)
+        assert dict(platform.snapshot()) == {}  # measure is free
+        for value in _corpus(31, 10):
+            buffer = codec.serialize(value, Location.HOST)
+            assert codec.measure(value) == len(buffer)
+
+    def test_enclave_side_costs_more_than_host_side(self):
+        ledgers = {}
+        for location in (Location.ENCLAVE, Location.HOST):
+            platform = fresh_platform()
+            codec = WireSerializationCodec(platform)
+            for value in _corpus(47, 25):
+                round_trip(codec, value, location)
+            ledgers[location] = platform.now_s
+        assert ledgers[Location.ENCLAVE] > ledgers[Location.HOST]
