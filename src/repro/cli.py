@@ -19,8 +19,17 @@ Observability flags (any of them activates a
 - ``--metrics PATH``  merged metrics + ledger snapshot + cross-check
 - ``--obs-summary``   print a per-span-name summary table after the run
 
+The flags apply uniformly to every subcommand — figures, ``scale``,
+``chaos``, all of them. When any is given, the default SLO rulebook
+(:func:`repro.obs.slo.default_rulebook`) watches the run and its
+verdicts are included in every ``--obs-summary`` output.
+
 Without these flags no tracer is attached and the experiment output is
 byte-identical to a build without the observability layer.
+
+Two further subcommands are intercepted before the experiment parser:
+``repro lint`` (static partition linter) and ``repro perf`` (wall-clock
+benchmark suite appending to ``BENCH_perf.json`` — see docs/PERF.md).
 """
 
 from __future__ import annotations
@@ -224,8 +233,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Montsalvat reproduction: regenerate paper figures/tables",
         epilog=(
-            "additional subcommand: 'repro lint' — static partition linter "
-            "over the bundled apps (see docs/ANALYSIS.md)"
+            "additional subcommands: 'repro lint' — static partition linter "
+            "over the bundled apps (see docs/ANALYSIS.md); 'repro perf' — "
+            "wall-clock benchmark suite with BENCH trajectory + regression "
+            "gates (see docs/PERF.md)"
         ),
     )
     parser.add_argument(
@@ -287,6 +298,11 @@ def main(argv=None) -> int:
         from repro.analysis.cli import main as lint_main
 
         return lint_main(list(argv[1:]))
+    if argv and argv[0] == "perf":
+        # Wall-clock bench suite; its own argparse handles the rest.
+        from repro.experiments.perf_bench import main as perf_main
+
+        return perf_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     wants_obs = args.trace or args.events or args.metrics or args.obs_summary
     if not wants_obs:
@@ -294,8 +310,9 @@ def main(argv=None) -> int:
         return 0
 
     from repro.obs.recorder import RunRecorder, recording
+    from repro.obs.slo import SloWatchdog, default_rulebook
 
-    recorder = RunRecorder()
+    recorder = RunRecorder(slo=SloWatchdog(default_rulebook()))
     with recording(recorder):
         _run(args)
     if args.trace:

@@ -1,0 +1,550 @@
+"""``python -m repro perf`` — the wall-clock BENCH trajectory harness.
+
+Runs a fixed, seeded workload suite through the full simulator stack
+and measures how fast the *simulator itself* executes it:
+
+- ``bank_stream``       — 4 bank sessions × 2 shards × 2 workers;
+- ``securekeeper_mix``  — the SecureKeeper session mix, same topology;
+- ``scale_grid``        — the sessions × shards scaling grid;
+- ``wire_codec``        — the explicit wire format round-tripping
+  representative RMI payloads (the boundary codec in isolation);
+- ``overload``          — 8 SecureKeeper sessions against 1 switchless
+  worker, run with observability + the default SLO rulebook attached:
+  the pool saturates, the ``pool-fallback-burn`` rule fires, and the
+  alert lands in both the span stream and the ``slo@1`` report.
+
+Each workload runs ``repeats`` times under :class:`SimulatorHooks`, so
+the entry records per-subsystem wall-clock shares next to requests/sec
+and p50/p95 repeat latency. The *virtual-time fingerprint* (ledgers,
+interleaving digests, checksums, clocks) must be identical across
+repeats — wall time may wobble, simulated work may not — and the run
+aborts if it is not.
+
+Results append to the tracked ``BENCH_perf.json`` (see
+:mod:`repro.obs.bench`); per-run profiler dumps go under
+``results/perf/`` and stay untracked. Exit status is non-zero when any
+workload falls below the requests/sec floor or regresses beyond
+tolerance against the previous trajectory entry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import time
+from dataclasses import dataclass, field
+from types import SimpleNamespace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.scaling_exp import DEFAULT_SEED, run_scale
+from repro.obs import bench
+from repro.obs.perf import SimulatorHooks, WallProfiler
+from repro.obs.recorder import RunRecorder, recording
+from repro.obs.slo import SloWatchdog, default_rulebook
+
+DEFAULT_BENCH_PATH = bench.DEFAULT_PATH
+DEFAULT_PROFILE_DIR = os.path.join("results", "perf")
+DEFAULT_TOLERANCE = 0.25
+#: Absolute wall-clock floor, simulated requests per second. Deliberately
+#: far below any healthy machine (local runs measure tens of thousands);
+#: it exists to catch catastrophic slowdowns, not wobble.
+DEFAULT_FLOOR_RPS = 200.0
+DEFAULT_REPEATS = 3
+QUICK_REPEATS = 2
+
+
+# -- workload definitions -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One named, seeded unit of simulator work."""
+
+    name: str
+    description: str
+    #: Returns (requests, runs) for one execution; ``runs`` is the list
+    #: of :class:`ScaleRunResult` s the fingerprint hashes.
+    body: Callable[[int], Tuple[int, List[Any]]]
+    #: Run with observability + the SLO watchdog attached.
+    observed: bool = False
+
+
+def _bank_stream(quick: bool) -> Workload:
+    rounds = 6 if quick else 12
+
+    def body(seed: int) -> Tuple[int, List[Any]]:
+        result = run_scale(
+            "bank", sessions=4, shards=2, workers=2, rounds=rounds, seed=seed
+        )
+        return result.ops, [result]
+
+    return Workload(
+        "bank_stream",
+        f"4 bank sessions x 2 shards x 2 workers, {rounds} rounds",
+        body,
+    )
+
+
+def _securekeeper_mix(quick: bool) -> Workload:
+    entries = 6 if quick else 8
+
+    def body(seed: int) -> Tuple[int, List[Any]]:
+        result = run_scale(
+            "securekeeper",
+            sessions=4,
+            shards=2,
+            workers=2,
+            entries=entries,
+            seed=seed,
+        )
+        return result.ops, [result]
+
+    return Workload(
+        "securekeeper_mix",
+        f"4 SecureKeeper sessions x 2 shards x 2 workers, {entries} entries",
+        body,
+    )
+
+
+def _scale_grid(quick: bool) -> Workload:
+    sessions = (1, 4) if quick else (1, 2, 4, 8)
+    shards = (1, 2)
+    rounds = 4 if quick else 8
+
+    def body(seed: int) -> Tuple[int, List[Any]]:
+        requests = 0
+        runs = []
+        for n_sessions in sessions:
+            for n_shards in shards:
+                result = run_scale(
+                    "bank",
+                    sessions=n_sessions,
+                    shards=n_shards,
+                    workers=2,
+                    rounds=rounds,
+                    seed=seed,
+                )
+                requests += result.ops
+                runs.append(result)
+        return requests, runs
+
+    return Workload(
+        "scale_grid",
+        f"bank grid: sessions {list(sessions)} x shards {list(shards)}",
+        body,
+    )
+
+
+def _wire_codec(quick: bool) -> Workload:
+    messages = 400 if quick else 2_000
+
+    def body(seed: int) -> Tuple[int, List[Any]]:
+        from repro.core import wire
+
+        digest = hashlib.sha256()
+        total = 0
+        for i in range(messages):
+            payload = {
+                "routine": f"update_balance_{i % 7}",
+                "args": [i, float(i) * 1.5, f"s{seed}-a{i % 11}"],
+                "kwargs": {"audit": i % 2 == 0, "blob": b"x" * (i % 64)},
+            }
+            blob = wire.dumps(payload)
+            total += len(blob)
+            if wire.loads(blob) != payload:
+                raise RuntimeError("wire codec round-trip mismatch")
+            digest.update(blob)
+        # No platform is involved: the "virtual" signature is the exact
+        # byte stream the codec produced.
+        run = SimpleNamespace(
+            trace_digest=digest.hexdigest(),
+            now_s=0.0,
+            checksum=(total,),
+            ledger={},
+        )
+        return messages, [run]
+
+    return Workload(
+        "wire_codec",
+        f"wire-format encode/decode of {messages} RMI-shaped payloads",
+        body,
+    )
+
+
+def _overload(quick: bool) -> Workload:
+    entries = 6 if quick else 8
+
+    def body(seed: int) -> Tuple[int, List[Any]]:
+        result = run_scale(
+            "securekeeper",
+            sessions=8,
+            shards=2,
+            workers=1,
+            entries=entries,
+            seed=seed,
+        )
+        return result.ops, [result]
+
+    return Workload(
+        "overload",
+        "8 SecureKeeper sessions vs 1 switchless worker (pool saturated; "
+        "observability + SLO watchdog attached)",
+        body,
+        observed=True,
+    )
+
+
+def workload_suite(quick: bool) -> List[Workload]:
+    return [
+        _bank_stream(quick),
+        _securekeeper_mix(quick),
+        _scale_grid(quick),
+        _wire_codec(quick),
+        _overload(quick),
+    ]
+
+
+# -- measurement --------------------------------------------------------------
+
+
+def virtual_fingerprint(runs: Sequence[Any]) -> str:
+    """Digest of everything virtual about a workload execution: same
+    seed must give the same fingerprint on every run and machine."""
+    payload = [
+        {
+            "trace": run.trace_digest,
+            "now": run.now_s,
+            "checksum": list(run.checksum),
+            "ledger": {k: list(v) for k, v in sorted(run.ledger.items())},
+        }
+        for run in runs
+    ]
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _percentile(sorted_values: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile of an ascending-sorted list."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (p / 100.0) * (len(sorted_values) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    return sorted_values[lo] + (rank - lo) * (sorted_values[hi] - sorted_values[lo])
+
+
+@dataclass
+class WorkloadMeasurement:
+    """One workload's aggregated result across repeats."""
+
+    name: str
+    description: str
+    requests: int
+    repeats: int
+    wall_ms: List[float]
+    virtual_fingerprint: str
+    profile: Dict[str, Any]
+    slo: Optional[Dict[str, Any]] = None
+
+    @property
+    def total_wall_s(self) -> float:
+        return sum(self.wall_ms) / 1e3
+
+    @property
+    def requests_per_sec(self) -> float:
+        total = self.total_wall_s
+        return (self.requests * self.repeats) / total if total else 0.0
+
+    @property
+    def p50_ms(self) -> float:
+        return _percentile(sorted(self.wall_ms), 50.0)
+
+    @property
+    def p95_ms(self) -> float:
+        return _percentile(sorted(self.wall_ms), 95.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "description": self.description,
+            "requests": self.requests,
+            "repeats": self.repeats,
+            "requests_per_sec": round(self.requests_per_sec, 1),
+            "p50_ms": round(self.p50_ms, 3),
+            "p95_ms": round(self.p95_ms, 3),
+            "hotspots": self.profile["hotspots"],
+            "shares": {
+                name: round(share, 4)
+                for name, share in self.profile["shares"].items()
+            },
+            "virtual_fingerprint": self.virtual_fingerprint,
+        }
+
+
+def measure_workload(
+    workload: Workload,
+    seed: int,
+    repeats: int,
+    watchdog: Optional[SloWatchdog] = None,
+) -> WorkloadMeasurement:
+    """Run one workload ``repeats`` times under the profiler hooks.
+
+    Raises ``RuntimeError`` when the virtual fingerprint differs across
+    repeats — the suite's determinism guarantee.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    profiler = WallProfiler()
+    wall_ms: List[float] = []
+    fingerprints: List[str] = []
+    slo_report: Optional[Dict[str, Any]] = None
+    for repeat in range(repeats):
+        with SimulatorHooks(profiler):
+            with profiler.profile_section(workload.name):
+                started = time.perf_counter_ns()
+                if workload.observed:
+                    recorder = RunRecorder(
+                        slo=watchdog or SloWatchdog(default_rulebook())
+                    )
+                    with recording(recorder):
+                        requests, runs = workload.body(seed)
+                    slo_report = recorder.slo_report()
+                else:
+                    requests, runs = workload.body(seed)
+                elapsed_ns = time.perf_counter_ns() - started
+        wall_ms.append(elapsed_ns / 1e6)
+        fingerprints.append(virtual_fingerprint(runs))
+    if len(set(fingerprints)) != 1:
+        raise RuntimeError(
+            f"workload {workload.name!r} is not deterministic: virtual "
+            f"fingerprints differ across repeats: {fingerprints}"
+        )
+    return WorkloadMeasurement(
+        name=workload.name,
+        description=workload.description,
+        requests=requests,
+        repeats=repeats,
+        wall_ms=wall_ms,
+        virtual_fingerprint=fingerprints[0],
+        profile=profiler.to_dict(top=5),
+        slo=slo_report,
+    )
+
+
+# -- the report ---------------------------------------------------------------
+
+
+@dataclass
+class PerfReport:
+    """Full suite output: measurements + trajectory comparison."""
+
+    mode: str
+    seed: int
+    measurements: List[WorkloadMeasurement] = field(default_factory=list)
+    problems: List[str] = field(default_factory=list)
+    drift: List[str] = field(default_factory=list)
+
+    def slo_report(self) -> Optional[Dict[str, Any]]:
+        for measurement in self.measurements:
+            if measurement.slo is not None:
+                return measurement.slo
+        return None
+
+    def to_entry(self, commit: str) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {
+            "commit": commit,
+            "mode": self.mode,
+            "seed": self.seed,
+            "workloads": {
+                m.name: m.to_dict() for m in self.measurements
+            },
+        }
+        slo = self.slo_report()
+        if slo is not None:
+            entry["slo"] = {
+                "alerts": len(slo["alerts"]),
+                "breached": sorted(
+                    name
+                    for name, verdict in slo["verdicts"].items()
+                    if verdict["status"] == "breached"
+                ),
+            }
+        return entry
+
+    def format(self) -> str:
+        lines = [
+            f"perf suite ({self.mode}, seed={self.seed})",
+            f"{'workload':<18} {'req/s':>10} {'p50 ms':>9} "
+            f"{'p95 ms':>9}  top hotspot",
+        ]
+        for m in self.measurements:
+            hotspots = m.profile["hotspots"]
+            top = hotspots[0]["path"] if hotspots else "-"
+            lines.append(
+                f"{m.name:<18} {m.requests_per_sec:>10.0f} "
+                f"{m.p50_ms:>9.2f} {m.p95_ms:>9.2f}  {top}"
+            )
+            lines.append(f"    fingerprint {m.virtual_fingerprint[:16]}…")
+        slo = self.slo_report()
+        if slo is not None:
+            breached = [
+                name
+                for name, verdict in sorted(slo["verdicts"].items())
+                if verdict["status"] == "breached"
+            ]
+            lines.append(
+                f"SLO: {len(slo['alerts'])} alert(s); breached: "
+                f"{', '.join(breached) if breached else 'none'}"
+            )
+        for note in self.drift:
+            lines.append(f"note: {note}")
+        for problem in self.problems:
+            lines.append(f"FAIL: {problem}")
+        return "\n".join(lines)
+
+
+def run_perf(
+    quick: bool = False,
+    seed: int = DEFAULT_SEED,
+    repeats: Optional[int] = None,
+) -> PerfReport:
+    """Execute the suite and return the (uncompared) report."""
+    mode = "quick" if quick else "full"
+    if repeats is None:
+        repeats = QUICK_REPEATS if quick else DEFAULT_REPEATS
+    report = PerfReport(mode=mode, seed=seed)
+    for workload in workload_suite(quick):
+        report.measurements.append(measure_workload(workload, seed, repeats))
+    return report
+
+
+def _current_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def write_profiles(report: PerfReport, profile_dir: str) -> List[str]:
+    """Per-workload flame + perf@1 dumps (untracked, under results/)."""
+    os.makedirs(profile_dir, exist_ok=True)
+    written = []
+    for m in report.measurements:
+        perf_path = os.path.join(profile_dir, f"{m.name}.perf.json")
+        with open(perf_path, "w") as handle:
+            json.dump(m.profile, handle, indent=2)
+            handle.write("\n")
+        written.append(perf_path)
+        collapsed_path = os.path.join(profile_dir, f"{m.name}.collapsed.txt")
+        tree_lines = []
+        _collapse(m.profile["tree"], (), tree_lines)
+        with open(collapsed_path, "w") as handle:
+            handle.write("\n".join(tree_lines) + ("\n" if tree_lines else ""))
+        written.append(collapsed_path)
+    slo = report.slo_report()
+    if slo is not None:
+        slo_path = os.path.join(profile_dir, "slo.json")
+        with open(slo_path, "w") as handle:
+            json.dump(slo, handle, indent=2, default=str)
+            handle.write("\n")
+        written.append(slo_path)
+    return written
+
+
+def _collapse(
+    nodes: List[Dict[str, Any]], path: Tuple[str, ...], out: List[str]
+) -> None:
+    for node in nodes:
+        node_path = path + (node["name"],)
+        if node["self_ns"] > 0:
+            out.append(f"{';'.join(node_path)} {node['self_ns']}")
+        _collapse(node["children"], node_path, out)
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro perf",
+        description=(
+            "wall-clock benchmark suite: appends to the BENCH trajectory "
+            "and gates on floor/regression"
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller suite for CI smoke (fewer rounds/repeats)",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="wall-clock repeats per workload (default 3, quick 2)",
+    )
+    parser.add_argument(
+        "--bench",
+        default=DEFAULT_BENCH_PATH,
+        help=f"trajectory file (default {DEFAULT_BENCH_PATH}, tracked)",
+    )
+    parser.add_argument(
+        "--profile-dir",
+        default=DEFAULT_PROFILE_DIR,
+        help=f"per-run profiler dumps (default {DEFAULT_PROFILE_DIR}, ignored)",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=DEFAULT_FLOOR_RPS,
+        help="absolute requests/sec floor every workload must clear",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional req/s drop vs the previous entry",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="measure and compare, but leave the trajectory file alone",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_perf(quick=args.quick, seed=args.seed, repeats=args.repeats)
+
+    doc = bench.load_bench(args.bench)
+    entry = report.to_entry(_current_commit())
+    previous = bench.append_entry(doc, entry)
+    report.problems = bench.compare(
+        entry, previous, tolerance=args.tolerance, floor_rps=args.floor
+    )
+    report.drift = bench.fingerprint_drift(entry, previous)
+
+    if not args.no_write:
+        bench.write_bench(args.bench, doc)
+        written = write_profiles(report, args.profile_dir)
+        print(report.format())
+        print(f"-- trajectory: {args.bench} ({len(doc['entries'])} entries)")
+        print(f"-- profiles: {', '.join(written)}")
+    else:
+        print(report.format())
+    return 1 if report.problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

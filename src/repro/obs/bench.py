@@ -1,0 +1,174 @@
+"""BENCH trajectory file: wall-clock throughput across commits.
+
+``BENCH_perf.json`` lives at the repository root and is **tracked** —
+it is the repo's performance memory. Each run of ``python -m repro
+perf`` appends one entry keyed by commit (re-running on the same commit
+replaces that commit's entry rather than growing the file), so the
+trajectory reads as one line per landed change and CI can gate on
+"no entry regressed more than *tolerance* versus the previous one".
+
+Entries are wall-clock measurements, so they are machine-dependent;
+the *virtual-time fingerprint* inside each workload is not — it must
+be identical across runs and machines for the same commit, and the CI
+perf-smoke job asserts exactly that by running the suite twice.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+SCHEMA = "repro.obs/bench@1"
+
+#: Default trajectory file name, at the repo root (tracked in git).
+DEFAULT_PATH = "BENCH_perf.json"
+
+
+def empty_doc() -> Dict[str, Any]:
+    return {"schema": SCHEMA, "entries": []}
+
+
+def validate_bench(doc: Any) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a well-formed trajectory."""
+    if not isinstance(doc, dict):
+        raise ValueError("bench document must be a JSON object")
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"unknown bench schema {doc.get('schema')!r}")
+    entries = doc.get("entries")
+    if not isinstance(entries, list):
+        raise ValueError("bench document needs an entries list")
+    for i, entry in enumerate(entries):
+        for field in ("commit", "mode", "workloads"):
+            if field not in entry:
+                raise ValueError(f"entries[{i}] lacks {field!r}")
+        workloads = entry["workloads"]
+        if not isinstance(workloads, dict) or not workloads:
+            raise ValueError(f"entries[{i}] needs a non-empty workloads map")
+        for name, workload in workloads.items():
+            for field in (
+                "requests_per_sec",
+                "p50_ms",
+                "p95_ms",
+                "hotspots",
+                "virtual_fingerprint",
+            ):
+                if field not in workload:
+                    raise ValueError(
+                        f"entries[{i}].workloads[{name!r}] lacks {field!r}"
+                    )
+            if workload["requests_per_sec"] <= 0:
+                raise ValueError(
+                    f"entries[{i}].workloads[{name!r}] has non-positive "
+                    "requests_per_sec"
+                )
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    """Read a trajectory file; a missing file is an empty trajectory."""
+    if not os.path.exists(path):
+        return empty_doc()
+    with open(path) as handle:
+        doc = json.load(handle)
+    validate_bench(doc)
+    return doc
+
+
+def write_bench(path: str, doc: Dict[str, Any]) -> None:
+    validate_bench(doc)
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def append_entry(
+    doc: Dict[str, Any], entry: Dict[str, Any]
+) -> Optional[Dict[str, Any]]:
+    """Append ``entry``; return the entry it should be compared against.
+
+    The comparison baseline is the latest prior entry with the same
+    ``mode`` (``quick`` entries are shorter runs and must not be judged
+    against ``full`` ones). An existing entry for the same commit+mode
+    is replaced in place, so re-running on a dirty tree converges
+    instead of stacking — the baseline is then whatever preceded it.
+    """
+    entries: List[Dict[str, Any]] = doc["entries"]
+    doc["entries"] = [
+        existing
+        for existing in entries
+        if not (
+            existing["commit"] == entry["commit"]
+            and existing["mode"] == entry["mode"]
+        )
+    ]
+    previous = None
+    for existing in doc["entries"]:
+        if existing["mode"] == entry["mode"]:
+            previous = existing
+    doc["entries"].append(entry)
+    return previous
+
+
+def compare(
+    entry: Dict[str, Any],
+    previous: Optional[Dict[str, Any]],
+    tolerance: float,
+    floor_rps: float = 0.0,
+) -> List[str]:
+    """Regressions of ``entry`` vs ``previous`` and vs the floor.
+
+    Returns human-readable violation strings (empty = pass). A workload
+    regresses when its requests/sec drops more than ``tolerance``
+    (fraction, e.g. 0.25) below the previous entry's; every workload
+    must also clear the absolute ``floor_rps``. New workloads with no
+    previous measurement only face the floor.
+    """
+    problems: List[str] = []
+    for name, workload in sorted(entry["workloads"].items()):
+        rps = workload["requests_per_sec"]
+        if rps < floor_rps:
+            problems.append(
+                f"{name}: {rps:.0f} req/s below the floor of "
+                f"{floor_rps:.0f} req/s"
+            )
+        if previous is None:
+            continue
+        base = previous["workloads"].get(name)
+        if base is None:
+            continue
+        base_rps = base["requests_per_sec"]
+        allowed = base_rps * (1.0 - tolerance)
+        if rps < allowed:
+            problems.append(
+                f"{name}: {rps:.0f} req/s is a "
+                f"{(1.0 - rps / base_rps) * 100.0:.1f}% regression vs "
+                f"{base_rps:.0f} req/s at {previous['commit'][:12]} "
+                f"(tolerance {tolerance * 100.0:.0f}%)"
+            )
+    return problems
+
+
+def fingerprint_drift(
+    entry: Dict[str, Any], previous: Optional[Dict[str, Any]]
+) -> List[str]:
+    """Workloads whose *virtual* fingerprint changed since ``previous``.
+
+    Drift is not an error — a PR that legitimately changes costs moves
+    the fingerprint — but it is always worth surfacing, because an
+    *unintended* drift means the wall-clock comparison is no longer
+    apples-to-apples.
+    """
+    if previous is None:
+        return []
+    drifted = []
+    for name, workload in sorted(entry["workloads"].items()):
+        base = previous["workloads"].get(name)
+        if base is None:
+            continue
+        if workload["virtual_fingerprint"] != base["virtual_fingerprint"]:
+            drifted.append(
+                f"{name}: virtual fingerprint changed since "
+                f"{previous['commit'][:12]} (simulated work differs; "
+                "wall-clock deltas include that change)"
+            )
+    return drifted

@@ -212,6 +212,10 @@ def summary_table(
         f"{'span':<28} {'count':>10} {'total_ms':>12} "
         f"{'p50_us':>10} {'p95_us':>10} {'p99_us':>10}"
     ]
+    if not ordered and not instants:
+        # An empty run (no platform did observable work) still gets a
+        # well-formed table rather than a bare header.
+        lines.append("(no spans recorded)")
     for name, row in ordered:
         hist: Histogram = row["hist"]
         lines.append(

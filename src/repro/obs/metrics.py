@@ -96,8 +96,17 @@ class Histogram:
 
     @staticmethod
     def bucket_index(value: float) -> int:
-        """Index i such that value lies in [2^i, 2^(i+1))."""
-        return int(math.floor(math.log2(value)))
+        """Index i such that value lies in [2^i, 2^(i+1)).
+
+        Computed via ``frexp`` rather than ``floor(log2(v))``: log2 of a
+        float just *below* an exact power of two (e.g.
+        ``nextafter(2**30, 0)``) rounds up to the integer, so the floor
+        lands the value one bucket too high. ``frexp`` returns mantissa
+        in [0.5, 1) and the exact binary exponent, so ``exponent - 1``
+        is ``floor(log2(v))`` for every positive float.
+        """
+        _, exponent = math.frexp(value)
+        return exponent - 1
 
     @staticmethod
     def bucket_bounds(index: int) -> Tuple[float, float]:

@@ -1,0 +1,342 @@
+"""Wall-clock self-profiler for the simulator's own hot paths.
+
+Everything else in ``repro.obs`` measures *virtual* time — the cost the
+simulated SGX machine would pay. This module measures the *real* time
+the simulator itself spends computing, so the ROADMAP's speed work can
+attribute wall-clock cost to subsystems (span-tracer emit, the
+:class:`~repro.sgx.epc.EpcPageCache`, the wire codec, the
+:class:`~repro.concurrency.scheduler.SessionScheduler` pump) before
+optimising them.
+
+Design constraints:
+
+- **zero-cost when off** — nothing is patched and no guard runs on any
+  hot path unless hooks are explicitly installed; ledgers, tables and
+  artifact fingerprints are byte-identical with the profiler absent,
+  because the profiler never references a platform, clock or ledger;
+- **no ``sys.setprofile``** — an interpreter-wide tracing profiler
+  slows every bytecode and skews the very numbers we want. Instead the
+  known hot paths are wrapped explicitly and individually
+  (:class:`SimulatorHooks`), and coarse phases use
+  :meth:`WallProfiler.profile_section`;
+- **deterministic tests** — the timer is injectable, so the call-tree
+  shape and exports can be asserted exactly.
+
+The aggregate is a call tree (sections nest), exportable as a top-N
+hotspot table, a collapsed-stack text file (feed it to ``flamegraph.pl``
+or paste into https://www.speedscope.app) and a ``repro.obs/perf@1``
+JSON document.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+SCHEMA = "repro.obs/perf@1"
+
+#: Timer signature: returns integer (or float) nanoseconds.
+Timer = Callable[[], int]
+
+
+class _Node:
+    """One call-tree node: a section name under a particular parent."""
+
+    __slots__ = ("name", "calls", "total_ns", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.calls = 0
+        self.total_ns = 0
+        self.children: Dict[str, "_Node"] = {}
+
+    @property
+    def child_ns(self) -> int:
+        return sum(child.total_ns for child in self.children.values())
+
+    @property
+    def self_ns(self) -> int:
+        """Time in this section excluding nested sections."""
+        return max(0, self.total_ns - self.child_ns)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "total_ns": self.total_ns,
+            "self_ns": self.self_ns,
+            "children": [
+                self.children[name].to_dict() for name in sorted(self.children)
+            ],
+        }
+
+
+class _Section:
+    """``with profiler.profile_section(name):`` — push/pop one node."""
+
+    __slots__ = ("_profiler", "_name", "_prev", "_start")
+
+    def __init__(self, profiler: "WallProfiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Section":
+        profiler = self._profiler
+        parent = profiler._current
+        node = parent.children.get(self._name)
+        if node is None:
+            node = _Node(self._name)
+            parent.children[self._name] = node
+        self._prev = parent
+        profiler._current = node
+        self._start = profiler._timer()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        profiler = self._profiler
+        node = profiler._current
+        node.total_ns += profiler._timer() - self._start
+        node.calls += 1
+        profiler._current = self._prev
+
+
+class WallProfiler:
+    """Low-overhead sectioned wall-clock profiler.
+
+    Sections nest: opening ``b`` while ``a`` is open attributes the
+    time to path ``a;b``, and ``a``'s *self* time excludes it. Directly
+    recursive sections are attributed to the outermost frame only (the
+    simulator's hot paths do not self-recurse at section granularity).
+    """
+
+    def __init__(self, timer: Timer = time.perf_counter_ns) -> None:
+        self._timer = timer
+        self.root = _Node("")
+        self._current: _Node = self.root
+
+    # -- recording -----------------------------------------------------------
+
+    def profile_section(self, name: str) -> _Section:
+        return _Section(self, name)
+
+    def record(self, name: str, wall_ns: int) -> None:
+        """Attribute pre-measured time to a child of the current node."""
+        parent = self._current
+        node = parent.children.get(name)
+        if node is None:
+            node = _Node(name)
+            parent.children[name] = node
+        node.calls += 1
+        node.total_ns += wall_ns
+
+    def reset(self) -> None:
+        self.root = _Node("")
+        self._current = self.root
+
+    # -- aggregate views -----------------------------------------------------
+
+    @property
+    def total_ns(self) -> int:
+        """Wall nanoseconds covered by top-level sections."""
+        return self.root.child_ns
+
+    def walk(self) -> Iterator[Tuple[Tuple[str, ...], _Node]]:
+        """Yield (path, node) depth-first, root excluded."""
+
+        def visit(node: _Node, path: Tuple[str, ...]) -> Iterator[Tuple[Tuple[str, ...], _Node]]:
+            for name in sorted(node.children):
+                child = node.children[name]
+                child_path = path + (name,)
+                yield child_path, child
+                yield from visit(child, child_path)
+
+        yield from visit(self.root, ())
+
+    def hotspots(self, top: int = 5) -> List[Dict[str, Any]]:
+        """Top-``top`` tree paths by *self* time (ties by path)."""
+        rows = [
+            {
+                "path": ";".join(path),
+                "name": node.name,
+                "calls": node.calls,
+                "total_ns": node.total_ns,
+                "self_ns": node.self_ns,
+            }
+            for path, node in self.walk()
+        ]
+        rows.sort(key=lambda r: (-r["self_ns"], r["path"]))
+        return rows[:top]
+
+    def self_by_name(self) -> Dict[str, int]:
+        """Self nanoseconds aggregated by section *name* across the
+        whole tree (a hook like ``wire.encode`` appears under many
+        parents; this view sums them)."""
+        out: Dict[str, int] = {}
+        for _, node in self.walk():
+            out[node.name] = out.get(node.name, 0) + node.self_ns
+        return out
+
+    def shares(self) -> Dict[str, float]:
+        """Per-section-name share of the total profiled wall time."""
+        total = self.total_ns
+        if not total:
+            return {}
+        return {
+            name: self_ns / total
+            for name, self_ns in sorted(self.self_by_name().items())
+            if self_ns
+        }
+
+    # -- exports -------------------------------------------------------------
+
+    def collapsed_stacks(self) -> str:
+        """Flamegraph collapsed-stack text: ``a;b;c <self_ns>`` lines."""
+        lines = [
+            f"{';'.join(path)} {node.self_ns}"
+            for path, node in self.walk()
+            if node.self_ns > 0
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_dict(self, top: int = 5) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "unit": "wall_ns",
+            "total_ns": self.total_ns,
+            "tree": [
+                self.root.children[name].to_dict()
+                for name in sorted(self.root.children)
+            ],
+            "hotspots": self.hotspots(top),
+            "shares": self.shares(),
+        }
+
+    def write_collapsed(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.collapsed_stacks())
+
+    def __repr__(self) -> str:
+        return (
+            f"WallProfiler(sections={sum(1 for _ in self.walk())}, "
+            f"total_ms={self.total_ns / 1e6:.3f})"
+        )
+
+
+def validate_perf(doc: Any) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a well-formed perf export."""
+    if not isinstance(doc, dict):
+        raise ValueError("perf document must be a JSON object")
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"unknown perf schema {doc.get('schema')!r}")
+    if not isinstance(doc.get("tree"), list):
+        raise ValueError("perf document needs a tree list")
+
+    def check_node(node: Any, where: str) -> None:
+        if not isinstance(node, dict):
+            raise ValueError(f"{where} is not an object")
+        for field in ("name", "calls", "total_ns", "self_ns", "children"):
+            if field not in node:
+                raise ValueError(f"{where} lacks {field!r}")
+        if node["total_ns"] < 0 or node["self_ns"] < 0 or node["calls"] < 0:
+            raise ValueError(f"{where} has negative counts")
+        for i, child in enumerate(node["children"]):
+            check_node(child, f"{where}.children[{i}]")
+
+    for i, node in enumerate(doc["tree"]):
+        check_node(node, f"tree[{i}]")
+    hotspots = doc.get("hotspots", [])
+    if not isinstance(hotspots, list):
+        raise ValueError("perf hotspots must be a list")
+    for i, row in enumerate(hotspots):
+        if "path" not in row or "self_ns" not in row:
+            raise ValueError(f"hotspots[{i}] lacks path/self_ns")
+
+
+# -- hot-path hooks ----------------------------------------------------------
+
+
+class SimulatorHooks:
+    """Opt-in wrappers around the simulator's known hot paths.
+
+    Installing patches four sites in place (class attributes / module
+    functions), so call sites pay the wrapper only while hooks are
+    installed — with hooks uninstalled, the hot paths carry no guard at
+    all. The wrapped sections:
+
+    - ``tracer.emit``    — :meth:`SpanTracer._commit` (span ring append
+      + listener fan-out, the obs layer's own overhead)
+    - ``epc.touch``      — :meth:`EpcPageCache.touch` (page lookup and
+      the inline LRU eviction)
+    - ``epc.evict``      — :meth:`EpcPageCache.evict_enclave`
+    - ``wire.encode`` / ``wire.decode`` — :func:`repro.core.wire.dumps`
+      / ``loads`` (the boundary codec)
+    - ``scheduler.pump`` — :meth:`SessionScheduler.step` (one
+      cooperative segment; codec/EPC sections nest inside it)
+    """
+
+    def __init__(self, profiler: WallProfiler) -> None:
+        self.profiler = profiler
+        self._patches: List[Tuple[Any, str, Any]] = []
+
+    @property
+    def installed(self) -> bool:
+        return bool(self._patches)
+
+    def _wrap(self, owner: Any, attr: str, section: str) -> None:
+        original = getattr(owner, attr)
+        profiler = self.profiler
+
+        @functools.wraps(original)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            with profiler.profile_section(section):
+                return original(*args, **kwargs)
+
+        wrapper.__wrapped_by_simulator_hooks__ = True  # type: ignore[attr-defined]
+        self._patches.append((owner, attr, original))
+        setattr(owner, attr, wrapper)
+
+    def install(self) -> "SimulatorHooks":
+        if self.installed:
+            raise RuntimeError("simulator hooks are already installed")
+        # Imported here, not at module top: repro.obs must stay
+        # importable below repro.costs / repro.concurrency.
+        from repro.concurrency.scheduler import SessionScheduler
+        from repro.core import wire
+        from repro.obs.tracer import SpanTracer
+        from repro.sgx.epc import EpcPageCache
+
+        self._wrap(SpanTracer, "_commit", "tracer.emit")
+        self._wrap(EpcPageCache, "touch", "epc.touch")
+        self._wrap(EpcPageCache, "evict_enclave", "epc.evict")
+        self._wrap(wire, "dumps", "wire.encode")
+        self._wrap(wire, "loads", "wire.decode")
+        self._wrap(SessionScheduler, "step", "scheduler.pump")
+        return self
+
+    def uninstall(self) -> None:
+        while self._patches:
+            owner, attr, original = self._patches.pop()
+            setattr(owner, attr, original)
+
+    def __enter__(self) -> "SimulatorHooks":
+        return self.install()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.uninstall()
+
+
+@contextmanager
+def profiled(
+    profiler: Optional[WallProfiler] = None,
+) -> Iterator[WallProfiler]:
+    """``with profiled() as prof:`` — hook the simulator hot paths for
+    the duration of the block and hand back the profiler."""
+    prof = profiler if profiler is not None else WallProfiler()
+    hooks = SimulatorHooks(prof)
+    hooks.install()
+    try:
+        yield prof
+    finally:
+        hooks.uninstall()

@@ -64,8 +64,16 @@ def attach_platform(platform: Any) -> None:
 class RunRecorder:
     """Collects per-platform observability for one logical run."""
 
-    def __init__(self, ring_capacity: int = DEFAULT_RING_CAPACITY) -> None:
+    def __init__(
+        self,
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
+        slo: Optional[Any] = None,
+    ) -> None:
         self.ring_capacity = ring_capacity
+        #: Optional :class:`~repro.obs.slo.SloWatchdog`; when present it
+        #: watches every attached platform and its verdicts join the
+        #: summary output.
+        self.slo = slo
         #: (label, platform, observability) per attached platform.
         self.sessions: List[Tuple[str, Any, Observability]] = []
 
@@ -76,6 +84,8 @@ class RunRecorder:
         )
         if not any(existing is obs for _, _, existing in self.sessions):
             self.sessions.append((label, platform, obs))
+            if self.slo is not None:
+                self.slo.attach(platform, label=label)
         return obs
 
     # -- merged views --------------------------------------------------------
@@ -142,14 +152,27 @@ class RunRecorder:
             json.dump(self.metrics_document(), handle, indent=2, default=str)
             handle.write("\n")
 
+    def slo_report(self) -> Optional[Dict[str, Any]]:
+        """The ``slo@1`` section, or ``None`` without a watchdog."""
+        if self.slo is None:
+            return None
+        self.slo.evaluate_now()
+        return self.slo.report()
+
     def summary(self, top: Optional[int] = 20) -> str:
         from repro.obs import export
 
-        return export.summary_table(
+        table = export.summary_table(
             [(label, obs) for label, _, obs in self.sessions],
             metrics=self.merged_metrics(),
             top=top,
         )
+        if self.slo is not None:
+            self.slo.evaluate_now()
+            table = table.rstrip("\n") + "\n\n" + "\n".join(
+                self.slo.summary_lines()
+            ) + "\n"
+        return table
 
     def __repr__(self) -> str:
         return f"RunRecorder(sessions={len(self.sessions)})"

@@ -1,0 +1,490 @@
+"""SLO watchdog: declarative rules evaluated over the live metrics.
+
+Tuning a shielded runtime is a telemetry problem — Montsalvat's own
+evaluation attributes cost to enclave transitions and EPC paging, and
+the autoscaler the ROADMAP plans needs *signals*, not raw gauges. This
+module turns the existing :class:`~repro.obs.metrics.MetricsRegistry`
+into those signals: declarative :class:`SloRule` s evaluated in
+**virtual time** while a run executes, emitting typed :class:`Alert`
+events into the span stream (``slo.alert`` instants) and a
+``repro.obs/slo@1`` run-artifact section.
+
+Three rule kinds:
+
+- ``threshold`` — the metric's current value compared against a static
+  threshold (gauges: last set value; counters: running total; metric
+  names may be ``fnmatch`` patterns, in which case matches are summed);
+- ``rate`` — the metric's increase per **virtual second** over a
+  rolling window;
+- ``burn_rate`` — the ratio of the metric's window delta to the summed
+  window delta of the ``denominator`` metrics (include the metric
+  itself in the denominator to express a share, e.g. pool-fallback
+  share of all switchless attempts).
+
+Alerts are edge-triggered with hysteresis: a rule alerts when it
+crosses from ok to breached and re-arms only after evaluating ok
+again, so a saturated pool produces one alert per episode, not one per
+charge. The watchdog never charges the platform and is zero-cost when
+not attached.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+SCHEMA = "repro.obs/slo@1"
+
+_KINDS = ("threshold", "rate", "burn_rate")
+_COMPARISONS = ("gt", "lt")
+_SEVERITIES = ("info", "warning", "critical")
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One declarative service-level objective over the metrics plane."""
+
+    name: str
+    kind: str
+    metric: str
+    threshold: float
+    #: Breach when observed ``gt`` (above) or ``lt`` (below) threshold.
+    comparison: str = "gt"
+    #: ``burn_rate`` only: metric names whose window deltas are summed
+    #: into the denominator.
+    denominator: Tuple[str, ...] = ()
+    #: ``rate``/``burn_rate``: rolling window in virtual nanoseconds.
+    window_ns: float = 1_000_000.0
+    severity: str = "warning"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown SLO rule kind {self.kind!r}")
+        if self.comparison not in _COMPARISONS:
+            raise ValueError(f"comparison must be one of {_COMPARISONS}")
+        if self.severity not in _SEVERITIES:
+            raise ValueError(f"severity must be one of {_SEVERITIES}")
+        if self.kind == "burn_rate" and not self.denominator:
+            raise ValueError("burn_rate rules need denominator metrics")
+        if self.kind in ("rate", "burn_rate") and self.window_ns <= 0:
+            raise ValueError("rolling-window rules need window_ns > 0")
+
+    def breached(self, value: float) -> bool:
+        if self.comparison == "gt":
+            return value > self.threshold
+        return value < self.threshold
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "metric": self.metric,
+            "threshold": self.threshold,
+            "comparison": self.comparison,
+            "denominator": list(self.denominator),
+            "window_ns": self.window_ns,
+            "severity": self.severity,
+            "description": self.description,
+        }
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One rule breach, stamped in virtual time."""
+
+    rule: str
+    severity: str
+    kind: str
+    value: float
+    threshold: float
+    at_ns: float
+    session: str = ""
+    message: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "kind": self.kind,
+            "value": self.value,
+            "threshold": self.threshold,
+            "at_ns": self.at_ns,
+            "session": self.session,
+            "message": self.message,
+        }
+
+
+# -- metric resolution -------------------------------------------------------
+
+
+def _metric_scalar(metric: Any) -> float:
+    """Collapse a Counter/Gauge/Histogram into one number."""
+    kind = getattr(metric, "kind", None)
+    if kind == "histogram":
+        return float(metric.sum)
+    return float(metric.value)
+
+
+def resolve_metric(metrics: Any, pattern: str) -> Optional[float]:
+    """Current value of ``pattern`` over a registry; patterns containing
+    ``fnmatch`` wildcards sum every matching metric. ``None`` when
+    nothing matches (the rule abstains rather than reading zero)."""
+    if any(ch in pattern for ch in "*?["):
+        total = 0.0
+        matched = False
+        for name in metrics.names():
+            if fnmatchcase(name, pattern):
+                total += _metric_scalar(metrics.get(name))
+                matched = True
+        return total if matched else None
+    metric = metrics.get(pattern)
+    if metric is None:
+        return None
+    return _metric_scalar(metric)
+
+
+# -- per-platform evaluation state -------------------------------------------
+
+
+class _RuleState:
+    """Rolling samples + hysteresis latch for one rule on one platform."""
+
+    __slots__ = ("samples", "breached", "worst")
+
+    def __init__(self) -> None:
+        #: (now_ns, value, denominator_value) samples inside the window.
+        self.samples: Deque[Tuple[float, float, float]] = deque()
+        self.breached = False
+        self.worst: Optional[float] = None
+
+
+class _Watch:
+    """Live evaluation of every rule against one platform's registry."""
+
+    def __init__(self, watchdog: "SloWatchdog", platform: Any, label: str) -> None:
+        self.watchdog = watchdog
+        self.platform = platform
+        self.label = label
+        self.obs = platform.enable_observability(label=label)
+        self._states: Dict[str, _RuleState] = {
+            rule.name: _RuleState() for rule in watchdog.rules
+        }
+        self._last_eval_ns = -float("inf")
+        platform.add_charge_observer(self._on_charge)
+
+    # The platform calls this after *every* charge; the comparison is
+    # the entire always-on cost (virtual time is never touched).
+    def _on_charge(self, category: str, ns: float, now_ns: float) -> None:
+        if now_ns - self._last_eval_ns < self.watchdog.evaluate_every_ns:
+            return
+        self.evaluate(now_ns)
+
+    def evaluate(self, now_ns: float) -> None:
+        self._last_eval_ns = now_ns
+        metrics = self.obs.metrics
+        for rule in self.watchdog.rules:
+            observed = self._observe(rule, metrics, now_ns)
+            if observed is None:
+                continue
+            state = self._states[rule.name]
+            if state.worst is None or self._is_worse(rule, observed, state.worst):
+                state.worst = observed
+            breached = rule.breached(observed)
+            if breached and not state.breached:
+                self.watchdog._fire(rule, observed, now_ns, self)
+            state.breached = breached
+
+    @staticmethod
+    def _is_worse(rule: SloRule, value: float, worst: float) -> bool:
+        return value > worst if rule.comparison == "gt" else value < worst
+
+    def _observe(
+        self, rule: SloRule, metrics: Any, now_ns: float
+    ) -> Optional[float]:
+        value = resolve_metric(metrics, rule.metric)
+        if value is None:
+            return None
+        if rule.kind == "threshold":
+            return value
+        den_value = 0.0
+        if rule.kind == "burn_rate":
+            parts = [resolve_metric(metrics, name) for name in rule.denominator]
+            known = [part for part in parts if part is not None]
+            if not known:
+                return None
+            den_value = sum(known)
+        state = self._states[rule.name]
+        state.samples.append((now_ns, value, den_value))
+        while (
+            len(state.samples) > 1
+            and now_ns - state.samples[0][0] > rule.window_ns
+        ):
+            state.samples.popleft()
+        oldest_ns, oldest_value, oldest_den = state.samples[0]
+        if now_ns <= oldest_ns:
+            return None
+        delta = value - oldest_value
+        if rule.kind == "rate":
+            return delta / ((now_ns - oldest_ns) / 1e9)
+        den_delta = den_value - oldest_den
+        if den_delta <= 0:
+            return None
+        return delta / den_delta
+
+    def breached_rules(self) -> List[str]:
+        return [name for name, s in self._states.items() if s.breached]
+
+    def worst(self, rule_name: str) -> Optional[float]:
+        return self._states[rule_name].worst
+
+
+# -- the watchdog ------------------------------------------------------------
+
+
+class SloWatchdog:
+    """Evaluates a rulebook against every attached platform, in virtual
+    time, and aggregates alerts + per-rule verdicts for the run."""
+
+    def __init__(
+        self,
+        rules: Sequence[SloRule],
+        evaluate_every_ns: float = 10_000.0,
+    ) -> None:
+        if evaluate_every_ns <= 0:
+            raise ValueError("evaluate_every_ns must be positive")
+        names = [rule.name for rule in rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rule names in {names}")
+        self.rules: Tuple[SloRule, ...] = tuple(rules)
+        self.evaluate_every_ns = evaluate_every_ns
+        self.alerts: List[Alert] = []
+        self._watches: List[_Watch] = []
+
+    def rule(self, name: str) -> SloRule:
+        for rule in self.rules:
+            if rule.name == name:
+                return rule
+        raise KeyError(name)
+
+    # -- attachment ----------------------------------------------------------
+
+    def attach(self, platform: Any, label: str = "") -> Any:
+        """Watch one platform (enables its observability if needed)."""
+        watch = _Watch(self, platform, label)
+        self._watches.append(watch)
+        return watch
+
+    def evaluate_now(self) -> None:
+        """Force a final evaluation on every watch (end of run), so
+        breaches inside the last evaluation interval are not missed."""
+        for watch in self._watches:
+            watch.evaluate(watch.platform.clock.now_ns)
+
+    # -- alerting ------------------------------------------------------------
+
+    def _fire(
+        self, rule: SloRule, value: float, now_ns: float, watch: _Watch
+    ) -> None:
+        alert = Alert(
+            rule=rule.name,
+            severity=rule.severity,
+            kind=rule.kind,
+            value=value,
+            threshold=rule.threshold,
+            at_ns=now_ns,
+            session=watch.label or watch.obs.label,
+            message=rule.description
+            or f"{rule.metric} {rule.comparison} {rule.threshold}",
+        )
+        self.alerts.append(alert)
+        # The typed event goes into the span stream too, so the alert is
+        # visible in --trace / --events exports next to the spans that
+        # caused it.
+        watch.obs.tracer.instant("slo.alert", attrs=alert.to_dict())
+
+    # -- verdicts + artifact -------------------------------------------------
+
+    def verdicts(self) -> Dict[str, Dict[str, Any]]:
+        """Per-rule outcome over the whole run: ``breached`` if the rule
+        alerted on any watched platform (or is breached right now)."""
+        out: Dict[str, Dict[str, Any]] = {}
+        alerted = {alert.rule for alert in self.alerts}
+        for rule in self.rules:
+            live = any(
+                rule.name in watch.breached_rules() for watch in self._watches
+            )
+            worsts = [
+                watch.worst(rule.name)
+                for watch in self._watches
+                if watch.worst(rule.name) is not None
+            ]
+            worst: Optional[float] = None
+            if worsts:
+                worst = max(worsts) if rule.comparison == "gt" else min(worsts)
+            out[rule.name] = {
+                "status": "breached" if (rule.name in alerted or live) else "ok",
+                "alerts": sum(1 for a in self.alerts if a.rule == rule.name),
+                "worst": worst,
+                "threshold": rule.threshold,
+                "severity": rule.severity,
+            }
+        return out
+
+    def report(self) -> Dict[str, Any]:
+        """The ``slo@1`` run-artifact section."""
+        return {
+            "schema": SCHEMA,
+            "rules": [rule.to_dict() for rule in self.rules],
+            "alerts": [alert.to_dict() for alert in self.alerts],
+            "verdicts": self.verdicts(),
+        }
+
+    def summary_lines(self) -> List[str]:
+        """Human verdict block for ``--obs-summary``."""
+        verdicts = self.verdicts()
+        lines = [
+            f"SLO verdicts ({len(self.rules)} rules, "
+            f"{len(self.alerts)} alerts):"
+        ]
+        for name, verdict in sorted(verdicts.items()):
+            status = "BREACHED" if verdict["status"] == "breached" else "ok"
+            detail = ""
+            if verdict["worst"] is not None:
+                rule = self.rule(name)
+                op = ">" if rule.comparison == "gt" else "<"
+                detail = (
+                    f"  worst {verdict['worst']:.4g} "
+                    f"(threshold {op} {verdict['threshold']:g}, "
+                    f"{verdict['severity']})"
+                )
+            lines.append(f"  {name:<24} {status:<8}{detail}")
+        return lines
+
+    def __repr__(self) -> str:
+        return (
+            f"SloWatchdog(rules={len(self.rules)}, "
+            f"watches={len(self._watches)}, alerts={len(self.alerts)})"
+        )
+
+
+def validate_slo(doc: Any) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a well-formed slo@1 section."""
+    if not isinstance(doc, dict):
+        raise ValueError("slo document must be a JSON object")
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"unknown slo schema {doc.get('schema')!r}")
+    rules = doc.get("rules")
+    if not isinstance(rules, list):
+        raise ValueError("slo document needs a rules list")
+    for i, rule in enumerate(rules):
+        for field_name in ("name", "kind", "metric", "threshold"):
+            if field_name not in rule:
+                raise ValueError(f"rules[{i}] lacks {field_name!r}")
+        if rule["kind"] not in _KINDS:
+            raise ValueError(f"rules[{i}] has unknown kind {rule['kind']!r}")
+    alerts = doc.get("alerts")
+    if not isinstance(alerts, list):
+        raise ValueError("slo document needs an alerts list")
+    rule_names = {rule["name"] for rule in rules}
+    for i, alert in enumerate(alerts):
+        for field_name in ("rule", "value", "threshold", "at_ns", "severity"):
+            if field_name not in alert:
+                raise ValueError(f"alerts[{i}] lacks {field_name!r}")
+        if alert["rule"] not in rule_names:
+            raise ValueError(f"alerts[{i}] references unknown rule {alert['rule']!r}")
+    verdicts = doc.get("verdicts")
+    if not isinstance(verdicts, dict):
+        raise ValueError("slo document needs a verdicts mapping")
+    for name, verdict in verdicts.items():
+        if name not in rule_names:
+            raise ValueError(f"verdict for unknown rule {name!r}")
+        if verdict.get("status") not in ("ok", "breached"):
+            raise ValueError(f"verdict {name!r} has bad status")
+
+
+def load_slo(path: str) -> Dict[str, Any]:
+    with open(path) as handle:
+        doc = json.load(handle)
+    validate_slo(doc)
+    return doc
+
+
+def write_slo(path: str, doc: Dict[str, Any]) -> None:
+    validate_slo(doc)
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, default=str)
+        handle.write("\n")
+
+
+# -- the starter rulebook ----------------------------------------------------
+
+#: Usable EPC of the paper testbed (§6.1) in 4 KiB pages; the default
+#: residency rule warns at 90% of it. Pass ``epc_quota_pages`` for runs
+#: with an artificially tight budget (the scaling ablation's 48 pages).
+_DEFAULT_EPC_PAGES = int(93.5 * 1024 * 1024) // 4096
+
+
+def default_rulebook(
+    epc_quota_pages: Optional[int] = None,
+    fallback_share: float = 0.5,
+    crossing_rate_per_s: float = 100_000.0,
+    recovery_budget_ns: float = 1_000_000.0,
+    window_ns: float = 100_000.0,
+) -> Tuple[SloRule, ...]:
+    """The signals the future autoscaler consumes, as a rulebook.
+
+    - **pool-fallback-burn** — share of switchless attempts degraded to
+      hardware transitions over the rolling window; a saturated worker
+      pool is the scale-up signal.
+    - **epc-residency** — resident EPC pages near the (partitioned)
+      quota; the paging-cliff early warning.
+    - **crossing-rate** — ecalls per virtual second; crossing-dominated
+      phases are batching/offload candidates.
+    - **recovery-budget** — virtual nanoseconds spent in
+      reinit/re-attest/restore; a flapping enclave blows this budget.
+    """
+    quota = epc_quota_pages if epc_quota_pages is not None else _DEFAULT_EPC_PAGES
+    return (
+        SloRule(
+            name="pool-fallback-burn",
+            kind="burn_rate",
+            metric="concurrency.pool_fallbacks",
+            denominator=("concurrency.pool_fallbacks", "sgx.switchless_calls"),
+            threshold=fallback_share,
+            window_ns=window_ns,
+            severity="critical",
+            description=(
+                "switchless worker pool saturated: fallback share of "
+                "pool attempts over the rolling window"
+            ),
+        ),
+        SloRule(
+            name="epc-residency",
+            kind="threshold",
+            metric="epc.resident_pages",
+            threshold=0.9 * quota,
+            severity="warning",
+            description="EPC residency within 10% of the page quota",
+        ),
+        SloRule(
+            name="crossing-rate",
+            kind="rate",
+            metric="sgx.ecalls",
+            threshold=crossing_rate_per_s,
+            window_ns=window_ns,
+            severity="info",
+            description="enclave crossing rate per virtual second",
+        ),
+        SloRule(
+            name="recovery-budget",
+            kind="threshold",
+            metric="charge.ns.recovery.*",
+            threshold=recovery_budget_ns,
+            severity="warning",
+            description="virtual time spent rebuilding lost enclaves",
+        ),
+    )

@@ -60,6 +60,25 @@ class TestSpanTracer:
         assert [e.name for e in tracer.events()] == ["e6", "e7", "e8", "e9"]
         assert tracer.sequence == 10
 
+    def test_ring_wrap_with_mixed_spans_and_instants(self):
+        """Satellite audit: wrap drops oldest regardless of kind, the
+        sequence counter keeps counting, and nothing drops before the
+        ring is actually full."""
+        platform = Platform()
+        tracer = SpanTracer(platform.clock, capacity=3)
+        with tracer.span("a"):
+            platform.charge_ns("w", 1.0)
+        tracer.instant("m1")
+        tracer.instant("m2")
+        assert tracer.dropped == 0  # exactly full, nothing dropped yet
+        with tracer.span("b"):
+            platform.charge_ns("w", 1.0)
+        assert tracer.dropped == 1  # the oldest ("a") fell off
+        assert [e.name for e in tracer.events()] == ["m1", "m2", "b"]
+        assert tracer.sequence == 4
+        # finished_spans filters instants from the surviving window.
+        assert [s.name for s in tracer.finished_spans()] == ["b"]
+
     def test_listener_sees_all_events_despite_ring(self):
         platform = Platform()
         tracer = SpanTracer(platform.clock, capacity=2)
@@ -113,6 +132,39 @@ class TestMetrics:
         assert Histogram.bucket_index(2.0) == 1
         assert Histogram.bucket_index(1023.9) == 9
         assert Histogram.bucket_bounds(3) == (8.0, 16.0)
+
+    def test_histogram_boundary_at_exact_powers_of_two(self):
+        """Satellite audit: values just *below* an exact power of two.
+
+        ``floor(log2(v))`` computed through ``math.log2`` rounds
+        ``nextafter(2**k, 0)`` up to ``k`` for large ``k``, landing the
+        value one bucket too high; the frexp-based index must not.
+        """
+        import math
+
+        for k in (1, 10, 30, 52, 60):
+            exact = 2.0 ** k
+            below = math.nextafter(exact, 0.0)
+            assert Histogram.bucket_index(exact) == k
+            assert Histogram.bucket_index(below) == k - 1, (
+                f"nextafter(2**{k}, 0) must land in bucket {k - 1}"
+            )
+            lo, hi = Histogram.bucket_bounds(Histogram.bucket_index(below))
+            assert lo <= below < hi
+        # Fractional values (the underflow region handles < 1 in
+        # observe(), but the index itself must still be exact).
+        assert Histogram.bucket_index(0.5) == -1
+        assert Histogram.bucket_index(0.75) == -1
+
+    def test_histogram_observe_boundary_counts(self):
+        import math
+
+        hist = Histogram("edge")
+        hist.observe(2.0 ** 30)
+        hist.observe(math.nextafter(2.0 ** 30, 0.0))
+        snap = hist.to_dict()
+        assert snap["buckets"] == {"29": 1, "30": 1}
+        assert hist.percentile(100) == 2.0 ** 30
 
     def test_histogram_underflow_and_merge(self):
         a, b = Histogram("a"), Histogram("b")
@@ -570,3 +622,42 @@ class TestCliObservability:
         out = capsys.readouterr().out
         assert "rmi.new" in out
         assert "span" in out
+        # The default SLO rulebook watches every --obs-summary run.
+        assert "SLO verdicts" in out
+        assert "pool-fallback-burn" in out
+
+    def test_scale_and_chaos_obs_flag_parity(self, tmp_path, capsys):
+        """Satellite: --trace/--obs-summary work on scale and chaos the
+        same way they do on the figure experiments, verdicts included."""
+        from repro import cli
+
+        trace_path = tmp_path / "scale_trace.json"
+        assert (
+            cli.main(
+                [
+                    "scale",
+                    "--scale",
+                    "small",
+                    "--trace",
+                    str(trace_path),
+                    "--obs-summary",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "SLO verdicts" in out
+        # The saturated-pool sweep points drive the burn-rate rule.
+        assert "pool-fallback-burn" in out
+        doc = obs_export.load_chrome_trace(str(trace_path))
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "sgx.ecall" in names
+        # The alert is visible in the span stream, not only the summary.
+        assert "slo.alert" in names
+
+        assert cli.main(["chaos", "--scale", "small", "--obs-summary"]) == 0
+        out = capsys.readouterr().out
+        assert "SLO verdicts" in out
+        # The chaos runs charge recovery time, so the budget rule is live
+        # (watching, even if within budget).
+        assert "recovery-budget" in out
