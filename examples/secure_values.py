@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Value-granular partitioning with secure()/declassify() (SecV-style).
+
+Montsalvat partitions at class granularity: one secret field drags the
+whole class into the enclave image and every call on it across the
+boundary. This example re-partitions the bank at *value* granularity
+instead — a single trusted vault mints sealed balances, and the
+accounts that carry them stay untrusted — then compares the trusted
+image and the crossing count against the class-granular original.
+
+Run:  python examples/secure_values.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.apps.bank import BANK_CLASSES, Account, AccountRegistry
+from repro.apps.secv import (
+    SECV_BANK_CLASSES,
+    SettlementVault,
+    ValueAccount,
+    ValueLedger,
+)
+from repro.core import Partitioner, PartitionOptions, declassify, is_secure, secure
+from repro.core.tcb import partitioned_tcb
+
+N_ACCOUNTS = 3
+ROUNDS = 5
+
+
+def main() -> None:
+    print("== secure values in five lines ==")
+    sealed = secure(1_000, "balance:alice")
+    print(f"sealed:       {sealed!r}")  # repr never leaks the payload
+    grown = sealed.derive("interest", 1_050)
+    print(f"derived:      provenance={list(grown.provenance)}")
+    print(f"is_secure:    {is_secure(grown)}")
+    # declassify() is the one audited exit — the reason is mandatory.
+    print(f"declassified: {declassify(grown, 'example output')}")
+    print()
+
+    results = {}
+    for label, classes in (
+        ("class-granular", BANK_CLASSES),
+        ("value-granular", SECV_BANK_CLASSES),
+    ):
+        app = Partitioner(PartitionOptions(name=label)).partition(list(classes))
+        with app.start() as session:
+            before = session.transition_stats.crossings
+            if label == "class-granular":
+                accounts = [Account(f"a{i}", 100) for i in range(N_ACCOUNTS)]
+                for _ in range(ROUNDS):
+                    for account in accounts:
+                        account.update_balance(2)
+                registry = AccountRegistry()
+                for account in accounts:
+                    registry.add_account(account)
+                total = registry.total_balance()
+            else:
+                vault = SettlementVault()
+                accounts = [
+                    ValueAccount(f"a{i}", vault, 100) for i in range(N_ACCOUNTS)
+                ]
+                for _ in range(ROUNDS):
+                    for account in accounts:
+                        account.update_balance(2)  # local: no crossing
+                ledger = ValueLedger()
+                for account in accounts:
+                    ledger.add_account(account)
+                ledger.settle_all(vault)  # one ecall per account
+                total = vault.total(ledger.sealed_balances())
+            crossings = session.transition_stats.crossings - before
+            tcb = partitioned_tcb(app).total_bytes
+            methods = len(app.images.trusted.reachable.methods)
+            results[label] = (total, crossings, tcb, methods)
+            print(
+                f"{label:>15}: total={total}  crossings={crossings}  "
+                f"trusted bytes={tcb}  trusted methods={methods}"
+            )
+
+    (class_total, class_x, class_tcb, _) = results["class-granular"]
+    (value_total, value_x, value_tcb, _) = results["value-granular"]
+    print()
+    print(f"same answer from both granularities: {class_total == value_total}")
+    print(f"TCB bytes saved by secure values:    {class_tcb - value_tcb}")
+    print(f"crossings saved by secure values:    {class_x - value_x}")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,8 +10,10 @@ checks those properties before a single virtual cycle is spent:
 >>> result.exit_code  # doctest: +SKIP
 0
 
-See ``docs/ANALYSIS.md`` for the rule catalogue (MSV001–MSV005),
-suppression syntax and the static-vs-dynamic crossing workflow.
+See ``docs/ANALYSIS.md`` for the rule catalogue (MSV001–MSV007),
+suppression syntax, the value-granular taint engine behind
+MSV001/MSV006/MSV007 (:mod:`repro.analysis.taint`) and the
+static-vs-dynamic crossing workflow.
 """
 
 from repro.analysis.diagnostics import (
@@ -20,6 +22,8 @@ from repro.analysis.diagnostics import (
     CHATTY_CROSSING,
     DEAD_TCB,
     ENCAPSULATION,
+    IDLE_CROSSING,
+    SECURE_ESCAPE,
     UNSERIALIZABLE_CROSSING,
     Diagnostic,
     Severity,
@@ -30,6 +34,7 @@ from repro.analysis.linter import (
     PartitionLinter,
     diff_candidates,
     load_baseline,
+    update_baseline,
     write_baseline,
 )
 from repro.analysis.report import format_text, to_dict, to_json
@@ -38,9 +43,19 @@ from repro.analysis.rules import (
     ChattyCrossingRule,
     DeadTcbRule,
     EncapsulationRule,
+    IdleCrossingRule,
     Rule,
+    SecureEscapeRule,
     UnserializableCrossingRule,
     default_rules,
+)
+from repro.analysis.taint import (
+    MethodSummary,
+    Taint,
+    TaintAnalysis,
+    TaintEngine,
+    analyze_taint,
+    declares_secure_return,
 )
 
 __all__ = [
@@ -49,6 +64,8 @@ __all__ = [
     "CHATTY_CROSSING",
     "DEAD_TCB",
     "ENCAPSULATION",
+    "IDLE_CROSSING",
+    "SECURE_ESCAPE",
     "UNSERIALIZABLE_CROSSING",
     "AppModel",
     "BoundaryEscapeRule",
@@ -56,18 +73,27 @@ __all__ = [
     "DeadTcbRule",
     "Diagnostic",
     "EncapsulationRule",
+    "IdleCrossingRule",
     "LintResult",
+    "MethodSummary",
     "PartitionLinter",
     "Rule",
+    "SecureEscapeRule",
     "Severity",
+    "Taint",
+    "TaintAnalysis",
+    "TaintEngine",
     "TypeVerdict",
     "UnserializableCrossingRule",
+    "analyze_taint",
     "classify_annotation",
+    "declares_secure_return",
     "default_rules",
     "diff_candidates",
     "format_text",
     "load_baseline",
     "to_dict",
     "to_json",
+    "update_baseline",
     "write_baseline",
 ]

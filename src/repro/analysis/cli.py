@@ -7,6 +7,7 @@ Examples::
     python -m repro lint --module myapp.classes
     python -m repro lint --json --baseline lint-baseline.txt
     python -m repro lint --write-baseline lint-baseline.txt
+    python -m repro lint --update-baseline     # regenerate in place
 
 Exits 1 when any unsuppressed error-severity finding remains, 0
 otherwise (warnings never fail the build; baseline them or fix them at
@@ -23,6 +24,7 @@ from repro.analysis.linter import (
     LintResult,
     PartitionLinter,
     load_baseline,
+    update_baseline,
     write_baseline,
 )
 from repro.analysis.report import format_text, to_json
@@ -107,6 +109,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="write current findings as a baseline file and exit 0",
     )
     parser.add_argument(
+        "--update-baseline",
+        metavar="PATH",
+        nargs="?",
+        const="lint-baseline.txt",
+        default=None,
+        help=(
+            "regenerate an existing baseline in place: keep matched keys "
+            "and their comments, drop stale ones, append new findings "
+            "(default PATH: lint-baseline.txt)"
+        ),
+    )
+    parser.add_argument(
         "--json", action="store_true", help="machine-readable JSON report"
     )
     parser.add_argument(
@@ -161,6 +175,19 @@ def main(argv=None) -> int:
         ]
         count = write_baseline(args.write_baseline, everything)
         print(f"baseline: {args.write_baseline} ({count} suppression(s))")
+        return 0
+
+    if args.update_baseline:
+        everything = [
+            d
+            for result in results.values()
+            for d in (*result.diagnostics, *result.suppressed)
+        ]
+        update = update_baseline(args.update_baseline, everything)
+        print(
+            f"baseline: {update.path} ({update.total} suppression(s), "
+            f"{len(update.added)} added, {len(update.removed)} removed)"
+        )
         return 0
 
     if args.json:

@@ -31,6 +31,8 @@ UNSERIALIZABLE_CROSSING = "MSV002"
 CHATTY_CROSSING = "MSV003"
 DEAD_TCB = "MSV004"
 ENCAPSULATION = "MSV005"
+SECURE_ESCAPE = "MSV006"
+IDLE_CROSSING = "MSV007"
 
 ALL_CODES = (
     BOUNDARY_ESCAPE,
@@ -38,6 +40,8 @@ ALL_CODES = (
     CHATTY_CROSSING,
     DEAD_TCB,
     ENCAPSULATION,
+    SECURE_ESCAPE,
+    IDLE_CROSSING,
 )
 
 

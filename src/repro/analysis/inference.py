@@ -63,6 +63,9 @@ WIRE_TYPE_NAMES = frozenset(
         "bytearray",
         "object",
         "Any",
+        # Secure values have a native wire tag (core/wire.py, 0x0B):
+        # label, provenance and payload round-trip without pickle.
+        "SecureValue",
     }
 )
 

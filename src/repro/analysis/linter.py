@@ -157,6 +157,113 @@ def write_baseline(path: str, diagnostics: Iterable[Diagnostic]) -> int:
     return len(keys)
 
 
+_BASELINE_HEADER = (
+    "# Partition-linter baseline (python -m repro lint --baseline lint-baseline.txt)",
+    "#",
+    "# One suppression key per line (CODE:Class.method[:detail]); '#' starts",
+    "# a comment. Every entry must say why the finding is intentional.",
+    "# Unused entries are reported so this file cannot rot silently.",
+    "",
+)
+
+_NEW_FINDINGS_MARKER = (
+    "# New findings: explain why each is intentional, or fix the code and",
+    "# re-run `repro lint --update-baseline`.",
+)
+
+
+@dataclass(frozen=True)
+class BaselineUpdate:
+    """What :func:`update_baseline` did to the file."""
+
+    path: str
+    added: Tuple[str, ...]
+    removed: Tuple[str, ...]
+    total: int
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.added or self.removed)
+
+
+def update_baseline(path: str, diagnostics: Iterable[Diagnostic]) -> BaselineUpdate:
+    """Regenerate a baseline file in place instead of hand-editing it.
+
+    Keys still matched by a finding keep their lines — and the comment
+    blocks explaining them — verbatim, in their original order. Keys no
+    finding produces any more are dropped together with their comments.
+    Keys for new findings are appended (sorted) under a marker comment
+    prompting for an explanation. Running twice is a no-op: the second
+    pass finds nothing to add or remove and rewrites the identical
+    bytes.
+    """
+    wanted = {d.suppression_key for d in diagnostics}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = handle.read().splitlines()
+        existed = True
+    except FileNotFoundError:
+        raw = []
+        existed = False
+
+    # Leading comment block followed by a blank line is the file header
+    # (not an explanation of the first key); keep it unconditionally.
+    preamble: List[str] = []
+    body = raw
+    if existed:
+        i = 0
+        while i < len(raw) and raw[i].lstrip().startswith("#"):
+            i += 1
+        lead_end = i
+        while i < len(raw) and not raw[i].strip():
+            i += 1
+        if lead_end and i > lead_end:
+            preamble = [*raw[:lead_end], ""]
+            body = raw[i:]
+    else:
+        preamble = list(_BASELINE_HEADER)
+
+    entries: List[Tuple[List[str], str, str]] = []  # (comment block, key, raw line)
+    pending: List[str] = []
+    for line in body:
+        key = line.split("#", 1)[0].strip()
+        if key:
+            entries.append((pending, key, line))
+            pending = []
+        else:
+            pending.append(line)
+    trailing = [line for line in pending if line.strip()]
+
+    kept_lines: List[str] = []
+    kept_keys: Set[str] = set()
+    removed: List[str] = []
+    for block, key, line in entries:
+        if key in kept_keys:
+            continue  # duplicate entry: first occurrence wins
+        if key in wanted:
+            kept_lines.extend(block)
+            kept_lines.append(line)
+            kept_keys.add(key)
+        else:
+            removed.append(key)
+
+    added = sorted(wanted - kept_keys)
+    out = [*preamble, *kept_lines, *trailing]
+    if added:
+        if out and out[-1].strip():
+            out.append("")
+        out.extend(_NEW_FINDINGS_MARKER)
+        out.extend(added)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(out) + ("\n" if out else ""))
+    return BaselineUpdate(
+        path=path,
+        added=tuple(added),
+        removed=tuple(sorted(removed)),
+        total=len(kept_keys) + len(added),
+    )
+
+
 # -- static vs dynamic --------------------------------------------------------
 
 

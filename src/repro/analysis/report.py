@@ -24,6 +24,11 @@ def format_text(results: Mapping[str, LintResult]) -> str:
         summary = (
             f"  {result.error_count} error(s), {result.warning_count} warning(s)"
         )
+        info_count = sum(
+            1 for d in result.diagnostics if d.severity.value == "info"
+        )
+        if info_count:
+            summary += f", {info_count} info"
         if result.suppressed:
             summary += f", {len(result.suppressed)} suppressed by baseline"
         lines.append(summary)
@@ -57,6 +62,9 @@ def to_dict(results: Mapping[str, LintResult]) -> Dict[str, Any]:
             "counts": {
                 "error": result.error_count,
                 "warning": result.warning_count,
+                "info": sum(
+                    1 for d in result.diagnostics if d.severity.value == "info"
+                ),
                 "suppressed": len(result.suppressed),
             },
             "predicted_candidates": [

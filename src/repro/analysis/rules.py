@@ -14,7 +14,14 @@ and returns :class:`~repro.analysis.diagnostics.Diagnostic` records:
 - ``MSV004`` dead TCB — trusted methods unreachable from every enclave
   entry point, priced via :mod:`repro.core.tcb` (§5.3);
 - ``MSV005`` encapsulation — :mod:`repro.core.validation` absorbed into
-  the diagnostics pipeline (§5.1).
+  the diagnostics pipeline (§5.1);
+- ``MSV006`` secure escape — a :func:`repro.core.secure.secure` value
+  reaching untrusted code without ``declassify()`` (SecV);
+- ``MSV007`` idle crossing — a boundary crossing carrying zero secure
+  values in an app that uses them: a relocation candidate (SecV).
+
+``MSV001``, ``MSV006`` and ``MSV007`` share the interprocedural
+propagation engine in :mod:`repro.analysis.taint`.
 """
 
 from __future__ import annotations
@@ -27,6 +34,8 @@ from repro.analysis.diagnostics import (
     CHATTY_CROSSING,
     DEAD_TCB,
     ENCAPSULATION,
+    IDLE_CROSSING,
+    SECURE_ESCAPE,
     UNSERIALIZABLE_CROSSING,
     Diagnostic,
     Severity,
@@ -42,6 +51,12 @@ from repro.analysis.inference import (
     ScopeTypes,
     classify_annotation,
     crossing_kind,
+)
+from repro.analysis.taint import (
+    PLAIN,
+    SECURE,
+    analyze_taint,
+    declares_secure_return,
 )
 from repro.errors import PartitionError, ReachabilityError
 from repro.graal.jtypes import TrustLevel
@@ -76,149 +91,208 @@ class BoundaryEscapeRule(Rule):
     )
 
     def check(self, model: AppModel) -> List[Diagnostic]:
+        analysis = analyze_taint(model)
         findings: List[Diagnostic] = []
-        for cls in model.classes:
-            owner = cls.__name__
-            if model.trust_of(owner) is TrustLevel.TRUSTED:
+        for event in analysis.sink_events:
+            if event.taint.kind != PLAIN:
+                continue
+            if model.trust_of(event.owner) is TrustLevel.TRUSTED:
                 continue  # code already inside the enclave cannot leak out-of-band
-            for info in model.methods_of(owner):
-                if info.tree is None:
-                    continue
-                visitor = _TaintVisitor(model, info)
-                visitor.visit(info.tree)
-                findings.extend(visitor.findings)
+            source = event.taint.source
+            findings.append(
+                Diagnostic(
+                    code=BOUNDARY_ESCAPE,
+                    severity=Severity.ERROR,
+                    class_name=event.owner,
+                    method_name=event.method,
+                    message=(
+                        f"{event.display} holds plain data from trusted "
+                        f"{source} and is passed to untrusted {event.sink} "
+                        "without going through the proxy layer"
+                    ),
+                    hint=(
+                        "keep the value behind an annotated class so it "
+                        "crosses as a proxy hash, or move this logic into "
+                        "the trusted side (§5.1, §5.2)"
+                    ),
+                    detail=f"{event.display}->{event.sink}",
+                    data={
+                        "source": source,
+                        "sink": event.sink,
+                        "provenance": list(event.taint.chain),
+                    },
+                )
+            )
+        for event in analysis.return_events:
+            if event.taint.kind != PLAIN:
+                continue
+            if model.trust_of(event.owner) is not TrustLevel.UNTRUSTED:
+                continue
+            source = event.taint.source
+            findings.append(
+                Diagnostic(
+                    code=BOUNDARY_ESCAPE,
+                    severity=Severity.ERROR,
+                    class_name=event.owner,
+                    method_name=event.method,
+                    message=(
+                        f"{event.display} holds plain data from trusted "
+                        f"{source} and is returned from untrusted "
+                        f"{event.owner}.{event.method}"
+                    ),
+                    hint=(
+                        "return an annotated instance (crosses as a "
+                        "proxy) or keep the secret on the trusted side "
+                        "(§5.1, §5.2)"
+                    ),
+                    detail=f"return:{event.display}",
+                    data={
+                        "source": source,
+                        "sink": "return",
+                        "provenance": list(event.taint.chain),
+                    },
+                )
+            )
         return findings
 
 
-class _TaintVisitor(ast.NodeVisitor):
-    """Forward taint walk over one untrusted/neutral method body."""
+# -- MSV006: secure escape ----------------------------------------------------
 
-    def __init__(self, model: AppModel, info: MethodInfo) -> None:
-        self.model = model
-        self.info = info
-        self.owner = info.owner
-        self.owner_trust = model.trust_of(info.owner)
-        self.scope = ScopeTypes(model, info.owner, info.tree)
-        self.tainted: Dict[str, str] = {}  # variable -> "Class.method" source
-        self.findings: List[Diagnostic] = []
 
-    # -- taint sources --------------------------------------------------------
+class SecureEscapeRule(Rule):
+    code = SECURE_ESCAPE
+    name = "secure-escape"
+    description = (
+        "secure() values must pass declassify(value, reason) before "
+        "reaching untrusted code; the tag is not a courtesy, it is the "
+        "partition boundary at value granularity"
+    )
 
-    def _taint_source(self, node) -> Optional[str]:
-        """``Class.method`` when ``node`` calls a trusted receiver whose
-        result crosses as plain data (not as a proxy)."""
-        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
-            return None
-        receiver = self.scope.infer(node.func.value)
-        if receiver is None or self.model.trust_of(receiver) is not TrustLevel.TRUSTED:
-            return None
-        verdict = self.model.return_verdict(receiver, node.func.attr)
-        if verdict.kind in (NONE, PROXY, NESTED_PROXY):
-            return None
-        return f"{receiver}.{node.func.attr}"
-
-    def _expr_taint(self, node) -> Optional[Tuple[str, str]]:
-        """(display, source) when the expression carries tainted data."""
-        source = self._taint_source(node)
-        if source is not None:
-            return (f"{source}()", source)
-        for sub in ast.walk(node):
-            if isinstance(sub, ast.Name) and sub.id in self.tainted:
-                return (sub.id, self.tainted[sub.id])
-        return None
-
-    # -- propagation ----------------------------------------------------------
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        taint = self._expr_taint(node.value)
-        self.scope.assign(node)
-        for target in node.targets:
-            if isinstance(target, ast.Name):
-                if taint is not None:
-                    self.tainted[target.id] = taint[1]
-                else:
-                    self.tainted.pop(target.id, None)
-        self.visit(node.value)  # sinks may hide inside the value expression
-
-    # -- sinks ----------------------------------------------------------------
-
-    def _untrusted_sink(self, node: ast.Call) -> Optional[str]:
-        func = node.func
-        if isinstance(func, ast.Name):
-            if (
-                func.id in self.model.universe
-                and func.id != self.owner
-                and self.model.trust_of(func.id) is TrustLevel.UNTRUSTED
-            ):
-                return f"{func.id}.__init__"
-            return None
-        if isinstance(func, ast.Attribute):
-            receiver = self.scope.infer(func.value)
-            if (
-                receiver is not None
-                and receiver != self.owner
-                and self.model.trust_of(receiver) is TrustLevel.UNTRUSTED
-            ):
-                return f"{receiver}.{func.attr}"
-        return None
-
-    def visit_Call(self, node: ast.Call) -> None:
-        sink = self._untrusted_sink(node)
-        if sink is not None:
-            arguments = list(node.args) + [kw.value for kw in node.keywords]
-            for arg in arguments:
-                taint = self._expr_taint(arg)
-                if taint is None:
-                    continue
-                display, source = taint
-                self.findings.append(
-                    Diagnostic(
-                        code=BOUNDARY_ESCAPE,
-                        severity=Severity.ERROR,
-                        class_name=self.owner,
-                        method_name=self.info.name,
-                        message=(
-                            f"{display} holds plain data from trusted "
-                            f"{source} and is passed to untrusted {sink} "
-                            "without going through the proxy layer"
-                        ),
-                        hint=(
-                            "keep the value behind an annotated class so it "
-                            "crosses as a proxy hash, or move this logic into "
-                            "the trusted side (§5.1, §5.2)"
-                        ),
-                        detail=f"{display}->{sink}",
-                        data={"source": source, "sink": sink},
-                    )
+    def check(self, model: AppModel) -> List[Diagnostic]:
+        analysis = analyze_taint(model)
+        findings: List[Diagnostic] = []
+        for event in analysis.sink_events:
+            if event.taint.kind != SECURE:
+                continue
+            findings.append(
+                Diagnostic(
+                    code=SECURE_ESCAPE,
+                    severity=Severity.ERROR,
+                    class_name=event.owner,
+                    method_name=event.method,
+                    message=(
+                        f"{event.display} carries secure value "
+                        f"{event.taint.source} into untrusted {event.sink} "
+                        "without passing declassify()"
+                    ),
+                    hint=(
+                        "call declassify(value, reason) at the sanctioned "
+                        "exit, or keep the value sealed behind the enclave "
+                        "boundary (SecV; docs/ANALYSIS.md)"
+                    ),
+                    detail=f"secure:{event.display}->{event.sink}",
+                    data={
+                        "source": event.taint.source,
+                        "sink": event.sink,
+                        "provenance": list(event.taint.chain),
+                    },
                 )
-        self.generic_visit(node)
-
-    def visit_Return(self, node: ast.Return) -> None:
-        if node.value is not None and self.owner_trust is TrustLevel.UNTRUSTED:
-            taint = self._expr_taint(node.value)
-            if taint is not None:
-                display, source = taint
-                self.findings.append(
-                    Diagnostic(
-                        code=BOUNDARY_ESCAPE,
-                        severity=Severity.ERROR,
-                        class_name=self.owner,
-                        method_name=self.info.name,
-                        message=(
-                            f"{display} holds plain data from trusted "
-                            f"{source} and is returned from untrusted "
-                            f"{self.owner}.{self.info.name}"
-                        ),
-                        hint=(
-                            "return an annotated instance (crosses as a "
-                            "proxy) or keep the secret on the trusted side "
-                            "(§5.1, §5.2)"
-                        ),
-                        detail=f"return:{display}",
-                        data={"source": source, "sink": "return"},
-                    )
+            )
+        for event in analysis.return_events:
+            if event.taint.kind != SECURE:
+                continue
+            if model.trust_of(event.owner) is not TrustLevel.UNTRUSTED:
+                continue  # trusted returns cross sealed; that path is sanctioned
+            if declares_secure_return(model, event.owner, event.method):
+                # The signature admits it: a declared ``-> SecureValue``
+                # hands callers sealed data on purpose (the mint-helper
+                # pattern). Undeclared secure returns stay escapes.
+                continue
+            findings.append(
+                Diagnostic(
+                    code=SECURE_ESCAPE,
+                    severity=Severity.ERROR,
+                    class_name=event.owner,
+                    method_name=event.method,
+                    message=(
+                        f"{event.display} carries secure value "
+                        f"{event.taint.source} and is returned from untrusted "
+                        f"{event.owner}.{event.method} declared to return "
+                        "plain data, without passing declassify()"
+                    ),
+                    hint=(
+                        "call declassify(value, reason) before the return, "
+                        "annotate the method '-> SecureValue' to hand callers "
+                        "sealed data deliberately, or return from trusted "
+                        "code so it crosses sealed (SecV; docs/ANALYSIS.md)"
+                    ),
+                    detail=f"secure-return:{event.display}",
+                    data={
+                        "source": event.taint.source,
+                        "sink": "return",
+                        "provenance": list(event.taint.chain),
+                    },
                 )
-        self.generic_visit(node)
+            )
+        return findings
+
+
+# -- MSV007: idle crossing ----------------------------------------------------
+
+
+class IdleCrossingRule(Rule):
+    code = IDLE_CROSSING
+    name = "idle-crossing"
+    description = (
+        "in an app that uses secure values, a crossing that carries none "
+        "of them is a relocation candidate: the callee may not need to "
+        "live across the boundary at all"
+    )
+
+    def check(self, model: AppModel) -> List[Diagnostic]:
+        analysis = analyze_taint(model)
+        if not analysis.uses_secure:
+            # Class-granular apps have not opted into value granularity;
+            # every crossing is presumed intentional.
+            return []
+        findings: List[Diagnostic] = []
+        for event in analysis.crossings:
+            if event.secure_args:
+                continue
+            if event.secure_return:
+                # The callee mints sealed data (declared -> SecureValue):
+                # the crossing serves value granularity even though its
+                # arguments are plain.
+                continue
+            findings.append(
+                Diagnostic(
+                    code=IDLE_CROSSING,
+                    severity=Severity.INFO,
+                    class_name=event.owner,
+                    method_name=event.method,
+                    message=(
+                        f"{event.kind} {event.routine} carries no secure "
+                        f"values ({event.total_args} plain argument(s)): at "
+                        "value granularity this crossing is a candidate to "
+                        "relocate out of the TCB"
+                    ),
+                    hint=(
+                        f"if {event.target.split('.')[0]} guards no secure "
+                        "state on this path, move the callee (or this call) "
+                        "to the caller's side and save the transition "
+                        "(SecV; docs/ANALYSIS.md)"
+                    ),
+                    detail=event.routine,
+                    data={
+                        "routine": event.routine,
+                        "kind": event.kind,
+                        "target": event.target,
+                        "secure_args": event.secure_args,
+                        "total_args": event.total_args,
+                    },
+                )
+            )
+        return findings
 
 
 # -- MSV002: unserializable crossing ------------------------------------------
@@ -590,4 +664,6 @@ def default_rules() -> Tuple[Rule, ...]:
         ChattyCrossingRule(),
         DeadTcbRule(),
         EncapsulationRule(),
+        SecureEscapeRule(),
+        IdleCrossingRule(),
     )

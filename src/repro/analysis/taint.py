@@ -1,0 +1,774 @@
+"""Interprocedural, fixpoint-based value taint propagation.
+
+PR 2's MSV001 walker tracked trusted-sourced plain data through one
+method body: direct assignments only, no tuple unpacking, no augmented
+assignment, no field or call-boundary flow. This module is its
+generalization — the propagation engine the ROADMAP's SecV item calls
+for — and the shared substrate for three lint rules:
+
+- **MSV001** (boundary escape): plain data obtained from a trusted
+  object flowing to untrusted sinks or returns;
+- **MSV006** (secure escape): a :func:`repro.core.secure.secure` value
+  reaching untrusted code without passing ``declassify()``;
+- **MSV007** (idle crossing): a boundary crossing carrying zero secure
+  values — at value granularity, a candidate to relocate out of the
+  TCB.
+
+Design
+======
+
+The engine abstractly interprets every method body over the JClass IR
+(:class:`~repro.analysis.inference.AppModel`), mapping each local
+variable to a set of :class:`Taint` facts. Taint is created at
+
+- calls on trusted receivers whose results cross as plain data (the
+  MSV001 source condition, unchanged), and
+- ``secure(...)`` intrinsic calls (kind ``secure``, labelled);
+
+propagates through assignments (including elementwise tuple/list
+unpacking), augmented assignments, container literals, field
+stores/loads (a global ``(class, field) -> taints`` map folded to a
+fixpoint), loop targets, and call arguments/returns via per-method
+summaries (which params flow to the return value, which concrete
+taints the method returns); and is killed only by ``declassify(value,
+reason)``. Each fact carries a bounded provenance chain
+(``source -> via:Class.method -> field:Class.f``) surfaced in
+diagnostics.
+
+Interprocedural summaries are computed to a fixpoint (the lattice is
+finite: taint sets over bounded chains), then a final recording pass
+emits events — sink hits, tainted returns, crossing call sites — that
+the rules translate into diagnostics. Trusted receivers stay opaque to
+*plain* taint beyond the original MSV001 source condition (their
+internals run inside the enclave; only the outermost call is a
+boundary fact), but *secure* taint flows through them so an enclave
+method handing back a secure value keeps its tag.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.inference import (
+    NESTED_PROXY,
+    NONE,
+    PROXY,
+    AppModel,
+    MethodInfo,
+    ScopeTypes,
+    crossing_kind,
+)
+from repro.graal.jtypes import TrustLevel
+
+#: Taint kinds. ``param`` is the summary placeholder for "whatever the
+#: caller passes" and never reaches a diagnostic directly.
+PLAIN = "plain"
+SECURE = "secure"
+PARAM = "param"
+
+#: Provenance chains are bounded so the abstract domain stays finite
+#: and the fixpoint terminates.
+MAX_CHAIN = 6
+
+#: Iteration cap for the interprocedural fixpoint (a backstop: the
+#: bounded lattice converges long before this on real apps).
+FIXPOINT_LIMIT = 16
+
+_SECURE_INTRINSIC = "secure"
+_DECLASSIFY_INTRINSIC = "declassify"
+
+
+@dataclass(frozen=True, order=True)
+class Taint:
+    """One taint fact: what kind of secret, where it came from, how it
+    travelled."""
+
+    kind: str
+    source: str
+    chain: Tuple[str, ...] = ()
+
+    def extended(self, step: str) -> "Taint":
+        """The same fact with ``step`` appended to its provenance.
+
+        No-ops on a repeated step and truncates at :data:`MAX_CHAIN`,
+        keeping the chain lattice finite."""
+        if self.chain and self.chain[-1] == step:
+            return self
+        if len(self.chain) >= MAX_CHAIN:
+            return self
+        return Taint(self.kind, self.source, (*self.chain, step))
+
+
+EMPTY: FrozenSet[Taint] = frozenset()
+
+
+def concrete(taints: FrozenSet[Taint]) -> FrozenSet[Taint]:
+    """Facts that name an actual secret (not summary placeholders)."""
+    return frozenset(t for t in taints if t.kind != PARAM)
+
+
+@dataclass(frozen=True)
+class MethodSummary:
+    """Boundary-relevant behaviour of one method, caller's view."""
+
+    returns: FrozenSet[Taint] = EMPTY  # concrete taints of the return value
+    flows: FrozenSet[str] = frozenset()  # params whose taint reaches the return
+
+
+@dataclass(frozen=True)
+class SinkEvent:
+    """A tainted argument reaching an untrusted call."""
+
+    owner: str
+    method: str
+    display: str
+    taint: Taint
+    sink: str
+
+
+@dataclass(frozen=True)
+class ReturnEvent:
+    """A tainted value returned from a method."""
+
+    owner: str
+    method: str
+    display: str
+    taint: Taint
+
+
+@dataclass(frozen=True)
+class CrossingEvent:
+    """One boundary-crossing call site and its secure-value payload."""
+
+    owner: str
+    method: str
+    routine: str
+    kind: str  # "ecall" | "ocall"
+    target: str  # "Class.method"
+    secure_args: int
+    total_args: int
+    #: The callee declares ``-> SecureValue``: the crossing *mints*
+    #: sealed data even when its arguments are plain.
+    secure_return: bool = False
+
+
+@dataclass
+class TaintAnalysis:
+    """Everything the taint-backed rules consume."""
+
+    summaries: Dict[str, MethodSummary] = field(default_factory=dict)
+    field_taints: Dict[Tuple[str, str], FrozenSet[Taint]] = field(default_factory=dict)
+    sink_events: List[SinkEvent] = field(default_factory=list)
+    return_events: List[ReturnEvent] = field(default_factory=list)
+    crossings: List[CrossingEvent] = field(default_factory=list)
+    uses_secure: bool = False
+    iterations: int = 0
+
+
+_CACHE_ATTR = "_taint_analysis_cache"
+
+
+def analyze_taint(model: AppModel) -> TaintAnalysis:
+    """Run (or reuse) the engine for one model. The analysis is pure in
+    the model, so rules sharing a model share one fixpoint."""
+    cached = getattr(model, _CACHE_ATTR, None)
+    if cached is None:
+        cached = TaintEngine(model).run()
+        setattr(model, _CACHE_ATTR, cached)
+    return cached
+
+
+class TaintEngine:
+    """Fixpoint driver: summaries + field taints, then a recording pass."""
+
+    def __init__(self, model: AppModel) -> None:
+        self.model = model
+        self.summaries: Dict[str, MethodSummary] = {}
+        self.field_taints: Dict[Tuple[str, str], FrozenSet[Taint]] = {}
+        self.params: Dict[str, Tuple[str, ...]] = {}
+        self.uses_secure = False
+        self._changed = False
+        for info in model.all_methods():
+            if info.tree is not None:
+                self.params[info.qualified_name] = _param_names(info.tree)
+
+    def run(self) -> TaintAnalysis:
+        iterations = 0
+        for _ in range(FIXPOINT_LIMIT):
+            iterations += 1
+            self._changed = False
+            for info in self.model.all_methods():
+                if info.tree is None:
+                    continue
+                interp = _Interpreter(self, info, record=False)
+                interp.run()
+                self._update_summary(info, interp)
+            if not self._changed:
+                break
+        analysis = TaintAnalysis(
+            summaries=dict(self.summaries),
+            field_taints=dict(self.field_taints),
+            uses_secure=self.uses_secure,
+            iterations=iterations,
+        )
+        for info in self.model.all_methods():
+            if info.tree is None:
+                continue
+            interp = _Interpreter(self, info, record=True)
+            interp.run()
+            analysis.sink_events.extend(interp.sink_events)
+            analysis.return_events.extend(interp.return_events)
+            analysis.crossings.extend(interp.crossings)
+        analysis.uses_secure = self.uses_secure
+        return analysis
+
+    # -- fixpoint state --------------------------------------------------------
+
+    def add_field_taints(self, key: Tuple[str, str], taints: FrozenSet[Taint]) -> None:
+        if not taints:
+            return
+        merged = self.field_taints.get(key, EMPTY) | taints
+        if merged != self.field_taints.get(key, EMPTY):
+            self.field_taints[key] = merged
+            self._changed = True
+
+    def _update_summary(self, info: MethodInfo, interp: "_Interpreter") -> None:
+        returned = frozenset(interp.return_taints)
+        summary = MethodSummary(
+            returns=concrete(returned),
+            flows=frozenset(t.source for t in returned if t.kind == PARAM),
+        )
+        if self.summaries.get(info.qualified_name) != summary:
+            self.summaries[info.qualified_name] = summary
+            self._changed = True
+
+
+def declares_secure_return(model, class_name: str, method_name: str) -> bool:
+    """Whether ``Class.method`` declares a ``SecureValue`` return.
+
+    The signature is the contract: a method annotated to return a
+    secure value hands its callers *sealed* data on purpose, so the
+    escape rules treat that flow as sanctioned. An undeclared secure
+    return (annotated ``str``, or not at all) stays an escape.
+    """
+    cls = model.by_name.get(class_name)
+    func = getattr(cls, method_name, None) if cls is not None else None
+    if func is None:
+        return False
+    raw = getattr(func, "__annotations__", {}).get("return")
+    if raw is None:
+        return False
+    if isinstance(raw, type):
+        return raw.__name__ == "SecureValue"
+    return "SecureValue" in str(raw)
+
+
+def _param_names(tree: ast.FunctionDef) -> Tuple[str, ...]:
+    args = tree.args
+    names = [a.arg for a in [*args.posonlyargs, *args.args] if a.arg != "self"]
+    return tuple(names)
+
+
+class _Interpreter:
+    """One pass over one method body.
+
+    Statements are processed in source order, branch bodies
+    sequentially (path-insensitive, like the PR 2 walker it replaces),
+    loop bodies once — the *inter*procedural fixpoint supplies the
+    iteration the *intra*procedural pass forgoes.
+    """
+
+    def __init__(self, engine: TaintEngine, info: MethodInfo, record: bool) -> None:
+        self.engine = engine
+        self.model = engine.model
+        self.info = info
+        self.owner = info.owner
+        self.owner_trust = engine.model.trust_of(info.owner)
+        self.record = record
+        self.scope = ScopeTypes(engine.model, info.owner, info.tree)
+        self.env: Dict[str, FrozenSet[Taint]] = {}
+        self.return_taints: Set[Taint] = set()
+        self.sink_events: List[SinkEvent] = []
+        self.return_events: List[ReturnEvent] = []
+        self.crossings: List[CrossingEvent] = []
+        self._seen_crossings: Set[str] = set()
+        for name in engine.params.get(info.qualified_name, ()):
+            self.env[name] = frozenset({Taint(PARAM, name)})
+        kwonly = info.tree.args.kwonlyargs if info.tree is not None else []
+        for arg in kwonly:
+            if arg.arg != "self":
+                self.env[arg.arg] = frozenset({Taint(PARAM, arg.arg)})
+
+    def run(self) -> None:
+        self._block(self.info.tree.body)
+
+    # -- statements ------------------------------------------------------------
+
+    def _block(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            taints = self._eval(stmt.value)
+            self.scope.assign(stmt)
+            for target in stmt.targets:
+                self._assign_target(target, taints, stmt.value)
+            self._check_expr(stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                taints = self._eval(stmt.value)
+                self._assign_target(stmt.target, taints, stmt.value)
+                self._check_expr(stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            taints = self._eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                # x += tainted propagates (the PR 2 walker dropped it).
+                merged = self.env.get(stmt.target.id, EMPTY) | taints
+                if merged:
+                    self.env[stmt.target.id] = merged
+            elif isinstance(stmt.target, ast.Attribute):
+                self._store_field(stmt.target, taints)
+            self._check_expr(stmt.value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                taints = self._eval(stmt.value)
+                self.return_taints |= taints
+                if self.record:
+                    self._record_return(stmt.value, taints)
+                self._check_expr(stmt.value)
+        elif isinstance(stmt, ast.Expr):
+            self._check_expr(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self._check_expr(stmt.test)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._check_expr(stmt.iter)
+            taints = self._eval(stmt.iter)
+            if taints:
+                self._assign_target(
+                    stmt.target,
+                    frozenset(t.extended("iterated") for t in taints),
+                    None,
+                )
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._check_expr(stmt.test)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._check_expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign_target(
+                        item.optional_vars,
+                        self._eval(item.context_expr),
+                        item.context_expr,
+                    )
+            self._block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._block(stmt.body)
+            for handler in stmt.handlers:
+                self._block(handler.body)
+            self._block(stmt.orelse)
+            self._block(stmt.finalbody)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            pass  # nested definitions are separate scopes
+        else:
+            # Raise, Assert, Global, ...: still scan contained
+            # expressions for sinks and crossings.
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._check_expr(child)
+
+    # -- assignment targets ----------------------------------------------------
+
+    def _assign_target(
+        self,
+        target: ast.expr,
+        taints: FrozenSet[Taint],
+        value: Optional[ast.expr],
+    ) -> None:
+        if isinstance(target, ast.Name):
+            if taints:
+                self.env[target.id] = taints
+            else:
+                self.env.pop(target.id, None)
+        elif isinstance(target, ast.Starred):
+            self._assign_target(target.value, taints, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            # Elementwise when the value is a literal of matching arity
+            # (the PR 2 walker dropped tuple unpacking entirely).
+            elements: Optional[List[ast.expr]] = None
+            if (
+                isinstance(value, (ast.Tuple, ast.List))
+                and len(value.elts) == len(target.elts)
+                and not any(isinstance(e, ast.Starred) for e in target.elts)
+            ):
+                elements = list(value.elts)
+            for index, elt in enumerate(target.elts):
+                if elements is not None:
+                    self._assign_target(elt, self._eval(elements[index]), elements[index])
+                else:
+                    self._assign_target(elt, taints, None)
+        elif isinstance(target, ast.Attribute):
+            self._store_field(target, taints)
+        elif isinstance(target, ast.Subscript):
+            # d[k] = tainted poisons the container variable.
+            base = target.value
+            if isinstance(base, ast.Name) and taints:
+                self.env[base.id] = self.env.get(base.id, EMPTY) | taints
+
+    def _store_field(self, target: ast.Attribute, taints: FrozenSet[Taint]) -> None:
+        receiver = self._receiver_class(target.value)
+        if receiver is None:
+            return
+        facts = concrete(taints)
+        if facts:
+            step = f"field:{receiver}.{target.attr}"
+            self.engine.add_field_taints(
+                (receiver, target.attr),
+                frozenset(t.extended(step) for t in facts),
+            )
+
+    def _receiver_class(self, node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Name) and node.id == "self":
+            return self.owner
+        return self.scope.infer(node)
+
+    # -- expression evaluation -------------------------------------------------
+
+    def _eval(self, node: Optional[ast.expr]) -> FrozenSet[Taint]:
+        if node is None:
+            return EMPTY
+        out: Set[Taint] = set()
+        stack: List[ast.AST] = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, ast.Name):
+                out |= self.env.get(current.id, EMPTY)
+            elif isinstance(current, ast.Call):
+                out |= self._eval_call(current)
+            elif isinstance(current, ast.Attribute):
+                receiver = self._receiver_class(current.value)
+                if receiver is not None:
+                    out |= self.engine.field_taints.get(
+                        (receiver, current.attr), EMPTY
+                    )
+                # Note sv.value lands here too: peeking inside a
+                # SecureValue keeps the secure taint of sv itself —
+                # only declassify() clears it.
+                stack.append(current.value)
+            elif isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            else:
+                stack.extend(ast.iter_child_nodes(current))
+        return frozenset(out)
+
+    def _eval_call(self, call: ast.Call) -> FrozenSet[Taint]:
+        func = call.func
+        name = _callee_name(func)
+        if name == _SECURE_INTRINSIC:
+            self.engine.uses_secure = True
+            inner = EMPTY
+            for arg in call.args[:1]:
+                inner = self._eval(arg)
+            label = _secure_label(call)
+            source = f"secure:{label}" if label else "secure"
+            chain: Tuple[str, ...] = (source,)
+            wrapped = sorted(concrete(inner))
+            if wrapped:
+                chain = (*chain, f"wraps:{wrapped[0].source}")
+            # secure() swallows plain taint: the wrapper *is* the
+            # sanctioned way to carry a trusted secret, so only the
+            # secure fact survives (MSV006 takes over from MSV001).
+            return frozenset({Taint(SECURE, source, chain)})
+        if name == _DECLASSIFY_INTRINSIC:
+            inner = self._eval(call.args[0]) if call.args else EMPTY
+            return frozenset(t for t in inner if t.kind != SECURE)
+        if isinstance(func, ast.Name):
+            if func.id in self.model.universe:
+                return EMPTY  # constructor: the instance is not a value taint
+            return self._union_args(call)
+        if isinstance(func, ast.Attribute):
+            receiver = self._receiver_class(func.value)
+            if receiver is None or receiver not in self.model.by_name:
+                return self._union_args(call) | self._eval(func.value)
+            return self._eval_known_call(call, receiver, func.attr)
+        return self._union_args(call)
+
+    def _eval_known_call(
+        self, call: ast.Call, receiver: str, method: str
+    ) -> FrozenSet[Taint]:
+        trust = self.model.trust_of(receiver)
+        summary = self.engine.summaries.get(f"{receiver}.{method}")
+        via = f"via:{receiver}.{method}"
+        out: Set[Taint] = set()
+        if trust is TrustLevel.TRUSTED:
+            # The MSV001 source condition, verbatim from PR 2: a
+            # trusted receiver whose result crosses as plain data. A
+            # declared ``-> SecureValue`` return leaves the enclave
+            # sealed instead, so it mints *secure* taint and MSV006
+            # (not MSV001) governs where it may go.
+            verdict = self.model.return_verdict(receiver, method)
+            if verdict.kind not in (NONE, PROXY, NESTED_PROXY):
+                source = f"{receiver}.{method}"
+                kind = (
+                    SECURE
+                    if declares_secure_return(self.model, receiver, method)
+                    else PLAIN
+                )
+                out.add(Taint(kind, source, (source,)))
+            # Trusted internals are opaque to plain taint (in-enclave
+            # flow is not a boundary fact) but secure values keep
+            # their tag through the enclave.
+            if summary is not None:
+                out |= {
+                    t.extended(via)
+                    for t in summary.returns
+                    if t.kind == SECURE
+                }
+                out |= {
+                    t.extended(via)
+                    for t in self._flow_args(call, receiver, method, summary)
+                    if t.kind == SECURE
+                }
+            return frozenset(out)
+        if summary is None:
+            return self._union_args(call) | self._eval(call.func.value)
+        out |= {t.extended(via) for t in summary.returns}
+        out |= {
+            t.extended(via) for t in self._flow_args(call, receiver, method, summary)
+        }
+        return frozenset(out)
+
+    def _flow_args(
+        self, call: ast.Call, receiver: str, method: str, summary: MethodSummary
+    ) -> FrozenSet[Taint]:
+        if not summary.flows:
+            return EMPTY
+        params = self.engine.params.get(f"{receiver}.{method}", ())
+        out: Set[Taint] = set()
+        for index, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            if index < len(params) and params[index] in summary.flows:
+                out |= concrete(self._eval(arg))
+        for keyword in call.keywords:
+            if keyword.arg is not None and keyword.arg in summary.flows:
+                out |= concrete(self._eval(keyword.value))
+        return frozenset(out)
+
+    def _union_args(self, call: ast.Call) -> FrozenSet[Taint]:
+        out: Set[Taint] = set()
+        for arg in call.args:
+            out |= self._eval(arg)
+        for keyword in call.keywords:
+            out |= self._eval(keyword.value)
+        return frozenset(out)
+
+    # -- sinks and crossings ---------------------------------------------------
+
+    def _check_expr(self, expr: ast.expr) -> None:
+        if not self.record:
+            # Sources still need discovering during summary passes (the
+            # uses_secure flag), but events belong to the final pass.
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Call) and _callee_name(node.func) == _SECURE_INTRINSIC:
+                    self.engine.uses_secure = True
+            return
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            if _callee_name(node.func) == _SECURE_INTRINSIC:
+                self.engine.uses_secure = True
+            sink = self._untrusted_sink(node)
+            if sink is not None:
+                arguments = list(node.args) + [kw.value for kw in node.keywords]
+                for arg in arguments:
+                    facts = concrete(self._eval(arg))
+                    self._record_sink(arg, facts, sink)
+            self._record_crossing(node)
+
+    def _untrusted_sink(self, node: ast.Call) -> Optional[str]:
+        # Verbatim PR 2 semantics: a call into a *different* untrusted
+        # class, either its constructor or a method on an inferred
+        # receiver.
+        func = node.func
+        if isinstance(func, ast.Name):
+            if (
+                func.id in self.model.universe
+                and func.id != self.owner
+                and self.model.trust_of(func.id) is TrustLevel.UNTRUSTED
+            ):
+                return f"{func.id}.__init__"
+            return None
+        if isinstance(func, ast.Attribute):
+            receiver = self.scope.infer(func.value)
+            if (
+                receiver is not None
+                and receiver != self.owner
+                and self.model.trust_of(receiver) is TrustLevel.UNTRUSTED
+            ):
+                return f"{receiver}.{func.attr}"
+        return None
+
+    def _record_sink(
+        self, arg: ast.expr, facts: FrozenSet[Taint], sink: str
+    ) -> None:
+        for kind in (PLAIN, SECURE):
+            of_kind = sorted(t for t in facts if t.kind == kind)
+            if not of_kind:
+                continue
+            taint = self._representative(arg, of_kind)
+            self.sink_events.append(
+                SinkEvent(
+                    owner=self.owner,
+                    method=self.info.name,
+                    display=self._display(arg, taint),
+                    taint=taint,
+                    sink=sink,
+                )
+            )
+
+    def _record_return(self, value: ast.expr, taints: FrozenSet[Taint]) -> None:
+        facts = concrete(taints)
+        for kind in (PLAIN, SECURE):
+            of_kind = sorted(t for t in facts if t.kind == kind)
+            if not of_kind:
+                continue
+            taint = self._representative(value, of_kind)
+            self.return_events.append(
+                ReturnEvent(
+                    owner=self.owner,
+                    method=self.info.name,
+                    display=self._display(value, taint),
+                    taint=taint,
+                )
+            )
+
+    def _record_crossing(self, node: ast.Call) -> None:
+        crossing = self._crossing_target(node)
+        if crossing is None:
+            return
+        routine, kind, target = crossing
+        if routine in self._seen_crossings:
+            return
+        self._seen_crossings.add(routine)
+        arguments = list(node.args) + [kw.value for kw in node.keywords]
+        secure_args = sum(
+            1
+            for arg in arguments
+            if any(t.kind == SECURE for t in self._eval(arg))
+        )
+        target_class, _, target_method = target.partition(".")
+        self.crossings.append(
+            CrossingEvent(
+                owner=self.owner,
+                method=self.info.name,
+                routine=routine,
+                kind=kind,
+                target=target,
+                secure_args=secure_args,
+                total_args=len(arguments),
+                secure_return=declares_secure_return(
+                    self.model, target_class, target_method
+                ),
+            )
+        )
+
+    def _crossing_target(self, node: ast.Call) -> Optional[Tuple[str, str, str]]:
+        # Same geometry as the MSV003 estimator, minus the loop gate.
+        func = node.func
+        if isinstance(func, ast.Name):
+            receiver = func.id
+            if receiver not in self.model.universe:
+                return None
+            trust = self.model.trust_of(receiver)
+            if not trust.annotated:
+                return None
+            kind = crossing_kind(self.owner_trust, trust)
+            if kind is None:
+                return None
+            return (f"relay_{receiver}_init", kind, f"{receiver}.__init__")
+        if isinstance(func, ast.Attribute):
+            receiver = self.scope.infer(func.value)
+            if receiver is None or receiver not in self.model.universe:
+                return None
+            trust = self.model.trust_of(receiver)
+            if not trust.annotated:
+                return None
+            kind = crossing_kind(self.owner_trust, trust)
+            if kind is None:
+                return None
+            return (f"relay_{receiver}_{func.attr}", kind, f"{receiver}.{func.attr}")
+        return None
+
+    # -- diagnostics surface ---------------------------------------------------
+
+    def _representative(self, node: ast.expr, candidates: List[Taint]) -> Taint:
+        """The fact a diagnostic names, chosen the way the PR 2 walker
+        did: a direct source call wins, then the first tainted name in
+        walk order, then deterministic order."""
+        direct = self._direct_source(node)
+        if direct is not None:
+            for taint in candidates:
+                if taint.source == direct:
+                    return taint
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name):
+                for taint in sorted(self.env.get(sub.id, EMPTY)):
+                    if taint in candidates:
+                        return taint
+        return candidates[0]
+
+    def _display(self, node: ast.expr, taint: Taint) -> str:
+        direct = self._direct_source(node)
+        if direct is not None and taint.source == direct:
+            return f"{direct}()"
+        if isinstance(node, ast.Call) and _callee_name(node.func) == _SECURE_INTRINSIC:
+            return f"{taint.source}()"
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and taint in self.env.get(sub.id, EMPTY):
+                return sub.id
+        return taint.source
+
+    def _direct_source(self, node: ast.expr) -> Optional[str]:
+        """``Class.method`` when ``node`` itself is an MSV001 source
+        call (matching the walker's display form ``Class.method()``)."""
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+            return None
+        receiver = self.scope.infer(node.func.value)
+        if receiver is None or self.model.trust_of(receiver) is not TrustLevel.TRUSTED:
+            return None
+        verdict = self.model.return_verdict(receiver, node.func.attr)
+        if verdict.kind in (NONE, PROXY, NESTED_PROXY):
+            return None
+        return f"{receiver}.{node.func.attr}"
+
+
+def _callee_name(func: ast.expr) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _secure_label(call: ast.Call) -> str:
+    if len(call.args) >= 2 and isinstance(call.args[1], ast.Constant):
+        if isinstance(call.args[1].value, str):
+            return call.args[1].value
+    for keyword in call.keywords:
+        if keyword.arg == "label" and isinstance(keyword.value, ast.Constant):
+            if isinstance(keyword.value.value, str):
+                return keyword.value.value
+    return ""

@@ -1,0 +1,200 @@
+"""Value-granular re-partitions of bank and SecureKeeper (SecV-style).
+
+Montsalvat partitions at *class* granularity: one secret field drags the
+whole class — and every method reachable from it — into the enclave
+image, and every call on it across the boundary. SecV (PAPERS.md,
+arXiv:2310.15582) partitions at *value* granularity instead: secrets
+travel as :func:`~repro.core.secure` values that seal themselves on
+every crossing, so the classes that merely *carry* them can stay
+untrusted.
+
+This module re-expresses two bundled applications that way, so
+``python -m repro secv`` can measure what the finer granularity buys:
+
+- **bank** — :class:`SettlementVault` is the only trusted class; the
+  accounts and the ledger move to the untrusted image, holding their
+  balances as sealed :class:`~repro.core.secure.SecureValue` blobs and
+  accumulating public deltas locally. Only opening, settling and
+  totalling — the operations that actually touch the secret — cross.
+- **SecureKeeper** — payload protection stops being enclave *code*:
+  znode payloads are ``secure()`` values sealed by the wire layer, so
+  the trusted side shrinks to :class:`AuditVault` (the in-enclave audit
+  trail, the one feature that genuinely needs enclave state).
+
+Both variants compute bit-identical results to their class-granular
+originals (:mod:`repro.apps.bank`, :mod:`repro.apps.securekeeper`);
+``repro.experiments.secv_exp`` asserts that, then compares TCB bytes
+and boundary crossings.
+
+Deliberately **not** in the linter's ``BUNDLED_APPS``: these are
+experiment subjects, not lint fixtures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.apps.securekeeper import ZNodeStore
+from repro.batching import batchable
+from repro.core.annotations import ambient_context, trusted, untrusted
+from repro.core.secure import SecureValue, declassify, secure
+
+#: In-enclave audit-record cost — matches ``PayloadVault.record_access``
+#: in :mod:`repro.apps.securekeeper` so the two granularities price the
+#: shared audit feature identically.
+AUDIT_RECORD_CYCLES = 650.0
+
+
+# -- bank, value-granular -----------------------------------------------------
+
+
+@trusted
+class SettlementVault:
+    """The bank's entire enclave: mint, settle and total secure balances.
+
+    Compare :class:`repro.apps.bank.Account` +
+    :class:`repro.apps.bank.AccountRegistry` (seven trusted methods,
+    one crossing per balance update): here the trusted surface is three
+    operations, and updates between settlements never cross at all.
+    """
+
+    def __init__(self) -> None:
+        self.settlements = 0
+
+    def open_account(self, owner: str, opening: int) -> SecureValue:
+        """Mint a sealed opening balance; it leaves only sealed."""
+        return secure(opening, f"balance:{owner}")
+
+    def settle(self, balance: SecureValue, delta: int) -> SecureValue:
+        """Fold an accumulated public delta into a sealed balance."""
+        self.settlements += 1
+        current = declassify(balance, "in-enclave settlement")
+        return balance.derive("settled", current + delta)
+
+    def total(self, balances: Tuple[SecureValue, ...]) -> int:
+        """Aggregate sealed balances; only the *sum* is declassified."""
+        return sum(
+            declassify(balance, "in-enclave aggregation")
+            for balance in balances
+        )
+
+
+@untrusted
+class ValueAccount:
+    """An account living on the untrusted heap.
+
+    The balance is a sealed blob the account cannot read; updates
+    accumulate as a plain pending delta (amounts are public in this
+    model — the *balances* are the secret) and fold in at settlement.
+    """
+
+    def __init__(self, owner: str, vault: SettlementVault, opening: int) -> None:
+        self.owner = owner
+        self.sealed = vault.open_account(owner, opening)
+        self.pending = 0
+
+    def update_balance(self, amount: int) -> None:
+        """Record a signed amount locally — no enclave crossing."""
+        self.pending += amount
+
+    def settle(self, vault: SettlementVault) -> None:
+        """Fold the pending delta into the sealed balance (one ecall)."""
+        if self.pending:
+            self.sealed = vault.settle(self.sealed, self.pending)
+            self.pending = 0
+
+    def sealed_balance(self) -> SecureValue:
+        return self.sealed
+
+
+@untrusted
+class ValueLedger:
+    """Untrusted registry of value-granular accounts."""
+
+    def __init__(self) -> None:
+        self.accounts: List[ValueAccount] = []
+
+    def add_account(self, account: ValueAccount) -> None:
+        self.accounts.append(account)
+
+    def count(self) -> int:
+        return len(self.accounts)
+
+    def settle_all(self, vault: SettlementVault) -> None:
+        for account in self.accounts:
+            account.settle(vault)
+
+    def sealed_balances(self) -> Tuple[SecureValue, ...]:
+        """The sealed blobs, for the application's aggregation exit.
+
+        Deliberately *not* a declassified total: the neutral caller
+        asks :meth:`SettlementVault.total` for that, so the only plain
+        exit lives in composition code, outside the annotated universe.
+        """
+        return tuple(account.sealed_balance() for account in self.accounts)
+
+
+# -- SecureKeeper, value-granular ---------------------------------------------
+
+
+@trusted
+class AuditVault:
+    """The value-granular keeper's entire enclave: the audit trail.
+
+    Encryption stops being enclave *code* — payloads cross as
+    ``secure()`` values the wire layer seals — so of
+    :class:`repro.apps.securekeeper.PayloadVault`'s six trusted methods
+    only the censorship-resistant audit log remains.
+    """
+
+    def __init__(self) -> None:
+        self._audit: List[str] = []
+
+    @batchable
+    def record_access(self, path: str) -> None:
+        """Append one entry to the in-enclave audit trail."""
+        ctx = ambient_context()
+        ctx.compute(AUDIT_RECORD_CYCLES, mem_bytes=len(path) + 24)
+        self._audit.append(path)
+
+    def audit_count(self) -> int:
+        return len(self._audit)
+
+
+class ValueKeeperClient:
+    """Neutral client: secure-value payloads over the untrusted store.
+
+    ``put`` wraps the plaintext with :func:`secure` and hands the
+    sealed value to the (untrusted) tree; ``read`` is the application's
+    single declassification point. Contrast
+    :class:`repro.apps.securekeeper.SecureKeeperClient`, which pays an
+    encrypt/decrypt ecall per operation.
+    """
+
+    def __init__(
+        self, vault: AuditVault, store: ZNodeStore, audit: bool = False
+    ) -> None:
+        self.vault = vault
+        self.store = store
+        self.audit = audit
+
+    def put(self, path: str, plaintext: str) -> None:
+        if self.audit:
+            self.vault.record_access(path)
+        blob = secure(plaintext, path)
+        if self.store.exists(path):
+            _, version = self.store.get(path)
+            self.store.set(path, blob, version)
+        else:
+            self.store.create(path, blob)
+
+    def read(self, path: str) -> str:
+        if self.audit:
+            self.vault.record_access(path)
+        blob, _ = self.store.get(path)
+        return declassify(blob, f"keeper read of {path}")
+
+
+#: Class universes handed to the partitioner, one per variant.
+SECV_BANK_CLASSES = (SettlementVault, ValueAccount, ValueLedger)
+SECV_KEEPER_CLASSES = (AuditVault, ZNodeStore)

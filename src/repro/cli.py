@@ -27,9 +27,11 @@ verdicts are included in every ``--obs-summary`` output.
 Without these flags no tracer is attached and the experiment output is
 byte-identical to a build without the observability layer.
 
-Two further subcommands are intercepted before the experiment parser:
-``repro lint`` (static partition linter) and ``repro perf`` (wall-clock
-benchmark suite appending to ``BENCH_perf.json`` — see docs/PERF.md).
+Three further subcommands are intercepted before the experiment parser:
+``repro lint`` (static partition linter), ``repro perf`` (wall-clock
+benchmark suite appending to ``BENCH_perf.json`` — see docs/PERF.md)
+and ``repro secv`` (class- vs value-granular partitioning ablation —
+see docs/ANALYSIS.md, "Value-granular partitioning").
 """
 
 from __future__ import annotations
@@ -236,7 +238,8 @@ def build_parser() -> argparse.ArgumentParser:
             "additional subcommands: 'repro lint' — static partition linter "
             "over the bundled apps (see docs/ANALYSIS.md); 'repro perf' — "
             "wall-clock benchmark suite with BENCH trajectory + regression "
-            "gates (see docs/PERF.md)"
+            "gates (see docs/PERF.md); 'repro secv' — class- vs "
+            "value-granular partitioning ablation"
         ),
     )
     parser.add_argument(
@@ -303,6 +306,11 @@ def main(argv=None) -> int:
         from repro.experiments.perf_bench import main as perf_main
 
         return perf_main(list(argv[1:]))
+    if argv and argv[0] == "secv":
+        # Granularity ablation; its own argparse handles the rest.
+        from repro.experiments.secv_exp import main as secv_main
+
+        return secv_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     wants_obs = args.trace or args.events or args.metrics or args.obs_summary
     if not wants_obs:

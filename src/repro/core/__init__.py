@@ -39,6 +39,7 @@ from repro.core.partitioner import Partitioner, PartitionOptions
 from repro.core.registry import MirrorProxyRegistry
 from repro.core.rmi import RmiRuntime
 from repro.core.multi_isolate import MultiIsolateRuntime, upgrade_session
+from repro.core.secure import SecureValue, declassify, is_secure, secure
 from repro.core.serialization import SerializationCodec, WireSerializationCodec
 from repro.core.shim import ShimLibc
 from repro.core.tcb import partitioned_tcb, scone_tcb, unpartitioned_tcb
@@ -69,6 +70,10 @@ __all__ = [
     "PartitionOptions",
     "MirrorProxyRegistry",
     "RmiRuntime",
+    "SecureValue",
+    "secure",
+    "declassify",
+    "is_secure",
     "SerializationCodec",
     "ShimLibc",
     "BytecodeTransformer",

@@ -37,6 +37,7 @@ from repro.core.proxy import (
     proxy_hash,
 )
 from repro.core.registry import MirrorProxyRegistry
+from repro.core.secure import SecureValue, secure_payload_cycles
 from repro.core.serialization import SerializationCodec
 from repro.errors import RmiError
 from repro.graal.isolate import Isolate
@@ -505,6 +506,17 @@ class RmiRuntime:
 
     def _encode_value(self, value: Any, side: Side) -> Tuple[str, Any, int]:
         """Encode one value on ``side``; returns (tag, payload, bytes)."""
+        if isinstance(value, SecureValue):
+            # Secure payloads leave a runtime only sealed: the codec
+            # round-trips tag + provenance intact, and the crossing pays
+            # AES-class sealing on top of ordinary serialization. Plain
+            # payloads never reach this branch — pricing is untouched
+            # when secure values are not in play.
+            buffer = self.codec.serialize(value, self._location(side))
+            self.platform.charge_cycles(
+                "sgx.seal.secure_value", secure_payload_cycles(len(buffer))
+            )
+            return ("secure", buffer, len(buffer))
         if isinstance(value, _PRIMITIVES):
             return ("prim", value, 8)
         if is_proxy(value):
@@ -554,6 +566,11 @@ class RmiRuntime:
             remote_hash, cls = payload
             return self._proxy_for(side, cls, remote_hash)
         if tag == "ser":
+            return self.codec.deserialize(payload, self._location(side))
+        if tag == "secure":
+            self.platform.charge_cycles(
+                "sgx.unseal.secure_value", secure_payload_cycles(len(payload))
+            )
             return self.codec.deserialize(payload, self._location(side))
         raise RmiError(f"unknown encoding tag {tag!r}")
 

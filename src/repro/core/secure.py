@@ -1,0 +1,93 @@
+"""SecV-style secure values: partition at *value* granularity.
+
+Montsalvat partitions at class granularity — one secret field drags a
+whole class into the enclave. SecV (PAPERS.md, arXiv:2310.15582) shows
+that tagging individual *values* as secure recovers the slack: a class
+can hold mixed trusted/untrusted fields, and only the secure values
+force a crossing or sealing.
+
+:func:`secure` wraps any wire-encodable value in a
+:class:`SecureValue` whose tag and provenance chain survive the
+transformer, the proxy layer and the :mod:`repro.core.wire` codec
+(tag ``0x0B``). Crossing the enclave boundary, a secure payload is
+priced like sealed storage (:mod:`repro.sgx.sealing`'s AES-class
+fixed + per-byte cycles) — plain payloads are priced exactly as
+before, so the mechanism is zero-cost when unused.
+
+:func:`declassify` is the *only* sanctioned exit: it unwraps the value
+and records the stated reason in the provenance chain it returns. The
+partition linter's MSV006 rule flags secure values that reach
+untrusted sinks without passing through it (see docs/ANALYSIS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+#: Provenance chains are bounded so repeated derivations cannot grow a
+#: payload without limit; older steps fall off the front.
+MAX_PROVENANCE = 8
+
+#: Sealed-payload pricing, mirroring :mod:`repro.sgx.sealing` — secure
+#: values crossing the boundary pay AES-GCM-class work per byte.
+SEAL_FIXED_CYCLES = 3_000.0
+SEAL_BYTE_CYCLES = 2.5
+
+
+@dataclass(frozen=True)
+class SecureValue:
+    """A value tagged secure, with a provenance chain.
+
+    ``provenance`` records where the secrecy came from (``secure@...``,
+    derivation notes, declassification would *remove* the wrapper
+    instead of appending). The chain is data, not behaviour: transport
+    layers round-trip it untouched.
+    """
+
+    value: Any
+    label: str = ""
+    provenance: Tuple[str, ...] = ()
+
+    def derive(self, note: str, value: Any) -> "SecureValue":
+        """A new secure value computed from this one (taint persists)."""
+        chain = (*self.provenance, f"derive:{note}")[-MAX_PROVENANCE:]
+        return SecureValue(value=value, label=self.label, provenance=chain)
+
+    def __repr__(self) -> str:  # never leak the payload into logs
+        tag = self.label or "value"
+        return f"SecureValue(<{tag}>, provenance={list(self.provenance)})"
+
+
+def secure(value: Any, label: str = "") -> SecureValue:
+    """Tag ``value`` as secure; idempotent on already-secure values."""
+    if isinstance(value, SecureValue):
+        return value
+    origin = f"secure:{label}" if label else "secure"
+    return SecureValue(value=value, label=label, provenance=(origin,))
+
+
+def declassify(value: Any, reason: str) -> Any:
+    """Unwrap a secure value, recording why that is safe.
+
+    ``reason`` is mandatory and non-empty — the point of the gate is
+    that every exit from the secure world is a deliberate, reviewable
+    decision. Passing a plain value through is a no-op, so call sites
+    can declassify uniformly.
+    """
+    if not reason or not reason.strip():
+        raise ValueError("declassify() requires a non-empty reason")
+    if isinstance(value, SecureValue):
+        return value.value
+    return value
+
+
+def is_secure(value: Any) -> bool:
+    """Whether ``value`` carries the secure tag."""
+    return isinstance(value, SecureValue)
+
+
+def secure_payload_cycles(nbytes: int) -> float:
+    """Sealing-equivalent cost of moving ``nbytes`` of secure payload
+    across the enclave boundary."""
+    return SEAL_FIXED_CYCLES + nbytes * SEAL_BYTE_CYCLES

@@ -41,6 +41,10 @@ _TAG_LIST = 0x07
 _TAG_TUPLE = 0x08
 _TAG_DICT = 0x09
 _TAG_SET = 0x0A
+# Secure values (repro.core.secure): label + provenance chain + inner
+# value. Tags 0x00-0x0A are frozen; plain payloads never emit 0x0B, so
+# pre-secure-value streams are byte-identical.
+_TAG_SECURE = 0x0B
 
 _MAX_DEPTH = 64
 
@@ -112,11 +116,42 @@ def _write(out: List[bytes], value: Any, depth: int) -> None:
         for key, item in value.items():
             _write(out, key, depth + 1)
             _write(out, item, depth + 1)
+    elif _is_secure_value(value):
+        out.append(bytes([_TAG_SECURE]))
+        label = value.label.encode("utf-8")
+        out.append(_encode_varint(len(label)))
+        out.append(label)
+        out.append(_encode_varint(len(value.provenance)))
+        for step in value.provenance:
+            encoded = step.encode("utf-8")
+            out.append(_encode_varint(len(encoded)))
+            out.append(encoded)
+        _write(out, value.value, depth + 1)
     else:
         raise SerializationError(
             f"type {type(value).__name__} is not a neutral wire type; "
             "annotate its class or convert it to plain data"
         )
+
+
+def _is_secure_value(value: Any) -> bool:
+    # Imported lazily so the wire module stays usable on its own and
+    # pays nothing on the plain-payload fast path (all prior branches
+    # miss before this one is even consulted).
+    from repro.core.secure import SecureValue
+
+    return isinstance(value, SecureValue)
+
+
+def _read_utf8(data: bytes, offset: int) -> Tuple[str, int]:
+    length, offset = _decode_varint(data, offset)
+    end = offset + length
+    if end > len(data):
+        raise SerializationError("truncated secure-value string")
+    try:
+        return data[offset:end].decode("utf-8"), end
+    except UnicodeDecodeError as exc:
+        raise SerializationError(f"invalid utf-8 in wire string: {exc}")
 
 
 def _write_sequence(out: List[bytes], tag: int, items, depth: int) -> None:
@@ -177,6 +212,17 @@ def _read(data: bytes, offset: int, depth: int) -> Tuple[Any, int]:
                     f"unhashable set element in wire data: {exc}"
                 )
         return items, offset
+    if tag == _TAG_SECURE:
+        from repro.core.secure import SecureValue
+
+        label, offset = _read_utf8(data, offset)
+        count, offset = _decode_varint(data, offset)
+        steps = []
+        for _ in range(count):
+            step, offset = _read_utf8(data, offset)
+            steps.append(step)
+        inner, offset = _read(data, offset, depth + 1)
+        return SecureValue(value=inner, label=label, provenance=tuple(steps)), offset
     if tag == _TAG_DICT:
         count, offset = _decode_varint(data, offset)
         result = {}

@@ -30,8 +30,13 @@ from repro.errors import AttestationError, SgxError
 from repro.sgx.enclave import Enclave
 
 #: AES-GCM-class cost per sealed byte, charged to the enclave context.
-_SEAL_BYTE_CYCLES = 2.5
-_SEAL_FIXED_CYCLES = 3_000.0
+#: Public so other layers pricing "sealed-equivalent" work (e.g. secure
+#: values crossing the boundary, repro.core.secure) stay in sync.
+SEAL_BYTE_CYCLES = 2.5
+SEAL_FIXED_CYCLES = 3_000.0
+
+_SEAL_BYTE_CYCLES = SEAL_BYTE_CYCLES
+_SEAL_FIXED_CYCLES = SEAL_FIXED_CYCLES
 
 
 @dataclass(frozen=True)

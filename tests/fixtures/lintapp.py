@@ -17,7 +17,13 @@ Expected findings:
 - ``MSV004`` — ``Vault._forgotten_migration`` is private (gets no relay)
   and never called: dead enclave code;
 - ``MSV005`` — ``Station.peek`` reads ``Vault.secret`` directly and
-  ``Station.probe`` does the same through ``getattr``.
+  ``Station.probe`` does the same through ``getattr``;
+- ``MSV006`` — ``Station.broadcast`` hands a ``secure()`` value to
+  untrusted ``Uplink.send`` without ``declassify()``
+  (``Station.publish`` declassifies properly and stays clean);
+- ``MSV007`` — because the app uses secure values, every crossing that
+  carries none of them (the ``Vault`` ecalls) is flagged as a
+  relocation candidate.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.core.annotations import trusted, untrusted
+from repro.core.secure import declassify, secure
 
 
 @trusted
@@ -110,6 +117,15 @@ class Station:
     def probe(self) -> object:
         vault = self.vault
         return getattr(vault, "secret")  # MSV005: string-based field access
+
+    def broadcast(self) -> None:
+        token = secure("launch-code", "token")
+        self.uplink.send(token)  # MSV006: secure value escapes undeclassified
+
+    def publish(self) -> None:
+        manifest = secure("manifest-v1", "manifest")
+        # Clean: declassify() is the sanctioned exit, so no MSV006 here.
+        self.uplink.send(declassify(manifest, "public manifest"))
 
 
 LINT_FIXTURE_CLASSES = (Vault, AuditLog, Config, Uplink, Station)

@@ -1,0 +1,129 @@
+"""Seeded secure-value fixture: every MSV006 escape path, one clean exit.
+
+Used by ``tests/test_analysis.py`` and the CI ``secv-smoke`` job::
+
+    PYTHONPATH=src python -m repro lint --module tests.fixtures.secvapp
+
+Expected findings:
+
+- ``MSV006`` (x4) — a ``secure()`` value reaches untrusted
+  ``Gateway.send`` without ``declassify()`` along four distinct flow
+  paths the interprocedural engine must track:
+
+  * ``Broker.leak_direct``    — the ``secure()`` call is the argument;
+  * ``Broker.leak_via_helper``— minted in ``Broker.mint`` and returned
+    (interprocedural summary flow);
+  * ``Broker.leak_via_field`` — stashed in ``self.cached`` by
+    ``Broker.stash`` and loaded back (field-taint flow);
+  * ``Broker.leak_via_tuple`` — carried through tuple unpacking;
+  * ``Broker.export``        — returned from a method *declared* to
+    return plain ``str`` (an undeclared declassification point).
+
+  ``Broker.publish`` declassifies with a reason and stays clean, and
+  ``Broker.mint`` is clean because its ``-> SecureValue`` annotation
+  hands callers sealed data deliberately.
+
+- ``MSV001`` (x2) — the satellite regressions for plain taint:
+  ``Mixer.tuple_leak`` propagates through tuple unpacking,
+  ``Mixer.accumulate`` through augmented assignment.
+
+- ``MSV007`` — the app uses secure values, so the ``Keyring.rotate``
+  ecalls in ``Broker.heartbeat`` (which carry none) are flagged as
+  relocation candidates.
+"""
+
+from __future__ import annotations
+
+from repro.core.annotations import trusted, untrusted
+from repro.core.secure import SecureValue, declassify, secure
+
+
+@trusted
+class Keyring:
+    """Minimal enclave state; its ecalls never carry secure values."""
+
+    def __init__(self, master: str) -> None:
+        self.master = master
+
+    def reveal(self) -> str:
+        return self.master
+
+    def rotate(self, salt: int) -> int:
+        self.master = f"{self.master}:{salt}"
+        return salt
+
+
+@untrusted
+class Gateway:
+    """Untrusted egress: the sink every leak lands in."""
+
+    def __init__(self) -> None:
+        self.sent = 0
+
+    def send(self, payload: str) -> int:
+        self.sent += 1
+        return self.sent
+
+
+@untrusted
+class Broker:
+    """Untrusted orchestrator exercising every secure-value flow path."""
+
+    def __init__(self) -> None:
+        self.keyring = Keyring("root")
+        self.gateway = Gateway()
+        self.cached: SecureValue = secure("", "cache")
+
+    def mint(self) -> SecureValue:
+        return secure("api-key-7", "api-key")
+
+    def leak_direct(self) -> None:
+        self.gateway.send(secure("0000", "pin"))  # MSV006: direct escape
+
+    def leak_via_helper(self) -> None:
+        token = self.mint()
+        self.gateway.send(token)  # MSV006: interprocedural return flow
+
+    def stash(self) -> None:
+        self.cached = self.mint()
+
+    def leak_via_field(self) -> None:
+        self.gateway.send(self.cached)  # MSV006: field-taint flow
+
+    def leak_via_tuple(self) -> None:
+        token, attempts = self.mint(), 3
+        self.gateway.send(token)  # MSV006: flow through tuple unpacking
+        self.gateway.send(str(attempts))  # plain sibling stays clean
+
+    def export(self) -> str:
+        return self.mint()  # MSV006: declared plain return, sealed value
+
+    def publish(self) -> None:
+        # Clean: declassify() is the sanctioned exit, so no MSV006 here.
+        self.gateway.send(declassify(self.mint(), "rotated out of service"))
+
+    def heartbeat(self, rounds: int) -> None:
+        for salt in range(rounds):
+            self.keyring.rotate(salt)  # MSV007: crossing, zero secure values
+
+
+@untrusted
+class Mixer:
+    """Plain-taint regressions: the MSV001 gaps this PR closes."""
+
+    def __init__(self) -> None:
+        self.keyring = Keyring("root")
+        self.gateway = Gateway()
+
+    def tuple_leak(self) -> int:
+        secret, count = self.keyring.reveal(), 2
+        self.gateway.send(secret)  # MSV001: taint through tuple unpacking
+        return count
+
+    def accumulate(self) -> None:
+        banner = "key="
+        banner += self.keyring.reveal()
+        self.gateway.send(banner)  # MSV001: taint through augmented assign
+
+
+SECV_FIXTURE_CLASSES = (Keyring, Gateway, Broker, Mixer)

@@ -11,15 +11,20 @@ from repro.analysis import (
     CHATTY_CROSSING,
     DEAD_TCB,
     ENCAPSULATION,
+    IDLE_CROSSING,
+    SECURE_ESCAPE,
     UNSERIALIZABLE_CROSSING,
     AppModel,
     Diagnostic,
     LintResult,
     PartitionLinter,
     Severity,
+    analyze_taint,
     classify_annotation,
+    declares_secure_return,
     diff_candidates,
     load_baseline,
+    update_baseline,
     write_baseline,
 )
 from repro.analysis.report import JSON_SCHEMA, format_text, to_dict, to_json
@@ -28,6 +33,7 @@ from repro.core import Partitioner, PartitionOptions
 from repro.errors import PartitionError
 from repro.sgx.profiler import RoutineProfile
 from tests.fixtures.lintapp import LINT_FIXTURE_CLASSES, Station
+from tests.fixtures.secvapp import SECV_FIXTURE_CLASSES
 
 REPO_BASELINE = Path(__file__).resolve().parent.parent / "lint-baseline.txt"
 
@@ -35,6 +41,11 @@ REPO_BASELINE = Path(__file__).resolve().parent.parent / "lint-baseline.txt"
 @pytest.fixture(scope="module")
 def fixture_result() -> LintResult:
     return PartitionLinter().lint(LINT_FIXTURE_CLASSES)
+
+
+@pytest.fixture(scope="module")
+def secv_result() -> LintResult:
+    return PartitionLinter().lint(SECV_FIXTURE_CLASSES)
 
 
 class TestFixtureFindings:
@@ -304,3 +315,235 @@ class TestDeadTcbAccounting:
         assert method_code_bytes() == CODE_BYTES_PER_METHOD
         report = dead_code_report({"Vault": ["_forgotten_migration", "_other"]})
         assert report.total_bytes == 2 * CODE_BYTES_PER_METHOD
+
+
+class TestTaintRegressions:
+    """The MSV001 propagation gaps this PR closes (satellite 1)."""
+
+    def test_tuple_unpacking_propagates_taint(self, secv_result):
+        keys = {d.suppression_key for d in secv_result.by_code(BOUNDARY_ESCAPE)}
+        assert "MSV001:Mixer.tuple_leak:secret->Gateway.send" in keys
+
+    def test_augmented_assign_propagates_taint(self, secv_result):
+        keys = {d.suppression_key for d in secv_result.by_code(BOUNDARY_ESCAPE)}
+        assert "MSV001:Mixer.accumulate:banner->Gateway.send" in keys
+
+    def test_plain_findings_carry_provenance(self, secv_result):
+        for diag in secv_result.by_code(BOUNDARY_ESCAPE):
+            assert diag.data["provenance"] == ["Keyring.reveal"]
+
+    def test_untainted_sibling_not_flagged(self, secv_result):
+        details = {d.detail for d in secv_result.by_code(BOUNDARY_ESCAPE)}
+        assert all("count" not in detail for detail in details)
+        assert all("attempts" not in detail for detail in details)
+
+    def test_engine_agrees_with_walker_on_lintapp(self, fixture_result):
+        """Acceptance: no churn on the PR 2 fixture's MSV001 keys."""
+        keys = {d.suppression_key for d in fixture_result.by_code(BOUNDARY_ESCAPE)}
+        assert keys == {
+            "MSV001:Station.exfiltrate:secret->Uplink.send",
+            "MSV001:Station.exfiltrate:return:secret",
+        }
+
+
+class TestSecureEscape:
+    """MSV006: secure values must pass declassify() before escaping."""
+
+    def test_every_seeded_escape_path_fires(self, secv_result):
+        escapes = secv_result.by_code(SECURE_ESCAPE)
+        assert {d.location for d in escapes} == {
+            "Broker.leak_direct",  # secure() call as the argument
+            "Broker.leak_via_helper",  # interprocedural return flow
+            "Broker.leak_via_field",  # through self.cached
+            "Broker.leak_via_tuple",  # through tuple unpacking
+            "Broker.export",  # returned under a plain annotation
+        }
+        assert all(d.severity is Severity.ERROR for d in escapes)
+
+    def test_declassified_exit_is_clean(self, secv_result):
+        locations = {d.location for d in secv_result.diagnostics}
+        assert "Broker.publish" not in locations
+
+    def test_declared_secure_return_is_sanctioned(self, secv_result):
+        assert not [
+            d
+            for d in secv_result.by_code(SECURE_ESCAPE)
+            if d.location == "Broker.mint"
+        ]
+
+    def test_suppression_keys_are_stable(self, secv_result):
+        keys = {d.suppression_key for d in secv_result.by_code(SECURE_ESCAPE)}
+        assert keys == {
+            "MSV006:Broker.export:secure-return:secure:api-key",
+            "MSV006:Broker.leak_direct:secure:secure:pin()->Gateway.send",
+            "MSV006:Broker.leak_via_field:secure:secure:api-key->Gateway.send",
+            "MSV006:Broker.leak_via_helper:secure:token->Gateway.send",
+            "MSV006:Broker.leak_via_tuple:secure:token->Gateway.send",
+        }
+
+    def test_field_flow_provenance_names_every_hop(self, secv_result):
+        by_location = {
+            d.location: d for d in secv_result.by_code(SECURE_ESCAPE)
+        }
+        chain = by_location["Broker.leak_via_field"].data["provenance"]
+        assert chain == [
+            "secure:api-key",
+            "via:Broker.mint",
+            "field:Broker.cached",
+        ]
+
+    def test_lintapp_broadcast_fires_publish_does_not(self, fixture_result):
+        escapes = fixture_result.by_code(SECURE_ESCAPE)
+        assert {d.suppression_key for d in escapes} == {
+            "MSV006:Station.broadcast:secure:token->Uplink.send"
+        }
+
+    def test_secv_apps_lint_clean(self):
+        from repro.apps.secv import SECV_BANK_CLASSES, SECV_KEEPER_CLASSES
+
+        for classes in (SECV_BANK_CLASSES, SECV_KEEPER_CLASSES):
+            result = PartitionLinter().lint(list(classes))
+            assert result.diagnostics == (), [
+                d.suppression_key for d in result.diagnostics
+            ]
+
+
+class TestIdleCrossing:
+    """MSV007: crossings carrying zero secure values, info-only."""
+
+    def test_flags_plain_crossings_when_app_uses_secure(self, secv_result):
+        idle = secv_result.by_code(IDLE_CROSSING)
+        keys = {d.suppression_key for d in idle}
+        assert "MSV007:Broker.heartbeat:relay_Keyring_rotate" in keys
+        assert all(d.severity is Severity.INFO for d in idle)
+
+    def test_silent_when_app_never_uses_secure(self):
+        result = PartitionLinter().lint(list(BANK_CLASSES))
+        assert result.by_code(IDLE_CROSSING) == ()
+
+    def test_info_severity_never_fails_the_build(self, secv_result):
+        infos = tuple(
+            d for d in secv_result.diagnostics if d.severity is Severity.INFO
+        )
+        assert infos
+        info_only = LintResult(diagnostics=infos)
+        assert info_only.exit_code == 0
+
+    def test_minting_crossings_are_not_idle(self):
+        from repro.apps.secv import SECV_BANK_CLASSES
+
+        result = PartitionLinter().lint(list(SECV_BANK_CLASSES))
+        assert result.by_code(IDLE_CROSSING) == ()
+
+
+class TestTaintEngine:
+    """Engine-level behaviour behind MSV001/MSV006/MSV007."""
+
+    def test_interprocedural_summary_returns_secure(self):
+        analysis = analyze_taint(AppModel(SECV_FIXTURE_CLASSES))
+        summary = analysis.summaries["Broker.mint"]
+        kinds = {(t.kind, t.source) for t in summary.returns}
+        assert ("secure", "secure:api-key") in kinds
+
+    def test_analysis_is_cached_per_model(self):
+        model = AppModel(SECV_FIXTURE_CLASSES)
+        assert analyze_taint(model) is analyze_taint(model)
+
+    def test_fixpoint_terminates_quickly(self):
+        analysis = analyze_taint(AppModel(SECV_FIXTURE_CLASSES))
+        assert 1 <= analysis.iterations <= 16
+
+    def test_provenance_chains_are_bounded(self):
+        from repro.analysis.taint import MAX_CHAIN, Taint
+
+        taint = Taint("secure", "secure:x", ("secure:x",))
+        for step in range(20):
+            taint = taint.extended(f"hop{step}")
+        assert len(taint.chain) <= MAX_CHAIN
+        assert taint.extended("hop19") == taint  # repeated step is a no-op
+
+    def test_crossing_events_count_secure_payloads(self):
+        from repro.apps.secv import SECV_BANK_CLASSES
+
+        analysis = analyze_taint(AppModel(SECV_BANK_CLASSES))
+        by_routine = {event.routine: event for event in analysis.crossings}
+        settle = by_routine["relay_SettlementVault_settle"]
+        assert settle.secure_args >= 1
+        mint = by_routine["relay_SettlementVault_open_account"]
+        assert mint.secure_args == 0 and mint.secure_return
+
+    def test_declares_secure_return_reads_the_signature(self):
+        model = AppModel(SECV_FIXTURE_CLASSES)
+        assert declares_secure_return(model, "Broker", "mint")
+        assert not declares_secure_return(model, "Broker", "export")
+        assert not declares_secure_return(model, "Keyring", "reveal")
+        assert not declares_secure_return(model, "Ghost", "nothing")
+
+
+class TestUpdateBaseline:
+    """``repro lint --update-baseline`` regenerates the file in place."""
+
+    def _initial(self, tmp_path, fixture_result):
+        path = tmp_path / "baseline.txt"
+        keep = [
+            d
+            for d in fixture_result.diagnostics
+            if d.code in (ENCAPSULATION, CHATTY_CROSSING)
+        ]
+        path.write_text(
+            "# Header comment describing the file.\n"
+            "\n"
+            "# peek is a debug helper, removal tracked elsewhere.\n"
+            f"{keep[0].suppression_key}\n"
+            "MSV001:Ghost.method:stale  # no longer produced\n"
+            + "".join(f"{d.suppression_key}\n" for d in keep[1:])
+        )
+        return path
+
+    def test_update_keeps_drops_and_appends(self, tmp_path, fixture_result):
+        path = self._initial(tmp_path, fixture_result)
+        update = update_baseline(str(path), fixture_result.diagnostics)
+        text = path.read_text()
+        assert update.removed == ("MSV001:Ghost.method:stale",)
+        assert "Ghost.method" not in text
+        # Kept entries retain their explanatory comments verbatim.
+        assert "# peek is a debug helper" in text
+        # Every current finding is now suppressed, new ones under the marker.
+        assert update.total == len(
+            {d.suppression_key for d in fixture_result.diagnostics}
+        )
+        assert "# New findings" in text
+        reloaded = load_baseline(path)
+        rerun = PartitionLinter().lint(LINT_FIXTURE_CLASSES, baseline=reloaded)
+        assert rerun.diagnostics == ()
+
+    def test_second_run_is_a_byte_identical_noop(self, tmp_path, fixture_result):
+        path = self._initial(tmp_path, fixture_result)
+        update_baseline(str(path), fixture_result.diagnostics)
+        first = path.read_bytes()
+        second_update = update_baseline(str(path), fixture_result.diagnostics)
+        assert not second_update.changed
+        assert second_update.added == () and second_update.removed == ()
+        assert path.read_bytes() == first
+
+    def test_update_creates_missing_file_with_header(self, tmp_path, fixture_result):
+        path = tmp_path / "fresh.txt"
+        update = update_baseline(str(path), fixture_result.diagnostics)
+        assert update.total == len(
+            {d.suppression_key for d in fixture_result.diagnostics}
+        )
+        assert path.read_text().startswith("# Partition-linter baseline")
+
+    def test_cli_update_baseline_flag(self, tmp_path, capsys):
+        from repro.analysis.cli import main
+
+        path = tmp_path / "cli-baseline.txt"
+        args = ["--module", "tests.fixtures.lintapp", "--update-baseline", str(path)]
+        assert main(args) == 0
+        first = path.read_bytes()
+        out = capsys.readouterr().out
+        assert "added" in out and "removed" in out
+        # Second run: a no-op, file byte-identical.
+        assert main(args) == 0
+        assert "0 added, 0 removed" in capsys.readouterr().out
+        assert path.read_bytes() == first

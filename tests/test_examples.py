@@ -72,6 +72,15 @@ class TestExamples:
         recovered = out.split("recovered weights: [")[1].split(",")[0]
         assert abs(float(recovered) - 0.8) < 0.05
 
+    def test_secure_values(self):
+        out = run_example("secure_values.py")
+        assert "1050" not in out.split("declassified:")[0]  # repr never leaks
+        assert "declassified: 1050" in out
+        assert "same answer from both granularities: True" in out
+        saved_tcb = int(out.split("TCB bytes saved by secure values:")[1].split()[0])
+        saved_x = int(out.split("crossings saved by secure values:")[1].split()[0])
+        assert saved_tcb > 0 and saved_x > 0
+
 
 class TestPaperConstants:
     """Regression pins on the constants the paper states explicitly."""

@@ -1,0 +1,182 @@
+"""Secure values end to end: runtime semantics, seal pricing on the
+RMI path, the zero-cost-when-unused guarantee, and the ``repro secv``
+granularity ablation."""
+
+import json
+
+import pytest
+
+from repro.core import Partitioner, PartitionOptions
+from repro.core.secure import (
+    MAX_PROVENANCE,
+    SEAL_BYTE_CYCLES,
+    SEAL_FIXED_CYCLES,
+    SecureValue,
+    declassify,
+    is_secure,
+    secure,
+    secure_payload_cycles,
+)
+from repro.experiments.secv_exp import (
+    SECURE_CHARGE_KEYS,
+    run_bank,
+    run_secv,
+)
+
+
+class TestSecureValueSemantics:
+    def test_secure_records_origin_provenance(self):
+        value = secure(41, "pin")
+        assert value.value == 41
+        assert value.label == "pin"
+        assert value.provenance == ("secure:pin",)
+        assert secure(41).provenance == ("secure",)
+
+    def test_secure_is_idempotent(self):
+        value = secure(41, "pin")
+        assert secure(value) is value
+        assert secure(value, "other") is value  # first label wins
+
+    def test_derive_keeps_label_and_extends_chain(self):
+        derived = secure(100, "balance").derive("settled", 107)
+        assert derived.value == 107
+        assert derived.label == "balance"
+        assert derived.provenance == ("secure:balance", "derive:settled")
+
+    def test_provenance_chain_is_bounded(self):
+        value = secure(0, "x")
+        for step in range(MAX_PROVENANCE * 2):
+            value = value.derive(f"s{step}", step)
+        assert len(value.provenance) == MAX_PROVENANCE
+        # Oldest steps fall off the front; the newest is always last.
+        assert value.provenance[-1] == f"derive:s{MAX_PROVENANCE * 2 - 1}"
+        assert "secure:x" not in value.provenance
+
+    def test_declassify_unwraps_with_reason(self):
+        assert declassify(secure("s3cret", "pw"), "test exit") == "s3cret"
+
+    def test_declassify_passes_plain_values_through(self):
+        assert declassify(17, "uniform call site") == 17
+
+    @pytest.mark.parametrize("reason", ("", "   "))
+    def test_declassify_requires_a_real_reason(self, reason):
+        with pytest.raises(ValueError):
+            declassify(secure(1, "x"), reason)
+
+    def test_is_secure(self):
+        assert is_secure(secure(1))
+        assert not is_secure(1)
+        assert not is_secure(None)
+
+    def test_repr_never_leaks_the_payload(self):
+        text = repr(secure("hunter2", "pw"))
+        assert "hunter2" not in text
+        assert "pw" in text
+
+
+class TestSealPricing:
+    def test_cycle_model_matches_the_sealing_service(self):
+        from repro.sgx import sealing
+
+        assert SEAL_FIXED_CYCLES == sealing.SEAL_FIXED_CYCLES
+        assert SEAL_BYTE_CYCLES == sealing.SEAL_BYTE_CYCLES
+        assert secure_payload_cycles(100) == SEAL_FIXED_CYCLES + 100 * SEAL_BYTE_CYCLES
+        assert secure_payload_cycles(0) == SEAL_FIXED_CYCLES
+
+    def test_secure_crossings_charge_seal_categories(self):
+        from repro.apps.secv import SECV_BANK_CLASSES, SettlementVault, ValueAccount
+
+        app = Partitioner(PartitionOptions(name="seal_pricing")).partition(
+            list(SECV_BANK_CLASSES)
+        )
+        with app.start():
+            vault = SettlementVault()
+            account = ValueAccount("a", vault, 100)
+            account.update_balance(7)
+            account.settle(vault)
+            ledger = dict(app.platform.snapshot())
+        for key in SECURE_CHARGE_KEYS:
+            count, elapsed = ledger[key]
+            assert count > 0 and elapsed > 0.0
+
+    def test_plain_payloads_never_touch_seal_categories(self):
+        from repro.apps.bank import BANK_CLASSES, Account
+
+        app = Partitioner(PartitionOptions(name="zero_cost")).partition(
+            list(BANK_CLASSES)
+        )
+        with app.start():
+            account = Account("a", 100)
+            account.update_balance(7)
+            assert account.get_balance() == 107
+            ledger = dict(app.platform.snapshot())
+        assert not any(key in ledger for key in SECURE_CHARGE_KEYS)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_secv(quick=True)
+
+
+class TestSecvExperiment:
+    def test_quick_sweep_is_deterministic(self, quick_report):
+        assert quick_report.fingerprint() == run_secv(quick=True).fingerprint()
+
+    def test_value_granularity_strictly_shrinks_the_tcb(self, quick_report):
+        for app in quick_report.apps():
+            assert quick_report.tcb_saved_bytes(app) > 0, app
+            class_run = quick_report.get(app, "class")
+            value_run = quick_report.get(app, "value")
+            assert value_run.trusted_methods < class_run.trusted_methods
+
+    def test_value_granularity_never_adds_crossings(self, quick_report):
+        for app in quick_report.apps():
+            assert quick_report.crossings_saved(app) >= 0, app
+
+    def test_checksums_match_and_zero_cost_holds(self, quick_report):
+        assert quick_report.checksum_match == {"bank": True, "securekeeper": True}
+        assert quick_report.zero_cost == {"bank": True, "securekeeper": True}
+
+    def test_bank_pays_for_sealing_keeper_avoids_crossings(self, quick_report):
+        # Two complementary demonstrations: the bank settles through the
+        # enclave (sealed payloads cross, and pay), while the keeper's
+        # sealed payloads live in the untrusted store and never cross.
+        bank = quick_report.get("bank", "value")
+        assert bank.secure_seals > 0 and bank.secure_unseals > 0
+        keeper = quick_report.get("securekeeper", "value")
+        assert keeper.secure_seals == 0 and keeper.secure_unseals == 0
+
+    def test_single_run_matches_report_cell(self, quick_report):
+        cell = run_bank("value", 3, 6)
+        assert cell.to_dict() == quick_report.get("bank", "value").to_dict()
+
+    def test_artifact_round_trips_with_fingerprint(self, quick_report, tmp_path):
+        path = tmp_path / "secv.json"
+        quick_report.write_artifact(str(path))
+        artifact = json.loads(path.read_text())
+        secv = artifact["secv"]
+        assert secv["fingerprint"] == quick_report.fingerprint()
+        assert secv["quick"] is True
+        assert len(secv["runs"]) == 4
+        assert set(secv["tcb_saved_bytes"]) == {"bank", "securekeeper"}
+
+
+class TestSecvCli:
+    def test_repro_secv_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "secv.json"
+        assert main(["secv", "--quick", "--out", str(out)]) == 0
+        assert out.exists()
+        stdout = capsys.readouterr().out
+        assert "fingerprint=" in stdout
+        assert "zero-cost" in stdout
+
+    def test_wire_decode_of_secure_tag_needs_no_imports_run(self):
+        # The decoder builds SecureValue structurally; no app code runs.
+        from repro.core import wire
+
+        blob = wire.dumps(secure({"k": 1}, "lbl"))
+        decoded = wire.loads(blob)
+        assert isinstance(decoded, SecureValue)
+        assert decoded.value == {"k": 1}

@@ -23,6 +23,7 @@ import random
 import pytest
 
 from repro.core import wire
+from repro.core.secure import SecureValue, secure
 from repro.core.serialization import (
     SerializationCodec,
     WireSerializationCodec,
@@ -194,3 +195,94 @@ class TestCodecPricingProperties:
                 round_trip(codec, value, location)
             ledgers[location] = platform.now_s
         assert ledgers[Location.ENCLAVE] > ledgers[Location.HOST]
+
+
+class TestSecureValueWireProperties:
+    """secure()-tagged payloads survive the codec tag-intact (PR 7)."""
+
+    def test_tag_label_and_provenance_survive(self):
+        original = secure({"pin": 1234}, "pin")
+        decoded = wire.loads(wire.dumps(original))
+        assert isinstance(decoded, SecureValue)
+        assert decoded == original
+        assert decoded.label == "pin"
+        assert decoded.provenance == ("secure:pin",)
+        assert decoded.value == {"pin": 1234}
+
+    def test_derivation_chain_survives(self):
+        value = secure(100, "balance")
+        for step in range(3):
+            value = value.derive(f"step{step}", value.value + 1)
+        decoded = wire.loads(wire.dumps(value))
+        assert decoded.value == 103
+        assert decoded.provenance == (
+            "secure:balance",
+            "derive:step0",
+            "derive:step1",
+            "derive:step2",
+        )
+
+    @pytest.mark.parametrize("seed", (17, 170))
+    def test_random_secure_payloads_round_trip(self, seed):
+        rng = random.Random(seed)
+        for index, inner in enumerate(_corpus(seed, 50)):
+            original = secure(inner, f"blob{index}")
+            if rng.random() < 0.5:
+                original = original.derive("rederived", inner)
+            decoded = wire.loads(wire.dumps(original))
+            assert decoded == original
+            assert type(decoded.value) is type(inner)
+
+    def test_secure_values_nest_inside_containers(self):
+        payload = [secure(1, "a"), {"k": secure(b"x", "b")}, (secure(None),)]
+        decoded = wire.loads(wire.dumps(payload))
+        assert decoded == payload
+        assert all(
+            isinstance(v, SecureValue)
+            for v in (decoded[0], decoded[1]["k"], decoded[2][0])
+        )
+
+    def test_secure_prefixes_raise_typed_error(self):
+        buffer = wire.dumps(secure({"pin": 1234}, "pin"))
+        for cut in range(len(buffer)):
+            with pytest.raises(SerializationError):
+                wire.loads(buffer[:cut])
+
+
+#: Pinned pre-PR encodings: introducing the secure tag (0x0B) must not
+#: move a single byte of any previously encodable payload.
+_GOLDEN_PLAIN = (
+    (None, "ac3d0100"),
+    (True, "ac3d0101"),
+    (False, "ac3d0102"),
+    (0, "ac3d010300"),
+    (-1, "ac3d010301"),
+    (2**70, "ac3d01038080808080808080808002"),
+    (1.5, "ac3d01043ff8000000000000"),
+    ("héllo\n", "ac3d01050768c3a96c6c6f0a"),
+    (b"\x00\xff", "ac3d010602" "00ff"),
+    ([1, "a", (2.5, None)], "ac3d0107030302050161080204400400000000000000"),
+    ((), "ac3d010800"),
+    ({"k": [True, b"x"], 3: {1, 2}}, "ac3d01090205016b07020106017803060a0203020304"),
+    ({}, "ac3d010900"),
+    (set(), "ac3d010a00"),
+)
+
+
+class TestWireGoldenBytes:
+    """Untagged payloads stay byte-identical to the pre-PR wire format."""
+
+    @pytest.mark.parametrize(
+        "value,expected", _GOLDEN_PLAIN, ids=[h for _, h in _GOLDEN_PLAIN]
+    )
+    def test_plain_encoding_is_frozen(self, value, expected):
+        assert wire.dumps(value).hex() == expected
+        assert wire.loads(bytes.fromhex(expected)) == value
+
+    def test_secure_encoding_is_frozen(self):
+        expected = (
+            "ac3d010b0370696e010a7365637572653a70696e0901050370696e03a413"
+        )
+        original = secure({"pin": 1234}, "pin")
+        assert wire.dumps(original).hex() == expected
+        assert wire.loads(bytes.fromhex(expected)) == original
