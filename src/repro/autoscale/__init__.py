@@ -1,0 +1,41 @@
+"""Elastic shard autoscaling: consistent-hash routing, sealed live
+migration, and a hysteresis controller over live gauges.
+
+Three layers, each usable alone:
+
+- :mod:`repro.autoscale.ring` — deterministic consistent-hash ring
+  (~1/N key remap per membership change);
+- :mod:`repro.autoscale.migration` — :class:`ShardMigrator`, the
+  chaos-safe sealed live migration of keyed trusted state between
+  shards (seal → attest → restore, priced end to end, rolls back on
+  budget exhaustion, never loses acked state);
+- :mod:`repro.autoscale.controller` — :class:`HysteresisAutoscaler`,
+  which turns admission/pool/EPC/SLO signals into scale events.
+"""
+
+from repro.autoscale.controller import (
+    AutoscalePolicy,
+    HysteresisAutoscaler,
+    ScaleEvent,
+)
+from repro.autoscale.migration import (
+    DEFAULT_MIGRATION_POLICY,
+    ManagedKey,
+    MigrationRecord,
+    MigratorStats,
+    ShardMigrator,
+)
+from repro.autoscale.ring import DEFAULT_VNODES, ConsistentHashRing
+
+__all__ = [
+    "AutoscalePolicy",
+    "ConsistentHashRing",
+    "DEFAULT_MIGRATION_POLICY",
+    "DEFAULT_VNODES",
+    "HysteresisAutoscaler",
+    "ManagedKey",
+    "MigrationRecord",
+    "MigratorStats",
+    "ScaleEvent",
+    "ShardMigrator",
+]

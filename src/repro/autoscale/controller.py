@@ -1,0 +1,273 @@
+"""Hysteresis autoscaler: elastic shard count driven by live gauges.
+
+The controller closes the loop between observability and elasticity:
+it consumes the signals the rest of the stack already exports —
+admission-queue depth, switchless-pool fallback share, per-shard EPC
+residency against quota, critical SLO alerts from the watchdog — and
+grows or shrinks the :class:`~repro.concurrency.sharding.ShardedEnclaveGroup`
+through the :class:`~repro.autoscale.migration.ShardMigrator` (spawn +
+attest + sealed restore on the way up, drain + live-migrate on the way
+down).
+
+Stability comes from three classic hysteresis guards, all in virtual
+time so every decision replays deterministically:
+
+- **asymmetric thresholds**: the scale-down bars sit well below the
+  scale-up bars, so the controller cannot flap across one boundary;
+- **cooldown**: after any scale event, decisions pause for
+  ``cooldown_ns`` — migrations must settle before the signals are
+  trusted again;
+- **down-stability**: scale-down additionally requires *every* signal
+  calm for ``down_stable_evals`` consecutive evaluations, because
+  shrinking costs a live migration and is the riskier direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Thresholds and guards for the hysteresis controller."""
+
+    min_shards: int = 1
+    max_shards: int = 4
+    #: Scale up when the admission queue is at least this deep.
+    queue_up_depth: int = 6
+    #: Scale down only when the queue is at most this deep.
+    queue_down_depth: int = 0
+    #: Scale up when the switchless pool's fallback share over the last
+    #: evaluation window reaches this fraction.
+    fallback_up_share: float = 0.5
+    fallback_down_share: float = 0.05
+    #: Scale up when any shard's EPC residency reaches this fraction of
+    #: its quota (pressure ⇒ thrashing is near).
+    epc_up_share: float = 0.9
+    #: Virtual ns to sit out after any scale event.
+    cooldown_ns: float = 2_000_000.0
+    #: Consecutive calm evaluations required before scaling down.
+    down_stable_evals: int = 3
+    #: Switchless workers (each class) provisioned per shard.
+    workers_per_shard: int = 2
+    #: Admission slots provisioned per shard.
+    slots_per_shard: int = 2
+
+    def __post_init__(self) -> None:
+        if self.min_shards < 1:
+            raise ConfigurationError("min_shards must be >= 1")
+        if self.max_shards < self.min_shards:
+            raise ConfigurationError("max_shards must be >= min_shards")
+        if self.cooldown_ns < 0:
+            raise ConfigurationError("cooldown_ns cannot be negative")
+        if self.down_stable_evals < 1:
+            raise ConfigurationError("down_stable_evals must be >= 1")
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One autoscaler decision (the hysteresis trace)."""
+
+    at_ns: float
+    action: str  # "up" | "down" | "down-rollback"
+    reason: str
+    shards_before: int
+    shards_after: int
+    keys_moved: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "at_ns": self.at_ns,
+            "action": self.action,
+            "reason": self.reason,
+            "shards_before": self.shards_before,
+            "shards_after": self.shards_after,
+            "keys_moved": self.keys_moved,
+        }
+
+
+@dataclass
+class _SignalSnapshot:
+    """The controller's view of the world at one evaluation."""
+
+    queue_depth: int = 0
+    fallback_share: float = 0.0
+    epc_share: float = 0.0
+    critical_alerts: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "queue_depth": self.queue_depth,
+            "fallback_share": round(self.fallback_share, 4),
+            "epc_share": round(self.epc_share, 4),
+            "critical_alerts": self.critical_alerts,
+        }
+
+
+class HysteresisAutoscaler:
+    """Grows/shrinks a shard group from live signals, with hysteresis."""
+
+    def __init__(
+        self,
+        migrator: Any,
+        policy: Optional[AutoscalePolicy] = None,
+        admission: Optional[Any] = None,
+        pool: Optional[Any] = None,
+        watchdog: Optional[Any] = None,
+    ) -> None:
+        self.migrator = migrator
+        self.group = migrator.group
+        self.platform = migrator.platform
+        self.policy = policy or AutoscalePolicy()
+        self.admission = admission
+        self.pool = pool
+        self.watchdog = watchdog
+        self.events: List[ScaleEvent] = []
+        self._last_event_ns: Optional[float] = None
+        self._calm_evals = 0
+        self._pool_served_seen = 0
+        self._pool_fallbacks_seen = 0
+        self._alerts_seen = 0
+        self.evaluations = 0
+
+    # -- signals ---------------------------------------------------------------
+
+    def _read_signals(self) -> _SignalSnapshot:
+        snap = _SignalSnapshot()
+        if self.admission is not None:
+            snap.queue_depth = self.admission.queue_depth
+        if self.pool is not None:
+            served = self.pool.stats.total_served
+            fallbacks = self.pool.stats.total_fallbacks
+            d_served = served - self._pool_served_seen
+            d_fallbacks = fallbacks - self._pool_fallbacks_seen
+            self._pool_served_seen = served
+            self._pool_fallbacks_seen = fallbacks
+            window = d_served + d_fallbacks
+            snap.fallback_share = d_fallbacks / window if window else 0.0
+        driver = self.group.driver
+        if driver is not None:
+            for name in self.group.shard_names:
+                tenant = self.group._tenant_ids[name]
+                quota = driver.epc.quota_of(tenant)
+                if not quota:
+                    continue
+                share = driver.epc.resident_pages(tenant) / quota
+                snap.epc_share = max(snap.epc_share, share)
+        if self.watchdog is not None:
+            fired = sum(
+                1
+                for alert in self.watchdog.alerts
+                if alert.severity == "critical"
+            )
+            snap.critical_alerts = fired - self._alerts_seen
+            self._alerts_seen = fired
+        return snap
+
+    def _up_reason(self, snap: _SignalSnapshot) -> Optional[str]:
+        p = self.policy
+        if snap.queue_depth >= p.queue_up_depth:
+            return f"admission queue depth {snap.queue_depth} >= {p.queue_up_depth}"
+        if snap.fallback_share >= p.fallback_up_share:
+            return (
+                f"pool fallback share {snap.fallback_share:.2f} >= "
+                f"{p.fallback_up_share:.2f}"
+            )
+        if snap.epc_share >= p.epc_up_share:
+            return f"EPC residency {snap.epc_share:.2f} >= {p.epc_up_share:.2f}"
+        if snap.critical_alerts > 0:
+            return f"{snap.critical_alerts} critical SLO alert(s) since last eval"
+        return None
+
+    def _is_calm(self, snap: _SignalSnapshot) -> bool:
+        p = self.policy
+        return (
+            snap.queue_depth <= p.queue_down_depth
+            and snap.fallback_share <= p.fallback_down_share
+            and snap.critical_alerts == 0
+        )
+
+    # -- the control loop ------------------------------------------------------
+
+    def evaluate(self, now_ns: Optional[float] = None) -> Optional[ScaleEvent]:
+        """One control decision; returns the scale event, if any."""
+        if now_ns is None:
+            now_ns = self.platform.clock.now_ns
+        self.evaluations += 1
+        snap = self._read_signals()
+        in_cooldown = (
+            self._last_event_ns is not None
+            and now_ns - self._last_event_ns < self.policy.cooldown_ns
+        )
+        up_reason = self._up_reason(snap)
+        if up_reason is not None:
+            self._calm_evals = 0
+            if in_cooldown or self.group.n_shards >= self.policy.max_shards:
+                return None
+            return self._scale("up", up_reason, now_ns)
+        if self._is_calm(snap):
+            self._calm_evals += 1
+        else:
+            self._calm_evals = 0
+            return None
+        if (
+            self._calm_evals >= self.policy.down_stable_evals
+            and not in_cooldown
+            and self.group.n_shards > self.policy.min_shards
+        ):
+            reason = (
+                f"signals calm for {self._calm_evals} evaluations "
+                f"({snap.to_dict()})"
+            )
+            return self._scale("down", reason, now_ns)
+        return None
+
+    def _scale(self, direction: str, reason: str, now_ns: float) -> ScaleEvent:
+        before = self.group.n_shards
+        if direction == "up":
+            outcome = self.migrator.scale_up()
+        else:
+            outcome = self.migrator.scale_down()
+        after = self.group.n_shards
+        self._provision(after)
+        self._last_event_ns = now_ns
+        self._calm_evals = 0
+        event = ScaleEvent(
+            at_ns=now_ns,
+            action=outcome["action"],
+            reason=reason,
+            shards_before=before,
+            shards_after=after,
+            keys_moved=outcome["keys_moved"],
+        )
+        self.events.append(event)
+        obs = self.platform.obs
+        if obs is not None:
+            obs.metrics.counter(f"autoscale.scale_{direction}s").inc()
+            obs.metrics.gauge("autoscale.shards").set(after)
+        return event
+
+    def _provision(self, n_shards: int) -> None:
+        """Scale the worker pool and admission capacity with the shards."""
+        p = self.policy
+        if self.pool is not None:
+            self.pool.resize(
+                trusted_workers=p.workers_per_shard * n_shards,
+                untrusted_workers=p.workers_per_shard * n_shards,
+            )
+        if self.admission is not None:
+            self.admission.set_capacity(p.slots_per_shard * n_shards)
+
+    # -- introspection ---------------------------------------------------------
+
+    def trace(self) -> List[Dict[str, Any]]:
+        return [event.to_dict() for event in self.events]
+
+    def __repr__(self) -> str:
+        return (
+            f"HysteresisAutoscaler(shards={self.group.n_shards}, "
+            f"events={len(self.events)}, evaluations={self.evaluations})"
+        )

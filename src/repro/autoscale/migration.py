@@ -1,0 +1,382 @@
+"""Sealed live migration of keyed trusted state between shards.
+
+SecureKeeper-style deployments stay elastic by moving sealed state
+between enclave replicas; Montsalvat prices every ingredient of that
+move — the capture relay into the source shard, ``sgx.seal`` /
+``sgx.unseal`` on the blob, the restore relay into the target — so
+migration cost is a first-class ledger line, not hand-waving.
+
+The :class:`ShardMigrator` owns a registry of **managed keys**: each
+key has a factory (build a fresh object pinned to a shard), a capture
+(read its migratable state through ordinary priced crossings) and an
+apply (write that state into a fresh object). Sealing goes through a
+:class:`~repro.faults.CheckpointManager`, one entry per key, so
+"restore from sealed state" on scale-up and crash-rebuild during
+migration share one code path and one pricing.
+
+Chaos safety is the contract: a seeded shard loss *mid-migration*
+(fault rules with ``call_kind="shard"`` and routine
+``migrate.<key>``) either completes the move from the sealed blob or
+rolls it back — the key's owning object is swapped only after the
+restore lands, so acked state is never lost and never applied twice.
+Retries observe the :class:`~repro.faults.RetryPolicy`'s per-call
+deadline and total virtual-time retry budget
+(:class:`~repro.faults.RetryBudget`); exhausting either rolls the
+migration back instead of retrying forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.multi_isolate import DEFAULT_ISOLATE
+from repro.errors import ConfigurationError, ReproError, RetryExhaustedError
+from repro.faults.checkpoint import CheckpointManager
+from repro.faults.retry import RetryBudget, RetryPolicy
+from repro.sgx.attestation import AttestationService
+from repro.sgx.sealing import SealingService
+
+#: Fixed cost of the local attestation handshake a freshly spawned
+#: shard performs before receiving sealed state (mirrors
+#: ``recovery.reattest``).
+_ATTEST_FIXED_CYCLES = 120_000.0
+
+#: Fixed per-key transfer cost: handing one sealed blob across shards
+#: through untrusted memory (the "priced sealed crossing" wire leg).
+_TRANSFER_FIXED_CYCLES = 30_000.0
+
+#: Default retry bounds for migration attempts. Deliberately budgeted:
+#: a migration that cannot finish inside its virtual-time budget rolls
+#: back rather than stalling the autoscaler.
+DEFAULT_MIGRATION_POLICY = RetryPolicy(
+    max_attempts=4,
+    base_backoff_ns=25_000.0,
+    max_backoff_ns=400_000.0,
+    call_deadline_ns=5_000_000.0,
+    retry_budget_ns=2_000_000.0,
+)
+
+
+class _MigrationInterrupted(ReproError):
+    """Internal: a seeded shard loss fired inside the chaos window."""
+
+    def __init__(self, victim: str) -> None:
+        super().__init__(f"shard {victim!r} lost mid-migration")
+        self.victim = victim
+
+
+@dataclass
+class ManagedKey:
+    """One live-migratable unit of keyed trusted state."""
+
+    key: str
+    factory: Callable[[], Any] = field(repr=False)
+    capture: Callable[[Any], Any] = field(repr=False)
+    apply: Callable[[Any, Any], None] = field(repr=False)
+    obj: Any = field(repr=False, default=None)
+    shard: str = DEFAULT_ISOLATE
+
+
+@dataclass
+class MigrationRecord:
+    """One per-key migration outcome (the migration trace)."""
+
+    key: str
+    source: str
+    target: str
+    attempts: int
+    completed: bool
+    rolled_back: bool
+    interruptions: int
+    at_ns: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "source": self.source,
+            "target": self.target,
+            "attempts": self.attempts,
+            "completed": self.completed,
+            "rolled_back": self.rolled_back,
+            "interruptions": self.interruptions,
+            "at_ns": self.at_ns,
+        }
+
+
+@dataclass
+class MigratorStats:
+    """Accumulated migration work."""
+
+    keys_moved: int = 0
+    migrations: int = 0
+    retries: int = 0
+    rollbacks: int = 0
+    interruptions: int = 0
+    rebuilt_keys: int = 0
+    attestations: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "keys_moved": self.keys_moved,
+            "migrations": self.migrations,
+            "retries": self.retries,
+            "rollbacks": self.rollbacks,
+            "interruptions": self.interruptions,
+            "rebuilt_keys": self.rebuilt_keys,
+            "attestations": self.attestations,
+        }
+
+
+class ShardMigrator:
+    """Managed-key registry + chaos-safe sealed migration engine."""
+
+    def __init__(
+        self,
+        group: Any,
+        policy: Optional[RetryPolicy] = None,
+        attestation: Optional[AttestationService] = None,
+        platform_secret: bytes = b"autoscale",
+    ) -> None:
+        self.group = group
+        self.platform = group.platform
+        self.policy = policy or DEFAULT_MIGRATION_POLICY
+        self.attestation = attestation or AttestationService(
+            platform_key=b"autoscale"
+        )
+        sealing = SealingService(
+            group.session.enclave, platform_secret=platform_secret
+        )
+        #: One checkpoint entry per managed key; scale-up restore and
+        #: crash rebuild both come from these sealed blobs.
+        self.checkpoints = CheckpointManager(sealing, interval_ns=0.0)
+        self._managed: Dict[str, ManagedKey] = {}
+        self.stats = MigratorStats()
+        self.records: List[MigrationRecord] = []
+
+    # -- managed keys ----------------------------------------------------------
+
+    def manage(
+        self,
+        key: str,
+        factory: Callable[[], Any],
+        capture: Callable[[Any], Any],
+        apply: Callable[[Any, Any], None],
+    ) -> Any:
+        """Register ``key`` and build its object on the owning shard."""
+        if key in self._managed:
+            raise ConfigurationError(f"key {key!r} is already managed")
+        managed = ManagedKey(key=key, factory=factory, capture=capture, apply=apply)
+        managed.shard = self.group.shard_for(key)
+        managed.obj = self.group.create_pinned(key, factory)
+        self._managed[key] = managed
+        self.checkpoints.register(
+            f"key:{key}",
+            capture=lambda m=managed: m.capture(m.obj),
+            restore=lambda snapshot, m=managed: m.apply(m.obj, snapshot),
+        )
+        return managed.obj
+
+    def lookup(self, key: str) -> Any:
+        """The key's current object — re-resolve after any scale event;
+        cached references go stale when the key migrates."""
+        return self._managed[key].obj
+
+    def home_of(self, key: str) -> str:
+        return self._managed[key].shard
+
+    @property
+    def managed_keys(self) -> List[str]:
+        return sorted(self._managed)
+
+    # -- scale actions ---------------------------------------------------------
+
+    def scale_up(self) -> Dict[str, Any]:
+        """Spawn + attest one shard, then restore the remapped keys onto
+        it from sealed state."""
+        name = self.group.add_shard()
+        self._attest(name)
+        moved = self.rebalance()
+        return {"shard": name, "keys_moved": moved, "action": "up"}
+
+    def scale_down(self, shard: Optional[str] = None) -> Dict[str, Any]:
+        """Drain + retire one shard, live-migrating its keys away.
+
+        Routing drops the shard first (successors own its keys), the
+        keys migrate via sealed crossings, and only a fully drained
+        shard is torn down. If any key's migration rolls back, the
+        retirement itself is rolled back (the shard routes again) —
+        graceful failure, no stranded state.
+        """
+        candidates = [n for n in self.group.shard_names if n != DEFAULT_ISOLATE]
+        if not candidates:
+            raise ConfigurationError("no removable shard to scale down")
+        name = shard if shard is not None else candidates[-1]
+        self.group.begin_retire(name)
+        moved = self.rebalance()
+        stranded = [k for k, m in self._managed.items() if m.shard == name]
+        if stranded:
+            self.group.abort_retire(name)
+            return {
+                "shard": name,
+                "keys_moved": moved,
+                "action": "down-rollback",
+                "stranded": sorted(stranded),
+            }
+        self.group.remove_shard(name)
+        return {"shard": name, "keys_moved": moved, "action": "down"}
+
+    def rebalance(self) -> int:
+        """Migrate every managed key whose routed home changed.
+
+        Seals a barrier checkpoint of all managed keys first: migration
+        runs between scheduler steps (no session mutates state
+        concurrently in virtual time), so these blobs are exact — a
+        crash rebuild during the batch restores acked state losslessly.
+        """
+        pending = [
+            m
+            for m in sorted(self._managed.values(), key=lambda m: m.key)
+            if self.group.shard_for(m.key) != m.shard
+        ]
+        if not pending:
+            return 0
+        self.checkpoints.checkpoint()
+        moved = 0
+        for managed in pending:
+            if self._migrate_key(managed, self.group.shard_for(managed.key)):
+                moved += 1
+        return moved
+
+    # -- the per-key move ------------------------------------------------------
+
+    def _migrate_key(self, managed: ManagedKey, target: str) -> bool:
+        source = managed.shard
+        budget = RetryBudget(self.policy)
+        budget.start_call(self.platform.clock.now_ns)
+        attempt = 0
+        interruptions = 0
+        completed = False
+        while True:
+            attempt += 1
+            try:
+                self._attempt_move(managed, source, target)
+            except _MigrationInterrupted:
+                interruptions += 1
+                self.stats.interruptions += 1
+                if attempt >= self.policy.max_attempts:
+                    break
+                try:
+                    backoff = budget.authorize(
+                        self.platform.clock.now_ns,
+                        self.policy.backoff_ns(attempt),
+                        f"migrate.{managed.key}",
+                    )
+                except RetryExhaustedError:
+                    break
+                self.platform.charge_ns("migration.backoff", backoff)
+                self.stats.retries += 1
+            else:
+                completed = True
+                break
+        if completed:
+            managed.shard = target
+            self.stats.keys_moved += 1
+        else:
+            # Roll back: the source object was never unlinked, so the
+            # key keeps serving from where it was — acked state intact.
+            self.stats.rollbacks += 1
+        self.stats.migrations += 1
+        self.records.append(
+            MigrationRecord(
+                key=managed.key,
+                source=source,
+                target=target,
+                attempts=attempt,
+                completed=completed,
+                rolled_back=not completed,
+                interruptions=interruptions,
+                at_ns=self.platform.clock.now_ns,
+            )
+        )
+        obs = self.platform.obs
+        if obs is not None:
+            obs.metrics.counter("autoscale.migrations").inc()
+            if not completed:
+                obs.metrics.counter("autoscale.rollbacks").inc()
+        return completed
+
+    def _attempt_move(self, managed: ManagedKey, source: str, target: str) -> None:
+        """One migration attempt: seal → (chaos window) → build + restore.
+
+        Ordering is the safety argument: the sealed blob is taken
+        before the vulnerable window, and the registry object is only
+        swapped after it — an interruption anywhere leaves either the
+        old object live (roll back) or the blob able to finish the move
+        (complete). At-most-once holds because the blob carries state,
+        not operations: re-applying it overwrites, never double-counts.
+        """
+        entry = f"key:{managed.key}"
+        # Capture through priced crossings on the (current) source
+        # shard, seal the snapshot (sgx.seal), and pay the wire leg.
+        self.checkpoints.checkpoint_entry(entry)
+        self.platform.charge_cycles("migration.transfer", _TRANSFER_FIXED_CYCLES)
+        self._consult_faults(managed, source, target)
+        fresh = self.group.create_pinned(managed.key, managed.factory)
+        old = managed.obj
+        managed.obj = fresh
+        try:
+            self.checkpoints.restore_entry(entry)
+        except BaseException:
+            managed.obj = old
+            raise
+
+    def _consult_faults(self, managed: ManagedKey, source: str, target: str) -> None:
+        """The seeded chaos window between seal and restore."""
+        injector = self.platform.faults
+        if injector is None:
+            return
+        decision = injector.transition_fault(
+            "shard", f"migrate.{managed.key}", self.platform.clock.now_ns
+        )
+        if decision is None or not decision.crash:
+            return
+        victim = target if target != DEFAULT_ISOLATE else source
+        if victim != DEFAULT_ISOLATE and victim in self.group.shard_names:
+            self.group.lose_shard(victim)
+            self._rebuild_shard(victim)
+        raise _MigrationInterrupted(victim)
+
+    def _rebuild_shard(self, shard: str) -> int:
+        """Re-create every managed key homed on a freshly respawned
+        shard from its sealed blob (the barrier checkpoint guarantees
+        one exists and is current)."""
+        rebuilt = 0
+        for managed in sorted(self._managed.values(), key=lambda m: m.key):
+            if managed.shard != shard:
+                continue
+            with self.group.pinned(shard):
+                managed.obj = managed.factory()
+            self.checkpoints.restore_entry(f"key:{managed.key}")
+            rebuilt += 1
+        self.stats.rebuilt_keys += rebuilt
+        return rebuilt
+
+    # -- attestation -----------------------------------------------------------
+
+    def _attest(self, shard: str) -> None:
+        """Local attestation before a new shard receives sealed state."""
+        self.platform.charge_cycles("migration.attest", _ATTEST_FIXED_CYCLES)
+        enclave = self.group.session.enclave
+        report = self.attestation.create_report(
+            enclave, report_data=f"scale-up:{shard}".encode("utf-8")
+        )
+        quote = self.attestation.quote(report)
+        self.attestation.verify(quote, enclave.measurement)
+        self.stats.attestations += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardMigrator(keys={len(self._managed)}, "
+            f"moved={self.stats.keys_moved}, rollbacks={self.stats.rollbacks})"
+        )

@@ -27,11 +27,13 @@ verdicts are included in every ``--obs-summary`` output.
 Without these flags no tracer is attached and the experiment output is
 byte-identical to a build without the observability layer.
 
-Three further subcommands are intercepted before the experiment parser:
+Four further subcommands are intercepted before the experiment parser:
 ``repro lint`` (static partition linter), ``repro perf`` (wall-clock
-benchmark suite appending to ``BENCH_perf.json`` — see docs/PERF.md)
-and ``repro secv`` (class- vs value-granular partitioning ablation —
-see docs/ANALYSIS.md, "Value-granular partitioning").
+benchmark suite appending to ``BENCH_perf.json`` — see docs/PERF.md),
+``repro secv`` (class- vs value-granular partitioning ablation —
+see docs/ANALYSIS.md, "Value-granular partitioning") and
+``repro traffic`` (open-loop traffic + elastic shard autoscaler — see
+docs/CONCURRENCY.md, "Autoscaling and live migration").
 """
 
 from __future__ import annotations
@@ -239,7 +241,9 @@ def build_parser() -> argparse.ArgumentParser:
             "over the bundled apps (see docs/ANALYSIS.md); 'repro perf' — "
             "wall-clock benchmark suite with BENCH trajectory + regression "
             "gates (see docs/PERF.md); 'repro secv' — class- vs "
-            "value-granular partitioning ablation"
+            "value-granular partitioning ablation; 'repro traffic' — "
+            "open-loop load + admission control + elastic shard "
+            "autoscaler with sealed live migration (see docs/CONCURRENCY.md)"
         ),
     )
     parser.add_argument(
@@ -311,6 +315,11 @@ def main(argv=None) -> int:
         from repro.experiments.secv_exp import main as secv_main
 
         return secv_main(list(argv[1:]))
+    if argv and argv[0] == "traffic":
+        # Open-loop traffic + autoscaler ablation; own argparse.
+        from repro.experiments.traffic_exp import main as traffic_main
+
+        return traffic_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     wants_obs = args.trace or args.events or args.metrics or args.obs_summary
     if not wants_obs:

@@ -206,6 +206,15 @@ class SessionScheduler:
             return None
         return min(live, key=ClientSession.sort_key)
 
+    def next_ready_ns(self) -> Optional[float]:
+        """Local timestamp of the session the next :meth:`step` would
+        resume (``None`` when every session is done). The open-loop
+        traffic harness peeks at this to decide whether to inject the
+        next arrival or advance a running session — interleaved spawns
+        then replay identically to spawning everything up front."""
+        session = self._next_session()
+        return None if session is None else session.local_ns
+
     # -- introspection --------------------------------------------------------
 
     @property

@@ -21,7 +21,16 @@ turns it into an operational **shard group**:
   restore hooks rebuild application state in a fresh isolate.
   :meth:`poll_faults` drives losses from the platform's seeded
   :class:`~repro.faults.FaultInjector` (rules with
-  ``call_kind="shard"``), keeping chaos schedules replayable.
+  ``call_kind="shard"``), keeping chaos schedules replayable;
+- membership is **elastic**: :meth:`add_shard` spawns a new isolate at
+  runtime and :meth:`remove_shard` retires one (draining any open call
+  batch first), re-partitioning the EPC budget on every change. With
+  ``router="ring"`` keys route over a
+  :class:`~repro.autoscale.ring.ConsistentHashRing`, so a membership
+  change remaps only ~1/N of the keyspace — the property the
+  autoscaler's live migration (:mod:`repro.autoscale`) relies on. The
+  default ``crc32`` router and static membership stay byte-identical
+  to the pre-elastic group.
 """
 
 from __future__ import annotations
@@ -87,6 +96,7 @@ class ShardedEnclaveGroup:
         epc_budget_pages: Optional[int] = None,
         touch_bytes: int = 0,
         working_set_bytes: int = 0,
+        router: str = "crc32",
     ) -> None:
         if n_shards < 1:
             raise ConfigurationError("a shard group needs at least one shard")
@@ -97,6 +107,10 @@ class ShardedEnclaveGroup:
                 "touch_bytes models EPC traffic; pass the SgxDriver that "
                 "owns the page cache"
             )
+        if router not in ("crc32", "ring"):
+            raise ConfigurationError(
+                f"router must be 'crc32' or 'ring', got {router!r}"
+            )
         self.session = session
         self.platform = session.platform
         self.runtime = self._upgrade_runtime(session)
@@ -104,16 +118,31 @@ class ShardedEnclaveGroup:
         self.driver = driver
         self.touch_bytes = touch_bytes
         self.working_set_bytes = max(working_set_bytes, touch_bytes)
+        self.router = router
         #: Shard 0 is the default isolate: a 1-shard group spawns
         #: nothing and stays priced identically to the plain runtime.
         self.shard_names: Tuple[str, ...] = (DEFAULT_ISOLATE,) + tuple(
             f"shard{i}" for i in range(1, n_shards)
         )
+        #: Members that receive *new* routes. Retiring a shard removes
+        #: it from routing first (so successors take over its keys)
+        #: while the isolate stays alive for live migration.
+        self._routing: Tuple[str, ...] = self.shard_names
+        if router == "ring":
+            from repro.autoscale.ring import ConsistentHashRing
+
+            self._ring: Optional[ConsistentHashRing] = ConsistentHashRing(
+                self.shard_names
+            )
+        else:
+            self._ring = None
         for name in self.shard_names[1:]:
             self.runtime.spawn_isolate(Side.TRUSTED, name)
         self.crossings: Dict[str, int] = {name: 0 for name in self.shard_names}
         self.losses = 0
         self.restored_objects = 0
+        self.scale_ups = 0
+        self.scale_downs = 0
         self._restore_hooks: Dict[str, List[Callable[[], Any]]] = {
             name: [] for name in self.shard_names
         }
@@ -121,20 +150,24 @@ class ShardedEnclaveGroup:
             name: _SHARD_TENANT_BASE - index
             for index, name in enumerate(self.shard_names)
         }
+        self._next_tenant = _SHARD_TENANT_BASE - len(self.shard_names)
         self._ws_cursor = {name: 0 for name in self.shard_names}
+        self._epc_budget_pages = epc_budget_pages
         if epc_budget_pages is not None:
             if driver is None:
                 raise ConfigurationError(
                     "an EPC budget needs the SgxDriver that owns the cache"
                 )
-            driver.partition_epc(
-                [self._tenant_ids[name] for name in self.shard_names],
-                total_pages=epc_budget_pages,
-            )
-        #: Per-shard share of a full enclave reload (EADD+EEXTEND over
-        #: 1/N of the image), priced on every shard recovery.
-        load_bytes = len(session.enclave.contents.code_bytes)
-        self._reload_cycles = (load_bytes * 1.2 + 500_000.0) / n_shards
+            self._repartition_epc()
+        #: Enclave image size, for the per-shard reload share priced on
+        #: every shard recovery.
+        self._load_bytes = len(session.enclave.contents.code_bytes)
+
+    @property
+    def _reload_cycles(self) -> float:
+        """Per-shard share of a full enclave reload (EADD+EEXTEND over
+        1/N of the image) at the *current* membership."""
+        return (self._load_bytes * 1.2 + 500_000.0) / self.n_shards
 
     @staticmethod
     def _upgrade_runtime(session: Any) -> ShardedRuntime:
@@ -165,8 +198,10 @@ class ShardedEnclaveGroup:
 
     def shard_for(self, key: Any) -> str:
         """Stable hash routing: the shard owning ``key``."""
+        if self._ring is not None:
+            return self._ring.node_for(str(key))
         digest = zlib.crc32(str(key).encode("utf-8"))
-        return self.shard_names[digest % self.n_shards]
+        return self._routing[digest % len(self._routing)]
 
     @contextmanager
     def pinned(self, shard: str):
@@ -178,6 +213,123 @@ class ShardedEnclaveGroup:
         """Construct an annotated object pinned to ``key``'s shard."""
         with self.pinned(self.shard_for(key)):
             return factory()
+
+    # -- elastic membership ----------------------------------------------------
+
+    def add_shard(self, name: Optional[str] = None) -> str:
+        """Spawn one new shard at runtime; returns its name.
+
+        The isolate is live and routable immediately; the EPC budget
+        (when partitioned) is re-split over the new membership. State
+        placement is the caller's concern — the autoscaler's
+        :class:`~repro.autoscale.migration.ShardMigrator` attests the
+        new shard and live-migrates the remapped keys onto it.
+        """
+        if name is None:
+            taken = set(self.shard_names)
+            index = 1
+            while f"shard{index}" in taken:
+                index += 1
+            name = f"shard{index}"
+        elif name in self.shard_names:
+            raise ConfigurationError(f"shard {name!r} already exists")
+        self.runtime.spawn_isolate(Side.TRUSTED, name)
+        self.shard_names = self.shard_names + (name,)
+        self._routing = self._routing + (name,)
+        if self._ring is not None:
+            self._ring.add(name)
+        self.crossings.setdefault(name, 0)
+        self._restore_hooks[name] = []
+        self._tenant_ids[name] = self._next_tenant
+        self._next_tenant -= 1
+        self._ws_cursor[name] = 0
+        self._repartition_epc()
+        self.scale_ups += 1
+        obs = self.platform.obs
+        if obs is not None:
+            obs.metrics.counter("shard.scale_ups").inc()
+            obs.metrics.gauge("shard.count").set(self.n_shards)
+        return name
+
+    def begin_retire(self, name: str) -> None:
+        """Stop routing *new* keys to ``name``; the isolate stays live.
+
+        Two-phase scale-down: after this, :meth:`shard_for` maps every
+        key to a successor, so the migrator can drain the retiring
+        shard's state toward where the keys now route, then call
+        :meth:`remove_shard` to finalise.
+        """
+        if name == DEFAULT_ISOLATE:
+            raise ConfigurationError("the root isolate cannot be retired")
+        if name not in self._routing:
+            raise ConfigurationError(f"shard {name!r} is not routable")
+        if len(self._routing) < 2:
+            raise ConfigurationError("cannot retire the last routable shard")
+        self._routing = tuple(n for n in self._routing if n != name)
+        if self._ring is not None:
+            self._ring.remove(name)
+
+    def abort_retire(self, name: str) -> None:
+        """Roll a failed retirement back: the shard routes again."""
+        if name not in self.shard_names:
+            raise ConfigurationError(f"no shard named {name!r}")
+        if name in self._routing:
+            raise ConfigurationError(f"shard {name!r} is already routable")
+        self._routing = self._routing + (name,)
+        if self._ring is not None:
+            self._ring.add(name)
+
+    def remove_shard(self, name: str) -> int:
+        """Tear one shard down for good; returns mirrors dropped.
+
+        Any open call batch is drained first (its queued calls still
+        target live mirrors), the shard's EPC pages and quota are
+        released, and the remaining members re-split the EPC budget.
+        State left on the shard dies with it — live-migrate first.
+        """
+        if name == DEFAULT_ISOLATE:
+            raise ConfigurationError("the root isolate cannot be removed")
+        if name not in self.shard_names:
+            raise ConfigurationError(f"no shard named {name!r}")
+        if name in self._routing:
+            self.begin_retire(name)
+        self._drain_batches("scale-down")
+        dropped = self.runtime.tear_down_isolate(Side.TRUSTED, name)
+        tenant = self._tenant_ids.pop(name)
+        if self.driver is not None:
+            self.driver.epc.evict_enclave(tenant)
+            self.driver.epc.set_quota(tenant, None)
+        self.shard_names = tuple(n for n in self.shard_names if n != name)
+        self._restore_hooks.pop(name, None)
+        self._ws_cursor.pop(name, None)
+        self._repartition_epc()
+        self.scale_downs += 1
+        obs = self.platform.obs
+        if obs is not None:
+            obs.metrics.counter("shard.scale_downs").inc()
+            obs.metrics.counter("shard.mirrors_dropped").inc(dropped)
+            obs.metrics.gauge("shard.count").set(self.n_shards)
+        return dropped
+
+    def _repartition_epc(self) -> None:
+        """Re-split the EPC budget over the current membership."""
+        if self._epc_budget_pages is None or self.driver is None:
+            return
+        self.driver.partition_epc(
+            [self._tenant_ids[name] for name in self.shard_names],
+            total_pages=self._epc_budget_pages,
+        )
+
+    def _drain_batches(self, reason: str) -> None:
+        """Flush any open call batch before a membership/loss event.
+
+        A coalesced batch queued against a shard must land while its
+        mirrors are still alive; flushing after teardown would dangle
+        into the registry of a dead isolate.
+        """
+        batcher = getattr(self.runtime, "batcher", None)
+        if batcher is not None and batcher.pending:
+            batcher.barrier(reason)
 
     # -- crossing accounting (called by ShardedRuntime) -----------------------
 
@@ -220,6 +372,12 @@ class ShardedEnclaveGroup:
             )
         if shard not in self.shard_names:
             raise ConfigurationError(f"no shard named {shard!r}")
+        # Land any in-flight coalesced batch while the shard's mirrors
+        # still exist. A mid-batch enclave crash during this drain goes
+        # through the recovery coordinator like any crossing (replay or
+        # typed refusal); flushing *after* teardown would instead
+        # surface an inexplicable registry miss.
+        self._drain_batches("shard-loss")
         dropped = self.runtime.tear_down_isolate(Side.TRUSTED, shard)
         if self.driver is not None:
             self.driver.epc.evict_enclave(self._tenant_ids[shard])

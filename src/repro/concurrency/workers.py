@@ -119,6 +119,32 @@ class ContendedWorkerPool:
     def workers(self, kind: str) -> int:
         return len(self._busy_until[kind])
 
+    def resize(
+        self,
+        trusted_workers: Optional[int] = None,
+        untrusted_workers: Optional[int] = None,
+    ) -> None:
+        """Grow or shrink a worker class at runtime (autoscaling).
+
+        New workers start with an expired lease (free at any event
+        time); shrinking drops the highest-indexed workers — an
+        in-flight call on a dropped worker was already priced, so the
+        lease simply disappears. Deterministic either way.
+        """
+        for kind, count in (
+            ("trusted", trusted_workers),
+            ("untrusted", untrusted_workers),
+        ):
+            if count is None:
+                continue
+            if count < 0:
+                raise ConfigurationError("worker counts cannot be negative")
+            leases = self._busy_until[kind]
+            if count > len(leases):
+                leases.extend([0.0] * (count - len(leases)))
+            else:
+                del leases[count:]
+
     def try_acquire(self, kind: str, now_ns: float) -> Optional[int]:
         """Index of a free ``kind`` worker at ``now_ns``, or None."""
         for index, busy_until in enumerate(self._busy_until[kind]):

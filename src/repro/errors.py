@@ -87,6 +87,30 @@ class RetryExhaustedError(RmiError):
     """An RMI invocation kept failing after every allowed retry."""
 
 
+class RetryBudgetExhaustedError(RetryExhaustedError):
+    """A retry loop ran out of virtual time before it ran out of
+    attempts.
+
+    Raised when a :class:`~repro.faults.RetryPolicy` carries a per-call
+    deadline or a total retry budget and the next backoff would exceed
+    it — the bound that stops a recovery storm from retrying forever.
+    Subclasses :class:`RetryExhaustedError` so existing handlers treat
+    both exhaustion modes uniformly."""
+
+
+class OverloadError(ReproError):
+    """The admission layer refused a request to protect the service.
+
+    ``reason`` distinguishes the degradation modes: ``"queue-full"``
+    (the bounded admission queue overflowed), ``"deadline"`` (the
+    request waited past its queueing deadline) and ``"backpressure"``
+    (the per-app token bucket is empty)."""
+
+    def __init__(self, message: str, *, reason: str = "queue-full") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
 class NonIdempotentReplayError(RmiError):
     """A crossing failed *mid-call* and cannot be replayed safely.
 

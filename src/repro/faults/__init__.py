@@ -34,7 +34,12 @@ from repro.faults.recovery import (
     RecoveryStats,
     attach_recovery,
 )
-from repro.faults.retry import IDEMPOTENT_ATTR, RetryPolicy, idempotent
+from repro.faults.retry import (
+    IDEMPOTENT_ATTR,
+    RetryBudget,
+    RetryPolicy,
+    idempotent,
+)
 
 __all__ = [
     "CheckpointManager",
@@ -47,6 +52,7 @@ __all__ = [
     "IDEMPOTENT_ATTR",
     "RecoveryCoordinator",
     "RecoveryStats",
+    "RetryBudget",
     "RetryPolicy",
     "attach_recovery",
     "idempotent",

@@ -104,6 +104,33 @@ class CheckpointManager:
             obs.metrics.counter("recovery.checkpoints").inc()
         return len(self._entries)
 
+    def checkpoint_entry(self, name: str) -> None:
+        """Seal one named entry now (targeted, not a full checkpoint).
+
+        The shard migrator uses this to seal exactly the key being
+        live-migrated: same sealing path and pricing as a full
+        checkpoint, scoped to one entry.
+        """
+        entry = self._entry(name)
+        entry.blob = self.sealing.seal(entry.capture())
+        self.stats.entries_sealed += 1
+
+    def restore_entry(self, name: str) -> None:
+        """Unseal + apply one entry's latest blob (migration restore)."""
+        entry = self._entry(name)
+        if entry.blob is None:
+            raise ConfigurationError(
+                f"checkpoint entry {name!r} was never sealed"
+            )
+        entry.restore(self.sealing.unseal(entry.blob))
+        self.stats.entries_restored += 1
+
+    def _entry(self, name: str) -> _Entry:
+        for entry in self._entries:
+            if entry.name == name:
+                return entry
+        raise ConfigurationError(f"no checkpoint entry named {name!r}")
+
     def maybe_checkpoint(self) -> bool:
         """Checkpoint if the configured interval has elapsed."""
         if not self._entries:

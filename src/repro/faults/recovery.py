@@ -32,7 +32,7 @@ from repro.errors import (
     RetryExhaustedError,
 )
 from repro.faults.checkpoint import CheckpointManager, register_mirror_registry
-from repro.faults.retry import RetryPolicy
+from repro.faults.retry import RetryBudget, RetryPolicy
 from repro.sgx.attestation import AttestationService
 from repro.sgx.enclave import Enclave
 from repro.sgx.sealing import SealingService
@@ -93,6 +93,9 @@ class RecoveryCoordinator:
         self.attestation = attestation
         self.checkpoints = checkpoints
         self.policy = policy or RetryPolicy()
+        #: Virtual-time retry accounting (per-call deadline + total
+        #: budget). Inert for unbudgeted policies.
+        self.budget = RetryBudget(self.policy)
         #: Invocation ids whose relay may have executed before the
         #: reply was lost — replay needs an idempotency declaration.
         self._indeterminate: Set[int] = set()
@@ -115,6 +118,8 @@ class RecoveryCoordinator:
         unit, and a refused replay loses ``calls`` call-effects.
         """
         attempt = 0
+        if self.policy.budgeted:
+            self.budget.start_call(self.platform.clock.now_ns)
         while True:
             attempt += 1
             try:
@@ -154,6 +159,10 @@ class RecoveryCoordinator:
 
     def _backoff(self, attempt: int, routine: str) -> None:
         backoff = self.policy.backoff_ns(attempt)
+        if self.policy.budgeted:
+            # Raises RetryBudgetExhaustedError before anything is
+            # charged: an unaffordable retry is never half-taken.
+            self.budget.authorize(self.platform.clock.now_ns, backoff, routine)
         self.platform.charge_ns("rmi.retry.backoff", backoff)
         self.stats.retries += 1
         self.stats.backoff_ns += backoff

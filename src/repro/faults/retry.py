@@ -17,9 +17,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fnmatch import fnmatchcase
-from typing import Callable, Tuple, TypeVar
+from typing import Callable, Optional, Tuple, TypeVar
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RetryBudgetExhaustedError
 
 F = TypeVar("F", bound=Callable)
 
@@ -57,6 +57,14 @@ class RetryPolicy:
     #: fnmatch patterns of routine names treated as idempotent even
     #: without the decorator (e.g. ``relay_*_get_*``, ``gc_release``).
     idempotent_patterns: Tuple[str, ...] = ()
+    #: Per-call deadline: virtual ns between a crossing's first dispatch
+    #: and its last permissible retry. ``None`` (default) keeps today's
+    #: attempt-count-only behaviour, byte for byte.
+    call_deadline_ns: Optional[float] = None
+    #: Total retry budget: cumulative backoff virtual ns a single policy
+    #: user (coordinator, migrator) may charge across *all* its calls.
+    #: The bound that stops a recovery storm from retrying forever.
+    retry_budget_ns: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -65,6 +73,15 @@ class RetryPolicy:
             raise ConfigurationError("backoff cannot be negative")
         if self.backoff_multiplier < 1.0:
             raise ConfigurationError("backoff_multiplier must be >= 1")
+        if self.call_deadline_ns is not None and self.call_deadline_ns <= 0:
+            raise ConfigurationError("call_deadline_ns must be positive")
+        if self.retry_budget_ns is not None and self.retry_budget_ns <= 0:
+            raise ConfigurationError("retry_budget_ns must be positive")
+
+    @property
+    def budgeted(self) -> bool:
+        """True when either virtual-time bound is configured."""
+        return self.call_deadline_ns is not None or self.retry_budget_ns is not None
 
     def backoff_ns(self, retry_index: int) -> float:
         """Virtual ns to charge before the ``retry_index``-th retry."""
@@ -79,4 +96,65 @@ class RetryPolicy:
         return any(
             fnmatchcase(routine, pattern)
             for pattern in self.idempotent_patterns
+        )
+
+
+class RetryBudget:
+    """Mutable virtual-time accounting for one :class:`RetryPolicy` user.
+
+    The policy itself is frozen; the budget tracks what its owner (a
+    recovery coordinator, the shard migrator) has already spent:
+
+    - ``start_call(now_ns)`` stamps a crossing's first dispatch so the
+      per-call deadline is measured against *elapsed virtual time* —
+      which includes rebuild/re-attest/restore costs, not just backoff;
+    - ``authorize(now_ns, backoff_ns, routine)`` either debits the next
+      backoff or raises :class:`~repro.errors.RetryBudgetExhaustedError`
+      when the deadline or the total budget would be exceeded.
+
+    With an unbudgeted policy every call is a no-op, so attaching a
+    budget to default-configured code changes nothing.
+    """
+
+    def __init__(self, policy: RetryPolicy) -> None:
+        self.policy = policy
+        self.spent_ns = 0.0
+        self._call_started_ns: Optional[float] = None
+
+    def start_call(self, now_ns: float) -> None:
+        self._call_started_ns = now_ns
+
+    def authorize(self, now_ns: float, backoff_ns: float, routine: str) -> float:
+        """Permit (and debit) the next retry's backoff, or raise."""
+        policy = self.policy
+        deadline = policy.call_deadline_ns
+        if deadline is not None and self._call_started_ns is not None:
+            elapsed = now_ns - self._call_started_ns
+            if elapsed + backoff_ns > deadline:
+                raise RetryBudgetExhaustedError(
+                    f"crossing {routine!r} blew its {deadline:.0f}ns call "
+                    f"deadline ({elapsed:.0f}ns elapsed + {backoff_ns:.0f}ns "
+                    "backoff)"
+                )
+        budget = policy.retry_budget_ns
+        if budget is not None and self.spent_ns + backoff_ns > budget:
+            raise RetryBudgetExhaustedError(
+                f"crossing {routine!r} exhausted the {budget:.0f}ns retry "
+                f"budget ({self.spent_ns:.0f}ns already spent)"
+            )
+        self.spent_ns += backoff_ns
+        return backoff_ns
+
+    @property
+    def remaining_ns(self) -> Optional[float]:
+        budget = self.policy.retry_budget_ns
+        if budget is None:
+            return None
+        return max(0.0, budget - self.spent_ns)
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryBudget(spent_ns={self.spent_ns:.0f}, "
+            f"deadline={self.policy.call_deadline_ns}, "
+            f"budget={self.policy.retry_budget_ns})"
         )

@@ -434,8 +434,11 @@ def default_rulebook(
     crossing_rate_per_s: float = 100_000.0,
     recovery_budget_ns: float = 1_000_000.0,
     window_ns: float = 100_000.0,
+    admission_queue_depth: float = 8.0,
+    shed_share: float = 0.05,
+    migration_budget_ns: float = 5_000_000.0,
 ) -> Tuple[SloRule, ...]:
-    """The signals the future autoscaler consumes, as a rulebook.
+    """The signals the autoscaler consumes, as a rulebook.
 
     - **pool-fallback-burn** — share of switchless attempts degraded to
       hardware transitions over the rolling window; a saturated worker
@@ -446,6 +449,16 @@ def default_rulebook(
       phases are batching/offload candidates.
     - **recovery-budget** — virtual nanoseconds spent in
       reinit/re-attest/restore; a flapping enclave blows this budget.
+    - **admission-queue** — open-loop admission queue depth; sustained
+      backlog means offered load outruns provisioned capacity.
+    - **shed-burn** — share of offered requests shed by the admission
+      layer over the rolling window; graceful degradation engaged.
+    - **migration-budget** — virtual nanoseconds spent live-migrating
+      keys between shards; an autoscaler that flaps blows this budget.
+
+    Rules over metrics a run never emits simply abstain (see
+    :meth:`SloRule.resolve_metric`), so the traffic rules are free to
+    ride in the default book.
     """
     quota = epc_quota_pages if epc_quota_pages is not None else _DEFAULT_EPC_PAGES
     return (
@@ -486,5 +499,40 @@ def default_rulebook(
             threshold=recovery_budget_ns,
             severity="warning",
             description="virtual time spent rebuilding lost enclaves",
+        ),
+        SloRule(
+            name="admission-queue",
+            kind="threshold",
+            metric="traffic.admission.queue_depth",
+            threshold=admission_queue_depth,
+            severity="warning",
+            description=(
+                "open-loop admission queue backlog: offered load is "
+                "outrunning provisioned capacity"
+            ),
+        ),
+        SloRule(
+            name="shed-burn",
+            kind="burn_rate",
+            metric="traffic.shed_total",
+            denominator=("traffic.offered",),
+            threshold=shed_share,
+            window_ns=window_ns,
+            severity="critical",
+            description=(
+                "share of offered requests shed (queue-full, deadline "
+                "or backpressure) over the rolling window"
+            ),
+        ),
+        SloRule(
+            name="migration-budget",
+            kind="threshold",
+            metric="charge.ns.migration.*",
+            threshold=migration_budget_ns,
+            severity="warning",
+            description=(
+                "virtual time spent live-migrating shard state; a "
+                "flapping autoscaler blows this budget"
+            ),
         ),
     )

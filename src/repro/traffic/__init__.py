@@ -1,0 +1,43 @@
+"""Open-loop traffic: seeded arrival processes, admission control, and
+the harness that merges both with the deterministic session scheduler.
+
+- :mod:`repro.traffic.arrivals` — Poisson/diurnal arrival stamping,
+  heavy-tailed request shapes, weighted app mixes;
+- :mod:`repro.traffic.admission` — bounded queue, deadline shedding,
+  per-app token buckets, typed :class:`~repro.errors.OverloadError`;
+- :mod:`repro.traffic.harness` — :class:`OpenLoopHarness`, which turns
+  a stamped schedule into scheduler sessions and measures honest
+  open-loop latency (queueing delay included).
+"""
+
+from repro.traffic.admission import (
+    AdmissionController,
+    AdmissionStats,
+    TokenBucket,
+)
+from repro.traffic.arrivals import (
+    DEFAULT_APP_MIX,
+    DiurnalProcess,
+    PoissonProcess,
+    Request,
+    WorkloadGenerator,
+    mix_counts,
+    offered_rate_per_s,
+)
+from repro.traffic.harness import Completion, OpenLoopHarness, TrafficResult
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "Completion",
+    "DEFAULT_APP_MIX",
+    "DiurnalProcess",
+    "OpenLoopHarness",
+    "PoissonProcess",
+    "Request",
+    "TokenBucket",
+    "TrafficResult",
+    "WorkloadGenerator",
+    "mix_counts",
+    "offered_rate_per_s",
+]

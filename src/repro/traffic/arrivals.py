@@ -1,0 +1,208 @@
+"""Seeded open-loop workload generation in virtual time.
+
+Closed-loop harnesses (every experiment before this module) hide
+overload: a client that waits for its previous request throttles itself
+exactly when the system slows down — the coordinated-omission trap.
+Open-loop generation decouples offered load from service capacity:
+arrivals are stamped ahead of time by a seeded stochastic process, and
+the harness injects them at those instants whether or not the backend
+is keeping up. Latency percentiles under an open-loop schedule are the
+honest ones.
+
+The processes here are the standard serving-benchmark kit:
+
+- :class:`PoissonProcess` — memoryless arrivals at a fixed rate
+  (exponential gaps);
+- :class:`DiurnalProcess` — a Poisson process whose rate follows a
+  sinusoidal day curve, producing the ramp-up/ramp-down the autoscaler's
+  hysteresis trace needs;
+- heavy-tailed per-request work (bounded Pareto ``ops``) and a weighted
+  application mix over the bank / SecureKeeper / PalDB workloads.
+
+Everything is a pure function of the seed; virtual time makes "replay a
+million-request day" cost only the generator loop.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Default application mix: a bank-heavy tail-latency-sensitive blend.
+DEFAULT_APP_MIX: Tuple[Tuple[str, float], ...] = (
+    ("bank", 0.6),
+    ("keeper", 0.25),
+    ("paldb", 0.15),
+)
+
+_NS_PER_S = 1e9
+
+
+@dataclass(frozen=True)
+class Request:
+    """One offered request, stamped before the run begins."""
+
+    rid: int
+    app: str
+    arrival_ns: float
+    #: Heavy-tailed per-request work multiplier (e.g. ops in a session).
+    ops: int
+    #: Routing/state key (selects the account / vault / record set).
+    key: str
+
+
+class PoissonProcess:
+    """Memoryless arrivals: exponential inter-arrival gaps."""
+
+    def __init__(self, rate_per_s: float, seed: int = 0) -> None:
+        if rate_per_s <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        self.rate_per_s = rate_per_s
+        self._rng = random.Random(seed)
+
+    def gaps_ns(self) -> Iterator[float]:
+        while True:
+            yield self._rng.expovariate(self.rate_per_s) * _NS_PER_S
+
+
+class DiurnalProcess:
+    """Poisson arrivals with a sinusoidal day curve.
+
+    The instantaneous rate is
+    ``base * (1 + amplitude * sin(2*pi * t / period))`` — load ramps up
+    past the scale-up thresholds near the peak and back below the
+    scale-down bars in the trough, which is what exercises a full
+    hysteresis up/down cycle.
+    """
+
+    def __init__(
+        self,
+        base_rate_per_s: float,
+        amplitude: float = 0.8,
+        period_s: float = 0.001,
+        seed: int = 0,
+    ) -> None:
+        if base_rate_per_s <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        if not 0.0 <= amplitude < 1.0:
+            raise ConfigurationError("amplitude must be in [0, 1)")
+        if period_s <= 0:
+            raise ConfigurationError("period must be positive")
+        self.base_rate_per_s = base_rate_per_s
+        self.amplitude = amplitude
+        self.period_s = period_s
+        self._rng = random.Random(seed)
+        self._t_s = 0.0
+
+    def _rate_at(self, t_s: float) -> float:
+        phase = 2.0 * math.pi * t_s / self.period_s
+        return self.base_rate_per_s * (
+            1.0 + self.amplitude * math.sin(phase)
+        )
+
+    def gaps_ns(self) -> Iterator[float]:
+        while True:
+            gap_s = self._rng.expovariate(self._rate_at(self._t_s))
+            self._t_s += gap_s
+            yield gap_s * _NS_PER_S
+
+
+class WorkloadGenerator:
+    """Stamps a full open-loop request schedule from one seed.
+
+    Three independent seeded streams (arrival gaps, app mix, request
+    shape) keep the schedule stable under parameter tweaks: changing
+    the mix does not reshuffle the arrival instants.
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        seed: int = 0,
+        app_mix: Tuple[Tuple[str, float], ...] = DEFAULT_APP_MIX,
+        diurnal_amplitude: float = 0.0,
+        diurnal_period_s: float = 0.001,
+        ops_alpha: float = 1.5,
+        ops_cap: int = 8,
+        keys_per_app: int = 8,
+    ) -> None:
+        if not app_mix:
+            raise ConfigurationError("app_mix cannot be empty")
+        if ops_alpha <= 0:
+            raise ConfigurationError("ops_alpha must be positive")
+        if ops_cap < 1 or keys_per_app < 1:
+            raise ConfigurationError("ops_cap and keys_per_app must be >= 1")
+        self.rate_per_s = rate_per_s
+        self.seed = seed
+        self.app_mix = app_mix
+        self.ops_alpha = ops_alpha
+        self.ops_cap = ops_cap
+        self.keys_per_app = keys_per_app
+        if diurnal_amplitude:
+            self._process: object = DiurnalProcess(
+                rate_per_s,
+                amplitude=diurnal_amplitude,
+                period_s=diurnal_period_s,
+                seed=seed,
+            )
+        else:
+            self._process = PoissonProcess(rate_per_s, seed=seed)
+        self._mix_rng = random.Random(seed + 0x5EED1)
+        self._shape_rng = random.Random(seed + 0x5EED2)
+
+    def _pick_app(self) -> str:
+        apps = [app for app, _ in self.app_mix]
+        weights = [weight for _, weight in self.app_mix]
+        return self._mix_rng.choices(apps, weights=weights, k=1)[0]
+
+    def _pick_ops(self) -> int:
+        # Bounded Pareto: most requests are tiny, a heavy tail is not.
+        draw = self._shape_rng.paretovariate(self.ops_alpha)
+        return min(self.ops_cap, max(1, int(draw)))
+
+    def _pick_key(self, app: str) -> str:
+        slot = self._shape_rng.randrange(self.keys_per_app)
+        return f"{app}-{slot}"
+
+    def generate(self, n_requests: int) -> List[Request]:
+        """Stamp ``n_requests`` arrivals (virtual time, so millions are
+        cheap — the cost is this loop, not wall-clock waiting)."""
+        if n_requests < 0:
+            raise ConfigurationError("n_requests cannot be negative")
+        gaps = self._process.gaps_ns()
+        requests: List[Request] = []
+        now_ns = 0.0
+        for rid in range(n_requests):
+            now_ns += next(gaps)
+            app = self._pick_app()
+            requests.append(
+                Request(
+                    rid=rid,
+                    app=app,
+                    arrival_ns=now_ns,
+                    ops=self._pick_ops(),
+                    key=self._pick_key(app),
+                )
+            )
+        return requests
+
+
+def offered_rate_per_s(requests: List[Request]) -> float:
+    """Realised offered load of a stamped schedule."""
+    if len(requests) < 2:
+        return 0.0
+    span_ns = requests[-1].arrival_ns - requests[0].arrival_ns
+    if span_ns <= 0:
+        return 0.0
+    return (len(requests) - 1) * _NS_PER_S / span_ns
+
+
+def mix_counts(requests: List[Request]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for request in requests:
+        counts[request.app] = counts.get(request.app, 0) + 1
+    return counts

@@ -1,0 +1,219 @@
+"""The open-loop traffic harness: arrivals meet the session scheduler.
+
+The harness merges two deterministic event streams — the stamped
+arrival schedule (:mod:`repro.traffic.arrivals`) and the
+:class:`~repro.concurrency.scheduler.SessionScheduler`'s run queue —
+into one virtual-time simulation:
+
+- an arrival whose timestamp precedes the next runnable session is
+  injected first (through the optional
+  :class:`~repro.traffic.admission.AdmissionController`); otherwise the
+  scheduler advances one session segment;
+- a completed session frees an admission slot at its finish time; the
+  controller promotes queued requests (shedding the ones that
+  out-waited their deadline) and the harness spawns them at the
+  promotion instant — open-loop queueing delay becomes part of the
+  measured latency;
+- an optional :class:`~repro.autoscale.controller.HysteresisAutoscaler`
+  is evaluated on a fixed virtual-time cadence as the event frontier
+  advances; after a scale event, freshly provisioned slots are drained
+  immediately.
+
+Determinism: spawn order equals arrival order, and the harness only
+steps the scheduler when the next runnable session precedes the next
+arrival. With admission and autoscaling off, the interleaving (and thus
+the ledger) is byte-identical to spawning every session up front — the
+zero-cost-when-off invariant, extended to traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, OverloadError
+from repro.traffic.arrivals import Request
+
+#: Body factory: turns one stamped request into a session generator.
+BodyFactory = Callable[[Request], Generator[Optional[float], None, Any]]
+
+
+@dataclass(frozen=True)
+class Completion:
+    """One served request's life cycle."""
+
+    rid: int
+    app: str
+    arrival_ns: float
+    started_ns: float
+    finished_ns: float
+
+    @property
+    def latency_ns(self) -> float:
+        return self.finished_ns - self.arrival_ns
+
+    @property
+    def queue_ns(self) -> float:
+        return self.started_ns - self.arrival_ns
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rid": self.rid,
+            "app": self.app,
+            "arrival_ns": self.arrival_ns,
+            "started_ns": self.started_ns,
+            "finished_ns": self.finished_ns,
+            "latency_ns": self.latency_ns,
+        }
+
+
+@dataclass
+class TrafficResult:
+    """Everything one harness run measured."""
+
+    completions: List[Completion] = field(default_factory=list)
+    shed: List[Tuple[int, str]] = field(default_factory=list)
+    makespan_ns: float = 0.0
+    steps: int = 0
+
+    @property
+    def latencies_ns(self) -> List[float]:
+        return [c.latency_ns for c in self.completions]
+
+    def latency_percentile(self, q: float) -> float:
+        """Nearest-rank percentile of completion latency (ns)."""
+        if not 0.0 < q <= 100.0:
+            raise ConfigurationError("percentile must be in (0, 100]")
+        ordered = sorted(self.latencies_ns)
+        if not ordered:
+            return 0.0
+        rank = max(1, int(-(-q * len(ordered) // 100)))  # ceil
+        return ordered[rank - 1]
+
+    def shed_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for _, reason in self.shed:
+            counts[reason] = counts.get(reason, 0) + 1
+        return counts
+
+
+class OpenLoopHarness:
+    """Drives a stamped request schedule through the scheduler."""
+
+    def __init__(
+        self,
+        scheduler: Any,
+        body_factory: BodyFactory,
+        admission: Optional[Any] = None,
+        autoscaler: Optional[Any] = None,
+        autoscale_every_ns: float = 500_000.0,
+    ) -> None:
+        if autoscale_every_ns <= 0:
+            raise ConfigurationError("autoscale_every_ns must be positive")
+        self.scheduler = scheduler
+        self.body_factory = body_factory
+        self.admission = admission
+        self.autoscaler = autoscaler
+        self.autoscale_every_ns = autoscale_every_ns
+        self._live: Dict[str, Tuple[Request, Any, float]] = {}
+        self._frontier_ns = 0.0
+        self._next_eval_ns = autoscale_every_ns
+
+    # -- the merge loop --------------------------------------------------------
+
+    def run(self, requests: List[Request]) -> TrafficResult:
+        result = TrafficResult()
+        pending = list(requests)
+        pending.reverse()  # pop() from the tail = earliest arrival first
+        while pending or self._live:
+            next_arrival = pending[-1].arrival_ns if pending else None
+            next_ready = self.scheduler.next_ready_ns()
+            if next_arrival is not None and (
+                next_ready is None or next_arrival <= next_ready
+            ):
+                self._arrive(pending.pop(), result)
+            else:
+                self._advance(result)
+        result.makespan_ns = self.scheduler.makespan_ns
+        result.steps = self.scheduler._steps
+        return result
+
+    def _arrive(self, request: Request, result: TrafficResult) -> None:
+        self._bump_frontier(request.arrival_ns, result)
+        if self.admission is None:
+            self._spawn(request, request.arrival_ns)
+            return
+        try:
+            verdict = self.admission.offer(request, request.arrival_ns)
+        except OverloadError as overload:
+            result.shed.append((request.rid, overload.reason))
+            return
+        if verdict == "run":
+            self._spawn(request, request.arrival_ns)
+        # "queued": the request waits inside the controller until a
+        # completion (or a capacity raise) promotes it.
+
+    def _advance(self, result: TrafficResult) -> None:
+        record = self.scheduler.step()
+        if record is None:
+            return
+        entry = self._live.get(record.session)
+        if entry is None:
+            return
+        request, session, started_ns = entry
+        if not session.done:
+            return
+        del self._live[record.session]
+        finished_ns = session.local_ns
+        result.completions.append(
+            Completion(
+                rid=request.rid,
+                app=request.app,
+                arrival_ns=request.arrival_ns,
+                started_ns=started_ns,
+                finished_ns=finished_ns,
+            )
+        )
+        self._bump_frontier(finished_ns, result)
+        if self.admission is not None:
+            ready, expired = self.admission.release(finished_ns)
+            self._absorb(ready, expired, finished_ns, result)
+
+    def _absorb(
+        self,
+        ready: List[Request],
+        expired: List[Request],
+        now_ns: float,
+        result: TrafficResult,
+    ) -> None:
+        for request in expired:
+            result.shed.append((request.rid, "deadline"))
+        for request in ready:
+            self._spawn(request, now_ns)
+
+    def _spawn(self, request: Request, start_ns: float) -> None:
+        name = f"r{request.rid}"
+        session = self.scheduler.spawn(
+            name, self.body_factory(request), start_ns=start_ns
+        )
+        self._live[name] = (request, session, start_ns)
+
+    # -- autoscaler cadence ----------------------------------------------------
+
+    def _bump_frontier(self, now_ns: float, result: TrafficResult) -> None:
+        if now_ns > self._frontier_ns:
+            self._frontier_ns = now_ns
+        if self.autoscaler is None:
+            return
+        while self._frontier_ns >= self._next_eval_ns:
+            event = self.autoscaler.evaluate(self._next_eval_ns)
+            self._next_eval_ns += self.autoscale_every_ns
+            if event is not None and self.admission is not None:
+                ready, expired = self.admission.drain(self._frontier_ns)
+                self._absorb(ready, expired, self._frontier_ns, result)
+
+    def __repr__(self) -> str:
+        return (
+            f"OpenLoopHarness(live={len(self._live)}, "
+            f"frontier_ns={self._frontier_ns:.0f})"
+        )

@@ -1,0 +1,510 @@
+"""Elastic autoscaling (repro.autoscale).
+
+Covers the consistent-hash ring (deterministic routing, the ~1/N remap
+bound on membership change, pricing identity with the crc32 router at
+one shard), the sealed live-migration engine (state-preserving
+scale-up/down, attestation + seal pricing, chaos-safe interruption
+handling with rollback-or-complete semantics, retry-budget-bounded
+retries) and the hysteresis controller (signal-driven decisions,
+cooldown, down-stability, provisioning hooks).
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.apps.bank import Account, BANK_CLASSES
+from repro.autoscale import (
+    AutoscalePolicy,
+    ConsistentHashRing,
+    HysteresisAutoscaler,
+    ShardMigrator,
+)
+from repro.concurrency import ShardedEnclaveGroup
+from repro.core import Partitioner, PartitionOptions
+from repro.core.multi_isolate import DEFAULT_ISOLATE
+from repro.costs.platform import fresh_platform
+from repro.errors import ConfigurationError
+from repro.faults import FaultInjector, FaultKind, FaultRule, RetryPolicy
+from tests.helpers import assert_ledgers_identical, session_ledger
+
+
+def _bank_app(name: str):
+    return Partitioner(PartitionOptions(name=name)).partition(
+        list(BANK_CLASSES)
+    )
+
+
+def _capture(account):
+    return account.get_balance()
+
+
+def _apply(account, snapshot):
+    # Absorbing write: re-applying the same snapshot cannot double-count.
+    account.update_balance(snapshot - account.get_balance())
+
+
+def _manage_accounts(migrator, keys, initial=100):
+    for key in keys:
+        migrator.manage(
+            key,
+            factory=lambda k=key: Account(k, initial),
+            capture=_capture,
+            apply=_apply,
+        )
+
+
+#: One seeded mid-migration shard loss (the chaos window of ISSUE 8).
+def _chaos_rule(max_fires=1):
+    return FaultRule(
+        FaultKind.ENCLAVE_CRASH,
+        call_kind="shard",
+        routine="migrate.*",
+        at_call=1,
+        max_fires=max_fires,
+    )
+
+
+# ---------------------------------------------------------------------------
+# ConsistentHashRing
+# ---------------------------------------------------------------------------
+
+
+class TestConsistentHashRing:
+    def test_routing_is_deterministic_and_order_independent(self):
+        keys = [f"k{i}" for i in range(256)]
+        a = ConsistentHashRing(["s0", "s1", "s2"])
+        b = ConsistentHashRing(["s2", "s0", "s1"])
+        assert [a.node_for(k) for k in keys] == [b.node_for(k) for k in keys]
+        assert a.node_for("k7") == a.node_for("k7")
+        assert len(a) == 3 and "s1" in a and "s9" not in a
+        assert set(a.nodes) == set(b.nodes)
+
+    def test_membership_change_remaps_about_one_over_n(self):
+        ring = ConsistentHashRing([f"s{i}" for i in range(4)])
+        keys = [f"key-{i}" for i in range(2000)]
+        before = {k: ring.node_for(k) for k in keys}
+        ring.add("s4")
+        after = {k: ring.node_for(k) for k in keys}
+        moved = [k for k in keys if before[k] != after[k]]
+        share = len(moved) / len(keys)
+        assert 0.05 < share < 0.40  # ~1/5 of the keyspace, generous slack
+        # Adding a node only ever steals keys *for itself*.
+        assert all(after[k] == "s4" for k in moved)
+        # Removing it restores the exact pre-change routing.
+        ring.remove("s4")
+        assert {k: ring.node_for(k) for k in keys} == before
+
+    def test_validation(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(ConfigurationError):
+            ring.add("a")
+        with pytest.raises(ConfigurationError):
+            ring.remove("b")
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRing(vnodes=0)
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRing().node_for("k")
+
+    def test_ring_router_prices_like_crc32_at_one_shard(self):
+        # The zero-cost bridge: a 1-shard group routes everything to the
+        # root isolate under either router, so switching the router on
+        # must not move a single priced nanosecond.
+        ledgers = {}
+        for router in ("crc32", "ring"):
+            app = _bank_app("as_price")
+            with app.start() as session:
+                group = ShardedEnclaveGroup(session, 1, router=router)
+                accounts = [
+                    group.create_pinned(f"a{i}", lambda i=i: Account(f"a{i}", 10))
+                    for i in range(4)
+                ]
+                for account in accounts:
+                    account.update_balance(5)
+                assert sum(a.get_balance() for a in accounts) == 60
+                ledgers[router] = session_ledger(session)
+        assert_ledgers_identical(ledgers["ring"], ledgers["crc32"])
+
+
+# ---------------------------------------------------------------------------
+# ShardMigrator
+# ---------------------------------------------------------------------------
+
+
+class TestShardMigrator:
+    def test_scale_up_then_down_migrates_state_losslessly(self):
+        app = _bank_app("as_updown")
+        with app.start() as session:
+            group = ShardedEnclaveGroup(session, 1, router="ring")
+            migrator = ShardMigrator(group)
+            keys = [f"bank-{i}" for i in range(8)]
+            _manage_accounts(migrator, keys)
+            for i, key in enumerate(keys):
+                migrator.lookup(key).update_balance(i + 1)
+
+            outcome = migrator.scale_up()
+            assert outcome["action"] == "up"
+            assert group.n_shards == 2
+            moved = outcome["keys_moved"]
+            assert moved >= 1
+            off_root = [
+                k for k in keys if migrator.home_of(k) != DEFAULT_ISOLATE
+            ]
+            assert len(off_root) == moved
+            # Every key serves its full history wherever it now lives.
+            for i, key in enumerate(keys):
+                assert migrator.lookup(key).get_balance() == 100 + i + 1
+            assert migrator.stats.attestations == 1
+            ledger = dict(session.platform.snapshot())
+            assert "migration.attest" in ledger
+            assert "migration.transfer" in ledger
+            assert "sgx.seal" in ledger and "sgx.unseal" in ledger
+
+            outcome = migrator.scale_down()
+            assert outcome["action"] == "down"
+            assert group.n_shards == 1
+            assert all(migrator.home_of(k) == DEFAULT_ISOLATE for k in keys)
+            for i, key in enumerate(keys):
+                assert migrator.lookup(key).get_balance() == 100 + i + 1
+            assert migrator.stats.rollbacks == 0
+
+    def test_duplicate_key_and_missing_scale_down_rejected(self):
+        app = _bank_app("as_valid")
+        with app.start() as session:
+            group = ShardedEnclaveGroup(session, 1, router="ring")
+            migrator = ShardMigrator(group)
+            _manage_accounts(migrator, ["bank-0"])
+            with pytest.raises(ConfigurationError):
+                _manage_accounts(migrator, ["bank-0"])
+            with pytest.raises(ConfigurationError):
+                migrator.scale_down()  # no removable shard
+
+    def test_mid_migration_loss_completes_from_sealed_blob(self):
+        # The acceptance invariant: a seeded shard loss inside the chaos
+        # window must complete the move from the sealed blob — zero
+        # acked-state loss, at-most-once application.
+        app = _bank_app("as_chaos")
+        with app.start() as session:
+            group = ShardedEnclaveGroup(session, 1, router="ring")
+            migrator = ShardMigrator(group)
+            keys = [f"bank-{i}" for i in range(8)]
+            _manage_accounts(migrator, keys)
+            acked = {}
+            for i, key in enumerate(keys):
+                migrator.lookup(key).update_balance(i + 1)
+                acked[key] = i + 1
+            session.platform.enable_fault_injection(
+                FaultInjector(seed=3, rules=[_chaos_rule(max_fires=1)])
+            )
+            migrator.scale_up()
+            session.platform.disable_fault_injection()
+            assert migrator.stats.interruptions == 1
+            assert migrator.stats.retries >= 1
+            assert migrator.stats.rollbacks == 0
+            for key in keys:
+                assert migrator.lookup(key).get_balance() == 100 + acked[key]
+            record = next(r for r in migrator.records if r.interruptions)
+            assert record.completed and not record.rolled_back
+            # The victim shard's recovery was priced like any loss.
+            ledger = dict(session.platform.snapshot())
+            assert any(c.startswith("shard.reload.") for c in ledger)
+
+    def test_retry_budget_exhaustion_rolls_back(self):
+        # A persistent fault burns the budget: 100k then 200k backoff
+        # against a 150k budget, so attempt 3 is never authorized and
+        # the key stays (intact) on its source shard.
+        policy = RetryPolicy(
+            max_attempts=10,
+            base_backoff_ns=100_000.0,
+            retry_budget_ns=150_000.0,
+        )
+        app = _bank_app("as_budget")
+        with app.start() as session:
+            group = ShardedEnclaveGroup(session, 1, router="ring")
+            migrator = ShardMigrator(group, policy=policy)
+            keys = [f"bank-{i}" for i in range(8)]
+            _manage_accounts(migrator, keys)
+            for key in keys:
+                migrator.lookup(key).update_balance(9)
+            session.platform.enable_fault_injection(
+                FaultInjector(
+                    seed=5,
+                    rules=[
+                        FaultRule(
+                            FaultKind.ENCLAVE_CRASH,
+                            call_kind="shard",
+                            routine="migrate.*",
+                        )
+                    ],
+                )
+            )
+            outcome = migrator.scale_up()
+            session.platform.disable_fault_injection()
+            assert outcome["keys_moved"] == 0
+            assert migrator.stats.rollbacks >= 1
+            assert migrator.stats.rollbacks == migrator.stats.migrations
+            assert all(migrator.home_of(k) == DEFAULT_ISOLATE for k in keys)
+            for key in keys:
+                assert migrator.lookup(key).get_balance() == 109
+            ledger = dict(session.platform.snapshot())
+            assert "migration.backoff" in ledger
+            # Two attempts per key: one authorized backoff, then the
+            # budget refuses the second retry.
+            record = migrator.records[0]
+            assert record.attempts == 2 and record.rolled_back
+
+    def test_failed_scale_down_aborts_retirement(self):
+        app = _bank_app("as_downfail")
+        with app.start() as session:
+            group = ShardedEnclaveGroup(session, 1, router="ring")
+            migrator = ShardMigrator(
+                group, policy=RetryPolicy(max_attempts=1)
+            )
+            keys = [f"bank-{i}" for i in range(8)]
+            _manage_accounts(migrator, keys)
+            for key in keys:
+                migrator.lookup(key).update_balance(3)
+            migrator.scale_up()
+            stranded_before = [
+                k for k in keys if migrator.home_of(k) != DEFAULT_ISOLATE
+            ]
+            assert stranded_before  # the retirement has keys to move
+            session.platform.enable_fault_injection(
+                FaultInjector(
+                    seed=7,
+                    rules=[
+                        FaultRule(
+                            FaultKind.ENCLAVE_CRASH,
+                            call_kind="shard",
+                            routine="migrate.*",
+                        )
+                    ],
+                )
+            )
+            outcome = migrator.scale_down()
+            session.platform.disable_fault_injection()
+            assert outcome["action"] == "down-rollback"
+            assert outcome["stranded"] == sorted(stranded_before)
+            # The shard routes again and still serves its keys.
+            assert group.n_shards == 2
+            assert outcome["shard"] in group.shard_names
+            for key in keys:
+                assert migrator.lookup(key).get_balance() == 103
+
+
+# ---------------------------------------------------------------------------
+# HysteresisAutoscaler (controller logic over stub signals)
+# ---------------------------------------------------------------------------
+
+
+class _FakeGroup:
+    def __init__(self):
+        self.n_shards = 1
+        self.driver = None
+        self.shard_names = (DEFAULT_ISOLATE,)
+
+
+class _FakeMigrator:
+    """Counts scale actions without touching any real isolate."""
+
+    def __init__(self):
+        self.group = _FakeGroup()
+        self.platform = fresh_platform()
+
+    def scale_up(self):
+        self.group.n_shards += 1
+        return {"shard": "sX", "keys_moved": 2, "action": "up"}
+
+    def scale_down(self, shard=None):
+        self.group.n_shards -= 1
+        return {"shard": "sX", "keys_moved": 1, "action": "down"}
+
+
+def _admission_stub(depth, caps):
+    return SimpleNamespace(queue_depth=depth, set_capacity=caps.append)
+
+
+class TestHysteresisAutoscaler:
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            AutoscalePolicy(min_shards=0)
+        with pytest.raises(ConfigurationError):
+            AutoscalePolicy(min_shards=3, max_shards=2)
+        with pytest.raises(ConfigurationError):
+            AutoscalePolicy(cooldown_ns=-1.0)
+        with pytest.raises(ConfigurationError):
+            AutoscalePolicy(down_stable_evals=0)
+
+    def test_deep_queue_scales_up_and_provisions(self):
+        caps = []
+        admission = _admission_stub(depth=9, caps=caps)
+        auto = HysteresisAutoscaler(
+            _FakeMigrator(),
+            policy=AutoscalePolicy(
+                queue_up_depth=6, cooldown_ns=1_000.0, slots_per_shard=3
+            ),
+            admission=admission,
+        )
+        event = auto.evaluate(now_ns=0.0)
+        assert event is not None and event.action == "up"
+        assert "queue depth 9" in event.reason
+        assert auto.group.n_shards == 2
+        assert caps == [6]  # slots_per_shard * new shard count
+        assert event.to_dict()["shards_after"] == 2
+
+    def test_cooldown_blocks_consecutive_events(self):
+        caps = []
+        admission = _admission_stub(depth=9, caps=caps)
+        auto = HysteresisAutoscaler(
+            _FakeMigrator(),
+            policy=AutoscalePolicy(queue_up_depth=6, cooldown_ns=1_000.0),
+            admission=admission,
+        )
+        assert auto.evaluate(now_ns=0.0) is not None
+        assert auto.evaluate(now_ns=500.0) is None  # in cooldown
+        assert auto.evaluate(now_ns=1_500.0) is not None  # cooldown over
+
+    def test_max_shards_caps_growth(self):
+        caps = []
+        admission = _admission_stub(depth=9, caps=caps)
+        auto = HysteresisAutoscaler(
+            _FakeMigrator(),
+            policy=AutoscalePolicy(
+                max_shards=2, queue_up_depth=6, cooldown_ns=0.0
+            ),
+            admission=admission,
+        )
+        assert auto.evaluate(now_ns=0.0) is not None
+        assert auto.evaluate(now_ns=10_000.0) is None  # at the cap
+        assert auto.group.n_shards == 2
+
+    def test_scale_down_requires_stability(self):
+        caps = []
+        admission = _admission_stub(depth=0, caps=caps)
+        migrator = _FakeMigrator()
+        migrator.group.n_shards = 2
+        auto = HysteresisAutoscaler(
+            migrator,
+            policy=AutoscalePolicy(
+                down_stable_evals=3, cooldown_ns=0.0, queue_down_depth=0
+            ),
+            admission=admission,
+        )
+        assert auto.evaluate(now_ns=1.0) is None
+        assert auto.evaluate(now_ns=2.0) is None
+        event = auto.evaluate(now_ns=3.0)
+        assert event is not None and event.action == "down"
+        assert auto.group.n_shards == 1
+        assert "calm for 3 evaluations" in event.reason
+
+    def test_busy_eval_resets_calm_streak(self):
+        caps = []
+        admission = _admission_stub(depth=0, caps=caps)
+        migrator = _FakeMigrator()
+        migrator.group.n_shards = 2
+        auto = HysteresisAutoscaler(
+            migrator,
+            policy=AutoscalePolicy(
+                down_stable_evals=3,
+                cooldown_ns=0.0,
+                queue_up_depth=6,
+                queue_down_depth=0,
+            ),
+            admission=admission,
+        )
+        assert auto.evaluate(now_ns=1.0) is None
+        assert auto.evaluate(now_ns=2.0) is None
+        admission.queue_depth = 1  # not calm, not up-worthy either
+        assert auto.evaluate(now_ns=3.0) is None
+        admission.queue_depth = 0
+        assert auto.evaluate(now_ns=4.0) is None  # streak restarted
+        assert auto.evaluate(now_ns=5.0) is None
+        assert auto.evaluate(now_ns=6.0) is not None
+
+    def test_pool_fallback_share_is_windowed(self):
+        resizes = []
+        pool = SimpleNamespace(
+            stats=SimpleNamespace(total_served=1, total_fallbacks=9),
+            resize=lambda **kw: resizes.append(kw),
+        )
+        auto = HysteresisAutoscaler(
+            _FakeMigrator(),
+            policy=AutoscalePolicy(
+                fallback_up_share=0.5, cooldown_ns=0.0, workers_per_shard=2
+            ),
+            pool=pool,
+        )
+        event = auto.evaluate(now_ns=0.0)
+        assert event is not None and "fallback share" in event.reason
+        assert resizes == [{"trusted_workers": 4, "untrusted_workers": 4}]
+        # No new pool traffic since the last window: the share reads 0,
+        # not the all-time 0.9 — the signal is a delta, not a level.
+        assert auto.evaluate(now_ns=10.0) is None
+        assert auto._calm_evals == 1
+
+    def test_critical_alert_delta_triggers_up_once(self):
+        watchdog = SimpleNamespace(
+            alerts=[SimpleNamespace(severity="critical")]
+        )
+        auto = HysteresisAutoscaler(
+            _FakeMigrator(),
+            policy=AutoscalePolicy(cooldown_ns=0.0),
+            watchdog=watchdog,
+        )
+        event = auto.evaluate(now_ns=0.0)
+        assert event is not None and "critical SLO alert" in event.reason
+        # The same alert list again is a zero delta: no second event.
+        assert auto.evaluate(now_ns=10.0) is None
+
+    def test_trace_lists_events_in_order(self):
+        caps = []
+        admission = _admission_stub(depth=9, caps=caps)
+        auto = HysteresisAutoscaler(
+            _FakeMigrator(),
+            policy=AutoscalePolicy(queue_up_depth=6, cooldown_ns=0.0),
+            admission=admission,
+        )
+        auto.evaluate(now_ns=0.0)
+        auto.evaluate(now_ns=10.0)
+        trace = auto.trace()
+        assert [e["action"] for e in trace] == ["up", "up"]
+        assert trace[0]["at_ns"] < trace[1]["at_ns"]
+        assert auto.evaluations == 2
+
+
+# ---------------------------------------------------------------------------
+# Controller + migrator end to end (real shard group)
+# ---------------------------------------------------------------------------
+
+
+class TestAutoscaleEndToEnd:
+    def test_queue_pressure_grows_a_real_group(self):
+        app = _bank_app("as_e2e")
+        with app.start() as session:
+            group = ShardedEnclaveGroup(session, 1, router="ring")
+            migrator = ShardMigrator(group)
+            keys = [f"bank-{i}" for i in range(6)]
+            _manage_accounts(migrator, keys)
+            for key in keys:
+                migrator.lookup(key).update_balance(4)
+            caps = []
+            admission = _admission_stub(depth=8, caps=caps)
+            auto = HysteresisAutoscaler(
+                migrator,
+                policy=AutoscalePolicy(
+                    queue_up_depth=4, cooldown_ns=0.0, max_shards=3
+                ),
+                admission=admission,
+            )
+            up = auto.evaluate()
+            assert up is not None and up.action == "up"
+            assert group.n_shards == 2
+            admission.queue_depth = 0
+            for now in (1e6, 2e6, 3e6):
+                down = auto.evaluate(now_ns=now)
+            assert down is not None and down.action == "down"
+            assert group.n_shards == 1
+            for key in keys:
+                assert migrator.lookup(key).get_balance() == 104

@@ -14,6 +14,7 @@ from __future__ import annotations
 import pytest
 
 from repro.apps.bank import Account, BANK_CLASSES
+from repro.batching import BatchPolicy, attach_batching
 from repro.concurrency import (
     ContendedWorkerPool,
     SessionScheduler,
@@ -26,7 +27,13 @@ from repro.core.multi_isolate import DEFAULT_ISOLATE
 from repro.costs.platform import fresh_platform
 from repro.errors import ConfigurationError, EpcError, RmiError
 from repro.experiments import scaling_exp
-from repro.faults import FaultInjector, FaultKind, FaultRule
+from repro.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultRule,
+    RetryPolicy,
+    attach_recovery,
+)
 from repro.obs.artifacts import validate_artifact
 from repro.runtime.scheduler import VirtualScheduler
 from repro.sgx.driver import SgxDriver
@@ -364,6 +371,115 @@ class TestSharding:
             assert registry[on_lost[0]].get_balance() == 100
             ledger = dict(session.platform.snapshot())
             assert f"shard.reload.{lost_shard}" in ledger
+
+    def test_lose_shard_drains_open_batch_first(self):
+        # Regression: a coalesced batch open when a shard dies must
+        # land against live mirrors *before* teardown — flushing later
+        # would dangle into the registry of a dead isolate.
+        app = _bank_app("conc_midbatch")
+        with app.start() as session:
+            group = ShardedEnclaveGroup(session, 2)
+            lost = group.shard_names[1]
+            keys = [f"k{i}" for i in range(20)]
+            on_lost = next(k for k in keys if group.shard_for(k) == lost)
+            on_root = next(k for k in keys if group.shard_for(k) != lost)
+            registry = {
+                k: group.create_pinned(k, lambda k=k: Account(k, 0))
+                for k in (on_lost, on_root)
+            }
+
+            def remake():
+                registry[on_lost] = group.create_pinned(
+                    on_lost, lambda: Account(on_lost, 0)
+                )
+
+            group.register_restore(on_lost, remake)
+            coalescer = attach_batching(
+                session,
+                BatchPolicy(
+                    routines=("relay_Account_update_balance",),
+                    max_batch=64,
+                    window_ns=1e15,
+                ),
+            )
+            for _ in range(3):
+                registry[on_lost].update_balance(1)
+            for _ in range(2):
+                registry[on_root].update_balance(1)
+            assert coalescer.pending == 5
+            group.lose_shard(lost)
+            assert coalescer.pending == 0
+            assert coalescer.stats.flushes.get("barrier:shard-loss") == 1
+            coalescer.detach()
+            # The queued updates landed pre-teardown; the survivor
+            # shows them and the restored object restarts clean.
+            assert registry[on_root].get_balance() == 2
+            assert registry[on_lost].get_balance() == 0
+
+    def test_mid_batch_crash_during_loss_drain_replays_idempotently(self):
+        # The drain itself can crash mid-flush; with the batch routine
+        # declared idempotent the coordinator recovers the enclave and
+        # replays the whole batch instead of refusing it.
+        app = _bank_app("conc_midbatch_chaos")
+        with app.start() as session:
+            coordinator = attach_recovery(
+                session,
+                policy=RetryPolicy(
+                    max_attempts=4, idempotent_patterns=("batch_*",)
+                ),
+            )
+            group = ShardedEnclaveGroup(session, 2)
+            lost = group.shard_names[1]
+            keys = [f"k{i}" for i in range(20)]
+            on_lost = next(k for k in keys if group.shard_for(k) == lost)
+            on_root = next(k for k in keys if group.shard_for(k) != lost)
+            registry = {
+                k: group.create_pinned(k, lambda k=k: Account(k, 0))
+                for k in (on_lost, on_root)
+            }
+            group.register_restore(
+                on_lost,
+                lambda: registry.__setitem__(
+                    on_lost,
+                    group.create_pinned(on_lost, lambda: Account(on_lost, 0)),
+                ),
+            )
+            coalescer = attach_batching(
+                session,
+                BatchPolicy(
+                    routines=("relay_Account_update_balance",),
+                    max_batch=64,
+                    window_ns=1e15,
+                ),
+            )
+            for _ in range(3):
+                registry[on_lost].update_balance(1)
+            for _ in range(2):
+                registry[on_root].update_balance(1)
+            session.platform.enable_fault_injection(
+                FaultInjector(
+                    seed=2,
+                    rules=[
+                        FaultRule(
+                            FaultKind.ENCLAVE_CRASH,
+                            routine="batch_Account_update_balance",
+                            at_call=1,
+                            phase="mid",
+                            max_fires=1,
+                        )
+                    ],
+                )
+            )
+            group.lose_shard(lost)
+            session.platform.disable_fault_injection()
+            assert coalescer.pending == 0
+            assert coordinator.stats.recoveries >= 1
+            assert coordinator.stats.calls_refused == 0
+            coalescer.detach()
+            # Replay-by-contract: the batch landed (twice — at-most-once
+            # waived by the idempotency declaration), nothing dangled.
+            assert registry[on_root].get_balance() in (2, 4)
+            assert registry[on_lost].get_balance() == 0
 
     def test_stale_proxy_to_lost_shard_raises(self):
         app = _bank_app("conc_stale")

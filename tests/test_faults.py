@@ -22,6 +22,7 @@ from repro.errors import (
     EnclaveError,
     EnclaveLostError,
     NonIdempotentReplayError,
+    RetryBudgetExhaustedError,
     RetryExhaustedError,
 )
 from repro.experiments import fault_recovery
@@ -31,6 +32,7 @@ from repro.faults import (
     FaultKind,
     FaultRule,
     RecoveryCoordinator,
+    RetryBudget,
     RetryPolicy,
     attach_recovery,
     idempotent,
@@ -708,6 +710,135 @@ class TestRecoveryCoordinator:
         assert policy.backoff_ns(2) == 200.0
         assert policy.backoff_ns(3) == 350.0  # capped
         assert policy.backoff_ns(4) == 350.0
+
+
+# ---------------------------------------------------------------------------
+# RetryBudget: per-call deadline + total virtual-time retry budget
+# ---------------------------------------------------------------------------
+
+
+class TestRetryBudget:
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(call_deadline_ns=0.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(retry_budget_ns=-1.0)
+        assert not RetryPolicy().budgeted
+        assert RetryPolicy(call_deadline_ns=1.0).budgeted
+        assert RetryPolicy(retry_budget_ns=1.0).budgeted
+
+    def test_unbudgeted_policy_never_refuses(self):
+        budget = RetryBudget(RetryPolicy())
+        budget.start_call(0.0)
+        for _ in range(100):
+            assert budget.authorize(1e12, 1e9, "r") == 1e9
+        assert budget.remaining_ns is None
+
+    def test_call_deadline_counts_elapsed_virtual_time(self):
+        budget = RetryBudget(RetryPolicy(call_deadline_ns=1_000.0))
+        budget.start_call(500.0)
+        # 900ns elapsed + 50ns backoff fits the 1000ns deadline.
+        assert budget.authorize(1_400.0, 50.0, "r") == 50.0
+        # 900ns elapsed + 200ns backoff does not.
+        with pytest.raises(RetryBudgetExhaustedError):
+            budget.authorize(1_400.0, 200.0, "r")
+        # A fresh call re-stamps the deadline window.
+        budget.start_call(2_000.0)
+        assert budget.authorize(2_100.0, 200.0, "r") == 200.0
+
+    def test_total_budget_spends_down_and_exhausts(self):
+        budget = RetryBudget(RetryPolicy(retry_budget_ns=300.0))
+        budget.start_call(0.0)
+        assert budget.remaining_ns == 300.0
+        for expected in (200.0, 100.0, 0.0):
+            budget.authorize(0.0, 100.0, "r")
+            assert budget.remaining_ns == expected
+        with pytest.raises(RetryBudgetExhaustedError) as exc:
+            budget.authorize(0.0, 100.0, "r")
+        # The typed error still matches the broader retry family.
+        assert isinstance(exc.value, RetryExhaustedError)
+        assert budget.spent_ns == 300.0  # a refused retry debits nothing
+
+    def test_coordinator_exhausts_budget_with_attempts_left(self):
+        # Exhaustion: max_attempts alone would allow 10 tries, but the
+        # virtual-time budget cuts the storm off after two backoffs.
+        platform = fresh_platform()
+        enclave = _enclave(platform)
+        transitions = TransitionLayer(platform, enclave)
+        platform.enable_fault_injection(
+            FaultInjector(rules=[FaultRule(FaultKind.TRANSIENT_ABORT)])
+        )
+        coordinator = RecoveryCoordinator(
+            enclave,
+            policy=RetryPolicy(
+                max_attempts=10,
+                base_backoff_ns=100.0,
+                backoff_multiplier=1.0,
+                retry_budget_ns=250.0,
+            ),
+        )
+        with pytest.raises(RetryBudgetExhaustedError):
+            coordinator.run_with_retry(
+                lambda: transitions.ecall("r", lambda: 1),
+                routine="r",
+                invocation_id=1,
+            )
+        assert platform.ledger.count("rmi.retry.backoff") == 2
+        assert coordinator.budget.spent_ns == 200.0
+
+    def test_coordinator_succeeds_under_budget(self):
+        # Success-under-budget: the same policy rides out a bounded
+        # fault episode and the call lands with budget to spare.
+        platform = fresh_platform()
+        enclave = _enclave(platform)
+        transitions = TransitionLayer(platform, enclave)
+        platform.enable_fault_injection(
+            FaultInjector(
+                rules=[FaultRule(FaultKind.TRANSIENT_ABORT, max_fires=2)]
+            )
+        )
+        coordinator = RecoveryCoordinator(
+            enclave,
+            policy=RetryPolicy(
+                max_attempts=10,
+                base_backoff_ns=100.0,
+                backoff_multiplier=1.0,
+                retry_budget_ns=250.0,
+            ),
+        )
+        result = coordinator.run_with_retry(
+            lambda: transitions.ecall("r", lambda: "ok"),
+            routine="r",
+            invocation_id=1,
+        )
+        assert result == "ok"
+        assert coordinator.budget.spent_ns == 200.0
+        assert coordinator.budget.remaining_ns == 50.0
+
+    def test_default_policy_ledger_is_unchanged_by_budget_plumbing(self):
+        # Attaching the budget accounting to an unbudgeted (default)
+        # policy must not move a single priced nanosecond.
+        def run(policy):
+            platform = fresh_platform()
+            enclave = _enclave(platform)
+            transitions = TransitionLayer(platform, enclave)
+            platform.enable_fault_injection(
+                FaultInjector(
+                    rules=[
+                        FaultRule(FaultKind.TRANSIENT_ABORT, max_fires=2)
+                    ]
+                )
+            )
+            coordinator = RecoveryCoordinator(enclave, policy=policy)
+            coordinator.run_with_retry(
+                lambda: transitions.ecall("r", lambda: 1),
+                routine="r",
+                invocation_id=1,
+            )
+            return platform_ledger(platform)
+
+        generous = RetryPolicy(retry_budget_ns=1e12, call_deadline_ns=1e12)
+        assert_ledgers_identical(run(generous), run(RetryPolicy()))
 
 
 # ---------------------------------------------------------------------------

@@ -29,7 +29,12 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments import batching_exp, fault_recovery, scaling_exp
+from repro.experiments import (
+    batching_exp,
+    fault_recovery,
+    scaling_exp,
+    traffic_exp,
+)
 from repro.obs.artifacts import validate_artifact
 
 GOLDENS_PATH = Path(__file__).parent / "goldens" / "fingerprints.json"
@@ -57,6 +62,12 @@ RUNNERS = {
         shard_counts=(1, 2),
         rounds=4,
         entries=4,
+    ),
+    "traffic": lambda: traffic_exp.run_traffic_ablation(
+        rates=(20_000.0, 100_000.0),
+        n_requests=40,
+        diurnal_requests=120,
+        chaos_requests=30,
     ),
 }
 

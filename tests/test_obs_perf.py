@@ -427,7 +427,81 @@ class TestSloRules:
             "epc-residency",
             "crossing-rate",
             "recovery-budget",
+            "admission-queue",
+            "shed-burn",
+            "migration-budget",
         }
+
+    def test_admission_queue_rule_edge_triggers_and_rearms(self):
+        platform = Platform()
+        rules = default_rulebook(admission_queue_depth=4.0)
+        watchdog = SloWatchdog(rules, evaluate_every_ns=1.0)
+        watchdog.attach(platform, label="traffic")
+        depth = platform.obs.metrics.gauge("traffic.admission.queue_depth")
+
+        def tick():
+            platform.charge_ns("work", 5.0)
+
+        tick()  # no backlog yet: quiet
+        depth.set(6.0)
+        tick()  # backlog above threshold: one alert
+        tick()  # latched: still one
+        queue_alerts = [
+            a for a in watchdog.alerts if a.rule == "admission-queue"
+        ]
+        assert len(queue_alerts) == 1
+        assert queue_alerts[0].value == 6.0
+        assert queue_alerts[0].severity == "warning"
+        depth.set(0.0)
+        tick()  # drained: re-arms
+        depth.set(9.0)
+        tick()  # second backlog episode: second alert
+        assert (
+            len([a for a in watchdog.alerts if a.rule == "admission-queue"])
+            == 2
+        )
+
+    def test_shed_burn_rule_fires_on_shed_share(self):
+        platform = Platform()
+        rules = default_rulebook(shed_share=0.05, window_ns=100.0)
+        watchdog = SloWatchdog(rules, evaluate_every_ns=1.0)
+        watchdog.attach(platform)
+        offered = platform.obs.metrics.counter("traffic.offered")
+        shed = platform.obs.metrics.counter("traffic.shed_total")
+        # Healthy phase: nothing shed -> quiet.
+        for _ in range(5):
+            offered.inc(10)
+            platform.charge_ns("work", 10.0)
+        assert not any(a.rule == "shed-burn" for a in watchdog.alerts)
+        # Overload phase: half the offered load shed inside the window.
+        for _ in range(10):
+            offered.inc(10)
+            shed.inc(5)
+            platform.charge_ns("work", 10.0)
+        burn = [a for a in watchdog.alerts if a.rule == "shed-burn"]
+        assert burn and burn[0].severity == "critical"
+
+    def test_migration_budget_rule_sums_charge_pattern(self):
+        platform = Platform()
+        rules = default_rulebook(migration_budget_ns=50_000.0)
+        watchdog = SloWatchdog(rules, evaluate_every_ns=1.0)
+        watchdog.attach(platform)
+        metrics = platform.obs.metrics
+        # Under budget across two migration categories: quiet.
+        metrics.counter("charge.ns.migration.transfer").inc(20_000.0)
+        metrics.counter("charge.ns.migration.attest").inc(20_000.0)
+        platform.charge_ns("work", 5.0)
+        assert not any(
+            a.rule == "migration-budget" for a in watchdog.alerts
+        )
+        # One more retry's worth of backoff tips the summed budget.
+        metrics.counter("charge.ns.migration.backoff").inc(15_000.0)
+        platform.charge_ns("work", 5.0)
+        budget_alerts = [
+            a for a in watchdog.alerts if a.rule == "migration-budget"
+        ]
+        assert len(budget_alerts) == 1
+        assert budget_alerts[0].value == 55_000.0
 
     def test_summary_lines_mark_breaches(self):
         platform = Platform()

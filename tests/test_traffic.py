@@ -1,0 +1,368 @@
+"""Open-loop traffic (repro.traffic) and the traffic ablation.
+
+Covers seeded arrival stamping (replay, independent streams, diurnal
+rate curve, realised offered load), the admission controller (bounded
+run set + queue, deadline shedding, token-bucket backpressure, typed
+:class:`~repro.errors.OverloadError` reasons), the open-loop harness
+(queueing delay in measured latency, zero-cost identity with upfront
+spawning) and the experiment-level invariants (zero-cost check, chaos
+run with zero acked-state loss).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.concurrency import SessionScheduler
+from repro.costs.platform import fresh_platform
+from repro.errors import ConfigurationError, OverloadError, ReproError
+from repro.experiments import traffic_exp
+from repro.traffic import (
+    AdmissionController,
+    DiurnalProcess,
+    OpenLoopHarness,
+    PoissonProcess,
+    Request,
+    TokenBucket,
+    WorkloadGenerator,
+    mix_counts,
+    offered_rate_per_s,
+)
+
+
+def _request(rid, arrival_ns, app="bank", ops=1, key="bank-0"):
+    return Request(rid=rid, app=app, arrival_ns=arrival_ns, ops=ops, key=key)
+
+
+# ---------------------------------------------------------------------------
+# Arrival processes + workload generator
+# ---------------------------------------------------------------------------
+
+
+class TestArrivals:
+    def test_same_seed_replays_identically(self):
+        a = WorkloadGenerator(10_000.0, seed=7).generate(200)
+        b = WorkloadGenerator(10_000.0, seed=7).generate(200)
+        assert a == b
+        c = WorkloadGenerator(10_000.0, seed=8).generate(200)
+        assert a != c
+
+    def test_schedule_shape(self):
+        requests = WorkloadGenerator(
+            10_000.0, seed=3, ops_cap=8, keys_per_app=4
+        ).generate(300)
+        assert [r.rid for r in requests] == list(range(300))
+        arrivals = [r.arrival_ns for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert all(r.arrival_ns > 0 for r in requests)
+        assert all(1 <= r.ops <= 8 for r in requests)
+        assert all(r.key.startswith(f"{r.app}-") for r in requests)
+        assert all(int(r.key.split("-")[1]) < 4 for r in requests)
+
+    def test_mix_follows_weights(self):
+        requests = WorkloadGenerator(10_000.0, seed=11).generate(2_000)
+        counts = mix_counts(requests)
+        assert counts["bank"] > counts["keeper"] > counts["paldb"]
+        assert 0.5 < counts["bank"] / len(requests) < 0.7
+
+    def test_mix_change_keeps_arrival_instants(self):
+        # Independent seeded streams: reshaping the app mix must not
+        # reshuffle when requests arrive.
+        base = WorkloadGenerator(10_000.0, seed=7).generate(100)
+        skewed = WorkloadGenerator(
+            10_000.0, seed=7, app_mix=(("keeper", 1.0),)
+        ).generate(100)
+        assert [r.arrival_ns for r in base] == [r.arrival_ns for r in skewed]
+        assert all(r.app == "keeper" for r in skewed)
+
+    def test_offered_rate_matches_target(self):
+        requests = WorkloadGenerator(50_000.0, seed=2).generate(4_000)
+        rate = offered_rate_per_s(requests)
+        assert 0.85 * 50_000 < rate < 1.15 * 50_000
+        assert offered_rate_per_s(requests[:1]) == 0.0
+
+    def test_flat_diurnal_matches_poisson(self):
+        poisson = PoissonProcess(5_000.0, seed=3).gaps_ns()
+        flat = DiurnalProcess(5_000.0, amplitude=0.0, seed=3).gaps_ns()
+        for _ in range(50):
+            assert next(poisson) == next(flat)
+
+    def test_diurnal_peak_runs_hotter_than_trough(self):
+        process = DiurnalProcess(
+            10_000.0, amplitude=0.9, period_s=0.001, seed=1
+        )
+        assert process._rate_at(0.00025) > 1.5 * process.base_rate_per_s
+        assert process._rate_at(0.00075) < 0.5 * process.base_rate_per_s
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PoissonProcess(0.0)
+        with pytest.raises(ConfigurationError):
+            DiurnalProcess(1_000.0, amplitude=1.0)
+        with pytest.raises(ConfigurationError):
+            DiurnalProcess(1_000.0, period_s=0.0)
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator(1_000.0, app_mix=())
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator(1_000.0, ops_cap=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator(1_000.0).generate(-1)
+
+
+# ---------------------------------------------------------------------------
+# Token bucket + admission controller
+# ---------------------------------------------------------------------------
+
+
+class TestTokenBucket:
+    def test_refill_and_cap(self):
+        bucket = TokenBucket(rate_per_s=1e9, capacity=2.0)  # 1 token/ns
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)  # drained
+        assert bucket.try_take(1.0)  # 1ns refilled one token
+        assert bucket.try_take(100.0)  # refill caps at capacity...
+        assert bucket.try_take(100.0)
+        assert not bucket.try_take(100.0)  # ...not at 100 tokens
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(1.0, 0.0)
+
+
+class TestAdmissionController:
+    def test_run_queue_shed_progression(self):
+        admission = AdmissionController(capacity=2, queue_limit=2)
+        assert admission.offer(_request(0, 0.0), 0.0) == "run"
+        assert admission.offer(_request(1, 0.0), 0.0) == "run"
+        assert admission.offer(_request(2, 0.0), 0.0) == "queued"
+        assert admission.offer(_request(3, 0.0), 0.0) == "queued"
+        with pytest.raises(OverloadError) as exc:
+            admission.offer(_request(4, 0.0), 0.0)
+        assert exc.value.reason == "queue-full"
+        assert isinstance(exc.value, ReproError)
+        stats = admission.stats
+        assert stats.offered == 5 and stats.admitted == 2
+        assert stats.queued == 2 and stats.shed["queue-full"] == 1
+        assert stats.max_queue_depth == 2 and stats.max_in_flight == 2
+        assert stats.shed_share() == pytest.approx(0.2)
+
+    def test_release_promotes_fifo(self):
+        admission = AdmissionController(capacity=1, queue_limit=4)
+        admission.offer(_request(0, 0.0), 0.0)
+        admission.offer(_request(1, 0.0), 0.0)
+        admission.offer(_request(2, 0.0), 0.0)
+        ready, expired = admission.release(10.0)
+        assert [r.rid for r in ready] == [1] and expired == []
+        ready, _ = admission.release(20.0)
+        assert [r.rid for r in ready] == [2]
+
+    def test_deadline_sheds_at_dequeue(self):
+        admission = AdmissionController(
+            capacity=1, queue_limit=4, deadline_ns=100.0
+        )
+        admission.offer(_request(0, 0.0), 0.0)
+        admission.offer(_request(1, 0.0), 0.0)  # queued at t=0
+        admission.offer(_request(2, 450.0), 450.0)  # queued at t=450
+        ready, expired = admission.release(500.0)
+        # rid 1 out-waited its deadline; rid 2 is still live and starts.
+        assert [r.rid for r in expired] == [1]
+        assert [r.rid for r in ready] == [2]
+        assert admission.stats.shed["deadline"] == 1
+
+    def test_backpressure_bucket_is_per_app(self):
+        admission = AdmissionController(
+            capacity=8,
+            buckets={"paldb": TokenBucket(rate_per_s=1.0, capacity=1.0)},
+        )
+        assert admission.offer(_request(0, 0.0, app="paldb"), 0.0) == "run"
+        with pytest.raises(OverloadError) as exc:
+            admission.offer(_request(1, 0.0, app="paldb"), 0.0)
+        assert exc.value.reason == "backpressure"
+        # Other apps have no bucket and sail through.
+        assert admission.offer(_request(2, 0.0, app="bank"), 0.0) == "run"
+        assert admission.stats.shed["backpressure"] == 1
+
+    def test_capacity_raise_and_drain(self):
+        admission = AdmissionController(capacity=1, queue_limit=4)
+        admission.offer(_request(0, 0.0), 0.0)
+        admission.offer(_request(1, 0.0), 0.0)
+        admission.offer(_request(2, 0.0), 0.0)
+        assert admission.drain(1.0) == ([], [])  # no free slot yet
+        admission.set_capacity(3)
+        ready, expired = admission.drain(1.0)
+        assert [r.rid for r in ready] == [1, 2] and expired == []
+        assert admission.in_flight == 3
+        assert admission.queue_depth == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(capacity=0)
+        with pytest.raises(ConfigurationError):
+            AdmissionController(capacity=1, queue_limit=-1)
+        with pytest.raises(ConfigurationError):
+            AdmissionController(capacity=1, deadline_ns=0.0)
+        with pytest.raises(ConfigurationError):
+            AdmissionController(capacity=1).set_capacity(0)
+        with pytest.raises(ConfigurationError):
+            AdmissionController(capacity=1).release(0.0)
+
+
+# ---------------------------------------------------------------------------
+# OpenLoopHarness
+# ---------------------------------------------------------------------------
+
+
+def _charging_factory(platform, service_ns=1_000.0):
+    """Bodies that charge one fixed-cost segment per op."""
+
+    def factory(request):
+        def body():
+            for _ in range(request.ops):
+                platform.charge_ns("traffic.test_work", service_ns)
+                yield 0.0
+            return request.rid
+
+        return body()
+
+    return factory
+
+
+class TestOpenLoopHarness:
+    def test_latency_includes_queueing_delay(self):
+        platform = fresh_platform()
+        scheduler = SessionScheduler(platform, seed=1)
+        admission = AdmissionController(capacity=1, queue_limit=4)
+        harness = OpenLoopHarness(
+            scheduler, _charging_factory(platform), admission=admission
+        )
+        result = harness.run([_request(0, 0.0), _request(1, 10.0)])
+        assert len(result.completions) == 2
+        first, second = sorted(result.completions, key=lambda c: c.rid)
+        assert first.queue_ns == 0.0
+        # rid 1 arrived at 10 but only started when rid 0 finished.
+        assert second.started_ns == first.finished_ns
+        assert second.queue_ns > 0.0
+        assert second.latency_ns > first.latency_ns
+
+    def test_shed_requests_never_run(self):
+        platform = fresh_platform()
+        scheduler = SessionScheduler(platform, seed=1)
+        admission = AdmissionController(capacity=1, queue_limit=0)
+        harness = OpenLoopHarness(
+            scheduler, _charging_factory(platform), admission=admission
+        )
+        requests = [_request(i, 0.0) for i in range(4)]
+        result = harness.run(requests)
+        assert len(result.completions) == 1
+        assert result.shed_counts() == {"queue-full": 3}
+        assert len(result.completions) + len(result.shed) == len(requests)
+
+    def test_harness_off_prices_like_upfront_spawning(self):
+        # The zero-cost invariant at harness level: with admission and
+        # autoscaling off, the merge loop replays the exact step
+        # sequence of spawning every session up front.
+        requests = WorkloadGenerator(5_000.0, seed=9).generate(20)
+
+        def run_harness():
+            platform = fresh_platform()
+            scheduler = SessionScheduler(platform, seed=4)
+            harness = OpenLoopHarness(scheduler, _charging_factory(platform))
+            harness.run(list(requests))
+            return platform, scheduler
+
+        def run_upfront():
+            platform = fresh_platform()
+            scheduler = SessionScheduler(platform, seed=4)
+            factory = _charging_factory(platform)
+            for request in requests:
+                scheduler.spawn(
+                    f"r{request.rid}",
+                    factory(request),
+                    start_ns=request.arrival_ns,
+                )
+            scheduler.run()
+            return platform, scheduler
+
+        harness_platform, harness_sched = run_harness()
+        upfront_platform, upfront_sched = run_upfront()
+        assert dict(harness_platform.snapshot()) == dict(
+            upfront_platform.snapshot()
+        )
+        assert harness_platform.now_s == upfront_platform.now_s
+        assert harness_sched.trace_digest() == upfront_sched.trace_digest()
+
+    def test_percentile_is_nearest_rank(self):
+        from repro.traffic.harness import Completion, TrafficResult
+
+        result = TrafficResult(
+            completions=[
+                Completion(
+                    rid=i,
+                    app="bank",
+                    arrival_ns=0.0,
+                    started_ns=0.0,
+                    finished_ns=float(i + 1),
+                )
+                for i in range(10)
+            ]
+        )
+        assert result.latency_percentile(50) == 5.0
+        assert result.latency_percentile(95) == 10.0
+        assert result.latency_percentile(100) == 10.0
+        with pytest.raises(ConfigurationError):
+            result.latency_percentile(0.0)
+        with pytest.raises(ConfigurationError):
+            result.latency_percentile(101.0)
+        assert TrafficResult().latency_percentile(99) == 0.0
+
+    def test_validation(self):
+        platform = fresh_platform()
+        scheduler = SessionScheduler(platform, seed=1)
+        with pytest.raises(ConfigurationError):
+            OpenLoopHarness(
+                scheduler, _charging_factory(platform), autoscale_every_ns=0.0
+            )
+
+
+# ---------------------------------------------------------------------------
+# The traffic ablation's invariants (small parameters)
+# ---------------------------------------------------------------------------
+
+
+class TestTrafficExperiment:
+    def test_zero_cost_check_holds(self):
+        assert traffic_exp.check_zero_cost(
+            rate_per_s=2_000.0, n_requests=12, seed=5
+        )
+
+    def test_plain_run_replays_identically(self):
+        kwargs = dict(mode="plain", rate_per_s=2_000.0, n_requests=12, seed=5)
+        a = traffic_exp.run_traffic(**kwargs)
+        b = traffic_exp.run_traffic(**kwargs)
+        assert a.ledger == b.ledger
+        assert a.trace_digest == b.trace_digest
+        assert a.checksum == b.checksum
+
+    def test_overload_sheds_but_serves(self):
+        run = traffic_exp.run_traffic(
+            "fixed", rate_per_s=100_000.0, n_requests=60, seed=5
+        )
+        assert run.shed_total > 0
+        assert run.completed > 0
+        assert run.completed + run.shed_total == run.requests
+        assert run.final_shards == 1
+
+    def test_chaos_never_loses_acked_state(self):
+        run = traffic_exp.run_traffic(
+            "autoscaled",
+            rate_per_s=100_000.0,
+            n_requests=40,
+            seed=traffic_exp.DEFAULT_SEED + 2,
+            chaos=True,
+        )
+        assert run.migration["interruptions"] >= 1
+        assert run.lost_acked == 0
+        assert run.dup_applied == 0
