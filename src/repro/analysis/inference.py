@@ -22,6 +22,7 @@ import ast
 import inspect
 import sys
 import textwrap
+import weakref
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -403,15 +404,35 @@ class AppModel:
         return fields
 
 
+#: Memoised per-function parses (see the identical cache in
+#: :mod:`repro.core.validation`): inference re-reads the same method
+#: sources every partition, and callers only read the returned nodes.
+_PARSE_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_UNPARSEABLE = object()
+
+
 def _parse_function(func) -> Optional[ast.FunctionDef]:
+    try:
+        cached = _PARSE_CACHE.get(func)
+    except TypeError:
+        cached = None
+    if cached is not None:
+        return None if cached is _UNPARSEABLE else cached
+    node: Optional[ast.FunctionDef] = None
     try:
         tree = ast.parse(textwrap.dedent(inspect.getsource(func)))
     except (OSError, TypeError, SyntaxError, IndentationError):
-        return None
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            return node  # type: ignore[return-value]
-    return None
+        tree = None
+    if tree is not None:
+        for candidate in ast.walk(tree):
+            if isinstance(candidate, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                node = candidate  # type: ignore[assignment]
+                break
+    try:
+        _PARSE_CACHE[func] = _UNPARSEABLE if node is None else node
+    except TypeError:
+        pass
+    return node
 
 
 def _assignments_in(stmts) -> Iterator[ast.stmt]:

@@ -131,6 +131,12 @@ class PendingCall:
     encoded_kwargs: Dict[str, Any]
     payload: int
     idempotent: bool
+    #: Arena bytes this call staged (zero on the classic path).
+    staged: int = 0
+    #: Edge bytes the classic path would have copied for staged values.
+    classic_payload: int = 0
+    #: Borrowed views to release once the batch has crossed.
+    views: Tuple[Any, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -232,9 +238,29 @@ class CallCoalescer:
                 self._flush(trigger)
             elif now_ns - self._opened_ns >= self.policy.window_ns:
                 self._flush("window")
-        encoded_args, encoded_kwargs, payload = self.runtime._encode_call(
-            args, kwargs, caller
-        )
+        arena = getattr(self.runtime, "arena", None)
+        if arena is None:
+            encoded_args, encoded_kwargs, payload = self.runtime._encode_call(
+                args, kwargs, caller
+            )
+            staged = classic_payload = 0
+            views: Tuple[Any, ...] = ()
+        else:
+            # Zero-copy path: neutral arguments are encoded ONCE into
+            # the arena here; the flush reuses these regions whether the
+            # queue drains as a batch or as a single call (no re-encode).
+            (
+                encoded_args,
+                encoded_kwargs,
+                payload,
+                staged,
+                classic_payload,
+            ) = self.runtime._encode_call_staged(args, kwargs, caller)
+            views = tuple(
+                e[1]
+                for e in encoded_args + tuple(encoded_kwargs.values())
+                if e[0] == "arena"
+            )
         if not self._queue:
             self._queue_key = key
             self._opened_ns = self.runtime.platform.clock.now_ns
@@ -248,6 +274,9 @@ class CallCoalescer:
                 encoded_kwargs=encoded_kwargs,
                 payload=payload,
                 idempotent=self._call_idempotent(routine, idempotent_hint),
+                staged=staged,
+                classic_payload=classic_payload,
+                views=views,
             )
         )
         self.stats.enqueued += 1
@@ -296,10 +325,15 @@ class CallCoalescer:
         self.stats.flushes[trigger] = self.stats.flushes.get(trigger, 0) + 1
         runtime = self.runtime
 
+        arena_bytes = sum(call.staged for call in calls)
+        saved_edge = sum(call.classic_payload for call in calls)
+
         if len(calls) == 1:
             # Single-call batch: cross exactly like the unbatched
             # runtime (same routine name, same charges) so max_batch=1
-            # is priced identically to batching disabled.
+            # is priced identically to batching disabled. Staged
+            # regions written at offer() are reused as-is — a one-call
+            # flush never re-encodes its payload.
             call = calls[0]
             self.stats.single_flushes += 1
             body = runtime.relay_body(
@@ -309,15 +343,21 @@ class CallCoalescer:
                 call.encoded_args,
                 call.encoded_kwargs,
             )
-            encoded = runtime.cross_batched(
-                caller,
-                target,
-                call.routine,
-                body,
-                call.payload,
-                idempotent=call.idempotent,
-                calls=1,
-            )
+            if saved_edge:
+                runtime.arena.note_saved_edge(saved_edge)
+            try:
+                encoded = runtime.cross_batched(
+                    caller,
+                    target,
+                    call.routine,
+                    body,
+                    call.payload,
+                    idempotent=call.idempotent,
+                    calls=1,
+                    arena_bytes=arena_bytes,
+                )
+            finally:
+                self._release_views(calls)
             self._accept_result(call, runtime._decode_value(encoded, caller))
             return 1
 
@@ -354,6 +394,8 @@ class CallCoalescer:
                     "idempotent": envelope.idempotent,
                 },
             )
+        if saved_edge:
+            runtime.arena.note_saved_edge(saved_edge)
         try:
             encoded_results = runtime.cross_batched(
                 caller,
@@ -363,8 +405,10 @@ class CallCoalescer:
                 envelope.payload,
                 idempotent=envelope.idempotent,
                 calls=envelope.calls,
+                arena_bytes=arena_bytes,
             )
         finally:
+            self._release_views(calls)
             if span is not None:
                 obs.tracer.end_span(span)
         self.stats.batches += 1
@@ -380,6 +424,20 @@ class CallCoalescer:
         for call, encoded in zip(calls, encoded_results):
             self._accept_result(call, runtime._decode_value(encoded, caller))
         return envelope.calls
+
+    @staticmethod
+    def _release_views(calls: List[PendingCall]) -> None:
+        """Return staged regions to the arena after the batch crossed.
+
+        Runs whether the crossing succeeded or faulted: the recovery
+        coordinator's retry loop sits *inside* the crossing, so by the
+        time control returns here every replay that will ever read
+        these regions has already run. The last release reclaims the
+        arena (bump-pointer rewind + generation bump).
+        """
+        for call in calls:
+            for view in call.views:
+                view.release()
 
     def _accept_result(self, call: PendingCall, result: Any) -> None:
         if result is None or not self.policy.strict_void:

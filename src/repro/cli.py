@@ -31,9 +31,11 @@ Four further subcommands are intercepted before the experiment parser:
 ``repro lint`` (static partition linter), ``repro perf`` (wall-clock
 benchmark suite appending to ``BENCH_perf.json`` — see docs/PERF.md),
 ``repro secv`` (class- vs value-granular partitioning ablation —
-see docs/ANALYSIS.md, "Value-granular partitioning") and
+see docs/ANALYSIS.md, "Value-granular partitioning"),
 ``repro traffic`` (open-loop traffic + elastic shard autoscaler — see
-docs/CONCURRENCY.md, "Autoscaling and live migration").
+docs/CONCURRENCY.md, "Autoscaling and live migration") and
+``repro offload`` (accelerator DMA offload vs in-enclave execution —
+see docs/PERF.md, "Zero-copy crossings and the offload ablation").
 """
 
 from __future__ import annotations
@@ -65,6 +67,19 @@ def _fig4b(scale: str) -> None:
     else:
         table = fig4_rmi.run_fig4b()
     print(table.format())
+
+
+def _fig4b_arena(scale: str) -> None:
+    if scale == "small":
+        table = fig4_rmi.run_fig4b_arena(list_sizes=(1_000, 4_000), invocations=128)
+    else:
+        table = fig4_rmi.run_fig4b_arena()
+    print(table.format(y_format="{:.5f}"))
+
+
+def _fig7_arena(scale: str) -> None:
+    counts = (1_000, 3_000) if scale == "small" else fig7_paldb.DEFAULT_ARENA_KEY_COUNTS
+    print(fig7_paldb.run_fig7_arena(key_counts=counts).format(y_format="{:.4f}"))
 
 
 def _fig5a(scale: str) -> None:
@@ -219,6 +234,8 @@ COMMANDS: Dict[str, Callable[[str], None]] = {
     "fig3": _fig3,
     "fig4a": _fig4a,
     "fig4b": _fig4b,
+    "fig4b_arena": _fig4b_arena,
+    "fig7_arena": _fig7_arena,
     "fig5a": _fig5a,
     "fig5b": _fig5b,
     "fig6": _fig6,
@@ -243,7 +260,9 @@ def build_parser() -> argparse.ArgumentParser:
             "gates (see docs/PERF.md); 'repro secv' — class- vs "
             "value-granular partitioning ablation; 'repro traffic' — "
             "open-loop load + admission control + elastic shard "
-            "autoscaler with sealed live migration (see docs/CONCURRENCY.md)"
+            "autoscaler with sealed live migration (see docs/CONCURRENCY.md); "
+            "'repro offload' — accelerator DMA offload vs in-enclave "
+            "execution (see docs/PERF.md)"
         ),
     )
     parser.add_argument(
@@ -320,6 +339,11 @@ def main(argv=None) -> int:
         from repro.experiments.traffic_exp import main as traffic_main
 
         return traffic_main(list(argv[1:]))
+    if argv and argv[0] == "offload":
+        # Accelerator DMA offload ablation; its own argparse.
+        from repro.experiments.offload_exp import main as offload_main
+
+        return offload_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     wants_obs = args.trace or args.events or args.metrics or args.obs_summary
     if not wants_obs:

@@ -31,6 +31,7 @@ priced byte-identically to calling the generator body inline.
 from __future__ import annotations
 
 import hashlib
+import heapq
 import json
 import random
 from dataclasses import dataclass, field
@@ -111,6 +112,14 @@ class SessionScheduler:
         self.on_error = on_error
         self._rng = random.Random(seed)
         self._sessions: List[ClientSession] = []
+        #: Min-heap of (local_ns, tiebreak, index, session) over live
+        #: sessions. Keys are unique (index) and only change for the
+        #: session a step just ran — which is off the heap at that
+        #: moment — so the heap order is exactly the old min() scan's
+        #: and no lazy-deletion bookkeeping is needed. Replaces an
+        #: O(K) scan per step with O(log K); the 10x traffic harness
+        #: spends its time in sessions again, not in selection.
+        self._heap: List[Tuple[float, float, int, ClientSession]] = []
         self._trace: List[StepRecord] = []
         self._steps = 0
 
@@ -132,6 +141,10 @@ class SessionScheduler:
             local_ns=start_ns,
         )
         self._sessions.append(session)
+        heapq.heappush(
+            self._heap,
+            (session.local_ns, session.tiebreak, session.index, session),
+        )
         self._set_active_gauge()
         return session
 
@@ -139,9 +152,9 @@ class SessionScheduler:
 
     def step(self) -> Optional[StepRecord]:
         """Run one segment of the lowest-timestamp session."""
-        session = self._next_session()
-        if session is None:
+        if not self._heap:
             return None
+        session = heapq.heappop(self._heap)[3]
         start_local = session.local_ns
         pool = self.pool
         clock = self.platform.clock
@@ -173,6 +186,11 @@ class SessionScheduler:
             session.busy_ns += busy
             session.think_ns += think
             session.steps += 1
+            if not session.done:
+                heapq.heappush(
+                    self._heap,
+                    (session.local_ns, session.tiebreak, session.index, session),
+                )
             if pool is not None:
                 pool.clear_time()
         record = StepRecord(
@@ -201,10 +219,8 @@ class SessionScheduler:
         return {s.name: s.result for s in self._sessions if s.done}
 
     def _next_session(self) -> Optional[ClientSession]:
-        live = [s for s in self._sessions if not s.done]
-        if not live:
-            return None
-        return min(live, key=ClientSession.sort_key)
+        """Peek at the session the next :meth:`step` would resume."""
+        return self._heap[0][3] if self._heap else None
 
     def next_ready_ns(self) -> Optional[float]:
         """Local timestamp of the session the next :meth:`step` would

@@ -184,6 +184,7 @@ class ShardedEnclaveGroup:
         runtime.current_side = base.current_side
         runtime.recovery = base.recovery
         runtime.batcher = base.batcher
+        runtime.arena = base.arena
         session.runtime = runtime
         for helper in session.gc_helpers.values():
             helper.runtime = runtime
@@ -378,6 +379,13 @@ class ShardedEnclaveGroup:
         # typed refusal); flushing *after* teardown would instead
         # surface an inexplicable registry miss.
         self._drain_batches("shard-loss")
+        arena = getattr(self.runtime, "arena", None)
+        if arena is not None:
+            # Whatever the lost shard's batches staged in untrusted
+            # memory is meaningless now; bump the generation so any
+            # borrowed view still in flight fails with StaleViewError
+            # instead of reading reused bytes.
+            arena.invalidate("shard-loss")
         dropped = self.runtime.tear_down_isolate(Side.TRUSTED, shard)
         if self.driver is not None:
             self.driver.epc.evict_enclave(self._tenant_ids[shard])

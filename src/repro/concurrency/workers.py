@@ -192,9 +192,11 @@ class ContendedTransitionLayer(TransitionLayer):
         payload_bytes: int = 0,
         attach_isolate: bool = True,
         calls: int = 1,
+        arena_bytes: int = 0,
     ) -> T:
         return self._contended(
-            "ecall", super().ecall, name, body, payload_bytes, attach_isolate, calls
+            "ecall", super().ecall, name, body, payload_bytes, attach_isolate,
+            calls, arena_bytes,
         )
 
     def ocall(
@@ -204,9 +206,11 @@ class ContendedTransitionLayer(TransitionLayer):
         payload_bytes: int = 0,
         attach_isolate: bool = True,
         calls: int = 1,
+        arena_bytes: int = 0,
     ) -> T:
         return self._contended(
-            "ocall", super().ocall, name, body, payload_bytes, attach_isolate, calls
+            "ocall", super().ocall, name, body, payload_bytes, attach_isolate,
+            calls, arena_bytes,
         )
 
     def _contended(
@@ -218,6 +222,7 @@ class ContendedTransitionLayer(TransitionLayer):
         payload_bytes: int,
         attach_isolate: bool,
         calls: int,
+        arena_bytes: int = 0,
     ) -> T:
         pool = self.pool
         pool_kind = _KIND_FOR_CALL[call_kind]
@@ -233,6 +238,7 @@ class ContendedTransitionLayer(TransitionLayer):
                 payload_bytes=payload_bytes,
                 attach_isolate=attach_isolate,
                 calls=calls,
+                arena_bytes=arena_bytes,
             )
         finally:
             self.switchless = previous

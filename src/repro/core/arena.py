@@ -1,0 +1,342 @@
+"""Pinned untrusted shared-buffer arena: the zero-copy crossing path.
+
+Montsalvat's dominant per-call cost is the serialize-cross-deserialize
+cycle (Fig. 4/7): every ``@batchable`` crossing re-encodes its neutral
+arguments and pays the edge routine's per-byte copy. The arena removes
+it with the Gramine-style staging idiom: arguments are encoded **once**
+into a pinned *untrusted* buffer the enclave can read in place, and the
+crossing charges only an AES-GCM integrity tag over the staged region
+(``sgx.arena.mac``) — ciphertext+MAC instead of object-graph
+serialization.
+
+Mechanics:
+
+- :class:`SharedBufferArena` bump-allocates regions out of one pinned
+  buffer. Regions are **generation-stamped**: reclaiming the arena (or
+  invalidating it after a shard recovery) bumps the generation, and any
+  :class:`BorrowedView` still holding the old stamp raises a typed
+  :class:`~repro.errors.StaleViewError` instead of silently reading
+  reused memory;
+- reclaim is **explicit and ref-counted**: each staged region is
+  released by the coalescer after its batch lands; when the last live
+  region is released the bump pointer rewinds and the generation
+  advances, invalidating every outstanding view at once;
+- a view is only honoured if it matches a *live registered region*
+  exactly — truncated, overlapping or fabricated views fail the
+  registry check with :class:`~repro.errors.ArenaError` before any
+  payload byte is interpreted;
+- :meth:`stage` prices the fast path and keeps the differential
+  ledger's books: what staging+MAC **charges** is recorded in the
+  ledger (``sgx.arena.*``), and what classic serialization **would
+  have charged** accumulates in :class:`ArenaStats` — so tests can
+  assert the exact decomposition
+  ``classic_total == arena_total + saved - charged``.
+
+When no value is ever staged the arena is pure bookkeeping: it charges
+nothing and the run stays byte-identical to an arena-less ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ArenaCapacityError, ArenaError, StaleViewError
+from repro.runtime.context import Location
+
+#: Default pinned buffer size. Batches stage a few KB per flush; 1 MiB
+#: leaves room for deep queues without ever forcing a classic fallback.
+DEFAULT_CAPACITY = 1 << 20
+
+
+@dataclass
+class ArenaStats:
+    """What the arena charged, and what classic pricing would have.
+
+    ``saved_*`` are the classic-path costs the fast path elided —
+    computed with the *same* formulas the codec and transition layer
+    would have used, at the moment the elision happens. Together with
+    the ledger's ``sgx.arena.*`` entries they give the exact
+    decomposition the differential tests assert.
+    """
+
+    staged_values: int = 0
+    staged_bytes: int = 0
+    reclaims: int = 0
+    classic_fallbacks: int = 0
+    #: Classic per-call serialization cost elided at stage time.
+    saved_serialize_ns: float = 0.0
+    #: Classic per-call deserialization cost elided at decode time.
+    saved_deserialize_ns: float = 0.0
+    #: Classic edge-routine per-byte copy elided at crossing time.
+    saved_edge_ns: float = 0.0
+
+    @property
+    def saved_ns(self) -> float:
+        return self.saved_serialize_ns + self.saved_deserialize_ns + self.saved_edge_ns
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "staged_values": self.staged_values,
+            "staged_bytes": self.staged_bytes,
+            "reclaims": self.reclaims,
+            "classic_fallbacks": self.classic_fallbacks,
+            "saved_serialize_ns": self.saved_serialize_ns,
+            "saved_deserialize_ns": self.saved_deserialize_ns,
+            "saved_edge_ns": self.saved_edge_ns,
+            "saved_ns": self.saved_ns,
+        }
+
+
+@dataclass(frozen=True)
+class ArenaRegion:
+    """One bump-allocated span of the arena, generation-stamped."""
+
+    region_id: int
+    offset: int
+    length: int
+    generation: int
+
+
+class BorrowedView:
+    """A borrowed, read-only window onto a staged arena region.
+
+    The view performs **no copy**: :meth:`acquire` returns a
+    ``memoryview`` over the pinned buffer, after re-validating that the
+    region is still live and still the same generation. ``classic_nbytes``
+    remembers what the classic codec would have shipped for the same
+    value — the differential ledger needs it because pickle and wire
+    lengths differ.
+    """
+
+    __slots__ = ("arena", "region", "classic_nbytes")
+
+    def __init__(self, arena: "SharedBufferArena", region: ArenaRegion,
+                 classic_nbytes: int = 0) -> None:
+        self.arena = arena
+        self.region = region
+        self.classic_nbytes = classic_nbytes
+
+    @property
+    def length(self) -> int:
+        return self.region.length
+
+    def acquire(self) -> memoryview:
+        """Validated zero-copy window; raises typed errors when unsafe."""
+        return self.arena.view(self.region)
+
+    def release(self) -> None:
+        self.arena.release(self.region)
+
+    def __len__(self) -> int:
+        return self.region.length
+
+    def __repr__(self) -> str:
+        region = self.region
+        return (
+            f"BorrowedView(region={region.region_id}, offset={region.offset}, "
+            f"length={region.length}, generation={region.generation})"
+        )
+
+
+class SharedBufferArena:
+    """Pinned untrusted buffer with bump allocation + explicit reclaim."""
+
+    def __init__(self, platform: Any, capacity: int = DEFAULT_CAPACITY,
+                 name: str = "arena0") -> None:
+        if capacity < 8:
+            raise ArenaCapacityError(f"arena capacity {capacity} is too small")
+        self.platform = platform
+        self.name = name
+        self.capacity = capacity
+        self.generation = 1
+        self.stats = ArenaStats()
+        self._buffer = bytearray(capacity)
+        self._offset = 0
+        self._next_region = 1
+        #: region_id -> region, for the exact-match liveness check.
+        self._live: Dict[int, ArenaRegion] = {}
+
+    # -- allocation ------------------------------------------------------------
+
+    @property
+    def live_regions(self) -> int:
+        return len(self._live)
+
+    @property
+    def bytes_in_use(self) -> int:
+        return self._offset
+
+    def write(self, payload: Any) -> BorrowedView:
+        """Copy ``payload`` bytes into a fresh region; returns its view.
+
+        This is the host-side staging write (the one linear copy the
+        fast path keeps); pricing is the caller's concern — the RMI
+        layer prices it via :meth:`stage`, raw users (the DMA channel)
+        price their own transfer.
+        """
+        length = len(payload)
+        end = self._offset + length
+        if end > self.capacity:
+            raise ArenaCapacityError(
+                f"arena {self.name!r} has {self.capacity - self._offset} bytes "
+                f"free; cannot stage {length}"
+            )
+        region = ArenaRegion(
+            region_id=self._next_region,
+            offset=self._offset,
+            length=length,
+            generation=self.generation,
+        )
+        self._next_region += 1
+        self._buffer[region.offset : end] = payload
+        self._offset = end
+        self._live[region.region_id] = region
+        return BorrowedView(self, region)
+
+    def view(self, region: ArenaRegion) -> memoryview:
+        """Zero-copy window over ``region``, validated for safety.
+
+        Raises :class:`StaleViewError` for a generation mismatch
+        (region reclaimed or arena invalidated) and :class:`ArenaError`
+        for regions that do not exactly match a live registration
+        (truncated, overlapping, fabricated) — never returns a window
+        onto memory the region does not own.
+        """
+        if region.generation != self.generation:
+            raise StaleViewError(
+                f"arena {self.name!r} is at generation {self.generation}; "
+                f"view was stamped {region.generation} — the region has been "
+                "reclaimed"
+            )
+        live = self._live.get(region.region_id)
+        if live is None or live != region:
+            raise ArenaError(
+                f"view does not match a live region of arena {self.name!r} "
+                "(truncated, overlapping or fabricated view)"
+            )
+        return memoryview(self._buffer)[region.offset : region.offset + region.length]
+
+    def release(self, region: ArenaRegion) -> None:
+        """Release one region; the last release reclaims the arena.
+
+        Releasing a region from an older generation is a no-op — the
+        reclaim that bumped the generation already freed it.
+        """
+        if region.generation != self.generation:
+            return
+        self._live.pop(region.region_id, None)
+        if not self._live:
+            self.reclaim()
+
+    def reclaim(self) -> None:
+        """Rewind the bump pointer and invalidate every outstanding view."""
+        self._offset = 0
+        self._live.clear()
+        self.generation += 1
+        self.stats.reclaims += 1
+
+    def invalidate(self, reason: str = "") -> None:
+        """Generation bump without waiting for releases.
+
+        Shard recovery calls this: whatever untrusted state a lost
+        shard's batches staged is now meaningless, and any borrowed
+        view still in flight must fail loudly rather than read reused
+        bytes. Pending regions are dropped wholesale.
+        """
+        self.reclaim()
+        obs = self.platform.obs
+        if obs is not None:
+            obs.metrics.counter("arena.invalidations").inc()
+
+    # -- priced staging (RMI fast path) ---------------------------------------
+
+    def stage(self, value: Any, codec: Any, location: Location) -> BorrowedView:
+        """Encode ``value`` once into the arena and price the fast path.
+
+        Charges ``sgx.arena.stage`` (bump-allocate + linear write) and
+        records in :attr:`stats` the classic serialization cost this
+        staging elided. Raises :class:`~repro.errors.SerializationError`
+        subclasses when the value is not wire-encodable or does not fit
+        — callers fall back to the classic path.
+        """
+        from repro.core import wire
+        from repro.core.serialization import WireSerializationCodec
+
+        view = wire.dumps_into(value, self)
+        nbytes = view.length
+        try:
+            if isinstance(codec, WireSerializationCodec):
+                # Classic would have shipped the identical wire bytes.
+                classic_nbytes = nbytes
+            else:
+                classic_nbytes = codec.measure(value)
+        except Exception:
+            # measure() failed (value pickles differently than it
+            # wires); undo the staging and let the caller go classic.
+            view.release()
+            raise
+        view.classic_nbytes = classic_nbytes
+
+        arena_costs = self.platform.cost_model.arena
+        self.platform.charge_cycles(
+            "sgx.arena.stage",
+            arena_costs.stage_fixed_cycles + nbytes * arena_costs.stage_byte_cycles,
+        )
+        self.stats.staged_values += 1
+        self.stats.staged_bytes += nbytes
+        self.stats.saved_serialize_ns += self.platform.spec.cycles_to_ns(
+            codec.codec_cycles("serialize", classic_nbytes, location)
+        )
+        obs = self.platform.obs
+        if obs is not None:
+            obs.metrics.counter("arena.staged_values").inc()
+            obs.metrics.counter("arena.staged_bytes").inc(nbytes)
+        return view
+
+    def note_saved_deserialize(self, view: BorrowedView, codec: Any,
+                               location: Location) -> None:
+        """Account the classic deserialize the in-place decode elided."""
+        self.stats.saved_deserialize_ns += self.platform.spec.cycles_to_ns(
+            codec.codec_cycles("deserialize", view.classic_nbytes, location)
+        )
+
+    def note_saved_edge(self, classic_payload_bytes: int) -> None:
+        """Account the classic edge-copy bytes a crossing elided."""
+        if classic_payload_bytes <= 0:
+            return
+        trans = self.platform.cost_model.transitions
+        self.stats.saved_edge_ns += self.platform.spec.cycles_to_ns(
+            classic_payload_bytes * trans.edge_byte_cycles
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedBufferArena(name={self.name!r}, capacity={self.capacity}, "
+            f"in_use={self._offset}, live={len(self._live)}, "
+            f"generation={self.generation})"
+        )
+
+
+def attach_arena(
+    session: Any,
+    capacity: int = DEFAULT_CAPACITY,
+    name: str = "arena0",
+) -> SharedBufferArena:
+    """Install a zero-copy arena on a running session's runtime.
+
+    Batchable crossings stage their neutral arguments into it from the
+    next ``offer()`` on; detach with :func:`detach_arena` (or tear the
+    session down) to return to classic pricing. Attaching an arena that
+    never stages anything leaves the ledger byte-identical.
+    """
+    arena = SharedBufferArena(session.platform, capacity=capacity, name=name)
+    session.runtime.arena = arena
+    return arena
+
+
+def detach_arena(session: Any) -> Optional[SharedBufferArena]:
+    """Remove the runtime's arena (if any); returns it."""
+    arena = getattr(session.runtime, "arena", None)
+    session.runtime.arena = None
+    return arena

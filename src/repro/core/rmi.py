@@ -39,7 +39,8 @@ from repro.core.proxy import (
 from repro.core.registry import MirrorProxyRegistry
 from repro.core.secure import SecureValue, secure_payload_cycles
 from repro.core.serialization import SerializationCodec
-from repro.errors import RmiError
+from repro.core import wire
+from repro.errors import RmiError, SerializationError
 from repro.graal.isolate import Isolate
 from repro.graal.jtypes import TrustLevel
 from repro.runtime.context import ExecutionContext, Location
@@ -110,6 +111,12 @@ class RmiRuntime:
         #: batch crossing, and every other crossing drains the queue
         #: first (ordering barrier). Zero-cost when None.
         self.batcher: Optional[Any] = None
+        #: Optional :class:`~repro.core.arena.SharedBufferArena`; when
+        #: set, batchable crossings stage neutral arguments into it and
+        #: cross zero-copy (``sgx.arena.mac`` instead of per-call
+        #: serialization). Zero-cost when None: the arena-off ledger is
+        #: byte-identical.
+        self.arena: Optional[Any] = None
         self._invocation_ids = itertools.count(1)
 
     # -- wiring ---------------------------------------------------------------
@@ -354,16 +361,18 @@ class RmiRuntime:
         payload: int,
         idempotent: bool = False,
         calls: int = 1,
+        arena_bytes: int = 0,
     ) -> Any:
         """Crossing entry point for the call coalescer.
 
         ``calls`` is the number of logical invocations the crossing
         carries; the transition layer and recovery coordinator account
-        batch crossings by it.
+        batch crossings by it. ``arena_bytes`` > 0 marks a zero-copy
+        crossing whose staged regions pay only ``sgx.arena.mac``.
         """
         return self._cross(
             caller, target, name, body, payload,
-            idempotent=idempotent, calls=calls,
+            idempotent=idempotent, calls=calls, arena_bytes=arena_bytes,
         )
 
     def invoke_static(
@@ -497,6 +506,64 @@ class RmiRuntime:
         )
         return encoded_args, encoded_kwargs, payload
 
+    def _encode_call_staged(
+        self, args: Tuple[Any, ...], kwargs: Dict[str, Any], side: Side
+    ) -> Tuple[Tuple[Any, ...], Dict[str, Any], int, int, int]:
+        """Arena variant of :meth:`_encode_call` for batchable crossings.
+
+        Neutral values are wire-encoded **once** into the runtime's
+        arena and travel as borrowed views; primitives, proxy/mirror
+        references and secure values keep their classic encodings (the
+        sealed path must never stage plaintext in untrusted memory).
+        Returns ``(args, kwargs, payload, staged, classic)`` where
+        ``payload`` counts only classic edge bytes, ``staged`` the
+        arena bytes to MAC at the crossing, and ``classic`` the edge
+        bytes the classic path would have copied for the staged values.
+        """
+        arena = self.arena
+        encoded_args = tuple(
+            self._encode_value_staged(a, side, arena) for a in args
+        )
+        encoded_kwargs = {
+            k: self._encode_value_staged(v, side, arena) for k, v in kwargs.items()
+        }
+        payload = staged = classic = 0
+        for entry in encoded_args:
+            if entry[0] == "arena":
+                staged += entry[1].length
+                classic += entry[1].classic_nbytes
+            else:
+                payload += entry[2]
+        for entry in encoded_kwargs.values():
+            if entry[0] == "arena":
+                staged += entry[1].length
+                classic += entry[1].classic_nbytes
+            else:
+                payload += entry[2]
+        return encoded_args, encoded_kwargs, payload, staged, classic
+
+    def _encode_value_staged(
+        self, value: Any, side: Side, arena: Any
+    ) -> Tuple[str, Any, int]:
+        """Stage one neutral value; classic encoding for everything else.
+
+        Falls back to the classic path when the value is not
+        wire-encodable or the arena is full — an undersized arena
+        degrades to classic pricing, never to an error.
+        """
+        if (
+            isinstance(value, (SecureValue,) + _PRIMITIVES)
+            or is_proxy(value)
+            or trust_of(type(value)) is not TrustLevel.NEUTRAL
+        ):
+            return self._encode_value(value, side)
+        try:
+            view = arena.stage(value, self.codec, self._location(side))
+        except SerializationError:
+            arena.stats.classic_fallbacks += 1
+            return self._encode_value(value, side)
+        return ("arena", view, 0)
+
     def _decode_call(
         self, encoded_args: Tuple[Any, ...], encoded_kwargs: Dict[str, Any], side: Side
     ) -> Tuple[Tuple[Any, ...], Dict[str, Any]]:
@@ -572,6 +639,17 @@ class RmiRuntime:
                 "sgx.unseal.secure_value", secure_payload_cycles(len(payload))
             )
             return self.codec.deserialize(payload, self._location(side))
+        if tag == "arena":
+            # Zero-copy decode: parse the staged wire bytes directly out
+            # of the untrusted buffer (validated borrowed view — stale
+            # or tampered regions raise before a byte is interpreted).
+            # The crossing already paid the region's MAC; the classic
+            # deserialize this elides is credited to the arena's books.
+            value = wire.loads_inplace(payload)
+            payload.arena.note_saved_deserialize(
+                payload, self.codec, self._location(side)
+            )
+            return value
         raise RmiError(f"unknown encoding tag {tag!r}")
 
     def _proxy_for(self, side: Side, cls: type, remote_hash: int) -> Any:
@@ -600,6 +678,7 @@ class RmiRuntime:
         payload: int,
         idempotent: bool = False,
         calls: int = 1,
+        arena_bytes: int = 0,
     ) -> Any:
         """Perform the boundary crossing and marshal outcomes.
 
@@ -639,12 +718,14 @@ class RmiRuntime:
             if target is Side.TRUSTED:
                 def transition() -> Tuple[str, Any]:
                     return self.transitions.ecall(
-                        name, guarded, payload_bytes=payload, calls=calls
+                        name, guarded, payload_bytes=payload, calls=calls,
+                        arena_bytes=arena_bytes,
                     )
             else:
                 def transition() -> Tuple[str, Any]:
                     return self.transitions.ocall(
-                        name, guarded, payload_bytes=payload, calls=calls
+                        name, guarded, payload_bytes=payload, calls=calls,
+                        arena_bytes=arena_bytes,
                     )
 
             recovery = self.recovery

@@ -70,13 +70,14 @@ class SerializationCodec:
         self._charge_codec("decode", "deserialize", len(buffer), location)
         return value
 
-    def _charge_codec(
-        self, op: str, direction: str, nbytes: int, location: Location
-    ) -> None:
-        """Charge one encode/decode, wrapped in a ``ser.*`` span.
+    def codec_cycles(
+        self, direction: str, nbytes: int, location: Location
+    ) -> float:
+        """The classic cost formula for one encode/decode, in cycles.
 
-        The span covers exactly the virtual time the codec charges; the
-        actual byte work happens outside it (it costs no virtual time).
+        Exposed separately from :meth:`_charge_codec` so the zero-copy
+        arena can account exactly what a crossing *would* have paid
+        without charging it (the differential ledger's ``saved`` side).
         """
         rmi = self.platform.cost_model.rmi
         per_byte = (
@@ -92,6 +93,17 @@ class SerializationCodec:
                 else rmi.enclave_deserialize_multiplier
             )
             cycles *= multiplier
+        return cycles
+
+    def _charge_codec(
+        self, op: str, direction: str, nbytes: int, location: Location
+    ) -> None:
+        """Charge one encode/decode, wrapped in a ``ser.*`` span.
+
+        The span covers exactly the virtual time the codec charges; the
+        actual byte work happens outside it (it costs no virtual time).
+        """
+        cycles = self.codec_cycles(direction, nbytes, location)
         category = f"rmi.{direction}.{location.value}"
         obs = self.platform.obs
         if obs is None:

@@ -16,12 +16,19 @@ from __future__ import annotations
 import ast
 import inspect
 import textwrap
+import weakref
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.annotations import trust_of
 from repro.errors import PartitionError
 from repro.graal.jtypes import TrustLevel
+
+#: Memoised per-function parses: the validator re-scans the same
+#: application methods on every partition() and source never changes
+#: under it. Visitors only read the trees, so sharing them is safe.
+_PARSE_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_UNPARSEABLE = object()
 
 
 @dataclass(frozen=True)
@@ -112,9 +119,20 @@ class EncapsulationValidator:
 
     def _parse(self, func):
         try:
-            return ast.parse(textwrap.dedent(inspect.getsource(func)))
+            cached = _PARSE_CACHE.get(func)
+        except TypeError:
+            cached = None
+        if cached is not None:
+            return None if cached is _UNPARSEABLE else cached
+        try:
+            tree = ast.parse(textwrap.dedent(inspect.getsource(func)))
         except (OSError, TypeError, SyntaxError, IndentationError):
-            return None
+            tree = None
+        try:
+            _PARSE_CACHE[func] = _UNPARSEABLE if tree is None else tree
+        except TypeError:
+            pass
+        return tree
 
 
 class _ForeignAccessFinder(ast.NodeVisitor):

@@ -47,6 +47,53 @@ class TransitionCosts:
 
 
 @dataclass(frozen=True)
+class ArenaCosts:
+    """Cycle costs of the zero-copy shared-buffer crossing fast path.
+
+    Arguments staged once into a pinned *untrusted* arena are read by
+    the enclave in place (Gramine-style accelerator staging): the
+    crossing no longer pays per-call serialization or the edge-routine
+    byte copy, only integrity — an AES-GCM tag over the staged region
+    (``sgx.arena.mac``) plus the bump-allocate/write of staging itself
+    (``sgx.arena.stage``).
+    """
+
+    #: Bump allocation, region header and generation stamp per staged
+    #: value (pointer arithmetic plus one cache line of bookkeeping).
+    stage_fixed_cycles: float = 400.0
+    #: Per-byte linear write into the pinned untrusted pages. Streaming
+    #: stores to ordinary DRAM — far below the graph-walking serializer.
+    stage_byte_cycles: float = 0.30
+    #: GCM tag setup (key schedule reuse, IV, final block) per crossing
+    #: that carries arena regions.
+    mac_fixed_cycles: float = 2_600.0
+    #: AES-GCM over the staged bytes: authenticate what the enclave is
+    #: about to trust. AES-NI class throughput.
+    mac_byte_cycles: float = 0.95
+
+
+@dataclass(frozen=True)
+class OffloadCosts:
+    """DMA accelerator offload pricing (the ``repro offload`` ablation).
+
+    Kernels can ship their working set out of the enclave over a priced
+    DMA channel and run on an accelerator instead of paying in-enclave
+    execution (MEE on every miss, native-image GC on every allocation).
+    Calibrated to the PCIe-attached accelerator shapes reported for
+    Gramine-style offload: descriptor-ring setup is expensive, steady
+    transfer is cheap, and only regular data-parallel kernels map well.
+    """
+
+    #: Doorbell + descriptor-ring setup + completion interrupt per DMA.
+    dma_setup_cycles: float = 45_000.0
+    #: Per-byte PCIe DMA transfer cost (device-driven, host cycles are
+    #: mostly the IOMMU walk amortised per page).
+    dma_byte_cycles: float = 0.06
+    #: Kernel launch + argument marshalling on the accelerator.
+    launch_fixed_cycles: float = 150_000.0
+
+
+@dataclass(frozen=True)
 class MemoryCosts:
     """Cycle costs of memory traffic, in and out of the enclave."""
 
@@ -169,6 +216,8 @@ class CostModel:
     rmi: RmiCosts = field(default_factory=RmiCosts)
     os: OsCosts = field(default_factory=OsCosts)
     jvm: JvmCosts = field(default_factory=JvmCosts)
+    arena: ArenaCosts = field(default_factory=ArenaCosts)
+    offload: OffloadCosts = field(default_factory=OffloadCosts)
 
     def __post_init__(self) -> None:
         if self.memory.mee_multiplier < 1.0:

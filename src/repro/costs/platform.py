@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional, Tuple
 
 from repro.costs.clock import ClockSpan, VirtualClock
-from repro.costs.ledger import CostLedger
+from repro.costs.ledger import CostLedger, LedgerEntry
 from repro.costs.machine import MachineSpec, XEON_E3_1270
 from repro.costs.model import CostModel, DEFAULT_COST_MODEL
 from repro.obs.recorder import attach_platform
@@ -54,11 +54,23 @@ class Platform:
         """Charge ``ns`` virtual nanoseconds to ``category``."""
         if ns < 0:
             raise ValueError(f"cannot charge negative time: {ns}")
-        self.clock.advance_ns(ns)
-        self.ledger.charge(category, ns)
-        if self._charge_observers:
-            now_ns = self.clock.now_ns
-            for observer in self._charge_observers:
+        # Hottest path in the simulator: every priced operation lands
+        # here. The clock advance and ledger update are inlined (the
+        # negativity check above subsumes advance_ns's monotonicity
+        # check); semantics are identical to clock.advance_ns +
+        # ledger.charge, minus three function calls per charge.
+        clock = self.clock
+        clock._now_ns += ns
+        entries = self.ledger._entries
+        entry = entries.get(category)
+        if entry is None:
+            entries[category] = entry = LedgerEntry()
+        entry.count += 1
+        entry.total_ns += ns
+        observers = self._charge_observers
+        if observers:
+            now_ns = clock._now_ns
+            for observer in observers:
                 observer(category, ns, now_ns)
         return ns
 

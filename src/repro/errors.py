@@ -79,6 +79,33 @@ class SerializationError(RmiError):
     """An argument or return value could not be (de)serialized."""
 
 
+class ArenaError(SerializationError):
+    """An arena-backed zero-copy view could not be honoured.
+
+    Subclasses :class:`SerializationError` so callers guarding the wire
+    codec catch arena failures with the same handler — a borrowed view
+    that cannot be decoded is, to them, exactly a serialization failure.
+    """
+
+
+class StaleViewError(ArenaError):
+    """A borrowed arena view outlived its region's generation.
+
+    Raised when a view is read after its region was reclaimed (batch
+    landed, arena reset) or invalidated (shard recovery bumped the
+    generation). The alternative — silently reading whatever bytes now
+    occupy the region — is exactly the use-after-free this error
+    prevents."""
+
+
+class ArenaCapacityError(ArenaError):
+    """The arena's pinned buffer cannot fit the requested region.
+
+    Callers treat this as "stage elsewhere": the RMI encoder falls back
+    to the classic serialized path for the value, so an undersized
+    arena degrades to classic pricing instead of failing the call."""
+
+
 class RegistryError(RmiError):
     """Mirror-proxy registry lookup or registration failure."""
 

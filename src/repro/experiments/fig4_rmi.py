@@ -14,11 +14,15 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.batching import BatchPolicy, attach_batching
 from repro.core import Partitioner, PartitionOptions, Side
+from repro.core.arena import attach_arena
 from repro.experiments.common import ExperimentTable
 from repro.experiments.micro import (
+    ARENA_MICRO_CLASSES,
     MICRO_CLASSES,
     TrustedCell,
+    TrustedSink,
     UntrustedCell,
     make_payload,
 )
@@ -27,6 +31,8 @@ DEFAULT_COUNTS = tuple(range(10_000, 100_001, 10_000))
 DEFAULT_PAYLOAD = 1_000  # 16-byte strings per +s invocation (fig 4a)
 DEFAULT_LIST_SIZES = tuple(range(10_000, 100_001, 10_000))
 DEFAULT_4B_INVOCATIONS = 10_000
+DEFAULT_ARENA_LIST_SIZES = (1_000, 4_000, 16_000)
+DEFAULT_ARENA_INVOCATIONS = 256
 
 
 def _fresh_session(name: str):
@@ -104,10 +110,63 @@ def run_fig4b(
     return table
 
 
+def run_fig4b_arena(
+    list_sizes: Sequence[int] = DEFAULT_ARENA_LIST_SIZES,
+    invocations: int = DEFAULT_ARENA_INVOCATIONS,
+    max_batch: int = 16,
+) -> ExperimentTable:
+    """Fig. 4b repriced for the zero-copy crossing fast path.
+
+    The classic Fig. 4b sweep measures what serialization *adds* to an
+    RMI; this one measures what the arena *removes*: the same payload
+    crossings via the batchable void :class:`TrustedSink`, once with
+    classic per-call serialization and once staged into the shared
+    arena (ciphertext+MAC pricing). Both legs run under the same batch
+    policy, so the only difference is the encode path.
+    """
+    table = ExperimentTable(
+        title="Fig. 4b (arena) — zero-copy staging vs classic serialization",
+        x_label="list size",
+        y_label="latency (s)",
+        notes=f"{invocations} batched void push() calls per point",
+    )
+    for with_arena in (False, True):
+        series = table.new_series("arena" if with_arena else "classic")
+        for size in list_sizes:
+            payload = make_payload(size)
+            session_cm = (
+                Partitioner(PartitionOptions(name="fig4b_arena"))
+                .partition(list(ARENA_MICRO_CLASSES))
+                .start()
+            )
+            with session_cm as session:
+                attach_batching(
+                    session, BatchPolicy(max_batch=max_batch, window_ns=1e12)
+                )
+                if with_arena:
+                    attach_arena(session, capacity=64 << 20)
+                with session.on_side(Side.UNTRUSTED):
+                    sink = TrustedSink()
+                    span = session.platform.measure()
+                    for _ in range(invocations):
+                        sink.push(payload)
+                    session.runtime.batcher.flush()
+                    series.add(size, span.elapsed_s())
+                    if sink.total_pushed() != invocations * size:
+                        raise AssertionError(
+                            "batched pushes were dropped: "
+                            f"{sink.total_pushed()} != {invocations * size}"
+                        )
+    table.notes += f"; classic/arena mean {table.mean_ratio('classic', 'arena'):.2f}x"
+    return table
+
+
 def main() -> None:  # pragma: no cover - manual entry point
     print(run_fig4a().format())
     print()
     print(run_fig4b().format())
+    print()
+    print(run_fig4b_arena().format())
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -33,10 +33,13 @@ from repro.apps.paldb.workload import (
     WriterLogic,
 )
 from repro.baselines import native_session, scone_jvm_session
+from repro.batching import BatchPolicy, attach_batching
 from repro.core import Partitioner, PartitionOptions
+from repro.core.arena import attach_arena
 from repro.experiments.common import ExperimentTable
 
 DEFAULT_KEY_COUNTS = tuple(range(10_000, 100_001, 10_000))
+DEFAULT_ARENA_KEY_COUNTS = (2_000, 6_000, 12_000)
 
 
 @dataclass(frozen=True)
@@ -132,6 +135,59 @@ def run_fig7(
 def run_fig10(key_counts: Sequence[int] = DEFAULT_KEY_COUNTS) -> ExperimentTable:
     """Fig. 10 — Fig. 7's sweep with the SCONE+JVM baseline added."""
     return run_fig7(key_counts=key_counts, include_scone=True)
+
+
+def run_fig7_arena(
+    key_counts: Sequence[int] = DEFAULT_ARENA_KEY_COUNTS,
+    max_batch: int = 16,
+) -> ExperimentTable:
+    """Fig. 7's RUWT write path repriced for the zero-copy fast path.
+
+    ``Part(RUWT)`` pays one serialized ecall per ``put_record`` — the
+    configuration the paper singles out for its ocall/serialization
+    bill. Both legs batch the record stream under the same policy; the
+    arena leg stages key and value strings into the shared buffer, so
+    the batched crossing pays ciphertext+MAC instead of per-call
+    serialization.
+    """
+    table = ExperimentTable(
+        title="Fig. 7 (arena) — PalDB RUWT batched writes, classic vs arena",
+        x_label="keys",
+        y_label="run time (s)",
+        notes="values are 128-char strings; batched record-at-a-time writes",
+    )
+    for with_arena in (False, True):
+        series = table.new_series("arena" if with_arena else "classic")
+        for count in key_counts:
+            keys, values = KvWorkload(n_keys=count).generate()
+            session_cm = (
+                Partitioner(PartitionOptions(name="fig7_arena"))
+                .partition(list(PALDB_RUWT_CLASSES))
+                .start()
+            )
+            with session_cm as session:
+                workdir = tempfile.mkdtemp(prefix="paldb_arena_")
+                path = os.path.join(workdir, "store.paldb")
+                writer = TrustedDBWriter(path)
+                writer.begin_store()
+                attach_batching(
+                    session, BatchPolicy(max_batch=max_batch, window_ns=1e12)
+                )
+                if with_arena:
+                    attach_arena(session, capacity=8 << 20)
+                span = session.platform.measure()
+                for key, value in zip(keys, values):
+                    writer.put_record(key, value)
+                written = writer.finish_store()  # barrier: drains the batch
+                series.add(count, span.elapsed_s())
+                found, _checksum = UntrustedDBReader(path).read_all(keys)
+                if written != count or found != count:
+                    raise AssertionError(
+                        f"store round-trip failed: wrote {written}, "
+                        f"found {found} of {count}"
+                    )
+    table.notes += f"; classic/arena mean {table.mean_ratio('classic', 'arena'):.2f}x"
+    return table
 
 
 def main() -> None:  # pragma: no cover - manual entry point

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.batching import batchable
 from repro.core.annotations import current_context, trusted, untrusted
 
 #: Cost of the setter body itself: a handful of instructions plus the
@@ -55,7 +56,34 @@ class UntrustedCell:
         return self.last_length
 
 
+@trusted
+class TrustedSink:
+    """Void batchable payload sink: the arena repricing vehicle.
+
+    ``push`` is fire-and-forget, so the coalescer queues it; the list
+    argument is neutral, so an attached arena stages it. Together they
+    give the Fig. 4b sweep a crossing whose serialization cost the
+    zero-copy path can actually elide.
+    """
+
+    def __init__(self) -> None:
+        self.pushed = 0
+
+    @batchable
+    def push(self, values: List[str]) -> None:
+        _charge_setter()
+        self.pushed += len(values)
+
+    def total_pushed(self) -> int:
+        return self.pushed
+
+
 MICRO_CLASSES = (TrustedCell, UntrustedCell)
+
+#: Fig. 4b arena repricing partitions the sink alongside the cells;
+#: kept out of MICRO_CLASSES so the classic figures' sessions (and
+#: their goldens) are untouched.
+ARENA_MICRO_CLASSES = MICRO_CLASSES + (TrustedSink,)
 
 
 def make_payload(size: int) -> List[str]:

@@ -20,12 +20,25 @@ from __future__ import annotations
 import ast
 import inspect
 import textwrap
+import weakref
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.graal.jtypes import CallSite, JClass, JField, JMethod, TrustLevel
 
 #: Attribute set by the @trusted/@untrusted/@neutral decorators.
 TRUST_ATTRIBUTE = "__montsalvat_trust__"
+
+#: Memoised extractions. Source parsing is a pure function of the class
+#: object (its MRO members and trust mark), and every ``partition()``
+#: re-extracts the same application classes — profiling shows the
+#: repeated ``inspect.getsource`` + ``ast.parse`` work dominating
+#: start-up for scale experiments that build many sessions. Keyed
+#: weakly so dynamically generated classes can still be collected; the
+#: trust mark is part of the value so re-decorating a class (tests do)
+#: invalidates the entry.
+_EXTRACT_CACHE: "weakref.WeakKeyDictionary[type, Tuple[TrustLevel, JClass]]" = (
+    weakref.WeakKeyDictionary()
+)
 
 
 def extract_classes(classes: Iterable[type]) -> Dict[str, JClass]:
@@ -36,6 +49,18 @@ def extract_classes(classes: Iterable[type]) -> Dict[str, JClass]:
 def extract_class(cls: type) -> JClass:
     """Extract one Python class into the IR."""
     trust = getattr(cls, TRUST_ATTRIBUTE, TrustLevel.NEUTRAL)
+    cached = _EXTRACT_CACHE.get(cls)
+    if cached is not None and cached[0] is trust:
+        return cached[1]
+    extracted = _extract_class_uncached(cls, trust)
+    try:
+        _EXTRACT_CACHE[cls] = (trust, extracted)
+    except TypeError:
+        pass  # classes without weakref support stay uncached
+    return extracted
+
+
+def _extract_class_uncached(cls: type, trust: TrustLevel) -> JClass:
     explicit = getattr(cls, "__calls__", None)
     methods: List[JMethod] = []
     fields: Set[str] = set()

@@ -31,6 +31,7 @@ not attached.
 from __future__ import annotations
 
 import json
+import weakref
 from collections import deque
 from dataclasses import dataclass, field
 from fnmatch import fnmatchcase
@@ -129,18 +130,43 @@ def _metric_scalar(metric: Any) -> float:
     return float(metric.value)
 
 
+#: Per-registry memo of which names match which wildcard pattern. The
+#: registry is grow-only (metrics are get-or-create, never removed), so
+#: ``len(registry)`` is a valid version stamp: a cached match list stays
+#: correct until a new metric appears. Watchdogs re-resolve patterns on
+#: every charge-driven evaluation, so without this the fnmatch scan over
+#: the full name list dominates observed overload runs.
+_MATCH_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _matching_names(metrics: Any, pattern: str) -> Tuple[str, ...]:
+    try:
+        per_registry = _MATCH_CACHE.setdefault(metrics, {})
+    except TypeError:
+        per_registry = None
+    size = len(metrics)
+    if per_registry is not None:
+        cached = per_registry.get(pattern)
+        if cached is not None and cached[0] == size:
+            return cached[1]
+    names = tuple(n for n in metrics.names() if fnmatchcase(n, pattern))
+    if per_registry is not None:
+        per_registry[pattern] = (size, names)
+    return names
+
+
 def resolve_metric(metrics: Any, pattern: str) -> Optional[float]:
     """Current value of ``pattern`` over a registry; patterns containing
     ``fnmatch`` wildcards sum every matching metric. ``None`` when
     nothing matches (the rule abstains rather than reading zero)."""
     if any(ch in pattern for ch in "*?["):
+        names = _matching_names(metrics, pattern)
+        if not names:
+            return None
         total = 0.0
-        matched = False
-        for name in metrics.names():
-            if fnmatchcase(name, pattern):
-                total += _metric_scalar(metrics.get(name))
-                matched = True
-        return total if matched else None
+        for name in names:
+            total += _metric_scalar(metrics.get(name))
+        return total
     metric = metrics.get(pattern)
     if metric is None:
         return None

@@ -180,6 +180,7 @@ class SpanTracer:
         if capacity <= 0:
             raise ValueError("ring capacity must be positive")
         self._clock = clock
+        self._capacity = capacity
         self._events: "deque[Span]" = deque(maxlen=capacity)
         self._stack: List[Span] = []
         self._next_id = 1
@@ -228,12 +229,19 @@ class SpanTracer:
         return span
 
     def _commit(self, span: Span) -> None:
-        if self._events.maxlen is not None and len(self._events) == self._events.maxlen:
+        # Hot path: every span and instant in an observed run lands
+        # here. One ring append + a guarded fan-out; the listener loop
+        # is skipped entirely when nobody subscribed (the common case
+        # for perf runs that only read the metrics registry).
+        events = self._events
+        if len(events) == self._capacity:
             self.dropped += 1
-        self._events.append(span)
+        events.append(span)
         self._seq += 1
-        for listener in self._listeners:
-            listener(span)
+        listeners = self._listeners
+        if listeners:
+            for listener in listeners:
+                listener(span)
 
     # -- the span stream ----------------------------------------------------
 

@@ -1,0 +1,120 @@
+"""Priced DMA channel between the enclave and an accelerator device.
+
+The ``repro offload`` ablation ships kernel working sets out of the
+enclave to a PCIe-attached accelerator instead of paying in-enclave
+execution (MEE on every cache miss, EPC paging on working-set overflow,
+native-image GC on every allocated byte). This module prices the data
+path of that trade:
+
+- **ship**: the enclave encodes the working set once into pinned
+  untrusted pages (the same staging write the RMI arena uses), MACs it
+  so the device-visible bytes are integrity-protected, then kicks a
+  descriptor-ring DMA to device memory;
+- **launch**: doorbell + argument marshalling on the device;
+- **fetch**: the device DMAs results back into pinned pages and the
+  enclave MAC-verifies them before trusting a byte.
+
+All charges land under ``sgx.dma.*`` so the ledger decomposes an
+offloaded run the same way it decomposes a crossing. The channel only
+prices the transfer; what the kernel costs *on the device* is the
+experiment's concern (:mod:`repro.experiments.offload_exp`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class DmaStats:
+    """Transfer accounting for one channel."""
+
+    transfers: int = 0
+    launches: int = 0
+    bytes_to_device: int = 0
+    bytes_from_device: int = 0
+
+    @property
+    def bytes_moved(self) -> int:
+        return self.bytes_to_device + self.bytes_from_device
+
+
+class DmaChannel:
+    """One priced DMA queue pair between an enclave and a device."""
+
+    def __init__(self, platform: Any, name: str = "dma0") -> None:
+        self.platform = platform
+        self.name = name
+        self.stats = DmaStats()
+
+    # -- the data path --------------------------------------------------------
+
+    def ship_to_device(self, nbytes: int) -> float:
+        """Enclave -> device: stage into pinned pages, MAC, DMA out."""
+        ns = self._stage(nbytes)
+        ns += self._mac(nbytes)
+        ns += self._dma(nbytes, "out")
+        self.stats.transfers += 1
+        self.stats.bytes_to_device += nbytes
+        self._count("dma.bytes_to_device", nbytes)
+        return ns
+
+    def fetch_from_device(self, nbytes: int) -> float:
+        """Device -> enclave: DMA into pinned pages, MAC-verify, read
+        in place (the write into pinned memory is the device's DMA, so
+        the host pays no staging copy on this direction)."""
+        ns = self._dma(nbytes, "in")
+        ns += self._mac(nbytes)
+        self.stats.transfers += 1
+        self.stats.bytes_from_device += nbytes
+        self._count("dma.bytes_from_device", nbytes)
+        return ns
+
+    def launch(self, kernel: str) -> float:
+        """Doorbell + kernel-argument marshalling for one device launch."""
+        offload = self.platform.cost_model.offload
+        self.stats.launches += 1
+        self._count("dma.launches", 1)
+        return self.platform.charge_cycles(
+            f"sgx.dma.launch.{kernel}", offload.launch_fixed_cycles
+        )
+
+    # -- pricing internals ----------------------------------------------------
+
+    def _stage(self, nbytes: int) -> float:
+        arena = self.platform.cost_model.arena
+        return self.platform.charge_cycles(
+            "sgx.dma.stage",
+            arena.stage_fixed_cycles + nbytes * arena.stage_byte_cycles,
+        )
+
+    def _mac(self, nbytes: int) -> float:
+        arena = self.platform.cost_model.arena
+        return self.platform.charge_cycles(
+            "sgx.dma.mac",
+            arena.mac_fixed_cycles + nbytes * arena.mac_byte_cycles,
+        )
+
+    def _dma(self, nbytes: int, direction: str) -> float:
+        if nbytes < 0:
+            raise ConfigurationError(f"negative DMA transfer: {nbytes}")
+        offload = self.platform.cost_model.offload
+        return self.platform.charge_cycles(
+            f"sgx.dma.{direction}",
+            offload.dma_setup_cycles + nbytes * offload.dma_byte_cycles,
+        )
+
+    def _count(self, metric: str, amount: int) -> None:
+        obs = self.platform.obs
+        if obs is not None:
+            obs.metrics.counter(metric).inc(amount)
+
+    def __repr__(self) -> str:
+        stats = self.stats
+        return (
+            f"DmaChannel(name={self.name!r}, transfers={stats.transfers}, "
+            f"moved={stats.bytes_moved}B)"
+        )

@@ -48,6 +48,10 @@ class TransitionStats:
     batch_crossings: int = 0
     #: Logical calls carried by those batch crossings.
     batched_calls: int = 0
+    #: Crossings that carried zero-copy arena regions.
+    arena_crossings: int = 0
+    #: Staged bytes those crossings authenticated (``sgx.arena.mac``).
+    arena_bytes: int = 0
 
     @property
     def crossings(self) -> int:
@@ -86,12 +90,16 @@ class TransitionLayer:
         payload_bytes: int = 0,
         attach_isolate: bool = True,
         calls: int = 1,
+        arena_bytes: int = 0,
     ) -> T:
         """Enter the enclave, run ``body`` inside, return its result.
 
         ``calls`` > 1 marks a coalesced batch crossing: one transition
         charge carries that many logical invocations (the coalescer
         already priced per-call marshalling at enqueue time).
+        ``arena_bytes`` > 0 marks a zero-copy crossing: that many bytes
+        are staged in the untrusted arena and the crossing pays only
+        their integrity tag (``sgx.arena.mac``), not the edge copy.
         """
         self.enclave.require_usable()
         if self._active_ecalls >= self.enclave.config.tcs_count:
@@ -109,9 +117,10 @@ class TransitionLayer:
         span = None
         if obs is not None:
             span = obs.tracer.start_span(
-                "sgx.ecall", attrs=self._span_attrs(name, payload_bytes, calls)
+                "sgx.ecall",
+                attrs=self._span_attrs(name, payload_bytes, calls, arena_bytes),
             )
-        self._charge("ecall", name, payload_bytes, attach_isolate)
+        self._charge("ecall", name, payload_bytes, attach_isolate, arena_bytes)
         self.stats.ecalls += 1
         self.stats.bytes_in += payload_bytes
         self._count_batch(calls)
@@ -145,10 +154,11 @@ class TransitionLayer:
         payload_bytes: int = 0,
         attach_isolate: bool = True,
         calls: int = 1,
+        arena_bytes: int = 0,
     ) -> T:
         """Exit the enclave, run ``body`` outside, return its result.
 
-        ``calls`` has the same batch-crossing meaning as for
+        ``calls`` and ``arena_bytes`` have the same meaning as for
         :meth:`ecall`.
         """
         self.enclave.require_usable()
@@ -162,9 +172,10 @@ class TransitionLayer:
         span = None
         if obs is not None:
             span = obs.tracer.start_span(
-                "sgx.ocall", attrs=self._span_attrs(name, payload_bytes, calls)
+                "sgx.ocall",
+                attrs=self._span_attrs(name, payload_bytes, calls, arena_bytes),
             )
-        self._charge("ocall", name, payload_bytes, attach_isolate)
+        self._charge("ocall", name, payload_bytes, attach_isolate, arena_bytes)
         self.stats.ocalls += 1
         self.stats.bytes_out += payload_bytes
         self._count_batch(calls)
@@ -185,7 +196,9 @@ class TransitionLayer:
         finally:
             self._finish("ocall", span, obs, payload_bytes, error)
 
-    def _span_attrs(self, name: str, payload_bytes: int, calls: int) -> dict:
+    def _span_attrs(
+        self, name: str, payload_bytes: int, calls: int, arena_bytes: int = 0
+    ) -> dict:
         attrs = {
             "routine": name,
             "payload_bytes": payload_bytes,
@@ -196,6 +209,9 @@ class TransitionLayer:
             # Only batch crossings carry the attribute, so unbatched
             # span streams (and their fingerprints) are unchanged.
             attrs["calls"] = calls
+        if arena_bytes:
+            # Same rule: arena-less span streams stay byte-identical.
+            attrs["arena_bytes"] = arena_bytes
         return attrs
 
     def _count_batch(self, calls: int) -> None:
@@ -246,10 +262,17 @@ class TransitionLayer:
             obs.metrics.histogram("sgx.ocall_ns").observe(span.duration_ns)
 
     def _charge(
-        self, kind: str, name: str, payload_bytes: int, attach_isolate: bool
+        self,
+        kind: str,
+        name: str,
+        payload_bytes: int,
+        attach_isolate: bool,
+        arena_bytes: int = 0,
     ) -> None:
         if payload_bytes < 0:
             raise TransitionError("payload size cannot be negative")
+        if arena_bytes < 0:
+            raise TransitionError("arena byte count cannot be negative")
         trans = self.platform.cost_model.transitions
         switchless = self.switchless
         if switchless:
@@ -277,6 +300,24 @@ class TransitionLayer:
             cycles += trans.isolate_attach_cycles
         ns = self.platform.charge_cycles(category, cycles)
         self.stats.total_ns += ns
+        if arena_bytes:
+            # Zero-copy crossing: the staged region skipped per-call
+            # serialization and the edge copy; the enclave instead
+            # authenticates it in place (ciphertext+MAC, §Gramine-style
+            # staging) before trusting a single staged byte.
+            arena_costs = self.platform.cost_model.arena
+            mac_ns = self.platform.charge_cycles(
+                "sgx.arena.mac",
+                arena_costs.mac_fixed_cycles
+                + arena_bytes * arena_costs.mac_byte_cycles,
+            )
+            self.stats.total_ns += mac_ns
+            self.stats.arena_crossings += 1
+            self.stats.arena_bytes += arena_bytes
+            obs = self.platform.obs
+            if obs is not None:
+                obs.metrics.counter("arena.crossings").inc()
+                obs.metrics.counter("arena.mac_bytes").inc(arena_bytes)
         if switchless:
             obs = self.platform.obs
             if obs is not None:

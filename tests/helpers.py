@@ -36,6 +36,48 @@ def platform_ledger(platform: Any) -> Dict[str, Any]:
     }
 
 
+def arena_charged_ns(platform: Any) -> float:
+    """Total virtual time the ledger charged under the arena fast path
+    (``sgx.arena.*``: staging writes plus per-crossing MAC)."""
+    return sum(
+        total_ns
+        for category, (_count, total_ns) in platform.snapshot().items()
+        if category.startswith("sgx.arena")
+    )
+
+
+def assert_arena_decomposition(
+    classic_platform: Any, arena_platform: Any, arena: Any, rel: float = 1e-9
+) -> None:
+    """Assert the arena pricing identity, exactly.
+
+    A run with the arena must decompose against the same run priced
+    classically as::
+
+        classic_total == arena_total + saved - charged
+
+    where ``saved`` is the classic serialization/edge cost the fast
+    path elided (tracked in :class:`~repro.core.arena.ArenaStats` with
+    the classic formulas, at elision time) and ``charged`` is what the
+    ledger actually billed under ``sgx.arena.*``. ``rel`` only absorbs
+    float summation error — the identity itself is exact.
+    """
+    classic_ns = classic_platform.clock.now_ns
+    arena_ns = arena_platform.clock.now_ns
+    reconstructed = arena_ns + arena.stats.saved_ns - arena_charged_ns(arena_platform)
+    if classic_ns == reconstructed:
+        return
+    error = abs(classic_ns - reconstructed)
+    bound = rel * max(abs(classic_ns), abs(reconstructed), 1.0)
+    if error > bound:
+        raise AssertionError(
+            "arena decomposition broken: classic "
+            f"{classic_ns} != arena {arena_ns} + saved "
+            f"{arena.stats.saved_ns} - charged "
+            f"{arena_charged_ns(arena_platform)} (error {error} ns)"
+        )
+
+
 def assert_ledgers_identical(actual: Any, expected: Any) -> None:
     """Assert two pricing fingerprints are byte-identical, reporting
     the first differing ledger categories when they are not."""

@@ -1,0 +1,222 @@
+"""Chaos regression tests for the arena fast path (satellite 3).
+
+The arena must not weaken any fault-tolerance contract the classic
+path honours:
+
+- a seeded enclave crash mid-arena-batch refuses or replays exactly
+  like the same crash on the classic path (same coordinator stats,
+  same surviving state), and the staged views are released either way;
+- shard loss bumps the arena generation, so a borrowed view staged
+  before the loss fails with :class:`~repro.errors.StaleViewError`
+  instead of silently reading reused untrusted memory;
+- the open arena batch drains against live mirrors *before* shard
+  teardown, exactly like the classic drain barrier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batching import BatchPolicy, attach_batching
+from repro.concurrency import ShardedEnclaveGroup
+from repro.core import Partitioner, PartitionOptions, Side, wire
+from repro.core.arena import attach_arena
+from repro.errors import NonIdempotentReplayError, StaleViewError
+from repro.experiments.micro import ARENA_MICRO_CLASSES, TrustedSink
+from repro.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultRule,
+    RetryPolicy,
+    attach_recovery,
+)
+from tests.helpers import assert_ledgers_identical, platform_ledger
+
+_CRASH_PLAN = dict(
+    seed=5,
+    rules=[
+        FaultRule(
+            FaultKind.ENCLAVE_CRASH,
+            routine="batch_TrustedSink_push",
+            at_call=1,
+            phase="mid",
+            max_fires=1,
+        )
+    ],
+)
+
+
+def _crash_mid_batch(with_arena: bool, idempotent: bool):
+    """One seeded run: 6 staged pushes, enclave crash mid-flush.
+
+    Returns ``(platform, arena, coordinator, pushed, raised)`` where
+    ``raised`` records whether the flush surfaced a typed refusal.
+    """
+    app = Partitioner(PartitionOptions(name="arena_chaos")).partition(
+        list(ARENA_MICRO_CLASSES)
+    )
+    with app.start() as session:
+        patterns = ("batch_*",) if idempotent else ()
+        coordinator = attach_recovery(
+            session,
+            policy=RetryPolicy(max_attempts=4, idempotent_patterns=patterns),
+        )
+        attach_batching(
+            session,
+            BatchPolicy(
+                routines=("relay_TrustedSink_push",),
+                max_batch=64,
+                window_ns=1e15,
+            ),
+        )
+        arena = attach_arena(session) if with_arena else None
+        with session.on_side(Side.UNTRUSTED):
+            sink = TrustedSink()
+            for index in range(6):
+                sink.push([f"payload-{index}"])
+            session.platform.enable_fault_injection(FaultInjector(**_CRASH_PLAN))
+            raised = False
+            try:
+                session.runtime.batcher.flush()
+            except NonIdempotentReplayError:
+                raised = True
+            session.platform.disable_fault_injection()
+            pushed = sink.total_pushed()
+    return app.platform, arena, coordinator, pushed, raised
+
+
+class TestMidBatchCrashParity:
+    def test_idempotent_crash_replays_like_classic(self):
+        _cp, _none, classic_coord, classic_pushed, classic_raised = (
+            _crash_mid_batch(False, idempotent=True)
+        )
+        _ap, arena, arena_coord, arena_pushed, arena_raised = (
+            _crash_mid_batch(True, idempotent=True)
+        )
+        assert not classic_raised and not arena_raised
+        assert arena_coord.stats.recoveries == classic_coord.stats.recoveries >= 1
+        assert arena_coord.stats.calls_refused == classic_coord.stats.calls_refused == 0
+        # Replay-by-contract: both paths land the same call-effects.
+        assert arena_pushed == classic_pushed
+        # The replay re-read live staged regions; the flush's release
+        # barrier then reclaimed every view despite the mid-crash.
+        assert arena.stats.staged_values == 6
+        assert arena.live_regions == 0
+        assert arena.bytes_in_use == 0
+
+    def test_non_idempotent_crash_refuses_like_classic(self):
+        _cp, _none, classic_coord, classic_pushed, classic_raised = (
+            _crash_mid_batch(False, idempotent=False)
+        )
+        _ap, arena, arena_coord, arena_pushed, arena_raised = (
+            _crash_mid_batch(True, idempotent=False)
+        )
+        assert classic_raised and arena_raised
+        assert (
+            arena_coord.stats.calls_refused
+            == classic_coord.stats.calls_refused
+            == 6
+        )
+        assert arena_pushed == classic_pushed
+        # Typed refusal must not leak staged regions either.
+        assert arena.live_regions == 0
+        assert arena.bytes_in_use == 0
+
+    @pytest.mark.parametrize("idempotent", (True, False), ids=("replay", "refuse"))
+    def test_seeded_chaos_run_is_deterministic(self, idempotent):
+        first = _crash_mid_batch(True, idempotent)
+        second = _crash_mid_batch(True, idempotent)
+        assert_ledgers_identical(
+            platform_ledger(first[0]), platform_ledger(second[0])
+        )
+        assert first[1].stats.to_dict() == second[1].stats.to_dict()
+        assert first[2].stats.to_dict() == second[2].stats.to_dict()
+        assert first[3] == second[3] and first[4] == second[4]
+
+
+class TestShardLossInvalidation:
+    def _group_session(self, name: str):
+        app = Partitioner(PartitionOptions(name=name)).partition(
+            list(ARENA_MICRO_CLASSES)
+        )
+        return app, app.start()
+
+    def test_lose_shard_bumps_generation_and_stales_held_views(self):
+        app, session_cm = self._group_session("arena_chaos_stale")
+        with session_cm as session:
+            group = ShardedEnclaveGroup(session, 2)
+            arena = attach_arena(session)
+            view = wire.dumps_into(["in-flight"], arena)
+            generation = arena.generation
+            group.lose_shard(group.shard_names[1])
+            assert arena.generation > generation
+            with pytest.raises(StaleViewError):
+                wire.loads_inplace(view)
+            with pytest.raises(StaleViewError):
+                view.acquire()
+            # Invalidation reclaimed the pinned pages wholesale.
+            assert arena.live_regions == 0
+            assert arena.bytes_in_use == 0
+
+    def test_arena_batch_drains_before_shard_teardown(self):
+        app, session_cm = self._group_session("arena_chaos_drain")
+        with session_cm as session:
+            group = ShardedEnclaveGroup(session, 2)
+            lost = group.shard_names[1]
+            lost_sink = group.create_pinned("lost", TrustedSink)
+            root_sink = None
+            with group.pinned(group.shard_names[0]):
+                root_sink = TrustedSink()
+            group.register_restore(
+                "lost", lambda: group.create_pinned("lost", TrustedSink)
+            )
+            coalescer = attach_batching(
+                session,
+                BatchPolicy(
+                    routines=("relay_TrustedSink_push",),
+                    max_batch=64,
+                    window_ns=1e15,
+                ),
+            )
+            arena = attach_arena(session)
+            with session.on_side(Side.UNTRUSTED):
+                for index in range(3):
+                    lost_sink.push([f"lost-{index}"])
+                for index in range(2):
+                    root_sink.push([f"root-{index}"])
+                assert coalescer.pending == 5
+                assert arena.live_regions == 5  # staged, not yet crossed
+                group.lose_shard(lost)
+                # Drain barrier fired once, landed everything against
+                # live mirrors, released every staged view, and only
+                # then invalidated the arena.
+                assert coalescer.pending == 0
+                assert coalescer.stats.flushes.get("barrier:shard-loss") == 1
+                assert arena.live_regions == 0
+                assert root_sink.total_pushed() == 2
+            coalescer.detach()
+
+    def test_shard_loss_without_arena_batches_is_a_generation_noop_for_state(self):
+        # Losing a shard with nothing staged must still leave the
+        # arena usable for the survivors' next batch.
+        app, session_cm = self._group_session("arena_chaos_reuse")
+        with session_cm as session:
+            group = ShardedEnclaveGroup(session, 2)
+            attach_batching(
+                session,
+                BatchPolicy(
+                    routines=("relay_TrustedSink_push",),
+                    max_batch=8,
+                    window_ns=1e15,
+                ),
+            )
+            arena = attach_arena(session)
+            group.lose_shard(group.shard_names[1])
+            with session.on_side(Side.UNTRUSTED):
+                with group.pinned(group.shard_names[0]):
+                    sink = TrustedSink()
+                sink.push(["after-loss"])
+                session.runtime.batcher.flush()
+                assert sink.total_pushed() == 1
+            assert arena.stats.staged_values == 1
+            assert arena.live_regions == 0

@@ -1,0 +1,351 @@
+"""Differential ledger tests for the zero-copy arena fast path.
+
+Two invariants pin the arena's pricing to the classic path:
+
+1. **Arena-off identity** — a run with no arena, or with an arena that
+   never stages a value (every batchable argument primitive/secure),
+   must charge the ledger byte-identically to the classic run;
+2. **Exact decomposition** — a run that does stage must satisfy
+   ``classic_total == arena_total + saved - charged`` where ``saved``
+   is the elided classic serialization/edge cost (tracked with the
+   classic formulas at elision time) and ``charged`` is the ledger's
+   ``sgx.arena.*`` total — asserted on the bank, PalDB and SecureKeeper
+   applications.
+
+Also pins the encode-once behaviour (satellite 4): a single-call flush
+reuses the bytes encoded at ``offer`` time — one serialize (classic) or
+one stage (arena) per argument, never two — and the offload ablation's
+winner flip and fingerprint determinism.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Any
+
+import pytest
+
+from repro.apps.bank import Account, BANK_CLASSES
+from repro.apps.paldb import KvWorkload
+from repro.apps.paldb.workload import (
+    PALDB_RUWT_CLASSES,
+    TrustedDBWriter,
+    UntrustedDBReader,
+)
+from repro.apps.securekeeper import (
+    SECUREKEEPER_CLASSES,
+    PayloadVault,
+    SecureKeeperClient,
+    ZNodeStore,
+)
+from repro.batching import BatchPolicy, attach_batching, batchable
+from repro.core import Partitioner, PartitionOptions, Side
+from repro.core.annotations import trusted
+from repro.core.arena import attach_arena, detach_arena
+from repro.core.secure import secure
+from repro.experiments.micro import ARENA_MICRO_CLASSES, TrustedSink
+from tests.helpers import (
+    arena_charged_ns,
+    assert_arena_decomposition,
+    assert_ledgers_identical,
+    platform_ledger,
+    session_ledger,
+)
+
+#: Size-triggered flushes only: virtual-time windows would fire at
+#: different instants once the arena moves the clock, so the
+#: decomposition runs pin the batch boundary to call counts.
+_POLICY = BatchPolicy(max_batch=8, window_ns=1e15)
+
+
+@trusted
+class SecretSink:
+    """Batchable consumer of opaque tokens (secure-value staging test)."""
+
+    def __init__(self) -> None:
+        self.seen = 0
+
+    @batchable
+    def absorb(self, token: Any) -> None:
+        self.seen += 1
+
+
+def _run_bank(with_arena: bool):
+    app = Partitioner(PartitionOptions(name="arena_diff_bank")).partition(
+        list(BANK_CLASSES)
+    )
+    with app.start() as session:
+        attach_batching(session, _POLICY)
+        arena = attach_arena(session) if with_arena else None
+        account = Account("diff", 100)
+        for index in range(40):
+            account.update_balance(1 + index % 5)
+        balance = account.get_balance()
+    return app.platform, arena, balance
+
+
+def _run_paldb(with_arena: bool, n_records: int = 48):
+    app = Partitioner(PartitionOptions(name="arena_diff_paldb")).partition(
+        list(PALDB_RUWT_CLASSES)
+    )
+    keys, values = KvWorkload(n_keys=n_records, seed=11).generate()
+    with app.start() as session:
+        workdir = tempfile.mkdtemp(prefix="arena_diff_")
+        path = os.path.join(workdir, "store.paldb")
+        writer = TrustedDBWriter(path)
+        writer.begin_store()
+        attach_batching(session, _POLICY)
+        arena = attach_arena(session) if with_arena else None
+        for key, value in zip(keys, values):
+            writer.put_record(key, value)
+        written = writer.finish_store()
+        found, checksum = UntrustedDBReader(path).read_all(keys)
+    return app.platform, arena, (written, found, checksum)
+
+
+def _run_securekeeper(with_arena: bool, n_ops: int = 32):
+    app = Partitioner(PartitionOptions(name="arena_diff_sk")).partition(
+        list(SECUREKEEPER_CLASSES)
+    )
+    with app.start() as session:
+        vault = PayloadVault("master")
+        store = ZNodeStore()
+        client = SecureKeeperClient(vault, store, audit=True)
+        attach_batching(session, _POLICY)
+        arena = attach_arena(session) if with_arena else None
+        for index in range(n_ops):
+            client.put(f"/node{index % 8}", f"payload-{index}")
+        reads = tuple(client.read(f"/node{i}") for i in range(8))
+        audits = vault.audit_count()
+    return app.platform, arena, (reads, audits)
+
+
+class TestArenaOffIdentity:
+    def test_bank_arena_attached_is_byte_identical(self):
+        # Every batchable bank argument is an int: the arena stages
+        # nothing and must not move a single ledger entry.
+        classic_platform, _none, classic_balance = _run_bank(False)
+        arena_platform, arena, arena_balance = _run_bank(True)
+        assert arena_balance == classic_balance
+        assert arena.stats.staged_values == 0
+        assert arena_charged_ns(arena_platform) == 0.0
+        assert_ledgers_identical(
+            platform_ledger(arena_platform), platform_ledger(classic_platform)
+        )
+
+    def test_unbatched_runtime_never_consults_the_arena(self):
+        def run(with_arena: bool):
+            app = Partitioner(
+                PartitionOptions(name="arena_diff_unbatched")
+            ).partition(list(ARENA_MICRO_CLASSES))
+            with app.start() as session:
+                arena = attach_arena(session) if with_arena else None
+                with session.on_side(Side.UNTRUSTED):
+                    sink = TrustedSink()
+                    for _ in range(10):
+                        sink.push(["a", "b", "c"])
+            return app.platform, arena
+
+        classic_platform, _ = run(False)
+        arena_platform, arena = run(True)
+        assert arena.stats.staged_values == 0
+        assert_ledgers_identical(
+            platform_ledger(arena_platform), platform_ledger(classic_platform)
+        )
+
+    def test_secure_values_are_never_staged(self):
+        def run(with_arena: bool):
+            app = Partitioner(
+                PartitionOptions(name="arena_diff_secure")
+            ).partition([SecretSink])
+            with app.start() as session:
+                attach_batching(session, _POLICY)
+                arena = attach_arena(session) if with_arena else None
+                sink = SecretSink()
+                for index in range(16):
+                    sink.absorb(secure(f"token-{index}", label="api"))
+                session.runtime.batcher.flush()
+            return app.platform, arena
+
+        classic_platform, _ = run(False)
+        arena_platform, arena = run(True)
+        assert arena.stats.staged_values == 0
+        assert arena.stats.classic_fallbacks == 0
+        assert_ledgers_identical(
+            platform_ledger(arena_platform), platform_ledger(classic_platform)
+        )
+
+    def test_detach_arena_restores_classic_pricing(self):
+        app = Partitioner(PartitionOptions(name="arena_diff_detach")).partition(
+            list(ARENA_MICRO_CLASSES)
+        )
+        with app.start() as session:
+            attach_batching(session, _POLICY)
+            arena = attach_arena(session)
+            with session.on_side(Side.UNTRUSTED):
+                sink = TrustedSink()
+                sink.push(["staged"])
+                session.runtime.batcher.flush()
+                staged_before = arena.stats.staged_values
+                assert detach_arena(session) is arena
+                sink.push(["classic"])
+                session.runtime.batcher.flush()
+            assert arena.stats.staged_values == staged_before
+            assert sink.total_pushed() == 2
+
+
+class TestExactDecomposition:
+    def test_trusted_sink_decomposes_exactly(self):
+        def run(with_arena: bool):
+            app = Partitioner(
+                PartitionOptions(name="arena_diff_sink")
+            ).partition(list(ARENA_MICRO_CLASSES))
+            with app.start() as session:
+                attach_batching(session, _POLICY)
+                arena = attach_arena(session) if with_arena else None
+                with session.on_side(Side.UNTRUSTED):
+                    sink = TrustedSink()
+                    for index in range(32):
+                        sink.push([f"item-{index}", "x" * (index % 7)])
+                    session.runtime.batcher.flush()
+                    pushed = sink.total_pushed()
+            return app.platform, arena, pushed
+
+        classic_platform, _none, classic_pushed = run(False)
+        arena_platform, arena, arena_pushed = run(True)
+        assert arena_pushed == classic_pushed
+        assert arena.stats.staged_values == 32
+        assert arena.stats.classic_fallbacks == 0
+        assert arena_charged_ns(arena_platform) > 0.0
+        assert arena.stats.saved_ns > arena_charged_ns(arena_platform)
+        assert_arena_decomposition(classic_platform, arena_platform, arena)
+
+    def test_paldb_decomposes_exactly(self):
+        classic_platform, _none, classic_out = _run_paldb(False)
+        arena_platform, arena, arena_out = _run_paldb(True)
+        assert arena_out == classic_out
+        assert arena.stats.staged_values == 2 * 48  # key + value per put
+        assert_arena_decomposition(classic_platform, arena_platform, arena)
+
+    def test_securekeeper_decomposes_exactly(self):
+        classic_platform, _none, classic_out = _run_securekeeper(False)
+        arena_platform, arena, arena_out = _run_securekeeper(True)
+        assert arena_out == classic_out
+        assert arena.stats.staged_values > 0
+        assert_arena_decomposition(classic_platform, arena_platform, arena)
+
+    def test_arena_run_is_strictly_cheaper_when_it_stages(self):
+        classic_platform, _none, _ = _run_paldb(False)
+        arena_platform, arena, _ = _run_paldb(True)
+        assert arena_platform.clock.now_ns < classic_platform.clock.now_ns
+
+    def test_decomposition_is_deterministic_across_runs(self):
+        first_platform, first_arena, first_out = _run_paldb(True)
+        second_platform, second_arena, second_out = _run_paldb(True)
+        assert first_out == second_out
+        assert first_platform.snapshot() == second_platform.snapshot()
+        assert first_arena.stats.to_dict() == second_arena.stats.to_dict()
+
+
+class TestEncodeOncePins:
+    """Satellite 4: offer encodes once; flush must not re-encode."""
+
+    def _single_call_ledger(self, with_arena: bool):
+        app = Partitioner(
+            PartitionOptions(name="arena_diff_single")
+        ).partition(list(ARENA_MICRO_CLASSES))
+        with app.start() as session:
+            attach_batching(
+                session, BatchPolicy(max_batch=64, window_ns=1e15)
+            )
+            arena = attach_arena(session) if with_arena else None
+            with session.on_side(Side.UNTRUSTED):
+                sink = TrustedSink()
+                before = {k: tuple(v) for k, v in session.platform.snapshot().items()}
+                sink.push(["solo", "payload"])
+                session.runtime.batcher.flush()
+                after = {k: tuple(v) for k, v in session.platform.snapshot().items()}
+        return before, after, arena
+
+    def test_classic_single_call_flush_serializes_once(self):
+        before, after, _none = self._single_call_ledger(False)
+        serialize_counts = {
+            category: after[category][0] - before.get(category, (0, 0.0))[0]
+            for category in after
+            if category.startswith("rmi.serialize")
+        }
+        # One batchable call, one list argument: exactly one serialize.
+        assert sum(serialize_counts.values()) == 1
+
+    def test_arena_single_call_flush_stages_once(self):
+        before, after, arena = self._single_call_ledger(True)
+        assert arena.stats.staged_values == 1
+        stage_count = after["sgx.arena.stage"][0] - before.get(
+            "sgx.arena.stage", (0, 0.0)
+        )[0]
+        mac_count = after["sgx.arena.mac"][0] - before.get(
+            "sgx.arena.mac", (0, 0.0)
+        )[0]
+        assert stage_count == 1
+        assert mac_count == 1
+        serialized = sum(
+            after[c][0] - before.get(c, (0, 0.0))[0]
+            for c in after
+            if c.startswith("rmi.serialize")
+        )
+        assert serialized == 0
+
+    def test_multi_call_batch_macs_once_per_crossing(self):
+        app = Partitioner(
+            PartitionOptions(name="arena_diff_batchmac")
+        ).partition(list(ARENA_MICRO_CLASSES))
+        with app.start() as session:
+            attach_batching(session, BatchPolicy(max_batch=8, window_ns=1e15))
+            arena = attach_arena(session)
+            with session.on_side(Side.UNTRUSTED):
+                sink = TrustedSink()
+                for index in range(16):  # exactly two size-triggered batches
+                    sink.push([f"v{index}"])
+            snapshot = dict(session.platform.snapshot())
+        assert arena.stats.staged_values == 16
+        assert snapshot["sgx.arena.stage"][0] == 16
+        assert snapshot["sgx.arena.mac"][0] == 2  # one MAC per crossing
+
+
+class TestOffloadAblation:
+    def test_winner_flips_between_kernels(self):
+        from repro.experiments.offload_exp import run_offload
+
+        report = run_offload()
+        winners = report.winners
+        assert winners["fft"] == "offload"
+        assert winners["sparse"] == "offload"
+        assert winners["monte_carlo"] == "in-enclave"
+        assert all(v.checksums_match for v in report.verdicts)
+        assert report.arena_noop_identical
+
+    def test_offload_fingerprint_is_deterministic(self):
+        from repro.experiments.offload_exp import run_offload
+
+        assert run_offload().fingerprint() == run_offload().fingerprint()
+
+    def test_dma_channel_prices_both_directions(self):
+        from repro.costs.platform import fresh_platform
+        from repro.sgx.dma import DmaChannel
+
+        platform = fresh_platform()
+        channel = DmaChannel(platform)
+        out_ns = channel.ship_to_device(1 << 20)
+        launch_ns = channel.launch("fft")
+        back_ns = channel.fetch_from_device(1 << 17)
+        assert out_ns > back_ns > 0
+        assert launch_ns > 0
+        snapshot = dict(platform.snapshot())
+        for category in ("sgx.dma.stage", "sgx.dma.mac", "sgx.dma.out",
+                        "sgx.dma.in", "sgx.dma.launch.fft"):
+            assert category in snapshot
+        assert channel.stats.bytes_moved == (1 << 20) + (1 << 17)
+        # Shipping pays staging; fetching reads the device's DMA in
+        # place, so the same byte count costs strictly less coming back.
+        assert channel.ship_to_device(1 << 17) > back_ns

@@ -1,0 +1,259 @@
+"""Property/fuzz suite for the arena codec path (repro.core.arena).
+
+Seeded, dependency-free fuzzing of the zero-copy encode path:
+
+- ``dumps_into`` -> ``loads_inplace`` must agree with classic
+  ``dumps`` -> ``loads`` on every wire-encodable payload, for every
+  wire tag including SecureValue (0x0B);
+- adversarial views — truncated, overlapping, fabricated, stale
+  generation, released — must raise typed
+  :class:`~repro.errors.SerializationError` subclasses, never crash
+  and never hand out a window over reclaimed memory;
+- decoded values must not alias the pinned buffer: scribbling over the
+  arena after decode must not change a decoded value;
+- nested zero-length containers round-trip through both decode paths
+  (regression: the empty-container fast path must stay on the
+  encode-once path).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import wire
+from repro.core.arena import ArenaRegion, BorrowedView, SharedBufferArena
+from repro.core.secure import SecureValue, secure
+from repro.costs.platform import fresh_platform
+from repro.errors import (
+    ArenaCapacityError,
+    ArenaError,
+    SerializationError,
+    StaleViewError,
+)
+from tests.test_wire_properties import random_payload
+
+SEEDS = (7, 19, 1234)
+
+#: One explicit value per wire tag (0x00-0x0B).
+TAGGED_VALUES = (
+    None,                                   # 0x00 NONE
+    True,                                   # 0x01 TRUE
+    False,                                  # 0x02 FALSE
+    -(2**70) + 13,                          # 0x03 INT
+    3.14159e300,                            # 0x04 FLOAT
+    "héllo \U0001f600 wörld",               # 0x05 STR
+    b"\x00\xff\x7f wire",                   # 0x06 BYTES
+    [1, "two", [3.0, None]],                # 0x07 LIST
+    (1, (2, ()), b"x"),                     # 0x08 TUPLE
+    {"k": [1], 2: {"n": None}},             # 0x09 DICT
+    {1, "a", b"b", False},                  # 0x0A SET
+    secure({"pin": 1234}, label="vault"),   # 0x0B SECURE
+)
+
+
+def _arena(capacity: int = 1 << 16) -> SharedBufferArena:
+    return SharedBufferArena(fresh_platform(), capacity=capacity)
+
+
+class TestArenaRoundTripEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_payloads_decode_identically_to_classic(self, seed):
+        rng = random.Random(seed)
+        arena = _arena(1 << 20)
+        for _ in range(150):
+            value = random_payload(rng)
+            classic = wire.loads(wire.dumps(value))
+            view = wire.dumps_into(value, arena)
+            try:
+                assert wire.loads_inplace(view) == classic
+            finally:
+                view.release()
+
+    @pytest.mark.parametrize("value", TAGGED_VALUES, ids=lambda v: type(v).__name__)
+    def test_every_wire_tag_round_trips_through_the_arena(self, value):
+        arena = _arena()
+        view = wire.dumps_into(value, arena)
+        decoded = wire.loads_inplace(view)
+        assert decoded == wire.loads(wire.dumps(value))
+        view.release()
+
+    def test_staged_bytes_equal_classic_wire_bytes(self):
+        arena = _arena()
+        for value in TAGGED_VALUES:
+            view = wire.dumps_into(value, arena)
+            staged = bytes(view.acquire())
+            assert staged == wire.dumps(value)
+            view.release()
+
+    def test_secure_value_keeps_label_and_provenance_in_place(self):
+        arena = _arena()
+        view = wire.dumps_into(secure("s3cret", label="api-key"), arena)
+        decoded = wire.loads_inplace(view)
+        assert isinstance(decoded, SecureValue)
+        assert decoded.label == "api-key"
+        assert decoded.provenance == ("secure:api-key",)
+        view.release()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_two_runs_same_seed_stage_identical_bytes(self, seed):
+        def staged_corpus():
+            rng = random.Random(seed)
+            arena = _arena(1 << 20)
+            blobs = []
+            for _ in range(60):
+                view = wire.dumps_into(random_payload(rng), arena)
+                blobs.append(bytes(view.acquire()))
+                view.release()
+            return blobs
+
+        assert staged_corpus() == staged_corpus()
+
+
+class TestNestedZeroLengthContainers:
+    """Regression pins for the empty-container paths (satellite 4)."""
+
+    EMPTIES = ([], (), {}, set(), [[], (), {}], {"a": [], "b": ({},)}, ((),))
+
+    @pytest.mark.parametrize("value", EMPTIES, ids=repr)
+    def test_round_trip_via_classic_loads(self, value):
+        assert wire.loads(wire.dumps(value)) == value
+
+    @pytest.mark.parametrize("value", EMPTIES, ids=repr)
+    def test_round_trip_via_loads_inplace(self, value):
+        arena = _arena()
+        view = wire.dumps_into(value, arena)
+        assert wire.loads_inplace(view) == value
+        view.release()
+
+    def test_empty_containers_encode_exactly_once(self):
+        # The encoder appends tag + zero count in one pass; nested
+        # empties must not grow the buffer beyond one header each.
+        encoded = wire.dumps([[], (), {}])
+        # header(3) + list tag+count(2) + 3 x (tag + varint 0)
+        assert len(encoded) == 3 + 2 + 3 * 2
+
+
+class TestAdversarialViews:
+    def test_truncated_view_raises_before_decoding(self):
+        arena = _arena()
+        view = wire.dumps_into([1, 2, 3], arena)
+        region = view.region
+        truncated = BorrowedView(
+            arena,
+            ArenaRegion(region.region_id, region.offset,
+                        region.length - 1, region.generation),
+        )
+        with pytest.raises(ArenaError):
+            wire.loads_inplace(truncated)
+        # The honest view is untouched by the failed probe.
+        assert wire.loads_inplace(view) == [1, 2, 3]
+        view.release()
+
+    def test_overlapping_view_raises(self):
+        arena = _arena()
+        first = wire.dumps_into("abcdef", arena)
+        second = wire.dumps_into("ghijkl", arena)
+        overlap = BorrowedView(
+            arena,
+            ArenaRegion(
+                first.region.region_id,
+                first.region.offset,
+                first.region.length + second.region.length,
+                first.region.generation,
+            ),
+        )
+        with pytest.raises(ArenaError):
+            overlap.acquire()
+        first.release()
+        second.release()
+
+    def test_fabricated_region_raises(self):
+        arena = _arena()
+        ghost = BorrowedView(arena, ArenaRegion(999, 0, 8, arena.generation))
+        with pytest.raises(ArenaError):
+            ghost.acquire()
+
+    def test_stale_generation_raises_stale_view_error(self):
+        arena = _arena()
+        view = wire.dumps_into({"k": 1}, arena)
+        arena.invalidate("test")
+        with pytest.raises(StaleViewError):
+            wire.loads_inplace(view)
+
+    def test_released_view_cannot_be_acquired(self):
+        arena = _arena()
+        view = wire.dumps_into([1], arena)
+        view.release()
+        with pytest.raises(SerializationError):
+            view.acquire()
+
+    def test_all_arena_errors_are_typed_serialization_errors(self):
+        assert issubclass(ArenaError, SerializationError)
+        assert issubclass(StaleViewError, ArenaError)
+        assert issubclass(ArenaCapacityError, ArenaError)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_region_mutations_never_crash(self, seed):
+        rng = random.Random(seed)
+        arena = _arena()
+        view = wire.dumps_into(list(range(50)), arena)
+        region = view.region
+        for _ in range(100):
+            mutated = ArenaRegion(
+                region.region_id + rng.choice((0, 1, -1)),
+                max(0, region.offset + rng.randint(-4, 4)),
+                max(0, region.length + rng.randint(-4, 4)),
+                region.generation + rng.choice((0, 1, -1)),
+            )
+            probe = BorrowedView(arena, mutated)
+            if mutated == region:
+                assert wire.loads_inplace(probe) == list(range(50))
+            else:
+                with pytest.raises(SerializationError):
+                    probe.acquire()
+        view.release()
+
+
+class TestArenaLifecycle:
+    def test_decoded_values_do_not_alias_the_buffer(self):
+        arena = _arena()
+        view = wire.dumps_into(b"precious payload", arena)
+        decoded = wire.loads_inplace(view)
+        view.release()
+        # Scribble over the whole pinned buffer post-reclaim.
+        next_view = wire.dumps_into(b"\xde\xad" * 40, arena)
+        assert decoded == b"precious payload"
+        next_view.release()
+
+    def test_last_release_reclaims_and_bumps_generation(self):
+        arena = _arena()
+        generation = arena.generation
+        first = wire.dumps_into([1], arena)
+        second = wire.dumps_into([2], arena)
+        first.release()
+        assert arena.generation == generation  # one region still live
+        assert arena.bytes_in_use > 0
+        second.release()
+        assert arena.generation == generation + 1
+        assert arena.bytes_in_use == 0
+        assert arena.live_regions == 0
+
+    def test_capacity_exhaustion_is_typed_and_recoverable(self):
+        arena = _arena(capacity=64)
+        with pytest.raises(ArenaCapacityError):
+            wire.dumps_into("x" * 200, arena)
+        view = wire.dumps_into("fits", arena)
+        assert wire.loads_inplace(view) == "fits"
+        view.release()
+
+    def test_release_from_old_generation_is_a_noop(self):
+        arena = _arena()
+        view = wire.dumps_into([1], arena)
+        arena.invalidate("test")
+        in_use = arena.bytes_in_use
+        generation = arena.generation
+        view.release()  # stale release must not reclaim again
+        assert arena.bytes_in_use == in_use
+        assert arena.generation == generation
